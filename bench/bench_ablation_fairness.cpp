@@ -1,0 +1,110 @@
+// Fairness ablation for §5.1's claim that Swiftest's aggressive UDP probing
+// "should not be a concern": its flows are ~1 s short, and base stations run
+// proportional-fair scheduling anyway.
+//
+// Setup: a bystander TCP (Cubic) download is in steady state on a 200 Mbps
+// access link; at t=3 s a Swiftest test (or a 10 s flooding test, for
+// contrast) runs on the same link. We measure the bystander's throughput in
+// the 3 s before, during, and in the 3 s after the test, under FIFO DropTail
+// and under per-flow DRR (the BS scheduler model).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bts/flooding.hpp"
+#include "bts/sampler.hpp"
+#include "netsim/scenario.hpp"
+#include "netsim/tcp.hpp"
+#include "swiftest/client.hpp"
+
+namespace {
+
+using namespace swiftest;
+
+struct FairnessOutcome {
+  double before_mbps = 0.0;
+  double during_mbps = 0.0;
+  double after_mbps = 0.0;
+  double test_seconds = 0.0;
+};
+
+FairnessOutcome run_case(bool fair_queuing, bool flooding) {
+  netsim::ScenarioConfig cfg;
+  cfg.access_rate = core::Bandwidth::mbps(200);
+  cfg.access_delay = core::milliseconds(12);
+  cfg.fair_queuing = fair_queuing;
+  netsim::Scenario scenario(cfg, 4242);
+  auto& sched = scenario.scheduler();
+
+  // The bystander: a long-lived Cubic download on server path 9 (its own
+  // flow id keeps it in a separate DRR queue).
+  netsim::TcpConfig tcp_cfg;
+  tcp_cfg.mss = netsim::suggested_mss(cfg.access_rate);
+  netsim::TcpConnection bystander(sched, scenario.server_path(9), tcp_cfg, 0xB1);
+  std::int64_t bystander_bytes = 0;
+  bystander.set_on_delivered([&](std::int64_t b) { bystander_bytes += b; });
+  bystander.start();
+
+  // Warm up to steady state, then measure the "before" window.
+  sched.run_until(core::seconds(0) + core::milliseconds(1));
+  sched.run_until(core::from_seconds(3.0));
+  const std::int64_t at3 = bystander_bytes;
+
+  // The probe runs back to back with the measurement windows.
+  FairnessOutcome outcome;
+  const core::SimTime probe_start = sched.now();
+  if (flooding) {
+    bts::FloodingBts tester;
+    const auto result = tester.run(scenario);
+    outcome.test_seconds = core::to_seconds(result.probe_duration);
+  } else {
+    static const swift::ModelRegistry registry;
+    swift::SwiftestConfig swift_cfg;
+    swift_cfg.tech = dataset::AccessTech::kWiFi5;
+    swift::SwiftestClient client(swift_cfg, registry);
+    const auto result = client.run(scenario);
+    outcome.test_seconds = core::to_seconds(result.probe_duration);
+  }
+  const core::SimTime probe_end = sched.now();
+  const std::int64_t at_end = bystander_bytes;
+  sched.run_until(probe_end + core::seconds(3));
+  bystander.stop();
+
+  const double probe_window = core::to_seconds(probe_end - probe_start);
+  outcome.before_mbps = static_cast<double>(at3) * 8.0 / 3.0 / 1e6;
+  outcome.during_mbps =
+      probe_window > 0 ? static_cast<double>(at_end - at3) * 8.0 / probe_window / 1e6
+                       : 0.0;
+  outcome.after_mbps = static_cast<double>(bystander_bytes - at_end) * 8.0 / 3.0 / 1e6;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  namespace bu = benchutil;
+  bu::print_title("Ablation: probing fairness toward a bystander TCP flow (200 Mbps link)");
+  std::printf("%-28s %9s %9s %9s %9s\n", "case", "before", "during", "after",
+              "test (s)");
+  struct Case {
+    const char* label;
+    bool fair;
+    bool flooding;
+  };
+  const Case cases[] = {
+      {"swiftest, FIFO", false, false},
+      {"swiftest, DRR (BS sched)", true, false},
+      {"flooding 10s, FIFO", false, true},
+      {"flooding 10s, DRR", true, true},
+  };
+  for (const auto& c : cases) {
+    const auto o = run_case(c.fair, c.flooding);
+    std::printf("%-28s %9.1f %9.1f %9.1f %9.2f\n", c.label, o.before_mbps, o.during_mbps,
+                o.after_mbps, o.test_seconds);
+  }
+  bu::print_note("reading: under plain FIFO, even Swiftest's ~1 s blast can push the");
+  bu::print_note("bystander into a post-test RTO crawl - the paper's fairness argument");
+  bu::print_note("rests on the BS scheduler, and indeed under DRR the bystander keeps");
+  bu::print_note("its per-flow share during the probe and is fully healthy afterwards.");
+  bu::print_note("Multi-connection flooding grabs N queue shares for 10 s either way.");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 1: average 4G/5G/WiFi bandwidth, 2020 vs 2021.
+// Paper: 4G 68 -> 53 Mbps (-22%), 5G 343 -> 305 (-11%), WiFi 132 -> 137 (~flat);
+// overall cellular *rises* 117 -> 135 because the 5G user share doubled.
+#include <cstdio>
+
+#include "analysis/campaign_stats.hpp"
+#include "bench_util.hpp"
+#include "dataset/generator.hpp"
+
+int main() {
+  using namespace swiftest;
+  using dataset::AccessTech;
+  namespace bu = benchutil;
+
+  bu::print_title("Figure 1: average 4G/5G/WiFi bandwidth over time (Mbps)");
+  std::printf("%-10s %10s %10s %10s %10s\n", "year", "4G", "5G", "WiFi", "cellular");
+
+  double prev[4] = {0, 0, 0, 0};
+  for (int year : {2020, 2021}) {
+    const auto records = dataset::generate_campaign(400'000, year, 1000 + year);
+    const double g4 = analysis::tech_summary(records, AccessTech::k4G).mean;
+    const double g5 = analysis::tech_summary(records, AccessTech::k5G).mean;
+    const double wifi = analysis::wifi_overall_summary(records).mean;
+    const double cell = analysis::cellular_overall_summary(records).mean;
+    std::printf("%-10d %10.1f %10.1f %10.1f %10.1f\n", year, g4, g5, wifi, cell);
+    if (year == 2021) {
+      std::printf("%-10s %9.0f%% %9.0f%% %9.0f%% %9.0f%%\n", "change",
+                  100.0 * (g4 - prev[0]) / prev[0], 100.0 * (g5 - prev[1]) / prev[1],
+                  100.0 * (wifi - prev[2]) / prev[2], 100.0 * (cell - prev[3]) / prev[3]);
+    }
+    prev[0] = g4;
+    prev[1] = g5;
+    prev[2] = wifi;
+    prev[3] = cell;
+  }
+  bu::print_note("paper: 4G 68->53 (-22%), 5G 343->305 (-11%), WiFi 132->137 (+4%),");
+  bu::print_note("       overall cellular 117->135 (+15%, 5G user share 17%->33%)");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 2: average 4G, 5G, WiFi bandwidth per Android version (5-12).
+// Paper: bandwidth rises markedly with the Android version — the OS, not the
+// device tier, is what statistically determines access bandwidth.
+#include <cstdio>
+
+#include "analysis/campaign_stats.hpp"
+#include "bench_util.hpp"
+#include "dataset/generator.hpp"
+
+int main() {
+  using namespace swiftest;
+  using dataset::AccessTech;
+  namespace bu = benchutil;
+
+  const auto records = dataset::generate_campaign(400'000, 2021, 1002);
+
+  bu::print_title("Figure 2: average bandwidth per Android version (Mbps)");
+  std::printf("%-8s", "version");
+  for (int v = 5; v <= 12; ++v) std::printf("%9d", v);
+  std::printf("\n");
+  for (auto tech : {AccessTech::k4G, AccessTech::k5G, AccessTech::kWiFi5}) {
+    const auto means = analysis::mean_by_android(records, tech);
+    const std::string label = tech == AccessTech::kWiFi5 ? "WiFi" : to_string(tech);
+    bu::print_row(label, means);
+  }
+  bu::print_note("paper: monotone growth with version; 5G requires Android 9+;");
+  bu::print_note("       same-version low-end vs high-end devices differ by <= 23 Mbps");
+
+  // The paper's control: device tier does not matter once the version is fixed.
+  double low_sum = 0, high_sum = 0;
+  std::size_t low_n = 0, high_n = 0;
+  for (const auto& r : records) {
+    if (r.tech != AccessTech::k4G || r.android_version != 11) continue;
+    if (r.high_end_device) {
+      high_sum += r.bandwidth_mbps;
+      ++high_n;
+    } else {
+      low_sum += r.bandwidth_mbps;
+      ++low_n;
+    }
+  }
+  if (low_n > 0 && high_n > 0) {
+    std::printf("  4G @ Android 11: low-end %.1f vs high-end %.1f Mbps (gap %.1f)\n",
+                low_sum / low_n, high_sum / high_n,
+                high_sum / high_n - low_sum / low_n);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 6: number of bandwidth tests per LTE band.
+// Paper: H-Bands carry 85.6% of LTE tests; Band 3 alone 55%; the refarmed
+// bands lost share to Band 3 after early 2021.
+#include <cstdio>
+
+#include "analysis/campaign_stats.hpp"
+#include "bench_util.hpp"
+#include "dataset/generator.hpp"
+
+int main() {
+  using namespace swiftest;
+  namespace bu = benchutil;
+
+  bu::print_title("Figure 6: LTE test share per band (%)");
+  std::printf("%-6s %12s %12s %8s\n", "band", "2020", "2021", "class");
+
+  const auto recs2020 = dataset::generate_campaign(400'000, 2020, 1006);
+  const auto recs2021 = dataset::generate_campaign(400'000, 2021, 1007);
+  const auto s2020 = analysis::lte_band_stats(recs2020);
+  const auto s2021 = analysis::lte_band_stats(recs2021);
+
+  std::size_t total2020 = 0, total2021 = 0;
+  for (const auto& b : s2020) total2020 += b.tests;
+  for (const auto& b : s2021) total2021 += b.tests;
+
+  double h_share = 0.0;
+  for (std::size_t i = 0; i < s2021.size(); ++i) {
+    const double share2020 = 100.0 * static_cast<double>(s2020[i].tests) /
+                             static_cast<double>(total2020);
+    const double share2021 = 100.0 * static_cast<double>(s2021[i].tests) /
+                             static_cast<double>(total2021);
+    if (s2021[i].high_bandwidth) h_share += share2021;
+    std::printf("%-6s %12.2f %12.2f %8s\n", s2021[i].name.c_str(), share2020, share2021,
+                s2021[i].high_bandwidth ? "H-Band" : "L-Band");
+  }
+  std::printf("\n  H-Band share 2021: %.1f%% (paper 85.6%%); B3 alone: paper 55%%\n",
+              h_share);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 9: number of bandwidth tests per 5G band.
+// Paper: N78 carries most tests, N41 next; N1/N28 small; N79 negligible (3).
+#include <cstdio>
+
+#include "analysis/campaign_stats.hpp"
+#include "bench_util.hpp"
+#include "dataset/generator.hpp"
+
+int main() {
+  using namespace swiftest;
+  namespace bu = benchutil;
+
+  const auto records = dataset::generate_campaign(600'000, 2021, 1010);
+  const auto stats = analysis::nr_band_stats(records);
+
+  std::size_t total = 0;
+  for (const auto& b : stats) total += b.tests;
+
+  bu::print_title("Figure 9: 5G test share per band (2021)");
+  std::printf("%-6s %10s %12s %12s\n", "band", "tests", "share (%)", "origin");
+  for (const auto& bs : stats) {
+    std::printf("%-6s %10zu %12.2f %12s\n", bs.name.c_str(), bs.tests,
+                100.0 * static_cast<double>(bs.tests) / static_cast<double>(total),
+                bs.refarmed ? "refarmed" : "dedicated");
+  }
+  bu::print_note("paper shares: N78 ~55%, N41 ~32%, N1 ~8%, N28 ~5%, N79 ~0%");
+  return 0;
+}

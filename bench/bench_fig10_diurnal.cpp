@@ -1,0 +1,40 @@
+// Figure 10: number of 5G tests and average 5G bandwidth per hour of day.
+// Paper: bandwidth bottoms at 276 Mbps between 21:00-23:00 (gNodeB sleeping
+// + evening load) and peaks at 334 Mbps between 03:00-05:00 (sleeping but
+// almost idle: 46 tests/hour vs ~600 at the evening peak).
+#include <cstdio>
+
+#include "analysis/campaign_stats.hpp"
+#include "bench_util.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/profiles.hpp"
+
+int main() {
+  using namespace swiftest;
+  namespace bu = benchutil;
+
+  // Cellular-only campaign for deep hourly samples.
+  dataset::CampaignConfig cfg;
+  cfg.test_count = 600'000;
+  cfg.year = 2021;
+  cfg.seed = 1011;
+  cfg.wifi_share = 0.0;
+  cfg.g3_share = 0.0;
+  const auto records = dataset::CampaignGenerator(cfg).generate();
+  const auto hours = analysis::diurnal_stats(records, dataset::AccessTech::k5G);
+
+  bu::print_title("Figure 10: 5G tests and bandwidth by hour of day");
+  std::printf("%-6s %10s %12s %10s\n", "hour", "tests", "bw (Mbps)", "BS asleep");
+  std::vector<double> counts, bws;
+  for (const auto& h : hours) {
+    std::printf("%-6d %10zu %12.1f %10s\n", h.hour, h.tests, h.mean_mbps,
+                dataset::gnb_sleeping(h.hour) ? "yes" : "");
+    counts.push_back(static_cast<double>(h.tests));
+    bws.push_back(h.mean_mbps);
+  }
+  bu::print_series("\n  test volume by hour:", counts);
+  bu::print_series("  5G bandwidth by hour:", bws);
+  bu::print_note("paper: trough 276 Mbps @21-23h, peak 334 Mbps @3-5h (despite BS sleep);");
+  bu::print_note("       4G shows the opposite (positive) load correlation - no sleeping");
+  return 0;
+}

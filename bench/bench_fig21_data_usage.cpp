@@ -1,0 +1,36 @@
+// Figure 21: average data usage per test — BTS-APP vs Swiftest.
+// Paper: 8.2x-9x reduction; a 5G test costs Swiftest ~32 MB vs BTS-APP's 289.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace swiftest;
+  using dataset::AccessTech;
+  namespace bu = benchutil;
+
+  const std::vector<AccessTech> techs = {AccessTech::k4G, AccessTech::k5G,
+                                         AccessTech::kWiFi5};
+  const std::vector<bu::TesterFactory> testers = {bu::flooding_factory(),
+                                                  bu::swiftest_factory()};
+  const auto outcomes = bu::run_comparison(techs, 40, testers, 2021);
+
+  bu::print_title("Figure 21: average data usage per test (MB)");
+  std::printf("%-8s %12s %12s %10s\n", "tech", "BTS-APP", "Swiftest", "reduction");
+  for (auto tech : techs) {
+    std::vector<double> flood_mb, swift_mb;
+    for (const auto& o : outcomes) {
+      if (o.tech != tech) continue;
+      flood_mb.push_back(o.results[0].data_used.megabytes());
+      swift_mb.push_back(o.results[1].data_used.megabytes());
+    }
+    const double f = stats::mean(flood_mb);
+    const double s = stats::mean(swift_mb);
+    std::printf("%-8s %12.1f %12.1f %9.1fx\n",
+                (tech == AccessTech::kWiFi5 ? "WiFi" : to_string(tech)).c_str(), f, s,
+                f / s);
+  }
+  bu::print_note("paper: 8.2x (4G), 9.0x (5G), 8.4x (WiFi); 5G: 289 MB -> 32 MB");
+  return 0;
+}

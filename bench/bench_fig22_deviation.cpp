@@ -1,0 +1,43 @@
+// Figure 22: deviation between back-to-back BTS-APP and Swiftest results.
+// Paper: |a-b|/max(a,b) averages 5.1% (median 3.0%); 16% of pairs exceed 10%
+// (network dynamics between the paired runs), 0.7% exceed 30%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bts/tester.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace swiftest;
+  using dataset::AccessTech;
+  namespace bu = benchutil;
+
+  const std::vector<AccessTech> techs = {AccessTech::k4G, AccessTech::k5G,
+                                         AccessTech::kWiFi5};
+  const std::vector<bu::TesterFactory> testers = {bu::flooding_factory(),
+                                                  bu::swiftest_factory()};
+  const auto outcomes = bu::run_comparison(techs, 40, testers, 2022);
+
+  bu::print_title("Figure 22: Swiftest vs BTS-APP result deviation (%)");
+  std::vector<double> overall;
+  for (auto tech : techs) {
+    std::vector<double> devs;
+    for (const auto& o : outcomes) {
+      if (o.tech != tech) continue;
+      const double d = 100.0 * bts::deviation(o.results[1].bandwidth_mbps,
+                                              o.results[0].bandwidth_mbps);
+      devs.push_back(d);
+      overall.push_back(d);
+    }
+    const auto s = stats::summarize(devs);
+    std::printf("%-8s mean=%.1f%% median=%.1f%% max=%.1f%%\n",
+                (tech == AccessTech::kWiFi5 ? "WiFi" : to_string(tech)).c_str(), s.mean,
+                s.median, s.max);
+  }
+  const auto s = stats::summarize(overall);
+  std::printf("overall  mean=%.1f%% median=%.1f%%; >10%%: %.0f%% of pairs; >30%%: %.1f%%\n",
+              s.mean, s.median, 100.0 * stats::fraction_above(overall, 10.0),
+              100.0 * stats::fraction_above(overall, 30.0));
+  bu::print_note("paper: overall mean 5.1%, median 3.0%; 16% of pairs >10%, 0.7% >30%");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 23: average test time of FAST, FastBTS, and Swiftest.
+// Paper: Swiftest is 2.9x-16.5x faster; FAST averages 13.5 s (TCP slow start
+// + conservative convergence), FastBTS is short, Swiftest ~1 s.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/descriptive.hpp"
+
+int main() {
+  using namespace swiftest;
+  using dataset::AccessTech;
+  namespace bu = benchutil;
+
+  const std::vector<AccessTech> techs = {AccessTech::k4G, AccessTech::k5G,
+                                         AccessTech::kWiFi5};
+  const auto testers = bu::comparison_testers();  // FAST, FastBTS, Swiftest
+  const auto outcomes = bu::run_comparison(techs, 30, testers, 2023);
+
+  bu::print_title("Figure 23: average test time (seconds)");
+  std::printf("%-8s %10s %10s %10s\n", "tech", "FAST", "FastBTS", "Swiftest");
+  for (auto tech : techs) {
+    double sums[3] = {0, 0, 0};
+    int n = 0;
+    for (const auto& o : outcomes) {
+      if (o.tech != tech) continue;
+      for (int t = 0; t < 3; ++t) {
+        sums[t] += core::to_seconds(o.results[static_cast<std::size_t>(t)].probe_duration);
+      }
+      ++n;
+    }
+    std::printf("%-8s %10.2f %10.2f %10.2f   (Swiftest speedup: %.1fx / %.1fx)\n",
+                (tech == AccessTech::kWiFi5 ? "WiFi" : to_string(tech)).c_str(),
+                sums[0] / n, sums[1] / n, sums[2] / n, sums[0] / sums[2],
+                sums[1] / sums[2]);
+  }
+  bu::print_note("paper: Swiftest 2.9x-16.5x shorter; FAST ~13.5 s on average");
+  return 0;
+}

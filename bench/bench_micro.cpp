@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks for the library's hot paths: the event
+// scheduler, a full TCP-over-scenario run, EM fitting, crucial-interval
+// search, the purchase ILP, and campaign generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "bts/fastbts.hpp"
+#include "core/rng.hpp"
+#include "dataset/generator.hpp"
+#include "deploy/planner.hpp"
+#include "netsim/scenario.hpp"
+#include "netsim/tcp.hpp"
+#include "stats/gmm.hpp"
+
+namespace {
+
+using namespace swiftest;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::Scheduler sched;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 100'000) sched.schedule_in(1, chain);
+    };
+    sched.schedule_at(0, chain);
+    sched.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+void BM_TcpSimulatedSecond(benchmark::State& state) {
+  const double mbps = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    netsim::ScenarioConfig cfg;
+    cfg.access_rate = core::Bandwidth::mbps(mbps);
+    netsim::Scenario scenario(cfg, 1);
+    netsim::TcpConfig tcp_cfg;
+    tcp_cfg.mss = netsim::suggested_mss(cfg.access_rate);
+    netsim::TcpConnection conn(scenario.scheduler(), scenario.server_path(0), tcp_cfg, 1);
+    conn.start();
+    scenario.scheduler().run_until(core::seconds(1));
+    conn.stop();
+    benchmark::DoNotOptimize(conn.stats().app_bytes_delivered);
+  }
+}
+BENCHMARK(BM_TcpSimulatedSecond)->Arg(50)->Arg(300)->Arg(1000);
+
+void BM_GmmFit(benchmark::State& state) {
+  core::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.bernoulli(0.6) ? rng.normal(100, 15) : rng.normal(300, 30));
+  }
+  for (auto _ : state) {
+    const auto fit = stats::fit_gmm(xs, 2);
+    benchmark::DoNotOptimize(fit.log_likelihood);
+  }
+}
+BENCHMARK(BM_GmmFit);
+
+void BM_CrucialInterval(benchmark::State& state) {
+  core::Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.normal(300, 40));
+  for (auto _ : state) {
+    const auto ci = bts::crucial_interval(samples);
+    benchmark::DoNotOptimize(ci.estimate);
+  }
+}
+BENCHMARK(BM_CrucialInterval);
+
+void BM_PurchasePlanIlp(benchmark::State& state) {
+  const auto catalog = deploy::synthetic_catalog(2022, 336);
+  for (auto _ : state) {
+    const auto plan = deploy::plan_purchase(catalog, 2000.0);
+    benchmark::DoNotOptimize(plan.total_cost_usd);
+  }
+}
+BENCHMARK(BM_PurchasePlanIlp);
+
+void BM_CampaignGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto records = dataset::generate_campaign(10'000, 2021, 7);
+    benchmark::DoNotOptimize(records.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_CampaignGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Table 1: the nine LTE bands — downlink spectrum, max channel bandwidth,
+// ISPs — plus the derived 58.2% refarmed H-Band spectrum share (§3.2).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dataset/bands.hpp"
+
+int main() {
+  using namespace swiftest;
+  namespace bu = benchutil;
+
+  bu::print_title("Table 1: LTE bands (ordered by downlink spectrum)");
+  std::printf("%-6s %-18s %-12s %-14s %-10s %s\n", "band", "DL spectrum (MHz)",
+              "max ch (MHz)", "ISPs", "class", "refarmed");
+  for (const auto& band : dataset::lte_bands()) {
+    std::string isps;
+    for (auto isp : dataset::kAllIsps) {
+      if (band.isps & dataset::isp_bit(isp)) {
+        if (!isps.empty()) isps += ",";
+        isps += dataset::to_string(isp);
+      }
+    }
+    std::printf("%-6s %7.0f - %-8.0f %-12.0f %-14s %-10s %s\n", band.name,
+                band.dl_low_mhz, band.dl_high_mhz, band.max_channel_mhz, isps.c_str(),
+                dataset::is_h_band(band) ? "H-Band" : "L-Band",
+                band.refarmed_for_5g ? "-> 5G (2021)" : "");
+  }
+  std::printf("\n  refarmed share of H-Band spectrum: %.1f%% (paper: 58.2%%)\n",
+              100.0 * dataset::refarmed_h_band_spectrum_fraction());
+  return 0;
+}

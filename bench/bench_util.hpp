@@ -1,0 +1,77 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper: it
+// prints the paper's reported values next to the reproduction's, so a reader
+// can eyeball whether the *shape* (ordering, ratios, crossovers) holds.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bts/tester.hpp"
+#include "core/rng.hpp"
+#include "dataset/record.hpp"
+#include "dataset/taxonomy.hpp"
+#include "netsim/scenario.hpp"
+
+namespace swiftest::benchutil {
+
+// ------------------------------------------------------------ printing
+
+void print_title(const std::string& title);
+void print_row(const std::string& label, std::span<const double> values, int width = 9,
+               int precision = 1);
+void print_note(const std::string& note);
+
+/// Renders a CDF line like the paper's distribution figures: key quantiles
+/// plus mean/max.
+void print_cdf_summary(const std::string& label, std::span<const double> samples);
+
+/// ASCII sparkline of a series (for diurnal/PDF shapes).
+void print_series(const std::string& label, std::span<const double> ys);
+
+// ------------------------------------------------------------ scenarios
+
+/// Builds a netsim scenario for a simulated user of the given technology
+/// whose true access bandwidth is `truth_mbps`. Per-technology RTT, loss,
+/// and cross-traffic levels follow typical wild conditions.
+[[nodiscard]] netsim::ScenarioConfig scenario_for(dataset::AccessTech tech,
+                                                  double truth_mbps, core::Rng& rng);
+
+/// Draws `count` ground-truth access bandwidths for a technology from the
+/// campaign generator's distribution (i.e., the Fig 16/18/19 mixtures).
+[[nodiscard]] std::vector<double> draw_truths(dataset::AccessTech tech, std::size_t count,
+                                              std::uint64_t seed);
+
+// ------------------------------------------------------------ comparisons
+
+/// One back-to-back test pair/group: the same simulated user measured by
+/// every tester (fresh scenario per tester, same seed => same ground truth
+/// and network conditions).
+struct ComparisonOutcome {
+  dataset::AccessTech tech;
+  double truth_mbps = 0.0;
+  std::vector<bts::BtsResult> results;  // aligned with the testers list
+};
+
+using TesterFactory = std::function<std::unique_ptr<bts::BandwidthTester>(
+    dataset::AccessTech tech)>;
+
+/// Runs `tests_per_tech` back-to-back groups for each technology.
+[[nodiscard]] std::vector<ComparisonOutcome> run_comparison(
+    std::span<const dataset::AccessTech> techs, std::size_t tests_per_tech,
+    std::span<const TesterFactory> testers, std::uint64_t seed);
+
+/// Standard tester set for the §5.3 comparison: FAST, FastBTS, Swiftest
+/// (in that order), each constructed fresh per test.
+[[nodiscard]] std::vector<TesterFactory> comparison_testers();
+
+/// BTS-APP factory (the approximate ground truth in §5.3).
+[[nodiscard]] TesterFactory flooding_factory();
+
+/// Swiftest-only factory.
+[[nodiscard]] TesterFactory swiftest_factory();
+
+}  // namespace swiftest::benchutil

@@ -1,0 +1,28 @@
+// Data pipeline end to end: generate a campaign, persist it as CSV, load it
+// back (as an operator would load real exported data), and render the §3
+// measurement report.
+//
+//   $ ./examples/campaign_report [tests] [csv_path]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swiftest;
+
+  const std::size_t tests = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1]))
+                                     : 150'000;
+  const std::string path = argc > 2 ? argv[2] : "/tmp/swiftest_campaign.csv";
+
+  std::printf("Generating %zu tests and writing %s ...\n", tests, path.c_str());
+  const auto campaign = dataset::generate_campaign(tests, 2021, 77);
+  dataset::write_csv_file(path, campaign);
+
+  std::printf("Loading the CSV back and analyzing...\n\n");
+  const auto loaded = dataset::read_csv_file(path);
+  std::fputs(analysis::generate_report(loaded).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Customized measurement (the release's "develop Swiftest for customized
+// mobile measurements" path): fit a bandwidth model from *your own* recent
+// test results, install it in the registry, and probe with it.
+//
+// Here the "operator's data" is a batch of recent WiFi 6 campaign results;
+// in a real deployment it would be last month's production test records.
+#include <cstdio>
+
+#include "analysis/campaign_stats.hpp"
+#include "dataset/generator.hpp"
+#include "netsim/scenario.hpp"
+#include "stats/gmm.hpp"
+#include "swiftest/client.hpp"
+
+int main() {
+  using namespace swiftest;
+  using dataset::AccessTech;
+
+  // 1. Collect recent results for the population you serve.
+  const auto records = dataset::generate_campaign(120'000, 2021, 99);
+  const auto wifi6 = analysis::bandwidths(records, AccessTech::kWiFi6);
+  std::printf("Fitting a bandwidth model from %zu recent WiFi 6 tests...\n",
+              wifi6.size());
+
+  // 2. Fit the multi-modal Gaussian (BIC selects the mode count).
+  const auto fit = stats::fit_gmm_bic(wifi6, 2, 6);
+  std::printf("Fitted %zu modes:\n", fit.mixture.component_count());
+  for (const auto& c : fit.mixture.components()) {
+    std::printf("  weight %.2f  N(%.0f Mbps, %.0f)\n", c.weight, c.dist.mean,
+                c.dist.stddev);
+  }
+  std::printf("Initial probing rate will be %.0f Mbps (the most probable mode).\n\n",
+              fit.mixture.most_probable_mode());
+
+  // 3. Install the model and run tests with it.
+  swift::ModelRegistry registry;
+  registry.set_model(AccessTech::kWiFi6, fit.mixture);
+
+  for (double truth : {120.0, 480.0, 900.0}) {
+    netsim::ScenarioConfig net;
+    net.access_rate = core::Bandwidth::mbps(truth);
+    net.access_delay = core::milliseconds(4);
+    netsim::Scenario scenario(net, 4242);
+
+    swift::SwiftestConfig cfg;
+    cfg.tech = AccessTech::kWiFi6;
+    swift::SwiftestClient client(cfg, registry);
+    const auto result = client.run(scenario);
+    std::printf("truth %6.0f Mbps -> estimate %6.1f Mbps in %.2f s using %s\n", truth,
+                result.bandwidth_mbps, core::to_seconds(result.probe_duration),
+                core::to_string(result.data_used).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The analyst's workflow of §3: generate a measurement campaign and extract
+// the paper's headline findings from it.
+//
+//   $ ./examples/measurement_campaign [tests] [year]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/campaign_stats.hpp"
+#include "dataset/generator.hpp"
+#include "stats/descriptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swiftest;
+  using dataset::AccessTech;
+
+  const std::size_t tests = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1]))
+                                     : 300'000;
+  const int year = argc > 2 ? std::atoi(argv[2]) : 2021;
+
+  std::printf("Generating a %zu-test campaign for %d...\n", tests, year);
+  const auto records = dataset::generate_campaign(tests, year, /*seed=*/7);
+
+  std::printf("\n-- Per-technology bandwidth --\n");
+  for (auto tech : {AccessTech::k4G, AccessTech::k5G, AccessTech::kWiFi4,
+                    AccessTech::kWiFi5, AccessTech::kWiFi6}) {
+    const auto s = analysis::tech_summary(records, tech);
+    std::printf("  %-6s n=%-7zu mean=%6.1f median=%6.1f max=%7.1f Mbps\n",
+                to_string(tech).c_str(), s.count, s.mean, s.median, s.max);
+  }
+
+  std::printf("\n-- The 4G story (Fig 4-6) --\n");
+  const auto lte = analysis::bandwidths(records, AccessTech::k4G);
+  std::printf("  below 10 Mbps: %.1f%%; above 300 Mbps (LTE-Advanced): %.1f%%, "
+              "averaging %.0f Mbps\n",
+              100.0 * stats::fraction_below(lte, 10.0),
+              100.0 * stats::fraction_above(lte, 300.0),
+              stats::mean_above(lte, 300.0));
+  for (const auto& band : analysis::lte_band_stats(records)) {
+    if (band.tests < 100) continue;
+    std::printf("  %-4s %8zu tests  avg %5.1f Mbps  %s%s\n", band.name.c_str(),
+                band.tests, band.mean_mbps, band.high_bandwidth ? "H-Band" : "L-Band",
+                band.refarmed ? ", refarmed to 5G" : "");
+  }
+
+  std::printf("\n-- The 5G story (Fig 8, 12) --\n");
+  for (const auto& band : analysis::nr_band_stats(records)) {
+    if (band.tests < 100) continue;
+    std::printf("  %-4s %8zu tests  avg %5.1f Mbps  %s\n", band.name.c_str(), band.tests,
+                band.mean_mbps, band.refarmed ? "refarmed" : "dedicated");
+  }
+  const auto rss = analysis::mean_by_rss(records, AccessTech::k5G);
+  std::printf("  5G by RSS level 1..5: %.0f %.0f %.0f %.0f %.0f Mbps"
+              "  <- note the level-5 dip\n",
+              rss[0], rss[1], rss[2], rss[3], rss[4]);
+
+  std::printf("\n-- The WiFi story (Fig 15-16) --\n");
+  const auto w4 = analysis::wifi_radio_summary(records, AccessTech::kWiFi4,
+                                               dataset::WifiRadio::k5GHz);
+  const auto w5 = analysis::wifi_radio_summary(records, AccessTech::kWiFi5,
+                                               dataset::WifiRadio::k5GHz);
+  std::printf("  on 5 GHz, WiFi4 vs WiFi5: %.0f vs %.0f Mbps (nearly equal)\n", w4.mean,
+              w5.mean);
+  std::printf("  WiFi5 users on <=200 Mbps broadband plans: %.0f%%\n",
+              100.0 * analysis::plan_share_leq(records, AccessTech::kWiFi5, 200));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Cost-effective server deployment (§5.2): estimate the probing workload
+// from recent campaign data, solve the purchase ILP over a OneProvider-like
+// catalog, and place the purchased servers near the eight core IXPs.
+//
+//   $ ./examples/server_planning [tests_per_day]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dataset/generator.hpp"
+#include "deploy/catalog.hpp"
+#include "deploy/placement.hpp"
+#include "deploy/planner.hpp"
+#include "deploy/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swiftest;
+
+  const double tests_per_day = argc > 1 ? std::atof(argv[1]) : 10'000.0;
+
+  // 1. Recent measurement data tell us what bandwidths tests will demand.
+  const auto records = dataset::generate_campaign(80'000, 2021, 11);
+
+  // 2. Workload estimation: peak-hour arrivals x test duration x bandwidth.
+  deploy::WorkloadParams params;
+  params.tests_per_day = tests_per_day;
+  params.test_duration_s = 1.2;  // Swiftest tests are ~1.2 s end to end
+  const auto workload = deploy::estimate_workload(records, params);
+  std::printf("Workload for %.0f tests/day:\n", tests_per_day);
+  std::printf("  peak arrivals %.2f/s, concurrency sized at %g tests,\n",
+              workload.peak_arrivals_per_second, workload.sized_concurrency);
+  std::printf("  per-test P95 bandwidth %.0f Mbps -> demand %.0f Mbps\n",
+              workload.per_test_mbps, workload.demand_mbps);
+
+  // 3. Purchase plan: minimize cost subject to demand + margin.
+  const auto catalog = deploy::synthetic_catalog();
+  const auto plan = deploy::plan_purchase(catalog, workload.demand_mbps);
+  if (!plan.feasible) {
+    std::printf("No feasible plan in the catalog for this demand.\n");
+    return 1;
+  }
+  std::printf("\nPurchase plan: %zu servers, %.0f Mbps, $%.0f/month\n",
+              plan.total_servers, plan.total_bandwidth_mbps, plan.total_cost_usd);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (plan.counts[i] > 0) {
+      std::printf("  %2d x %6.0f Mbps @ $%7.2f/month  (%s)\n", plan.counts[i],
+                  catalog[i].bandwidth_mbps, catalog[i].price_per_month_usd,
+                  catalog[i].provider.c_str());
+    }
+  }
+
+  const auto legacy = deploy::legacy_plan(deploy::legacy_gbps_server(),
+                                          workload.demand_mbps);
+  std::printf("\nLegacy flat allocation would need %zu x 1 Gbps at $%.0f/month"
+              " (%.1fx more)\n",
+              legacy.total_servers, legacy.total_cost_usd,
+              legacy.total_cost_usd / plan.total_cost_usd);
+
+  // 4. Placement near the core IXPs.
+  const auto placement = deploy::place_servers(plan.total_servers);
+  std::printf("\nPlacement (demand-proportional, every IXP domain covered):\n");
+  const auto domains = deploy::ixp_domains();
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    std::printf("  %-10s %zu server(s)\n", domains[i].city.c_str(),
+                placement.servers_per_domain[i]);
+  }
+  return 0;
+}

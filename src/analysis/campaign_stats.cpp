@@ -1,0 +1,244 @@
+#include "analysis/campaign_stats.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dataset/bands.hpp"
+#include "dataset/profiles.hpp"
+
+namespace swiftest::analysis {
+
+std::vector<double> bandwidths(std::span<const TestRecord> records,
+                               const RecordPredicate& pred) {
+  std::vector<double> out;
+  for (const auto& r : records) {
+    if (pred(r)) out.push_back(r.bandwidth_mbps);
+  }
+  return out;
+}
+
+std::vector<double> bandwidths(std::span<const TestRecord> records, AccessTech tech) {
+  return bandwidths(records, [tech](const TestRecord& r) { return r.tech == tech; });
+}
+
+stats::Summary tech_summary(std::span<const TestRecord> records, AccessTech tech) {
+  return stats::summarize(bandwidths(records, tech));
+}
+
+std::vector<BandStat> lte_band_stats(std::span<const TestRecord> records) {
+  const auto bands = dataset::lte_bands();
+  std::vector<BandStat> out(bands.size());
+  std::vector<double> sums(bands.size(), 0.0);
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    out[i].name = bands[i].name;
+    out[i].high_bandwidth = dataset::is_h_band(bands[i]);
+    out[i].refarmed = bands[i].refarmed_for_5g;
+  }
+  for (const auto& r : records) {
+    if (r.tech != AccessTech::k4G || r.band_index < 0) continue;
+    const auto i = static_cast<std::size_t>(r.band_index);
+    if (i >= out.size()) continue;
+    ++out[i].tests;
+    sums[i] += r.bandwidth_mbps;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].tests > 0) out[i].mean_mbps = sums[i] / static_cast<double>(out[i].tests);
+  }
+  return out;
+}
+
+std::vector<BandStat> nr_band_stats(std::span<const TestRecord> records) {
+  const auto bands = dataset::nr_bands();
+  std::vector<BandStat> out(bands.size());
+  std::vector<double> sums(bands.size(), 0.0);
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    out[i].name = bands[i].name;
+    out[i].high_bandwidth = bands[i].max_channel_mhz >= 100.0;
+    out[i].refarmed = bands[i].refarmed_from_lte;
+  }
+  for (const auto& r : records) {
+    if (r.tech != AccessTech::k5G || r.band_index < 0) continue;
+    const auto i = static_cast<std::size_t>(r.band_index);
+    if (i >= out.size()) continue;
+    ++out[i].tests;
+    sums[i] += r.bandwidth_mbps;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].tests > 0) out[i].mean_mbps = sums[i] / static_cast<double>(out[i].tests);
+  }
+  return out;
+}
+
+namespace {
+
+bool tech_matches(const TestRecord& r, AccessTech tech) {
+  if (tech == AccessTech::kWiFi4 || tech == AccessTech::kWiFi5 ||
+      tech == AccessTech::kWiFi6 || tech == AccessTech::k3G || tech == AccessTech::k4G ||
+      tech == AccessTech::k5G) {
+    return r.tech == tech;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::array<double, 8> mean_by_android(std::span<const TestRecord> records,
+                                      AccessTech tech) {
+  std::array<double, 8> sums{};
+  std::array<std::size_t, 8> counts{};
+  const bool wifi_aggregate = dataset::is_wifi(tech);
+  for (const auto& r : records) {
+    const bool match = wifi_aggregate ? dataset::is_wifi(r.tech) : tech_matches(r, tech);
+    if (!match) continue;
+    const int v = r.android_version - dataset::kMinAndroidVersion;
+    if (v < 0 || v >= 8) continue;
+    sums[static_cast<std::size_t>(v)] += r.bandwidth_mbps;
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  std::array<double, 8> means{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return means;
+}
+
+std::array<double, 4> mean_by_isp(std::span<const TestRecord> records, AccessTech tech) {
+  std::array<double, 4> sums{};
+  std::array<std::size_t, 4> counts{};
+  const bool wifi_aggregate = dataset::is_wifi(tech);
+  for (const auto& r : records) {
+    const bool match = wifi_aggregate ? dataset::is_wifi(r.tech) : tech_matches(r, tech);
+    if (!match) continue;
+    const auto i = static_cast<std::size_t>(r.isp);
+    sums[i] += r.bandwidth_mbps;
+    ++counts[i];
+  }
+  std::array<double, 4> means{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return means;
+}
+
+std::array<double, 2> urban_rural_mean(std::span<const TestRecord> records,
+                                       AccessTech tech) {
+  std::array<double, 2> sums{};
+  std::array<std::size_t, 2> counts{};
+  for (const auto& r : records) {
+    if (!tech_matches(r, tech)) continue;
+    const std::size_t i = r.urban ? 0 : 1;
+    sums[i] += r.bandwidth_mbps;
+    ++counts[i];
+  }
+  std::array<double, 2> means{};
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return means;
+}
+
+std::vector<CityStat> city_stats(std::span<const TestRecord> records, AccessTech tech,
+                                 std::size_t min_tests) {
+  std::map<std::pair<int, int>, std::pair<std::size_t, double>> acc;  // count, sum
+  for (const auto& r : records) {
+    if (!tech_matches(r, tech)) continue;
+    auto& slot = acc[{static_cast<int>(r.city_size), r.city_id}];
+    ++slot.first;
+    slot.second += r.bandwidth_mbps;
+  }
+  std::vector<CityStat> out;
+  for (const auto& [key, value] : acc) {
+    if (value.first < min_tests) continue;
+    CityStat stat;
+    stat.size = static_cast<CitySize>(key.first);
+    stat.city_id = key.second;
+    stat.tests = value.first;
+    stat.mean_mbps = value.second / static_cast<double>(value.first);
+    out.push_back(stat);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CityStat& a, const CityStat& b) { return a.mean_mbps < b.mean_mbps; });
+  return out;
+}
+
+std::array<HourStat, 24> diurnal_stats(std::span<const TestRecord> records,
+                                       AccessTech tech) {
+  std::array<HourStat, 24> out{};
+  std::array<double, 24> sums{};
+  for (int h = 0; h < 24; ++h) out[static_cast<std::size_t>(h)].hour = h;
+  for (const auto& r : records) {
+    if (!tech_matches(r, tech)) continue;
+    if (r.hour < 0 || r.hour >= 24) continue;
+    auto& slot = out[static_cast<std::size_t>(r.hour)];
+    ++slot.tests;
+    sums[static_cast<std::size_t>(r.hour)] += r.bandwidth_mbps;
+  }
+  for (int h = 0; h < 24; ++h) {
+    auto& slot = out[static_cast<std::size_t>(h)];
+    if (slot.tests > 0) slot.mean_mbps = sums[static_cast<std::size_t>(h)] /
+                                         static_cast<double>(slot.tests);
+  }
+  return out;
+}
+
+std::array<double, 5> mean_by_rss(std::span<const TestRecord> records, AccessTech tech) {
+  std::array<double, 5> sums{};
+  std::array<std::size_t, 5> counts{};
+  for (const auto& r : records) {
+    if (!tech_matches(r, tech)) continue;
+    if (r.rss_level < 1 || r.rss_level > 5) continue;
+    sums[static_cast<std::size_t>(r.rss_level - 1)] += r.bandwidth_mbps;
+    ++counts[static_cast<std::size_t>(r.rss_level - 1)];
+  }
+  std::array<double, 5> means{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return means;
+}
+
+std::array<double, 5> snr_by_rss(std::span<const TestRecord> records, AccessTech tech) {
+  std::array<double, 5> sums{};
+  std::array<std::size_t, 5> counts{};
+  for (const auto& r : records) {
+    if (!tech_matches(r, tech)) continue;
+    if (r.rss_level < 1 || r.rss_level > 5) continue;
+    sums[static_cast<std::size_t>(r.rss_level - 1)] += r.snr_db;
+    ++counts[static_cast<std::size_t>(r.rss_level - 1)];
+  }
+  std::array<double, 5> means{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return means;
+}
+
+stats::Summary wifi_radio_summary(std::span<const TestRecord> records,
+                                  AccessTech wifi_standard, WifiRadio radio) {
+  return stats::summarize(bandwidths(records, [&](const TestRecord& r) {
+    return r.tech == wifi_standard && r.radio == radio;
+  }));
+}
+
+double plan_share_leq(std::span<const TestRecord> records, AccessTech wifi_standard,
+                      int mbps) {
+  std::size_t total = 0, leq = 0;
+  for (const auto& r : records) {
+    if (r.tech != wifi_standard) continue;
+    ++total;
+    if (r.broadband_plan_mbps <= mbps) ++leq;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(leq) / static_cast<double>(total);
+}
+
+stats::Summary wifi_overall_summary(std::span<const TestRecord> records) {
+  return stats::summarize(bandwidths(
+      records, [](const TestRecord& r) { return dataset::is_wifi(r.tech); }));
+}
+
+stats::Summary cellular_overall_summary(std::span<const TestRecord> records) {
+  return stats::summarize(bandwidths(
+      records, [](const TestRecord& r) { return dataset::is_cellular(r.tech); }));
+}
+
+}  // namespace swiftest::analysis

@@ -1,0 +1,123 @@
+// Analyses over a measurement campaign — every grouping §3 reports.
+//
+// These functions are the single source of truth for the figure/table
+// benches and for the generator-calibration tests: both consume the same
+// aggregations a real analyst would run over the BTS-APP dataset.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/record.hpp"
+#include "stats/descriptive.hpp"
+
+namespace swiftest::analysis {
+
+using dataset::AccessTech;
+using dataset::CitySize;
+using dataset::Isp;
+using dataset::TestRecord;
+using dataset::WifiRadio;
+
+using RecordPredicate = std::function<bool(const TestRecord&)>;
+
+/// Extracts the bandwidth column of all records matching the predicate.
+[[nodiscard]] std::vector<double> bandwidths(std::span<const TestRecord> records,
+                                             const RecordPredicate& pred);
+
+/// Bandwidth column for one technology.
+[[nodiscard]] std::vector<double> bandwidths(std::span<const TestRecord> records,
+                                             AccessTech tech);
+
+/// Summary (count/mean/median/max/...) for one technology (Figs 1, 4, 7, 13).
+[[nodiscard]] stats::Summary tech_summary(std::span<const TestRecord> records,
+                                          AccessTech tech);
+
+// ------------------------------------------------------------- §3.2 / §3.3
+
+struct BandStat {
+  std::string name;
+  std::size_t tests = 0;
+  double mean_mbps = 0.0;
+  bool high_bandwidth = false;  // H-Band (LTE) / 100 MHz channel (NR)
+  bool refarmed = false;
+};
+
+/// Per-LTE-band test counts and means (Figs 5-6).
+[[nodiscard]] std::vector<BandStat> lte_band_stats(std::span<const TestRecord> records);
+
+/// Per-NR-band test counts and means (Figs 8-9).
+[[nodiscard]] std::vector<BandStat> nr_band_stats(std::span<const TestRecord> records);
+
+// ------------------------------------------------------------------ §3.1
+
+/// Mean bandwidth per Android version 5..12 for one technology (Fig 2).
+/// Entries with no samples are 0.
+[[nodiscard]] std::array<double, 8> mean_by_android(std::span<const TestRecord> records,
+                                                    AccessTech tech);
+
+/// Mean bandwidth per ISP for one technology (Fig 3). WiFi aggregates the
+/// three WiFi generations.
+[[nodiscard]] std::array<double, 4> mean_by_isp(std::span<const TestRecord> records,
+                                                AccessTech tech);
+
+/// Urban vs rural mean for one technology: {urban, rural}.
+[[nodiscard]] std::array<double, 2> urban_rural_mean(std::span<const TestRecord> records,
+                                                     AccessTech tech);
+
+struct CityStat {
+  CitySize size = CitySize::kMedium;
+  int city_id = 0;
+  std::size_t tests = 0;
+  double mean_mbps = 0.0;
+};
+
+/// Mean bandwidth per city for one technology (§3.1's spatial disparity:
+/// 4G spans 28-119 Mbps across cities). Cities with fewer than `min_tests`
+/// samples are omitted; the result is sorted by mean ascending.
+[[nodiscard]] std::vector<CityStat> city_stats(std::span<const TestRecord> records,
+                                               AccessTech tech,
+                                               std::size_t min_tests = 50);
+
+struct HourStat {
+  int hour = 0;
+  std::size_t tests = 0;
+  double mean_mbps = 0.0;
+};
+
+/// Test count and mean bandwidth per hour of day (Fig 10).
+[[nodiscard]] std::array<HourStat, 24> diurnal_stats(std::span<const TestRecord> records,
+                                                     AccessTech tech);
+
+// ------------------------------------------------------------------ §3.3
+
+/// Mean bandwidth at each RSS level 1..5 (Fig 12).
+[[nodiscard]] std::array<double, 5> mean_by_rss(std::span<const TestRecord> records,
+                                                AccessTech tech);
+
+/// Mean SNR at each RSS level 1..5 (Fig 11).
+[[nodiscard]] std::array<double, 5> snr_by_rss(std::span<const TestRecord> records,
+                                               AccessTech tech);
+
+// ------------------------------------------------------------------ §3.4
+
+/// Summary for one WiFi generation restricted to one radio (Figs 14-15).
+[[nodiscard]] stats::Summary wifi_radio_summary(std::span<const TestRecord> records,
+                                                AccessTech wifi_standard, WifiRadio radio);
+
+/// Fraction of a WiFi generation's users on plans <= `mbps` ("~64% of WiFi
+/// customers still use <=200 Mbps broadband").
+[[nodiscard]] double plan_share_leq(std::span<const TestRecord> records,
+                                    AccessTech wifi_standard, int mbps);
+
+/// Mean of an aggregate "WiFi" technology (all three generations).
+[[nodiscard]] stats::Summary wifi_overall_summary(std::span<const TestRecord> records);
+
+/// Mean of an aggregate "cellular" technology (3G+4G+5G), §3.1's
+/// "average overall cellular bandwidth".
+[[nodiscard]] stats::Summary cellular_overall_summary(std::span<const TestRecord> records);
+
+}  // namespace swiftest::analysis

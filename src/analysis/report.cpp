@@ -1,0 +1,127 @@
+#include "analysis/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/campaign_stats.hpp"
+#include "dataset/bands.hpp"
+#include "dataset/profiles.hpp"
+#include "stats/descriptive.hpp"
+
+namespace swiftest::analysis {
+namespace {
+
+__attribute__((format(printf, 2, 3)))
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_tech_line(std::string& out, const std::string& label,
+                      const stats::Summary& s, std::size_t min_group) {
+  if (s.count < min_group) {
+    appendf(out, "  %-6s (%zu tests: too few to report)\n", label.c_str(), s.count);
+    return;
+  }
+  appendf(out, "  %-6s n=%-8zu mean=%7.1f  median=%7.1f  p99=%7.1f  max=%7.1f Mbps\n",
+          label.c_str(), s.count, s.mean, s.median, s.p99, s.max);
+}
+
+}  // namespace
+
+std::string generate_report(std::span<const dataset::TestRecord> records,
+                            const ReportOptions& options) {
+  using dataset::AccessTech;
+  std::string out;
+  out.reserve(4096);
+
+  appendf(out, "MEASUREMENT REPORT (%zu tests)\n", records.size());
+  appendf(out, "==============================\n\n");
+
+  appendf(out, "Per-technology access bandwidth:\n");
+  for (auto tech : {AccessTech::k3G, AccessTech::k4G, AccessTech::k5G,
+                    AccessTech::kWiFi4, AccessTech::kWiFi5, AccessTech::kWiFi6}) {
+    append_tech_line(out, to_string(tech), tech_summary(records, tech),
+                     options.min_group_size);
+  }
+  append_tech_line(out, "cell*", cellular_overall_summary(records),
+                   options.min_group_size);
+  append_tech_line(out, "wifi*", wifi_overall_summary(records), options.min_group_size);
+  out += "\n";
+
+  if (options.include_bands) {
+    appendf(out, "LTE bands (refarmed bands marked *):\n");
+    for (const auto& band : lte_band_stats(records)) {
+      if (band.tests < options.min_group_size) continue;
+      appendf(out, "  %-5s%s %8zu tests  avg %6.1f Mbps  %s\n", band.name.c_str(),
+              band.refarmed ? "*" : " ", band.tests, band.mean_mbps,
+              band.high_bandwidth ? "H-Band" : "L-Band");
+    }
+    appendf(out, "5G NR bands:\n");
+    for (const auto& band : nr_band_stats(records)) {
+      if (band.tests < options.min_group_size) continue;
+      appendf(out, "  %-5s%s %8zu tests  avg %6.1f Mbps\n", band.name.c_str(),
+              band.refarmed ? "*" : " ", band.tests, band.mean_mbps);
+    }
+    out += "\n";
+  }
+
+  if (options.include_rss) {
+    const auto bw5 = mean_by_rss(records, AccessTech::k5G);
+    const auto bw4 = mean_by_rss(records, AccessTech::k4G);
+    appendf(out, "Bandwidth by RSS level (1..5):\n");
+    appendf(out, "  5G: %6.1f %6.1f %6.1f %6.1f %6.1f", bw5[0], bw5[1], bw5[2], bw5[3],
+            bw5[4]);
+    if (bw5[4] > 0 && bw5[4] < bw5[3] && bw5[4] < bw5[2]) {
+      out += "   <- level-5 dip (dense-urban interference)";
+    }
+    out += "\n";
+    appendf(out, "  4G: %6.1f %6.1f %6.1f %6.1f %6.1f\n\n", bw4[0], bw4[1], bw4[2],
+            bw4[3], bw4[4]);
+  }
+
+  if (options.include_diurnal) {
+    const auto hours = diurnal_stats(records, AccessTech::k5G);
+    double best = 0.0, worst = 1e18;
+    int best_hour = -1, worst_hour = -1;
+    for (const auto& h : hours) {
+      if (h.tests < options.min_group_size / 4) continue;
+      if (h.mean_mbps > best) {
+        best = h.mean_mbps;
+        best_hour = h.hour;
+      }
+      if (h.mean_mbps < worst) {
+        worst = h.mean_mbps;
+        worst_hour = h.hour;
+      }
+    }
+    if (best_hour >= 0 && worst_hour >= 0) {
+      appendf(out, "5G diurnal pattern: best %.1f Mbps at %02d:00, worst %.1f at %02d:00",
+              best, best_hour, worst, worst_hour);
+      if (dataset::gnb_sleeping(worst_hour)) out += " (gNodeB sleep window)";
+      out += "\n\n";
+    }
+  }
+
+  if (options.include_wifi) {
+    const auto w4 = wifi_radio_summary(records, AccessTech::kWiFi4,
+                                       dataset::WifiRadio::k5GHz);
+    const auto w5 = wifi_radio_summary(records, AccessTech::kWiFi5,
+                                       dataset::WifiRadio::k5GHz);
+    if (w4.count >= options.min_group_size && w5.count >= options.min_group_size) {
+      appendf(out, "WiFi on 5 GHz: WiFi4 %.1f vs WiFi5 %.1f Mbps (gap %.0f%%)\n", w4.mean,
+              w5.mean, 100.0 * (w5.mean - w4.mean) / std::max(w5.mean, 1.0));
+    }
+    appendf(out, "Users on <=200 Mbps broadband plans: WiFi4/5 %.0f%%, WiFi6 %.0f%%\n",
+            100.0 * plan_share_leq(records, AccessTech::kWiFi5, 200),
+            100.0 * plan_share_leq(records, AccessTech::kWiFi6, 200));
+  }
+  return out;
+}
+
+}  // namespace swiftest::analysis

@@ -1,0 +1,29 @@
+// Study-report generation: the §3 analysis as a formatted text document.
+//
+// Operators run this over a campaign (synthetic or imported via dataset/io)
+// to get the paper's measurement story for *their* data: per-technology
+// distributions, the refarming effect, RSS anomalies, diurnal patterns, and
+// the broadband-plan ceiling on WiFi.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dataset/record.hpp"
+
+namespace swiftest::analysis {
+
+struct ReportOptions {
+  bool include_bands = true;
+  bool include_rss = true;
+  bool include_diurnal = true;
+  bool include_wifi = true;
+  /// Groups with fewer tests than this are marked as too thin to report.
+  std::size_t min_group_size = 100;
+};
+
+/// Renders the full measurement report for a campaign.
+[[nodiscard]] std::string generate_report(std::span<const dataset::TestRecord> records,
+                                          const ReportOptions& options = {});
+
+}  // namespace swiftest::analysis

@@ -1,0 +1,43 @@
+// FAST-style tester (fast.com), re-implemented per prior reverse engineering.
+//
+// FAST opens a few parallel TCP connections, keeps a running throughput
+// estimate, and stops once the estimate stabilizes. Because the probing is
+// TCP-based, slow start and congestion-avoidance creep keep the samples
+// rising for a long time on high-bandwidth paths, so convergence — last
+// `window` samples within `tolerance` of each other — arrives late (the
+// paper measures 13.5 s average test time, §5.3).
+#pragma once
+
+#include "bts/sampler.hpp"
+#include "bts/tester.hpp"
+#include "netsim/tcp.hpp"
+
+namespace swiftest::bts {
+
+struct FastConfig {
+  std::size_t parallel_connections = 3;
+  std::size_t ping_candidates = 5;
+  core::SimDuration sample_interval = kSampleInterval;
+  core::SimDuration min_duration = core::seconds(5);
+  core::SimDuration max_duration = core::seconds(30);
+  std::size_t convergence_window = 10;
+  double convergence_tolerance = 0.03;  // (max-min)/max over the window
+  netsim::CcAlgorithm cc = netsim::CcAlgorithm::kCubic;
+};
+
+class FastBts final : public BandwidthTester {
+ public:
+  explicit FastBts(FastConfig config = {});
+
+  [[nodiscard]] BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] std::string name() const override { return "fast"; }
+
+  /// True if the last `window` samples vary by no more than `tolerance`.
+  [[nodiscard]] static bool converged(std::span<const double> samples, std::size_t window,
+                                      double tolerance);
+
+ private:
+  FastConfig config_;
+};
+
+}  // namespace swiftest::bts

@@ -1,0 +1,58 @@
+// FastBTS (NSDI '21) — crucial-interval-based bandwidth testing.
+//
+// FastBTS's key idea is "crucial interval" sampling: among all intervals of
+// the sorted sample values, pick the one maximizing density x quantity and
+// report the mean of the samples inside it. The test ends as soon as the
+// crucial-interval estimate stabilizes, which makes FastBTS fast but prone
+// to premature convergence before the access bandwidth is saturated — the
+// accuracy weakness §5.3 observes (0.79 average accuracy).
+#pragma once
+
+#include <span>
+
+#include "bts/sampler.hpp"
+#include "bts/tester.hpp"
+#include "netsim/tcp.hpp"
+
+namespace swiftest::bts {
+
+/// The crucial interval of a sample set: bounds plus the resulting estimate.
+struct CrucialInterval {
+  double low = 0.0;
+  double high = 0.0;
+  std::size_t count = 0;    // samples inside the interval
+  double estimate = 0.0;    // mean of the samples inside
+};
+
+/// Computes the interval [s_i, s_j] over the sorted samples maximizing
+/// density x quantity = k^2 / (width + eps), k = number of samples inside.
+[[nodiscard]] CrucialInterval crucial_interval(std::span<const double> samples);
+
+struct FastBtsConfig {
+  /// FastBTS probes elastically with few connections; the crucial interval
+  /// usually stabilizes before the flows saturate the access link, which is
+  /// exactly the premature-convergence weakness §5.3 measures.
+  std::size_t parallel_connections = 2;
+  std::size_t ping_candidates = 5;
+  core::SimDuration sample_interval = kSampleInterval;
+  core::SimDuration min_duration = core::milliseconds(800);
+  core::SimDuration max_duration = core::seconds(30);
+  /// Stop when the crucial-interval estimate moves by no more than this
+  /// relative amount for `stable_rounds` consecutive samples.
+  double stability_tolerance = 0.05;
+  int stable_rounds = 5;
+  netsim::CcAlgorithm cc = netsim::CcAlgorithm::kCubic;
+};
+
+class FastBtsCi final : public BandwidthTester {
+ public:
+  explicit FastBtsCi(FastBtsConfig config = {});
+
+  [[nodiscard]] BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] std::string name() const override { return "fastbts"; }
+
+ private:
+  FastBtsConfig config_;
+};
+
+}  // namespace swiftest::bts

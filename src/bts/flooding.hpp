@@ -1,0 +1,56 @@
+// The flooding BTS: BTS-APP's (and Speedtest's) probing-by-flooding logic, §2.
+//
+// Upon a request: PING 5 nearby servers and pick the nearest; download over
+// HTTP/TCP for a fixed 10 seconds, sampling throughput every 50 ms (200
+// samples); progressively open connections to further nearby servers when
+// the latest sample crosses escalation thresholds (25, 35, ... Mbps); then
+// partition the samples into 20 groups of 10, discard the 5 lowest-average
+// and 2 highest-average groups, and report the mean of the rest.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bts/sampler.hpp"
+#include "bts/tester.hpp"
+#include "netsim/tcp.hpp"
+
+namespace swiftest::bts {
+
+struct FloodingConfig {
+  core::SimDuration probe_duration = core::seconds(10);  // Speedtest uses 15 s
+  core::SimDuration sample_interval = kSampleInterval;
+  std::size_t ping_candidates = 5;
+  std::size_t sample_groups = 20;
+  std::size_t discard_lowest_groups = 5;
+  std::size_t discard_highest_groups = 2;
+  /// Latest-sample thresholds (Mbps) that trigger one more connection each.
+  std::vector<double> escalation_thresholds_mbps = {25,  35,  50,  75,  110,
+                                                    160, 230, 330, 470, 670};
+  netsim::CcAlgorithm cc = netsim::CcAlgorithm::kCubic;
+};
+
+/// Speedtest's configuration of the same logic (§2): a 15-second probe (it
+/// serves global clients with longer RTTs) and 10 PING candidates out of its
+/// 16k-server pool.
+[[nodiscard]] FloodingConfig speedtest_config();
+
+class FloodingBts final : public BandwidthTester {
+ public:
+  explicit FloodingBts(FloodingConfig config = {});
+
+  [[nodiscard]] BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] std::string name() const override { return "bts-app"; }
+
+  /// The §2 estimation rule, exposed for direct testing: group samples,
+  /// discard extremes, average the surviving groups.
+  [[nodiscard]] static double estimate_from_samples(std::span<const double> samples,
+                                                    std::size_t groups,
+                                                    std::size_t drop_low,
+                                                    std::size_t drop_high);
+
+ private:
+  FloodingConfig config_;
+};
+
+}  // namespace swiftest::bts

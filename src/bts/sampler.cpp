@@ -1,0 +1,33 @@
+#include "bts/sampler.hpp"
+
+#include <utility>
+
+namespace swiftest::bts {
+
+void ThroughputSampler::start(core::SimDuration interval, SampleFn on_sample) {
+  interval_ = interval;
+  on_sample_ = std::move(on_sample);
+  running_ = true;
+  last_total_ = total_bytes_;
+  timer_ = sched_.schedule_in(interval_, [this] { tick(); });
+}
+
+void ThroughputSampler::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void ThroughputSampler::tick() {
+  if (!running_) return;
+  const std::int64_t delta = total_bytes_ - last_total_;
+  last_total_ = total_bytes_;
+  const double mbps = static_cast<double>(delta) * 8.0 / core::to_seconds(interval_) / 1e6;
+  samples_.push_back(mbps);
+  if (on_sample_ && !on_sample_(mbps)) {
+    running_ = false;
+    return;
+  }
+  timer_ = sched_.schedule_in(interval_, [this] { tick(); });
+}
+
+}  // namespace swiftest::bts

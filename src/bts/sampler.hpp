@@ -1,0 +1,56 @@
+// Periodic throughput sampling over a set of flows.
+//
+// All BTSes in the paper acquire a bandwidth sample every 50 ms during
+// probing (§2, §5.1); this helper owns the byte counter the flows feed and
+// the periodic sampling event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/time.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace swiftest::bts {
+
+inline constexpr core::SimDuration kSampleInterval = core::milliseconds(50);
+
+class ThroughputSampler {
+ public:
+  /// Called after each sample is recorded; return false to stop sampling.
+  using SampleFn = std::function<bool(double sample_mbps)>;
+
+  explicit ThroughputSampler(netsim::Scheduler& sched) : sched_(sched) {}
+  ~ThroughputSampler() { stop(); }
+
+  ThroughputSampler(const ThroughputSampler&) = delete;
+  ThroughputSampler& operator=(const ThroughputSampler&) = delete;
+
+  /// Flows call this from their delivery callbacks.
+  void add_bytes(std::int64_t bytes) noexcept { total_bytes_ += bytes; }
+
+  /// Total payload bytes observed so far.
+  [[nodiscard]] std::int64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Begins sampling every `interval`; `on_sample` decides continuation.
+  void start(core::SimDuration interval, SampleFn on_sample);
+
+  void stop();
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void tick();
+
+  netsim::Scheduler& sched_;
+  core::SimDuration interval_ = kSampleInterval;
+  SampleFn on_sample_;
+  std::int64_t total_bytes_ = 0;
+  std::int64_t last_total_ = 0;
+  bool running_ = false;
+  netsim::EventHandle timer_;
+  std::vector<double> samples_;
+};
+
+}  // namespace swiftest::bts

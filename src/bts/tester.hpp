@@ -1,0 +1,65 @@
+// Common interface for bandwidth testing services (BTSes).
+//
+// Every tester (the flooding BTS-APP baseline, FAST, FastBTS, and Swiftest)
+// runs against a netsim::Scenario — a client access link plus a server pool —
+// and produces the same result structure, which is what the §5.3 comparison
+// figures consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "netsim/scenario.hpp"
+
+namespace swiftest::bts {
+
+struct BtsResult {
+  /// Final bandwidth estimate.
+  double bandwidth_mbps = 0.0;
+  /// Wall-clock duration of the probing stage (excludes server selection).
+  core::SimDuration probe_duration = 0;
+  /// Duration of the PING/server-selection stage.
+  core::SimDuration ping_duration = 0;
+  /// Radio data consumed by the test (all wire bytes that reached the client).
+  core::Bytes data_used{0};
+  /// Peak number of simultaneously open connections/flows.
+  std::size_t connections_used = 0;
+  /// The raw 50 ms throughput samples collected while probing.
+  std::vector<double> samples_mbps;
+
+  [[nodiscard]] core::SimDuration total_duration() const noexcept {
+    return probe_duration + ping_duration;
+  }
+};
+
+class BandwidthTester {
+ public:
+  virtual ~BandwidthTester() = default;
+
+  /// Runs one bandwidth test over the scenario. The scenario's scheduler is
+  /// advanced; a tester may be run on a fresh scenario only.
+  [[nodiscard]] virtual BtsResult run(netsim::Scenario& scenario) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Measures the PING/server-selection stage: PING `candidates` nearby
+/// servers and pick the lowest-latency one. `concurrency` pings run in
+/// parallel per batch (BTS-APP issues them one by one; Swiftest batches them
+/// to keep its selection stage around 0.2 s). Returns {server, elapsed}.
+struct ServerSelection {
+  std::size_t server = 0;
+  core::SimDuration elapsed = 0;
+};
+[[nodiscard]] ServerSelection select_server(netsim::Scenario& scenario,
+                                            std::size_t candidates,
+                                            std::size_t concurrency = 1);
+
+/// Relative accuracy of a result against the ground truth (or a reference
+/// result), following §5.3: |a - b| / max(a, b). 1 = identical, 0 = useless.
+[[nodiscard]] double deviation(double result_mbps, double reference_mbps);
+
+}  // namespace swiftest::bts

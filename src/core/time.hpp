@@ -1,0 +1,42 @@
+// Simulated-time primitives.
+//
+// All simulator timestamps are integer nanoseconds since the start of the
+// simulation. Integer time makes event ordering exact and runs reproducible;
+// helpers convert to and from floating-point seconds at the edges only.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace swiftest::core {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+[[nodiscard]] constexpr SimDuration nanoseconds(std::int64_t ns) noexcept { return ns; }
+[[nodiscard]] constexpr SimDuration microseconds(std::int64_t us) noexcept { return us * 1'000; }
+[[nodiscard]] constexpr SimDuration milliseconds(std::int64_t ms) noexcept { return ms * 1'000'000; }
+[[nodiscard]] constexpr SimDuration seconds(std::int64_t s) noexcept { return s * 1'000'000'000; }
+
+/// Converts a (possibly fractional) number of seconds to a SimDuration,
+/// rounding to the nearest nanosecond.
+[[nodiscard]] constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a SimDuration/SimTime to floating-point seconds.
+[[nodiscard]] constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-9;
+}
+
+/// Converts a SimDuration/SimTime to floating-point milliseconds.
+[[nodiscard]] constexpr double to_milliseconds(SimDuration d) noexcept {
+  return static_cast<double>(d) * 1e-6;
+}
+
+}  // namespace swiftest::core

@@ -1,0 +1,38 @@
+#include "core/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swiftest::core {
+
+std::string to_string(Bandwidth b) {
+  char buf[64];
+  const double bps = b.bits_per_second();
+  if (bps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bps / 1e9);
+  } else if (bps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f Mbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f Kbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bps);
+  }
+  return buf;
+}
+
+std::string to_string(Bytes b) {
+  char buf[64];
+  const double n = static_cast<double>(b.count());
+  if (n >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", n / 1e9);
+  } else if (n >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", n / 1e6);
+  } else if (n >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", n);
+  }
+  return buf;
+}
+
+}  // namespace swiftest::core

@@ -1,0 +1,108 @@
+// Bandwidth and data-volume units.
+//
+// Internally bandwidth is stored in bits per second and data volume in bytes.
+// The strong types prevent the classic Mbps-vs-MBps and bits-vs-bytes mixups
+// that plague bandwidth-measurement code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace swiftest::core {
+
+/// Data volume, stored in bytes.
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+  constexpr explicit Bytes(std::int64_t count) noexcept : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr double megabytes() const noexcept {
+    return static_cast<double>(count_) / 1e6;
+  }
+  [[nodiscard]] constexpr std::int64_t bits() const noexcept { return count_ * 8; }
+
+  constexpr Bytes& operator+=(Bytes other) noexcept {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) noexcept {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept { return Bytes(a.count_ + b.count_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) noexcept { return Bytes(a.count_ - b.count_); }
+  friend constexpr auto operator<=>(Bytes a, Bytes b) noexcept = default;
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+[[nodiscard]] constexpr Bytes kilobytes(std::int64_t kb) noexcept { return Bytes(kb * 1'000); }
+[[nodiscard]] constexpr Bytes megabytes(std::int64_t mb) noexcept { return Bytes(mb * 1'000'000); }
+
+/// Bandwidth / data rate, stored in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() noexcept = default;
+
+  [[nodiscard]] static constexpr Bandwidth bits_per_second(double bps) noexcept {
+    Bandwidth b;
+    b.bps_ = bps;
+    return b;
+  }
+  [[nodiscard]] static constexpr Bandwidth kbps(double v) noexcept {
+    return bits_per_second(v * 1e3);
+  }
+  [[nodiscard]] static constexpr Bandwidth mbps(double v) noexcept {
+    return bits_per_second(v * 1e6);
+  }
+  [[nodiscard]] static constexpr Bandwidth gbps(double v) noexcept {
+    return bits_per_second(v * 1e9);
+  }
+  [[nodiscard]] static constexpr Bandwidth zero() noexcept { return Bandwidth(); }
+
+  [[nodiscard]] constexpr double bits_per_second() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double megabits_per_second() const noexcept { return bps_ / 1e6; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bps_ <= 0.0; }
+
+  /// Time to transmit `volume` at this rate. Returns kSimTimeMax for zero rate.
+  [[nodiscard]] constexpr SimDuration transmit_time(Bytes volume) const noexcept {
+    if (bps_ <= 0.0) return kSimTimeMax;
+    return from_seconds(static_cast<double>(volume.bits()) / bps_);
+  }
+
+  /// Volume transferred in `d` at this rate.
+  [[nodiscard]] constexpr Bytes volume_in(SimDuration d) const noexcept {
+    return Bytes(static_cast<std::int64_t>(bps_ * to_seconds(d) / 8.0));
+  }
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) noexcept {
+    return bits_per_second(a.bps_ + b.bps_);
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) noexcept {
+    return bits_per_second(a.bps_ - b.bps_);
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) noexcept {
+    return bits_per_second(a.bps_ * k);
+  }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) noexcept { return a * k; }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) noexcept {
+    return bits_per_second(a.bps_ / k);
+  }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) noexcept { return a.bps_ / b.bps_; }
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) noexcept = default;
+
+ private:
+  double bps_ = 0.0;
+};
+
+/// Formats a bandwidth as e.g. "305.2 Mbps" for human-readable reports.
+[[nodiscard]] std::string to_string(Bandwidth b);
+
+/// Formats a byte count as e.g. "32.1 MB".
+[[nodiscard]] std::string to_string(Bytes b);
+
+}  // namespace swiftest::core

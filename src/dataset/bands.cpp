@@ -1,0 +1,78 @@
+#include "dataset/bands.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace swiftest::dataset {
+namespace {
+
+// Table 1, augmented with Fig 5 (per-band mean bandwidth), Fig 6 (test
+// shares), and the §3.2 deployment notes. Ordered by downlink spectrum.
+constexpr std::array<LteBand, 9> kLteBands{{
+    // name  dl_low  dl_high  ch   isps                    refarmed purpose
+    {"B28", 758.0, 803.0, 20.0, kMaskIsp4, true,
+     "700 MHz band handed to the 5G-first ISP-4; only 2 LTE tests",
+     30.0, 30.0, 1e-6, 1e-6, -85.0},
+    {"B5", 869.0, 894.0, 10.0, kMaskIsp3, false, "low-band coverage",
+     26.0, 31.0, 0.040, 0.045, -86.0},
+    {"B8", 925.0, 960.0, 10.0, kMaskIsp1 | kMaskIsp2, false, "low-band coverage",
+     29.0, 34.0, 0.065, 0.075, -87.0},
+    {"B3", 1805.0, 1880.0, 20.0, kMaskIsp1 | kMaskIsp2 | kMaskIsp3, false,
+     "the workhorse band: 55% of all LTE tests after refarming",
+     56.0, 72.0, 0.550, 0.400, -90.0},
+    {"B39", 1880.0, 1920.0, 20.0, kMaskIsp1, false,
+     "dedicated to rural areas with sparse eNodeBs", 48.2, 56.0, 0.035, 0.040, -94.0},
+    {"B34", 2010.0, 2025.0, 15.0, kMaskIsp1, false, "supplemental L-Band",
+     47.1, 54.0, 0.040, 0.040, -92.0},
+    {"B1", 2110.0, 2170.0, 20.0, kMaskIsp2 | kMaskIsp3, true,
+     "refarmed into N1 in early 2021 (60 MHz contiguous taken)",
+     63.0, 92.0, 0.090, 0.140, -91.0},
+    {"B40", 2300.0, 2400.0, 20.0, kMaskIsp1, false,
+     "indoor penetration; densely deployed, strongest RSS",
+     55.0, 65.0, 0.050, 0.060, -88.0},
+    {"B41", 2496.0, 2690.0, 20.0, kMaskIsp1, true,
+     "refarmed into N41 in early 2021 (100 MHz contiguous taken)",
+     58.0, 90.0, 0.130, 0.200, -93.0},
+}};
+
+// Table 2, augmented with Fig 8 (mean bandwidth) and Fig 9 (test shares).
+constexpr std::array<NrBand, 5> kNrBands{{
+    {"N28", 758.0, 803.0, 20.0, kMaskIsp4, true, 45.0, 113.0, 0.050},
+    {"N1", 2110.0, 2170.0, 20.0, kMaskIsp2 | kMaskIsp3, true, 60.0, 103.0, 0.080},
+    {"N41", 2496.0, 2690.0, 100.0, kMaskIsp1, true, 100.0, 305.0, 0.320},
+    {"N78", 3300.0, 3800.0, 100.0, kMaskIsp2 | kMaskIsp3, false, 0.0, 320.0, 0.550},
+    // N79 is still under test deployment: 3 tests in the whole campaign.
+    {"N79", 4400.0, 5000.0, 100.0, kMaskIsp1 | kMaskIsp4, false, 0.0, 350.0, 3.3e-6},
+}};
+
+}  // namespace
+
+std::span<const LteBand> lte_bands() { return kLteBands; }
+std::span<const NrBand> nr_bands() { return kNrBands; }
+
+const LteBand& lte_band_by_name(const std::string& name) {
+  for (const auto& b : kLteBands) {
+    if (name == b.name) return b;
+  }
+  throw std::invalid_argument("unknown LTE band: " + name);
+}
+
+const NrBand& nr_band_by_name(const std::string& name) {
+  for (const auto& b : kNrBands) {
+    if (name == b.name) return b;
+  }
+  throw std::invalid_argument("unknown NR band: " + name);
+}
+
+double refarmed_h_band_spectrum_fraction() {
+  double total = 0.0, refarmed = 0.0;
+  for (const auto& b : kLteBands) {
+    if (!is_h_band(b)) continue;
+    const double width = b.dl_high_mhz - b.dl_low_mhz;
+    total += width;
+    if (b.refarmed_for_5g) refarmed += width;
+  }
+  return total > 0.0 ? refarmed / total : 0.0;
+}
+
+}  // namespace swiftest::dataset

@@ -1,0 +1,77 @@
+// Frequency-band tables (paper Tables 1 and 2) with the calibration targets
+// the measurement reproduces (Figs 5, 6, 8, 9).
+//
+// Each entry combines the public 3GPP facts from the paper's tables with the
+// per-band average bandwidth and test-count share observed in the study;
+// the synthetic campaign generator draws per-test bands and base bandwidths
+// from these targets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dataset/taxonomy.hpp"
+
+namespace swiftest::dataset {
+
+/// Bitmask of ISPs sharing a band (one band can be multiplexed).
+enum IspMask : std::uint8_t {
+  kMaskIsp1 = 1 << 0,
+  kMaskIsp2 = 1 << 1,
+  kMaskIsp3 = 1 << 2,
+  kMaskIsp4 = 1 << 3,
+};
+
+[[nodiscard]] constexpr std::uint8_t isp_bit(Isp isp) noexcept {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(isp));
+}
+
+/// One LTE band (Table 1) plus measured calibration targets (Figs 5-6).
+struct LteBand {
+  const char* name;            // "B3" etc.
+  double dl_low_mhz;           // downlink spectrum
+  double dl_high_mhz;
+  double max_channel_mhz;      // 20 MHz marks an H-Band
+  std::uint8_t isps;           // IspMask bits
+  bool refarmed_for_5g;        // Bands 1, 28, 41 (early 2021)
+  const char* purpose;         // deployment note explaining Fig 5 outliers
+  // Calibration targets (2021 campaign):
+  double mean_mbps_2021;       // Fig 5
+  double mean_mbps_2020;       // pre-refarming level (§3.2)
+  double test_share_2021;      // Fig 6, fraction of all LTE tests
+  double test_share_2020;      // pre-refarming distribution
+  double avg_rss_dbm;          // §3.2: B40 -88 dBm vs B39 -94 dBm
+};
+
+[[nodiscard]] constexpr bool is_h_band(const LteBand& b) noexcept {
+  return b.max_channel_mhz >= 20.0;
+}
+
+/// One 5G NR band (Table 2) plus measured calibration targets (Figs 8-9).
+struct NrBand {
+  const char* name;            // "N78" etc.
+  double dl_low_mhz;
+  double dl_high_mhz;
+  double max_channel_mhz;
+  std::uint8_t isps;
+  bool refarmed_from_lte;      // N1, N28, N41
+  double refarmed_contiguous_mhz;  // 60 (N1) / 45 (N28) / 100 (N41); 0 if dedicated
+  double mean_mbps_2021;       // Fig 8
+  double test_share_2021;      // Fig 9
+};
+
+/// The nine LTE bands of Table 1, ordered by downlink spectrum.
+[[nodiscard]] std::span<const LteBand> lte_bands();
+
+/// The five NR bands of Table 2, ordered by downlink spectrum.
+[[nodiscard]] std::span<const NrBand> nr_bands();
+
+[[nodiscard]] const LteBand& lte_band_by_name(const std::string& name);
+[[nodiscard]] const NrBand& nr_band_by_name(const std::string& name);
+
+/// Fraction of the total LTE H-Band downlink spectrum occupied by the
+/// refarmed bands (Bands 1, 28, 41) — 58.2% in the paper (§3.2).
+[[nodiscard]] double refarmed_h_band_spectrum_fraction();
+
+}  // namespace swiftest::dataset

@@ -1,0 +1,245 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "dataset/profiles.hpp"
+
+namespace swiftest::dataset {
+namespace {
+
+constexpr std::uint64_t kUserPopulation = 3'542'179;
+constexpr std::uint64_t kBaseStations = 2'041'586;
+constexpr std::uint64_t kWifiAps = 4'473'362;
+constexpr int kVendorCount = 191;
+
+// §3.2: the top 6.8% of LTE tests (those above 300 Mbps) are LTE-Advanced
+// eNodeBs alongside urban main roads, averaging 403 and peaking at 813 Mbps.
+constexpr double kLteAdvancedShareTarget = 0.068;
+constexpr double kLteAdvancedMean = 403.0;
+constexpr double kLteAdvancedSigma = 85.0;
+constexpr double kLteMaxMbps = 813.0;
+constexpr double kNrMaxMbps = 1032.0;
+
+// Spread of the regular (non-LTE-A) per-band lognormal. Tuned so the global
+// LTE median ~22 Mbps and the <10 Mbps fraction ~26% fall out (Fig 4).
+constexpr double kLteSigma = 0.85;
+
+// 5G per-band relative spread (Fig 7's wide distribution).
+constexpr double kNrRelSigma = 0.34;
+
+// 80% of LTE-Advanced tests happen in urban areas (roadside eNodeBs).
+constexpr double kLteAdvancedUrbanShare = 0.80;
+
+// 2020 NR band shares: the refarmed N1/N28 deployments barely existed yet.
+constexpr std::array<double, 5> kNrShares2020 = {0.005, 0.015, 0.280, 0.6999, 3.3e-6};
+
+double clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+}  // namespace
+
+CampaignGenerator::CampaignGenerator(CampaignConfig config)
+    : config_(config), rng_(config.seed) {}
+
+int CampaignGenerator::draw_hour() {
+  return static_cast<int>(rng_.weighted_index(hourly_test_weights()));
+}
+
+int CampaignGenerator::draw_android(int minimum_version) {
+  const auto shares = android_shares(config_.year);
+  int version = kMinAndroidVersion;
+  do {
+    version = kMinAndroidVersion + static_cast<int>(rng_.weighted_index(shares));
+  } while (version < minimum_version);
+  return version;
+}
+
+Isp CampaignGenerator::draw_isp_for_band(std::uint8_t mask) {
+  const auto shares = isp_shares(/*cellular=*/true);
+  std::array<double, 4> weights{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (mask & (1u << i)) weights[i] = shares[i];
+  }
+  return static_cast<Isp>(rng_.weighted_index(weights));
+}
+
+TestRecord CampaignGenerator::common_fields(AccessTech tech) {
+  TestRecord rec;
+  rec.tech = tech;
+  rec.year = config_.year;
+  rec.hour = draw_hour();
+  rec.user_id = static_cast<std::uint64_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(kUserPopulation)));
+  rec.city_size = static_cast<CitySize>(rng_.weighted_index(city_size_shares()));
+  rec.city_id = static_cast<int>(rng_.uniform_int(0, city_count(rec.city_size) - 1));
+  const double urban_share = tech == AccessTech::kWiFi6 ? 0.85 : kUrbanShare;
+  rec.urban = rng_.bernoulli(urban_share);
+  rec.android_version =
+      draw_android(tech == AccessTech::k5G ? kMinAndroidFor5g : kMinAndroidVersion);
+  rec.device_vendor = static_cast<int>(rng_.uniform_int(0, kVendorCount - 1));
+  rec.high_end_device =
+      rng_.bernoulli(0.10 + 0.60 * (rec.android_version - kMinAndroidVersion) /
+                                static_cast<double>(kMaxAndroidVersion - kMinAndroidVersion));
+  return rec;
+}
+
+void CampaignGenerator::fill_cellular_radio(TestRecord& rec, double band_rss_dbm) {
+  const auto shares = rss_level_shares(rec.tech);
+  rec.rss_level = 1 + static_cast<int>(rng_.weighted_index(shares));
+  rec.rss_dbm = rss_dbm_center(rec.rss_level) + (band_rss_dbm + 90.0) + rng_.normal(0.0, 3.0);
+  rec.snr_db = std::max(0.0, rss_snr_mean_db(rec.tech, rec.rss_level) + rng_.normal(0.0, 4.0));
+  rec.base_station_id = static_cast<std::uint64_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(kBaseStations)));
+}
+
+TestRecord CampaignGenerator::generate_3g() {
+  TestRecord rec = common_fields(AccessTech::k3G);
+  rec.isp = static_cast<Isp>(rng_.weighted_index(isp_shares(true)));
+  rec.band_index = -1;
+  fill_cellular_radio(rec, -95.0);
+  rec.bandwidth_mbps = clamp(rng_.lognormal(std::log(2.0), 0.8), 0.05, 42.0);
+  return rec;
+}
+
+TestRecord CampaignGenerator::generate_lte() {
+  TestRecord rec = common_fields(AccessTech::k4G);
+  const auto bands = lte_bands();
+
+  std::array<double, 9> shares{};
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    shares[i] = config_.year <= 2020 ? bands[i].test_share_2020 : bands[i].test_share_2021;
+  }
+  rec.band_index = static_cast<int>(rng_.weighted_index(shares));
+  const LteBand& band = bands[static_cast<std::size_t>(rec.band_index)];
+  rec.isp = draw_isp_for_band(band.isps);
+  fill_cellular_radio(rec, band.avg_rss_dbm);
+
+  const double band_mean =
+      config_.year <= 2020 ? band.mean_mbps_2020 : band.mean_mbps_2021;
+
+  // LTE-Advanced subpopulation: H-Band eNodeBs, mostly alongside urban main
+  // roads. Conditioned so that the overall share hits the 6.8% target with
+  // the configured urban concentration.
+  constexpr double kHBandShare = 0.855;
+  double p_ltea = 0.0;
+  if (is_h_band(band)) {
+    p_ltea = rec.urban ? kLteAdvancedShareTarget * kLteAdvancedUrbanShare /
+                             (kUrbanShare * kHBandShare)
+                       : kLteAdvancedShareTarget * (1.0 - kLteAdvancedUrbanShare) /
+                             ((1.0 - kUrbanShare) * kHBandShare);
+  }
+  if (rng_.bernoulli(p_ltea)) {
+    rec.lte_advanced = true;
+    // A thin uniform upper tail reaches toward the 813 Mbps ceiling the
+    // study observed once in 1.6M tests.
+    const double draw = rng_.bernoulli(0.01)
+                            ? rng_.uniform(550.0, kLteMaxMbps)
+                            : rng_.normal(kLteAdvancedMean, kLteAdvancedSigma);
+    rec.bandwidth_mbps = clamp(draw, 301.0, kLteMaxMbps);
+    return rec;
+  }
+
+  // Regular LTE: lognormal around the band target, after removing the
+  // LTE-A contribution from the band mean so the mixture still hits it.
+  const double effective_p = is_h_band(band) ? kLteAdvancedShareTarget / 0.855 : 0.0;
+  const double regular_mean =
+      std::max(2.0, (band_mean - effective_p * kLteAdvancedMean) / (1.0 - effective_p));
+  const double mu = std::log(regular_mean) - kLteSigma * kLteSigma / 2.0;
+  double bw = rng_.lognormal(mu, kLteSigma);
+  bw *= android_factor(rec.android_version);
+  bw *= rss_bandwidth_factor(AccessTech::k4G, rec.rss_level);
+  bw *= diurnal_factor_4g(rec.hour);
+  bw *= city_factor(rec.city_size, rec.city_id, AccessTech::k4G);
+  bw *= urban_factor(AccessTech::k4G, rec.urban);
+  rec.bandwidth_mbps = clamp(bw, 0.3, 300.0);
+  return rec;
+}
+
+TestRecord CampaignGenerator::generate_nr() {
+  TestRecord rec = common_fields(AccessTech::k5G);
+  const auto bands = nr_bands();
+
+  std::array<double, 5> shares{};
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    shares[i] = config_.year <= 2020 ? kNrShares2020[i] : bands[i].test_share_2021;
+  }
+  rec.band_index = static_cast<int>(rng_.weighted_index(shares));
+  const NrBand& band = bands[static_cast<std::size_t>(rec.band_index)];
+  rec.isp = draw_isp_for_band(band.isps);
+  fill_cellular_radio(rec, -90.0);
+
+  double band_mean = band.mean_mbps_2021;
+  if (config_.year <= 2020 && !band.refarmed_from_lte) band_mean *= 1.12;
+
+  double bw = rng_.normal(band_mean, kNrRelSigma * band_mean);
+  // ISP-3 deploys N78 on an advantageous lower frequency range, offering
+  // wider coverage without sacrificing bandwidth (§3.3 footnote 2); ISP-2
+  // shares the band on the higher range.
+  if (std::string_view(band.name) == "N78") {
+    if (rec.isp == Isp::kIsp3) bw *= 1.10;
+    if (rec.isp == Isp::kIsp2) bw *= 0.95;
+  }
+  bw *= android_factor(rec.android_version);
+  bw *= rss_bandwidth_factor(AccessTech::k5G, rec.rss_level);
+  bw *= diurnal_factor_5g(rec.hour);
+  bw *= city_factor(rec.city_size, rec.city_id, AccessTech::k5G);
+  bw *= urban_factor(AccessTech::k5G, rec.urban);
+  rec.bandwidth_mbps = clamp(bw, 10.0, kNrMaxMbps);
+  return rec;
+}
+
+TestRecord CampaignGenerator::generate_wifi() {
+  const auto std_shares = wifi_standard_shares(config_.year);
+  const auto standard = static_cast<AccessTech>(static_cast<int>(AccessTech::kWiFi4) +
+                                                static_cast<int>(rng_.weighted_index(std_shares)));
+  TestRecord rec = common_fields(standard);
+  rec.isp = static_cast<Isp>(rng_.weighted_index(isp_shares(/*cellular=*/false)));
+  rec.radio = rng_.bernoulli(wifi_24ghz_share(standard)) ? WifiRadio::k2_4GHz
+                                                         : WifiRadio::k5GHz;
+  rec.ap_id = static_cast<std::uint64_t>(
+      rng_.uniform_int(1, static_cast<std::int64_t>(kWifiAps)));
+
+  // The wire: the user's fixed broadband plan, with provisioning slack.
+  const auto plans = broadband_plans(standard, rec.isp, config_.year);
+  std::array<double, 8> plan_weights{};
+  for (std::size_t i = 0; i < plans.size(); ++i) plan_weights[i] = plans[i].weight;
+  const auto plan_span = std::span<const double>(plan_weights.data(), plans.size());
+  rec.broadband_plan_mbps = plans[rng_.weighted_index(plan_span)].mbps;
+  const double wire_limit = rec.broadband_plan_mbps * rng_.uniform(0.84, 1.02);
+
+  // The radio: AP-side achievable throughput, degraded on older Android.
+  double capability = wifi_phy_capability_mbps(standard, rec.radio, rng_);
+  capability *= android_factor(rec.android_version);
+  rec.phy_link_speed_mbps = capability * rng_.uniform(1.1, 1.6);
+
+  const double cap = wifi_max_observed_mbps(standard, rec.radio);
+  rec.bandwidth_mbps = clamp(std::min(wire_limit, capability), 0.5, cap);
+  return rec;
+}
+
+TestRecord CampaignGenerator::next() {
+  const double u = rng_.uniform();
+  if (u < config_.wifi_share) return generate_wifi();
+  if (u < config_.wifi_share + config_.g3_share) return generate_3g();
+  const double nr_share = nr_share_of_cellular(config_.year);
+  return rng_.bernoulli(nr_share) ? generate_nr() : generate_lte();
+}
+
+std::vector<TestRecord> CampaignGenerator::generate() {
+  std::vector<TestRecord> records;
+  records.reserve(config_.test_count);
+  for (std::size_t i = 0; i < config_.test_count; ++i) records.push_back(next());
+  return records;
+}
+
+std::vector<TestRecord> generate_campaign(std::size_t test_count, int year,
+                                          std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.test_count = test_count;
+  cfg.year = year;
+  cfg.seed = seed;
+  return CampaignGenerator(cfg).generate();
+}
+
+}  // namespace swiftest::dataset

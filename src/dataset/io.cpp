@@ -1,0 +1,150 @@
+#include "dataset/io.hpp"
+
+#include <charconv>
+#include <iomanip>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swiftest::dataset {
+namespace {
+
+constexpr const char* kHeader =
+    "user_id,year,hour,isp,city_size,city_id,urban,android_version,device_vendor,"
+    "high_end,tech,bandwidth_mbps,band_index,rss_level,rss_dbm,snr_db,bs_id,"
+    "lte_advanced,radio,phy_link_speed_mbps,broadband_plan_mbps,ap_id";
+constexpr std::size_t kColumns = 22;
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("csv line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+T parse_number(std::string_view field, std::size_t line) {
+  T value{};
+  const auto* begin = field.data();
+  const auto* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line, "bad numeric field '" + std::string(field) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view field, std::size_t line) {
+  // std::from_chars<double> is not universally available; use strtod with
+  // full-consumption checking.
+  const std::string buf(field);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) {
+    fail(line, "bad floating-point field '" + buf + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string csv_header() { return kHeader; }
+
+void write_csv(std::ostream& out, std::span<const TestRecord> records) {
+  out << std::setprecision(12);  // lossless round-trip for the Mbps fields
+  out << kHeader << '\n';
+  for (const auto& r : records) {
+    out << r.user_id << ',' << r.year << ',' << r.hour << ','
+        << static_cast<int>(r.isp) << ',' << static_cast<int>(r.city_size) << ','
+        << r.city_id << ',' << (r.urban ? 1 : 0) << ',' << r.android_version << ','
+        << r.device_vendor << ',' << (r.high_end_device ? 1 : 0) << ','
+        << static_cast<int>(r.tech) << ',' << r.bandwidth_mbps << ',' << r.band_index
+        << ',' << r.rss_level << ',' << r.rss_dbm << ',' << r.snr_db << ','
+        << r.base_station_id << ',' << (r.lte_advanced ? 1 : 0) << ','
+        << static_cast<int>(r.radio) << ',' << r.phy_link_speed_mbps << ','
+        << r.broadband_plan_mbps << ',' << r.ap_id << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, std::span<const TestRecord> records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(out, records);
+}
+
+std::vector<TestRecord> read_csv(std::istream& in) {
+  std::vector<TestRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) throw std::runtime_error("csv: empty input");
+  ++line_no;
+  if (line != kHeader) fail(line_no, "unexpected header");
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split(line);
+    if (fields.size() != kColumns) {
+      fail(line_no, "expected " + std::to_string(kColumns) + " columns, got " +
+                        std::to_string(fields.size()));
+    }
+    TestRecord r;
+    std::size_t i = 0;
+    r.user_id = parse_number<std::uint64_t>(fields[i++], line_no);
+    r.year = parse_number<int>(fields[i++], line_no);
+    r.hour = parse_number<int>(fields[i++], line_no);
+    const int isp = parse_number<int>(fields[i++], line_no);
+    if (isp < 0 || isp > 3) fail(line_no, "isp out of range");
+    r.isp = static_cast<Isp>(isp);
+    const int city_size = parse_number<int>(fields[i++], line_no);
+    if (city_size < 0 || city_size > 2) fail(line_no, "city_size out of range");
+    r.city_size = static_cast<CitySize>(city_size);
+    r.city_id = parse_number<int>(fields[i++], line_no);
+    r.urban = parse_number<int>(fields[i++], line_no) != 0;
+    r.android_version = parse_number<int>(fields[i++], line_no);
+    r.device_vendor = parse_number<int>(fields[i++], line_no);
+    r.high_end_device = parse_number<int>(fields[i++], line_no) != 0;
+    const int tech = parse_number<int>(fields[i++], line_no);
+    if (tech < 0 || tech > static_cast<int>(AccessTech::kWiFi6)) {
+      fail(line_no, "tech out of range");
+    }
+    r.tech = static_cast<AccessTech>(tech);
+    r.bandwidth_mbps = parse_double(fields[i++], line_no);
+    r.band_index = parse_number<int>(fields[i++], line_no);
+    r.rss_level = parse_number<int>(fields[i++], line_no);
+    r.rss_dbm = parse_double(fields[i++], line_no);
+    r.snr_db = parse_double(fields[i++], line_no);
+    r.base_station_id = parse_number<std::uint64_t>(fields[i++], line_no);
+    r.lte_advanced = parse_number<int>(fields[i++], line_no) != 0;
+    const int radio = parse_number<int>(fields[i++], line_no);
+    if (radio < 0 || radio > 1) fail(line_no, "radio out of range");
+    r.radio = static_cast<WifiRadio>(radio);
+    r.phy_link_speed_mbps = parse_double(fields[i++], line_no);
+    r.broadband_plan_mbps = parse_number<int>(fields[i++], line_no);
+    r.ap_id = parse_number<std::uint64_t>(fields[i++], line_no);
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<TestRecord> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(in);
+}
+
+}  // namespace swiftest::dataset

@@ -1,0 +1,29 @@
+// Campaign import/export.
+//
+// The released artifact ships measurement data as flat files; this module
+// reads and writes TestRecord campaigns as CSV so that synthetic campaigns,
+// external datasets, and analysis tooling interoperate.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/record.hpp"
+
+namespace swiftest::dataset {
+
+/// The CSV header written/expected, in column order.
+[[nodiscard]] std::string csv_header();
+
+/// Writes records as CSV (header + one line per record).
+void write_csv(std::ostream& out, std::span<const TestRecord> records);
+void write_csv_file(const std::string& path, std::span<const TestRecord> records);
+
+/// Parses records from CSV. Throws std::runtime_error with a line number on
+/// malformed input (wrong column count, non-numeric fields, bad enums).
+[[nodiscard]] std::vector<TestRecord> read_csv(std::istream& in);
+[[nodiscard]] std::vector<TestRecord> read_csv_file(const std::string& path);
+
+}  // namespace swiftest::dataset

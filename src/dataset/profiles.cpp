@@ -1,0 +1,278 @@
+#include "dataset/profiles.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swiftest::dataset {
+namespace {
+
+// --------------------------------------------------------------- Android
+
+constexpr std::array<double, 8> kAndroidShares2021 = {0.01, 0.02, 0.04, 0.08,
+                                                      0.15, 0.27, 0.33, 0.10};
+constexpr std::array<double, 8> kAndroidShares2020 = {0.02, 0.04, 0.07, 0.12,
+                                                      0.22, 0.32, 0.20, 0.01};
+// Raw relative curve (Fig 2): newer Android = better radio management.
+constexpr std::array<double, 8> kAndroidRawFactor = {0.45, 0.55, 0.65, 0.75,
+                                                     0.85, 1.00, 1.10, 1.18};
+
+double android_factor_norm() {
+  double e = 0.0;
+  for (std::size_t i = 0; i < kAndroidRawFactor.size(); ++i) {
+    e += kAndroidShares2021[i] * kAndroidRawFactor[i];
+  }
+  return e;
+}
+
+// --------------------------------------------------------------- Diurnal
+
+// Relative tests/hour, shaped after Fig 10 (min ~46 at 03-05, peak ~600
+// around 21:00-22:00).
+constexpr std::array<double, 24> kHourWeights = {
+    200, 120, 70,  46,  46,  60,  100, 160,  // 00-07
+    230, 300, 350, 380, 420, 400, 380, 430,  // 08-15
+    450, 470, 500, 550, 580, 600, 560, 350,  // 16-23
+};
+
+constexpr double kMaxHourWeight = 600.0;
+
+double raw_diurnal_5g(int hour) {
+  const double load = kHourWeights[static_cast<std::size_t>(hour)] / kMaxHourWeight;
+  const double sleep = gnb_sleeping(hour) ? 0.94 : 1.0;
+  return 1.12 * (1.0 - 0.16 * load) * sleep;
+}
+
+double raw_diurnal_4g(int hour) {
+  const double load = kHourWeights[static_cast<std::size_t>(hour)] / kMaxHourWeight;
+  return 0.92 + 0.16 * load;
+}
+
+double weighted_mean(double (*f)(int)) {
+  double num = 0.0, den = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    num += kHourWeights[static_cast<std::size_t>(h)] * f(h);
+    den += kHourWeights[static_cast<std::size_t>(h)];
+  }
+  return num / den;
+}
+
+// --------------------------------------------------------------- RSS
+
+constexpr std::array<double, 5> kRssShares5g = {0.08, 0.15, 0.25, 0.32, 0.20};
+constexpr std::array<double, 5> kRssShares4g = {0.10, 0.20, 0.30, 0.28, 0.12};
+// Fig 12: 204 -> 314 Mbps from level 1 to 4, then the level-5 dip.
+constexpr std::array<double, 5> kRssFactor5g = {0.67, 0.80, 1.00, 1.035, 0.88};
+// 4G: monotone thanks to the mature, well-provisioned deployment.
+constexpr std::array<double, 5> kRssFactor4g = {0.55, 0.78, 1.00, 1.14, 1.34};
+constexpr std::array<double, 5> kRssSnr5g = {8.0, 14.0, 20.0, 26.0, 33.0};
+constexpr std::array<double, 5> kRssSnr4g = {6.0, 11.0, 16.0, 21.0, 26.0};
+constexpr std::array<double, 5> kRssDbm = {-110.0, -100.0, -90.0, -80.0, -70.0};
+
+double rss_factor_norm(AccessTech tech) {
+  const auto& shares = tech == AccessTech::k5G ? kRssShares5g : kRssShares4g;
+  const auto& factors = tech == AccessTech::k5G ? kRssFactor5g : kRssFactor4g;
+  double e = 0.0;
+  for (int i = 0; i < kRssLevels; ++i) e += shares[static_cast<std::size_t>(i)] *
+                                            factors[static_cast<std::size_t>(i)];
+  return e;
+}
+
+// --------------------------------------------------------------- Geography
+
+constexpr std::array<double, 3> kCitySizeShares = {0.35, 0.40, 0.25};
+
+std::uint64_t mix_hash(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// --------------------------------------------------------------- Plans
+
+// Weights sum to 1; <=200 Mbps mass is 0.64 for WiFi 4/5 and 0.39 for WiFi 6.
+constexpr std::array<BroadbandPlan, 6> kPlansLegacy = {{
+    {50, 0.08}, {100, 0.27}, {200, 0.29}, {300, 0.20}, {500, 0.12}, {1000, 0.04},
+}};
+constexpr std::array<BroadbandPlan, 6> kPlansWifi6 = {{
+    {50, 0.02}, {100, 0.13}, {200, 0.22}, {300, 0.25}, {500, 0.24}, {1000, 0.14},
+}};
+// ISP-3 invests more heavily in fixed broadband (§3.1, §3.4).
+constexpr std::array<BroadbandPlan, 6> kPlansLegacyIsp3 = {{
+    {50, 0.05}, {100, 0.22}, {200, 0.28}, {300, 0.23}, {500, 0.16}, {1000, 0.06},
+}};
+constexpr std::array<BroadbandPlan, 6> kPlansWifi6Isp3 = {{
+    {50, 0.01}, {100, 0.09}, {200, 0.21}, {300, 0.28}, {500, 0.26}, {1000, 0.15},
+}};
+
+// --------------------------------------------------------------- WiFi mixes
+
+constexpr std::array<double, 3> kWifiShares2021 = {0.572, 0.313, 0.115};
+constexpr std::array<double, 3> kWifiShares2020 = {0.570, 0.355, 0.075};
+
+constexpr std::array<double, 4> kIspSharesCellular = {0.55, 0.20, 0.22, 0.03};
+constexpr std::array<double, 4> kIspSharesFixed = {0.45, 0.25, 0.28, 0.02};
+
+}  // namespace
+
+std::span<const double> android_shares(int year) {
+  return year <= 2020 ? kAndroidShares2020 : kAndroidShares2021;
+}
+
+double android_factor(int version) {
+  if (version < kMinAndroidVersion || version > kMaxAndroidVersion) {
+    throw std::invalid_argument("android_factor: version out of range");
+  }
+  static const double norm = android_factor_norm();
+  return kAndroidRawFactor[static_cast<std::size_t>(version - kMinAndroidVersion)] / norm;
+}
+
+std::span<const double> hourly_test_weights() { return kHourWeights; }
+
+bool gnb_sleeping(int hour) { return hour >= 21 || hour < 9; }
+
+double diurnal_factor_5g(int hour) {
+  static const double norm = weighted_mean(&raw_diurnal_5g);
+  return raw_diurnal_5g(hour) / norm;
+}
+
+double diurnal_factor_4g(int hour) {
+  static const double norm = weighted_mean(&raw_diurnal_4g);
+  return raw_diurnal_4g(hour) / norm;
+}
+
+std::span<const double> rss_level_shares(AccessTech tech) {
+  return tech == AccessTech::k5G ? kRssShares5g : kRssShares4g;
+}
+
+double rss_snr_mean_db(AccessTech tech, int level) {
+  if (level < 1 || level > kRssLevels) throw std::invalid_argument("bad RSS level");
+  const auto& snr = tech == AccessTech::k5G ? kRssSnr5g : kRssSnr4g;
+  return snr[static_cast<std::size_t>(level - 1)];
+}
+
+double rss_bandwidth_factor(AccessTech tech, int level) {
+  if (level < 1 || level > kRssLevels) throw std::invalid_argument("bad RSS level");
+  const auto& factors = tech == AccessTech::k5G ? kRssFactor5g : kRssFactor4g;
+  static const double norm5g = rss_factor_norm(AccessTech::k5G);
+  static const double norm4g = rss_factor_norm(AccessTech::k4G);
+  const double norm = tech == AccessTech::k5G ? norm5g : norm4g;
+  return factors[static_cast<std::size_t>(level - 1)] / norm;
+}
+
+double rss_dbm_center(int level) {
+  if (level < 1 || level > kRssLevels) throw std::invalid_argument("bad RSS level");
+  return kRssDbm[static_cast<std::size_t>(level - 1)];
+}
+
+std::span<const double> city_size_shares() { return kCitySizeShares; }
+
+int city_count(CitySize size) {
+  switch (size) {
+    case CitySize::kMega: return 21;
+    case CitySize::kMedium: return 51;
+    case CitySize::kSmall: return 254;
+  }
+  return 0;
+}
+
+double city_factor(CitySize size, int city_id, AccessTech tech) {
+  // Stable pseudo-random factor per (size, city, tech family): lognormal with
+  // sigma picked so city means span roughly the paper's 4x disparity.
+  const auto family = is_wifi(tech) ? 0x17u : static_cast<unsigned>(tech);
+  const std::uint64_t h = mix_hash((static_cast<std::uint64_t>(size) << 48) ^
+                                   (static_cast<std::uint64_t>(city_id) << 8) ^ family);
+  // Map the hash to a standard normal via two uniform halves (Box-Muller).
+  const double u1 = (static_cast<double>(h >> 32) + 1.0) / 4294967297.0;
+  const double u2 = (static_cast<double>(h & 0xFFFFFFFFull) + 1.0) / 4294967297.0;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double sigma = 0.22;
+  // Mega cities: dense deployment but heavy contention — slightly lower mean.
+  const double tier = size == CitySize::kMega ? 0.98 : (size == CitySize::kMedium ? 1.03 : 0.95);
+  return tier * std::exp(sigma * z - sigma * sigma / 2.0);
+}
+
+double urban_factor(AccessTech tech, bool urban) {
+  // Input ratios for the *regular* population. The paper's observed +24%
+  // urban advantage for 4G comes almost entirely from LTE-Advanced roadside
+  // eNodeBs concentrating in cities, so the regular 4G ratio is near 1.
+  double ratio = 1.0;  // urban / rural
+  if (tech == AccessTech::k4G) ratio = 1.02;
+  if (tech == AccessTech::k5G) ratio = 1.33;
+  const double rural = 1.0 / (kUrbanShare * ratio + (1.0 - kUrbanShare));
+  return urban ? rural * ratio : rural;
+}
+
+std::span<const BroadbandPlan> broadband_plans(AccessTech wifi_standard, Isp isp,
+                                               int year) {
+  // 2020 vs 2021 plan mixes barely differ; composition drives the WiFi trend.
+  (void)year;
+  if (wifi_standard == AccessTech::kWiFi6) {
+    return isp == Isp::kIsp3 ? kPlansWifi6Isp3 : kPlansWifi6;
+  }
+  return isp == Isp::kIsp3 ? kPlansLegacyIsp3 : kPlansLegacy;
+}
+
+double wifi_24ghz_share(AccessTech wifi_standard) {
+  switch (wifi_standard) {
+    case AccessTech::kWiFi4: return 0.874;
+    case AccessTech::kWiFi5: return 0.0;  // 5 GHz only by standard
+    case AccessTech::kWiFi6: return 0.022;
+    default: throw std::invalid_argument("wifi_24ghz_share: not a WiFi standard");
+  }
+}
+
+double wifi_phy_capability_mbps(AccessTech wifi_standard, WifiRadio radio,
+                                core::Rng& rng) {
+  // Lognormal ceilings per standard/radio, medians tuned so that
+  // min(plan, capability) reproduces Figs 13-15.
+  double median = 0.0, sigma = 0.40;
+  if (wifi_standard == AccessTech::kWiFi4) {
+    if (radio == WifiRadio::k2_4GHz) {
+      median = 34.0;
+      sigma = 0.60;
+    } else {
+      median = 300.0;
+      sigma = 0.45;
+    }
+  } else if (wifi_standard == AccessTech::kWiFi5) {
+    median = 430.0;
+    sigma = 0.40;
+  } else if (wifi_standard == AccessTech::kWiFi6) {
+    if (radio == WifiRadio::k2_4GHz) {
+      median = 78.0;
+      sigma = 0.40;
+    } else {
+      median = 900.0;
+      sigma = 0.35;
+    }
+  } else {
+    throw std::invalid_argument("wifi_phy_capability: not a WiFi standard");
+  }
+  return rng.lognormal(std::log(median), sigma);
+}
+
+double wifi_max_observed_mbps(AccessTech wifi_standard, WifiRadio radio) {
+  if (wifi_standard == AccessTech::kWiFi4) {
+    return radio == WifiRadio::k2_4GHz ? 395.0 : 447.0;
+  }
+  if (wifi_standard == AccessTech::kWiFi5) return 888.0;
+  if (wifi_standard == AccessTech::kWiFi6) {
+    return radio == WifiRadio::k2_4GHz ? 833.0 : 1231.0;
+  }
+  throw std::invalid_argument("wifi_max_observed: not a WiFi standard");
+}
+
+std::span<const double> wifi_standard_shares(int year) {
+  return year <= 2020 ? kWifiShares2020 : kWifiShares2021;
+}
+
+std::span<const double> isp_shares(bool cellular) {
+  return cellular ? kIspSharesCellular : kIspSharesFixed;
+}
+
+double nr_share_of_cellular(int year) { return year <= 2020 ? 0.17 : 0.33; }
+
+}  // namespace swiftest::dataset

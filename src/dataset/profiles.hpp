@@ -1,0 +1,123 @@
+// Calibrated statistical profiles behind the campaign generator.
+//
+// Each profile encodes one causal factor the paper isolates: Android version
+// (Fig 2), diurnal load and gNodeB sleeping (Fig 10), received signal
+// strength (Figs 11-12), city tier and urban/rural disparity (§3.1), fixed
+// broadband plans (Fig 16, §3.4), and WiFi PHY capability per standard and
+// radio (Figs 13-15). Factor families are normalized so that applying them
+// does not shift the per-band calibration targets in bands.hpp.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/rng.hpp"
+#include "dataset/taxonomy.hpp"
+
+namespace swiftest::dataset {
+
+// ----------------------------------------------------------- Android (Fig 2)
+
+inline constexpr int kMinAndroidVersion = 5;
+inline constexpr int kMaxAndroidVersion = 12;
+/// 5G modems require Android 9+ device platforms in this population.
+inline constexpr int kMinAndroidFor5g = 9;
+
+/// Population share of each Android version (index 0 = version 5).
+[[nodiscard]] std::span<const double> android_shares(int year);
+
+/// Relative bandwidth factor of an Android version, normalized to mean 1
+/// under the 2021 version distribution. "It might well be the Android version
+/// that essentially determines the access bandwidth."
+[[nodiscard]] double android_factor(int version);
+
+// ----------------------------------------------------------- Diurnal (Fig 10)
+
+/// Relative test intensity per local hour (0-23); peaks around 21:00-22:00,
+/// bottoms out 03:00-05:00 (46 vs ~600 tests/hour in the paper).
+[[nodiscard]] std::span<const double> hourly_test_weights();
+
+/// True while ISPs power down 5G active antenna units (21:00-09:00).
+[[nodiscard]] bool gnb_sleeping(int hour);
+
+/// 5G bandwidth factor for an hour: load contention plus the sleeping
+/// penalty, normalized to a test-weighted mean of 1.
+[[nodiscard]] double diurnal_factor_5g(int hour);
+
+/// 4G bandwidth factor: mildly *positively* correlated with load (§3.3) —
+/// LTE BSes do not sleep, and busy hours coincide with well-served areas.
+[[nodiscard]] double diurnal_factor_4g(int hour);
+
+// ---------------------------------------------------------- RSS (Figs 11-12)
+
+inline constexpr int kRssLevels = 5;
+
+/// Distribution of RSS levels 1..5 among tests for the technology.
+[[nodiscard]] std::span<const double> rss_level_shares(AccessTech tech);
+
+/// Mean SNR (dB) at an RSS level — monotone increasing for both 4G and 5G
+/// (Fig 11).
+[[nodiscard]] double rss_snr_mean_db(AccessTech tech, int level);
+
+/// Bandwidth factor at an RSS level, normalized to mean 1. For 5G the
+/// level-5 factor dips below levels 3-4 (dense-urban interference, Fig 12);
+/// for 4G the factors are monotone.
+[[nodiscard]] double rss_bandwidth_factor(AccessTech tech, int level);
+
+/// Representative RSS in dBm for a level (with per-test noise added by the
+/// generator).
+[[nodiscard]] double rss_dbm_center(int level);
+
+// ----------------------------------------------------- Geography (§3.1)
+
+[[nodiscard]] std::span<const double> city_size_shares();
+[[nodiscard]] int city_count(CitySize size);  // 21 / 51 / 254
+
+/// Stable per-city bandwidth factor (hash-derived, mean ~1): cities differ
+/// by up to ~4x in the paper (4G 28-119 Mbps).
+[[nodiscard]] double city_factor(CitySize size, int city_id, AccessTech tech);
+
+inline constexpr double kUrbanShare = 0.72;
+
+/// Urban/rural factor; urban outperforms rural by 24% (4G) / 33% (5G),
+/// normalized over the urban share.
+[[nodiscard]] double urban_factor(AccessTech tech, bool urban);
+
+// ----------------------------------------------------- Broadband plans (§3.4)
+
+struct BroadbandPlan {
+  int mbps;
+  double weight;
+};
+
+/// Fixed broadband plan mix for the WiFi generation (and ISP). ~64% of
+/// WiFi 4/5 users sit on <=200 Mbps plans; ~39% for WiFi 6 users.
+[[nodiscard]] std::span<const BroadbandPlan> broadband_plans(AccessTech wifi_standard,
+                                                             Isp isp, int year);
+
+// ----------------------------------------------------- WiFi PHY (Figs 13-15)
+
+/// Share of a WiFi generation's tests conducted on the 2.4 GHz radio.
+/// WiFi 5 is 5 GHz-only by standard.
+[[nodiscard]] double wifi_24ghz_share(AccessTech wifi_standard);
+
+/// Draws the achievable AP-side throughput ceiling (before the wired
+/// broadband limit) for a standard + radio.
+[[nodiscard]] double wifi_phy_capability_mbps(AccessTech wifi_standard, WifiRadio radio,
+                                              core::Rng& rng);
+
+/// Hard observation caps per standard/radio (the paper's reported maxima).
+[[nodiscard]] double wifi_max_observed_mbps(AccessTech wifi_standard, WifiRadio radio);
+
+// ----------------------------------------------------- Population mixes
+
+/// Share of WiFi tests per generation: 57.2% / 31.3% / 11.5% in 2021.
+[[nodiscard]] std::span<const double> wifi_standard_shares(int year);
+
+/// ISP share among cellular (or fixed-broadband) subscribers.
+[[nodiscard]] std::span<const double> isp_shares(bool cellular);
+
+/// 5G share among 4G+5G cellular tests: 17% in 2020, 33% in 2021.
+[[nodiscard]] double nr_share_of_cellular(int year);
+
+}  // namespace swiftest::dataset

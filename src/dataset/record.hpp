@@ -1,0 +1,45 @@
+// One bandwidth-test record: the result plus the cross-layer, in-situ
+// diagnostic data the BTS-APP plugin collects (§2).
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/taxonomy.hpp"
+
+namespace swiftest::dataset {
+
+struct TestRecord {
+  // Identity / environment.
+  std::uint64_t user_id = 0;
+  int year = 2021;              // campaign year (longitudinal comparisons)
+  int hour = 12;                // local time of day, 0-23
+  Isp isp = Isp::kIsp1;
+  CitySize city_size = CitySize::kMedium;
+  int city_id = 0;
+  bool urban = true;            // urban vs rural area of the same city
+
+  // User-side hardware/software.
+  int android_version = 11;     // 5..12
+  int device_vendor = 0;        // anonymized vendor id
+  bool high_end_device = false;
+
+  // The test result.
+  AccessTech tech = AccessTech::k4G;
+  double bandwidth_mbps = 0.0;
+
+  // Cellular diagnostics (valid when is_cellular(tech)).
+  int band_index = -1;          // into lte_bands() or nr_bands()
+  int rss_level = 0;            // 1 (poor) .. 5 (excellent)
+  double rss_dbm = 0.0;
+  double snr_db = 0.0;
+  std::uint64_t base_station_id = 0;
+  bool lte_advanced = false;    // eNodeB with CA + enhanced MIMO (§3.2)
+
+  // WiFi diagnostics (valid when is_wifi(tech)).
+  WifiRadio radio = WifiRadio::k5GHz;
+  double phy_link_speed_mbps = 0.0;   // MAC-layer negotiated speed
+  int broadband_plan_mbps = 0;        // the user's fixed broadband plan
+  std::uint64_t ap_id = 0;
+};
+
+}  // namespace swiftest::dataset

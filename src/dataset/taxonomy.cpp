@@ -1,0 +1,40 @@
+#include "dataset/taxonomy.hpp"
+
+namespace swiftest::dataset {
+
+std::string to_string(AccessTech t) {
+  switch (t) {
+    case AccessTech::k3G: return "3G";
+    case AccessTech::k4G: return "4G";
+    case AccessTech::k5G: return "5G";
+    case AccessTech::kWiFi4: return "WiFi4";
+    case AccessTech::kWiFi5: return "WiFi5";
+    case AccessTech::kWiFi6: return "WiFi6";
+  }
+  return "unknown";
+}
+
+std::string to_string(Isp isp) {
+  switch (isp) {
+    case Isp::kIsp1: return "ISP-1";
+    case Isp::kIsp2: return "ISP-2";
+    case Isp::kIsp3: return "ISP-3";
+    case Isp::kIsp4: return "ISP-4";
+  }
+  return "unknown";
+}
+
+std::string to_string(CitySize s) {
+  switch (s) {
+    case CitySize::kMega: return "mega";
+    case CitySize::kMedium: return "medium";
+    case CitySize::kSmall: return "small";
+  }
+  return "unknown";
+}
+
+std::string to_string(WifiRadio r) {
+  return r == WifiRadio::k2_4GHz ? "2.4GHz" : "5GHz";
+}
+
+}  // namespace swiftest::dataset

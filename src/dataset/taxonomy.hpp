@@ -1,0 +1,42 @@
+// Domain taxonomy for the measurement study (§2, §3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace swiftest::dataset {
+
+/// Access technologies covered by the study. 3G appears in the dataset
+/// (21,051 tests) but is excluded from the per-technology analyses.
+enum class AccessTech : std::uint8_t { k3G, k4G, k5G, kWiFi4, kWiFi5, kWiFi6 };
+
+inline constexpr std::array<AccessTech, 6> kAllTechs = {
+    AccessTech::k3G,    AccessTech::k4G,    AccessTech::k5G,
+    AccessTech::kWiFi4, AccessTech::kWiFi5, AccessTech::kWiFi6};
+
+[[nodiscard]] constexpr bool is_cellular(AccessTech t) noexcept {
+  return t == AccessTech::k3G || t == AccessTech::k4G || t == AccessTech::k5G;
+}
+[[nodiscard]] constexpr bool is_wifi(AccessTech t) noexcept { return !is_cellular(t); }
+
+/// The four major Chinese ISPs, anonymized as in the paper (§3.1):
+/// ISP-1 = China Mobile, ISP-2 = China Unicom, ISP-3 = China Telecom,
+/// ISP-4 = China Broadcast Network (the 5G-first newcomer on 700 MHz).
+enum class Isp : std::uint8_t { kIsp1, kIsp2, kIsp3, kIsp4 };
+
+inline constexpr std::array<Isp, 4> kAllIsps = {Isp::kIsp1, Isp::kIsp2, Isp::kIsp3,
+                                                Isp::kIsp4};
+
+/// City tiers: the study covers 21 mega, 51 medium, and 254 small cities.
+enum class CitySize : std::uint8_t { kMega, kMedium, kSmall };
+
+/// WiFi radio band. WiFi 4 and 6 use both; WiFi 5 uses 5 GHz only.
+enum class WifiRadio : std::uint8_t { k2_4GHz, k5GHz };
+
+[[nodiscard]] std::string to_string(AccessTech t);
+[[nodiscard]] std::string to_string(Isp isp);
+[[nodiscard]] std::string to_string(CitySize s);
+[[nodiscard]] std::string to_string(WifiRadio r);
+
+}  // namespace swiftest::dataset

@@ -1,0 +1,47 @@
+#include "deploy/catalog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace swiftest::deploy {
+
+std::vector<ServerConfig> synthetic_catalog(std::uint64_t seed, std::size_t configs) {
+  core::Rng rng(seed);
+  // Bandwidth tiers available on budget VM markets.
+  constexpr std::array<double, 8> kTiers = {100, 200, 300, 500, 1000, 2000, 5000, 10000};
+  constexpr std::array<const char*, 4> kProviders = {"oneprovider", "aliyun", "ec2",
+                                                     "budgetvm"};
+  std::vector<ServerConfig> catalog;
+  catalog.reserve(configs);
+  for (std::size_t i = 0; i < configs; ++i) {
+    ServerConfig cfg;
+    cfg.provider = kProviders[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kProviders.size()) - 1))];
+    cfg.bandwidth_mbps = kTiers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kTiers.size()) - 1))];
+    // Price: ~$10.41 at 100 Mbps growing superlinearly to ~$2609 at 10 Gbps,
+    // with +-25% provider/location variance.
+    const double base = 10.41 * std::pow(cfg.bandwidth_mbps / 100.0, 1.20);
+    cfg.price_per_month_usd = base * rng.uniform(0.75, 1.25);
+    cfg.price_per_month_usd = std::min(cfg.price_per_month_usd, 2609.0);
+    // Cheap boxes are scarce; big ones more available.
+    cfg.available = static_cast<int>(rng.uniform_int(1, 8));
+    catalog.push_back(std::move(cfg));
+  }
+  return catalog;
+}
+
+ServerConfig legacy_gbps_server() {
+  ServerConfig cfg;
+  cfg.provider = "isp-negotiated";
+  cfg.bandwidth_mbps = 1000.0;
+  // ISP-negotiated, IXP-adjacent servers are premium-priced.
+  cfg.price_per_month_usd = 10.41 * std::pow(10.0, 1.20) * 1.5;
+  cfg.available = 352;
+  return cfg;
+}
+
+}  // namespace swiftest::deploy

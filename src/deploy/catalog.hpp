@@ -1,0 +1,32 @@
+// Server purchase catalog (§5.2).
+//
+// The paper selects from ~336 VM server configurations on OneProvider
+// (bandwidth 100 Mbps - 10 Gbps, price $10.41 - $2609/month, limited
+// availability per configuration). The real catalog is a moving commercial
+// target, so we synthesize one with the same ranges and the same economics:
+// price grows superlinearly with bandwidth (big-pipe premium), cheap
+// configurations are scarcer, and providers differ by a noise factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swiftest::deploy {
+
+struct ServerConfig {
+  std::string provider;
+  double bandwidth_mbps = 0.0;
+  double price_per_month_usd = 0.0;
+  int available = 0;  // purchasable units of this configuration
+};
+
+/// Deterministically synthesizes a OneProvider-like catalog.
+[[nodiscard]] std::vector<ServerConfig> synthetic_catalog(std::uint64_t seed = 2022,
+                                                          std::size_t configs = 336);
+
+/// The flat-rate configuration BTS-APP's legacy deployment uses: 1 Gbps
+/// ISP-negotiated servers (for the §5.3 infrastructure-cost comparison).
+[[nodiscard]] ServerConfig legacy_gbps_server();
+
+}  // namespace swiftest::deploy

@@ -1,0 +1,119 @@
+#include "deploy/fleet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "dataset/profiles.hpp"
+#include "deploy/placement.hpp"
+#include "swiftest/client.hpp"
+
+namespace swiftest::deploy {
+
+double settled_probing_rate(const stats::GaussianMixture& model, double truth_mbps) {
+  double rate = std::max(1.0, model.most_probable_mode());
+  for (int i = 0; i < 16 && rate < truth_mbps; ++i) {
+    const double next = model.most_probable_mode_above(rate);
+    rate = next > rate ? next : rate * 1.25;
+  }
+  return rate;
+}
+
+FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
+                              const swift::ModelRegistry& registry,
+                              const FleetSimConfig& config) {
+  FleetSimResult result;
+  if (population.empty() || config.server_count == 0) return result;
+
+  core::Rng rng(config.seed);
+  const auto weights = dataset::hourly_test_weights();
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  // Geographic assignment: contiguous server ranges per IXP domain.
+  const auto placement = place_servers(config.server_count);
+  const auto domains = ixp_domains();
+  std::vector<double> domain_shares;
+  std::vector<std::size_t> domain_first;
+  std::size_t next_server = 0;
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    domain_shares.push_back(domains[d].demand_share);
+    domain_first.push_back(next_server);
+    next_server += placement.servers_per_domain[d];
+  }
+
+  const double fleet_capacity = config.server_uplink_mbps *
+                                static_cast<double>(config.server_count);
+  std::vector<std::vector<std::pair<int, double>>> active(config.server_count);
+  std::vector<double> window_load(config.server_count, 0.0);
+  std::uint64_t overload_seconds = 0, total_seconds = 0;
+
+  for (int day = 0; day < config.days; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      const double arrivals_per_second =
+          config.tests_per_day * weights[static_cast<std::size_t>(hour)] / weight_sum /
+          3600.0;
+      int second_in_window = 0;
+      for (int second = 0; second < 3600; ++second) {
+        const auto new_tests = rng.poisson(arrivals_per_second);
+        for (std::int64_t t = 0; t < new_tests; ++t) {
+          ++result.tests_simulated;
+          const auto& rec = population[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1))];
+          const double rate =
+              settled_probing_rate(registry.model(rec.tech), rec.bandwidth_mbps);
+          const auto n_servers = std::min<std::size_t>(
+              config.server_count,
+              swift::SwiftestClient::servers_needed(rate, config.server_uplink_mbps));
+          const int duration = rng.bernoulli(0.25) ? 2 : 1;  // ~1.2 s average
+          const auto domain = rng.weighted_index(domain_shares);
+          const std::size_t domain_size =
+              std::max<std::size_t>(1, placement.servers_per_domain[domain]);
+          const auto offset = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(domain_size) - 1));
+          for (std::size_t s = 0; s < n_servers; ++s) {
+            active[(domain_first[domain] + offset + s) % config.server_count]
+                .emplace_back(duration, rate / static_cast<double>(n_servers));
+          }
+        }
+        double second_load = 0.0;
+        for (std::size_t s = 0; s < config.server_count; ++s) {
+          double load = 0.0;
+          for (auto& [remaining, mbps] : active[s]) {
+            load += mbps;
+            --remaining;
+          }
+          std::erase_if(active[s], [](const auto& e) { return e.first <= 0; });
+          window_load[s] += load;
+          second_load += load;
+        }
+        ++total_seconds;
+        if (second_load > fleet_capacity) ++overload_seconds;
+        if (++second_in_window == config.window_seconds) {
+          for (std::size_t s = 0; s < config.server_count; ++s) {
+            const double util = 100.0 * window_load[s] /
+                                static_cast<double>(config.window_seconds) /
+                                config.server_uplink_mbps;
+            if (util > 0.0) result.busy_window_utilization.push_back(util);
+            window_load[s] = 0.0;
+          }
+          second_in_window = 0;
+        }
+      }
+    }
+  }
+
+  std::sort(result.busy_window_utilization.begin(), result.busy_window_utilization.end());
+  result.summary = stats::summarize(result.busy_window_utilization);
+  result.p99 = stats::quantile_sorted(result.busy_window_utilization, 0.99);
+  result.p999 = stats::quantile_sorted(result.busy_window_utilization, 0.999);
+  result.share_leq_45 =
+      1.0 - stats::fraction_above(result.busy_window_utilization, 45.0);
+  result.overload_seconds_share =
+      total_seconds == 0 ? 0.0
+                         : static_cast<double>(overload_seconds) /
+                               static_cast<double>(total_seconds);
+  return result;
+}
+
+}  // namespace swiftest::deploy

@@ -1,0 +1,56 @@
+// Fleet-load simulation for capacity planning (§5.2-§5.3).
+//
+// Replays a probing workload against a deployed server fleet: Poisson test
+// arrivals following the diurnal intensity profile, each test probing at
+// Swiftest's model-driven rate across ceil(rate/uplink) servers in the
+// client's IXP domain, for ~1.2 s. Produces the per-(server, window)
+// utilization distribution — the quantity Fig 26 reports and the margin
+// check an operator runs before shrinking the fleet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataset/record.hpp"
+#include "stats/descriptive.hpp"
+#include "swiftest/model_registry.hpp"
+
+namespace swiftest::deploy {
+
+struct FleetSimConfig {
+  std::size_t server_count = 20;
+  double server_uplink_mbps = 100.0;
+  double tests_per_day = 10'000.0;
+  int days = 7;
+  /// Utilization aggregation window.
+  int window_seconds = 10;
+  std::uint64_t seed = 99;
+};
+
+struct FleetSimResult {
+  /// Utilization (%) per busy (server, window); sorted ascending.
+  std::vector<double> busy_window_utilization;
+  stats::Summary summary;        // over the busy windows
+  double p99 = 0.0;
+  double p999 = 0.0;
+  /// Fraction of busy windows at or below 45% utilization (the paper's
+  /// headline sufficiency number).
+  double share_leq_45 = 0.0;
+  /// Fraction of seconds where requested load exceeded fleet capacity.
+  double overload_seconds_share = 0.0;
+  std::uint64_t tests_simulated = 0;
+};
+
+/// The probing rate Swiftest settles on for a client of the given capacity:
+/// the model's mode ladder walked up until the rate covers the capacity.
+[[nodiscard]] double settled_probing_rate(const stats::GaussianMixture& model,
+                                          double truth_mbps);
+
+/// Runs the fleet simulation. `population` supplies the client mix (tech and
+/// ground-truth bandwidth are drawn from it uniformly).
+[[nodiscard]] FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
+                                            const swift::ModelRegistry& registry,
+                                            const FleetSimConfig& config = {});
+
+}  // namespace swiftest::deploy

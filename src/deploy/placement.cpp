@@ -1,0 +1,73 @@
+#include "deploy/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace swiftest::deploy {
+namespace {
+
+const std::array<IxpDomain, 8> kDomains = {{
+    {"Beijing", 0.18},
+    {"Shanghai", 0.18},
+    {"Guangzhou", 0.17},
+    {"Nanjing", 0.12},
+    {"Wuhan", 0.11},
+    {"Chengdu", 0.10},
+    {"Xi'an", 0.08},
+    {"Shenyang", 0.06},
+}};
+
+}  // namespace
+
+std::span<const IxpDomain> ixp_domains() { return kDomains; }
+
+Placement place_servers(std::size_t server_count) {
+  Placement placement;
+  placement.servers_per_domain.assign(kDomains.size(), 0);
+  if (server_count == 0) return placement;
+
+  // Guarantee presence in every domain first, when we can afford it.
+  std::size_t remaining = server_count;
+  if (server_count >= kDomains.size()) {
+    for (auto& n : placement.servers_per_domain) n = 1;
+    remaining -= kDomains.size();
+  }
+
+  // Largest-remainder apportionment of the rest by demand share.
+  std::vector<double> exact(kDomains.size());
+  std::vector<double> remainder(kDomains.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < kDomains.size(); ++i) {
+    exact[i] = kDomains[i].demand_share * static_cast<double>(remaining);
+    const auto whole = static_cast<std::size_t>(exact[i]);
+    placement.servers_per_domain[i] += whole;
+    remainder[i] = exact[i] - static_cast<double>(whole);
+    assigned += whole;
+  }
+  std::vector<std::size_t> order(kDomains.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return remainder[a] > remainder[b]; });
+  for (std::size_t i = 0; assigned < remaining; ++i, ++assigned) {
+    ++placement.servers_per_domain[order[i % order.size()]];
+  }
+  return placement;
+}
+
+double placement_imbalance(const Placement& placement) {
+  const std::size_t total = std::accumulate(placement.servers_per_domain.begin(),
+                                            placement.servers_per_domain.end(),
+                                            static_cast<std::size_t>(0));
+  if (total == 0) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < kDomains.size(); ++i) {
+    const double server_share = static_cast<double>(placement.servers_per_domain[i]) /
+                                static_cast<double>(total);
+    if (server_share <= 0.0) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, kDomains[i].demand_share / server_share);
+  }
+  return worst;
+}
+
+}  // namespace swiftest::deploy

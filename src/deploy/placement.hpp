@@ -1,0 +1,37 @@
+// Test-server placement near the core IXPs (§5.2).
+//
+// "In terms of Internet data exchange, China Mainland consists of eight
+// domains, each containing a core IXP ... the servers should be evenly
+// placed in these domains and as close to the core IXPs as possible."
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swiftest::deploy {
+
+struct IxpDomain {
+  std::string city;      // core IXP location
+  double demand_share;   // fraction of the national probing demand
+};
+
+/// The eight Chinese IXP domains with demand shares roughly proportional to
+/// the regional Internet population.
+[[nodiscard]] std::span<const IxpDomain> ixp_domains();
+
+struct Placement {
+  std::vector<std::size_t> servers_per_domain;  // aligned with ixp_domains()
+};
+
+/// Distributes `server_count` servers over the domains proportionally to
+/// demand share, guaranteeing at least one per domain when possible
+/// (largest-remainder apportionment).
+[[nodiscard]] Placement place_servers(std::size_t server_count);
+
+/// Maximum demand-share-weighted imbalance of a placement: the largest
+/// ratio between a domain's demand share and its server share. 1 = perfect.
+[[nodiscard]] double placement_imbalance(const Placement& placement);
+
+}  // namespace swiftest::deploy

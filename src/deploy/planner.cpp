@@ -1,0 +1,185 @@
+#include "deploy/planner.hpp"
+
+#include "deploy/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace swiftest::deploy {
+namespace {
+
+struct Item {
+  std::size_t catalog_index;
+  double bandwidth;
+  double price;
+  int available;
+  double price_per_mbps;
+};
+
+/// Greedy fractional fill of the remaining demand with items[from..):
+/// the LP-relaxation lower bound on remaining cost.
+double fractional_bound(std::span<const Item> items, std::size_t from, double remaining) {
+  double cost = 0.0;
+  for (std::size_t i = from; i < items.size() && remaining > 0.0; ++i) {
+    const double capacity = items[i].bandwidth * items[i].available;
+    const double used = std::min(capacity, remaining);
+    cost += used * items[i].price_per_mbps;
+    remaining -= used;
+  }
+  if (remaining > 1e-9) return std::numeric_limits<double>::infinity();  // infeasible
+  return cost;
+}
+
+struct Search {
+  std::span<const Item> items;
+  double target = 0.0;
+  PlannerOptions options;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_counts;
+  std::vector<int> current;
+  std::size_t nodes = 0;
+
+  void dfs(std::size_t index, double cost, double capacity) {
+    if (++nodes > options.max_nodes) return;
+    if (capacity >= target) {
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_counts = current;
+      }
+      return;
+    }
+    if (index >= items.size()) return;
+    const double bound = fractional_bound(items, index, target - capacity);
+    if (cost + bound >= best_cost * (1.0 - options.optimality_gap)) return;  // prune
+
+    const Item& item = items[index];
+    // Max useful count: just enough to cover the remaining demand.
+    const int max_count = std::min<int>(
+        item.available,
+        static_cast<int>(std::ceil((target - capacity) / item.bandwidth)));
+    // Try high counts first: the efficiency ordering makes large purchases of
+    // efficient configs likely optimal, tightening the bound early.
+    for (int n = max_count; n >= 0; --n) {
+      current[index] = n;
+      dfs(index + 1, cost + n * item.price, capacity + n * item.bandwidth);
+      if (nodes > options.max_nodes) break;
+    }
+    current[index] = 0;
+  }
+};
+
+}  // namespace
+
+PurchasePlan plan_purchase(std::span<const ServerConfig> catalog, double demand_mbps,
+                           const PlannerOptions& options) {
+  PurchasePlan plan;
+  plan.counts.assign(catalog.size(), 0);
+  if (demand_mbps <= 0.0) {
+    plan.feasible = true;
+    return plan;
+  }
+
+  std::vector<Item> items;
+  items.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& cfg = catalog[i];
+    if (cfg.bandwidth_mbps <= 0.0 || cfg.available <= 0) continue;
+    items.push_back(Item{i, cfg.bandwidth_mbps, cfg.price_per_month_usd, cfg.available,
+                         cfg.price_per_month_usd / cfg.bandwidth_mbps});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.price_per_mbps < b.price_per_mbps; });
+
+  Search search;
+  search.items = items;
+  search.target = demand_mbps * (1.0 + options.margin);
+  search.options = options;
+  search.current.assign(items.size(), 0);
+
+  // Prime branch-and-bound with the greedy integer solution so the very
+  // first bound already prunes most of the tree.
+  {
+    std::vector<int> greedy(items.size(), 0);
+    double capacity = 0.0, cost = 0.0;
+    for (std::size_t i = 0; i < items.size() && capacity < search.target; ++i) {
+      const int n = std::min<int>(
+          items[i].available,
+          static_cast<int>(std::ceil((search.target - capacity) / items[i].bandwidth)));
+      greedy[i] = n;
+      capacity += n * items[i].bandwidth;
+      cost += n * items[i].price;
+    }
+    if (capacity >= search.target) {
+      search.best_cost = cost;
+      search.best_counts = greedy;
+    }
+  }
+
+  search.dfs(0, 0.0, 0.0);
+
+  plan.nodes_explored = search.nodes;
+  if (!std::isfinite(search.best_cost)) return plan;  // infeasible
+
+  plan.feasible = true;
+  plan.total_cost_usd = search.best_cost;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const int n = search.best_counts[i];
+    if (n == 0) continue;
+    plan.counts[items[i].catalog_index] = n;
+    plan.total_bandwidth_mbps += n * items[i].bandwidth;
+    plan.total_servers += static_cast<std::size_t>(n);
+  }
+  return plan;
+}
+
+RegionalPlan plan_regional(std::span<const ServerConfig> catalog,
+                           double national_demand_mbps, const PlannerOptions& options) {
+  RegionalPlan regional;
+  const auto domains = ixp_domains();
+  regional.per_domain.resize(domains.size());
+
+  // Plan the hungriest domains first: they need the scarce cheap capacity
+  // most, and the shared availability depletes as we go.
+  std::vector<std::size_t> order(domains.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return domains[a].demand_share > domains[b].demand_share;
+  });
+
+  std::vector<ServerConfig> remaining(catalog.begin(), catalog.end());
+  regional.feasible = true;
+  for (std::size_t d : order) {
+    const double demand = national_demand_mbps * domains[d].demand_share;
+    PurchasePlan plan = plan_purchase(remaining, demand, options);
+    if (!plan.feasible) {
+      regional.feasible = false;
+      return regional;
+    }
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      remaining[i].available -= plan.counts[i];
+    }
+    regional.total_cost_usd += plan.total_cost_usd;
+    regional.total_bandwidth_mbps += plan.total_bandwidth_mbps;
+    regional.total_servers += plan.total_servers;
+    regional.per_domain[d] = std::move(plan);
+  }
+  return regional;
+}
+
+PurchasePlan legacy_plan(const ServerConfig& legacy, double demand_mbps,
+                         double overprovision_factor) {
+  PurchasePlan plan;
+  plan.feasible = true;
+  const double capacity_needed = demand_mbps * overprovision_factor;
+  const int n = std::max(1, static_cast<int>(std::ceil(capacity_needed /
+                                                       legacy.bandwidth_mbps)));
+  plan.counts = {n};
+  plan.total_servers = static_cast<std::size_t>(n);
+  plan.total_bandwidth_mbps = n * legacy.bandwidth_mbps;
+  plan.total_cost_usd = n * legacy.price_per_month_usd;
+  return plan;
+}
+
+}  // namespace swiftest::deploy

@@ -1,0 +1,55 @@
+#include "deploy/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "dataset/profiles.hpp"
+#include "stats/descriptive.hpp"
+
+namespace swiftest::deploy {
+
+int poisson_quantile(double mean, double q) {
+  if (mean <= 0.0) return 0;
+  // Walk the PMF; fine for the small means involved here.
+  double p = std::exp(-mean);
+  double cdf = p;
+  int k = 0;
+  while (cdf < q && k < 100000) {
+    ++k;
+    p *= mean / k;
+    cdf += p;
+  }
+  return k;
+}
+
+WorkloadEstimate estimate_workload(std::span<const dataset::TestRecord> records,
+                                   const WorkloadParams& params) {
+  WorkloadEstimate est;
+
+  // Peak-hour arrival rate from the diurnal profile.
+  const auto weights = dataset::hourly_test_weights();
+  const double total_weight = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double peak_weight = *std::max_element(weights.begin(), weights.end());
+  const double peak_hour_share = peak_weight / total_weight;
+  est.peak_arrivals_per_second = params.tests_per_day * peak_hour_share / 3600.0;
+
+  // Concurrency: M/G/inf occupancy = lambda * service time; size for bursts.
+  est.mean_concurrency = est.peak_arrivals_per_second * params.test_duration_s;
+  est.sized_concurrency = std::max(
+      1.0, static_cast<double>(poisson_quantile(est.mean_concurrency,
+                                                params.concurrency_percentile)));
+
+  // Per-test bandwidth: a high quantile of the observed access bandwidths.
+  std::vector<double> bandwidths;
+  bandwidths.reserve(records.size());
+  for (const auto& r : records) bandwidths.push_back(r.bandwidth_mbps);
+  est.per_test_mbps =
+      bandwidths.empty() ? 0.0 : stats::quantile(bandwidths, params.bandwidth_quantile);
+
+  est.demand_mbps = est.sized_concurrency * est.per_test_mbps;
+  return est;
+}
+
+}  // namespace swiftest::deploy

@@ -1,0 +1,46 @@
+// Probing-workload estimation (§5.2).
+//
+// "The workload can be practically estimated by jointly considering recent
+// user scale and their access bandwidths reflected in our data." The peak
+// demand is the aggregate probing bandwidth of the tests that overlap at the
+// busiest moment: test arrivals follow the diurnal intensity profile, each
+// test occupies the wire for its duration at (roughly) the user's access
+// bandwidth, and bursts are absorbed by sizing for a high percentile of the
+// concurrency distribution.
+#pragma once
+
+#include <span>
+
+#include "dataset/record.hpp"
+
+namespace swiftest::deploy {
+
+struct WorkloadParams {
+  double tests_per_day = 10'000.0;
+  /// Average seconds a test occupies the servers (Swiftest ~1.2 s; flooding
+  /// BTSes ~10 s).
+  double test_duration_s = 1.2;
+  /// Size for this percentile of the Poisson concurrency distribution.
+  double concurrency_percentile = 0.999;
+  /// Per-test server-side bandwidth: this quantile of the campaign's
+  /// bandwidth distribution (high, because a fast client saturates its
+  /// assigned servers while the test lasts).
+  double bandwidth_quantile = 0.95;
+};
+
+struct WorkloadEstimate {
+  double peak_arrivals_per_second = 0.0;
+  double mean_concurrency = 0.0;
+  double sized_concurrency = 0.0;   // percentile of Poisson(mean_concurrency)
+  double per_test_mbps = 0.0;
+  double demand_mbps = 0.0;         // sized_concurrency * per_test_mbps
+};
+
+/// Estimates the peak probing demand from recent campaign records.
+[[nodiscard]] WorkloadEstimate estimate_workload(
+    std::span<const dataset::TestRecord> records, const WorkloadParams& params = {});
+
+/// Quantile of a Poisson distribution (smallest k with CDF >= q).
+[[nodiscard]] int poisson_quantile(double mean, double q);
+
+}  // namespace swiftest::deploy

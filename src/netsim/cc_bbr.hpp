@@ -1,0 +1,69 @@
+// Simplified BBR (v1) model.
+//
+// Implements the STARTUP / DRAIN / PROBE_BW state machine with windowed
+// max-bandwidth and min-RTT filters and gain-based pacing. PROBE_RTT is
+// omitted: it first triggers after 10 s, longer than any bandwidth test
+// simulated here. Loss is ignored except for RTO, matching BBRv1's behaviour.
+#pragma once
+
+#include <deque>
+
+#include "netsim/congestion.hpp"
+
+namespace swiftest::netsim {
+
+class BbrCc final : public CongestionControl {
+ public:
+  explicit BbrCc(const CcConfig& config);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(core::SimTime now, std::int64_t bytes_in_flight) override;
+  void on_rto(core::SimTime now) override;
+  [[nodiscard]] double cwnd_bytes() const override;
+  [[nodiscard]] double pacing_rate_bps() const override;
+  [[nodiscard]] bool in_slow_start() const override { return state_ == State::kStartup; }
+  [[nodiscard]] std::string name() const override { return "bbr"; }
+
+  enum class State { kStartup, kDrain, kProbeBw };
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] double btlbw_bps() const;
+
+ private:
+  static constexpr double kHighGain = 2.885;
+  static constexpr double kDrainGain = 1.0 / 2.885;
+  static constexpr core::SimDuration kBwWindow = core::milliseconds(2000);
+
+  void update_filters(const AckEvent& ev);
+  void check_full_bandwidth();
+  void advance_state(const AckEvent& ev);
+  [[nodiscard]] double bdp_bytes() const;
+
+  double mss_;
+  double initial_cwnd_bytes_;
+  State state_ = State::kStartup;
+  double pacing_gain_ = kHighGain;
+  double cwnd_gain_ = kHighGain;
+
+  // Windowed max filter for bottleneck bandwidth: a monotonically
+  // decreasing deque so insert is amortized O(1) and the max is the front.
+  std::deque<std::pair<core::SimTime, double>> bw_samples_;
+  // Windowed min filter for RTprop (window >> test length, so simple min).
+  core::SimDuration min_rtt_ = 0;
+
+  // Full-bandwidth detection (three rounds without 25% growth).
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+
+  // Round tracking by delivered bytes.
+  std::int64_t delivered_bytes_ = 0;
+  std::int64_t round_end_delivered_ = 0;
+  bool round_start_ = false;
+
+  // PROBE_BW gain cycling.
+  int cycle_index_ = 0;
+  core::SimTime cycle_stamp_ = 0;
+
+  bool rto_recovery_ = false;
+};
+
+}  // namespace swiftest::netsim

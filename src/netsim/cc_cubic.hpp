@@ -1,0 +1,45 @@
+// TCP Cubic with HyStart-style delay-based slow-start exit.
+//
+// Linux Cubic pairs the cubic window-growth function with HyStart, which
+// leaves slow start as soon as ACK RTTs inflate — long before the bottleneck
+// buffer overflows. The flow then climbs the concave region of the cubic
+// toward the link capacity. This is exactly why the paper's Fig 17 finds
+// Cubic the slowest to saturate high-bandwidth links.
+#pragma once
+
+#include <limits>
+
+#include "netsim/congestion.hpp"
+
+namespace swiftest::netsim {
+
+class CubicCc final : public CongestionControl {
+ public:
+  explicit CubicCc(const CcConfig& config);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(core::SimTime now, std::int64_t bytes_in_flight) override;
+  void on_rto(core::SimTime now) override;
+  [[nodiscard]] double cwnd_bytes() const override { return cwnd_segments_ * mss_; }
+  [[nodiscard]] bool in_slow_start() const override { return cwnd_segments_ < ssthresh_segments_; }
+  [[nodiscard]] std::string name() const override { return "cubic"; }
+
+ private:
+  static constexpr double kC = 0.4;      // cubic scaling constant (segments/s^3)
+  static constexpr double kBeta = 0.7;   // multiplicative decrease factor
+
+  void enter_congestion_avoidance(core::SimTime now);
+
+  double mss_;
+  double cwnd_segments_;
+  double ssthresh_segments_ = std::numeric_limits<double>::max();
+  double w_max_segments_ = 0.0;
+  core::SimTime epoch_start_ = -1;   // -1: epoch not started
+  double k_seconds_ = 0.0;
+
+  // HyStart delay detection.
+  core::SimDuration min_rtt_ = 0;    // 0: unset
+  int inflated_rtt_streak_ = 0;
+};
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,27 @@
+// TCP Reno (NewReno-style window arithmetic).
+#pragma once
+
+#include <limits>
+
+#include "netsim/congestion.hpp"
+
+namespace swiftest::netsim {
+
+class RenoCc final : public CongestionControl {
+ public:
+  explicit RenoCc(const CcConfig& config);
+
+  void on_ack(const AckEvent& ev) override;
+  void on_loss(core::SimTime now, std::int64_t bytes_in_flight) override;
+  void on_rto(core::SimTime now) override;
+  [[nodiscard]] double cwnd_bytes() const override { return cwnd_; }
+  [[nodiscard]] bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+  [[nodiscard]] std::string name() const override { return "reno"; }
+
+ private:
+  double mss_;
+  double cwnd_;
+  double ssthresh_ = std::numeric_limits<double>::max();
+};
+
+}  // namespace swiftest::netsim

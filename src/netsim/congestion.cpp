@@ -1,0 +1,238 @@
+#include "netsim/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netsim/cc_bbr.hpp"
+#include "netsim/cc_cubic.hpp"
+#include "netsim/cc_reno.hpp"
+
+namespace swiftest::netsim {
+
+std::string to_string(CcAlgorithm a) {
+  switch (a) {
+    case CcAlgorithm::kReno: return "reno";
+    case CcAlgorithm::kCubic: return "cubic";
+    case CcAlgorithm::kBbr: return "bbr";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
+                                                           const CcConfig& config) {
+  switch (algo) {
+    case CcAlgorithm::kReno: return std::make_unique<RenoCc>(config);
+    case CcAlgorithm::kCubic: return std::make_unique<CubicCc>(config);
+    case CcAlgorithm::kBbr: return std::make_unique<BbrCc>(config);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- Reno
+
+RenoCc::RenoCc(const CcConfig& config)
+    : mss_(config.mss), cwnd_(config.initial_cwnd_segments * config.mss) {}
+
+void RenoCc::on_ack(const AckEvent& ev) {
+  if (ev.in_recovery) return;
+  if (in_slow_start()) {
+    cwnd_ += static_cast<double>(ev.newly_acked_bytes);
+  } else {
+    // ~one MSS per RTT: each acked byte contributes mss/cwnd bytes.
+    cwnd_ += mss_ * static_cast<double>(ev.newly_acked_bytes) / cwnd_;
+  }
+}
+
+void RenoCc::on_loss(core::SimTime /*now*/, std::int64_t bytes_in_flight) {
+  ssthresh_ = std::max(static_cast<double>(bytes_in_flight) / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::on_rto(core::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = mss_;
+}
+
+// ---------------------------------------------------------------- Cubic
+
+CubicCc::CubicCc(const CcConfig& config)
+    : mss_(config.mss), cwnd_segments_(config.initial_cwnd_segments) {}
+
+void CubicCc::enter_congestion_avoidance(core::SimTime now) {
+  ssthresh_segments_ = cwnd_segments_;
+  w_max_segments_ = cwnd_segments_;
+  epoch_start_ = now;
+  k_seconds_ = 0.0;  // starting at the plateau: no outstanding w_max to regain
+}
+
+void CubicCc::on_ack(const AckEvent& ev) {
+  if (ev.in_recovery) return;
+  const double acked_segments = static_cast<double>(ev.newly_acked_bytes) / mss_;
+
+  if (in_slow_start()) {
+    cwnd_segments_ += acked_segments;
+
+    // HyStart: leave slow start when RTT samples inflate persistently.
+    // Linux's delay detector is deliberately trigger-happy (eta as small as
+    // a few ms), which is why Cubic flows routinely exit slow start well
+    // below the link capacity and then climb the concave cubic region — the
+    // behaviour behind the paper's Fig 17.
+    if (ev.rtt > 0) {
+      if (min_rtt_ == 0 || ev.rtt < min_rtt_) min_rtt_ = ev.rtt;
+      const core::SimDuration eta =
+          std::max<core::SimDuration>(core::milliseconds(4), min_rtt_ / 8);
+      if (ev.rtt > min_rtt_ + eta) {
+        if (++inflated_rtt_streak_ >= 4) enter_congestion_avoidance(ev.now);
+      } else {
+        inflated_rtt_streak_ = 0;
+      }
+    }
+    return;
+  }
+
+  if (epoch_start_ < 0) {
+    epoch_start_ = ev.now;
+    w_max_segments_ = std::max(w_max_segments_, cwnd_segments_);
+    k_seconds_ = std::cbrt(w_max_segments_ * (1.0 - kBeta) / kC);
+  }
+  const double t = core::to_seconds(ev.now - epoch_start_);
+  const double dt = t - k_seconds_;
+  double target = kC * dt * dt * dt + w_max_segments_;
+
+  // TCP-friendly region: never grow slower than an AIMD flow would.
+  if (ev.rtt > 0) {
+    const double rtt_s = core::to_seconds(ev.rtt);
+    const double w_est =
+        w_max_segments_ * kBeta + 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * t / rtt_s;
+    target = std::max(target, w_est);
+  }
+
+  if (target > cwnd_segments_) {
+    cwnd_segments_ += (target - cwnd_segments_) / cwnd_segments_ * acked_segments;
+  } else {
+    cwnd_segments_ += 0.01 * acked_segments;  // minimal growth near the plateau
+  }
+}
+
+void CubicCc::on_loss(core::SimTime /*now*/, std::int64_t bytes_in_flight) {
+  const double flight_segments = static_cast<double>(bytes_in_flight) / mss_;
+  w_max_segments_ = std::max(cwnd_segments_, flight_segments);
+  cwnd_segments_ = std::max(2.0, cwnd_segments_ * kBeta);
+  ssthresh_segments_ = cwnd_segments_;
+  epoch_start_ = -1;
+  k_seconds_ = std::cbrt(w_max_segments_ * (1.0 - kBeta) / kC);
+}
+
+void CubicCc::on_rto(core::SimTime /*now*/) {
+  w_max_segments_ = cwnd_segments_;
+  ssthresh_segments_ = std::max(2.0, cwnd_segments_ * kBeta);
+  cwnd_segments_ = 1.0;
+  epoch_start_ = -1;
+}
+
+// ---------------------------------------------------------------- BBR
+
+BbrCc::BbrCc(const CcConfig& config)
+    : mss_(config.mss), initial_cwnd_bytes_(config.initial_cwnd_segments * config.mss) {}
+
+double BbrCc::btlbw_bps() const {
+  return bw_samples_.empty() ? 0.0 : bw_samples_.front().second;
+}
+
+double BbrCc::bdp_bytes() const {
+  const double bw = btlbw_bps();
+  if (bw <= 0.0 || min_rtt_ <= 0) return initial_cwnd_bytes_;
+  return bw * core::to_seconds(min_rtt_) / 8.0;
+}
+
+double BbrCc::cwnd_bytes() const {
+  if (rto_recovery_) return mss_;
+  return std::max(cwnd_gain_ * bdp_bytes(), 4.0 * mss_);
+}
+
+double BbrCc::pacing_rate_bps() const {
+  const double bw = btlbw_bps();
+  if (bw <= 0.0) {
+    // No estimate yet: pace the initial window over a nominal 10 ms RTT.
+    return pacing_gain_ * initial_cwnd_bytes_ * 8.0 / 0.010;
+  }
+  return pacing_gain_ * bw;
+}
+
+void BbrCc::update_filters(const AckEvent& ev) {
+  if (ev.rtt > 0 && (min_rtt_ == 0 || ev.rtt < min_rtt_)) min_rtt_ = ev.rtt;
+  if (ev.delivery_rate_bps > 0.0 && !ev.app_limited) {
+    // Monotonic max filter: drop dominated samples from the back.
+    while (!bw_samples_.empty() && bw_samples_.back().second <= ev.delivery_rate_bps) {
+      bw_samples_.pop_back();
+    }
+    bw_samples_.emplace_back(ev.now, ev.delivery_rate_bps);
+  }
+  while (!bw_samples_.empty() && bw_samples_.front().first < ev.now - kBwWindow) {
+    bw_samples_.pop_front();
+  }
+}
+
+void BbrCc::check_full_bandwidth() {
+  if (!round_start_) return;
+  const double bw = btlbw_bps();
+  if (bw >= full_bw_ * 1.25) {
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  ++full_bw_rounds_;
+}
+
+void BbrCc::advance_state(const AckEvent& ev) {
+  switch (state_) {
+    case State::kStartup:
+      if (full_bw_rounds_ >= 3) {
+        state_ = State::kDrain;
+        pacing_gain_ = kDrainGain;
+        cwnd_gain_ = kHighGain;
+      }
+      break;
+    case State::kDrain:
+      if (static_cast<double>(ev.bytes_in_flight) <= bdp_bytes()) {
+        state_ = State::kProbeBw;
+        pacing_gain_ = 1.0;
+        cwnd_gain_ = 2.0;
+        cycle_index_ = 2;  // start in a cruise phase
+        cycle_stamp_ = ev.now;
+      }
+      break;
+    case State::kProbeBw: {
+      static constexpr double kCycle[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+      const core::SimDuration phase =
+          min_rtt_ > 0 ? min_rtt_ : core::milliseconds(10);
+      if (ev.now - cycle_stamp_ >= phase) {
+        cycle_index_ = (cycle_index_ + 1) % 8;
+        cycle_stamp_ = ev.now;
+        pacing_gain_ = kCycle[cycle_index_];
+      }
+      break;
+    }
+  }
+}
+
+void BbrCc::on_ack(const AckEvent& ev) {
+  rto_recovery_ = false;
+  delivered_bytes_ += ev.newly_acked_bytes;
+  round_start_ = false;
+  if (delivered_bytes_ >= round_end_delivered_) {
+    round_start_ = true;
+    round_end_delivered_ = delivered_bytes_ + ev.bytes_in_flight;
+  }
+  update_filters(ev);
+  if (state_ == State::kStartup) check_full_bandwidth();
+  advance_state(ev);
+}
+
+void BbrCc::on_loss(core::SimTime /*now*/, std::int64_t /*bytes_in_flight*/) {
+  // BBRv1 does not reduce its model on isolated loss.
+}
+
+void BbrCc::on_rto(core::SimTime /*now*/) { rto_recovery_ = true; }
+
+}  // namespace swiftest::netsim

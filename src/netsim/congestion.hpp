@@ -1,0 +1,64 @@
+// Congestion-control algorithm interface and factory.
+//
+// The paper's Fig 17 measures how long TCP slow start lasts under Cubic,
+// Reno, and BBR; the flooding/FAST/FastBTS baselines all run over TCP. The
+// sender (tcp.hpp) delegates window/pacing decisions to this interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace swiftest::netsim {
+
+enum class CcAlgorithm : std::uint8_t { kReno, kCubic, kBbr };
+
+[[nodiscard]] std::string to_string(CcAlgorithm a);
+
+/// Information delivered to the CC on every ACK that acknowledges new data.
+struct AckEvent {
+  std::int64_t newly_acked_bytes = 0;
+  core::SimDuration rtt = 0;            // sample from the packet triggering the ACK
+  double delivery_rate_bps = 0.0;       // rate-sample estimate (0 if unavailable)
+  std::int64_t bytes_in_flight = 0;
+  core::SimTime now = 0;
+  bool app_limited = false;
+  /// True while the sender is in fast recovery. Window-based algorithms
+  /// (Reno, Cubic) must not grow cwnd then; model-based ones (BBR) still
+  /// consume the sample to keep their bandwidth/RTT filters fresh.
+  bool in_recovery = false;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+
+  /// Loss inferred via duplicate ACKs (fast retransmit).
+  virtual void on_loss(core::SimTime now, std::int64_t bytes_in_flight) = 0;
+
+  /// Retransmission timeout.
+  virtual void on_rto(core::SimTime now) = 0;
+
+  /// Congestion window in bytes.
+  [[nodiscard]] virtual double cwnd_bytes() const = 0;
+
+  /// Pacing rate in bits/s; 0 means "not paced" (pure window/ACK clocking).
+  [[nodiscard]] virtual double pacing_rate_bps() const { return 0.0; }
+
+  [[nodiscard]] virtual bool in_slow_start() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct CcConfig {
+  std::int32_t mss = 1460;
+  double initial_cwnd_segments = 10.0;
+};
+
+[[nodiscard]] std::unique_ptr<CongestionControl> make_congestion_control(CcAlgorithm algo,
+                                                                         const CcConfig& config);
+
+}  // namespace swiftest::netsim

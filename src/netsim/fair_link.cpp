@@ -1,0 +1,86 @@
+#include "netsim/fair_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace swiftest::netsim {
+
+FairLink::FairLink(Scheduler& sched, FairLinkConfig config, core::Rng rng)
+    : sched_(sched), config_(config), rng_(std::move(rng)) {}
+
+void FairLink::send(Packet packet, DeliveryFn sink) {
+  ++stats_.packets_sent;
+  const core::Bytes size(packet.size_bytes);
+  FlowQueue& flow = flows_[packet.flow_id];
+  if (flow.queued + size > config_.per_flow_queue) {
+    ++stats_.queue_drops;
+    return;
+  }
+  if (flow.queue.empty()) {
+    round_robin_.push_back(packet.flow_id);
+    flow.deficit = 0;
+  }
+  flow.queued += size;
+  flow.queue.push_back(Pending{std::move(packet), std::move(sink)});
+  if (!serving_) serve_next();
+}
+
+void FairLink::serve_next() {
+  // Find the next flow whose deficit covers its head packet; replenish
+  // deficits round by round (classic DRR).
+  while (!round_robin_.empty()) {
+    const std::uint64_t flow_id = round_robin_.front();
+    FlowQueue& flow = flows_[flow_id];
+    if (flow.queue.empty()) {
+      round_robin_.pop_front();
+      continue;
+    }
+    const auto head_size = static_cast<std::int64_t>(flow.queue.front().packet.size_bytes);
+    if (flow.deficit < head_size) {
+      // Move to the back of the round with a fresh quantum.
+      flow.deficit += config_.quantum.count();
+      round_robin_.pop_front();
+      round_robin_.push_back(flow_id);
+      continue;
+    }
+
+    serving_ = true;
+    const core::SimDuration serialize =
+        config_.rate.transmit_time(core::Bytes(head_size));
+    sched_.schedule_in(serialize, [this, flow_id] {
+      FlowQueue& inner = flows_[flow_id];
+      Pending pending = std::move(inner.queue.front());
+      inner.queue.pop_front();
+      const auto size = static_cast<std::int64_t>(pending.packet.size_bytes);
+      inner.queued -= core::Bytes(size);
+      inner.deficit -= size;
+      if (inner.queue.empty()) inner.deficit = 0;
+
+      const bool corrupted =
+          config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
+      if (corrupted) {
+        ++stats_.random_drops;
+      } else {
+        inner.delivered_bytes += size;
+        sched_.schedule_in(config_.propagation_delay,
+                           [this, pending = std::move(pending)]() mutable {
+                             ++stats_.packets_delivered;
+                             stats_.bytes_delivered += pending.packet.size_bytes;
+                             pending.sink(pending.packet);
+                           });
+      }
+      serve_next();
+    });
+    return;
+  }
+  serving_ = false;
+}
+
+void FairLink::set_rate(core::Bandwidth rate) { config_.rate = rate; }
+
+std::int64_t FairLink::flow_bytes_delivered(std::uint64_t flow_id) const {
+  const auto it = flows_.find(flow_id);
+  return it == flows_.end() ? 0 : it->second.delivered_bytes;
+}
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,72 @@
+// Fair-queuing link (deficit round robin).
+//
+// §5.1 argues Swiftest's aggressive UDP probing is acceptable because
+// "wireless networks have separate mechanisms for ensuring fairness at lower
+// layers (e.g., proportional-fair scheduling performed by BSes)". This link
+// variant models that backstop: instead of one FIFO, each flow gets its own
+// queue and the scheduler serves them deficit-round-robin, so an aggressive
+// flow cannot starve a competing one no matter how hard it floods.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "netsim/link.hpp"
+#include "netsim/link_base.hpp"
+
+namespace swiftest::netsim {
+
+struct FairLinkConfig {
+  core::Bandwidth rate = core::Bandwidth::mbps(100);
+  core::SimDuration propagation_delay = core::milliseconds(5);
+  /// Per-flow queue capacity.
+  core::Bytes per_flow_queue = core::kilobytes(256);
+  /// DRR quantum added to a flow's deficit each round.
+  core::Bytes quantum = core::Bytes(1500);
+  double random_loss = 0.0;
+};
+
+class FairLink final : public LinkBase {
+ public:
+  FairLink(Scheduler& sched, FairLinkConfig config, core::Rng rng);
+
+  /// Enqueues into the packet's flow queue (keyed by Packet::flow_id).
+  void send(Packet packet, DeliveryFn sink) override;
+
+  void set_rate(core::Bandwidth rate) override;
+
+  [[nodiscard]] const LinkStats& stats() const noexcept override { return stats_; }
+  [[nodiscard]] core::SimDuration propagation_delay() const noexcept override {
+    return config_.propagation_delay;
+  }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+  /// Bytes delivered so far for one flow (0 if unknown).
+  [[nodiscard]] std::int64_t flow_bytes_delivered(std::uint64_t flow_id) const;
+
+ private:
+  struct Pending {
+    Packet packet;
+    DeliveryFn sink;
+  };
+  struct FlowQueue {
+    std::deque<Pending> queue;
+    core::Bytes queued{0};
+    std::int64_t deficit = 0;
+    std::int64_t delivered_bytes = 0;
+  };
+
+  void serve_next();
+
+  Scheduler& sched_;
+  FairLinkConfig config_;
+  core::Rng rng_;
+  std::map<std::uint64_t, FlowQueue> flows_;
+  std::deque<std::uint64_t> round_robin_;  // flows with queued packets
+  bool serving_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,64 @@
+#include "netsim/flow_metrics.hpp"
+
+#include <algorithm>
+
+namespace swiftest::netsim {
+
+void FlowTimeseries::on_bytes(std::int64_t bytes) {
+  if (bytes <= 0) return;
+  total_bytes_ += bytes;
+  if (!arrivals_.empty() && arrivals_.back().at == sched_.now()) {
+    arrivals_.back().bytes += bytes;  // coalesce same-instant arrivals
+    return;
+  }
+  arrivals_.push_back(Arrival{sched_.now(), bytes});
+}
+
+std::vector<FlowTimeseries::Window> FlowTimeseries::windows(
+    core::SimDuration width) const {
+  std::vector<Window> out;
+  if (arrivals_.empty() || width <= 0) return out;
+  const core::SimTime first = arrivals_.front().at;
+  const core::SimTime last = arrivals_.back().at;
+  const auto count = static_cast<std::size_t>((last - first) / width) + 1;
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].start = first + static_cast<core::SimDuration>(i) * width;
+  }
+  for (const auto& arrival : arrivals_) {
+    const auto index = static_cast<std::size_t>((arrival.at - first) / width);
+    out[index].bytes += arrival.bytes;
+  }
+  const double width_s = core::to_seconds(width);
+  for (auto& window : out) {
+    window.mbps = static_cast<double>(window.bytes) * 8.0 / width_s / 1e6;
+  }
+  return out;
+}
+
+stats::Summary FlowTimeseries::throughput_summary(core::SimDuration width) const {
+  const auto series = windows(width);
+  std::vector<double> mbps;
+  mbps.reserve(series.size());
+  for (const auto& window : series) mbps.push_back(window.mbps);
+  return stats::summarize(mbps);
+}
+
+std::vector<FlowTimeseries::Stall> FlowTimeseries::stalls(
+    core::SimDuration min_gap) const {
+  std::vector<Stall> out;
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    const core::SimDuration gap = arrivals_[i].at - arrivals_[i - 1].at;
+    if (gap >= min_gap) out.push_back(Stall{arrivals_[i - 1].at, gap});
+  }
+  return out;
+}
+
+double FlowTimeseries::mean_mbps() const {
+  if (arrivals_.size() < 2) return 0.0;
+  const double elapsed = core::to_seconds(arrivals_.back().at - arrivals_.front().at);
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(total_bytes_) * 8.0 / elapsed / 1e6;
+}
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,65 @@
+// Passive per-flow time-series recording.
+//
+// Attach a FlowTimeseries to any delivery callback (TCP app bytes, UDP
+// datagrams, a whole tester) and it records timestamped byte arrivals;
+// windowed throughput, stall episodes, and summary statistics are computed
+// lazily on demand. No timers are armed, so recording never perturbs the
+// simulation schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.hpp"
+#include "netsim/scheduler.hpp"
+#include "stats/descriptive.hpp"
+
+namespace swiftest::netsim {
+
+class FlowTimeseries {
+ public:
+  explicit FlowTimeseries(const Scheduler& sched) : sched_(sched) {}
+
+  /// Records `bytes` arriving now. Call from a delivery callback.
+  void on_bytes(std::int64_t bytes);
+
+  [[nodiscard]] std::int64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::size_t arrival_count() const noexcept { return arrivals_.size(); }
+
+  struct Window {
+    core::SimTime start = 0;
+    std::int64_t bytes = 0;
+    double mbps = 0.0;
+  };
+
+  /// Aggregates arrivals into fixed windows from the first arrival to the
+  /// last (inclusive); empty if nothing was recorded.
+  [[nodiscard]] std::vector<Window> windows(core::SimDuration width) const;
+
+  /// Throughput summary over the windowed series.
+  [[nodiscard]] stats::Summary throughput_summary(core::SimDuration width) const;
+
+  struct Stall {
+    core::SimTime start = 0;
+    core::SimDuration duration = 0;
+  };
+
+  /// Gaps between consecutive arrivals longer than `min_gap` — RTO silences,
+  /// handover outages, server pauses.
+  [[nodiscard]] std::vector<Stall> stalls(core::SimDuration min_gap) const;
+
+  /// Mean throughput between the first and last arrival.
+  [[nodiscard]] double mean_mbps() const;
+
+ private:
+  struct Arrival {
+    core::SimTime at;
+    std::int64_t bytes;
+  };
+
+  const Scheduler& sched_;
+  std::vector<Arrival> arrivals_;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace swiftest::netsim

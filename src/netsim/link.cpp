@@ -1,0 +1,55 @@
+#include "netsim/link.hpp"
+
+#include <utility>
+
+namespace swiftest::netsim {
+
+Link::Link(Scheduler& sched, LinkConfig config, core::Rng rng)
+    : sched_(sched), config_(config), rng_(std::move(rng)) {}
+
+void Link::send(Packet packet, DeliveryFn sink) {
+  ++stats_.packets_sent;
+  const core::Bytes size(packet.size_bytes);
+  if (queued_ + size > config_.queue_capacity) {
+    ++stats_.queue_drops;
+    return;
+  }
+  queued_ += size;
+  queue_.push_back(Pending{std::move(packet), std::move(sink)});
+  if (!serving_) serve_next();
+}
+
+void Link::serve_next() {
+  if (queue_.empty()) {
+    serving_ = false;
+    return;
+  }
+  serving_ = true;
+  // The rate is read when serialization *begins*, so mid-run rate changes
+  // (fading, handover) apply to every packet still waiting in the queue.
+  const core::Bytes size(queue_.front().packet.size_bytes);
+  const core::SimDuration serialize = config_.rate.transmit_time(size);
+  sched_.schedule_in(serialize, [this] {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    queued_ -= core::Bytes(pending.packet.size_bytes);
+
+    const bool corrupted =
+        config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
+    if (corrupted) {
+      ++stats_.random_drops;
+    } else {
+      sched_.schedule_in(config_.propagation_delay,
+                         [this, pending = std::move(pending)]() mutable {
+                           ++stats_.packets_delivered;
+                           stats_.bytes_delivered += pending.packet.size_bytes;
+                           pending.sink(pending.packet);
+                         });
+    }
+    serve_next();
+  });
+}
+
+void Link::set_rate(core::Bandwidth rate) { config_.rate = rate; }
+
+}  // namespace swiftest::netsim

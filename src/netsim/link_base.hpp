@@ -1,0 +1,44 @@
+// Common interface for bottleneck links.
+//
+// Path (and everything above it) only needs to enqueue packets, know the
+// propagation delay, and occasionally change the rate; both the FIFO
+// DropTail Link and the deficit-round-robin FairLink satisfy it, so testers
+// can run over either queueing discipline.
+#pragma once
+
+#include <functional>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "netsim/packet.hpp"
+
+namespace swiftest::netsim {
+
+/// Counters shared by all link implementations.
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t random_drops = 0;
+  std::int64_t bytes_delivered = 0;
+};
+
+class LinkBase {
+ public:
+  using DeliveryFn = std::function<void(const Packet&)>;
+
+  virtual ~LinkBase() = default;
+
+  /// Enqueues a packet for delivery to `sink` after queueing, serialization,
+  /// and propagation — unless dropped.
+  virtual void send(Packet packet, DeliveryFn sink) = 0;
+
+  /// Replaces the service rate, effective from the next packet to begin
+  /// serialization.
+  virtual void set_rate(core::Bandwidth rate) = 0;
+
+  [[nodiscard]] virtual core::SimDuration propagation_delay() const = 0;
+  [[nodiscard]] virtual const LinkStats& stats() const = 0;
+};
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,54 @@
+#include "netsim/link_dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swiftest::netsim {
+
+RateModulator::RateModulator(Scheduler& sched, LinkBase& link, core::Bandwidth nominal,
+                             FadingConfig config, core::Rng rng)
+    : sched_(sched), link_(link), nominal_(nominal), config_(config), rng_(std::move(rng)) {}
+
+RateModulator::~RateModulator() { stop(); }
+
+void RateModulator::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void RateModulator::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void RateModulator::tick() {
+  if (!running_) return;
+  // Log-normal fade around the (possibly post-handover) nominal rate, with
+  // the mean of the multiplier corrected back to ~1.
+  const double fade = std::clamp(
+      rng_.lognormal(-config_.sigma * config_.sigma / 2.0, config_.sigma),
+      config_.min_factor, config_.max_factor);
+  factor_ = fade * post_handover_factor_;
+  link_.set_rate(nominal_ * factor_);
+  timer_ = sched_.schedule_in(config_.update_interval, [this] { tick(); });
+}
+
+void RateModulator::schedule_handover(core::SimTime when, core::SimDuration outage,
+                                      double post_factor) {
+  sched_.schedule_at(when, [this, outage, post_factor] {
+    // Outage: the radio is effectively dark while the UE re-attaches.
+    const double saved = post_handover_factor_;
+    (void)saved;
+    post_handover_factor_ = 0.001;
+    factor_ = post_handover_factor_;
+    link_.set_rate(nominal_ * factor_);
+    sched_.schedule_in(outage, [this, post_factor] {
+      post_handover_factor_ = post_factor;
+      factor_ = post_handover_factor_;
+      link_.set_rate(nominal_ * factor_);
+    });
+  });
+}
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,63 @@
+// Time-varying link behaviour: radio fading and handovers.
+//
+// Wireless access rates are not constant. RateModulator perturbs a Link's
+// rate around its nominal capacity on a fixed cadence (log-normal fading,
+// e.g. frame-level rate adaptation), and can inject handover events — a
+// brief outage followed by a different post-handover capacity — the §3.3
+// failure mode dense 5G deployments suffer from. Used by robustness tests
+// and the ablation benches; production scenarios enable it selectively.
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "netsim/link_base.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace swiftest::netsim {
+
+struct FadingConfig {
+  /// How often the radio re-evaluates its rate.
+  core::SimDuration update_interval = core::milliseconds(100);
+  /// Log-normal sigma of the multiplicative fade (0 = constant link).
+  double sigma = 0.15;
+  /// Bounds on the fade multiplier.
+  double min_factor = 0.3;
+  double max_factor = 1.0;
+};
+
+class RateModulator {
+ public:
+  /// `nominal` is the capacity the fades multiply; the link's current rate
+  /// is overwritten on every update.
+  RateModulator(Scheduler& sched, LinkBase& link, core::Bandwidth nominal,
+                FadingConfig config, core::Rng rng);
+  ~RateModulator();
+
+  RateModulator(const RateModulator&) = delete;
+  RateModulator& operator=(const RateModulator&) = delete;
+
+  void start();
+  void stop();
+
+  /// Injects a handover at `when`: the rate drops to ~zero for `outage`,
+  /// then settles at `post_factor` x nominal.
+  void schedule_handover(core::SimTime when, core::SimDuration outage,
+                         double post_factor);
+
+  [[nodiscard]] double current_factor() const noexcept { return factor_; }
+
+ private:
+  void tick();
+
+  Scheduler& sched_;
+  LinkBase& link_;
+  core::Bandwidth nominal_;
+  FadingConfig config_;
+  core::Rng rng_;
+  double factor_ = 1.0;
+  double post_handover_factor_ = 1.0;
+  bool running_ = false;
+  EventHandle timer_;
+};
+
+}  // namespace swiftest::netsim

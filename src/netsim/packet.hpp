@@ -1,0 +1,43 @@
+// Simulated packets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace swiftest::netsim {
+
+enum class PacketKind : std::uint8_t {
+  kTcpData,
+  kTcpAck,
+  kUdpData,
+  kUdpControl,
+};
+
+/// A simulated packet. `seq` is in segment units for TCP data, in datagram
+/// units for UDP. `size_bytes` is the wire size (payload + headers).
+struct Packet {
+  std::uint64_t flow_id = 0;
+  PacketKind kind = PacketKind::kTcpData;
+  std::int64_t seq = 0;
+  std::int64_t ack = 0;            // cumulative ACK (TCP) / echo field (UDP)
+  std::int32_t size_bytes = 0;
+  core::SimTime sent_at = 0;       // stamped by the sender
+  std::int64_t delivered_at_send = 0;  // receiver's delivered-bytes count when sent
+  std::int64_t delivered_at_ack = 0;   // receiver's delivered-bytes count when acking
+  core::SimTime acked_at = 0;          // receiver clock when the ACK was emitted
+  core::SimTime first_sent_at = 0;     // original transmission time (retransmits keep it)
+  bool retransmit = false;
+  /// Optional application payload (control messages). Shared so that copying
+  /// a Packet stays cheap; null for bulk data/ACK packets.
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+};
+
+inline constexpr std::int32_t kDefaultMss = 1460;      // TCP payload bytes
+inline constexpr std::int32_t kTcpHeaderBytes = 40;    // IP + TCP
+inline constexpr std::int32_t kUdpHeaderBytes = 28;    // IP + UDP
+inline constexpr std::int32_t kAckSizeBytes = 40;
+
+}  // namespace swiftest::netsim

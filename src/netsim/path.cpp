@@ -1,0 +1,49 @@
+#include "netsim/path.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace swiftest::netsim {
+
+Path::Path(Scheduler& sched, LinkBase& access_link, core::SimDuration server_delay)
+    : sched_(sched), link_(access_link), server_delay_(server_delay) {}
+
+void Path::set_server_egress(core::Bandwidth uplink, core::Rng rng) {
+  LinkConfig cfg;
+  cfg.rate = uplink;
+  cfg.propagation_delay = 0;  // the backbone delay is modelled separately
+  // Server-side buffer: ~50 ms at the uplink rate.
+  cfg.queue_capacity = core::Bytes(std::max<std::int64_t>(
+      static_cast<std::int64_t>(uplink.bits_per_second() * 0.050 / 8.0), 64 * 1024));
+  egress_ = std::make_unique<Link>(sched_, cfg, std::move(rng));
+}
+
+void Path::send_downstream(Packet packet, DeliveryFn client_sink) {
+  auto through_backbone = [this, sink = std::move(client_sink)](Packet pkt) mutable {
+    sched_.schedule_in(server_delay_,
+                       [this, pkt = std::move(pkt), sink = std::move(sink)]() mutable {
+                         link_.send(std::move(pkt), std::move(sink));
+                       });
+  };
+  if (egress_) {
+    egress_->send(std::move(packet),
+                  [fwd = std::move(through_backbone)](const Packet& pkt) mutable {
+                    fwd(pkt);
+                  });
+    return;
+  }
+  through_backbone(std::move(packet));
+}
+
+void Path::send_upstream(Packet packet, DeliveryFn server_sink) {
+  const core::SimDuration delay = link_.propagation_delay() + server_delay_;
+  sched_.schedule_in(delay, [packet = std::move(packet), sink = std::move(server_sink)] {
+    sink(packet);
+  });
+}
+
+core::SimDuration Path::base_rtt() const {
+  return 2 * (link_.propagation_delay() + server_delay_);
+}
+
+}  // namespace swiftest::netsim

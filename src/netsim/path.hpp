@@ -1,0 +1,56 @@
+// A duplex path between a test server and a client.
+//
+// Downstream (server -> client) traffic optionally traverses the server's
+// own egress link (a budget VM's 100 Mbps uplink can itself bottleneck a
+// test), then a per-server backbone delay, then the client's shared access
+// link — the bottleneck whose rate is the quantity a bandwidth test
+// estimates. Upstream (client -> server) traffic is ACKs and small control
+// messages, modelled as a pure delay (the uplink is never the bottleneck in
+// a download test).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/time.hpp"
+#include "netsim/link.hpp"
+#include "netsim/link_base.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace swiftest::netsim {
+
+class Path {
+ public:
+  using DeliveryFn = LinkBase::DeliveryFn;
+
+  /// `access_link` is shared among all paths of one client; `server_delay` is
+  /// the one-way delay between this server and the access link.
+  Path(Scheduler& sched, LinkBase& access_link, core::SimDuration server_delay);
+
+  /// Adds a server-side egress link of the given capacity in front of the
+  /// backbone delay. Call at most once, before traffic flows.
+  void set_server_egress(core::Bandwidth uplink, core::Rng rng);
+
+  /// Server -> client: (optional egress link,) backbone delay, access link.
+  void send_downstream(Packet packet, DeliveryFn client_sink);
+
+  /// Client -> server: pure delay, lossless.
+  void send_upstream(Packet packet, DeliveryFn server_sink);
+
+  /// Base (unloaded) round-trip time for a small packet, excluding
+  /// serialization of data segments.
+  [[nodiscard]] core::SimDuration base_rtt() const;
+
+  [[nodiscard]] LinkBase& access_link() noexcept { return link_; }
+  [[nodiscard]] core::SimDuration server_delay() const noexcept { return server_delay_; }
+  [[nodiscard]] bool has_server_egress() const noexcept { return egress_ != nullptr; }
+  [[nodiscard]] Link* server_egress() noexcept { return egress_.get(); }
+
+ private:
+  Scheduler& sched_;
+  LinkBase& link_;
+  core::SimDuration server_delay_;
+  std::unique_ptr<Link> egress_;  // optional server uplink
+};
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,89 @@
+// Test scenario: one client's access network plus a pool of test servers.
+//
+// A bandwidth test simulation needs a client access link (the bottleneck whose
+// rate is the ground truth the tester tries to estimate), a set of candidate
+// test servers at various backbone distances, and optional cross traffic. The
+// Scenario owns all of it, wired to one Scheduler, and is the substrate the
+// BTS implementations (bts/, swiftest/) run on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "netsim/fair_link.hpp"
+#include "netsim/link.hpp"
+#include "netsim/link_base.hpp"
+#include "netsim/path.hpp"
+#include "netsim/scheduler.hpp"
+#include "netsim/udp.hpp"
+
+namespace swiftest::netsim {
+
+struct ScenarioConfig {
+  /// True capacity of the client's access link — the quantity under test.
+  core::Bandwidth access_rate = core::Bandwidth::mbps(100);
+  /// One-way propagation delay of the access segment (radio + last mile).
+  core::SimDuration access_delay = core::milliseconds(10);
+  /// Per-server one-way backbone delay is drawn uniformly from this range.
+  core::SimDuration server_delay_min = core::milliseconds(2);
+  core::SimDuration server_delay_max = core::milliseconds(25);
+  std::size_t server_count = 10;
+  /// Per-server egress capacity; zero = unconstrained (ISP-grade servers).
+  /// Budget deployments (Swiftest's 100 Mbps VMs) set this so the server
+  /// uplink itself can bottleneck a test.
+  core::Bandwidth server_uplink = core::Bandwidth::zero();
+  /// Random (wireless) loss on the access link.
+  double random_loss = 0.0;
+  /// Bottleneck buffer, as a multiple of the access BDP at 50 ms.
+  double queue_bdp_multiple = 1.0;
+  /// Background cross traffic sharing the access link.
+  bool enable_cross_traffic = false;
+  CrossTraffic::Config cross_traffic;
+  /// Queueing discipline at the access bottleneck: FIFO DropTail (default)
+  /// or per-flow deficit round robin (the BS proportional-fair backstop
+  /// §5.1 relies on).
+  bool fair_queuing = false;
+};
+
+/// Segment size for TCP flows at the given rate. Models NIC/stack segment
+/// aggregation (GSO/GRO): high-rate paths move data in larger bursts, which
+/// also keeps simulated event counts proportionate.
+[[nodiscard]] std::int32_t suggested_mss(core::Bandwidth rate);
+
+class Scenario {
+ public:
+  Scenario(ScenarioConfig config, std::uint64_t seed);
+
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] LinkBase& access_link() noexcept { return *link_; }
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t server_count() const noexcept { return paths_.size(); }
+  [[nodiscard]] Path& server_path(std::size_t i) { return *paths_.at(i); }
+
+  /// Simulated PING to server i: base RTT plus a small measurement jitter.
+  [[nodiscard]] core::SimDuration measure_ping(std::size_t i);
+
+  /// Index of the server with the lowest measured PING among the first
+  /// `candidates` servers — the standard BTS server-selection step.
+  [[nodiscard]] std::size_t select_nearest_server(std::size_t candidates);
+
+  /// Fork of the scenario RNG for components that need their own stream.
+  [[nodiscard]] core::Rng fork_rng() { return rng_.fork(); }
+
+  void start_cross_traffic();
+  void stop_cross_traffic();
+
+ private:
+  ScenarioConfig config_;
+  core::Rng rng_;
+  Scheduler sched_;
+  std::unique_ptr<LinkBase> link_;
+  std::vector<std::unique_ptr<Path>> paths_;
+  std::unique_ptr<CrossTraffic> cross_;
+};
+
+}  // namespace swiftest::netsim

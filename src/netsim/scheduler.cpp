@@ -1,0 +1,36 @@
+#include "netsim/scheduler.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace swiftest::netsim {
+
+EventHandle Scheduler::schedule_at(core::SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Scheduler::schedule_in(core::SimDuration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::run_until(core::SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    if (!*ev.cancelled) {
+      ++executed_;
+      ev.fn();
+    }
+  }
+  // Advance the clock to the deadline, except for the "drain everything"
+  // sentinel where the clock should rest at the last executed event.
+  if (now_ < deadline && deadline != core::kSimTimeMax) now_ = deadline;
+}
+
+void Scheduler::run() { run_until(core::kSimTimeMax); }
+
+}  // namespace swiftest::netsim

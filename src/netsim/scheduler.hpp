@@ -1,0 +1,81 @@
+// Discrete-event scheduler.
+//
+// The simulator core: a priority queue of timestamped callbacks with a
+// monotonically advancing integer-nanosecond clock. Ties are broken by
+// insertion sequence so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace swiftest::netsim {
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event's callback from running. Safe to call repeatedly or
+  /// after the event has fired (no-op in that case).
+  void cancel() const {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return cancelled_ != nullptr; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] core::SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  EventHandle schedule_at(core::SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  EventHandle schedule_in(core::SimDuration delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or the clock passes `deadline`.
+  /// Events scheduled exactly at `deadline` are executed.
+  void run_until(core::SimTime deadline);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  /// True if no runnable (non-cancelled) events remain.
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    core::SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    bool operator>(const Event& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  core::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,319 @@
+#include "netsim/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swiftest::netsim {
+namespace {
+constexpr int kDupAckThreshold = 3;
+// Real stacks back exponentially off toward minutes; for the ~10 s tests
+// simulated here an 8x cap (1.6 s at the default min RTO) keeps post-outage
+// recovery on the time scale phones actually exhibit.
+constexpr int kMaxRtoBackoff = 8;
+}  // namespace
+
+TcpConnection::TcpConnection(Scheduler& sched, Path& path, TcpConfig config,
+                             std::uint64_t flow_id)
+    : sched_(sched),
+      path_(path),
+      config_(config),
+      flow_id_(flow_id),
+      cc_(make_congestion_control(config.cc,
+                                  CcConfig{config.mss, config.initial_cwnd_segments})) {
+  if (config_.bytes_to_send >= 0) {
+    total_segments_ = (config_.bytes_to_send + config_.mss - 1) / config_.mss;
+  }
+}
+
+TcpConnection::~TcpConnection() { stop(); }
+
+void TcpConnection::start() {
+  if (started_) return;
+  started_ = true;
+  core::SimDuration setup = config_.setup_delay;
+  if (setup < 0) setup = path_.base_rtt() + path_.base_rtt() / 2;
+  sched_.schedule_in(setup, [this, alive = liveness_.watch()] {
+    if (*alive && !stopped_) send_window();
+  });
+}
+
+void TcpConnection::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  rto_timer_.cancel();
+  pacing_timer_.cancel();
+  delayed_ack_timer_.cancel();
+}
+
+std::int64_t TcpConnection::bytes_in_flight() const {
+  return (next_seq_ - una_) * static_cast<std::int64_t>(config_.mss);
+}
+
+bool TcpConnection::may_send_new_segment() const {
+  if (stopped_ || completed_) return false;
+  if (total_segments_ >= 0 && next_seq_ >= total_segments_) return false;
+  return bytes_in_flight() + config_.mss <= static_cast<std::int64_t>(cc_->cwnd_bytes());
+}
+
+void TcpConnection::send_window() {
+  const double pacing_bps = cc_->pacing_rate_bps();
+  while (may_send_new_segment()) {
+    if (pacing_bps > 0.0) {
+      const core::SimTime now = sched_.now();
+      if (pacing_next_ > now) {
+        if (!pacing_timer_armed_) {
+          pacing_timer_armed_ = true;
+          pacing_timer_ = sched_.schedule_at(pacing_next_, [this] {
+            pacing_timer_armed_ = false;
+            send_window();
+          });
+        }
+        return;
+      }
+      const auto wire_bytes = config_.mss + kTcpHeaderBytes;
+      const core::SimDuration gap =
+          core::from_seconds(static_cast<double>(wire_bytes) * 8.0 / pacing_bps);
+      pacing_next_ = std::max(pacing_next_, now) + gap;
+    }
+    transmit_segment(next_seq_++, /*retransmit=*/false);
+  }
+}
+
+void TcpConnection::transmit_segment(std::int64_t seq, bool retransmit) {
+  Packet pkt;
+  pkt.flow_id = flow_id_;
+  pkt.kind = PacketKind::kTcpData;
+  pkt.seq = seq;
+  pkt.size_bytes = config_.mss + kTcpHeaderBytes;
+  pkt.sent_at = sched_.now();
+  pkt.first_sent_at = sched_.now();
+  // Delivered-count stamp for rate sampling. Reading the receiver-side
+  // counter models SACK accounting: bytes count as delivered when they
+  // arrive, not when the cumulative ACK finally passes them.
+  pkt.delivered_at_send = received_payload_bytes_;
+  pkt.retransmit = retransmit;
+  ++stats_.segments_sent;
+  if (retransmit) ++stats_.retransmissions;
+
+  path_.send_downstream(pkt, [this, alive = liveness_.watch()](const Packet& p) {
+    if (*alive) handle_data(p);
+  });
+  arm_rto();
+}
+
+core::SimDuration TcpConnection::current_rto() const {
+  core::SimDuration base;
+  if (srtt_s_ <= 0.0) {
+    base = core::milliseconds(1000);  // RFC 6298 initial RTO
+  } else {
+    base = core::from_seconds(srtt_s_ + 4.0 * rttvar_s_);
+  }
+  base = std::max(base, config_.min_rto);
+  return base * rto_backoff_;
+}
+
+void TcpConnection::arm_rto() {
+  rto_timer_.cancel();
+  rto_timer_ = sched_.schedule_in(current_rto(), [this] { handle_rto(); });
+}
+
+void TcpConnection::handle_rto() {
+  if (stopped_ || completed_) return;
+  if (next_seq_ == una_) return;  // nothing outstanding
+  ++stats_.rto_count;
+  cc_->on_rto(sched_.now());
+  note_cc_state();
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  rto_backoff_ = std::min(rto_backoff_ * 2, kMaxRtoBackoff);
+  next_seq_ = una_;  // go-back-N
+  send_window();
+  if (next_seq_ > una_) arm_rto();
+}
+
+void TcpConnection::enter_recovery() {
+  in_recovery_ = true;
+  recovery_point_ = next_seq_;
+  sack_scan_ = una_;
+  ++stats_.fast_retransmits;
+  cc_->on_loss(sched_.now(), bytes_in_flight());
+  note_cc_state();
+  retransmit_holes(2);
+}
+
+void TcpConnection::retransmit_holes(int budget) {
+  if (!in_recovery_) return;
+  // SACK-equivalent repair: the receiver's reassembly state tells us exactly
+  // which segments are missing; repair them left to right, paced by ACKs.
+  sack_scan_ = std::max({sack_scan_, una_, recv_next_});
+  const std::int64_t highest_received =
+      out_of_order_.empty() ? recv_next_ : *out_of_order_.rbegin();
+  // Segments past everything received may simply still be in flight; only
+  // seqs below the highest received (and this recovery episode) are holes.
+  const std::int64_t limit = std::min(highest_received, recovery_point_);
+  while (budget > 0 && sack_scan_ < limit) {
+    if (out_of_order_.find(sack_scan_) == out_of_order_.end()) {
+      transmit_segment(sack_scan_, /*retransmit=*/true);
+      --budget;
+    }
+    ++sack_scan_;
+  }
+  // Nothing visible to repair but the first unacked segment is still the
+  // blocker (e.g. every later segment arrived): retransmit it once.
+  if (budget > 0 && sack_scan_ <= una_ && una_ < recovery_point_ && una_ >= recv_next_) {
+    transmit_segment(una_, /*retransmit=*/true);
+    sack_scan_ = una_ + 1;
+  }
+}
+
+void TcpConnection::note_cc_state() {
+  if (stats_.slow_start_exit < 0 && !cc_->in_slow_start()) {
+    stats_.slow_start_exit = sched_.now();
+  }
+}
+
+void TcpConnection::handle_ack(const Packet& ack) {
+  if (stopped_) return;
+  if (ack.ack > una_) {
+    const std::int64_t newly_acked_segments = ack.ack - una_;
+    const std::int64_t newly_acked_bytes =
+        newly_acked_segments * static_cast<std::int64_t>(config_.mss);
+    una_ = ack.ack;
+    delivered_bytes_ += newly_acked_bytes;
+    dup_acks_ = 0;
+    rto_backoff_ = 1;
+
+    AckEvent ev;
+    ev.newly_acked_bytes = newly_acked_bytes;
+    ev.bytes_in_flight = bytes_in_flight();
+    ev.now = sched_.now();
+    if (!ack.retransmit && ack.sent_at > 0) {
+      ev.rtt = sched_.now() - ack.sent_at;  // Karn: skip retransmitted echoes
+      const double rtt_s = core::to_seconds(ev.rtt);
+      if (srtt_s_ <= 0.0) {
+        srtt_s_ = rtt_s;
+        rttvar_s_ = rtt_s / 2.0;
+      } else {
+        rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::abs(srtt_s_ - rtt_s);
+        srtt_s_ = 0.875 * srtt_s_ + 0.125 * rtt_s;
+      }
+      stats_.smoothed_rtt = core::from_seconds(srtt_s_);
+      // Delivery-rate sample (BBR): bytes that reached the receiver between
+      // the echoed packet's departure and the ACK's emission, over that same
+      // window (both endpoints share the simulation clock, so the return
+      // delay cancels out exactly as in RFC-style rate sampling).
+      const double elapsed = core::to_seconds(ack.acked_at - ack.sent_at);
+      if (elapsed > 0.0) {
+        const double delivered_delta =
+            static_cast<double>(ack.delivered_at_ack - ack.delivered_at_send);
+        ev.delivery_rate_bps = delivered_delta * 8.0 / elapsed;
+      }
+    }
+
+    if (in_recovery_ && una_ >= recovery_point_) in_recovery_ = false;
+    ev.in_recovery = in_recovery_;
+    cc_->on_ack(ev);
+    note_cc_state();
+    if (in_recovery_) {
+      // Partial ACK: keep repairing holes.
+      retransmit_holes(2);
+    }
+
+    if (total_segments_ >= 0 && una_ >= total_segments_ && !completed_) {
+      completed_ = true;
+      rto_timer_.cancel();
+      if (on_completed_) on_completed_();
+      return;
+    }
+    if (next_seq_ > una_) {
+      arm_rto();
+    } else {
+      rto_timer_.cancel();
+    }
+    send_window();
+    return;
+  }
+
+  // Duplicate ACK.
+  if (ack.ack == una_ && next_seq_ > una_) {
+    ++dup_acks_;
+    if (dup_acks_ >= kDupAckThreshold && !in_recovery_) {
+      enter_recovery();
+    } else if (in_recovery_) {
+      // Each dup ACK signals a departure: repair another hole, and let new
+      // data flow if the (halved) window allows.
+      retransmit_holes(1);
+      send_window();
+    }
+  }
+}
+
+// ----------------------------------------------------------- receiver side
+
+void TcpConnection::handle_data(const Packet& pkt) {
+  if (stopped_) return;
+  stats_.wire_bytes_received += pkt.size_bytes;
+  received_payload_bytes_ += pkt.size_bytes;  // wire bytes: must match the paced rate
+
+  bool in_order_advance = false;
+  if (pkt.seq == recv_next_) {
+    std::int64_t old = recv_next_;
+    ++recv_next_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == recv_next_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++recv_next_;
+    }
+    const std::int64_t delivered =
+        (recv_next_ - old) * static_cast<std::int64_t>(config_.mss);
+    stats_.app_bytes_delivered += delivered;
+    if (on_delivered_) on_delivered_(delivered);
+    in_order_advance = true;
+  } else if (pkt.seq > recv_next_) {
+    out_of_order_.insert(pkt.seq);
+  }
+  // else: duplicate of already-received data; ack it anyway (below).
+
+  if (in_order_advance) {
+    ++unacked_data_count_;
+    pending_ack_trigger_ = pkt;
+    if (unacked_data_count_ >= 2) {
+      flush_delayed_ack();
+    } else if (!delayed_ack_armed_) {
+      delayed_ack_armed_ = true;
+      delayed_ack_timer_ = sched_.schedule_in(config_.delayed_ack_timeout, [this] {
+        delayed_ack_armed_ = false;
+        flush_delayed_ack();
+      });
+    }
+  } else {
+    // Out-of-order or duplicate: immediate (duplicate) ACK.
+    emit_ack(pkt);
+  }
+}
+
+void TcpConnection::flush_delayed_ack() {
+  if (unacked_data_count_ == 0) return;
+  unacked_data_count_ = 0;
+  delayed_ack_timer_.cancel();
+  delayed_ack_armed_ = false;
+  emit_ack(pending_ack_trigger_);
+}
+
+void TcpConnection::emit_ack(const Packet& trigger) {
+  Packet ack;
+  ack.flow_id = flow_id_;
+  ack.kind = PacketKind::kTcpAck;
+  ack.ack = recv_next_;
+  ack.size_bytes = kAckSizeBytes;
+  // Echo the triggering data packet's timing for RTT / delivery-rate samples.
+  ack.sent_at = trigger.sent_at;
+  ack.delivered_at_send = trigger.delivered_at_send;
+  ack.delivered_at_ack = received_payload_bytes_;
+  ack.acked_at = sched_.now();
+  ack.retransmit = trigger.retransmit;
+  path_.send_upstream(ack, [this, alive = liveness_.watch()](const Packet& p) {
+    if (*alive) handle_ack(p);
+  });
+}
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,147 @@
+// Simulated TCP connection (download direction).
+//
+// One object models both endpoints of a server->client bulk transfer: the
+// sender (window management, loss recovery, RTO, optional pacing) and the
+// receiver (cumulative ACKs with duplicate-ACK generation, delayed ACKs,
+// in-order delivery to the application). Congestion control is pluggable
+// (Reno / Cubic / BBR, see congestion.hpp).
+//
+// Deliberate simplifications, all conservative for bandwidth testing:
+//  * segment-granularity sequence numbers (1 segment = mss payload bytes);
+//  * the ACK path is lossless and uncongested (uplink never bottlenecks a
+//    download test);
+//  * loss recovery is SACK-equivalent: because both endpoints live in one
+//    object, the sender reads the receiver's out-of-order set directly
+//    instead of parsing SACK blocks, and repairs holes paced by incoming
+//    (dup/partial) ACKs, as RFC 6675 recovery would;
+//  * RTO triggers go-back-N rather than selective repair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "core/liveness.hpp"
+#include "core/time.hpp"
+#include "netsim/congestion.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/path.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace swiftest::netsim {
+
+struct TcpConfig {
+  CcAlgorithm cc = CcAlgorithm::kCubic;
+  std::int32_t mss = kDefaultMss;
+  double initial_cwnd_segments = 10.0;
+  core::SimDuration min_rto = core::milliseconds(200);
+  core::SimDuration delayed_ack_timeout = core::milliseconds(25);
+  /// Bytes of application payload to transfer; -1 = unbounded (flooding).
+  std::int64_t bytes_to_send = -1;
+  /// Handshake + request delay before the first data segment; -1 = derive
+  /// 1.5x base RTT from the path (SYN, SYN-ACK, ACK+HTTP GET).
+  core::SimDuration setup_delay = -1;
+};
+
+struct TcpStats {
+  std::int64_t app_bytes_delivered = 0;   // in-order payload handed to the app
+  std::int64_t wire_bytes_received = 0;   // everything arriving at the client
+  std::int64_t segments_sent = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t rto_count = 0;
+  std::int64_t fast_retransmits = 0;
+  core::SimDuration smoothed_rtt = 0;
+  /// First instant the congestion controller left slow start; -1 if never.
+  core::SimTime slow_start_exit = -1;
+};
+
+class TcpConnection {
+ public:
+  /// Called with each chunk of in-order payload as it reaches the client app.
+  using DeliveredFn = std::function<void(std::int64_t bytes)>;
+  /// Called once when a finite transfer completes.
+  using CompletedFn = std::function<void()>;
+
+  TcpConnection(Scheduler& sched, Path& path, TcpConfig config, std::uint64_t flow_id);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  void set_on_delivered(DeliveredFn fn) { on_delivered_ = std::move(fn); }
+  void set_on_completed(CompletedFn fn) { on_completed_ = std::move(fn); }
+
+  /// Begins the handshake; data flows after the setup delay.
+  void start();
+
+  /// Stops sending and acking; in-flight packets drain harmlessly.
+  void stop();
+
+  [[nodiscard]] const TcpStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CongestionControl& cc() const noexcept { return *cc_; }
+  [[nodiscard]] bool running() const noexcept { return started_ && !stopped_; }
+  [[nodiscard]] std::uint64_t flow_id() const noexcept { return flow_id_; }
+
+ private:
+  // --- sender side ---
+  void send_window();
+  void transmit_segment(std::int64_t seq, bool retransmit);
+  void handle_ack(const Packet& ack);
+  void enter_recovery();
+  void retransmit_holes(int budget);
+  void arm_rto();
+  void handle_rto();
+  [[nodiscard]] std::int64_t bytes_in_flight() const;
+  [[nodiscard]] core::SimDuration current_rto() const;
+  [[nodiscard]] bool may_send_new_segment() const;
+  void note_cc_state();
+
+  // --- receiver side ---
+  void handle_data(const Packet& pkt);
+  void emit_ack(const Packet& trigger);
+  void flush_delayed_ack();
+
+  Scheduler& sched_;
+  Path& path_;
+  TcpConfig config_;
+  std::uint64_t flow_id_;
+  std::unique_ptr<CongestionControl> cc_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool completed_ = false;
+
+  // Sender state (segment units).
+  std::int64_t una_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t total_segments_ = -1;  // -1 unbounded
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recovery_point_ = 0;
+  std::int64_t sack_scan_ = 0;  // next hole candidate during recovery
+  std::int64_t delivered_bytes_ = 0;  // cumulatively acked payload
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  int rto_backoff_ = 1;
+  EventHandle rto_timer_;
+  core::SimTime pacing_next_ = 0;
+  EventHandle pacing_timer_;
+  bool pacing_timer_armed_ = false;
+
+  // Receiver state.
+  std::int64_t recv_next_ = 0;
+  std::int64_t received_payload_bytes_ = 0;  // SACK-style delivered counter
+  std::set<std::int64_t> out_of_order_;
+  int unacked_data_count_ = 0;
+  Packet pending_ack_trigger_{};
+  EventHandle delayed_ack_timer_;
+  bool delayed_ack_armed_ = false;
+
+  TcpStats stats_;
+  DeliveredFn on_delivered_;
+  CompletedFn on_completed_;
+  core::LivenessToken liveness_;  // disables in-flight packet sinks on death
+};
+
+}  // namespace swiftest::netsim

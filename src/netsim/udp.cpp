@@ -1,0 +1,96 @@
+#include "netsim/udp.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace swiftest::netsim {
+
+UdpFlow::UdpFlow(Scheduler& sched, Path& path, std::uint64_t flow_id,
+                 std::int32_t payload_bytes)
+    : sched_(sched), path_(path), flow_id_(flow_id), payload_bytes_(payload_bytes) {}
+
+void UdpFlow::set_rate(core::Bandwidth rate) {
+  rate_ = rate;
+  if (!rate_.is_zero() && !stopped_) {
+    next_send_ = std::max(next_send_, sched_.now());
+    schedule_next();
+  }
+}
+
+void UdpFlow::stop() {
+  stopped_ = true;
+  timer_.cancel();
+  timer_armed_ = false;
+}
+
+void UdpFlow::schedule_next() {
+  if (timer_armed_ || stopped_ || rate_.is_zero()) return;
+  timer_armed_ = true;
+  const core::SimTime when = std::max(next_send_, sched_.now());
+  timer_ = sched_.schedule_at(when, [this] {
+    timer_armed_ = false;
+    send_datagram();
+  });
+}
+
+void UdpFlow::send_datagram() {
+  if (stopped_ || rate_.is_zero()) return;
+  Packet pkt;
+  pkt.flow_id = flow_id_;
+  pkt.kind = PacketKind::kUdpData;
+  pkt.seq = seq_++;
+  pkt.size_bytes = payload_bytes_ + kUdpHeaderBytes;
+  pkt.sent_at = sched_.now();
+  ++sent_;
+  path_.send_downstream(pkt, [this, alive = liveness_.watch()](const Packet& p) {
+    if (!*alive) return;
+    ++delivered_;
+    wire_bytes_ += p.size_bytes;
+    if (on_delivered_) on_delivered_(p.size_bytes - kUdpHeaderBytes, p.seq);
+  });
+
+  const core::SimDuration gap = rate_.transmit_time(core::Bytes(pkt.size_bytes));
+  next_send_ = std::max(next_send_, sched_.now()) + gap;
+  schedule_next();
+}
+
+CrossTraffic::CrossTraffic(Scheduler& sched, Path& path, std::uint64_t flow_id,
+                           Config config, core::Rng rng)
+    : sched_(sched),
+      config_(config),
+      rng_(std::move(rng)),
+      flow_(sched, path, flow_id, config.payload_bytes) {}
+
+void CrossTraffic::start() {
+  stopped_ = false;
+  enter_off();
+}
+
+void CrossTraffic::stop() {
+  stopped_ = true;
+  flow_.set_rate(core::Bandwidth::zero());
+  flow_.stop();
+}
+
+void CrossTraffic::enter_on() {
+  if (stopped_) return;
+  // Burst rate varies per burst: between 30% and 100% of the peak.
+  flow_.set_rate(config_.peak_rate * rng_.uniform(0.3, 1.0));
+  const double duration = rng_.exponential(1.0 / config_.mean_on_seconds);
+  sched_.schedule_in(core::from_seconds(duration),
+                     [this, alive = liveness_.watch()] {
+                       if (!*alive) return;
+                       flow_.set_rate(core::Bandwidth::zero());
+                       enter_off();
+                     });
+}
+
+void CrossTraffic::enter_off() {
+  if (stopped_) return;
+  const double duration = rng_.exponential(1.0 / config_.mean_off_seconds);
+  sched_.schedule_in(core::from_seconds(duration), [this, alive = liveness_.watch()] {
+    if (*alive) enter_on();
+  });
+}
+
+}  // namespace swiftest::netsim

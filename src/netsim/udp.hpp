@@ -1,0 +1,94 @@
+// Paced UDP flows.
+//
+// UdpFlow is a server->client datagram stream paced at a settable rate: the
+// transport Swiftest's probing protocol runs on. CrossTraffic is an on/off
+// background load sharing the client's access link, used to inject realistic
+// contention noise into simulated tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/liveness.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/path.hpp"
+#include "netsim/scheduler.hpp"
+
+namespace swiftest::netsim {
+
+class UdpFlow {
+ public:
+  /// Called at the client for each arriving datagram (payload bytes, seq).
+  using DeliveredFn = std::function<void(std::int64_t bytes, std::int64_t seq)>;
+
+  UdpFlow(Scheduler& sched, Path& path, std::uint64_t flow_id,
+          std::int32_t payload_bytes = 1400);
+  ~UdpFlow() { stop(); }
+
+  UdpFlow(const UdpFlow&) = delete;
+  UdpFlow& operator=(const UdpFlow&) = delete;
+
+  void set_on_delivered(DeliveredFn fn) { on_delivered_ = std::move(fn); }
+
+  /// Sets the sending rate; zero pauses the flow. Takes effect immediately.
+  void set_rate(core::Bandwidth rate);
+
+  void stop();
+
+  [[nodiscard]] core::Bandwidth rate() const noexcept { return rate_; }
+  [[nodiscard]] std::int64_t datagrams_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::int64_t datagrams_delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::int64_t wire_bytes_delivered() const noexcept { return wire_bytes_; }
+
+ private:
+  void schedule_next();
+  void send_datagram();
+
+  Scheduler& sched_;
+  Path& path_;
+  std::uint64_t flow_id_;
+  std::int32_t payload_bytes_;
+  core::Bandwidth rate_ = core::Bandwidth::zero();
+  bool stopped_ = false;
+  bool timer_armed_ = false;
+  core::SimTime next_send_ = 0;
+  EventHandle timer_;
+  std::int64_t seq_ = 0;
+  std::int64_t sent_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t wire_bytes_ = 0;
+  DeliveredFn on_delivered_;
+  core::LivenessToken liveness_;
+};
+
+/// Exponential on/off UDP background traffic through a shared access link.
+class CrossTraffic {
+ public:
+  struct Config {
+    core::Bandwidth peak_rate = core::Bandwidth::mbps(20);
+    double mean_on_seconds = 0.5;
+    double mean_off_seconds = 2.0;
+    std::int32_t payload_bytes = 1400;
+  };
+
+  CrossTraffic(Scheduler& sched, Path& path, std::uint64_t flow_id, Config config,
+               core::Rng rng);
+
+  void start();
+  void stop();
+
+ private:
+  void enter_on();
+  void enter_off();
+
+  Scheduler& sched_;
+  Config config_;
+  core::Rng rng_;
+  UdpFlow flow_;
+  bool stopped_ = false;
+  core::LivenessToken liveness_;
+};
+
+}  // namespace swiftest::netsim

@@ -1,0 +1,14 @@
+// Correlation measures used by the RSS/SNR/bandwidth analyses (§3.3).
+#pragma once
+
+#include <span>
+
+namespace swiftest::stats {
+
+/// Pearson linear correlation coefficient. Returns 0 for degenerate inputs.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace swiftest::stats

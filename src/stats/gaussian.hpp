@@ -1,0 +1,17 @@
+// Single Gaussian distribution utilities.
+#pragma once
+
+namespace swiftest::stats {
+
+/// A univariate normal distribution N(mean, stddev^2).
+struct Gaussian {
+  double mean = 0.0;
+  double stddev = 1.0;
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double log_pdf(double x) const;
+  /// Cumulative distribution via erf.
+  [[nodiscard]] double cdf(double x) const;
+};
+
+}  // namespace swiftest::stats

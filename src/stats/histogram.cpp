@@ -1,0 +1,96 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swiftest::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + width_ * (static_cast<double>(bin) + 0.5);
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ == 0) return d;
+  const double norm = 1.0 / (static_cast<double>(total_) * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d[i] = static_cast<double>(counts_[i]) * norm;
+  }
+  return d;
+}
+
+std::vector<double> Histogram::frequencies() const {
+  std::vector<double> f(counts_.size(), 0.0);
+  if (total_ == 0) return f;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    f[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return f;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double EmpiricalCdf::ks_distance(const EmpiricalCdf& other) const {
+  double max_gap = 0.0;
+  for (double x : sorted_) max_gap = std::max(max_gap, std::abs(at(x) - other.at(x)));
+  for (double x : other.sorted_) max_gap = std::max(max_gap, std::abs(at(x) - other.at(x)));
+  return max_gap;
+}
+
+std::string ascii_chart(std::span<const double> ys, std::size_t height) {
+  if (ys.empty() || height == 0) return "";
+  const double hi = *std::max_element(ys.begin(), ys.end());
+  const double lo = std::min(0.0, *std::min_element(ys.begin(), ys.end()));
+  const double range = hi - lo > 0 ? hi - lo : 1.0;
+  std::string out;
+  out.reserve((ys.size() + 1) * height);
+  for (std::size_t row = 0; row < height; ++row) {
+    const double level = hi - range * static_cast<double>(row) / static_cast<double>(height);
+    for (double y : ys) out.push_back(y >= level ? '#' : ' ');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace swiftest::stats

@@ -1,0 +1,99 @@
+#include "swiftest/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace swiftest::swift {
+
+SwiftestClient::SwiftestClient(SwiftestConfig config, const ModelRegistry& registry)
+    : config_(config), registry_(registry) {}
+
+std::size_t SwiftestClient::servers_needed(double rate_mbps, double uplink_mbps) {
+  if (uplink_mbps <= 0.0) return 1;
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(rate_mbps / uplink_mbps)));
+}
+
+bts::BtsResult SwiftestClient::run(netsim::Scenario& scenario) {
+  bts::BtsResult result;
+  auto& sched = scenario.scheduler();
+  const auto& model = registry_.model(config_.tech);
+
+  // 1. Server selection: Swiftest PINGs the whole (small) server pool, four
+  // probes in flight at a time (~0.2 s total, §5.3).
+  const bts::ServerSelection sel =
+      bts::select_server(scenario, scenario.server_count(), /*concurrency=*/4);
+  result.ping_duration = sel.elapsed;
+  sched.run_until(sched.now() + sel.elapsed);
+
+  // 2. The §5.1 probing state machine, seeded by the model.
+  ProbingFsmConfig fsm_cfg;
+  fsm_cfg.convergence_window = config_.convergence_window;
+  fsm_cfg.convergence_tolerance = config_.convergence_tolerance;
+  fsm_cfg.saturation_epsilon = config_.saturation_epsilon;
+  fsm_cfg.overshoot_factor = config_.overshoot_factor;
+  // At very low rates a 50 ms sample holds only a handful of datagrams; one
+  // packet of arrival jitter would defeat a purely relative tolerance.
+  fsm_cfg.quantization_floor_mbps = 3.0 * (config_.probe_payload_bytes + 28) * 8.0 /
+                                    core::to_seconds(config_.sample_interval) / 1e6;
+  ProbingFsm fsm(fsm_cfg, model);
+
+  bts::ThroughputSampler sampler(sched);
+  std::vector<std::unique_ptr<netsim::UdpFlow>> flows;
+
+  auto apply_rate = [&](double total_mbps) {
+    const std::size_t needed = std::min(
+        servers_needed(total_mbps, config_.server_uplink_mbps), scenario.server_count());
+    while (flows.size() < needed) {
+      const std::size_t server = (sel.server + flows.size()) % scenario.server_count();
+      auto flow = std::make_unique<netsim::UdpFlow>(sched, scenario.server_path(server),
+                                                    flows.size() + 1,
+                                                    config_.probe_payload_bytes);
+      flow->set_on_delivered(
+          [&sampler](std::int64_t bytes, std::int64_t) { sampler.add_bytes(bytes); });
+      flows.push_back(std::move(flow));
+    }
+    const double per_flow = total_mbps / static_cast<double>(flows.size());
+    for (auto& flow : flows) flow->set_rate(core::Bandwidth::mbps(per_flow));
+  };
+
+  apply_rate(fsm.rate_mbps());
+
+  const core::SimTime start = sched.now();
+  const core::SimTime hard_stop = start + config_.max_duration;
+  bool done = false;
+
+  sampler.start(config_.sample_interval, [&](double sample_mbps) {
+    switch (fsm.on_sample(sample_mbps)) {
+      case ProbingFsm::Action::kEscalate:
+        apply_rate(fsm.rate_mbps());
+        return true;
+      case ProbingFsm::Action::kConverged:
+        done = true;
+        return false;
+      case ProbingFsm::Action::kContinue:
+        return true;
+    }
+    return true;
+  });
+
+  while (!done && sched.now() < hard_stop) {
+    const core::SimTime step =
+        std::min<core::SimTime>(sched.now() + core::milliseconds(100), hard_stop);
+    sched.run_until(step);
+  }
+  sampler.stop();
+  for (auto& flow : flows) flow->stop();
+
+  result.probe_duration = sched.now() - start;
+  result.samples_mbps = sampler.samples();
+  result.connections_used = flows.size();
+  std::int64_t wire_bytes = 0;
+  for (const auto& flow : flows) wire_bytes += flow->wire_bytes_delivered();
+  result.data_used = core::Bytes(wire_bytes);
+
+  result.bandwidth_mbps = fsm.fallback_estimate();  // == result when converged
+  return result;
+}
+
+}  // namespace swiftest::swift

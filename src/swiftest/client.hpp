@@ -1,0 +1,59 @@
+// Swiftest client: data-driven UDP bandwidth probing (§5.1).
+//
+// The probing state machine:
+//   1. PING every test server (server selection, ~0.2 s).
+//   2. Set the initial probing rate to the most probable mode of the
+//      client's access-technology bandwidth model; enlist the nearest
+//      servers whose combined 100 Mbps uplinks just cover that rate.
+//   3. Sample throughput every 50 ms. If the latest sample keeps up with
+//      the probing rate, the access link is not saturated: escalate to the
+//      most probable *larger* mode (or +25% past the largest mode), adding
+//      servers as needed. Rate changes reset the convergence window.
+//   4. Stop when the last 10 samples differ by <= 3% (max vs min); the
+//      result is their mean. A hard cap bounds pathological cases.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bts/sampler.hpp"
+#include "bts/tester.hpp"
+#include "dataset/taxonomy.hpp"
+#include "netsim/udp.hpp"
+#include "swiftest/model_registry.hpp"
+#include "swiftest/probing_fsm.hpp"
+
+namespace swiftest::swift {
+
+struct SwiftestConfig {
+  dataset::AccessTech tech = dataset::AccessTech::kWiFi5;
+  core::SimDuration sample_interval = bts::kSampleInterval;
+  /// Convergence: (max - min) / min over the trailing window (FAST's 3%).
+  std::size_t convergence_window = 10;
+  double convergence_tolerance = 0.03;
+  /// A sample within this fraction of the probing rate counts as keeping up.
+  double saturation_epsilon = 0.05;
+  /// Escalation factor past the largest mode.
+  double overshoot_factor = 1.25;
+  /// Per-server uplink capacity (budget VM servers, §5.2).
+  double server_uplink_mbps = 100.0;
+  core::SimDuration max_duration = core::seconds(6);
+  std::int32_t probe_payload_bytes = 1400;
+};
+
+class SwiftestClient final : public bts::BandwidthTester {
+ public:
+  SwiftestClient(SwiftestConfig config, const ModelRegistry& registry);
+
+  [[nodiscard]] bts::BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] std::string name() const override { return "swiftest"; }
+
+  /// Servers needed so that total uplink capacity covers `rate_mbps`.
+  [[nodiscard]] static std::size_t servers_needed(double rate_mbps, double uplink_mbps);
+
+ private:
+  SwiftestConfig config_;
+  const ModelRegistry& registry_;
+};
+
+}  // namespace swiftest::swift

@@ -1,0 +1,82 @@
+#include "swiftest/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace swiftest::swift {
+namespace {
+
+constexpr const char* kMagic = "swiftest-models v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("models: " + what);
+}
+
+}  // namespace
+
+void save_models(std::ostream& out, const ModelRegistry& registry) {
+  out << kMagic << '\n' << std::setprecision(12);
+  for (const auto tech : dataset::kAllTechs) {
+    if (!registry.has_fitted_model(tech)) continue;
+    const auto& model = registry.model(tech);
+    out << "model " << static_cast<int>(tech) << ' ' << model.component_count() << '\n';
+    for (const auto& c : model.components()) {
+      out << "component " << c.weight << ' ' << c.dist.mean << ' ' << c.dist.stddev
+          << '\n';
+    }
+  }
+}
+
+void save_models_file(const std::string& path, const ModelRegistry& registry) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open for writing: " + path);
+  save_models(out, registry);
+}
+
+void load_models(std::istream& in, ModelRegistry& registry) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) fail("bad header");
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string keyword;
+    int tech_value = -1;
+    std::size_t k = 0;
+    header >> keyword >> tech_value >> k;
+    if (header.fail() || keyword != "model") fail("expected 'model' line, got: " + line);
+    if (tech_value < 0 || tech_value > static_cast<int>(dataset::AccessTech::kWiFi6)) {
+      fail("technology out of range");
+    }
+    if (k == 0 || k > 64) fail("component count out of range");
+
+    std::vector<stats::MixtureComponent> components;
+    components.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!std::getline(in, line)) fail("truncated component list");
+      std::istringstream comp(line);
+      stats::MixtureComponent c;
+      comp >> keyword >> c.weight >> c.dist.mean >> c.dist.stddev;
+      if (comp.fail() || keyword != "component") fail("bad component line: " + line);
+      components.push_back(c);
+    }
+    // GaussianMixture validates weights/stddevs and throws invalid_argument;
+    // surface that as the same error family.
+    try {
+      registry.set_model(static_cast<dataset::AccessTech>(tech_value),
+                         stats::GaussianMixture(std::move(components)));
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+  }
+}
+
+void load_models_file(const std::string& path, ModelRegistry& registry) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open for reading: " + path);
+  load_models(in, registry);
+}
+
+}  // namespace swiftest::swift

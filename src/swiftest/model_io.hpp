@@ -1,0 +1,30 @@
+// Model persistence.
+//
+// Swiftest refreshes its per-technology bandwidth models periodically from
+// recent test results (§5.1: the distributions are stable on a ~monthly
+// scale). The fitted models must survive process restarts and be
+// distributable to the server fleet, so the registry serializes to a small
+// line-oriented text format:
+//
+//   swiftest-models v1
+//   model <tech> <k>
+//   component <weight> <mean> <stddev>   (x k)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "swiftest/model_registry.hpp"
+
+namespace swiftest::swift {
+
+/// Writes every *fitted* model in the registry (defaults are code, not data).
+void save_models(std::ostream& out, const ModelRegistry& registry);
+void save_models_file(const std::string& path, const ModelRegistry& registry);
+
+/// Loads models into the registry (overwriting same-technology entries).
+/// Throws std::runtime_error on malformed input.
+void load_models(std::istream& in, ModelRegistry& registry);
+void load_models_file(const std::string& path, ModelRegistry& registry);
+
+}  // namespace swiftest::swift

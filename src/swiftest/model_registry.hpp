@@ -1,0 +1,45 @@
+// Per-technology bandwidth models for data-driven probing (§5.1).
+//
+// Swiftest's core insight: for a given access technology, access bandwidth
+// follows a multi-modal Gaussian distribution that is stable on a ~monthly
+// time scale. The registry holds one fitted mixture per technology; the
+// client reads the most probable mode as its initial probing rate and walks
+// up the larger modes while the client keeps up. Models are refreshed
+// periodically from recent campaign data via fit_from_campaign().
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "dataset/record.hpp"
+#include "dataset/taxonomy.hpp"
+#include "stats/gmm.hpp"
+
+namespace swiftest::swift {
+
+class ModelRegistry {
+ public:
+  /// Built-in mixture for a technology, calibrated against the §3 campaign
+  /// distributions (Figs 16, 18, 19). Used until real data arrives.
+  [[nodiscard]] static stats::GaussianMixture default_model(dataset::AccessTech tech);
+
+  /// The model used for probing: the fitted one if present, else the default.
+  [[nodiscard]] const stats::GaussianMixture& model(dataset::AccessTech tech) const;
+
+  void set_model(dataset::AccessTech tech, stats::GaussianMixture model);
+
+  /// True if a fitted (non-default) model exists for the technology.
+  [[nodiscard]] bool has_fitted_model(dataset::AccessTech tech) const;
+
+  /// Periodic refresh: fits one mixture per technology present in the
+  /// campaign (BIC-selected component count in [min_k, max_k]). Technologies
+  /// with fewer than `min_samples` tests keep their previous model.
+  void fit_from_campaign(std::span<const dataset::TestRecord> records,
+                         std::size_t min_k = 1, std::size_t max_k = 6,
+                         std::size_t min_samples = 500);
+
+ private:
+  std::map<dataset::AccessTech, stats::GaussianMixture> fitted_;
+};
+
+}  // namespace swiftest::swift

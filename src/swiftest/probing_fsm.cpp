@@ -1,0 +1,51 @@
+#include "swiftest/probing_fsm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace swiftest::swift {
+
+ProbingFsm::ProbingFsm(ProbingFsmConfig config, const stats::GaussianMixture& model)
+    : config_(config), model_(model), rate_mbps_(std::max(1.0, model.most_probable_mode())) {}
+
+ProbingFsm::Action ProbingFsm::on_sample(double sample_mbps) {
+  if (converged_) return Action::kConverged;
+  window_.push_back(sample_mbps);
+
+  // Saturation check: the client keeps up with the probing rate, so the
+  // access link is not the limiter yet — escalate.
+  if (sample_mbps >= rate_mbps_ * (1.0 - config_.saturation_epsilon)) {
+    double next = model_.most_probable_mode_above(rate_mbps_);
+    if (next <= rate_mbps_) next = rate_mbps_ * config_.overshoot_factor;
+    rate_mbps_ = next;
+    window_.clear();
+    ++escalations_;
+    return Action::kEscalate;
+  }
+
+  if (window_.size() >= config_.convergence_window) {
+    const auto tail = std::span<const double>(window_).subspan(
+        window_.size() - config_.convergence_window);
+    const double hi = *std::max_element(tail.begin(), tail.end());
+    const double lo = *std::min_element(tail.begin(), tail.end());
+    const double allowed = std::max(config_.convergence_tolerance * lo,
+                                    config_.quantization_floor_mbps);
+    if (lo > 0.0 && hi - lo <= allowed) {
+      result_mbps_ = std::accumulate(tail.begin(), tail.end(), 0.0) /
+                     static_cast<double>(tail.size());
+      converged_ = true;
+      return Action::kConverged;
+    }
+  }
+  return Action::kContinue;
+}
+
+double ProbingFsm::fallback_estimate() const {
+  if (converged_) return result_mbps_;
+  if (window_.empty()) return 0.0;
+  const std::size_t n = std::min(config_.convergence_window, window_.size());
+  const auto tail = std::span<const double>(window_).subspan(window_.size() - n);
+  return std::accumulate(tail.begin(), tail.end(), 0.0) / static_cast<double>(n);
+}
+
+}  // namespace swiftest::swift

@@ -1,0 +1,74 @@
+// The §5.1 probing state machine, extracted as pure logic.
+//
+// Both client implementations — SwiftestClient (simulator-direct) and
+// WireClient (full UDP protocol against SwiftestServer) — feed 50 ms
+// throughput samples into this FSM and obey its decisions:
+//
+//   * a sample that keeps up with the probing rate means the access link is
+//     not saturated -> escalate to the most probable larger mode (or +25%
+//     past the largest);
+//   * when the trailing window of samples converges ((max-min)/min <= 3%,
+//     with an absolute floor of a few datagrams for slow links), the test is
+//     over and the result is the window mean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/gmm.hpp"
+
+namespace swiftest::swift {
+
+struct ProbingFsmConfig {
+  std::size_t convergence_window = 10;
+  double convergence_tolerance = 0.03;
+  /// A sample within this fraction of the probing rate counts as keeping up.
+  double saturation_epsilon = 0.05;
+  /// Escalation factor past the largest mode.
+  double overshoot_factor = 1.25;
+  /// Absolute convergence floor (Mbps): quantization of a 50 ms sample.
+  double quantization_floor_mbps = 0.0;
+};
+
+class ProbingFsm {
+ public:
+  enum class Action {
+    kContinue,   // keep probing at the current rate
+    kEscalate,   // rate was raised; reconfigure the flows
+    kConverged,  // test over; result() is valid
+  };
+
+  ProbingFsm(ProbingFsmConfig config, const stats::GaussianMixture& model);
+
+  /// Feeds one throughput sample; returns the decision.
+  [[nodiscard]] Action on_sample(double sample_mbps);
+
+  /// The current probing data rate.
+  [[nodiscard]] double rate_mbps() const noexcept { return rate_mbps_; }
+
+  /// The final estimate; only meaningful after kConverged.
+  [[nodiscard]] double result_mbps() const noexcept { return result_mbps_; }
+
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+  /// Number of escalations performed so far.
+  [[nodiscard]] int escalations() const noexcept { return escalations_; }
+
+  /// Samples since the last rate change (the convergence window source).
+  [[nodiscard]] const std::vector<double>& window() const noexcept { return window_; }
+
+  /// Fallback estimate when a hard deadline fires before convergence: the
+  /// mean of the most recent (up to window-sized) samples.
+  [[nodiscard]] double fallback_estimate() const;
+
+ private:
+  ProbingFsmConfig config_;
+  const stats::GaussianMixture& model_;
+  double rate_mbps_;
+  std::vector<double> window_;
+  double result_mbps_ = 0.0;
+  bool converged_ = false;
+  int escalations_ = 0;
+};
+
+}  // namespace swiftest::swift

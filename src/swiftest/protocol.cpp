@@ -1,0 +1,180 @@
+#include "swiftest/protocol.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  std::uint8_t u8() { return ok_ && pos_ < bytes_.size() ? bytes_[pos_++] : fail(); }
+
+  std::uint16_t u16() {
+    const auto hi = static_cast<std::uint16_t>(u8());
+    return static_cast<std::uint16_t>(hi << 8 | u8());
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | u8();
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | u8();
+    return v;
+  }
+
+ private:
+  std::uint8_t fail() {
+    ok_ = false;
+    return 0;
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void put_header(std::vector<std::uint8_t>& out, MessageType type) {
+  put_u16(out, kProtocolMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+}
+
+bool read_header(Reader& r, MessageType expected) {
+  const std::uint16_t magic = r.u16();
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  return r.ok() && magic == kProtocolMagic && version == kProtocolVersion &&
+         type == static_cast<std::uint8_t>(expected);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const ProbeRequest& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(18);
+  put_header(out, MessageType::kProbeRequest);
+  put_u8(out, static_cast<std::uint8_t>(msg.tech));
+  put_u8(out, 0);
+  put_u32(out, msg.initial_rate_kbps);
+  put_u64(out, msg.nonce);
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(const RateUpdate& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20);
+  put_header(out, MessageType::kRateUpdate);
+  put_u64(out, msg.nonce);
+  put_u32(out, msg.rate_kbps);
+  put_u32(out, msg.update_seq);
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(const ProbeData& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(18);
+  put_header(out, MessageType::kProbeData);
+  put_u16(out, 0);
+  put_u32(out, msg.seq);
+  put_u64(out, msg.send_time_us);
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(const TestComplete& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20);
+  put_header(out, MessageType::kTestComplete);
+  put_u64(out, msg.nonce);
+  put_u32(out, msg.result_kbps);
+  put_u32(out, msg.sample_count);
+  return out;
+}
+
+std::optional<MessageType> peek_type(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint16_t magic = r.u16();
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  if (!r.ok() || magic != kProtocolMagic || version != kProtocolVersion) {
+    return std::nullopt;
+  }
+  if (type < static_cast<std::uint8_t>(MessageType::kProbeRequest) ||
+      type > static_cast<std::uint8_t>(MessageType::kTestComplete)) {
+    return std::nullopt;
+  }
+  return static_cast<MessageType>(type);
+}
+
+std::optional<ProbeRequest> parse_probe_request(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (!read_header(r, MessageType::kProbeRequest)) return std::nullopt;
+  ProbeRequest msg;
+  const std::uint8_t tech = r.u8();
+  r.u8();  // pad
+  msg.initial_rate_kbps = r.u32();
+  msg.nonce = r.u64();
+  if (!r.ok() || tech > static_cast<std::uint8_t>(dataset::AccessTech::kWiFi6)) {
+    return std::nullopt;
+  }
+  msg.tech = static_cast<dataset::AccessTech>(tech);
+  return msg;
+}
+
+std::optional<RateUpdate> parse_rate_update(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (!read_header(r, MessageType::kRateUpdate)) return std::nullopt;
+  RateUpdate msg;
+  msg.nonce = r.u64();
+  msg.rate_kbps = r.u32();
+  msg.update_seq = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return msg;
+}
+
+std::optional<ProbeData> parse_probe_data(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (!read_header(r, MessageType::kProbeData)) return std::nullopt;
+  ProbeData msg;
+  r.u16();  // pad
+  msg.seq = r.u32();
+  msg.send_time_us = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return msg;
+}
+
+std::optional<TestComplete> parse_test_complete(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (!read_header(r, MessageType::kTestComplete)) return std::nullopt;
+  TestComplete msg;
+  msg.nonce = r.u64();
+  msg.result_kbps = r.u32();
+  msg.sample_count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace swiftest::swift

@@ -1,0 +1,90 @@
+// Swiftest's UDP probing wire protocol (§5.1, §5.3).
+//
+// The client and server exchange small control messages; probe traffic is
+// paced UDP datagrams. Messages use a fixed big-endian binary layout with a
+// magic/version header so heterogeneous client builds interoperate. This
+// module is pure serialization — transport is netsim (or a real socket in a
+// production build).
+//
+// Layout (all integers big-endian):
+//   common header: magic u16 = 0x5357 ('SW'), version u8, type u8
+//   ProbeRequest : + tech u8, pad u8, initial_rate_kbps u32, nonce u64
+//   RateUpdate   : + nonce u64, rate_kbps u32, update_seq u32
+//   ProbeData    : + pad u16, seq u32, send_time_us u64
+//   TestComplete : + nonce u64, result_kbps u32, sample_count u32
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dataset/taxonomy.hpp"
+
+namespace swiftest::swift {
+
+inline constexpr std::uint16_t kProtocolMagic = 0x5357;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kProbeRequest = 1,
+  kRateUpdate = 2,
+  kProbeData = 3,
+  kTestComplete = 4,
+};
+
+/// Client -> server: start a test for this technology at this initial rate.
+struct ProbeRequest {
+  dataset::AccessTech tech = dataset::AccessTech::k4G;
+  std::uint32_t initial_rate_kbps = 0;
+  std::uint64_t nonce = 0;
+
+  bool operator==(const ProbeRequest&) const = default;
+};
+
+/// Client -> server: adjust the probing rate (mode escalation). The nonce
+/// addresses the session opened by the matching ProbeRequest; update_seq
+/// orders updates so a reordered stale command cannot undo a newer one.
+struct RateUpdate {
+  std::uint64_t nonce = 0;
+  std::uint32_t rate_kbps = 0;
+  std::uint32_t update_seq = 0;
+
+  bool operator==(const RateUpdate&) const = default;
+};
+
+/// Server -> client: one probe datagram's header (payload is filler).
+struct ProbeData {
+  std::uint32_t seq = 0;
+  std::uint64_t send_time_us = 0;
+
+  bool operator==(const ProbeData&) const = default;
+};
+
+/// Client -> server: the test is over; stop sending.
+struct TestComplete {
+  std::uint64_t nonce = 0;
+  std::uint32_t result_kbps = 0;
+  std::uint32_t sample_count = 0;
+
+  bool operator==(const TestComplete&) const = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> serialize(const ProbeRequest& msg);
+[[nodiscard]] std::vector<std::uint8_t> serialize(const RateUpdate& msg);
+[[nodiscard]] std::vector<std::uint8_t> serialize(const ProbeData& msg);
+[[nodiscard]] std::vector<std::uint8_t> serialize(const TestComplete& msg);
+
+/// Peeks the message type; nullopt on short/garbled/foreign input.
+[[nodiscard]] std::optional<MessageType> peek_type(std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::optional<ProbeRequest> parse_probe_request(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<RateUpdate> parse_rate_update(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<ProbeData> parse_probe_data(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<TestComplete> parse_test_complete(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace swiftest::swift

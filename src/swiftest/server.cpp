@@ -1,0 +1,156 @@
+#include "swiftest/server.hpp"
+
+#include <algorithm>
+
+#include "netsim/packet.hpp"
+
+namespace swiftest::swift {
+
+SwiftestServer::SwiftestServer(netsim::Scheduler& sched, netsim::Path& path,
+                               ServerConfig config)
+    : sched_(sched), path_(path), config_(config) {
+  gc_timer_ = sched_.schedule_in(config_.idle_timeout, [this] { reap_idle(); });
+}
+
+SwiftestServer::~SwiftestServer() {
+  gc_timer_.cancel();
+  for (auto& [nonce, session] : sessions_) session.timer.cancel();
+}
+
+core::Bandwidth SwiftestServer::clamp_rate(double kbps) const {
+  return std::min(core::Bandwidth::kbps(kbps), config_.uplink);
+}
+
+void SwiftestServer::on_control_message(std::span<const std::uint8_t> bytes) {
+  const auto type = peek_type(bytes);
+  if (!type) {
+    ++stats_.garbled_messages;
+    return;
+  }
+  switch (*type) {
+    case MessageType::kProbeRequest: {
+      const auto request = parse_probe_request(bytes);
+      if (!request) {
+        ++stats_.garbled_messages;
+        return;
+      }
+      handle_request(*request);
+      return;
+    }
+    case MessageType::kRateUpdate: {
+      const auto update = parse_rate_update(bytes);
+      if (!update) {
+        ++stats_.garbled_messages;
+        return;
+      }
+      handle_rate_update(update->nonce, *update);
+      return;
+    }
+    case MessageType::kTestComplete: {
+      const auto complete = parse_test_complete(bytes);
+      if (!complete) {
+        ++stats_.garbled_messages;
+        return;
+      }
+      handle_complete(*complete);
+      return;
+    }
+    case MessageType::kProbeData:
+      // Downstream-only message arriving upstream: protocol misuse.
+      ++stats_.garbled_messages;
+      return;
+  }
+}
+
+void SwiftestServer::handle_request(const ProbeRequest& request) {
+  if (sessions_.size() >= config_.max_sessions &&
+      sessions_.find(request.nonce) == sessions_.end()) {
+    ++stats_.requests_rejected;
+    return;
+  }
+  auto& session = sessions_[request.nonce];  // creates or restarts
+  session.rate = clamp_rate(request.initial_rate_kbps);
+  session.last_update_seq = 0;
+  session.last_activity = sched_.now();
+  session.next_send = std::max(session.next_send, sched_.now());
+  ++stats_.requests_accepted;
+  pump(request.nonce);
+}
+
+void SwiftestServer::handle_rate_update(std::uint64_t nonce, const RateUpdate& update) {
+  const auto it = sessions_.find(nonce);
+  if (it == sessions_.end()) return;  // late command for a reaped session
+  Session& session = it->second;
+  if (update.update_seq <= session.last_update_seq) {
+    ++stats_.rate_updates_stale;
+    return;
+  }
+  session.last_update_seq = update.update_seq;
+  session.rate = clamp_rate(update.rate_kbps);
+  session.last_activity = sched_.now();
+  ++stats_.rate_updates_applied;
+  pump(nonce);
+}
+
+void SwiftestServer::handle_complete(const TestComplete& complete) {
+  const auto it = sessions_.find(complete.nonce);
+  if (it == sessions_.end()) return;
+  it->second.timer.cancel();
+  sessions_.erase(it);
+  ++stats_.completions;
+}
+
+void SwiftestServer::pump(std::uint64_t nonce) {
+  const auto it = sessions_.find(nonce);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (session.rate.is_zero()) return;
+  if (session.timer_armed) return;
+
+  const core::SimTime now = sched_.now();
+  if (session.next_send > now) {
+    session.timer_armed = true;
+    session.timer = sched_.schedule_at(session.next_send, [this, nonce] {
+      const auto inner = sessions_.find(nonce);
+      if (inner == sessions_.end()) return;
+      inner->second.timer_armed = false;
+      pump(nonce);
+    });
+    return;
+  }
+
+  // Emit one probe datagram and schedule the next at the paced gap.
+  ProbeData header;
+  header.seq = session.next_probe_seq++;
+  header.send_time_us = static_cast<std::uint64_t>(now / 1000);
+  netsim::Packet pkt;
+  pkt.kind = netsim::PacketKind::kUdpData;
+  pkt.flow_id = nonce;
+  pkt.seq = header.seq;
+  pkt.size_bytes = config_.probe_payload_bytes + netsim::kUdpHeaderBytes;
+  pkt.sent_at = now;
+  pkt.payload = std::make_shared<const std::vector<std::uint8_t>>(serialize(header));
+  stats_.probe_bytes_sent += pkt.size_bytes;
+  path_.send_downstream(std::move(pkt), downstream_sink_);
+
+  const core::SimDuration gap = session.rate.transmit_time(
+      core::Bytes(config_.probe_payload_bytes + netsim::kUdpHeaderBytes));
+  session.next_send = std::max(session.next_send, now) + gap;
+  pump(nonce);
+}
+
+void SwiftestServer::reap_idle() {
+  const core::SimTime cutoff = sched_.now() - config_.idle_timeout;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.last_activity < cutoff) {
+      it->second.timer.cancel();
+      it = sessions_.erase(it);
+      ++stats_.sessions_reaped;
+    } else {
+      ++it;
+    }
+  }
+  gc_timer_ = sched_.schedule_in(config_.idle_timeout, [this] { reap_idle(); });
+}
+
+}  // namespace swiftest::swift

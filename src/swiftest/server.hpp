@@ -1,0 +1,91 @@
+// Swiftest test server.
+//
+// The server-side Linux user-space module of §5.3, simulated: it accepts the
+// wire protocol's control messages (protocol.hpp), runs one probing session
+// per client nonce, and emits ProbeData datagrams downstream, token-bucket
+// paced at the client's commanded rate and capped at the server's uplink.
+// Sessions are garbage-collected after an idle timeout so that lost
+// TestComplete messages cannot leak server bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "netsim/path.hpp"
+#include "netsim/scheduler.hpp"
+#include "swiftest/protocol.hpp"
+
+namespace swiftest::swift {
+
+struct ServerConfig {
+  /// Egress capacity; commanded rates are clamped to it (100 Mbps budget
+  /// VMs in the §5.3 deployment).
+  core::Bandwidth uplink = core::Bandwidth::mbps(100);
+  /// Sessions with no control traffic for this long are reaped.
+  core::SimDuration idle_timeout = core::seconds(3);
+  std::int32_t probe_payload_bytes = 1400;
+  std::size_t max_sessions = 64;
+};
+
+struct ServerStats {
+  std::uint64_t requests_accepted = 0;
+  std::uint64_t requests_rejected = 0;   // capacity/garbled
+  std::uint64_t rate_updates_applied = 0;
+  std::uint64_t rate_updates_stale = 0;  // out-of-order update_seq
+  std::uint64_t completions = 0;
+  std::uint64_t sessions_reaped = 0;     // idle-timeout GC
+  std::int64_t probe_bytes_sent = 0;
+  std::uint64_t garbled_messages = 0;
+};
+
+class SwiftestServer {
+ public:
+  SwiftestServer(netsim::Scheduler& sched, netsim::Path& path, ServerConfig config);
+  ~SwiftestServer();
+
+  SwiftestServer(const SwiftestServer&) = delete;
+  SwiftestServer& operator=(const SwiftestServer&) = delete;
+
+  /// Entry point for client control messages (the payload of an upstream
+  /// datagram). Garbled or foreign bytes are counted and dropped.
+  void on_control_message(std::span<const std::uint8_t> bytes);
+
+  /// Where downstream probe datagrams are delivered (the client's receive
+  /// handler at the far end of the path).
+  void set_downstream_sink(netsim::Path::DeliveryFn sink) {
+    downstream_sink_ = std::move(sink);
+  }
+
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t active_sessions() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session {
+    core::Bandwidth rate;
+    std::uint32_t last_update_seq = 0;
+    std::uint32_t next_probe_seq = 0;
+    core::SimTime next_send = 0;
+    core::SimTime last_activity = 0;
+    bool timer_armed = false;
+    netsim::EventHandle timer;
+  };
+
+  void handle_request(const ProbeRequest& request);
+  void handle_rate_update(std::uint64_t nonce_hint, const RateUpdate& update);
+  void handle_complete(const TestComplete& complete);
+  void pump(std::uint64_t nonce);
+  void reap_idle();
+  [[nodiscard]] core::Bandwidth clamp_rate(double kbps) const;
+
+  netsim::Scheduler& sched_;
+  netsim::Path& path_;
+  ServerConfig config_;
+  netsim::Path::DeliveryFn downstream_sink_ = [](const netsim::Packet&) {};
+  std::map<std::uint64_t, Session> sessions_;  // keyed by client nonce
+  ServerStats stats_;
+  netsim::EventHandle gc_timer_;
+};
+
+}  // namespace swiftest::swift

@@ -1,0 +1,170 @@
+#include "swiftest/wire_client.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+#include "netsim/packet.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+constexpr std::int32_t kControlWireBytes = 48;  // header + message + slack
+
+netsim::Packet make_control_packet(std::uint64_t nonce,
+                                   std::vector<std::uint8_t> bytes) {
+  netsim::Packet pkt;
+  pkt.kind = netsim::PacketKind::kUdpControl;
+  pkt.flow_id = nonce;
+  pkt.size_bytes = kControlWireBytes;
+  pkt.payload = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  return pkt;
+}
+
+}  // namespace
+
+WireClient::WireClient(SwiftestConfig config, const ModelRegistry& registry,
+                       ServerConfig server_config)
+    : config_(config), registry_(registry), server_config_(server_config) {}
+
+bts::BtsResult WireClient::run(netsim::Scenario& scenario) {
+  bts::BtsResult result;
+  server_stats_ = {};
+  auto& sched = scenario.scheduler();
+  const auto& model = registry_.model(config_.tech);
+
+  // Server selection, as in SwiftestClient.
+  const bts::ServerSelection sel =
+      bts::select_server(scenario, scenario.server_count(), /*concurrency=*/4);
+  result.ping_duration = sel.elapsed;
+  sched.run_until(sched.now() + sel.elapsed);
+
+  ProbingFsmConfig fsm_cfg;
+  fsm_cfg.convergence_window = config_.convergence_window;
+  fsm_cfg.convergence_tolerance = config_.convergence_tolerance;
+  fsm_cfg.saturation_epsilon = config_.saturation_epsilon;
+  fsm_cfg.overshoot_factor = config_.overshoot_factor;
+  fsm_cfg.quantization_floor_mbps = 3.0 * (config_.probe_payload_bytes + 28) * 8.0 /
+                                    core::to_seconds(config_.sample_interval) / 1e6;
+  ProbingFsm fsm(fsm_cfg, model);
+
+  // One server per enlisted path; all share the client's nonce.
+  core::Rng nonce_rng(scenario.fork_rng());
+  const std::uint64_t nonce = nonce_rng.next_u64() | 1;
+  bts::ThroughputSampler sampler(sched);
+  std::int64_t wire_bytes = 0;
+  // Packets still in flight when this function returns must not touch the
+  // dead locals (sampler, servers); the shared flag disables their sinks.
+  auto alive = std::make_shared<bool>(true);
+
+  ServerConfig server_cfg = server_config_;
+  server_cfg.probe_payload_bytes = config_.probe_payload_bytes;
+  std::vector<std::unique_ptr<SwiftestServer>> servers;
+  std::uint32_t update_seq = 0;
+
+  auto client_sink = [&, alive](const netsim::Packet& pkt) {
+    if (!*alive) return;
+    wire_bytes += pkt.size_bytes;
+    if (!pkt.payload || !parse_probe_data(*pkt.payload)) return;  // corrupt probe
+    sampler.add_bytes(pkt.size_bytes - netsim::kUdpHeaderBytes);
+  };
+
+  auto send_control = [&](std::size_t server_index, std::vector<std::uint8_t> bytes) {
+    SwiftestServer* server = servers[server_index].get();
+    scenario.server_path((sel.server + server_index) % scenario.server_count())
+        .send_upstream(make_control_packet(nonce, std::move(bytes)),
+                       [server, alive](const netsim::Packet& pkt) {
+                         if (*alive && pkt.payload) {
+                           server->on_control_message(*pkt.payload);
+                         }
+                       });
+  };
+
+  auto apply_rate = [&](double total_mbps) {
+    const double uplink = server_cfg.uplink.megabits_per_second();
+    const std::size_t needed = std::min(
+        SwiftestClient::servers_needed(total_mbps, uplink), scenario.server_count());
+    while (servers.size() < needed) {
+      const std::size_t index = servers.size();
+      auto& path = scenario.server_path((sel.server + index) % scenario.server_count());
+      servers.push_back(std::make_unique<SwiftestServer>(sched, path, server_cfg));
+      servers.back()->set_downstream_sink(client_sink);
+      // New servers join via a ProbeRequest at the (not yet known) share;
+      // the follow-up RateUpdate below sets the precise split.
+      ProbeRequest request;
+      request.tech = config_.tech;
+      request.initial_rate_kbps = 0;
+      request.nonce = nonce;
+      send_control(index, serialize(request));
+    }
+    const double per_server = total_mbps / static_cast<double>(servers.size());
+    ++update_seq;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      RateUpdate update;
+      update.nonce = nonce;
+      update.rate_kbps = static_cast<std::uint32_t>(per_server * 1000.0);
+      update.update_seq = update_seq;
+      send_control(i, serialize(update));
+    }
+  };
+
+  apply_rate(fsm.rate_mbps());
+
+  const core::SimTime start = sched.now();
+  const core::SimTime hard_stop = start + config_.max_duration;
+  bool done = false;
+  sampler.start(config_.sample_interval, [&](double sample_mbps) {
+    switch (fsm.on_sample(sample_mbps)) {
+      case ProbingFsm::Action::kEscalate:
+        apply_rate(fsm.rate_mbps());
+        return true;
+      case ProbingFsm::Action::kConverged:
+        done = true;
+        return false;
+      case ProbingFsm::Action::kContinue:
+        return true;
+    }
+    return true;
+  });
+
+  while (!done && sched.now() < hard_stop) {
+    const core::SimTime step =
+        std::min<core::SimTime>(sched.now() + core::milliseconds(100), hard_stop);
+    sched.run_until(step);
+  }
+  sampler.stop();
+
+  // Tear the sessions down; servers stop within the control one-way delay.
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    TestComplete complete;
+    complete.nonce = nonce;
+    complete.result_kbps = static_cast<std::uint32_t>(fsm.fallback_estimate() * 1000.0);
+    complete.sample_count = static_cast<std::uint32_t>(sampler.samples().size());
+    send_control(i, serialize(complete));
+  }
+  sched.run_until(sched.now() + core::milliseconds(200));  // drain in flight
+
+  result.probe_duration = sched.now() > hard_stop
+                              ? config_.max_duration
+                              : sched.now() - start - core::milliseconds(200);
+  if (result.probe_duration < 0) result.probe_duration = 0;
+  result.samples_mbps = sampler.samples();
+  result.connections_used = servers.size();
+  result.data_used = core::Bytes(wire_bytes);
+  result.bandwidth_mbps = fsm.fallback_estimate();
+  *alive = false;  // anything still in flight must not touch the dead locals
+
+  for (const auto& server : servers) {
+    const auto& s = server->stats();
+    server_stats_.requests_accepted += s.requests_accepted;
+    server_stats_.requests_rejected += s.requests_rejected;
+    server_stats_.rate_updates_applied += s.rate_updates_applied;
+    server_stats_.rate_updates_stale += s.rate_updates_stale;
+    server_stats_.completions += s.completions;
+    server_stats_.sessions_reaped += s.sessions_reaped;
+    server_stats_.probe_bytes_sent += s.probe_bytes_sent;
+    server_stats_.garbled_messages += s.garbled_messages;
+  }
+  return result;
+}
+
+}  // namespace swiftest::swift

@@ -1,0 +1,43 @@
+// Protocol-complete Swiftest client.
+//
+// SwiftestClient (client.hpp) drives the simulator's paced flows directly —
+// convenient for large sweeps. WireClient is the faithful deployment shape:
+// every interaction with the servers goes through serialized protocol.hpp
+// messages carried in datagrams, against real SwiftestServer instances with
+// their session state, pacing, clamping, and garbage collection. Both share
+// the ProbingFsm, so any behavioural difference is transport-induced.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bts/sampler.hpp"
+#include "bts/tester.hpp"
+#include "swiftest/client.hpp"
+#include "swiftest/model_registry.hpp"
+#include "swiftest/server.hpp"
+
+namespace swiftest::swift {
+
+class WireClient final : public bts::BandwidthTester {
+ public:
+  WireClient(SwiftestConfig config, const ModelRegistry& registry,
+             ServerConfig server_config = {});
+
+  [[nodiscard]] bts::BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] std::string name() const override { return "swiftest-wire"; }
+
+  /// Aggregated server-side statistics from the last run (for tests and
+  /// operations dashboards).
+  [[nodiscard]] ServerStats last_run_server_stats() const noexcept {
+    return server_stats_;
+  }
+
+ private:
+  SwiftestConfig config_;
+  const ModelRegistry& registry_;
+  ServerConfig server_config_;
+  ServerStats server_stats_;
+};
+
+}  // namespace swiftest::swift

@@ -1,0 +1,230 @@
+#include "analysis/campaign_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swiftest::analysis {
+namespace {
+
+using dataset::AccessTech;
+using dataset::Isp;
+using dataset::TestRecord;
+using dataset::WifiRadio;
+
+TestRecord make(AccessTech tech, double bw) {
+  TestRecord r;
+  r.tech = tech;
+  r.bandwidth_mbps = bw;
+  return r;
+}
+
+TEST(CampaignStats, BandwidthsFiltersByTech) {
+  std::vector<TestRecord> recs{make(AccessTech::k4G, 10), make(AccessTech::k5G, 300),
+                               make(AccessTech::k4G, 20)};
+  const auto b = bandwidths(recs, AccessTech::k4G);
+  EXPECT_EQ(b, (std::vector<double>{10, 20}));
+}
+
+TEST(CampaignStats, BandwidthsWithPredicate) {
+  std::vector<TestRecord> recs{make(AccessTech::k4G, 10), make(AccessTech::k4G, 400)};
+  const auto b =
+      bandwidths(recs, [](const TestRecord& r) { return r.bandwidth_mbps > 100; });
+  EXPECT_EQ(b, (std::vector<double>{400}));
+}
+
+TEST(CampaignStats, TechSummaryEmptyForMissingTech) {
+  std::vector<TestRecord> recs{make(AccessTech::k4G, 10)};
+  EXPECT_EQ(tech_summary(recs, AccessTech::kWiFi6).count, 0u);
+}
+
+TEST(CampaignStats, LteBandStatsAggregates) {
+  std::vector<TestRecord> recs;
+  auto r1 = make(AccessTech::k4G, 40);
+  r1.band_index = 3;  // B3
+  auto r2 = make(AccessTech::k4G, 80);
+  r2.band_index = 3;
+  auto r3 = make(AccessTech::k5G, 300);  // ignored (not 4G)
+  r3.band_index = 3;
+  recs = {r1, r2, r3};
+  const auto stats = lte_band_stats(recs);
+  ASSERT_EQ(stats.size(), 9u);
+  EXPECT_EQ(stats[3].name, "B3");
+  EXPECT_EQ(stats[3].tests, 2u);
+  EXPECT_DOUBLE_EQ(stats[3].mean_mbps, 60.0);
+  EXPECT_TRUE(stats[3].high_bandwidth);
+  EXPECT_FALSE(stats[3].refarmed);
+  EXPECT_EQ(stats[0].tests, 0u);
+}
+
+TEST(CampaignStats, LteBandStatsIgnoresInvalidIndex) {
+  auto r = make(AccessTech::k4G, 40);
+  r.band_index = -1;
+  std::vector<TestRecord> recs{r};
+  const auto stats = lte_band_stats(recs);
+  for (const auto& b : stats) EXPECT_EQ(b.tests, 0u);
+}
+
+TEST(CampaignStats, NrBandStatsMarksRefarmed) {
+  auto r = make(AccessTech::k5G, 100);
+  r.band_index = 1;  // N1
+  std::vector<TestRecord> recs{r};
+  const auto stats = nr_band_stats(recs);
+  ASSERT_EQ(stats.size(), 5u);
+  EXPECT_EQ(stats[1].name, "N1");
+  EXPECT_TRUE(stats[1].refarmed);
+  EXPECT_FALSE(stats[3].refarmed);  // N78 dedicated
+  EXPECT_EQ(stats[1].tests, 1u);
+}
+
+TEST(CampaignStats, MeanByAndroidBuckets) {
+  auto r1 = make(AccessTech::k4G, 30);
+  r1.android_version = 9;
+  auto r2 = make(AccessTech::k4G, 50);
+  r2.android_version = 9;
+  auto r3 = make(AccessTech::k4G, 100);
+  r3.android_version = 12;
+  std::vector<TestRecord> recs{r1, r2, r3};
+  const auto means = mean_by_android(recs, AccessTech::k4G);
+  EXPECT_DOUBLE_EQ(means[4], 40.0);   // version 9 -> index 4
+  EXPECT_DOUBLE_EQ(means[7], 100.0);  // version 12 -> index 7
+  EXPECT_DOUBLE_EQ(means[0], 0.0);    // no samples
+}
+
+TEST(CampaignStats, MeanByAndroidAggregatesWifi) {
+  auto r1 = make(AccessTech::kWiFi4, 30);
+  r1.android_version = 10;
+  auto r2 = make(AccessTech::kWiFi6, 330);
+  r2.android_version = 10;
+  std::vector<TestRecord> recs{r1, r2};
+  const auto means = mean_by_android(recs, AccessTech::kWiFi5);
+  EXPECT_DOUBLE_EQ(means[5], 180.0);
+}
+
+TEST(CampaignStats, MeanByIsp) {
+  auto r1 = make(AccessTech::k5G, 300);
+  r1.isp = Isp::kIsp1;
+  auto r2 = make(AccessTech::k5G, 100);
+  r2.isp = Isp::kIsp4;
+  std::vector<TestRecord> recs{r1, r2};
+  const auto means = mean_by_isp(recs, AccessTech::k5G);
+  EXPECT_DOUBLE_EQ(means[0], 300.0);
+  EXPECT_DOUBLE_EQ(means[3], 100.0);
+  EXPECT_DOUBLE_EQ(means[1], 0.0);
+}
+
+TEST(CampaignStats, UrbanRuralMean) {
+  auto r1 = make(AccessTech::k4G, 60);
+  r1.urban = true;
+  auto r2 = make(AccessTech::k4G, 40);
+  r2.urban = false;
+  std::vector<TestRecord> recs{r1, r2};
+  const auto ur = urban_rural_mean(recs, AccessTech::k4G);
+  EXPECT_DOUBLE_EQ(ur[0], 60.0);
+  EXPECT_DOUBLE_EQ(ur[1], 40.0);
+}
+
+TEST(CampaignStats, DiurnalStatsPerHour) {
+  auto r1 = make(AccessTech::k5G, 300);
+  r1.hour = 3;
+  auto r2 = make(AccessTech::k5G, 200);
+  r2.hour = 3;
+  auto r3 = make(AccessTech::k5G, 400);
+  r3.hour = 21;
+  std::vector<TestRecord> recs{r1, r2, r3};
+  const auto hours = diurnal_stats(recs, AccessTech::k5G);
+  EXPECT_EQ(hours[3].tests, 2u);
+  EXPECT_DOUBLE_EQ(hours[3].mean_mbps, 250.0);
+  EXPECT_EQ(hours[21].tests, 1u);
+  EXPECT_EQ(hours[0].tests, 0u);
+  EXPECT_EQ(hours[23].hour, 23);
+}
+
+TEST(CampaignStats, RssAggregations) {
+  auto r1 = make(AccessTech::k5G, 200);
+  r1.rss_level = 1;
+  r1.snr_db = 8;
+  auto r2 = make(AccessTech::k5G, 320);
+  r2.rss_level = 4;
+  r2.snr_db = 26;
+  std::vector<TestRecord> recs{r1, r2};
+  const auto bw = mean_by_rss(recs, AccessTech::k5G);
+  const auto snr = snr_by_rss(recs, AccessTech::k5G);
+  EXPECT_DOUBLE_EQ(bw[0], 200.0);
+  EXPECT_DOUBLE_EQ(bw[3], 320.0);
+  EXPECT_DOUBLE_EQ(snr[0], 8.0);
+  EXPECT_DOUBLE_EQ(snr[3], 26.0);
+  EXPECT_DOUBLE_EQ(bw[2], 0.0);
+}
+
+TEST(CampaignStats, RssIgnoresInvalidLevels) {
+  auto r = make(AccessTech::k5G, 200);
+  r.rss_level = 0;  // unset
+  std::vector<TestRecord> recs{r};
+  const auto bw = mean_by_rss(recs, AccessTech::k5G);
+  for (double v : bw) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CampaignStats, WifiRadioSummaryFilters) {
+  auto r1 = make(AccessTech::kWiFi4, 35);
+  r1.radio = WifiRadio::k2_4GHz;
+  auto r2 = make(AccessTech::kWiFi4, 190);
+  r2.radio = WifiRadio::k5GHz;
+  std::vector<TestRecord> recs{r1, r2};
+  EXPECT_DOUBLE_EQ(wifi_radio_summary(recs, AccessTech::kWiFi4, WifiRadio::k2_4GHz).mean,
+                   35.0);
+  EXPECT_DOUBLE_EQ(wifi_radio_summary(recs, AccessTech::kWiFi4, WifiRadio::k5GHz).mean,
+                   190.0);
+}
+
+TEST(CampaignStats, PlanShareLeq) {
+  auto r1 = make(AccessTech::kWiFi5, 90);
+  r1.broadband_plan_mbps = 100;
+  auto r2 = make(AccessTech::kWiFi5, 450);
+  r2.broadband_plan_mbps = 500;
+  std::vector<TestRecord> recs{r1, r2};
+  EXPECT_DOUBLE_EQ(plan_share_leq(recs, AccessTech::kWiFi5, 200), 0.5);
+  EXPECT_DOUBLE_EQ(plan_share_leq(recs, AccessTech::kWiFi6, 200), 0.0);
+}
+
+TEST(CampaignStats, CityStatsGroupsAndSorts) {
+  std::vector<TestRecord> recs;
+  for (int i = 0; i < 3; ++i) {
+    auto r = make(AccessTech::k4G, 30.0 + i);
+    r.city_size = dataset::CitySize::kMega;
+    r.city_id = 1;
+    recs.push_back(r);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto r = make(AccessTech::k4G, 90.0);
+    r.city_size = dataset::CitySize::kSmall;
+    r.city_id = 7;
+    recs.push_back(r);
+  }
+  auto r = make(AccessTech::k4G, 500.0);  // below min_tests: dropped
+  r.city_id = 99;
+  recs.push_back(r);
+
+  const auto cities = city_stats(recs, AccessTech::k4G, 2);
+  ASSERT_EQ(cities.size(), 2u);
+  EXPECT_EQ(cities[0].city_id, 1);
+  EXPECT_NEAR(cities[0].mean_mbps, 31.0, 1e-9);
+  EXPECT_EQ(cities[1].city_id, 7);
+  EXPECT_EQ(cities[1].tests, 3u);
+  EXPECT_TRUE(cities[0].mean_mbps <= cities[1].mean_mbps);
+}
+
+TEST(CampaignStats, CityStatsEmptyForMissingTech) {
+  std::vector<TestRecord> recs{make(AccessTech::kWiFi5, 100.0)};
+  EXPECT_TRUE(city_stats(recs, AccessTech::k4G, 1).empty());
+}
+
+TEST(CampaignStats, OverallAggregates) {
+  std::vector<TestRecord> recs{make(AccessTech::kWiFi4, 40), make(AccessTech::kWiFi6, 360),
+                               make(AccessTech::k4G, 50), make(AccessTech::k5G, 350),
+                               make(AccessTech::k3G, 2)};
+  EXPECT_DOUBLE_EQ(wifi_overall_summary(recs).mean, 200.0);
+  EXPECT_EQ(cellular_overall_summary(recs).count, 3u);
+  EXPECT_NEAR(cellular_overall_summary(recs).mean, 134.0, 1.0);
+}
+
+}  // namespace
+}  // namespace swiftest::analysis

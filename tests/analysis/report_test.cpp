@@ -1,0 +1,55 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+
+namespace swiftest::analysis {
+namespace {
+
+TEST(Report, FullCampaignMentionsEverySection) {
+  const auto records = dataset::generate_campaign(120'000, 2021, 9);
+  const std::string report = generate_report(records);
+  EXPECT_NE(report.find("Per-technology access bandwidth"), std::string::npos);
+  EXPECT_NE(report.find("LTE bands"), std::string::npos);
+  EXPECT_NE(report.find("5G NR bands"), std::string::npos);
+  EXPECT_NE(report.find("RSS level"), std::string::npos);
+  EXPECT_NE(report.find("diurnal"), std::string::npos);
+  EXPECT_NE(report.find("WiFi on 5 GHz"), std::string::npos);
+  EXPECT_NE(report.find("broadband plans"), std::string::npos);
+  // The level-5 dip is detected and annotated on a calibrated campaign.
+  EXPECT_NE(report.find("level-5 dip"), std::string::npos);
+  // Refarmed bands are starred (name is padded before the star).
+  EXPECT_NE(report.find("B41  *"), std::string::npos);
+  EXPECT_NE(report.find("N78"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  const auto records = dataset::generate_campaign(30'000, 2021, 9);
+  ReportOptions options;
+  options.include_bands = false;
+  options.include_rss = false;
+  options.include_diurnal = false;
+  options.include_wifi = false;
+  const std::string report = generate_report(records, options);
+  EXPECT_NE(report.find("Per-technology"), std::string::npos);
+  EXPECT_EQ(report.find("LTE bands"), std::string::npos);
+  EXPECT_EQ(report.find("RSS level"), std::string::npos);
+  EXPECT_EQ(report.find("diurnal"), std::string::npos);
+  EXPECT_EQ(report.find("WiFi on 5 GHz"), std::string::npos);
+}
+
+TEST(Report, ThinGroupsAreMarked) {
+  // A tiny campaign: 3G never reaches the minimum group size.
+  const auto records = dataset::generate_campaign(5'000, 2021, 9);
+  const std::string report = generate_report(records);
+  EXPECT_NE(report.find("too few to report"), std::string::npos);
+}
+
+TEST(Report, EmptyCampaignDoesNotCrash) {
+  const std::string report = generate_report({});
+  EXPECT_NE(report.find("0 tests"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swiftest::analysis

@@ -1,0 +1,80 @@
+#include "bts/fast.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swiftest::bts {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+
+netsim::ScenarioConfig scenario_cfg(double mbps) {
+  netsim::ScenarioConfig cfg;
+  cfg.access_rate = Bandwidth::mbps(mbps);
+  cfg.access_delay = milliseconds(10);
+  return cfg;
+}
+
+TEST(FastConverged, DetectsStableWindow) {
+  std::vector<double> samples{1, 2, 3, 100, 100.5, 101, 100.2, 100.8, 100.1, 100.9,
+                              100.4, 100.6, 100.3};
+  EXPECT_TRUE(FastBts::converged(samples, 10, 0.03));
+}
+
+TEST(FastConverged, RejectsRampingWindow) {
+  std::vector<double> samples;
+  for (int i = 0; i < 20; ++i) samples.push_back(10.0 * i);
+  EXPECT_FALSE(FastBts::converged(samples, 10, 0.03));
+}
+
+TEST(FastConverged, NeedsFullWindow) {
+  std::vector<double> samples{100, 100, 100};
+  EXPECT_FALSE(FastBts::converged(samples, 10, 0.03));
+  EXPECT_TRUE(FastBts::converged(samples, 3, 0.03));
+}
+
+TEST(FastConverged, ZeroSamplesNeverConverge) {
+  std::vector<double> samples(12, 0.0);
+  EXPECT_FALSE(FastBts::converged(samples, 10, 0.03));
+}
+
+TEST(FastBtsTester, AccurateOnSteadyLink) {
+  netsim::Scenario scenario(scenario_cfg(60.0), 21);
+  FastBts tester;
+  const auto result = tester.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, 60.0, 6.0);
+}
+
+TEST(FastBtsTester, RespectsMinimumDuration) {
+  netsim::Scenario scenario(scenario_cfg(40.0), 22);
+  FastConfig cfg;
+  cfg.min_duration = seconds(5);
+  FastBts tester(cfg);
+  const auto result = tester.run(scenario);
+  EXPECT_GE(result.probe_duration, seconds(5));
+}
+
+TEST(FastBtsTester, StopsBeforeMaxOnStableLink) {
+  netsim::Scenario scenario(scenario_cfg(40.0), 23);
+  const auto result = FastBts().run(scenario);
+  EXPECT_LT(result.probe_duration, seconds(30));
+}
+
+TEST(FastBtsTester, UsesParallelConnections) {
+  netsim::Scenario scenario(scenario_cfg(100.0), 24);
+  FastConfig cfg;
+  cfg.parallel_connections = 3;
+  const auto result = FastBts(cfg).run(scenario);
+  EXPECT_EQ(result.connections_used, 3u);
+}
+
+TEST(FastBtsTester, ShorterThanFloodingButMoreDataThanNeeded) {
+  netsim::Scenario scenario(scenario_cfg(100.0), 25);
+  const auto result = FastBts().run(scenario);
+  // TCP probing for >= 5 s at 100 Mbps moves tens of MB.
+  EXPECT_GT(result.data_used.megabytes(), 30.0);
+}
+
+}  // namespace
+}  // namespace swiftest::bts

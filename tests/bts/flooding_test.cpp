@@ -1,0 +1,126 @@
+#include "bts/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bts/tester.hpp"
+
+namespace swiftest::bts {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+
+netsim::ScenarioConfig scenario_cfg(double mbps) {
+  netsim::ScenarioConfig cfg;
+  cfg.access_rate = Bandwidth::mbps(mbps);
+  cfg.access_delay = milliseconds(10);
+  return cfg;
+}
+
+TEST(FloodingEstimate, DropsExtremeGroupsAndAverages) {
+  // 200 samples: 5 groups of junk-low, 2 of junk-high, 13 groups at 100.
+  std::vector<double> samples;
+  for (int g = 0; g < 20; ++g) {
+    double value = 100.0;
+    if (g < 5) value = 1.0;        // slow-start noise
+    else if (g < 7) value = 500.0;  // burst noise
+    for (int i = 0; i < 10; ++i) samples.push_back(value);
+  }
+  EXPECT_DOUBLE_EQ(FloodingBts::estimate_from_samples(samples, 20, 5, 2), 100.0);
+}
+
+TEST(FloodingEstimate, UniformSamplesAreUnchanged) {
+  std::vector<double> samples(200, 42.0);
+  EXPECT_DOUBLE_EQ(FloodingBts::estimate_from_samples(samples, 20, 5, 2), 42.0);
+}
+
+TEST(FloodingEstimate, EdgeCases) {
+  EXPECT_DOUBLE_EQ(FloodingBts::estimate_from_samples({}, 20, 5, 2), 0.0);
+  const std::vector<double> few{10.0, 20.0};
+  // Degenerate drop configuration falls back to the overall mean.
+  EXPECT_DOUBLE_EQ(FloodingBts::estimate_from_samples(few, 2, 5, 2), 15.0);
+}
+
+TEST(FloodingBts, EstimatesAccessBandwidth) {
+  netsim::Scenario scenario(scenario_cfg(80.0), 7);
+  FloodingBts tester;
+  const BtsResult result = tester.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, 80.0, 8.0);
+}
+
+TEST(FloodingBts, RunsForFixedTenSeconds) {
+  netsim::Scenario scenario(scenario_cfg(50.0), 8);
+  FloodingBts tester;
+  const BtsResult result = tester.run(scenario);
+  EXPECT_EQ(result.probe_duration, seconds(10));
+  EXPECT_EQ(result.samples_mbps.size(), 200u);  // 50 ms samples over 10 s
+}
+
+TEST(FloodingBts, EscalatesConnectionsOnFastLinks) {
+  netsim::Scenario slow(scenario_cfg(10.0), 9);
+  netsim::Scenario fast(scenario_cfg(200.0), 9);
+  FloodingBts tester;
+  const auto r_slow = tester.run(slow);
+  const auto r_fast = tester.run(fast);
+  EXPECT_EQ(r_slow.connections_used, 1u);  // never crosses the 25 Mbps threshold
+  EXPECT_GT(r_fast.connections_used, 3u);
+}
+
+TEST(FloodingBts, DataUsageScalesWithBandwidth) {
+  netsim::Scenario slow(scenario_cfg(20.0), 10);
+  netsim::Scenario fast(scenario_cfg(200.0), 10);
+  FloodingBts tester;
+  const auto r_slow = tester.run(slow);
+  const auto r_fast = tester.run(fast);
+  // A 10 s flood moves ~bandwidth x 10 s of data.
+  EXPECT_NEAR(r_slow.data_used.megabytes(), 25.0, 8.0);
+  EXPECT_GT(r_fast.data_used.count(), 8 * r_slow.data_used.count());
+}
+
+TEST(FloodingBts, PingPhaseSelectsAServer) {
+  netsim::Scenario scenario(scenario_cfg(50.0), 11);
+  FloodingBts tester;
+  const auto result = tester.run(scenario);
+  EXPECT_GT(result.ping_duration, 0);
+  EXPECT_LT(result.ping_duration, seconds(1));
+}
+
+TEST(FloodingBts, ReasonableUnderMildRandomLoss) {
+  // 0.01% i.i.d. residual loss (link-layer retransmission hides most
+  // wireless corruption): multi-connection flooding should stay within 25%.
+  auto cfg = scenario_cfg(60.0);
+  cfg.random_loss = 0.0001;
+  netsim::Scenario scenario(cfg, 12);
+  FloodingBts tester;
+  const auto result = tester.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, 60.0, 15.0);
+}
+
+TEST(FloodingBts, SpeedtestPresetRunsFifteenSeconds) {
+  const FloodingConfig cfg = speedtest_config();
+  EXPECT_EQ(cfg.probe_duration, seconds(15));
+  EXPECT_EQ(cfg.ping_candidates, 10u);
+  netsim::Scenario scenario(scenario_cfg(40.0), 14);
+  FloodingBts tester(cfg);
+  const auto result = tester.run(scenario);
+  EXPECT_EQ(result.probe_duration, seconds(15));
+  EXPECT_EQ(result.samples_mbps.size(), 300u);
+  EXPECT_NEAR(result.bandwidth_mbps, 40.0, 5.0);
+}
+
+class FloodingAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(FloodingAccuracy, WithinTenPercent) {
+  const double truth = GetParam();
+  netsim::Scenario scenario(scenario_cfg(truth), 13);
+  FloodingBts tester;
+  const auto result = tester.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, truth, truth * 0.10) << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FloodingAccuracy,
+                         ::testing::Values(15.0, 50.0, 120.0, 350.0, 700.0));
+
+}  // namespace
+}  // namespace swiftest::bts

@@ -1,0 +1,29 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swiftest::core {
+namespace {
+
+TEST(Time, UnitHelpers) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(5), 5'000);
+  EXPECT_EQ(milliseconds(5), 5'000'000);
+  EXPECT_EQ(seconds(5), 5'000'000'000);
+}
+
+TEST(Time, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1.0), seconds(1));
+  EXPECT_EQ(from_seconds(0.05), milliseconds(50));
+  EXPECT_EQ(from_seconds(1e-9), 1);
+  EXPECT_EQ(from_seconds(0.0), 0);
+}
+
+TEST(Time, RoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(1.25)), 1.25);
+}
+
+}  // namespace
+}  // namespace swiftest::core

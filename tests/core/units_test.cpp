@@ -1,0 +1,68 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swiftest::core {
+namespace {
+
+TEST(Bytes, ArithmeticAndConversions) {
+  const Bytes a(1'000'000);
+  EXPECT_DOUBLE_EQ(a.megabytes(), 1.0);
+  EXPECT_EQ(a.bits(), 8'000'000);
+  EXPECT_EQ((a + Bytes(500)).count(), 1'000'500);
+  EXPECT_EQ((a - Bytes(500)).count(), 999'500);
+  EXPECT_LT(Bytes(1), Bytes(2));
+}
+
+TEST(Bytes, Helpers) {
+  EXPECT_EQ(kilobytes(3).count(), 3'000);
+  EXPECT_EQ(megabytes(2).count(), 2'000'000);
+}
+
+TEST(Bandwidth, Construction) {
+  EXPECT_DOUBLE_EQ(Bandwidth::mbps(100).bits_per_second(), 1e8);
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(1).megabits_per_second(), 1000.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::kbps(500).bits_per_second(), 5e5);
+  EXPECT_TRUE(Bandwidth::zero().is_zero());
+  EXPECT_FALSE(Bandwidth::mbps(1).is_zero());
+}
+
+TEST(Bandwidth, TransmitTime) {
+  // 1 MB at 8 Mbps = 1 second.
+  const auto t = Bandwidth::mbps(8).transmit_time(megabytes(1));
+  EXPECT_EQ(t, seconds(1));
+  EXPECT_EQ(Bandwidth::zero().transmit_time(Bytes(1)), kSimTimeMax);
+}
+
+TEST(Bandwidth, VolumeIn) {
+  const Bytes v = Bandwidth::mbps(8).volume_in(seconds(2));
+  EXPECT_EQ(v.count(), 2'000'000);
+}
+
+TEST(Bandwidth, Arithmetic) {
+  const auto a = Bandwidth::mbps(10);
+  const auto b = Bandwidth::mbps(30);
+  EXPECT_DOUBLE_EQ((a + b).megabits_per_second(), 40.0);
+  EXPECT_DOUBLE_EQ((b - a).megabits_per_second(), 20.0);
+  EXPECT_DOUBLE_EQ((a * 3.0).megabits_per_second(), 30.0);
+  EXPECT_DOUBLE_EQ((b / 3.0).megabits_per_second(), 10.0);
+  EXPECT_DOUBLE_EQ(b / a, 3.0);
+  EXPECT_LT(a, b);
+}
+
+TEST(Bandwidth, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(Bandwidth::gbps(1.5)), "1.50 Gbps");
+  EXPECT_EQ(to_string(Bandwidth::mbps(305)), "305.0 Mbps");
+  EXPECT_EQ(to_string(Bandwidth::kbps(12)), "12.0 Kbps");
+  EXPECT_EQ(to_string(Bandwidth::bits_per_second(42)), "42 bps");
+}
+
+TEST(Bytes, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(Bytes(2'500'000'000)), "2.50 GB");
+  EXPECT_EQ(to_string(megabytes(32)), "32.0 MB");
+  EXPECT_EQ(to_string(kilobytes(4)), "4.0 KB");
+  EXPECT_EQ(to_string(Bytes(12)), "12 B");
+}
+
+}  // namespace
+}  // namespace swiftest::core

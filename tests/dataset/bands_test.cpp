@@ -1,0 +1,120 @@
+#include "dataset/bands.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swiftest::dataset {
+namespace {
+
+TEST(LteBands, TableOneFactsMatchPaper) {
+  const auto bands = lte_bands();
+  ASSERT_EQ(bands.size(), 9u);  // nine LTE bands in the study
+
+  const auto& b3 = lte_band_by_name("B3");
+  EXPECT_DOUBLE_EQ(b3.dl_low_mhz, 1805.0);
+  EXPECT_DOUBLE_EQ(b3.dl_high_mhz, 1880.0);
+  EXPECT_DOUBLE_EQ(b3.max_channel_mhz, 20.0);
+  EXPECT_TRUE(is_h_band(b3));
+  EXPECT_TRUE(b3.isps & kMaskIsp1);
+  EXPECT_TRUE(b3.isps & kMaskIsp2);
+  EXPECT_TRUE(b3.isps & kMaskIsp3);
+  EXPECT_FALSE(b3.isps & kMaskIsp4);
+
+  const auto& b5 = lte_band_by_name("B5");
+  EXPECT_DOUBLE_EQ(b5.max_channel_mhz, 10.0);
+  EXPECT_FALSE(is_h_band(b5));
+
+  const auto& b28 = lte_band_by_name("B28");
+  EXPECT_DOUBLE_EQ(b28.dl_low_mhz, 758.0);
+  EXPECT_EQ(b28.isps, kMaskIsp4);
+}
+
+TEST(LteBands, OrderedByDownlinkSpectrum) {
+  const auto bands = lte_bands();
+  for (std::size_t i = 1; i < bands.size(); ++i) {
+    EXPECT_LT(bands[i - 1].dl_low_mhz, bands[i].dl_low_mhz);
+  }
+}
+
+TEST(LteBands, RefarmedBandsAreExactlyB1B28B41) {
+  for (const auto& b : lte_bands()) {
+    const std::string name = b.name;
+    const bool expected = name == "B1" || name == "B28" || name == "B41";
+    EXPECT_EQ(b.refarmed_for_5g, expected) << name;
+  }
+}
+
+TEST(LteBands, RefarmedSpectrumFractionMatches582Percent) {
+  // §3.2: Bands 1, 28 and 41 occupy 58.2% of the H-Band spectrum.
+  EXPECT_NEAR(refarmed_h_band_spectrum_fraction(), 0.582, 0.005);
+}
+
+TEST(LteBands, TestSharesSumToOne) {
+  double sum2021 = 0.0, sum2020 = 0.0;
+  for (const auto& b : lte_bands()) {
+    sum2021 += b.test_share_2021;
+    sum2020 += b.test_share_2020;
+  }
+  EXPECT_NEAR(sum2021, 1.0, 0.01);
+  EXPECT_NEAR(sum2020, 1.0, 0.01);
+}
+
+TEST(LteBands, Band3DominatesAfterRefarming) {
+  // Fig 6: Band 3 alone serves 55% of LTE tests.
+  EXPECT_NEAR(lte_band_by_name("B3").test_share_2021, 0.55, 0.01);
+}
+
+TEST(LteBands, B40StrongerSignalThanB39) {
+  // §3.2: indoor Band 40 averages -88 dBm vs rural Band 39's -94 dBm.
+  EXPECT_GT(lte_band_by_name("B40").avg_rss_dbm, lte_band_by_name("B39").avg_rss_dbm);
+  EXPECT_NEAR(lte_band_by_name("B40").avg_rss_dbm, -88.0, 0.5);
+  EXPECT_NEAR(lte_band_by_name("B39").avg_rss_dbm, -94.0, 0.5);
+}
+
+TEST(NrBands, TableTwoFactsMatchPaper) {
+  const auto bands = nr_bands();
+  ASSERT_EQ(bands.size(), 5u);
+
+  const auto& n78 = nr_band_by_name("N78");
+  EXPECT_DOUBLE_EQ(n78.dl_low_mhz, 3300.0);
+  EXPECT_DOUBLE_EQ(n78.dl_high_mhz, 3800.0);
+  EXPECT_DOUBLE_EQ(n78.max_channel_mhz, 100.0);
+  EXPECT_FALSE(n78.refarmed_from_lte);
+
+  const auto& n41 = nr_band_by_name("N41");
+  EXPECT_TRUE(n41.refarmed_from_lte);
+  EXPECT_DOUBLE_EQ(n41.refarmed_contiguous_mhz, 100.0);
+
+  // §3.3: the refarmed contiguous spectrum in N1 and N28 is thin.
+  EXPECT_DOUBLE_EQ(nr_band_by_name("N1").refarmed_contiguous_mhz, 60.0);
+  EXPECT_DOUBLE_EQ(nr_band_by_name("N28").refarmed_contiguous_mhz, 45.0);
+}
+
+TEST(NrBands, RefarmedNarrowBandsHaveLowTargets) {
+  // Fig 8: N1 (103 Mbps) and N28 (113 Mbps) sit far below N41/N78 (~310+).
+  EXPECT_LT(nr_band_by_name("N1").mean_mbps_2021, 150.0);
+  EXPECT_LT(nr_band_by_name("N28").mean_mbps_2021, 150.0);
+  EXPECT_GT(nr_band_by_name("N41").mean_mbps_2021, 280.0);
+  EXPECT_GT(nr_band_by_name("N78").mean_mbps_2021, 280.0);
+}
+
+TEST(NrBands, WideRefarmedSpectrumTracksBandwidth) {
+  // The 100 MHz refarmed into N41 supports near-N78 bandwidth; the thin
+  // N1/N28 slices do not.
+  const auto& n41 = nr_band_by_name("N41");
+  const auto& n1 = nr_band_by_name("N1");
+  EXPECT_GT(n41.refarmed_contiguous_mhz, n1.refarmed_contiguous_mhz);
+  EXPECT_GT(n41.mean_mbps_2021, 2.5 * n1.mean_mbps_2021);
+}
+
+TEST(Bands, UnknownNameThrows) {
+  EXPECT_THROW(lte_band_by_name("B99"), std::invalid_argument);
+  EXPECT_THROW(nr_band_by_name("N99"), std::invalid_argument);
+}
+
+TEST(Bands, IspBitHelper) {
+  EXPECT_EQ(isp_bit(Isp::kIsp1), kMaskIsp1);
+  EXPECT_EQ(isp_bit(Isp::kIsp4), kMaskIsp4);
+}
+
+}  // namespace
+}  // namespace swiftest::dataset

@@ -1,0 +1,369 @@
+// Generator calibration tests: every assertion here checks a number the
+// paper reports in §3 against the synthetic campaign, with tolerances wide
+// enough for sampling noise at n = 600k.
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/campaign_stats.hpp"
+#include "dataset/profiles.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace swiftest::dataset {
+namespace {
+
+using analysis::bandwidths;
+using analysis::tech_summary;
+
+class Campaign2021 : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    records_ = new std::vector<TestRecord>(generate_campaign(600'000, 2021, 42));
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    records_ = nullptr;
+  }
+  static const std::vector<TestRecord>& records() { return *records_; }
+
+ private:
+  static const std::vector<TestRecord>* records_;
+};
+
+const std::vector<TestRecord>* Campaign2021::records_ = nullptr;
+
+TEST_F(Campaign2021, Deterministic) {
+  const auto a = generate_campaign(100, 2021, 7);
+  const auto b = generate_campaign(100, 2021, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].bandwidth_mbps, b[i].bandwidth_mbps);
+    EXPECT_EQ(a[i].tech, b[i].tech);
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+  }
+}
+
+TEST_F(Campaign2021, TechMixMatchesStudy) {
+  std::size_t wifi = 0, g4 = 0, g5 = 0, g3 = 0;
+  for (const auto& r : records()) {
+    if (is_wifi(r.tech)) ++wifi;
+    if (r.tech == AccessTech::k4G) ++g4;
+    if (r.tech == AccessTech::k5G) ++g5;
+    if (r.tech == AccessTech::k3G) ++g3;
+  }
+  const double n = static_cast<double>(records().size());
+  EXPECT_NEAR(wifi / n, 0.892, 0.01);   // 21.1M / 23.6M
+  EXPECT_NEAR(g4 / n, 0.0724, 0.005);   // 67% of cellular
+  EXPECT_NEAR(g5 / n, 0.0356, 0.005);   // 33% of cellular
+  EXPECT_NEAR(g3 / n, 0.0009, 0.0005);
+}
+
+// ----------------------------------------------------------------- Fig 4
+
+TEST_F(Campaign2021, LteSummaryMatchesFig4) {
+  const auto s = tech_summary(records(), AccessTech::k4G);
+  EXPECT_NEAR(s.mean, 53.0, 6.0);
+  EXPECT_NEAR(s.median, 22.0, 6.0);
+  EXPECT_GT(s.max, 500.0);
+  EXPECT_LE(s.max, 813.0);
+}
+
+TEST_F(Campaign2021, LteTailsMatchFig4) {
+  const auto b = bandwidths(records(), AccessTech::k4G);
+  EXPECT_NEAR(stats::fraction_below(b, 10.0), 0.263, 0.05);
+  EXPECT_NEAR(stats::fraction_above(b, 300.0), 0.068, 0.02);
+  // §3.2: tests above 300 Mbps average 403 Mbps (LTE-Advanced).
+  EXPECT_NEAR(stats::mean_above(b, 300.0), 403.0, 25.0);
+}
+
+TEST_F(Campaign2021, LteAdvancedFlagMatchesHighResults) {
+  for (const auto& r : records()) {
+    if (r.tech == AccessTech::k4G && r.bandwidth_mbps > 300.0) {
+      EXPECT_TRUE(r.lte_advanced);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Fig 5/6
+
+TEST_F(Campaign2021, LteBandMeansMatchFig5) {
+  const auto stats = analysis::lte_band_stats(records());
+  for (const auto& bs : stats) {
+    if (bs.tests < 100) continue;  // skip B28's two-test bias
+    const auto& target = lte_band_by_name(bs.name);
+    EXPECT_NEAR(bs.mean_mbps, target.mean_mbps_2021, target.mean_mbps_2021 * 0.15)
+        << bs.name;
+  }
+}
+
+TEST_F(Campaign2021, HBandsServeMostTests) {
+  const auto stats = analysis::lte_band_stats(records());
+  std::size_t h = 0, total = 0;
+  double b3_share = 0.0;
+  for (const auto& bs : stats) {
+    total += bs.tests;
+    if (bs.high_bandwidth) h += bs.tests;
+    if (bs.name == "B3") b3_share = static_cast<double>(bs.tests);
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_NEAR(static_cast<double>(h) / total, 0.856, 0.03);   // Fig 6
+  EXPECT_NEAR(b3_share / total, 0.55, 0.03);                  // Band 3 alone: 55%
+}
+
+// ----------------------------------------------------------------- Fig 7/8/9
+
+TEST_F(Campaign2021, NrSummaryMatchesFig7) {
+  const auto s = tech_summary(records(), AccessTech::k5G);
+  EXPECT_NEAR(s.mean, 303.0, 20.0);
+  EXPECT_NEAR(s.median, 273.0, 20.0);
+  EXPECT_LE(s.max, 1032.0);
+  EXPECT_GT(s.max, 800.0);
+}
+
+TEST_F(Campaign2021, NrBandMeansMatchFig8) {
+  const auto stats = analysis::nr_band_stats(records());
+  for (const auto& bs : stats) {
+    if (bs.tests < 100) continue;  // N79: 3 tests in the real study
+    const auto& target = nr_band_by_name(bs.name);
+    EXPECT_NEAR(bs.mean_mbps, target.mean_mbps_2021, target.mean_mbps_2021 * 0.15)
+        << bs.name;
+  }
+}
+
+TEST_F(Campaign2021, RefarmedThinBandsUnderperform) {
+  const auto stats = analysis::nr_band_stats(records());
+  double n1 = 0, n28 = 0, n41 = 0, n78 = 0;
+  for (const auto& bs : stats) {
+    if (bs.name == "N1") n1 = bs.mean_mbps;
+    if (bs.name == "N28") n28 = bs.mean_mbps;
+    if (bs.name == "N41") n41 = bs.mean_mbps;
+    if (bs.name == "N78") n78 = bs.mean_mbps;
+  }
+  EXPECT_LT(n1, 150.0);
+  EXPECT_LT(n28, 160.0);
+  EXPECT_GT(n41, 270.0);  // the 100 MHz refarm keeps N41 near N78
+  EXPECT_NEAR(n41 / n78, 312.0 / 332.0, 0.12);
+}
+
+// ----------------------------------------------------------------- Figs 11-12
+
+TEST_F(Campaign2021, SnrMonotoneInRssLevel) {
+  const auto snr = analysis::snr_by_rss(records(), AccessTech::k5G);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LT(snr[static_cast<std::size_t>(i)], snr[static_cast<std::size_t>(i + 1)]);
+  }
+}
+
+TEST_F(Campaign2021, FiveGBandwidthDipsAtExcellentRss) {
+  const auto bw = analysis::mean_by_rss(records(), AccessTech::k5G);
+  // Monotone 1..4, then the level-5 dip below levels 3 and 4 (Fig 12).
+  EXPECT_LT(bw[0], bw[1]);
+  EXPECT_LT(bw[1], bw[2]);
+  EXPECT_LT(bw[2], bw[3]);
+  EXPECT_LT(bw[4], bw[3]);
+  EXPECT_LT(bw[4], bw[2]);
+}
+
+TEST_F(Campaign2021, FourGBandwidthMonotoneInRss) {
+  const auto bw = analysis::mean_by_rss(records(), AccessTech::k4G);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LT(bw[static_cast<std::size_t>(i)], bw[static_cast<std::size_t>(i + 1)]);
+  }
+}
+
+TEST_F(Campaign2021, RssAndSnrPositivelyCorrelated) {
+  std::vector<double> rss, snr;
+  for (const auto& r : records()) {
+    if (r.tech != AccessTech::k5G) continue;
+    rss.push_back(static_cast<double>(r.rss_level));
+    snr.push_back(r.snr_db);
+  }
+  EXPECT_GT(stats::pearson(rss, snr), 0.5);
+}
+
+// ----------------------------------------------------------------- Fig 10
+
+TEST_F(Campaign2021, DiurnalPatternMatchesFig10) {
+  const auto hours = analysis::diurnal_stats(records(), AccessTech::k5G);
+  // Test volume: evening peak vs deep-night trough.
+  EXPECT_GT(hours[21].tests, 5 * hours[4].tests);
+  // Bandwidth: highest in the small hours, lowest in the evening.
+  double night = (hours[3].mean_mbps + hours[4].mean_mbps) / 2.0;
+  double evening = (hours[21].mean_mbps + hours[22].mean_mbps) / 2.0;
+  EXPECT_GT(night, evening * 1.1);
+}
+
+TEST(CampaignDiurnal, FourGPositivelyCorrelatedWithLoad) {
+  // Dedicated cellular-only campaign: hourly means need the paper's sample
+  // depth (~67k tests/hour) for the modest 4G load effect to beat the
+  // LTE-Advanced subpopulation noise.
+  CampaignConfig cfg;
+  cfg.test_count = 500'000;
+  cfg.year = 2021;
+  cfg.seed = 99;
+  cfg.wifi_share = 0.0;
+  cfg.g3_share = 0.0;
+  const auto cellular = CampaignGenerator(cfg).generate();
+  const auto hours = analysis::diurnal_stats(cellular, AccessTech::k4G);
+  std::vector<double> load, bw;
+  for (const auto& h : hours) {
+    // Skip thin night hours where the LTE-Advanced subpopulation dominates
+    // the hourly-mean noise.
+    if (h.tests < 500) continue;
+    load.push_back(static_cast<double>(h.tests));
+    bw.push_back(h.mean_mbps);
+  }
+  EXPECT_GT(stats::pearson(load, bw), 0.3);
+}
+
+// ----------------------------------------------------------------- Fig 13-16
+
+TEST_F(Campaign2021, WifiGenerationSummariesMatchFig13) {
+  const auto w4 = tech_summary(records(), AccessTech::kWiFi4);
+  const auto w5 = tech_summary(records(), AccessTech::kWiFi5);
+  const auto w6 = tech_summary(records(), AccessTech::kWiFi6);
+  EXPECT_NEAR(w4.mean, 59.0, 8.0);
+  EXPECT_NEAR(w5.mean, 208.0, 15.0);
+  EXPECT_NEAR(w6.mean, 345.0, 25.0);
+  EXPECT_NEAR(w5.median, 179.0, 20.0);
+}
+
+TEST_F(Campaign2021, Wifi4And5CloseOn5GHzBand) {
+  // §3.4's surprise: WiFi 4 vs WiFi 5 on 5 GHz differ by only ~13 Mbps.
+  const auto w4 = analysis::wifi_radio_summary(records(), AccessTech::kWiFi4,
+                                               WifiRadio::k5GHz);
+  const auto w5 = analysis::wifi_radio_summary(records(), AccessTech::kWiFi5,
+                                               WifiRadio::k5GHz);
+  EXPECT_NEAR(w4.mean, 195.0, 20.0);
+  EXPECT_NEAR(w5.mean, 208.0, 20.0);
+  EXPECT_LT(std::abs(w5.mean - w4.mean) / w5.mean, 0.20);
+}
+
+TEST_F(Campaign2021, Wifi24GHzFarSlower) {
+  const auto w4 = analysis::wifi_radio_summary(records(), AccessTech::kWiFi4,
+                                               WifiRadio::k2_4GHz);
+  const auto w6 = analysis::wifi_radio_summary(records(), AccessTech::kWiFi6,
+                                               WifiRadio::k2_4GHz);
+  EXPECT_NEAR(w4.mean, 39.0, 8.0);
+  EXPECT_NEAR(w6.mean, 83.0, 15.0);
+}
+
+TEST_F(Campaign2021, BroadbandPlanSharesMatchSection34) {
+  EXPECT_NEAR(analysis::plan_share_leq(records(), AccessTech::kWiFi5, 200), 0.64, 0.03);
+  EXPECT_NEAR(analysis::plan_share_leq(records(), AccessTech::kWiFi6, 200), 0.39, 0.04);
+}
+
+TEST_F(Campaign2021, Wifi5ClustersNearPlanModes) {
+  // Fig 16: WiFi 5 bandwidth clusters around the 100x plan values. The mass
+  // within +-12% of {100, 300, 500} should far exceed the mass in the
+  // inter-mode valleys {210..260, 380..440}.
+  const auto b = bandwidths(records(), AccessTech::kWiFi5);
+  auto mass = [&](double lo, double hi) {
+    std::size_t n = 0;
+    for (double x : b) {
+      if (x >= lo && x <= hi) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(b.size());
+  };
+  const double modes = mass(88, 112) + mass(264, 336) + mass(440, 560);
+  const double valleys = mass(210, 260) + mass(380, 430);
+  EXPECT_GT(modes, 2.0 * valleys);
+}
+
+TEST_F(Campaign2021, WifiStandardSharesMatchStudy) {
+  std::size_t w4 = 0, w5 = 0, w6 = 0;
+  for (const auto& r : records()) {
+    if (r.tech == AccessTech::kWiFi4) ++w4;
+    if (r.tech == AccessTech::kWiFi5) ++w5;
+    if (r.tech == AccessTech::kWiFi6) ++w6;
+  }
+  const double total = static_cast<double>(w4 + w5 + w6);
+  EXPECT_NEAR(w4 / total, 0.572, 0.02);
+  EXPECT_NEAR(w5 / total, 0.313, 0.02);
+  EXPECT_NEAR(w6 / total, 0.115, 0.02);
+}
+
+// ----------------------------------------------------------------- Figs 2-3
+
+TEST_F(Campaign2021, AndroidVersionDrivesBandwidth) {
+  // 5G: clean monotone effect (no LTE-A subpopulation to add noise).
+  const auto nr = analysis::mean_by_android(records(), AccessTech::k5G);
+  EXPECT_GT(nr[7], nr[4] * 1.2);
+  EXPECT_GT(nr[6], nr[5]);
+  // 4G: the version effect holds across a wider version gap (the constant
+  // LTE-Advanced subpopulation compresses relative differences).
+  const auto lte = analysis::mean_by_android(records(), AccessTech::k4G);
+  EXPECT_GT(lte[7], lte[3] * 1.1);
+}
+
+TEST_F(Campaign2021, FiveGOnlyOnAndroid9Plus) {
+  for (const auto& r : records()) {
+    if (r.tech == AccessTech::k5G) EXPECT_GE(r.android_version, kMinAndroidFor5g);
+  }
+}
+
+TEST_F(Campaign2021, IspComparisonMatchesFig3) {
+  const auto nr = analysis::mean_by_isp(records(), AccessTech::k5G);
+  // ISP-4's 700 MHz-only 5G lags far behind; ISP-3 leads (lower N78 range).
+  EXPECT_LT(nr[3], 0.6 * nr[0]);
+  EXPECT_GE(nr[2], nr[0] * 0.98);
+  const auto lte = analysis::mean_by_isp(records(), AccessTech::k4G);
+  // 4G is mature: ISPs 1-3 within ~20% of each other.
+  const double lo = std::min({lte[0], lte[1], lte[2]});
+  const double hi = std::max({lte[0], lte[1], lte[2]});
+  EXPECT_LT(hi / lo, 1.25);
+  const auto wifi = analysis::mean_by_isp(records(), AccessTech::kWiFi5);
+  // ISP-3's fixed-broadband investment shows up in WiFi.
+  EXPECT_GT(wifi[2], wifi[0] * 1.05);
+}
+
+// ----------------------------------------------------------------- §3.1
+
+TEST_F(Campaign2021, UrbanRuralDisparity) {
+  const auto ur4 = analysis::urban_rural_mean(records(), AccessTech::k4G);
+  const auto ur5 = analysis::urban_rural_mean(records(), AccessTech::k5G);
+  EXPECT_NEAR(ur4[0] / ur4[1], 1.24, 0.15);
+  EXPECT_NEAR(ur5[0] / ur5[1], 1.33, 0.15);
+}
+
+TEST_F(Campaign2021, DeviceModelDoesNotMatterGivenAndroidVersion) {
+  // §3.1: same Android version, low-end vs high-end: std dev <= 23 Mbps.
+  std::vector<double> low, high;
+  for (const auto& r : records()) {
+    if (r.tech != AccessTech::k4G || r.android_version != 11) continue;
+    (r.high_end_device ? high : low).push_back(r.bandwidth_mbps);
+  }
+  ASSERT_GT(low.size(), 200u);
+  ASSERT_GT(high.size(), 200u);
+  EXPECT_LT(std::abs(stats::mean(low) - stats::mean(high)), 23.0);
+}
+
+// ----------------------------------------------------------------- Year over year
+
+TEST(CampaignYearly, BandwidthTrendsMatchFig1) {
+  const auto r2020 = generate_campaign(150'000, 2020, 11);
+  const auto r2021 = generate_campaign(150'000, 2021, 12);
+
+  const double lte20 = tech_summary(r2020, AccessTech::k4G).mean;
+  const double lte21 = tech_summary(r2021, AccessTech::k4G).mean;
+  const double nr20 = tech_summary(r2020, AccessTech::k5G).mean;
+  const double nr21 = tech_summary(r2021, AccessTech::k5G).mean;
+  const double wifi20 = analysis::wifi_overall_summary(r2020).mean;
+  const double wifi21 = analysis::wifi_overall_summary(r2021).mean;
+
+  // 4G drops ~22% (68 -> 53); 5G drops ~11% (343 -> 305); WiFi ~flat.
+  EXPECT_NEAR(lte20, 68.0, 7.0);
+  EXPECT_NEAR(lte21, 53.0, 6.0);
+  EXPECT_NEAR((lte20 - lte21) / lte20, 0.22, 0.07);
+  EXPECT_NEAR((nr20 - nr21) / nr20, 0.11, 0.06);
+  EXPECT_LT(std::abs(wifi21 - wifi20) / wifi20, 0.10);
+
+  // Yet the *overall cellular* average rises (5G share doubled).
+  const double cell20 = analysis::cellular_overall_summary(r2020).mean;
+  const double cell21 = analysis::cellular_overall_summary(r2021).mean;
+  EXPECT_GT(cell21, cell20);
+}
+
+}  // namespace
+}  // namespace swiftest::dataset

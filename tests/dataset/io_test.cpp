@@ -1,0 +1,136 @@
+#include "dataset/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/generator.hpp"
+
+namespace swiftest::dataset {
+namespace {
+
+TEST(CampaignIo, RoundTripPreservesAllFields) {
+  const auto records = generate_campaign(500, 2021, 3);
+  std::stringstream stream;
+  write_csv(stream, records);
+  const auto parsed = read_csv(stream);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& a = records[i];
+    const auto& b = parsed[i];
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_EQ(a.year, b.year);
+    EXPECT_EQ(a.hour, b.hour);
+    EXPECT_EQ(a.isp, b.isp);
+    EXPECT_EQ(a.city_size, b.city_size);
+    EXPECT_EQ(a.city_id, b.city_id);
+    EXPECT_EQ(a.urban, b.urban);
+    EXPECT_EQ(a.android_version, b.android_version);
+    EXPECT_EQ(a.device_vendor, b.device_vendor);
+    EXPECT_EQ(a.high_end_device, b.high_end_device);
+    EXPECT_EQ(a.tech, b.tech);
+    EXPECT_NEAR(a.bandwidth_mbps, b.bandwidth_mbps, 1e-4);
+    EXPECT_EQ(a.band_index, b.band_index);
+    EXPECT_EQ(a.rss_level, b.rss_level);
+    EXPECT_NEAR(a.rss_dbm, b.rss_dbm, 1e-3);
+    EXPECT_NEAR(a.snr_db, b.snr_db, 1e-3);
+    EXPECT_EQ(a.base_station_id, b.base_station_id);
+    EXPECT_EQ(a.lte_advanced, b.lte_advanced);
+    EXPECT_EQ(a.radio, b.radio);
+    EXPECT_NEAR(a.phy_link_speed_mbps, b.phy_link_speed_mbps, 1e-3);
+    EXPECT_EQ(a.broadband_plan_mbps, b.broadband_plan_mbps);
+    EXPECT_EQ(a.ap_id, b.ap_id);
+  }
+}
+
+TEST(CampaignIo, EmptyCampaignRoundTrips) {
+  std::stringstream stream;
+  write_csv(stream, {});
+  EXPECT_TRUE(read_csv(stream).empty());
+}
+
+TEST(CampaignIo, RejectsEmptyInput) {
+  std::stringstream stream;
+  EXPECT_THROW(read_csv(stream), std::runtime_error);
+}
+
+TEST(CampaignIo, RejectsWrongHeader) {
+  std::stringstream stream("a,b,c\n1,2,3\n");
+  EXPECT_THROW(read_csv(stream), std::runtime_error);
+}
+
+TEST(CampaignIo, RejectsWrongColumnCount) {
+  std::stringstream stream(csv_header() + "\n1,2,3\n");
+  EXPECT_THROW(read_csv(stream), std::runtime_error);
+}
+
+TEST(CampaignIo, RejectsNonNumericField) {
+  const auto records = generate_campaign(1, 2021, 3);
+  std::stringstream out;
+  write_csv(out, records);
+  std::string text = out.str();
+  // Corrupt the first data field.
+  const auto pos = text.find('\n') + 1;
+  text.replace(pos, 1, "x");
+  std::stringstream in(text);
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(CampaignIo, RejectsOutOfRangeEnum) {
+  const auto records = generate_campaign(1, 2021, 3);
+  std::stringstream out;
+  write_csv(out, records);
+  std::string text = out.str();
+  // Column 4 is the ISP enum; splice in a bogus value.
+  std::stringstream in_good(text);
+  auto parsed = read_csv(in_good);
+  ASSERT_EQ(parsed.size(), 1u);
+  // Rebuild the line with isp=9.
+  std::string header = csv_header();
+  std::string line = text.substr(text.find('\n') + 1);
+  std::size_t commas = 0, start = 0, end = 0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ',') {
+      ++commas;
+      if (commas == 3) start = i + 1;
+      if (commas == 4) {
+        end = i;
+        break;
+      }
+    }
+  }
+  line.replace(start, end - start, "9");
+  std::stringstream in_bad(header + "\n" + line);
+  EXPECT_THROW(read_csv(in_bad), std::runtime_error);
+}
+
+TEST(CampaignIo, ErrorMessagesCarryLineNumbers) {
+  std::stringstream stream(csv_header() + "\n1,2,3\n");
+  try {
+    (void)read_csv(stream);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CampaignIo, FileRoundTrip) {
+  const auto records = generate_campaign(50, 2020, 5);
+  const std::string path = testing::TempDir() + "/campaign_io_test.csv";
+  write_csv_file(path, records);
+  const auto parsed = read_csv_file(path);
+  ASSERT_EQ(parsed.size(), records.size());
+  EXPECT_NEAR(parsed[0].bandwidth_mbps, records[0].bandwidth_mbps, 1e-4);
+  EXPECT_THROW(read_csv_file("/nonexistent/nowhere.csv"), std::runtime_error);
+}
+
+TEST(CampaignIo, SkipsBlankLines) {
+  const auto records = generate_campaign(2, 2021, 3);
+  std::stringstream out;
+  write_csv(out, records);
+  std::stringstream in(out.str() + "\n\n");
+  EXPECT_EQ(read_csv(in).size(), 2u);
+}
+
+}  // namespace
+}  // namespace swiftest::dataset

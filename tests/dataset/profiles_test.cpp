@@ -1,0 +1,231 @@
+#include "dataset/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace swiftest::dataset {
+namespace {
+
+TEST(AndroidProfile, SharesSumToOne) {
+  for (int year : {2020, 2021}) {
+    const auto shares = android_shares(year);
+    EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0), 1.0, 1e-9) << year;
+  }
+}
+
+TEST(AndroidProfile, FactorMonotoneInVersion) {
+  for (int v = kMinAndroidVersion; v < kMaxAndroidVersion; ++v) {
+    EXPECT_LT(android_factor(v), android_factor(v + 1));
+  }
+}
+
+TEST(AndroidProfile, FactorNormalizedToPopulationMeanOne) {
+  const auto shares = android_shares(2021);
+  double mean = 0.0;
+  for (int v = kMinAndroidVersion; v <= kMaxAndroidVersion; ++v) {
+    mean += shares[static_cast<std::size_t>(v - kMinAndroidVersion)] * android_factor(v);
+  }
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+}
+
+TEST(AndroidProfile, OutOfRangeThrows) {
+  EXPECT_THROW((void)android_factor(4), std::invalid_argument);
+  EXPECT_THROW((void)android_factor(13), std::invalid_argument);
+}
+
+TEST(DiurnalProfile, SleepWindowIs21To9) {
+  EXPECT_TRUE(gnb_sleeping(21));
+  EXPECT_TRUE(gnb_sleeping(23));
+  EXPECT_TRUE(gnb_sleeping(0));
+  EXPECT_TRUE(gnb_sleeping(8));
+  EXPECT_FALSE(gnb_sleeping(9));
+  EXPECT_FALSE(gnb_sleeping(15));
+  EXPECT_FALSE(gnb_sleeping(20));
+}
+
+TEST(DiurnalProfile, TestWeightsShapedLikeFig10) {
+  const auto w = hourly_test_weights();
+  ASSERT_EQ(w.size(), 24u);
+  // Minimum intensity in the small hours, maximum in the evening.
+  const auto min_it = std::min_element(w.begin(), w.end());
+  const auto max_it = std::max_element(w.begin(), w.end());
+  const int min_hour = static_cast<int>(min_it - w.begin());
+  const int max_hour = static_cast<int>(max_it - w.begin());
+  EXPECT_GE(min_hour, 2);
+  EXPECT_LE(min_hour, 5);
+  EXPECT_GE(max_hour, 19);
+  EXPECT_LE(max_hour, 22);
+  EXPECT_GT(*max_it / *min_it, 8.0);  // ~600 vs ~46 tests/hour
+}
+
+TEST(DiurnalProfile, NightPeakAndEveningTroughFor5g) {
+  // Fig 10: bandwidth peaks 03:00-05:00 despite BS sleeping; bottoms 21-23.
+  const double night = diurnal_factor_5g(4);
+  const double evening = diurnal_factor_5g(22);
+  const double afternoon = diurnal_factor_5g(16);
+  EXPECT_GT(night, afternoon);
+  EXPECT_GT(afternoon, evening);
+  EXPECT_GT(night / evening, 1.10);
+}
+
+TEST(DiurnalProfile, FourGPositivelyCorrelatedWithLoad) {
+  EXPECT_GT(diurnal_factor_4g(21), diurnal_factor_4g(4));
+}
+
+TEST(DiurnalProfile, FactorsWeightedMeanIsOne) {
+  const auto w = hourly_test_weights();
+  double num5 = 0.0, num4 = 0.0, den = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    num5 += w[static_cast<std::size_t>(h)] * diurnal_factor_5g(h);
+    num4 += w[static_cast<std::size_t>(h)] * diurnal_factor_4g(h);
+    den += w[static_cast<std::size_t>(h)];
+  }
+  EXPECT_NEAR(num5 / den, 1.0, 1e-9);
+  EXPECT_NEAR(num4 / den, 1.0, 1e-9);
+}
+
+TEST(RssProfile, SnrMonotoneInLevelForBothTechs) {
+  for (auto tech : {AccessTech::k4G, AccessTech::k5G}) {
+    for (int level = 1; level < kRssLevels; ++level) {
+      EXPECT_LT(rss_snr_mean_db(tech, level), rss_snr_mean_db(tech, level + 1));
+    }
+  }
+}
+
+TEST(RssProfile, FiveGLevel5DipsBelowLevels3And4) {
+  // Fig 12's counter-intuitive finding.
+  const double l3 = rss_bandwidth_factor(AccessTech::k5G, 3);
+  const double l4 = rss_bandwidth_factor(AccessTech::k5G, 4);
+  const double l5 = rss_bandwidth_factor(AccessTech::k5G, 5);
+  EXPECT_LT(l5, l3);
+  EXPECT_LT(l5, l4);
+  // Levels 1-4 are monotone.
+  for (int level = 1; level < 4; ++level) {
+    EXPECT_LT(rss_bandwidth_factor(AccessTech::k5G, level),
+              rss_bandwidth_factor(AccessTech::k5G, level + 1));
+  }
+}
+
+TEST(RssProfile, FourGFactorsMonotone) {
+  for (int level = 1; level < kRssLevels; ++level) {
+    EXPECT_LT(rss_bandwidth_factor(AccessTech::k4G, level),
+              rss_bandwidth_factor(AccessTech::k4G, level + 1));
+  }
+}
+
+TEST(RssProfile, LevelSharesSumToOne) {
+  for (auto tech : {AccessTech::k4G, AccessTech::k5G}) {
+    const auto shares = rss_level_shares(tech);
+    EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(RssProfile, BadLevelThrows) {
+  EXPECT_THROW((void)rss_bandwidth_factor(AccessTech::k5G, 0), std::invalid_argument);
+  EXPECT_THROW((void)rss_snr_mean_db(AccessTech::k4G, 6), std::invalid_argument);
+  EXPECT_THROW((void)rss_dbm_center(-1), std::invalid_argument);
+}
+
+TEST(GeographyProfile, CityCountsMatchStudy) {
+  EXPECT_EQ(city_count(CitySize::kMega), 21);
+  EXPECT_EQ(city_count(CitySize::kMedium), 51);
+  EXPECT_EQ(city_count(CitySize::kSmall), 254);
+}
+
+TEST(GeographyProfile, CityFactorStableAndSpread) {
+  const double f = city_factor(CitySize::kMega, 3, AccessTech::k4G);
+  EXPECT_DOUBLE_EQ(f, city_factor(CitySize::kMega, 3, AccessTech::k4G));
+  // Different cities differ.
+  double lo = 1e9, hi = 0.0;
+  for (int c = 0; c < 254; ++c) {
+    const double v = city_factor(CitySize::kSmall, c, AccessTech::k4G);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 1.5);
+  EXPECT_LT(hi / lo, 8.0);
+}
+
+TEST(GeographyProfile, UrbanFactorRatios) {
+  EXPECT_NEAR(urban_factor(AccessTech::k5G, true) / urban_factor(AccessTech::k5G, false),
+              1.33, 1e-9);
+  // Population-weighted mean stays 1.
+  const double mean = kUrbanShare * urban_factor(AccessTech::k5G, true) +
+                      (1 - kUrbanShare) * urban_factor(AccessTech::k5G, false);
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+}
+
+TEST(PlanProfile, LegacyPlansHave64PercentAtOrBelow200) {
+  double leq200 = 0.0, total = 0.0;
+  for (const auto& p : broadband_plans(AccessTech::kWiFi5, Isp::kIsp1, 2021)) {
+    total += p.weight;
+    if (p.mbps <= 200) leq200 += p.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(leq200, 0.64, 0.01);
+}
+
+TEST(PlanProfile, Wifi6PlansRicher) {
+  double leq200 = 0.0;
+  for (const auto& p : broadband_plans(AccessTech::kWiFi6, Isp::kIsp1, 2021)) {
+    if (p.mbps <= 200) leq200 += p.weight;
+  }
+  EXPECT_NEAR(leq200, 0.39, 0.03);
+}
+
+TEST(PlanProfile, Isp3PlansShiftUp) {
+  auto mean_plan = [](std::span<const BroadbandPlan> plans) {
+    double m = 0.0;
+    for (const auto& p : plans) m += p.weight * p.mbps;
+    return m;
+  };
+  EXPECT_GT(mean_plan(broadband_plans(AccessTech::kWiFi5, Isp::kIsp3, 2021)),
+            mean_plan(broadband_plans(AccessTech::kWiFi5, Isp::kIsp1, 2021)));
+}
+
+TEST(WifiProfile, RadioShares) {
+  EXPECT_GT(wifi_24ghz_share(AccessTech::kWiFi4), 0.8);  // mostly 2.4 GHz
+  EXPECT_DOUBLE_EQ(wifi_24ghz_share(AccessTech::kWiFi5), 0.0);  // 5 GHz only
+  EXPECT_LT(wifi_24ghz_share(AccessTech::kWiFi6), 0.1);
+  EXPECT_THROW((void)wifi_24ghz_share(AccessTech::k4G), std::invalid_argument);
+}
+
+TEST(WifiProfile, CapabilityOrderingAcrossStandards) {
+  core::Rng rng(3);
+  double w4 = 0.0, w5 = 0.0, w6 = 0.0;
+  constexpr int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    w4 += wifi_phy_capability_mbps(AccessTech::kWiFi4, WifiRadio::k5GHz, rng);
+    w5 += wifi_phy_capability_mbps(AccessTech::kWiFi5, WifiRadio::k5GHz, rng);
+    w6 += wifi_phy_capability_mbps(AccessTech::kWiFi6, WifiRadio::k5GHz, rng);
+  }
+  EXPECT_LT(w4, w5);
+  EXPECT_LT(w5, w6);
+}
+
+TEST(WifiProfile, MaxObservedCapsMatchPaper) {
+  EXPECT_DOUBLE_EQ(wifi_max_observed_mbps(AccessTech::kWiFi4, WifiRadio::k2_4GHz), 395.0);
+  EXPECT_DOUBLE_EQ(wifi_max_observed_mbps(AccessTech::kWiFi4, WifiRadio::k5GHz), 447.0);
+  EXPECT_DOUBLE_EQ(wifi_max_observed_mbps(AccessTech::kWiFi5, WifiRadio::k5GHz), 888.0);
+  EXPECT_DOUBLE_EQ(wifi_max_observed_mbps(AccessTech::kWiFi6, WifiRadio::k5GHz), 1231.0);
+}
+
+TEST(PopulationProfile, SharesSumToOne) {
+  for (int year : {2020, 2021}) {
+    const auto wifi = wifi_standard_shares(year);
+    EXPECT_NEAR(std::accumulate(wifi.begin(), wifi.end(), 0.0), 1.0, 0.01);
+  }
+  for (bool cellular : {true, false}) {
+    const auto isps = isp_shares(cellular);
+    EXPECT_NEAR(std::accumulate(isps.begin(), isps.end(), 0.0), 1.0, 0.01);
+  }
+}
+
+TEST(PopulationProfile, NrShareDoubledIn2021) {
+  EXPECT_NEAR(nr_share_of_cellular(2020), 0.17, 1e-9);
+  EXPECT_NEAR(nr_share_of_cellular(2021), 0.33, 1e-9);
+}
+
+}  // namespace
+}  // namespace swiftest::dataset

@@ -1,0 +1,86 @@
+#include "deploy/fleet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+#include "stats/gmm.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+const std::vector<dataset::TestRecord>& population() {
+  static const auto records = dataset::generate_campaign(20'000, 2021, 13);
+  return records;
+}
+
+TEST(SettledProbingRate, WalksTheModeLadder) {
+  const stats::GaussianMixture model({{0.5, {100.0, 10.0}},
+                                      {0.3, {300.0, 30.0}},
+                                      {0.2, {500.0, 50.0}}});
+  // Capacity below the first mode: the initial rate already covers it.
+  EXPECT_DOUBLE_EQ(settled_probing_rate(model, 50.0), 100.0);
+  // Capacity between modes: settle on the next mode above.
+  EXPECT_DOUBLE_EQ(settled_probing_rate(model, 250.0), 300.0);
+  // Capacity past the top mode: overshoot by 1.25x steps.
+  EXPECT_DOUBLE_EQ(settled_probing_rate(model, 550.0), 500.0 * 1.25);
+}
+
+TEST(FleetSim, ProducesSkewedLowUtilization) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg;
+  cfg.days = 2;
+  const auto result = simulate_fleet(population(), registry, cfg);
+  ASSERT_GT(result.busy_window_utilization.size(), 1000u);
+  EXPECT_GT(result.tests_simulated, 10'000u);
+  // Fig 26 shape: low typical utilization, a much heavier tail.
+  EXPECT_LT(result.summary.median, 20.0);
+  EXPECT_GT(result.summary.max, 2.0 * result.summary.median);
+  EXPECT_GT(result.share_leq_45, 0.95);
+  EXPECT_LT(result.overload_seconds_share, 0.01);
+}
+
+TEST(FleetSim, SmallerFleetRunsHotter) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig big;
+  big.days = 1;
+  big.server_count = 40;
+  FleetSimConfig small = big;
+  small.server_count = 10;
+  const auto big_fleet = simulate_fleet(population(), registry, big);
+  const auto small_fleet = simulate_fleet(population(), registry, small);
+  EXPECT_GT(small_fleet.summary.mean, big_fleet.summary.mean);
+}
+
+TEST(FleetSim, MoreTestsMoreLoad) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig quiet;
+  quiet.days = 1;
+  quiet.tests_per_day = 5'000;
+  FleetSimConfig busy = quiet;
+  busy.tests_per_day = 50'000;
+  const auto q = simulate_fleet(population(), registry, quiet);
+  const auto b = simulate_fleet(population(), registry, busy);
+  EXPECT_GT(b.tests_simulated, 5 * q.tests_simulated);
+  EXPECT_GT(b.summary.mean, q.summary.mean);
+}
+
+TEST(FleetSim, DeterministicForSeed) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg;
+  cfg.days = 1;
+  const auto a = simulate_fleet(population(), registry, cfg);
+  const auto b = simulate_fleet(population(), registry, cfg);
+  EXPECT_EQ(a.tests_simulated, b.tests_simulated);
+  EXPECT_DOUBLE_EQ(a.summary.mean, b.summary.mean);
+}
+
+TEST(FleetSim, EmptyInputsAreSafe) {
+  const swift::ModelRegistry registry;
+  EXPECT_EQ(simulate_fleet({}, registry).tests_simulated, 0u);
+  FleetSimConfig cfg;
+  cfg.server_count = 0;
+  EXPECT_EQ(simulate_fleet(population(), registry, cfg).tests_simulated, 0u);
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

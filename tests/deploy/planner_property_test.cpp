@@ -1,0 +1,104 @@
+// Property tests for the purchase ILP: on small random instances, the
+// branch-and-bound result must match an exhaustive search within the
+// configured optimality gap, and always satisfy the constraints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "deploy/planner.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+struct SmallInstance {
+  std::vector<ServerConfig> catalog;
+  double demand = 0.0;
+};
+
+SmallInstance random_instance(core::Rng& rng) {
+  SmallInstance instance;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    ServerConfig cfg;
+    cfg.provider = "p" + std::to_string(i);
+    cfg.bandwidth_mbps = 100.0 * static_cast<double>(rng.uniform_int(1, 8));
+    cfg.price_per_month_usd = rng.uniform(5.0, 200.0);
+    cfg.available = static_cast<int>(rng.uniform_int(0, 4));
+    instance.catalog.push_back(std::move(cfg));
+  }
+  instance.demand = rng.uniform(50.0, 1500.0);
+  return instance;
+}
+
+// Exhaustive enumeration over all feasible count vectors.
+double brute_force_cost(const SmallInstance& instance, double margin) {
+  const double target = instance.demand * (1.0 + margin);
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> counts(instance.catalog.size(), 0);
+  std::function<void(std::size_t, double, double)> recurse =
+      [&](std::size_t index, double cost, double capacity) {
+        if (capacity >= target) {
+          best = std::min(best, cost);
+          return;
+        }
+        if (index >= instance.catalog.size()) return;
+        const auto& cfg = instance.catalog[index];
+        for (int c = 0; c <= cfg.available; ++c) {
+          recurse(index + 1, cost + c * cfg.price_per_month_usd,
+                  capacity + c * cfg.bandwidth_mbps);
+        }
+      };
+  recurse(0, 0.0, 0.0);
+  return best;
+}
+
+TEST(PlannerProperty, MatchesBruteForceWithinGap) {
+  core::Rng rng(17);
+  PlannerOptions options;
+  options.margin = 0.05;
+  int feasible_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto instance = random_instance(rng);
+    const double optimal = brute_force_cost(instance, options.margin);
+    const auto plan = plan_purchase(instance.catalog, instance.demand, options);
+    if (!std::isfinite(optimal)) {
+      EXPECT_FALSE(plan.feasible) << "trial " << trial;
+      continue;
+    }
+    ++feasible_count;
+    ASSERT_TRUE(plan.feasible) << "trial " << trial;
+    // Within the configured optimality gap of the true optimum.
+    EXPECT_LE(plan.total_cost_usd, optimal / (1.0 - options.optimality_gap) + 1e-6)
+        << "trial " << trial;
+    EXPECT_GE(plan.total_cost_usd, optimal - 1e-6) << "trial " << trial;
+  }
+  EXPECT_GT(feasible_count, 100);  // the generator produces mostly feasible cases
+}
+
+TEST(PlannerProperty, PlansAlwaysSatisfyConstraints) {
+  core::Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto instance = random_instance(rng);
+    const auto plan = plan_purchase(instance.catalog, instance.demand);
+    if (!plan.feasible) continue;
+    double capacity = 0.0, cost = 0.0;
+    std::size_t servers = 0;
+    ASSERT_EQ(plan.counts.size(), instance.catalog.size());
+    for (std::size_t i = 0; i < instance.catalog.size(); ++i) {
+      EXPECT_GE(plan.counts[i], 0);
+      EXPECT_LE(plan.counts[i], instance.catalog[i].available);
+      capacity += plan.counts[i] * instance.catalog[i].bandwidth_mbps;
+      cost += plan.counts[i] * instance.catalog[i].price_per_month_usd;
+      servers += static_cast<std::size_t>(plan.counts[i]);
+    }
+    EXPECT_GE(capacity, instance.demand * 1.075 - 1e-9);
+    EXPECT_NEAR(cost, plan.total_cost_usd, 1e-6);
+    EXPECT_NEAR(capacity, plan.total_bandwidth_mbps, 1e-6);
+    EXPECT_EQ(servers, plan.total_servers);
+  }
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

@@ -1,0 +1,159 @@
+#include "deploy/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swiftest::deploy {
+namespace {
+
+ServerConfig make(double mbps, double price, int available,
+                  const std::string& provider = "test") {
+  return ServerConfig{provider, mbps, price, available};
+}
+
+TEST(Planner, PicksCheapestSufficientServer) {
+  std::vector<ServerConfig> catalog{make(1000, 100.0, 5), make(1000, 60.0, 5)};
+  const auto plan = plan_purchase(catalog, 900.0, {.margin = 0.05});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.counts[0], 0);
+  EXPECT_EQ(plan.counts[1], 1);
+  EXPECT_DOUBLE_EQ(plan.total_cost_usd, 60.0);
+}
+
+TEST(Planner, CombinesConfigurationsWhenCheaper) {
+  // Demand 1000 (+5%): one 2 Gbps box at $300 vs eleven 100 Mbps at $10.
+  std::vector<ServerConfig> catalog{make(2000, 300.0, 2), make(100, 10.0, 20)};
+  const auto plan = plan_purchase(catalog, 1000.0, {.margin = 0.05});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.counts[1], 11);
+  EXPECT_EQ(plan.counts[0], 0);
+  EXPECT_DOUBLE_EQ(plan.total_cost_usd, 110.0);
+}
+
+TEST(Planner, RespectsAvailability) {
+  std::vector<ServerConfig> catalog{make(100, 10.0, 3), make(1000, 500.0, 1)};
+  const auto plan = plan_purchase(catalog, 500.0, {.margin = 0.0});
+  ASSERT_TRUE(plan.feasible);
+  // Only 3 cheap boxes exist (300 Mbps); the big box must fill the rest.
+  EXPECT_EQ(plan.counts[1], 1);
+  EXPECT_GE(plan.total_bandwidth_mbps, 500.0);
+}
+
+TEST(Planner, InfeasibleWhenCatalogTooSmall) {
+  std::vector<ServerConfig> catalog{make(100, 10.0, 2)};
+  const auto plan = plan_purchase(catalog, 1000.0);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Planner, MarginIsApplied) {
+  std::vector<ServerConfig> catalog{make(100, 10.0, 20)};
+  const auto plan = plan_purchase(catalog, 1000.0, {.margin = 0.075});
+  ASSERT_TRUE(plan.feasible);
+  // 1075 Mbps needed -> 11 servers.
+  EXPECT_EQ(plan.total_servers, 11u);
+  EXPECT_GE(plan.total_bandwidth_mbps, 1075.0);
+}
+
+TEST(Planner, ZeroDemandIsTriviallyFeasible) {
+  std::vector<ServerConfig> catalog{make(100, 10.0, 2)};
+  const auto plan = plan_purchase(catalog, 0.0);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.total_servers, 0u);
+  EXPECT_DOUBLE_EQ(plan.total_cost_usd, 0.0);
+}
+
+TEST(Planner, SkipsUnusableCatalogEntries) {
+  std::vector<ServerConfig> catalog{make(0, 10.0, 5), make(100, 10.0, 0),
+                                    make(100, 12.0, 5)};
+  const auto plan = plan_purchase(catalog, 300.0, {.margin = 0.0});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.counts[2], 3);
+}
+
+TEST(Planner, OptimalOnKnapsackLikeInstance) {
+  // Demand 550: best is 500@40 + 100@9 = 49, not 1000@95 or 6x100@54.
+  std::vector<ServerConfig> catalog{make(1000, 95.0, 2), make(500, 40.0, 2),
+                                    make(100, 9.0, 10)};
+  const auto plan = plan_purchase(catalog, 550.0, {.margin = 0.0});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.total_cost_usd, 49.0);
+  EXPECT_EQ(plan.counts[1], 1);
+  EXPECT_EQ(plan.counts[2], 1);
+}
+
+TEST(Planner, HandlesFullSyntheticCatalogQuickly) {
+  const auto catalog = synthetic_catalog(2022, 336);
+  const auto plan = plan_purchase(catalog, 2000.0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.total_bandwidth_mbps, 2000.0 * 1.075);
+  EXPECT_GT(plan.total_servers, 0u);
+  EXPECT_LT(plan.nodes_explored, 2'000'000u);
+}
+
+TEST(Planner, SolutionNeverWorseThanSingleBestConfig) {
+  const auto catalog = synthetic_catalog(7, 100);
+  const double demand = 1500.0;
+  const auto plan = plan_purchase(catalog, demand);
+  ASSERT_TRUE(plan.feasible);
+  // Compare against the naive plan using only each single configuration.
+  for (const auto& cfg : catalog) {
+    const double target = demand * 1.075;
+    const int n = static_cast<int>(std::ceil(target / cfg.bandwidth_mbps));
+    if (n <= cfg.available) {
+      EXPECT_LE(plan.total_cost_usd, n * cfg.price_per_month_usd + 1e-9);
+    }
+  }
+}
+
+TEST(LegacyPlan, OverprovisionsFlatly) {
+  const auto legacy = legacy_gbps_server();
+  const auto plan = legacy_plan(legacy, 2000.0, 25.0);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.total_servers, 50u);  // 50 Gbps for a 2 Gbps peak demand
+  EXPECT_DOUBLE_EQ(plan.total_bandwidth_mbps, 50'000.0);
+}
+
+TEST(Catalog, SyntheticCatalogMatchesOneProviderRanges) {
+  const auto catalog = synthetic_catalog();
+  EXPECT_EQ(catalog.size(), 336u);
+  for (const auto& cfg : catalog) {
+    EXPECT_GE(cfg.bandwidth_mbps, 100.0);
+    EXPECT_LE(cfg.bandwidth_mbps, 10'000.0);
+    EXPECT_GE(cfg.price_per_month_usd, 7.0);
+    EXPECT_LE(cfg.price_per_month_usd, 2609.0);
+    EXPECT_GE(cfg.available, 1);
+  }
+}
+
+TEST(Catalog, Deterministic) {
+  const auto a = synthetic_catalog(9, 50);
+  const auto b = synthetic_catalog(9, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].price_per_month_usd, b[i].price_per_month_usd);
+  }
+}
+
+TEST(Catalog, BigPipePremium) {
+  // $/Mbps grows with bandwidth tier on average.
+  const auto catalog = synthetic_catalog(11, 336);
+  double small_ppm = 0.0, big_ppm = 0.0;
+  int small_n = 0, big_n = 0;
+  for (const auto& cfg : catalog) {
+    const double ppm = cfg.price_per_month_usd / cfg.bandwidth_mbps;
+    if (cfg.bandwidth_mbps <= 200) {
+      small_ppm += ppm;
+      ++small_n;
+    } else if (cfg.bandwidth_mbps >= 5000) {
+      big_ppm += ppm;
+      ++big_n;
+    }
+  }
+  ASSERT_GT(small_n, 0);
+  ASSERT_GT(big_n, 0);
+  EXPECT_LT(small_ppm / small_n, big_ppm / big_n);
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "deploy/placement.hpp"
+#include "deploy/planner.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+TEST(RegionalPlan, CoversEveryDomainProportionally) {
+  const auto catalog = synthetic_catalog(2022, 336);
+  const auto regional = plan_regional(catalog, 2000.0);
+  ASSERT_TRUE(regional.feasible);
+  const auto domains = ixp_domains();
+  ASSERT_EQ(regional.per_domain.size(), domains.size());
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    const double demand = 2000.0 * domains[d].demand_share;
+    EXPECT_GE(regional.per_domain[d].total_bandwidth_mbps, demand * 1.075 - 1e-6)
+        << domains[d].city;
+    EXPECT_GT(regional.per_domain[d].total_servers, 0u) << domains[d].city;
+  }
+}
+
+TEST(RegionalPlan, TotalsAreSums) {
+  const auto catalog = synthetic_catalog(2022, 336);
+  const auto regional = plan_regional(catalog, 1500.0);
+  ASSERT_TRUE(regional.feasible);
+  double cost = 0.0, bw = 0.0;
+  std::size_t servers = 0;
+  for (const auto& plan : regional.per_domain) {
+    cost += plan.total_cost_usd;
+    bw += plan.total_bandwidth_mbps;
+    servers += plan.total_servers;
+  }
+  EXPECT_NEAR(cost, regional.total_cost_usd, 1e-6);
+  EXPECT_NEAR(bw, regional.total_bandwidth_mbps, 1e-6);
+  EXPECT_EQ(servers, regional.total_servers);
+}
+
+TEST(RegionalPlan, RespectsSharedAvailability) {
+  // A catalog with exactly enough capacity nationally: every domain's plan
+  // must draw from the shared pool without exceeding it.
+  std::vector<ServerConfig> catalog{
+      {"a", 100.0, 10.0, 18},
+      {"b", 500.0, 60.0, 3},
+  };
+  // Capacity 18*100 + 3*500 = 3300 covers 2000 * 1.075 = 2150 even with the
+  // per-domain integer rounding overhead.
+  const auto regional = plan_regional(catalog, 2000.0, {.margin = 0.075});
+  ASSERT_TRUE(regional.feasible);
+  int used_a = 0, used_b = 0;
+  for (const auto& plan : regional.per_domain) {
+    used_a += plan.counts[0];
+    used_b += plan.counts[1];
+  }
+  EXPECT_LE(used_a, 18);
+  EXPECT_LE(used_b, 3);
+  EXPECT_GE(regional.total_bandwidth_mbps, 2150.0 - 1e-6);
+}
+
+TEST(RegionalPlan, InfeasibleWhenPoolTooSmall) {
+  std::vector<ServerConfig> catalog{{"a", 100.0, 10.0, 3}};
+  const auto regional = plan_regional(catalog, 2000.0);
+  EXPECT_FALSE(regional.feasible);
+}
+
+TEST(RegionalPlan, CostsMoreThanNationalPoolButBounded) {
+  // Splitting the demand across 8 domains pays an integer-rounding premium
+  // over one national plan, but it should stay modest.
+  const auto catalog = synthetic_catalog(2022, 336);
+  const auto national = plan_purchase(catalog, 2000.0);
+  const auto regional = plan_regional(catalog, 2000.0);
+  ASSERT_TRUE(national.feasible);
+  ASSERT_TRUE(regional.feasible);
+  EXPECT_GE(regional.total_cost_usd, national.total_cost_usd - 1e-6);
+  EXPECT_LE(regional.total_cost_usd, national.total_cost_usd * 1.6);
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

@@ -1,0 +1,113 @@
+#include "deploy/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "deploy/placement.hpp"
+#include "dataset/generator.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+TEST(PoissonQuantile, KnownValues) {
+  EXPECT_EQ(poisson_quantile(0.0, 0.99), 0);
+  // Poisson(1): CDF(3) ~ 0.981, CDF(4) ~ 0.996.
+  EXPECT_EQ(poisson_quantile(1.0, 0.99), 4);
+  // Median of Poisson(10) is 10.
+  EXPECT_EQ(poisson_quantile(10.0, 0.5), 10);
+}
+
+TEST(PoissonQuantile, MonotoneInQ) {
+  EXPECT_LE(poisson_quantile(2.0, 0.5), poisson_quantile(2.0, 0.99));
+  EXPECT_LE(poisson_quantile(2.0, 0.99), poisson_quantile(2.0, 0.9999));
+}
+
+TEST(Workload, EstimateScalesWithTestVolume) {
+  const auto records = dataset::generate_campaign(30'000, 2021, 3);
+  WorkloadParams p1;
+  p1.tests_per_day = 10'000;
+  WorkloadParams p2 = p1;
+  p2.tests_per_day = 200'000;
+  const auto e1 = estimate_workload(records, p1);
+  const auto e2 = estimate_workload(records, p2);
+  EXPECT_GT(e2.peak_arrivals_per_second, 10 * e1.peak_arrivals_per_second);
+  EXPECT_GT(e2.demand_mbps, e1.demand_mbps);
+}
+
+TEST(Workload, LongerTestsNeedMoreCapacity) {
+  const auto records = dataset::generate_campaign(30'000, 2021, 3);
+  WorkloadParams swift;
+  swift.test_duration_s = 1.2;
+  WorkloadParams flood = swift;
+  flood.test_duration_s = 10.0;
+  EXPECT_GT(estimate_workload(records, flood).demand_mbps,
+            estimate_workload(records, swift).demand_mbps);
+}
+
+TEST(Workload, SwiftestScaleDemandFitsTwentyBudgetServers) {
+  // The §5.3 deployment: ~10K tests/day handled by 20 x 100 Mbps servers.
+  const auto records = dataset::generate_campaign(60'000, 2021, 4);
+  WorkloadParams params;  // defaults model Swiftest
+  const auto est = estimate_workload(records, params);
+  EXPECT_GT(est.demand_mbps, 300.0);
+  EXPECT_LT(est.demand_mbps, 2'000.0);
+}
+
+TEST(Workload, EmptyRecordsGiveZeroPerTestRate) {
+  const auto est = estimate_workload({}, {});
+  EXPECT_DOUBLE_EQ(est.per_test_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(est.demand_mbps, 0.0);
+}
+
+TEST(Placement, EightDomainsWithIxps) {
+  const auto domains = ixp_domains();
+  ASSERT_EQ(domains.size(), 8u);
+  double total = 0.0;
+  for (const auto& d : domains) total += d.demand_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The paper's list includes these core IXP cities.
+  bool has_beijing = false, has_xian = false;
+  for (const auto& d : domains) {
+    if (d.city == "Beijing") has_beijing = true;
+    if (d.city == "Xi'an") has_xian = true;
+  }
+  EXPECT_TRUE(has_beijing);
+  EXPECT_TRUE(has_xian);
+}
+
+TEST(Placement, TwentyServersCoverAllDomains) {
+  const auto placement = place_servers(20);
+  std::size_t total = 0;
+  for (std::size_t n : placement.servers_per_domain) {
+    EXPECT_GE(n, 1u);
+    total += n;
+  }
+  EXPECT_EQ(total, 20u);
+  EXPECT_LT(placement_imbalance(placement), 2.0);
+}
+
+TEST(Placement, ProportionalToDemand) {
+  const auto placement = place_servers(100);
+  const auto domains = ixp_domains();
+  // Beijing (18%) gets more servers than Shenyang (6%).
+  std::size_t beijing = 0, shenyang = 0;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    if (domains[i].city == "Beijing") beijing = placement.servers_per_domain[i];
+    if (domains[i].city == "Shenyang") shenyang = placement.servers_per_domain[i];
+  }
+  EXPECT_GT(beijing, shenyang);
+}
+
+TEST(Placement, FewServersStillPlaced) {
+  const auto placement = place_servers(3);
+  std::size_t total = 0;
+  for (std::size_t n : placement.servers_per_domain) total += n;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Placement, ZeroServers) {
+  const auto placement = place_servers(0);
+  for (std::size_t n : placement.servers_per_domain) EXPECT_EQ(n, 0u);
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

@@ -1,0 +1,136 @@
+#include "netsim/fair_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+
+namespace swiftest::netsim {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+
+Packet make_packet(std::uint64_t flow, std::int32_t size = 1000) {
+  Packet p;
+  p.flow_id = flow;
+  p.size_bytes = size;
+  return p;
+}
+
+// A constant-rate datagram source feeding the fair link.
+void drive_flow(Scheduler& sched, FairLink& link, std::uint64_t flow,
+                Bandwidth rate, core::SimDuration duration,
+                std::int32_t size = 1000) {
+  const core::SimDuration gap = rate.transmit_time(core::Bytes(size));
+  const auto count = static_cast<int>(duration / gap);
+  for (int i = 0; i < count; ++i) {
+    sched.schedule_at(i * gap, [&link, flow, size] {
+      link.send(make_packet(flow, size), [](const Packet&) {});
+    });
+  }
+}
+
+TEST(FairLink, SingleFlowGetsFullRate) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(50), 0}, core::Rng(1));
+  drive_flow(sched, link, 1, Bandwidth::mbps(100), seconds(1));
+  sched.run();
+  const double mbps = static_cast<double>(link.flow_bytes_delivered(1)) * 8.0 / 1e6;
+  EXPECT_NEAR(mbps, 50.0, 3.0);  // capped at the link rate
+}
+
+TEST(FairLink, AggressiveFlowCannotStarveCompetitor) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(50), 0}, core::Rng(1));
+  // Flow 1 floods at 10x the link rate; flow 2 politely offers half the link.
+  drive_flow(sched, link, 1, Bandwidth::mbps(500), seconds(2));
+  drive_flow(sched, link, 2, Bandwidth::mbps(25), seconds(2));
+  sched.run();
+  const double f1 = static_cast<double>(link.flow_bytes_delivered(1)) * 8.0 / 2e6;
+  const double f2 = static_cast<double>(link.flow_bytes_delivered(2)) * 8.0 / 2e6;
+  // DRR: the polite flow gets essentially all it asked for.
+  EXPECT_NEAR(f2, 25.0, 3.0);
+  EXPECT_NEAR(f1, 25.0, 4.0);  // the flood gets only the remainder
+}
+
+TEST(FairLink, EqualFloodsShareEqually) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(60), 0}, core::Rng(1));
+  for (std::uint64_t flow = 1; flow <= 3; ++flow) {
+    drive_flow(sched, link, flow, Bandwidth::mbps(200), seconds(1));
+  }
+  sched.run();
+  for (std::uint64_t flow = 1; flow <= 3; ++flow) {
+    const double mbps = static_cast<double>(link.flow_bytes_delivered(flow)) * 8.0 / 1e6;
+    EXPECT_NEAR(mbps, 20.0, 3.0) << flow;
+  }
+}
+
+TEST(FairLink, UnevenPacketSizesStillFairInBytes) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(40), 0}, core::Rng(1));
+  drive_flow(sched, link, 1, Bandwidth::mbps(100), seconds(1), 1400);
+  drive_flow(sched, link, 2, Bandwidth::mbps(100), seconds(1), 300);
+  sched.run();
+  const double f1 = static_cast<double>(link.flow_bytes_delivered(1)) * 8.0 / 1e6;
+  const double f2 = static_cast<double>(link.flow_bytes_delivered(2)) * 8.0 / 1e6;
+  // DRR serves bytes, not packets: both flows get ~half the link.
+  EXPECT_NEAR(f1, 20.0, 4.0);
+  EXPECT_NEAR(f2, 20.0, 4.0);
+}
+
+TEST(FairLink, JainIndexNearOneUnderContention) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(80), 0}, core::Rng(1));
+  for (std::uint64_t flow = 1; flow <= 4; ++flow) {
+    drive_flow(sched, link, flow, Bandwidth::mbps(100 + 40 * static_cast<double>(flow)),
+               seconds(1));
+  }
+  sched.run();
+  std::vector<double> shares;
+  for (std::uint64_t flow = 1; flow <= 4; ++flow) {
+    shares.push_back(static_cast<double>(link.flow_bytes_delivered(flow)));
+  }
+  EXPECT_GT(swiftest::stats::jain_fairness(shares), 0.98);
+}
+
+TEST(FairLink, PerFlowQueueOverflowDropsOnlyThatFlow) {
+  Scheduler sched;
+  FairLinkConfig cfg{Bandwidth::mbps(10), 0};
+  cfg.per_flow_queue = core::Bytes(3000);
+  FairLink link(sched, cfg, core::Rng(1));
+  // A burst of 10 packets into flow 1 overflows its 3-packet queue.
+  for (int i = 0; i < 10; ++i) link.send(make_packet(1), [](const Packet&) {});
+  link.send(make_packet(2), [](const Packet&) {});
+  sched.run();
+  EXPECT_GT(link.stats().queue_drops, 0u);
+  EXPECT_EQ(link.flow_bytes_delivered(2), 1000);
+}
+
+TEST(FairLink, DeliveryAfterPropagation) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(8), milliseconds(10)},
+                core::Rng(1));
+  core::SimTime delivered_at = -1;
+  link.send(make_packet(1, 1000), [&](const Packet&) { delivered_at = sched.now(); });
+  sched.run();
+  EXPECT_EQ(delivered_at, milliseconds(11));  // 1 ms serialization + 10 ms prop
+}
+
+TEST(FairLink, RandomLossCounted) {
+  Scheduler sched;
+  FairLinkConfig cfg{Bandwidth::gbps(1), 0};
+  cfg.per_flow_queue = core::megabytes(1);  // the whole burst fits
+  cfg.random_loss = 0.2;
+  FairLink link(sched, cfg, core::Rng(7));
+  int delivered = 0;
+  for (int i = 0; i < 5000; ++i) {
+    link.send(make_packet(1, 100), [&](const Packet&) { ++delivered; });
+  }
+  sched.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / 5000.0, 0.8, 0.03);
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

@@ -1,0 +1,114 @@
+#include "netsim/flow_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/link_dynamics.hpp"
+#include "netsim/scenario.hpp"
+#include "netsim/tcp.hpp"
+
+namespace swiftest::netsim {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+
+TEST(FlowTimeseries, EmptySeriesIsSafe) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  EXPECT_EQ(ts.total_bytes(), 0);
+  EXPECT_TRUE(ts.windows(milliseconds(50)).empty());
+  EXPECT_TRUE(ts.stalls(milliseconds(10)).empty());
+  EXPECT_DOUBLE_EQ(ts.mean_mbps(), 0.0);
+}
+
+TEST(FlowTimeseries, WindowsAggregateBytes) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  // 1000 bytes at t=0, 10, 60, 110 ms.
+  for (core::SimTime t : {0, 10, 60, 110}) {
+    sched.schedule_at(milliseconds(t), [&] { ts.on_bytes(1000); });
+  }
+  sched.run();
+  const auto windows = ts.windows(milliseconds(50));
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].bytes, 2000);  // t=0 and t=10
+  EXPECT_EQ(windows[1].bytes, 1000);  // t=60
+  EXPECT_EQ(windows[2].bytes, 1000);  // t=110
+  // 2000 B / 50 ms = 0.32 Mbps.
+  EXPECT_NEAR(windows[0].mbps, 0.32, 1e-9);
+  EXPECT_EQ(ts.total_bytes(), 4000);
+}
+
+TEST(FlowTimeseries, CoalescesSameInstantArrivals) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  ts.on_bytes(500);
+  ts.on_bytes(500);
+  EXPECT_EQ(ts.arrival_count(), 1u);
+  EXPECT_EQ(ts.total_bytes(), 1000);
+}
+
+TEST(FlowTimeseries, IgnoresNonPositiveBytes) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  ts.on_bytes(0);
+  ts.on_bytes(-5);
+  EXPECT_EQ(ts.arrival_count(), 0u);
+}
+
+TEST(FlowTimeseries, DetectsStalls) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  for (core::SimTime t : {0, 10, 20, 220, 230}) {  // 200 ms gap after t=20
+    sched.schedule_at(milliseconds(t), [&] { ts.on_bytes(100); });
+  }
+  sched.run();
+  const auto stalls = ts.stalls(milliseconds(100));
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].start, milliseconds(20));
+  EXPECT_EQ(stalls[0].duration, milliseconds(200));
+}
+
+TEST(FlowTimeseries, MeanMbpsOverActivePeriod) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  sched.schedule_at(0, [&] { ts.on_bytes(1'000'000); });
+  sched.schedule_at(seconds(1), [&] { ts.on_bytes(1'000'000); });
+  sched.run();
+  EXPECT_NEAR(ts.mean_mbps(), 16.0, 1e-9);  // 2 MB over 1 s
+}
+
+TEST(FlowTimeseries, TracksTcpThroughputAndHandoverStall) {
+  ScenarioConfig cfg;
+  cfg.access_rate = Bandwidth::mbps(100);
+  Scenario scenario(cfg, 3);
+  FadingConfig fading;
+  fading.sigma = 0.0;
+  RateModulator mod(scenario.scheduler(), scenario.access_link(), Bandwidth::mbps(100),
+                    fading, core::Rng(4));
+  mod.start();
+  mod.schedule_handover(seconds(2), milliseconds(400), 1.0);
+
+  TcpConfig tcp_cfg;
+  tcp_cfg.cc = CcAlgorithm::kBbr;
+  TcpConnection conn(scenario.scheduler(), scenario.server_path(0), tcp_cfg, 1);
+  FlowTimeseries ts(scenario.scheduler());
+  conn.set_on_delivered([&](std::int64_t bytes) { ts.on_bytes(bytes); });
+  conn.start();
+  scenario.scheduler().run_until(seconds(5));
+  conn.stop();
+  mod.stop();
+
+  const auto summary = ts.throughput_summary(milliseconds(100));
+  EXPECT_GT(summary.max, 60.0);  // saturates before/after the outage
+  // The 400 ms handover outage appears as stalls: during the outage the
+  // radio trickles at ~0.1 Mbps, i.e. one segment every ~120 ms.
+  const auto stalls = ts.stalls(milliseconds(110));
+  ASSERT_GE(stalls.size(), 1u);
+  EXPECT_GE(stalls[0].start, seconds(2) - milliseconds(100));
+  EXPECT_LE(stalls[0].start, seconds(3));
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

@@ -1,0 +1,132 @@
+#include "netsim/link_dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bts/flooding.hpp"
+#include "netsim/scenario.hpp"
+#include "netsim/tcp.hpp"
+#include "swiftest/client.hpp"
+
+namespace swiftest::netsim {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+
+TEST(RateModulator, FadesWithinBounds) {
+  Scheduler sched;
+  Link link(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(5)}, core::Rng(1));
+  FadingConfig cfg;
+  cfg.sigma = 0.3;
+  cfg.min_factor = 0.4;
+  cfg.max_factor = 1.0;
+  RateModulator mod(sched, link, Bandwidth::mbps(100), cfg, core::Rng(2));
+  mod.start();
+  double lo = 10.0, hi = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    sched.run_until(milliseconds(100) * i);
+    lo = std::min(lo, mod.current_factor());
+    hi = std::max(hi, mod.current_factor());
+  }
+  mod.stop();
+  EXPECT_GE(lo, 0.4);
+  EXPECT_LE(hi, 1.0);
+  EXPECT_GT(hi - lo, 0.1);  // it actually varies
+}
+
+TEST(RateModulator, StopFreezesRate) {
+  Scheduler sched;
+  Link link(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(5)}, core::Rng(1));
+  RateModulator mod(sched, link, Bandwidth::mbps(100), {}, core::Rng(2));
+  mod.start();
+  sched.run_until(seconds(1));
+  mod.stop();
+  const double factor = mod.current_factor();
+  sched.run_until(seconds(2));
+  EXPECT_DOUBLE_EQ(mod.current_factor(), factor);
+}
+
+TEST(RateModulator, HandoverOutageAndRecovery) {
+  Scheduler sched;
+  Link link(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(5)}, core::Rng(1));
+  FadingConfig cfg;
+  cfg.sigma = 0.0;  // isolate the handover effect
+  cfg.max_factor = 1.0;
+  RateModulator mod(sched, link, Bandwidth::mbps(100), cfg, core::Rng(2));
+  mod.start();
+  mod.schedule_handover(seconds(1), milliseconds(300), 0.6);
+
+  sched.run_until(seconds(1) + milliseconds(100));
+  EXPECT_LT(mod.current_factor(), 0.01);  // dark during the outage
+  sched.run_until(seconds(2));
+  EXPECT_NEAR(mod.current_factor(), 0.6, 0.05);  // settled on the new cell
+}
+
+TEST(RateModulator, TcpThroughputTracksFadedCapacity) {
+  ScenarioConfig cfg;
+  cfg.access_rate = Bandwidth::mbps(80);
+  Scenario scenario(cfg, 9);
+  FadingConfig fading;
+  fading.sigma = 0.25;
+  fading.max_factor = 1.0;
+  RateModulator mod(scenario.scheduler(), scenario.access_link(), Bandwidth::mbps(80),
+                    fading, core::Rng(3));
+  mod.start();
+  TcpConfig tcp_cfg;
+  tcp_cfg.cc = CcAlgorithm::kBbr;
+  TcpConnection conn(scenario.scheduler(), scenario.server_path(0), tcp_cfg, 1);
+  conn.start();
+  scenario.scheduler().run_until(seconds(8));
+  conn.stop();
+  mod.stop();
+  const double mbps = static_cast<double>(conn.stats().app_bytes_delivered) * 8.0 / 8.0 / 1e6;
+  // Lognormal fade with clamping yields an effective mean capacity ~70-90%.
+  EXPECT_GT(mbps, 80.0 * 0.4);
+  EXPECT_LT(mbps, 80.0 * 1.0);
+}
+
+TEST(RateModulator, SwiftestSurvivesMidTestHandover) {
+  ScenarioConfig net;
+  net.access_rate = Bandwidth::mbps(300);
+  net.access_delay = milliseconds(12);
+  Scenario scenario(net, 10);
+  FadingConfig fading;
+  fading.sigma = 0.05;
+  RateModulator mod(scenario.scheduler(), scenario.access_link(), Bandwidth::mbps(300),
+                    fading, core::Rng(4));
+  mod.start();
+  // Handover right in the middle of the expected probing window.
+  mod.schedule_handover(core::from_seconds(0.6), milliseconds(200), 0.5);
+
+  static const swift::ModelRegistry registry;
+  swift::SwiftestConfig cfg;
+  cfg.tech = dataset::AccessTech::k5G;
+  swift::SwiftestClient client(cfg, registry);
+  const auto result = client.run(scenario);
+  mod.stop();
+  // The test terminates (converged or capped) with a sane value somewhere
+  // between the post-handover and pre-handover capacity.
+  EXPECT_GT(result.bandwidth_mbps, 50.0);
+  EXPECT_LT(result.bandwidth_mbps, 330.0);
+  EXPECT_LE(result.probe_duration, cfg.max_duration + milliseconds(100));
+}
+
+TEST(RateModulator, FloodingAveragesThroughFades) {
+  ScenarioConfig net;
+  net.access_rate = Bandwidth::mbps(100);
+  Scenario scenario(net, 11);
+  FadingConfig fading;
+  fading.sigma = 0.2;
+  RateModulator mod(scenario.scheduler(), scenario.access_link(), Bandwidth::mbps(100),
+                    fading, core::Rng(5));
+  mod.start();
+  bts::FloodingBts tester;
+  const auto result = tester.run(scenario);
+  mod.stop();
+  EXPECT_GT(result.bandwidth_mbps, 50.0);
+  EXPECT_LT(result.bandwidth_mbps, 105.0);
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

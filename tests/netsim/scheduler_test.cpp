@@ -1,0 +1,111 @@
+#include "netsim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swiftest::netsim {
+namespace {
+
+using core::milliseconds;
+using core::seconds;
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  sched.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  sched.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), milliseconds(30));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(milliseconds(10), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  core::SimTime fired_at = -1;
+  sched.schedule_at(milliseconds(5), [&] {
+    sched.schedule_in(milliseconds(10), [&] { fired_at = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired_at, milliseconds(15));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(milliseconds(10), [&] { ++count; });
+  sched.schedule_at(milliseconds(20), [&] { ++count; });
+  sched.schedule_at(milliseconds(30), [&] { ++count; });
+  sched.run_until(milliseconds(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), milliseconds(20));
+  sched.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler sched;
+  sched.run_until(seconds(5));
+  EXPECT_EQ(sched.now(), seconds(5));
+  EXPECT_TRUE(sched.idle());
+}
+
+TEST(Scheduler, CancelledEventDoesNotRun) {
+  Scheduler sched;
+  bool ran = false;
+  EventHandle h = sched.schedule_at(milliseconds(10), [&] { ran = true; });
+  h.cancel();
+  sched.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler sched;
+  bool ran = false;
+  EventHandle h = sched.schedule_at(milliseconds(1), [&] { ran = true; });
+  sched.run();
+  EXPECT_TRUE(ran);
+  h.cancel();  // must not crash
+}
+
+TEST(Scheduler, SchedulingInPastThrows) {
+  Scheduler sched;
+  sched.schedule_at(milliseconds(10), [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(milliseconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, EventsExecutedCounterSkipsCancelled) {
+  Scheduler sched;
+  sched.schedule_at(1, [] {});
+  EventHandle h = sched.schedule_at(2, [] {});
+  h.cancel();
+  sched.run();
+  EXPECT_EQ(sched.events_executed(), 1u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sched.schedule_in(milliseconds(1), recurse);
+  };
+  sched.schedule_at(0, recurse);
+  sched.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sched.now(), milliseconds(99));
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

@@ -1,0 +1,130 @@
+// Property tests for the TCP model: conservation and monotonicity invariants
+// that must hold for any scenario, seed, and congestion controller.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "netsim/scenario.hpp"
+#include "netsim/tcp.hpp"
+
+namespace swiftest::netsim {
+namespace {
+
+using core::Bandwidth;
+using core::seconds;
+
+struct RandomCase {
+  double rate_mbps;
+  double loss;
+  CcAlgorithm cc;
+  std::uint64_t seed;
+};
+
+RandomCase draw_case(core::Rng& rng) {
+  static constexpr CcAlgorithm kAlgos[] = {CcAlgorithm::kReno, CcAlgorithm::kCubic,
+                                           CcAlgorithm::kBbr};
+  RandomCase c;
+  c.rate_mbps = rng.uniform(5.0, 600.0);
+  c.loss = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, 0.001);
+  c.cc = kAlgos[rng.uniform_int(0, 2)];
+  c.seed = rng.next_u64();
+  return c;
+}
+
+TEST(TcpProperty, ConservationInvariantsAcrossRandomScenarios) {
+  core::Rng rng(101);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomCase c = draw_case(rng);
+    ScenarioConfig cfg;
+    cfg.access_rate = Bandwidth::mbps(c.rate_mbps);
+    cfg.random_loss = c.loss;
+    cfg.enable_cross_traffic = trial % 2 == 0;
+    Scenario scenario(cfg, c.seed);
+    if (cfg.enable_cross_traffic) scenario.start_cross_traffic();
+
+    TcpConfig tcp_cfg;
+    tcp_cfg.cc = c.cc;
+    tcp_cfg.mss = suggested_mss(cfg.access_rate);
+    TcpConnection conn(scenario.scheduler(), scenario.server_path(0), tcp_cfg, 1);
+
+    std::int64_t callback_bytes = 0;
+    std::int64_t last_total = 0;
+    bool monotone = true;
+    conn.set_on_delivered([&](std::int64_t bytes) {
+      if (bytes <= 0) monotone = false;
+      callback_bytes += bytes;
+      if (callback_bytes < last_total) monotone = false;
+      last_total = callback_bytes;
+    });
+
+    conn.start();
+    scenario.scheduler().run_until(seconds(4));
+    conn.stop();
+    const auto& stats = conn.stats();
+
+    // 1. The app sees exactly the bytes the stats record, monotonically.
+    EXPECT_TRUE(monotone) << trial;
+    EXPECT_EQ(callback_bytes, stats.app_bytes_delivered) << trial;
+    // 2. No byte is delivered that was never sent.
+    EXPECT_LE(stats.app_bytes_delivered,
+              stats.segments_sent * static_cast<std::int64_t>(tcp_cfg.mss))
+        << trial;
+    // 3. Wire bytes include headers: strictly more than payload when any
+    //    data flowed.
+    if (stats.app_bytes_delivered > 0) {
+      EXPECT_GT(stats.wire_bytes_received, stats.app_bytes_delivered) << trial;
+    }
+    // 4. Goodput can never exceed the configured link capacity.
+    const double mbps = static_cast<double>(stats.app_bytes_delivered) * 8.0 / 4.0 / 1e6;
+    EXPECT_LE(mbps, c.rate_mbps * 1.02) << trial;
+    // 5. Retransmissions are a subset of sent segments.
+    EXPECT_LE(stats.retransmissions, stats.segments_sent) << trial;
+  }
+}
+
+TEST(TcpProperty, FiniteTransfersDeliverExactlyOnce) {
+  core::Rng rng(202);
+  for (int trial = 0; trial < 15; ++trial) {
+    const RandomCase c = draw_case(rng);
+    ScenarioConfig cfg;
+    cfg.access_rate = Bandwidth::mbps(std::max(10.0, c.rate_mbps));
+    cfg.random_loss = c.loss;
+    Scenario scenario(cfg, c.seed);
+
+    TcpConfig tcp_cfg;
+    tcp_cfg.cc = c.cc;
+    tcp_cfg.bytes_to_send = 300'000;
+    TcpConnection conn(scenario.scheduler(), scenario.server_path(0), tcp_cfg, 1);
+    bool completed = false;
+    conn.set_on_completed([&] { completed = true; });
+    conn.start();
+    scenario.scheduler().run_until(seconds(60));
+
+    EXPECT_TRUE(completed) << trial;
+    // In-order delivery hands over each payload byte exactly once; the
+    // final segment may be padded to a full MSS.
+    EXPECT_GE(conn.stats().app_bytes_delivered, 300'000) << trial;
+    EXPECT_LT(conn.stats().app_bytes_delivered, 300'000 + tcp_cfg.mss) << trial;
+  }
+}
+
+TEST(TcpProperty, DeterministicAcrossRuns) {
+  for (auto cc : {CcAlgorithm::kReno, CcAlgorithm::kCubic, CcAlgorithm::kBbr}) {
+    auto run = [&] {
+      ScenarioConfig cfg;
+      cfg.access_rate = Bandwidth::mbps(70);
+      cfg.random_loss = 0.0002;
+      Scenario scenario(cfg, 777);
+      TcpConfig tcp_cfg;
+      tcp_cfg.cc = cc;
+      TcpConnection conn(scenario.scheduler(), scenario.server_path(0), tcp_cfg, 1);
+      conn.start();
+      scenario.scheduler().run_until(seconds(5));
+      conn.stop();
+      return conn.stats().app_bytes_delivered;
+    };
+    EXPECT_EQ(run(), run()) << to_string(cc);
+  }
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

@@ -1,0 +1,243 @@
+#include "netsim/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netsim/cc_bbr.hpp"
+#include "netsim/cc_cubic.hpp"
+#include "netsim/cc_reno.hpp"
+#include "netsim/scenario.hpp"
+
+namespace swiftest::netsim {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+using core::to_seconds;
+
+struct TestNet {
+  Scheduler sched;
+  Link link;
+  Path path;
+
+  TestNet(Bandwidth rate, core::SimDuration access_delay, core::SimDuration server_delay,
+          double loss = 0.0, core::Bytes queue = core::kilobytes(256))
+      : link(sched,
+             LinkConfig{rate, access_delay, queue, loss},
+             core::Rng(42)),
+        path(sched, link, server_delay) {}
+};
+
+// Achieved goodput should approach the bottleneck rate for a long transfer.
+class TcpSaturationTest : public ::testing::TestWithParam<CcAlgorithm> {};
+
+TEST_P(TcpSaturationTest, SaturatesBottleneck) {
+  TestNet net(Bandwidth::mbps(50), milliseconds(5), milliseconds(10));
+  TcpConfig cfg;
+  cfg.cc = GetParam();
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(10));
+  conn.stop();
+
+  const double goodput_mbps =
+      static_cast<double>(conn.stats().app_bytes_delivered) * 8.0 / 10.0 / 1e6;
+  EXPECT_GT(goodput_mbps, 50.0 * 0.75) << to_string(GetParam());
+  EXPECT_LE(goodput_mbps, 50.0 * 1.02) << to_string(GetParam());
+}
+
+TEST_P(TcpSaturationTest, SaturatesUnderRandomLoss) {
+  TestNet net(Bandwidth::mbps(50), milliseconds(5), milliseconds(5), /*loss=*/0.0005);
+  TcpConfig cfg;
+  cfg.cc = GetParam();
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(10));
+  conn.stop();
+
+  const double goodput_mbps =
+      static_cast<double>(conn.stats().app_bytes_delivered) * 8.0 / 10.0 / 1e6;
+  EXPECT_GT(goodput_mbps, 50.0 * 0.4) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCcs, TcpSaturationTest,
+                         ::testing::Values(CcAlgorithm::kReno, CcAlgorithm::kCubic,
+                                           CcAlgorithm::kBbr),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Tcp, FiniteTransferCompletes) {
+  TestNet net(Bandwidth::mbps(20), milliseconds(5), milliseconds(5));
+  TcpConfig cfg;
+  cfg.bytes_to_send = 500'000;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  bool completed = false;
+  conn.set_on_completed([&] { completed = true; });
+  conn.start();
+  net.sched.run_until(seconds(30));
+  EXPECT_TRUE(completed);
+  EXPECT_GE(conn.stats().app_bytes_delivered, 500'000);
+}
+
+TEST(Tcp, DeliveredCallbackSeesAllAppBytes) {
+  TestNet net(Bandwidth::mbps(20), milliseconds(5), milliseconds(5));
+  TcpConfig cfg;
+  cfg.bytes_to_send = 200'000;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  std::int64_t seen = 0;
+  conn.set_on_delivered([&](std::int64_t b) { seen += b; });
+  conn.start();
+  net.sched.run_until(seconds(30));
+  EXPECT_EQ(seen, conn.stats().app_bytes_delivered);
+  EXPECT_GE(seen, 200'000);
+}
+
+TEST(Tcp, SlowStartExitRecorded) {
+  TestNet net(Bandwidth::mbps(50), milliseconds(5), milliseconds(5));
+  TcpConfig cfg;
+  cfg.cc = CcAlgorithm::kCubic;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(10));
+  EXPECT_GT(conn.stats().slow_start_exit, 0);
+  EXPECT_LT(conn.stats().slow_start_exit, seconds(10));
+}
+
+TEST(Tcp, LossTriggersFastRetransmitNotOnlyRto) {
+  // Small buffer forces overflow losses during slow start.
+  TestNet net(Bandwidth::mbps(50), milliseconds(5), milliseconds(5), 0.0,
+              core::kilobytes(32));
+  TcpConfig cfg;
+  cfg.cc = CcAlgorithm::kReno;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(10));
+  EXPECT_GT(conn.stats().fast_retransmits, 0);
+  EXPECT_GT(conn.stats().retransmissions, 0);
+}
+
+TEST(Tcp, HigherBandwidthDeliversMore) {
+  auto run = [](double mbps) {
+    TestNet net(Bandwidth::mbps(mbps), milliseconds(5), milliseconds(5));
+    TcpConfig cfg;
+    TcpConnection conn(net.sched, net.path, cfg, 1);
+    conn.start();
+    net.sched.run_until(seconds(5));
+    return conn.stats().app_bytes_delivered;
+  };
+  EXPECT_GT(run(100.0), 2 * run(20.0));
+}
+
+TEST(Tcp, WireBytesIncludeHeaders) {
+  TestNet net(Bandwidth::mbps(20), milliseconds(5), milliseconds(5));
+  TcpConfig cfg;
+  cfg.bytes_to_send = 100'000;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(30));
+  EXPECT_GT(conn.stats().wire_bytes_received, conn.stats().app_bytes_delivered);
+}
+
+TEST(Tcp, StopHaltsTransmission) {
+  TestNet net(Bandwidth::mbps(20), milliseconds(5), milliseconds(5));
+  TcpConfig cfg;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(2));
+  conn.stop();
+  const auto delivered = conn.stats().app_bytes_delivered;
+  net.sched.run_until(seconds(4));
+  EXPECT_EQ(conn.stats().app_bytes_delivered, delivered);
+}
+
+TEST(Tcp, SmoothedRttTracksPathRtt) {
+  TestNet net(Bandwidth::mbps(100), milliseconds(10), milliseconds(15));
+  TcpConfig cfg;
+  TcpConnection conn(net.sched, net.path, cfg, 1);
+  conn.start();
+  net.sched.run_until(seconds(3));
+  // Base RTT = 2 * (10 + 15) = 50 ms; queueing may inflate it.
+  EXPECT_GE(conn.stats().smoothed_rtt, milliseconds(49));
+  EXPECT_LT(conn.stats().smoothed_rtt, milliseconds(500));
+}
+
+TEST(Tcp, BbrUsesPacing) {
+  CcConfig cc_cfg;
+  BbrCc bbr(cc_cfg);
+  EXPECT_GT(bbr.pacing_rate_bps(), 0.0);
+  RenoCc reno(cc_cfg);
+  EXPECT_DOUBLE_EQ(reno.pacing_rate_bps(), 0.0);
+}
+
+TEST(CcReno, SlowStartDoublesPerRtt) {
+  CcConfig cfg;
+  RenoCc cc(cfg);
+  const double initial = cc.cwnd_bytes();
+  AckEvent ev;
+  ev.newly_acked_bytes = static_cast<std::int64_t>(initial);
+  cc.on_ack(ev);
+  EXPECT_DOUBLE_EQ(cc.cwnd_bytes(), 2 * initial);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(CcReno, LossHalvesWindow) {
+  CcConfig cfg;
+  RenoCc cc(cfg);
+  cc.on_loss(0, 100 * cfg.mss);
+  EXPECT_DOUBLE_EQ(cc.cwnd_bytes(), 50.0 * cfg.mss);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(CcReno, RtoCollapsesToOneSegment) {
+  CcConfig cfg;
+  RenoCc cc(cfg);
+  cc.on_rto(0);
+  EXPECT_DOUBLE_EQ(cc.cwnd_bytes(), static_cast<double>(cfg.mss));
+}
+
+TEST(CcCubic, HyStartExitsOnInflatedRtt) {
+  CcConfig cfg;
+  CubicCc cc(cfg);
+  AckEvent ev;
+  ev.newly_acked_bytes = cfg.mss;
+  ev.rtt = milliseconds(20);
+  ev.now = milliseconds(100);
+  cc.on_ack(ev);  // establishes min_rtt = 20 ms
+  EXPECT_TRUE(cc.in_slow_start());
+  // 8 consecutive samples 50% above min RTT trigger the exit.
+  for (int i = 0; i < 8; ++i) {
+    ev.rtt = milliseconds(30);
+    ev.now += milliseconds(10);
+    cc.on_ack(ev);
+  }
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(CcCubic, LossShrinksByBeta) {
+  CcConfig cfg;
+  CubicCc cc(cfg);
+  const double before = cc.cwnd_bytes();
+  cc.on_loss(0, static_cast<std::int64_t>(before));
+  EXPECT_NEAR(cc.cwnd_bytes(), before * 0.7, 1.0);
+}
+
+TEST(CcBbr, StartupExitsAfterBandwidthPlateau) {
+  CcConfig cfg;
+  BbrCc cc(cfg);
+  AckEvent ev;
+  ev.newly_acked_bytes = 10 * cfg.mss;
+  ev.rtt = milliseconds(20);
+  ev.delivery_rate_bps = 50e6;
+  ev.bytes_in_flight = 10 * cfg.mss;
+  core::SimTime t = milliseconds(10);
+  for (int i = 0; i < 60 && cc.state() == BbrCc::State::kStartup; ++i) {
+    ev.now = t;
+    t += milliseconds(20);
+    cc.on_ack(ev);  // flat 50 Mbps delivery rate: no growth
+  }
+  EXPECT_NE(cc.state(), BbrCc::State::kStartup);
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

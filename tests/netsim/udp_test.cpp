@@ -1,0 +1,119 @@
+#include "netsim/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+
+namespace swiftest::netsim {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+
+struct UdpNet {
+  Scheduler sched;
+  Link link;
+  Path path;
+
+  explicit UdpNet(Bandwidth rate, double loss = 0.0)
+      : link(sched, LinkConfig{rate, milliseconds(5), core::kilobytes(256), loss},
+             core::Rng(7)),
+        path(sched, link, milliseconds(5)) {}
+};
+
+TEST(UdpFlow, DeliversAtConfiguredRate) {
+  UdpNet net(Bandwidth::mbps(100));
+  UdpFlow flow(net.sched, net.path, 1);
+  std::int64_t bytes = 0;
+  flow.set_on_delivered([&](std::int64_t b, std::int64_t) { bytes += b; });
+  flow.set_rate(Bandwidth::mbps(30));
+  net.sched.run_until(seconds(2));
+  flow.stop();
+  const double mbps = static_cast<double>(bytes) * 8.0 / 2.0 / 1e6;
+  EXPECT_NEAR(mbps, 30.0, 2.0);
+}
+
+TEST(UdpFlow, BottleneckCapsDelivery) {
+  UdpNet net(Bandwidth::mbps(50));
+  UdpFlow flow(net.sched, net.path, 1);
+  std::int64_t bytes = 0;
+  flow.set_on_delivered([&](std::int64_t b, std::int64_t) { bytes += b; });
+  flow.set_rate(Bandwidth::mbps(200));  // 4x the link capacity
+  net.sched.run_until(seconds(2));
+  flow.stop();
+  const double mbps = static_cast<double>(bytes) * 8.0 / 2.0 / 1e6;
+  EXPECT_LT(mbps, 52.0);
+  EXPECT_GT(mbps, 40.0);
+  EXPECT_GT(net.link.stats().queue_drops, 0u);
+}
+
+TEST(UdpFlow, RateChangeTakesEffect) {
+  UdpNet net(Bandwidth::mbps(100));
+  UdpFlow flow(net.sched, net.path, 1);
+  std::int64_t first_window = 0, second_window = 0;
+  std::int64_t* sink = &first_window;
+  flow.set_on_delivered([&](std::int64_t b, std::int64_t) { *sink += b; });
+  flow.set_rate(Bandwidth::mbps(10));
+  net.sched.run_until(seconds(1));
+  sink = &second_window;
+  flow.set_rate(Bandwidth::mbps(40));
+  net.sched.run_until(seconds(2));
+  flow.stop();
+  EXPECT_GT(second_window, 3 * first_window);
+}
+
+TEST(UdpFlow, ZeroRatePausesFlow) {
+  UdpNet net(Bandwidth::mbps(100));
+  UdpFlow flow(net.sched, net.path, 1);
+  flow.set_rate(Bandwidth::mbps(10));
+  net.sched.run_until(seconds(1));
+  const auto sent_before = flow.datagrams_sent();
+  flow.set_rate(Bandwidth::zero());
+  net.sched.run_until(seconds(2));
+  EXPECT_LE(flow.datagrams_sent(), sent_before + 1);
+}
+
+TEST(UdpFlow, SequencesAreMonotone) {
+  UdpNet net(Bandwidth::mbps(100));
+  UdpFlow flow(net.sched, net.path, 1);
+  std::int64_t last_seq = -1;
+  bool monotone = true;
+  flow.set_on_delivered([&](std::int64_t, std::int64_t seq) {
+    if (seq <= last_seq) monotone = false;
+    last_seq = seq;
+  });
+  flow.set_rate(Bandwidth::mbps(20));
+  net.sched.run_until(seconds(1));
+  flow.stop();
+  EXPECT_TRUE(monotone);
+  EXPECT_GT(last_seq, 100);
+}
+
+TEST(CrossTraffic, GeneratesLoadOnSharedLink) {
+  UdpNet net(Bandwidth::mbps(50));
+  CrossTraffic::Config cfg;
+  cfg.peak_rate = Bandwidth::mbps(30);
+  cfg.mean_on_seconds = 0.5;
+  cfg.mean_off_seconds = 0.5;
+  CrossTraffic cross(net.sched, net.path, 99, cfg, core::Rng(5));
+  cross.start();
+  net.sched.run_until(seconds(10));
+  cross.stop();
+  EXPECT_GT(net.link.stats().packets_delivered, 100u);
+}
+
+TEST(CrossTraffic, StopsCleanly) {
+  UdpNet net(Bandwidth::mbps(50));
+  CrossTraffic cross(net.sched, net.path, 99, CrossTraffic::Config{}, core::Rng(5));
+  cross.start();
+  net.sched.run_until(seconds(2));
+  cross.stop();
+  const auto delivered = net.link.stats().packets_delivered;
+  net.sched.run_until(seconds(4));
+  // A handful of already-queued packets may drain; no new ones are produced.
+  EXPECT_LE(net.link.stats().packets_delivered, delivered + 5);
+}
+
+}  // namespace
+}  // namespace swiftest::netsim

@@ -1,0 +1,61 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace swiftest::stats {
+namespace {
+
+TEST(Pearson, PerfectLinear) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  core::Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1.0}, std::vector<double>{2.0}), 0.0);
+  const std::vector<double> constant{5, 5, 5};
+  const std::vector<double> varying{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(constant, varying), 0.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  EXPECT_THROW((void)pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 8, 27, 64, 125};  // x^3: monotone, nonlinear
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Spearman, AntitoneIsMinusOne) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{100, 10, 5, 1};
+  EXPECT_NEAR(spearman(xs, ys), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace swiftest::stats

@@ -1,0 +1,47 @@
+#include "stats/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swiftest::stats {
+namespace {
+
+TEST(Gaussian, StandardNormalPdf) {
+  const Gaussian g{0.0, 1.0};
+  EXPECT_NEAR(g.pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(g.pdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_NEAR(g.pdf(-1.0), g.pdf(1.0), 1e-12);
+}
+
+TEST(Gaussian, LogPdfMatchesLogOfPdf) {
+  const Gaussian g{5.0, 2.0};
+  for (double x : {-3.0, 0.0, 5.0, 11.0}) {
+    EXPECT_NEAR(g.log_pdf(x), std::log(g.pdf(x)), 1e-9);
+  }
+}
+
+TEST(Gaussian, CdfKnownValues) {
+  const Gaussian g{0.0, 1.0};
+  EXPECT_NEAR(g.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(g.cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Gaussian, CdfShiftScale) {
+  const Gaussian g{100.0, 10.0};
+  EXPECT_NEAR(g.cdf(100.0), 0.5, 1e-12);
+  const Gaussian std_normal{0.0, 1.0};
+  EXPECT_NEAR(g.cdf(110.0), std_normal.cdf(1.0), 1e-12);
+}
+
+TEST(Gaussian, PdfIntegratesToOne) {
+  const Gaussian g{50.0, 7.0};
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = 0.0; x < 100.0; x += dx) integral += g.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace swiftest::stats

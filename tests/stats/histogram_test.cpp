@@ -1,0 +1,99 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace swiftest::stats {
+namespace {
+
+TEST(Histogram, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(2.5);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 100.0, 20);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(static_cast<double>(i % 100));
+  h.add_all(xs);
+  const auto d = h.density();
+  double integral = 0.0;
+  for (double v : d) integral += v * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, FrequenciesSumToOne) {
+  Histogram h(0.0, 10.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i));
+  const auto f = h.frequencies();
+  EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.5);
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EmpiricalCdf cdf(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(EmpiricalCdf, KsDistanceIdenticalIsZero) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EmpiricalCdf a(xs), b(xs);
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 0.0);
+}
+
+TEST(EmpiricalCdf, KsDistanceDisjointIsOne) {
+  EmpiricalCdf a(std::vector<double>{1, 2, 3});
+  EmpiricalCdf b(std::vector<double>{10, 20, 30});
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 1.0);
+}
+
+TEST(AsciiChart, ProducesExpectedShape) {
+  const std::vector<double> ys{0.0, 1.0};
+  const std::string chart = ascii_chart(ys, 2);
+  // Two rows of two columns; only the nonzero value draws.
+  EXPECT_EQ(chart, " #\n #\n");
+}
+
+TEST(AsciiChart, EmptyInput) { EXPECT_TRUE(ascii_chart({}, 5).empty()); }
+
+}  // namespace
+}  // namespace swiftest::stats

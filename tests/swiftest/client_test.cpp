@@ -1,0 +1,148 @@
+#include "swiftest/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bts/flooding.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+using dataset::AccessTech;
+
+netsim::ScenarioConfig scenario_cfg(double mbps) {
+  netsim::ScenarioConfig cfg;
+  cfg.access_rate = Bandwidth::mbps(mbps);
+  cfg.access_delay = milliseconds(10);
+  return cfg;
+}
+
+const ModelRegistry& shared_registry() {
+  static const ModelRegistry registry;
+  return registry;
+}
+
+TEST(SwiftestClient, ServersNeededCoversRate) {
+  EXPECT_EQ(SwiftestClient::servers_needed(50.0, 100.0), 1u);
+  EXPECT_EQ(SwiftestClient::servers_needed(100.0, 100.0), 1u);
+  EXPECT_EQ(SwiftestClient::servers_needed(101.0, 100.0), 2u);
+  EXPECT_EQ(SwiftestClient::servers_needed(950.0, 100.0), 10u);
+  EXPECT_EQ(SwiftestClient::servers_needed(10.0, 0.0), 1u);
+}
+
+class SwiftestAccuracy
+    : public ::testing::TestWithParam<std::pair<AccessTech, double>> {};
+
+TEST_P(SwiftestAccuracy, EstimateWithinEightPercent) {
+  const auto [tech, truth] = GetParam();
+  netsim::Scenario scenario(scenario_cfg(truth), 41);
+  SwiftestConfig cfg;
+  cfg.tech = tech;
+  SwiftestClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, truth, truth * 0.08)
+      << dataset::to_string(tech) << " @ " << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TechAndRate, SwiftestAccuracy,
+    ::testing::Values(std::pair{AccessTech::k4G, 20.0},
+                      std::pair{AccessTech::k4G, 55.0},
+                      std::pair{AccessTech::k4G, 150.0},
+                      std::pair{AccessTech::k5G, 110.0},
+                      std::pair{AccessTech::k5G, 300.0},
+                      std::pair{AccessTech::k5G, 600.0},
+                      std::pair{AccessTech::kWiFi5, 95.0},
+                      std::pair{AccessTech::kWiFi5, 290.0},
+                      std::pair{AccessTech::kWiFi6, 800.0}));
+
+TEST(SwiftestClient, FinishesInAboutASecond) {
+  netsim::Scenario scenario(scenario_cfg(300.0), 42);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k5G;
+  SwiftestClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_LT(result.probe_duration, seconds(3));
+  EXPECT_GE(result.probe_duration, milliseconds(500));  // 10-sample window
+}
+
+TEST(SwiftestClient, UsesFarLessDataThanFlooding) {
+  netsim::Scenario s1(scenario_cfg(300.0), 43);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k5G;
+  SwiftestClient client(cfg, shared_registry());
+  const auto swift_result = client.run(s1);
+
+  netsim::Scenario s2(scenario_cfg(300.0), 43);
+  bts::FloodingBts flooding;
+  const auto flood_result = flooding.run(s2);
+
+  // §5.3: 8.2x - 9x data-usage reduction.
+  EXPECT_GT(static_cast<double>(flood_result.data_used.count()) /
+                static_cast<double>(swift_result.data_used.count()),
+            5.0);
+}
+
+TEST(SwiftestClient, EscalatesAboveLargestModeWhenNeeded) {
+  // Capacity above every 4G mode: the client must overshoot past the model.
+  netsim::Scenario scenario(scenario_cfg(700.0), 44);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k4G;
+  SwiftestClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, 700.0, 700.0 * 0.10);
+  EXPECT_GT(result.connections_used, 4u);  // 100 Mbps uplinks
+}
+
+TEST(SwiftestClient, LowBandwidthClientConvergesAtCapacity) {
+  // Capacity below the smallest mode: first rate already saturates.
+  netsim::Scenario scenario(scenario_cfg(8.0), 45);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k5G;  // initial rate 332 Mbps, way above capacity
+  SwiftestClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, 8.0, 1.5);
+}
+
+TEST(SwiftestClient, PingsWholeServerPool) {
+  netsim::Scenario scenario(scenario_cfg(100.0), 46);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::kWiFi5;
+  SwiftestClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_GT(result.ping_duration, 0);
+  EXPECT_LT(result.ping_duration, seconds(1));
+}
+
+TEST(SwiftestClient, HardCapBoundsPathologicalNoise) {
+  auto cfg_net = scenario_cfg(50.0);
+  cfg_net.enable_cross_traffic = true;
+  cfg_net.cross_traffic.peak_rate = Bandwidth::mbps(45.0);
+  cfg_net.cross_traffic.mean_on_seconds = 0.2;
+  cfg_net.cross_traffic.mean_off_seconds = 0.2;
+  netsim::Scenario scenario(cfg_net, 47);
+  scenario.start_cross_traffic();
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k4G;
+  cfg.max_duration = seconds(6);
+  SwiftestClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_LE(result.probe_duration, seconds(6) + milliseconds(100));
+  EXPECT_GT(result.bandwidth_mbps, 0.0);
+}
+
+TEST(SwiftestClient, DeterministicForSameSeed) {
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::kWiFi5;
+  auto run_once = [&] {
+    netsim::Scenario scenario(scenario_cfg(180.0), 48);
+    SwiftestClient client(cfg, shared_registry());
+    return client.run(scenario).bandwidth_mbps;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace swiftest::swift

@@ -1,0 +1,86 @@
+#include "swiftest/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/generator.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+using dataset::AccessTech;
+
+TEST(ModelIo, RoundTripPreservesComponents) {
+  ModelRegistry source;
+  source.set_model(AccessTech::k5G,
+                   stats::GaussianMixture({{0.3, {108.0, 30.0}}, {0.7, {330.0, 95.0}}}));
+  source.set_model(AccessTech::kWiFi5,
+                   stats::GaussianMixture({{0.5, {95.0, 25.0}}, {0.5, {290.0, 70.0}}}));
+
+  std::stringstream stream;
+  save_models(stream, source);
+
+  ModelRegistry loaded;
+  load_models(stream, loaded);
+  ASSERT_TRUE(loaded.has_fitted_model(AccessTech::k5G));
+  ASSERT_TRUE(loaded.has_fitted_model(AccessTech::kWiFi5));
+  EXPECT_FALSE(loaded.has_fitted_model(AccessTech::k4G));
+
+  const auto& model = loaded.model(AccessTech::k5G);
+  ASSERT_EQ(model.component_count(), 2u);
+  EXPECT_NEAR(model.components()[0].weight, 0.3, 1e-9);
+  EXPECT_NEAR(model.components()[1].dist.mean, 330.0, 1e-9);
+  EXPECT_NEAR(model.components()[1].dist.stddev, 95.0, 1e-9);
+}
+
+TEST(ModelIo, EmptyRegistrySavesHeaderOnly) {
+  ModelRegistry empty;
+  std::stringstream stream;
+  save_models(stream, empty);
+  ModelRegistry loaded;
+  load_models(stream, loaded);
+  for (auto tech : dataset::kAllTechs) EXPECT_FALSE(loaded.has_fitted_model(tech));
+}
+
+TEST(ModelIo, RejectsBadHeader) {
+  std::stringstream stream("not-a-model-file\n");
+  ModelRegistry registry;
+  EXPECT_THROW(load_models(stream, registry), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedComponents) {
+  std::stringstream stream("swiftest-models v1\nmodel 2 3\ncomponent 0.5 100 10\n");
+  ModelRegistry registry;
+  EXPECT_THROW(load_models(stream, registry), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsOutOfRangeTech) {
+  std::stringstream stream("swiftest-models v1\nmodel 99 1\ncomponent 1 100 10\n");
+  ModelRegistry registry;
+  EXPECT_THROW(load_models(stream, registry), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsInvalidComponentValues) {
+  std::stringstream stream("swiftest-models v1\nmodel 2 1\ncomponent 1 100 -5\n");
+  ModelRegistry registry;
+  EXPECT_THROW(load_models(stream, registry), std::runtime_error);
+}
+
+TEST(ModelIo, FittedFromCampaignSurvivesRoundTrip) {
+  const auto records = dataset::generate_campaign(60'000, 2021, 21);
+  ModelRegistry fitted;
+  fitted.fit_from_campaign(records, 1, 5, 500);
+  ASSERT_TRUE(fitted.has_fitted_model(AccessTech::kWiFi5));
+
+  const std::string path = testing::TempDir() + "/models_io_test.txt";
+  save_models_file(path, fitted);
+  ModelRegistry loaded;
+  load_models_file(path, loaded);
+  EXPECT_NEAR(loaded.model(AccessTech::kWiFi5).most_probable_mode(),
+              fitted.model(AccessTech::kWiFi5).most_probable_mode(), 1e-6);
+  EXPECT_THROW(load_models_file("/nonexistent/models.txt", loaded), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swiftest::swift

@@ -1,0 +1,75 @@
+#include "swiftest/model_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+using dataset::AccessTech;
+
+TEST(ModelRegistry, DefaultModelsExistForAllTechs) {
+  for (AccessTech tech : dataset::kAllTechs) {
+    const auto model = ModelRegistry::default_model(tech);
+    EXPECT_GT(model.component_count(), 0u) << dataset::to_string(tech);
+    EXPECT_GT(model.most_probable_mode(), 0.0);
+  }
+}
+
+TEST(ModelRegistry, DefaultModesReflectPaperDistributions) {
+  // 4G's most probable mode sits near the 22 Mbps median mass (Fig 18).
+  EXPECT_NEAR(ModelRegistry::default_model(AccessTech::k4G).most_probable_mode(), 22.0,
+              5.0);
+  // 5G's sits at the N78 mass around 332 Mbps (Fig 19).
+  EXPECT_NEAR(ModelRegistry::default_model(AccessTech::k5G).most_probable_mode(), 332.0,
+              30.0);
+  // WiFi 5's modes include the broadband plan values (Fig 16).
+  const auto modes = ModelRegistry::default_model(AccessTech::kWiFi5).mode_means();
+  ASSERT_GE(modes.size(), 3u);
+  EXPECT_NEAR(modes.front(), 95.0, 15.0);
+}
+
+TEST(ModelRegistry, FallsBackToDefaultWithoutFit) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.has_fitted_model(AccessTech::k4G));
+  EXPECT_GT(registry.model(AccessTech::k4G).component_count(), 0u);
+}
+
+TEST(ModelRegistry, SetModelOverridesDefault) {
+  ModelRegistry registry;
+  registry.set_model(AccessTech::k4G,
+                     stats::GaussianMixture(std::vector<stats::MixtureComponent>{
+                         {1.0, {77.0, 5.0}}}));
+  EXPECT_TRUE(registry.has_fitted_model(AccessTech::k4G));
+  EXPECT_DOUBLE_EQ(registry.model(AccessTech::k4G).most_probable_mode(), 77.0);
+  // Other techs keep their defaults.
+  EXPECT_FALSE(registry.has_fitted_model(AccessTech::k5G));
+}
+
+TEST(ModelRegistry, FitFromCampaignProducesPlausibleModels) {
+  const auto records = dataset::generate_campaign(60'000, 2021, 5);
+  ModelRegistry registry;
+  registry.fit_from_campaign(records, 1, 5, 500);
+  ASSERT_TRUE(registry.has_fitted_model(AccessTech::kWiFi5));
+  ASSERT_TRUE(registry.has_fitted_model(AccessTech::k4G));
+  // The fitted WiFi 5 model is multi-modal (broadband plans).
+  EXPECT_GE(registry.model(AccessTech::kWiFi5).component_count(), 2u);
+  // Most probable 5G mode lands in the N41/N78 mass.
+  if (registry.has_fitted_model(AccessTech::k5G)) {
+    const double mode = registry.model(AccessTech::k5G).most_probable_mode();
+    EXPECT_GT(mode, 150.0);
+    EXPECT_LT(mode, 450.0);
+  }
+}
+
+TEST(ModelRegistry, FitSkipsThinTechnologies) {
+  // 3G is ~0.09% of tests; at 20k records it stays below min_samples.
+  const auto records = dataset::generate_campaign(20'000, 2021, 6);
+  ModelRegistry registry;
+  registry.fit_from_campaign(records, 1, 4, 500);
+  EXPECT_FALSE(registry.has_fitted_model(AccessTech::k3G));
+}
+
+}  // namespace
+}  // namespace swiftest::swift

@@ -1,0 +1,127 @@
+#include "swiftest/probing_fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+stats::GaussianMixture tri_modal() {
+  return stats::GaussianMixture({{0.5, {100.0, 10.0}},
+                                 {0.3, {300.0, 30.0}},
+                                 {0.2, {500.0, 50.0}}});
+}
+
+TEST(ProbingFsm, StartsAtMostProbableMode) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  EXPECT_DOUBLE_EQ(fsm.rate_mbps(), 100.0);
+  EXPECT_FALSE(fsm.converged());
+  EXPECT_EQ(fsm.escalations(), 0);
+}
+
+TEST(ProbingFsm, SampleKeepingUpEscalatesToNextProbableMode) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  EXPECT_EQ(fsm.on_sample(99.0), ProbingFsm::Action::kEscalate);  // >= 95% of 100
+  EXPECT_DOUBLE_EQ(fsm.rate_mbps(), 300.0);  // most probable mode above 100
+  EXPECT_EQ(fsm.escalations(), 1);
+  EXPECT_TRUE(fsm.window().empty());  // window reset on rate change
+}
+
+TEST(ProbingFsm, OvershootsPastLargestMode) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  EXPECT_EQ(fsm.on_sample(100.0), ProbingFsm::Action::kEscalate);  // -> 300
+  EXPECT_EQ(fsm.on_sample(300.0), ProbingFsm::Action::kEscalate);  // -> 500
+  EXPECT_EQ(fsm.on_sample(500.0), ProbingFsm::Action::kEscalate);  // past top mode
+  EXPECT_DOUBLE_EQ(fsm.rate_mbps(), 500.0 * 1.25);
+}
+
+TEST(ProbingFsm, ConvergesOnStableWindowBelowRate) {
+  const auto model = tri_modal();
+  ProbingFsmConfig cfg;
+  cfg.convergence_window = 10;
+  ProbingFsm fsm(cfg, model);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(fsm.on_sample(60.0 + 0.1 * i), ProbingFsm::Action::kContinue);
+  }
+  EXPECT_EQ(fsm.on_sample(60.5), ProbingFsm::Action::kConverged);
+  EXPECT_TRUE(fsm.converged());
+  EXPECT_NEAR(fsm.result_mbps(), 60.4, 0.5);
+  // Further samples keep reporting convergence.
+  EXPECT_EQ(fsm.on_sample(61.0), ProbingFsm::Action::kConverged);
+}
+
+TEST(ProbingFsm, DoesNotConvergeOnNoisyWindow) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  for (int i = 0; i < 30; ++i) {
+    const double sample = i % 2 == 0 ? 50.0 : 70.0;  // 40% swing
+    EXPECT_EQ(fsm.on_sample(sample), ProbingFsm::Action::kContinue) << i;
+  }
+}
+
+TEST(ProbingFsm, QuantizationFloorAllowsSlowLinks) {
+  const auto model = tri_modal();
+  ProbingFsmConfig cfg;
+  cfg.quantization_floor_mbps = 1.0;
+  ProbingFsm fsm(cfg, model);
+  // 2 +- 0.4 Mbps: 20% relative swing, but within the absolute floor.
+  for (int i = 0; i < 9; ++i) (void)fsm.on_sample(i % 2 == 0 ? 1.8 : 2.2);
+  EXPECT_EQ(fsm.on_sample(2.0), ProbingFsm::Action::kConverged);
+}
+
+TEST(ProbingFsm, EscalationResetsConvergenceWindow) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  // Nine stable samples at 60, then one that keeps up with the rate.
+  for (int i = 0; i < 9; ++i) (void)fsm.on_sample(60.0);
+  EXPECT_EQ(fsm.on_sample(99.0), ProbingFsm::Action::kEscalate);
+  // The stable-looking pre-escalation samples must not trigger convergence.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(fsm.on_sample(200.0 + i * 0.1), ProbingFsm::Action::kContinue);
+  }
+}
+
+TEST(ProbingFsm, FallbackEstimateBeforeConvergence) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  EXPECT_DOUBLE_EQ(fsm.fallback_estimate(), 0.0);
+  (void)fsm.on_sample(50.0);
+  (void)fsm.on_sample(52.0);
+  EXPECT_NEAR(fsm.fallback_estimate(), 51.0, 1e-9);
+}
+
+TEST(ProbingFsm, ZeroSamplesNeverConverge) {
+  const auto model = tri_modal();
+  ProbingFsm fsm({}, model);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_NE(fsm.on_sample(0.0), ProbingFsm::Action::kConverged);
+  }
+}
+
+// Property: for any capacity below the first mode, feeding samples equal to
+// min(rate, capacity) + small noise converges to ~capacity and never
+// overshoots the escalation ladder.
+TEST(ProbingFsm, PropertyConvergesToCapacity) {
+  const auto model = tri_modal();
+  core::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double capacity = rng.uniform(5.0, 900.0);
+    ProbingFsm fsm({}, model);
+    int guard = 0;
+    while (!fsm.converged() && ++guard < 500) {
+      const double sample =
+          std::min(fsm.rate_mbps(), capacity) * rng.uniform(0.995, 1.005);
+      (void)fsm.on_sample(sample);
+    }
+    ASSERT_TRUE(fsm.converged()) << "capacity " << capacity;
+    EXPECT_NEAR(fsm.result_mbps(), capacity, capacity * 0.03 + 0.5)
+        << "capacity " << capacity;
+  }
+}
+
+}  // namespace
+}  // namespace swiftest::swift

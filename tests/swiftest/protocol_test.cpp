@@ -1,0 +1,116 @@
+#include "swiftest/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace swiftest::swift {
+namespace {
+
+TEST(Protocol, ProbeRequestRoundTrip) {
+  ProbeRequest msg;
+  msg.tech = dataset::AccessTech::k5G;
+  msg.initial_rate_kbps = 332'000;
+  msg.nonce = 0xDEADBEEFCAFEBABEull;
+  const auto bytes = serialize(msg);
+  EXPECT_EQ(peek_type(bytes), MessageType::kProbeRequest);
+  const auto parsed = parse_probe_request(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(Protocol, RateUpdateRoundTrip) {
+  RateUpdate msg{0xAB, 450'000, 3};
+  const auto bytes = serialize(msg);
+  EXPECT_EQ(peek_type(bytes), MessageType::kRateUpdate);
+  const auto parsed = parse_rate_update(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(Protocol, ProbeDataRoundTrip) {
+  ProbeData msg{123456, 987654321012ull};
+  const auto bytes = serialize(msg);
+  const auto parsed = parse_probe_data(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(Protocol, TestCompleteRoundTrip) {
+  TestComplete msg{0xCD, 305'000, 14};
+  const auto bytes = serialize(msg);
+  const auto parsed = parse_test_complete(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(Protocol, BigEndianLayout) {
+  RateUpdate msg{0, 0x01020304, 0};
+  const auto bytes = serialize(msg);
+  // magic(2) version(1) type(1) nonce(8) then the rate.
+  ASSERT_GE(bytes.size(), 16u);
+  EXPECT_EQ(bytes[0], 0x53);  // 'S'
+  EXPECT_EQ(bytes[1], 0x57);  // 'W'
+  EXPECT_EQ(bytes[2], kProtocolVersion);
+  EXPECT_EQ(bytes[12], 0x01);
+  EXPECT_EQ(bytes[13], 0x02);
+  EXPECT_EQ(bytes[14], 0x03);
+  EXPECT_EQ(bytes[15], 0x04);
+}
+
+TEST(Protocol, RejectsShortInput) {
+  const auto bytes = serialize(RateUpdate{7, 1000, 1});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(parse_rate_update(std::span(bytes.data(), len)).has_value()) << len;
+  }
+}
+
+TEST(Protocol, RejectsWrongMagic) {
+  auto bytes = serialize(RateUpdate{7, 1000, 1});
+  bytes[0] = 0xFF;
+  EXPECT_FALSE(peek_type(bytes).has_value());
+  EXPECT_FALSE(parse_rate_update(bytes).has_value());
+}
+
+TEST(Protocol, RejectsWrongVersion) {
+  auto bytes = serialize(ProbeData{1, 2});
+  bytes[2] = kProtocolVersion + 1;
+  EXPECT_FALSE(parse_probe_data(bytes).has_value());
+}
+
+TEST(Protocol, RejectsCrossTypeParsing) {
+  const auto bytes = serialize(RateUpdate{7, 1000, 1});
+  EXPECT_FALSE(parse_probe_request(bytes).has_value());
+  EXPECT_FALSE(parse_probe_data(bytes).has_value());
+  EXPECT_FALSE(parse_test_complete(bytes).has_value());
+}
+
+TEST(Protocol, RejectsInvalidTechValue) {
+  auto bytes = serialize(ProbeRequest{dataset::AccessTech::k4G, 1000, 1});
+  bytes[4] = 0x77;  // out-of-range tech enum
+  EXPECT_FALSE(parse_probe_request(bytes).has_value());
+}
+
+TEST(Protocol, PeekRejectsUnknownType) {
+  auto bytes = serialize(RateUpdate{7, 1, 1});
+  bytes[3] = 99;
+  EXPECT_FALSE(peek_type(bytes).has_value());
+}
+
+TEST(Protocol, FuzzRandomBytesNeverParse) {
+  core::Rng rng(5);
+  int parsed_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(static_cast<std::size_t>(rng.uniform_int(0, 32)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (parse_probe_request(junk) || parse_rate_update(junk) || parse_probe_data(junk) ||
+        parse_test_complete(junk)) {
+      ++parsed_count;
+    }
+  }
+  // Random 16-byte blobs matching magic+version+type is ~1 in 2^32.
+  EXPECT_EQ(parsed_count, 0);
+}
+
+}  // namespace
+}  // namespace swiftest::swift

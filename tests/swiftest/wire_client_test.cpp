@@ -1,0 +1,111 @@
+#include "swiftest/wire_client.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swiftest::swift {
+namespace {
+
+using core::Bandwidth;
+using core::milliseconds;
+using core::seconds;
+using dataset::AccessTech;
+
+netsim::ScenarioConfig scenario_cfg(double mbps) {
+  netsim::ScenarioConfig cfg;
+  cfg.access_rate = Bandwidth::mbps(mbps);
+  cfg.access_delay = milliseconds(10);
+  return cfg;
+}
+
+const ModelRegistry& shared_registry() {
+  static const ModelRegistry registry;
+  return registry;
+}
+
+class WireAccuracy : public ::testing::TestWithParam<std::pair<AccessTech, double>> {};
+
+TEST_P(WireAccuracy, EstimateWithinTenPercent) {
+  const auto [tech, truth] = GetParam();
+  netsim::Scenario scenario(scenario_cfg(truth), 61);
+  SwiftestConfig cfg;
+  cfg.tech = tech;
+  WireClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, truth, truth * 0.10)
+      << dataset::to_string(tech) << " @ " << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(TechAndRate, WireAccuracy,
+                         ::testing::Values(std::pair{AccessTech::k4G, 45.0},
+                                           std::pair{AccessTech::k5G, 300.0},
+                                           std::pair{AccessTech::kWiFi5, 180.0},
+                                           std::pair{AccessTech::kWiFi6, 700.0}));
+
+TEST(WireClient, MatchesDirectClientEstimate) {
+  // Same scenario seed: the wire transport must not change the answer by
+  // more than sampling noise.
+  for (double truth : {60.0, 250.0}) {
+    netsim::Scenario direct_net(scenario_cfg(truth), 62);
+    netsim::Scenario wire_net(scenario_cfg(truth), 62);
+    SwiftestConfig cfg;
+    cfg.tech = AccessTech::kWiFi5;
+    SwiftestClient direct(cfg, shared_registry());
+    WireClient wire(cfg, shared_registry());
+    const auto direct_result = direct.run(direct_net);
+    const auto wire_result = wire.run(wire_net);
+    EXPECT_NEAR(wire_result.bandwidth_mbps, direct_result.bandwidth_mbps,
+                direct_result.bandwidth_mbps * 0.08)
+        << truth;
+  }
+}
+
+TEST(WireClient, ServerSessionsAreCompleted) {
+  netsim::Scenario scenario(scenario_cfg(300.0), 63);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k5G;
+  WireClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  const auto stats = client.last_run_server_stats();
+  EXPECT_EQ(stats.requests_accepted, result.connections_used);
+  EXPECT_EQ(stats.completions, result.connections_used);
+  EXPECT_EQ(stats.garbled_messages, 0u);
+  EXPECT_GT(stats.probe_bytes_sent, 0);
+}
+
+TEST(WireClient, EscalationSendsRateUpdates) {
+  // A capacity above the initial 4G mode forces escalations.
+  netsim::Scenario scenario(scenario_cfg(160.0), 64);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k4G;  // starts at ~22 Mbps
+  WireClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_NEAR(result.bandwidth_mbps, 160.0, 20.0);
+  const auto stats = client.last_run_server_stats();
+  EXPECT_GT(stats.rate_updates_applied, result.connections_used);  // >1 round
+}
+
+TEST(WireClient, FinishesQuickly) {
+  netsim::Scenario scenario(scenario_cfg(300.0), 65);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::k5G;
+  WireClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_LT(result.probe_duration, seconds(3));
+}
+
+TEST(WireClient, LossyControlPathStillTerminates) {
+  // Random loss also hits probe data; the client must converge or hit the
+  // cap without hanging, and sessions are eventually reaped server-side.
+  auto cfg_net = scenario_cfg(100.0);
+  cfg_net.random_loss = 0.001;
+  netsim::Scenario scenario(cfg_net, 66);
+  SwiftestConfig cfg;
+  cfg.tech = AccessTech::kWiFi5;
+  WireClient client(cfg, shared_registry());
+  const auto result = client.run(scenario);
+  EXPECT_GT(result.bandwidth_mbps, 0.0);
+  EXPECT_LE(result.probe_duration, cfg.max_duration + milliseconds(100));
+}
+
+}  // namespace
+}  // namespace swiftest::swift

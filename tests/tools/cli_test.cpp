@@ -1,0 +1,98 @@
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace swiftest::cli {
+namespace {
+
+int run(std::vector<std::string> args, std::string& output) {
+  std::ostringstream out;
+  const int rc = run_cli(args, out);
+  output = out.str();
+  return rc;
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  std::string output;
+  EXPECT_EQ(run({}, output), 2);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  std::string output;
+  EXPECT_EQ(run({"help"}, output), 0);
+  EXPECT_NE(output.find("campaign"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string output;
+  EXPECT_EQ(run({"frobnicate"}, output), 2);
+  EXPECT_NE(output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, CampaignRequiresArguments) {
+  std::string output;
+  EXPECT_EQ(run({"campaign"}, output), 2);
+  EXPECT_NE(output.find("--tests"), std::string::npos);
+}
+
+TEST(Cli, CampaignThenReportPipeline) {
+  const std::string path = testing::TempDir() + "/cli_campaign.csv";
+  std::string output;
+  ASSERT_EQ(run({"campaign", "--tests", "20000", "--out", path}, output), 0);
+  EXPECT_NE(output.find("wrote 20000 records"), std::string::npos);
+
+  ASSERT_EQ(run({"report", "--in", path}, output), 0);
+  EXPECT_NE(output.find("MEASUREMENT REPORT (20000 tests)"), std::string::npos);
+  EXPECT_NE(output.find("LTE bands"), std::string::npos);
+}
+
+TEST(Cli, ReportMissingFileFailsGracefully) {
+  std::string output;
+  EXPECT_EQ(run({"report", "--in", "/nonexistent/file.csv"}, output), 1);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, TestCommandEstimatesBandwidth) {
+  std::string output;
+  ASSERT_EQ(run({"test", "--rate", "120", "--tech", "wifi5"}, output), 0);
+  EXPECT_NE(output.find("estimate:"), std::string::npos);
+  EXPECT_NE(output.find("truth 120"), std::string::npos);
+}
+
+TEST(Cli, TestCommandWireVariant) {
+  std::string output;
+  ASSERT_EQ(run({"test", "--rate", "80", "--tech", "4g", "--wire"}, output), 0);
+  EXPECT_NE(output.find("estimate:"), std::string::npos);
+}
+
+TEST(Cli, TestRejectsUnknownTech) {
+  std::string output;
+  EXPECT_EQ(run({"test", "--rate", "80", "--tech", "6g"}, output), 2);
+}
+
+TEST(Cli, PlanProducesAPurchase) {
+  std::string output;
+  ASSERT_EQ(run({"plan", "--tests-per-day", "10000"}, output), 0);
+  EXPECT_NE(output.find("demand:"), std::string::npos);
+  EXPECT_NE(output.find("plan:"), std::string::npos);
+}
+
+TEST(Cli, RegionalPlanListsDomains) {
+  std::string output;
+  ASSERT_EQ(run({"plan", "--regional"}, output), 0);
+  EXPECT_NE(output.find("Beijing"), std::string::npos);
+  EXPECT_NE(output.find("total:"), std::string::npos);
+}
+
+TEST(Cli, FleetReportsUtilization) {
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--days", "1"}, output), 0);
+  EXPECT_NE(output.find("utilization:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swiftest::cli

@@ -1,0 +1,250 @@
+#include "cli.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/io.hpp"
+#include "deploy/catalog.hpp"
+#include "deploy/fleet_sim.hpp"
+#include "deploy/placement.hpp"
+#include "deploy/planner.hpp"
+#include "deploy/workload.hpp"
+#include "netsim/scenario.hpp"
+#include "swiftest/client.hpp"
+#include "swiftest/model_io.hpp"
+#include "swiftest/wire_client.hpp"
+
+namespace swiftest::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: swiftest-cli <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  campaign --tests N [--year Y] [--seed S] --out FILE\n"
+    "  report   --in FILE\n"
+    "  test     --rate MBPS [--tech 4g|5g|wifi4|wifi5|wifi6] [--wire] [--seed S]\n"
+    "           [--models FILE]\n"
+    "  fit      --in FILE --out FILE    fit per-technology bandwidth models\n"
+    "  plan     [--tests-per-day N] [--regional]\n"
+    "  fleet    [--servers N] [--days D] [--tests-per-day N]\n";
+
+/// Minimal --key value parser; flags without values map to "true".
+class Options {
+ public:
+  static std::optional<Options> parse(std::span<const std::string> args,
+                                      std::ostream& out) {
+    Options options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--", 0) != 0) {
+        out << "unexpected argument: " << arg << "\n";
+        return std::nullopt;
+      }
+      const std::string key = arg.substr(2);
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        options.values_[key] = args[++i];
+      } else {
+        options.values_[key] = "true";
+      }
+    }
+    return options;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::optional<dataset::AccessTech> parse_tech(const std::string& name) {
+  if (name == "3g") return dataset::AccessTech::k3G;
+  if (name == "4g") return dataset::AccessTech::k4G;
+  if (name == "5g") return dataset::AccessTech::k5G;
+  if (name == "wifi4") return dataset::AccessTech::kWiFi4;
+  if (name == "wifi5" || name == "wifi") return dataset::AccessTech::kWiFi5;
+  if (name == "wifi6") return dataset::AccessTech::kWiFi6;
+  return std::nullopt;
+}
+
+int cmd_campaign(const Options& options, std::ostream& out) {
+  if (!options.has("tests") || !options.has("out")) {
+    out << "campaign requires --tests and --out\n";
+    return 2;
+  }
+  const auto tests = static_cast<std::size_t>(options.get_int("tests", 0));
+  const int year = static_cast<int>(options.get_int("year", 2021));
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const std::string path = options.get("out", "");
+  const auto records = dataset::generate_campaign(tests, year, seed);
+  dataset::write_csv_file(path, records);
+  out << "wrote " << records.size() << " records to " << path << "\n";
+  return 0;
+}
+
+int cmd_report(const Options& options, std::ostream& out) {
+  if (!options.has("in")) {
+    out << "report requires --in\n";
+    return 2;
+  }
+  const auto records = dataset::read_csv_file(options.get("in", ""));
+  out << analysis::generate_report(records);
+  return 0;
+}
+
+int cmd_test(const Options& options, std::ostream& out) {
+  if (!options.has("rate")) {
+    out << "test requires --rate\n";
+    return 2;
+  }
+  const double rate = options.get_double("rate", 100.0);
+  const auto tech = parse_tech(options.get("tech", "5g"));
+  if (!tech) {
+    out << "unknown --tech\n";
+    return 2;
+  }
+  netsim::ScenarioConfig net;
+  net.access_rate = core::Bandwidth::mbps(rate);
+  netsim::Scenario scenario(net,
+                            static_cast<std::uint64_t>(options.get_int("seed", 42)));
+  swift::ModelRegistry registry;
+  if (options.has("models")) {
+    swift::load_models_file(options.get("models", ""), registry);
+  }
+  swift::SwiftestConfig cfg;
+  cfg.tech = *tech;
+  bts::BtsResult result;
+  if (options.has("wire")) {
+    swift::WireClient client(cfg, registry);
+    result = client.run(scenario);
+  } else {
+    swift::SwiftestClient client(cfg, registry);
+    result = client.run(scenario);
+  }
+  out << "estimate: " << result.bandwidth_mbps << " Mbps (truth " << rate << ")\n"
+      << "probe time: " << core::to_seconds(result.probe_duration) << " s; data: "
+      << core::to_string(result.data_used) << "; servers: " << result.connections_used
+      << "\n";
+  return 0;
+}
+
+int cmd_fit(const Options& options, std::ostream& out) {
+  if (!options.has("in") || !options.has("out")) {
+    out << "fit requires --in and --out\n";
+    return 2;
+  }
+  const auto records = dataset::read_csv_file(options.get("in", ""));
+  swift::ModelRegistry registry;
+  registry.fit_from_campaign(records, 1, 6, 500);
+  swift::save_models_file(options.get("out", ""), registry);
+  int fitted = 0;
+  for (auto tech : dataset::kAllTechs) {
+    if (!registry.has_fitted_model(tech)) continue;
+    ++fitted;
+    out << "  " << dataset::to_string(tech) << ": "
+        << registry.model(tech).component_count() << " modes, most probable "
+        << registry.model(tech).most_probable_mode() << " Mbps\n";
+  }
+  out << "fitted " << fitted << " model(s) from " << records.size() << " records to "
+      << options.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_plan(const Options& options, std::ostream& out) {
+  const double tests_per_day = options.get_double("tests-per-day", 10'000.0);
+  const auto records = dataset::generate_campaign(60'000, 2021, 7);
+  deploy::WorkloadParams params;
+  params.tests_per_day = tests_per_day;
+  const auto workload = deploy::estimate_workload(records, params);
+  out << "demand: " << workload.demand_mbps << " Mbps (" << tests_per_day
+      << " tests/day)\n";
+  const auto catalog = deploy::synthetic_catalog();
+  if (options.has("regional")) {
+    const auto regional = deploy::plan_regional(catalog, workload.demand_mbps);
+    if (!regional.feasible) {
+      out << "no feasible regional plan\n";
+      return 1;
+    }
+    const auto domains = deploy::ixp_domains();
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      out << "  " << domains[d].city << ": " << regional.per_domain[d].total_servers
+          << " servers, " << regional.per_domain[d].total_bandwidth_mbps << " Mbps, $"
+          << regional.per_domain[d].total_cost_usd << "/month\n";
+    }
+    out << "total: " << regional.total_servers << " servers, $"
+        << regional.total_cost_usd << "/month\n";
+    return 0;
+  }
+  const auto plan = deploy::plan_purchase(catalog, workload.demand_mbps);
+  if (!plan.feasible) {
+    out << "no feasible plan\n";
+    return 1;
+  }
+  out << "plan: " << plan.total_servers << " servers, " << plan.total_bandwidth_mbps
+      << " Mbps, $" << plan.total_cost_usd << "/month\n";
+  return 0;
+}
+
+int cmd_fleet(const Options& options, std::ostream& out) {
+  const auto population = dataset::generate_campaign(40'000, 2021, 9);
+  static const swift::ModelRegistry registry;
+  deploy::FleetSimConfig cfg;
+  cfg.server_count = static_cast<std::size_t>(options.get_int("servers", 20));
+  cfg.days = static_cast<int>(options.get_int("days", 3));
+  cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
+  const auto result = deploy::simulate_fleet(population, registry, cfg);
+  out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days << " day(s), "
+      << result.tests_simulated << " tests\n"
+      << "utilization: median " << result.summary.median << "%, mean "
+      << result.summary.mean << "%, p99 " << result.p99 << "%, max "
+      << result.summary.max << "%\n"
+      << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45 << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(std::span<const std::string> args, std::ostream& out) {
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  const auto options = Options::parse(args.subspan(1), out);
+  if (!options) return 2;
+
+  try {
+    if (command == "campaign") return cmd_campaign(*options, out);
+    if (command == "report") return cmd_report(*options, out);
+    if (command == "test") return cmd_test(*options, out);
+    if (command == "fit") return cmd_fit(*options, out);
+    if (command == "plan") return cmd_plan(*options, out);
+    if (command == "fleet") return cmd_fleet(*options, out);
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  }
+  out << "unknown command: " << command << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace swiftest::cli

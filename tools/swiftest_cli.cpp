@@ -1,0 +1,11 @@
+// Thin binary wrapper over tools/cli.hpp.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return swiftest::cli::run_cli(args, std::cout);
+}
