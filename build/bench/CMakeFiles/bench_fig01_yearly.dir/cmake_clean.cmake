@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_yearly.dir/bench_fig01_yearly.cpp.o"
+  "CMakeFiles/bench_fig01_yearly.dir/bench_fig01_yearly.cpp.o.d"
+  "bench_fig01_yearly"
+  "bench_fig01_yearly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_yearly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

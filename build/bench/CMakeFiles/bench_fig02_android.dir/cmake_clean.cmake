@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_android.dir/bench_fig02_android.cpp.o"
+  "CMakeFiles/bench_fig02_android.dir/bench_fig02_android.cpp.o.d"
+  "bench_fig02_android"
+  "bench_fig02_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_isp.dir/bench_fig03_isp.cpp.o"
+  "CMakeFiles/bench_fig03_isp.dir/bench_fig03_isp.cpp.o.d"
+  "bench_fig03_isp"
+  "bench_fig03_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

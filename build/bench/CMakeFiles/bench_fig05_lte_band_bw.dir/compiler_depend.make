@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig05_lte_band_bw.
+# This may be replaced when dependencies are built.

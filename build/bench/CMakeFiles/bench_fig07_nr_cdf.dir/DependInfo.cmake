@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig07_nr_cdf.cpp" "bench/CMakeFiles/bench_fig07_nr_cdf.dir/bench_fig07_nr_cdf.cpp.o" "gcc" "bench/CMakeFiles/bench_fig07_nr_cdf.dir/bench_fig07_nr_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/swiftest_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/swiftest_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/swiftest/CMakeFiles/swiftest_swift.dir/DependInfo.cmake"
+  "/root/repo/build/src/bts/CMakeFiles/swiftest_bts.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_slowstart.dir/bench_fig17_slowstart.cpp.o"
+  "CMakeFiles/bench_fig17_slowstart.dir/bench_fig17_slowstart.cpp.o.d"
+  "bench_fig17_slowstart"
+  "bench_fig17_slowstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_slowstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

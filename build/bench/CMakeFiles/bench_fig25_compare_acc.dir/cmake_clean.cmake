@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_compare_acc.dir/bench_fig25_compare_acc.cpp.o"
+  "CMakeFiles/bench_fig25_compare_acc.dir/bench_fig25_compare_acc.cpp.o.d"
+  "bench_fig25_compare_acc"
+  "bench_fig25_compare_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_compare_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_plan.dir/bench_ilp_plan.cpp.o"
+  "CMakeFiles/bench_ilp_plan.dir/bench_ilp_plan.cpp.o.d"
+  "bench_ilp_plan"
+  "bench_ilp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

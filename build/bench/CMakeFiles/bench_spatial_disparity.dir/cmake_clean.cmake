@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_disparity.dir/bench_spatial_disparity.cpp.o"
+  "CMakeFiles/bench_spatial_disparity.dir/bench_spatial_disparity.cpp.o.d"
+  "bench_spatial_disparity"
+  "bench_spatial_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

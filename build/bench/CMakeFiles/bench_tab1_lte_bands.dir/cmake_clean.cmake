@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_lte_bands.dir/bench_tab1_lte_bands.cpp.o"
+  "CMakeFiles/bench_tab1_lte_bands.dir/bench_tab1_lte_bands.cpp.o.d"
+  "bench_tab1_lte_bands"
+  "bench_tab1_lte_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_lte_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bts_comparison.dir/bts_comparison.cpp.o"
+  "CMakeFiles/bts_comparison.dir/bts_comparison.cpp.o.d"
+  "bts_comparison"
+  "bts_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bts_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

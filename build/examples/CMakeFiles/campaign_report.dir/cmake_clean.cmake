@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_report.dir/campaign_report.cpp.o"
+  "CMakeFiles/campaign_report.dir/campaign_report.cpp.o.d"
+  "campaign_report"
+  "campaign_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

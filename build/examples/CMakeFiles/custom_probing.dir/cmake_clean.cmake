@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_probing.dir/custom_probing.cpp.o"
+  "CMakeFiles/custom_probing.dir/custom_probing.cpp.o.d"
+  "custom_probing"
+  "custom_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

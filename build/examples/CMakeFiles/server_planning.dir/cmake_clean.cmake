@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_planning.dir/server_planning.cpp.o"
+  "CMakeFiles/server_planning.dir/server_planning.cpp.o.d"
+  "server_planning"
+  "server_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

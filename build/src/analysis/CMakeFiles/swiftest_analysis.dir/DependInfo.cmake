@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/campaign_stats.cpp" "src/analysis/CMakeFiles/swiftest_analysis.dir/campaign_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/swiftest_analysis.dir/campaign_stats.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/swiftest_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/swiftest_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

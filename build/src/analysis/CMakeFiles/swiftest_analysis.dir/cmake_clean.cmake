@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_analysis.dir/campaign_stats.cpp.o"
+  "CMakeFiles/swiftest_analysis.dir/campaign_stats.cpp.o.d"
+  "CMakeFiles/swiftest_analysis.dir/report.cpp.o"
+  "CMakeFiles/swiftest_analysis.dir/report.cpp.o.d"
+  "libswiftest_analysis.a"
+  "libswiftest_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bts/fast.cpp" "src/bts/CMakeFiles/swiftest_bts.dir/fast.cpp.o" "gcc" "src/bts/CMakeFiles/swiftest_bts.dir/fast.cpp.o.d"
+  "/root/repo/src/bts/fastbts.cpp" "src/bts/CMakeFiles/swiftest_bts.dir/fastbts.cpp.o" "gcc" "src/bts/CMakeFiles/swiftest_bts.dir/fastbts.cpp.o.d"
+  "/root/repo/src/bts/flooding.cpp" "src/bts/CMakeFiles/swiftest_bts.dir/flooding.cpp.o" "gcc" "src/bts/CMakeFiles/swiftest_bts.dir/flooding.cpp.o.d"
+  "/root/repo/src/bts/sampler.cpp" "src/bts/CMakeFiles/swiftest_bts.dir/sampler.cpp.o" "gcc" "src/bts/CMakeFiles/swiftest_bts.dir/sampler.cpp.o.d"
+  "/root/repo/src/bts/tester.cpp" "src/bts/CMakeFiles/swiftest_bts.dir/tester.cpp.o" "gcc" "src/bts/CMakeFiles/swiftest_bts.dir/tester.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_bts.dir/fast.cpp.o"
+  "CMakeFiles/swiftest_bts.dir/fast.cpp.o.d"
+  "CMakeFiles/swiftest_bts.dir/fastbts.cpp.o"
+  "CMakeFiles/swiftest_bts.dir/fastbts.cpp.o.d"
+  "CMakeFiles/swiftest_bts.dir/flooding.cpp.o"
+  "CMakeFiles/swiftest_bts.dir/flooding.cpp.o.d"
+  "CMakeFiles/swiftest_bts.dir/sampler.cpp.o"
+  "CMakeFiles/swiftest_bts.dir/sampler.cpp.o.d"
+  "CMakeFiles/swiftest_bts.dir/tester.cpp.o"
+  "CMakeFiles/swiftest_bts.dir/tester.cpp.o.d"
+  "libswiftest_bts.a"
+  "libswiftest_bts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_bts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_core.dir/rng.cpp.o"
+  "CMakeFiles/swiftest_core.dir/rng.cpp.o.d"
+  "CMakeFiles/swiftest_core.dir/units.cpp.o"
+  "CMakeFiles/swiftest_core.dir/units.cpp.o.d"
+  "libswiftest_core.a"
+  "libswiftest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

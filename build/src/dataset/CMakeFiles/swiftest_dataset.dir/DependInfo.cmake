@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/bands.cpp" "src/dataset/CMakeFiles/swiftest_dataset.dir/bands.cpp.o" "gcc" "src/dataset/CMakeFiles/swiftest_dataset.dir/bands.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/swiftest_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/swiftest_dataset.dir/generator.cpp.o.d"
+  "/root/repo/src/dataset/io.cpp" "src/dataset/CMakeFiles/swiftest_dataset.dir/io.cpp.o" "gcc" "src/dataset/CMakeFiles/swiftest_dataset.dir/io.cpp.o.d"
+  "/root/repo/src/dataset/profiles.cpp" "src/dataset/CMakeFiles/swiftest_dataset.dir/profiles.cpp.o" "gcc" "src/dataset/CMakeFiles/swiftest_dataset.dir/profiles.cpp.o.d"
+  "/root/repo/src/dataset/taxonomy.cpp" "src/dataset/CMakeFiles/swiftest_dataset.dir/taxonomy.cpp.o" "gcc" "src/dataset/CMakeFiles/swiftest_dataset.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

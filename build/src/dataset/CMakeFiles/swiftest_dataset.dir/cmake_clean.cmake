@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_dataset.dir/bands.cpp.o"
+  "CMakeFiles/swiftest_dataset.dir/bands.cpp.o.d"
+  "CMakeFiles/swiftest_dataset.dir/generator.cpp.o"
+  "CMakeFiles/swiftest_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/swiftest_dataset.dir/io.cpp.o"
+  "CMakeFiles/swiftest_dataset.dir/io.cpp.o.d"
+  "CMakeFiles/swiftest_dataset.dir/profiles.cpp.o"
+  "CMakeFiles/swiftest_dataset.dir/profiles.cpp.o.d"
+  "CMakeFiles/swiftest_dataset.dir/taxonomy.cpp.o"
+  "CMakeFiles/swiftest_dataset.dir/taxonomy.cpp.o.d"
+  "libswiftest_dataset.a"
+  "libswiftest_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswiftest_dataset.a"
+)

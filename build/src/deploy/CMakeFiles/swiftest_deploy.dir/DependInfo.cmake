@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/catalog.cpp" "src/deploy/CMakeFiles/swiftest_deploy.dir/catalog.cpp.o" "gcc" "src/deploy/CMakeFiles/swiftest_deploy.dir/catalog.cpp.o.d"
+  "/root/repo/src/deploy/fleet_sim.cpp" "src/deploy/CMakeFiles/swiftest_deploy.dir/fleet_sim.cpp.o" "gcc" "src/deploy/CMakeFiles/swiftest_deploy.dir/fleet_sim.cpp.o.d"
+  "/root/repo/src/deploy/placement.cpp" "src/deploy/CMakeFiles/swiftest_deploy.dir/placement.cpp.o" "gcc" "src/deploy/CMakeFiles/swiftest_deploy.dir/placement.cpp.o.d"
+  "/root/repo/src/deploy/planner.cpp" "src/deploy/CMakeFiles/swiftest_deploy.dir/planner.cpp.o" "gcc" "src/deploy/CMakeFiles/swiftest_deploy.dir/planner.cpp.o.d"
+  "/root/repo/src/deploy/workload.cpp" "src/deploy/CMakeFiles/swiftest_deploy.dir/workload.cpp.o" "gcc" "src/deploy/CMakeFiles/swiftest_deploy.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/swiftest/CMakeFiles/swiftest_swift.dir/DependInfo.cmake"
+  "/root/repo/build/src/bts/CMakeFiles/swiftest_bts.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_deploy.dir/catalog.cpp.o"
+  "CMakeFiles/swiftest_deploy.dir/catalog.cpp.o.d"
+  "CMakeFiles/swiftest_deploy.dir/fleet_sim.cpp.o"
+  "CMakeFiles/swiftest_deploy.dir/fleet_sim.cpp.o.d"
+  "CMakeFiles/swiftest_deploy.dir/placement.cpp.o"
+  "CMakeFiles/swiftest_deploy.dir/placement.cpp.o.d"
+  "CMakeFiles/swiftest_deploy.dir/planner.cpp.o"
+  "CMakeFiles/swiftest_deploy.dir/planner.cpp.o.d"
+  "CMakeFiles/swiftest_deploy.dir/workload.cpp.o"
+  "CMakeFiles/swiftest_deploy.dir/workload.cpp.o.d"
+  "libswiftest_deploy.a"
+  "libswiftest_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/congestion.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/congestion.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/congestion.cpp.o.d"
+  "/root/repo/src/netsim/fair_link.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/fair_link.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/fair_link.cpp.o.d"
+  "/root/repo/src/netsim/flow_metrics.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/flow_metrics.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/flow_metrics.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/link_dynamics.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/link_dynamics.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/link_dynamics.cpp.o.d"
+  "/root/repo/src/netsim/path.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/path.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/path.cpp.o.d"
+  "/root/repo/src/netsim/scenario.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/scenario.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/scenario.cpp.o.d"
+  "/root/repo/src/netsim/scheduler.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/scheduler.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/netsim/tcp.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/tcp.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/tcp.cpp.o.d"
+  "/root/repo/src/netsim/udp.cpp" "src/netsim/CMakeFiles/swiftest_netsim.dir/udp.cpp.o" "gcc" "src/netsim/CMakeFiles/swiftest_netsim.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

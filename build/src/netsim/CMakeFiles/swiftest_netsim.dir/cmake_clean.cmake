@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_netsim.dir/congestion.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/congestion.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/fair_link.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/fair_link.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/flow_metrics.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/flow_metrics.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/link.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/link_dynamics.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/link_dynamics.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/path.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/path.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/scenario.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/scenario.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/scheduler.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/tcp.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/tcp.cpp.o.d"
+  "CMakeFiles/swiftest_netsim.dir/udp.cpp.o"
+  "CMakeFiles/swiftest_netsim.dir/udp.cpp.o.d"
+  "libswiftest_netsim.a"
+  "libswiftest_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

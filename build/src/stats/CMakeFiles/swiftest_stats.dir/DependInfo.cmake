@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/swiftest_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/swiftest_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/swiftest_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/swiftest_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/gaussian.cpp" "src/stats/CMakeFiles/swiftest_stats.dir/gaussian.cpp.o" "gcc" "src/stats/CMakeFiles/swiftest_stats.dir/gaussian.cpp.o.d"
+  "/root/repo/src/stats/gmm.cpp" "src/stats/CMakeFiles/swiftest_stats.dir/gmm.cpp.o" "gcc" "src/stats/CMakeFiles/swiftest_stats.dir/gmm.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/swiftest_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/swiftest_stats.dir/histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_stats.dir/correlation.cpp.o"
+  "CMakeFiles/swiftest_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/swiftest_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/swiftest_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/swiftest_stats.dir/gaussian.cpp.o"
+  "CMakeFiles/swiftest_stats.dir/gaussian.cpp.o.d"
+  "CMakeFiles/swiftest_stats.dir/gmm.cpp.o"
+  "CMakeFiles/swiftest_stats.dir/gmm.cpp.o.d"
+  "CMakeFiles/swiftest_stats.dir/histogram.cpp.o"
+  "CMakeFiles/swiftest_stats.dir/histogram.cpp.o.d"
+  "libswiftest_stats.a"
+  "libswiftest_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swiftest/client.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/client.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/client.cpp.o.d"
+  "/root/repo/src/swiftest/model_io.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/model_io.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/model_io.cpp.o.d"
+  "/root/repo/src/swiftest/model_registry.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/model_registry.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/model_registry.cpp.o.d"
+  "/root/repo/src/swiftest/probing_fsm.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/probing_fsm.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/probing_fsm.cpp.o.d"
+  "/root/repo/src/swiftest/protocol.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/protocol.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/protocol.cpp.o.d"
+  "/root/repo/src/swiftest/server.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/server.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/server.cpp.o.d"
+  "/root/repo/src/swiftest/wire_client.cpp" "src/swiftest/CMakeFiles/swiftest_swift.dir/wire_client.cpp.o" "gcc" "src/swiftest/CMakeFiles/swiftest_swift.dir/wire_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/bts/CMakeFiles/swiftest_bts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_swift.dir/client.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/client.cpp.o.d"
+  "CMakeFiles/swiftest_swift.dir/model_io.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/model_io.cpp.o.d"
+  "CMakeFiles/swiftest_swift.dir/model_registry.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/model_registry.cpp.o.d"
+  "CMakeFiles/swiftest_swift.dir/probing_fsm.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/probing_fsm.cpp.o.d"
+  "CMakeFiles/swiftest_swift.dir/protocol.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/protocol.cpp.o.d"
+  "CMakeFiles/swiftest_swift.dir/server.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/server.cpp.o.d"
+  "CMakeFiles/swiftest_swift.dir/wire_client.cpp.o"
+  "CMakeFiles/swiftest_swift.dir/wire_client.cpp.o.d"
+  "libswiftest_swift.a"
+  "libswiftest_swift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_swift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

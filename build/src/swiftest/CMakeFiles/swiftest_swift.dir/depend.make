@@ -1,0 +1,2 @@
+# Empty dependencies file for swiftest_swift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bts/fast_test.cpp" "tests/CMakeFiles/test_bts.dir/bts/fast_test.cpp.o" "gcc" "tests/CMakeFiles/test_bts.dir/bts/fast_test.cpp.o.d"
+  "/root/repo/tests/bts/fastbts_test.cpp" "tests/CMakeFiles/test_bts.dir/bts/fastbts_test.cpp.o" "gcc" "tests/CMakeFiles/test_bts.dir/bts/fastbts_test.cpp.o.d"
+  "/root/repo/tests/bts/flooding_test.cpp" "tests/CMakeFiles/test_bts.dir/bts/flooding_test.cpp.o" "gcc" "tests/CMakeFiles/test_bts.dir/bts/flooding_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bts/CMakeFiles/swiftest_bts.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bts.dir/bts/fast_test.cpp.o"
+  "CMakeFiles/test_bts.dir/bts/fast_test.cpp.o.d"
+  "CMakeFiles/test_bts.dir/bts/fastbts_test.cpp.o"
+  "CMakeFiles/test_bts.dir/bts/fastbts_test.cpp.o.d"
+  "CMakeFiles/test_bts.dir/bts/flooding_test.cpp.o"
+  "CMakeFiles/test_bts.dir/bts/flooding_test.cpp.o.d"
+  "test_bts"
+  "test_bts.pdb"
+  "test_bts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataset/bands_test.cpp" "tests/CMakeFiles/test_dataset.dir/dataset/bands_test.cpp.o" "gcc" "tests/CMakeFiles/test_dataset.dir/dataset/bands_test.cpp.o.d"
+  "/root/repo/tests/dataset/generator_test.cpp" "tests/CMakeFiles/test_dataset.dir/dataset/generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_dataset.dir/dataset/generator_test.cpp.o.d"
+  "/root/repo/tests/dataset/io_test.cpp" "tests/CMakeFiles/test_dataset.dir/dataset/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_dataset.dir/dataset/io_test.cpp.o.d"
+  "/root/repo/tests/dataset/profiles_test.cpp" "tests/CMakeFiles/test_dataset.dir/dataset/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/test_dataset.dir/dataset/profiles_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/swiftest_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

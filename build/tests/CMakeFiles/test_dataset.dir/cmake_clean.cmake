@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset.dir/dataset/bands_test.cpp.o"
+  "CMakeFiles/test_dataset.dir/dataset/bands_test.cpp.o.d"
+  "CMakeFiles/test_dataset.dir/dataset/generator_test.cpp.o"
+  "CMakeFiles/test_dataset.dir/dataset/generator_test.cpp.o.d"
+  "CMakeFiles/test_dataset.dir/dataset/io_test.cpp.o"
+  "CMakeFiles/test_dataset.dir/dataset/io_test.cpp.o.d"
+  "CMakeFiles/test_dataset.dir/dataset/profiles_test.cpp.o"
+  "CMakeFiles/test_dataset.dir/dataset/profiles_test.cpp.o.d"
+  "test_dataset"
+  "test_dataset.pdb"
+  "test_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy.dir/deploy/fleet_sim_test.cpp.o"
+  "CMakeFiles/test_deploy.dir/deploy/fleet_sim_test.cpp.o.d"
+  "CMakeFiles/test_deploy.dir/deploy/planner_property_test.cpp.o"
+  "CMakeFiles/test_deploy.dir/deploy/planner_property_test.cpp.o.d"
+  "CMakeFiles/test_deploy.dir/deploy/planner_test.cpp.o"
+  "CMakeFiles/test_deploy.dir/deploy/planner_test.cpp.o.d"
+  "CMakeFiles/test_deploy.dir/deploy/regional_test.cpp.o"
+  "CMakeFiles/test_deploy.dir/deploy/regional_test.cpp.o.d"
+  "CMakeFiles/test_deploy.dir/deploy/workload_test.cpp.o"
+  "CMakeFiles/test_deploy.dir/deploy/workload_test.cpp.o.d"
+  "test_deploy"
+  "test_deploy.pdb"
+  "test_deploy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

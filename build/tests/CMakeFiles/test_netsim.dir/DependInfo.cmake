@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/fair_link_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/fair_link_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/fair_link_test.cpp.o.d"
+  "/root/repo/tests/netsim/flow_metrics_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/flow_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/flow_metrics_test.cpp.o.d"
+  "/root/repo/tests/netsim/link_dynamics_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/link_dynamics_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/link_dynamics_test.cpp.o.d"
+  "/root/repo/tests/netsim/link_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/link_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/link_test.cpp.o.d"
+  "/root/repo/tests/netsim/path_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/path_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/path_test.cpp.o.d"
+  "/root/repo/tests/netsim/scenario_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/scenario_test.cpp.o.d"
+  "/root/repo/tests/netsim/scheduler_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/scheduler_test.cpp.o.d"
+  "/root/repo/tests/netsim/tcp_property_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/tcp_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/tcp_property_test.cpp.o.d"
+  "/root/repo/tests/netsim/tcp_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/tcp_test.cpp.o.d"
+  "/root/repo/tests/netsim/udp_test.cpp" "tests/CMakeFiles/test_netsim.dir/netsim/udp_test.cpp.o" "gcc" "tests/CMakeFiles/test_netsim.dir/netsim/udp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftest/CMakeFiles/swiftest_swift.dir/DependInfo.cmake"
+  "/root/repo/build/src/bts/CMakeFiles/swiftest_bts.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

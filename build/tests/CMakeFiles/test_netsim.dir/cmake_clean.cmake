@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/fair_link_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/fair_link_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/flow_metrics_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/flow_metrics_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/link_dynamics_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/link_dynamics_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/link_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/link_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/path_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/path_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/scenario_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/scenario_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/scheduler_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_property_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_property_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/tcp_test.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/udp_test.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/udp_test.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/correlation_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/correlation_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/gaussian_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/gaussian_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/gaussian_test.cpp.o.d"
+  "/root/repo/tests/stats/gmm_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/gmm_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/gmm_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/histogram_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

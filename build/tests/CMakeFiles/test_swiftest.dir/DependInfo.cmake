@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/swiftest/client_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/client_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/client_test.cpp.o.d"
+  "/root/repo/tests/swiftest/model_io_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/model_io_test.cpp.o.d"
+  "/root/repo/tests/swiftest/model_registry_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/model_registry_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/model_registry_test.cpp.o.d"
+  "/root/repo/tests/swiftest/probing_fsm_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/probing_fsm_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/probing_fsm_test.cpp.o.d"
+  "/root/repo/tests/swiftest/protocol_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/protocol_test.cpp.o.d"
+  "/root/repo/tests/swiftest/server_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/server_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/server_test.cpp.o.d"
+  "/root/repo/tests/swiftest/wire_client_test.cpp" "tests/CMakeFiles/test_swiftest.dir/swiftest/wire_client_test.cpp.o" "gcc" "tests/CMakeFiles/test_swiftest.dir/swiftest/wire_client_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftest/CMakeFiles/swiftest_swift.dir/DependInfo.cmake"
+  "/root/repo/build/src/bts/CMakeFiles/swiftest_bts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/swiftest_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/swiftest_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swiftest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/swiftest_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swiftest.dir/swiftest/client_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/client_test.cpp.o.d"
+  "CMakeFiles/test_swiftest.dir/swiftest/model_io_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/model_io_test.cpp.o.d"
+  "CMakeFiles/test_swiftest.dir/swiftest/model_registry_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/model_registry_test.cpp.o.d"
+  "CMakeFiles/test_swiftest.dir/swiftest/probing_fsm_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/probing_fsm_test.cpp.o.d"
+  "CMakeFiles/test_swiftest.dir/swiftest/protocol_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/protocol_test.cpp.o.d"
+  "CMakeFiles/test_swiftest.dir/swiftest/server_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/server_test.cpp.o.d"
+  "CMakeFiles/test_swiftest.dir/swiftest/wire_client_test.cpp.o"
+  "CMakeFiles/test_swiftest.dir/swiftest/wire_client_test.cpp.o.d"
+  "test_swiftest"
+  "test_swiftest.pdb"
+  "test_swiftest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swiftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest-cli.dir/swiftest_cli.cpp.o"
+  "CMakeFiles/swiftest-cli.dir/swiftest_cli.cpp.o.d"
+  "swiftest-cli"
+  "swiftest-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftest_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/swiftest_cli_lib.dir/cli.cpp.o.d"
+  "libswiftest_cli_lib.a"
+  "libswiftest_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftest_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
