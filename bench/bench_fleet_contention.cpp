@@ -1,0 +1,78 @@
+// Server-egress contention under concurrent tests (§5.2's budget-VM fleet).
+//
+// The Testbed routes every concurrent session bound for a server through
+// that server's ONE shared egress queue, so simultaneous tests split the
+// uplink for real. This bench measures what each of N concurrent Swiftest
+// clients reports when all probe one 100 Mbps server, against the ideal
+// 100/N split — the effect the analytic fleet model approximates and the
+// packet backend (deploy::FleetBackend::kPacket) reproduces at scale.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "netsim/testbed.hpp"
+#include "swiftest/fleet.hpp"
+#include "swiftest/wire_client.hpp"
+
+namespace {
+
+using namespace swiftest;
+
+std::vector<double> run_concurrent(std::size_t n, std::uint64_t seed) {
+  netsim::TestbedConfig cfg;
+  cfg.fleet.server_count = 1;
+  cfg.fleet.server_uplink = core::Bandwidth::mbps(100);
+  netsim::ClientAccessConfig client;
+  client.access_rate = core::Bandwidth::mbps(1000);
+  client.access_delay = core::milliseconds(10);
+  cfg.clients.assign(n, client);
+
+  netsim::Testbed testbed(cfg, seed);
+  static const swift::ModelRegistry registry;
+  swift::ServerFleet fleet(testbed, {});
+
+  swift::SwiftestConfig wc_cfg;
+  wc_cfg.tech = dataset::AccessTech::kWiFi5;
+  std::vector<std::unique_ptr<swift::WireClient>> wires;
+  std::vector<double> estimates(n, 0.0);
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    wires.push_back(std::make_unique<swift::WireClient>(wc_cfg, registry));
+    wires.back()->attach_fleet(fleet);
+    wires.back()->start(testbed.client(i),
+                        [&estimates, &completed, i](const bts::BtsResult& r) {
+                          estimates[i] = r.bandwidth_mbps;
+                          ++completed;
+                        });
+  }
+  netsim::Scheduler& sched = testbed.scheduler();
+  while (completed < n && sched.now() < core::seconds(15)) {
+    sched.run_until(sched.now() + core::milliseconds(100));
+  }
+  return estimates;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_title(
+      "Server egress contention: N concurrent Swiftest tests, one 100 Mbps server");
+
+  std::printf("%12s %12s %12s %12s\n", "clients", "fair share", "mean est", "max|err|");
+  for (std::size_t n : {1u, 2u, 3u, 4u, 8u}) {
+    const auto estimates = run_concurrent(n, 1000 + n);
+    const double fair = 100.0 / static_cast<double>(n);
+    double mean = 0.0, worst = 0.0;
+    for (double e : estimates) {
+      mean += e;
+      worst = std::max(worst, std::abs(e - fair));
+    }
+    mean /= static_cast<double>(estimates.size());
+    std::printf("%12zu %10.1f M %10.1f M %10.1f M\n", n, fair, mean, worst);
+  }
+  benchutil::print_note(
+      "Each client should land near 100/N Mbps: the shared egress queue, not "
+      "per-client private links, is what splits the uplink.");
+  return 0;
+}

@@ -29,7 +29,7 @@ class FastBts final : public BandwidthTester {
  public:
   explicit FastBts(FastConfig config = {});
 
-  [[nodiscard]] BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] BtsResult run(netsim::ClientContext& client) override;
   [[nodiscard]] std::string name() const override { return "fast"; }
 
   /// True if the last `window` samples vary by no more than `tolerance`.

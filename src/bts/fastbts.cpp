@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "netsim/scenario.hpp"
+#include "netsim/testbed.hpp"
 
 namespace swiftest::bts {
 
@@ -39,25 +39,25 @@ CrucialInterval crucial_interval(std::span<const double> samples) {
 
 FastBtsCi::FastBtsCi(FastBtsConfig config) : config_(config) {}
 
-BtsResult FastBtsCi::run(netsim::Scenario& scenario) {
+BtsResult FastBtsCi::run(netsim::ClientContext& client) {
   BtsResult result;
-  auto& sched = scenario.scheduler();
+  auto& sched = client.scheduler();
 
-  const ServerSelection sel = select_server(scenario, config_.ping_candidates);
+  const ServerSelection sel = select_server(client, config_.ping_candidates);
   result.ping_duration = sel.elapsed;
   sched.run_until(sched.now() + sel.elapsed);
 
   ThroughputSampler sampler(sched);
   std::vector<std::unique_ptr<netsim::TcpConnection>> connections;
-  const auto mss = netsim::suggested_mss(scenario.config().access_rate);
+  const auto mss = netsim::suggested_mss(client.access_config().access_rate);
   const std::size_t n_conns =
-      std::min(config_.parallel_connections, scenario.server_count());
+      std::min(config_.parallel_connections, client.server_count());
   for (std::size_t i = 0; i < n_conns; ++i) {
     netsim::TcpConfig tcp_cfg;
     tcp_cfg.cc = config_.cc;
     tcp_cfg.mss = mss;
     auto conn = std::make_unique<netsim::TcpConnection>(
-        sched, scenario.server_path((sel.server + i) % scenario.server_count()), tcp_cfg,
+        sched, client.server_path((sel.server + i) % client.server_count()), tcp_cfg,
         i + 1);
     conn->set_on_delivered([&sampler](std::int64_t bytes) { sampler.add_bytes(bytes); });
     conn->start();

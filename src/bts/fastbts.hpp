@@ -48,7 +48,7 @@ class FastBtsCi final : public BandwidthTester {
  public:
   explicit FastBtsCi(FastBtsConfig config = {});
 
-  [[nodiscard]] BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] BtsResult run(netsim::ClientContext& client) override;
   [[nodiscard]] std::string name() const override { return "fastbts"; }
 
  private:

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "netsim/scenario.hpp"
+#include "netsim/testbed.hpp"
 
 namespace swiftest::bts {
 
@@ -42,24 +42,24 @@ double FloodingBts::estimate_from_samples(std::span<const double> samples,
   return std::accumulate(first, last, 0.0) / static_cast<double>(last - first);
 }
 
-BtsResult FloodingBts::run(netsim::Scenario& scenario) {
+BtsResult FloodingBts::run(netsim::ClientContext& client) {
   BtsResult result;
-  auto& sched = scenario.scheduler();
+  auto& sched = client.scheduler();
 
-  const ServerSelection sel = select_server(scenario, config_.ping_candidates);
+  const ServerSelection sel = select_server(client, config_.ping_candidates);
   result.ping_duration = sel.elapsed;
   sched.run_until(sched.now() + sel.elapsed);
 
   ThroughputSampler sampler(sched);
   std::vector<std::unique_ptr<netsim::TcpConnection>> connections;
-  const auto mss = netsim::suggested_mss(scenario.config().access_rate);
+  const auto mss = netsim::suggested_mss(client.access_config().access_rate);
 
   auto open_connection = [&](std::size_t server) {
     netsim::TcpConfig tcp_cfg;
     tcp_cfg.cc = config_.cc;
     tcp_cfg.mss = mss;
     auto conn = std::make_unique<netsim::TcpConnection>(
-        sched, scenario.server_path(server), tcp_cfg, connections.size() + 1);
+        sched, client.server_path(server), tcp_cfg, connections.size() + 1);
     conn->set_on_delivered([&sampler](std::int64_t bytes) { sampler.add_bytes(bytes); });
     conn->start();
     connections.push_back(std::move(conn));
@@ -74,7 +74,7 @@ BtsResult FloodingBts::run(netsim::Scenario& scenario) {
   sampler.start(config_.sample_interval, [&](double sample_mbps) {
     while (next_threshold < config_.escalation_thresholds_mbps.size() &&
            sample_mbps >= config_.escalation_thresholds_mbps[next_threshold]) {
-      const std::size_t server = connections.size() % scenario.server_count();
+      const std::size_t server = connections.size() % client.server_count();
       open_connection(server);
       ++next_threshold;
     }

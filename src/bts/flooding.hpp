@@ -39,7 +39,7 @@ class FloodingBts final : public BandwidthTester {
  public:
   explicit FloodingBts(FloodingConfig config = {});
 
-  [[nodiscard]] BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] BtsResult run(netsim::ClientContext& client) override;
   [[nodiscard]] std::string name() const override { return "bts-app"; }
 
   /// The §2 estimation rule, exposed for direct testing: group samples,

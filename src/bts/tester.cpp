@@ -5,28 +5,10 @@
 
 namespace swiftest::bts {
 
-ServerSelection select_server(netsim::Scenario& scenario, std::size_t candidates,
+ServerSelection select_server(netsim::ClientContext& client, std::size_t candidates,
                               std::size_t concurrency) {
-  ServerSelection sel;
-  candidates = std::min(candidates, scenario.server_count());
-  concurrency = std::max<std::size_t>(1, concurrency);
-  core::SimDuration best = core::kSimTimeMax;
-  core::SimDuration batch_max = 0;
-  std::size_t in_batch = 0;
-  for (std::size_t i = 0; i < candidates; ++i) {
-    const core::SimDuration rtt = scenario.measure_ping(i);
-    batch_max = std::max(batch_max, rtt);
-    if (++in_batch == concurrency || i + 1 == candidates) {
-      sel.elapsed += batch_max;  // a batch completes when its slowest PING does
-      batch_max = 0;
-      in_batch = 0;
-    }
-    if (rtt < best) {
-      best = rtt;
-      sel.server = i;
-    }
-  }
-  return sel;
+  const netsim::ServerChoice choice = client.select_server(candidates, concurrency);
+  return ServerSelection{choice.server, choice.elapsed};
 }
 
 double deviation(double result_mbps, double reference_mbps) {

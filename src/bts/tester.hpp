@@ -1,9 +1,11 @@
 // Common interface for bandwidth testing services (BTSes).
 //
 // Every tester (the flooding BTS-APP baseline, FAST, FastBTS, and Swiftest)
-// runs against a netsim::Scenario — a client access link plus a server pool —
-// and produces the same result structure, which is what the §5.3 comparison
-// figures consume.
+// runs against a netsim::ClientContext — one client's access link plus its
+// paths into the shared server fleet — and produces the same result
+// structure, which is what the §5.3 comparison figures consume. The legacy
+// single-client netsim::Scenario converts implicitly to its ClientContext,
+// so Scenario-based call sites keep working unchanged.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,7 @@
 #include "core/time.hpp"
 #include "core/units.hpp"
 #include "netsim/scenario.hpp"
+#include "netsim/testbed.hpp"
 
 namespace swiftest::bts {
 
@@ -39,9 +42,9 @@ class BandwidthTester {
  public:
   virtual ~BandwidthTester() = default;
 
-  /// Runs one bandwidth test over the scenario. The scenario's scheduler is
-  /// advanced; a tester may be run on a fresh scenario only.
-  [[nodiscard]] virtual BtsResult run(netsim::Scenario& scenario) = 0;
+  /// Runs one bandwidth test for the given client. The testbed's scheduler
+  /// is advanced; a tester may be run on a fresh client only.
+  [[nodiscard]] virtual BtsResult run(netsim::ClientContext& client) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -50,11 +53,13 @@ class BandwidthTester {
 /// servers and pick the lowest-latency one. `concurrency` pings run in
 /// parallel per batch (BTS-APP issues them one by one; Swiftest batches them
 /// to keep its selection stage around 0.2 s). Returns {server, elapsed}.
+/// Thin alias over ClientContext::select_server — the one implementation of
+/// the PING-and-pick step.
 struct ServerSelection {
   std::size_t server = 0;
   core::SimDuration elapsed = 0;
 };
-[[nodiscard]] ServerSelection select_server(netsim::Scenario& scenario,
+[[nodiscard]] ServerSelection select_server(netsim::ClientContext& client,
                                             std::size_t candidates,
                                             std::size_t concurrency = 1);
 

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "core/rng.hpp"
 #include "dataset/profiles.hpp"
 #include "deploy/placement.hpp"
+#include "netsim/testbed.hpp"
 #include "swiftest/client.hpp"
+#include "swiftest/fleet.hpp"
+#include "swiftest/wire_client.hpp"
 
 namespace swiftest::deploy {
 
@@ -19,12 +24,28 @@ double settled_probing_rate(const stats::GaussianMixture& model, double truth_mb
   return rate;
 }
 
-FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
-                              const swift::ModelRegistry& registry,
-                              const FleetSimConfig& config) {
-  FleetSimResult result;
-  if (population.empty() || config.server_count == 0) return result;
+namespace {
 
+/// One test drawn from the workload generator: everything both backends need
+/// to replay it.
+struct Arrival {
+  std::int64_t second = 0;  // arrival time, seconds since simulation start
+  dataset::AccessTech tech = dataset::AccessTech::kWiFi5;
+  double truth_mbps = 0.0;
+  double rate_mbps = 0.0;       // the settled probing rate (analytic load)
+  std::size_t n_servers = 1;    // servers the analytic model spreads it over
+  int duration_s = 1;
+  std::size_t first_server = 0;
+};
+
+/// Draws the whole workload up front. The RNG consumption order is exactly
+/// the historical analytic loop's — per second one poisson draw, then per
+/// test: record, duration, domain, offset — so a given seed produces the
+/// identical test sequence for both backends (and for pre-refactor runs).
+std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> population,
+                                       const swift::ModelRegistry& registry,
+                                       const FleetSimConfig& config) {
+  std::vector<Arrival> workload;
   core::Rng rng(config.seed);
   const auto weights = dataset::hourly_test_weights();
   double weight_sum = 0.0;
@@ -42,68 +63,47 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
     next_server += placement.servers_per_domain[d];
   }
 
-  const double fleet_capacity = config.server_uplink_mbps *
-                                static_cast<double>(config.server_count);
-  std::vector<std::vector<std::pair<int, double>>> active(config.server_count);
-  std::vector<double> window_load(config.server_count, 0.0);
-  std::uint64_t overload_seconds = 0, total_seconds = 0;
-
+  std::int64_t second_index = 0;
   for (int day = 0; day < config.days; ++day) {
     for (int hour = 0; hour < 24; ++hour) {
       const double arrivals_per_second =
           config.tests_per_day * weights[static_cast<std::size_t>(hour)] / weight_sum /
           3600.0;
-      int second_in_window = 0;
-      for (int second = 0; second < 3600; ++second) {
+      for (int second = 0; second < 3600; ++second, ++second_index) {
         const auto new_tests = rng.poisson(arrivals_per_second);
         for (std::int64_t t = 0; t < new_tests; ++t) {
-          ++result.tests_simulated;
           const auto& rec = population[static_cast<std::size_t>(
               rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1))];
-          const double rate =
+          Arrival arrival;
+          arrival.second = second_index;
+          arrival.tech = rec.tech;
+          arrival.truth_mbps = rec.bandwidth_mbps;
+          arrival.rate_mbps =
               settled_probing_rate(registry.model(rec.tech), rec.bandwidth_mbps);
-          const auto n_servers = std::min<std::size_t>(
+          arrival.n_servers = std::min<std::size_t>(
               config.server_count,
-              swift::SwiftestClient::servers_needed(rate, config.server_uplink_mbps));
-          const int duration = rng.bernoulli(0.25) ? 2 : 1;  // ~1.2 s average
+              swift::SwiftestClient::servers_needed(arrival.rate_mbps,
+                                                    config.server_uplink_mbps));
+          arrival.duration_s = rng.bernoulli(0.25) ? 2 : 1;  // ~1.2 s average
           const auto domain = rng.weighted_index(domain_shares);
           const std::size_t domain_size =
               std::max<std::size_t>(1, placement.servers_per_domain[domain]);
           const auto offset = static_cast<std::size_t>(
               rng.uniform_int(0, static_cast<std::int64_t>(domain_size) - 1));
-          for (std::size_t s = 0; s < n_servers; ++s) {
-            active[(domain_first[domain] + offset + s) % config.server_count]
-                .emplace_back(duration, rate / static_cast<double>(n_servers));
-          }
-        }
-        double second_load = 0.0;
-        for (std::size_t s = 0; s < config.server_count; ++s) {
-          double load = 0.0;
-          for (auto& [remaining, mbps] : active[s]) {
-            load += mbps;
-            --remaining;
-          }
-          std::erase_if(active[s], [](const auto& e) { return e.first <= 0; });
-          window_load[s] += load;
-          second_load += load;
-        }
-        ++total_seconds;
-        if (second_load > fleet_capacity) ++overload_seconds;
-        if (++second_in_window == config.window_seconds) {
-          for (std::size_t s = 0; s < config.server_count; ++s) {
-            const double util = 100.0 * window_load[s] /
-                                static_cast<double>(config.window_seconds) /
-                                config.server_uplink_mbps;
-            if (util > 0.0) result.busy_window_utilization.push_back(util);
-            window_load[s] = 0.0;
-          }
-          second_in_window = 0;
+          arrival.first_server =
+              (domain_first[domain] + offset) % config.server_count;
+          workload.push_back(arrival);
         }
       }
     }
   }
+  return workload;
+}
 
-  std::sort(result.busy_window_utilization.begin(), result.busy_window_utilization.end());
+void finish_result(FleetSimResult& result, std::uint64_t overload_seconds,
+                   std::uint64_t total_seconds) {
+  std::sort(result.busy_window_utilization.begin(),
+            result.busy_window_utilization.end());
   result.summary = stats::summarize(result.busy_window_utilization);
   result.p99 = stats::quantile_sorted(result.busy_window_utilization, 0.99);
   result.p999 = stats::quantile_sorted(result.busy_window_utilization, 0.999);
@@ -113,7 +113,184 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
       total_seconds == 0 ? 0.0
                          : static_cast<double>(overload_seconds) /
                                static_cast<double>(total_seconds);
+}
+
+FleetSimResult run_analytic(const std::vector<Arrival>& workload,
+                            const FleetSimConfig& config) {
+  FleetSimResult result;
+  const double fleet_capacity =
+      config.server_uplink_mbps * static_cast<double>(config.server_count);
+  std::vector<std::vector<std::pair<int, double>>> active(config.server_count);
+  std::vector<double> window_load(config.server_count, 0.0);
+  std::uint64_t overload_seconds = 0;
+  const std::int64_t total_seconds =
+      static_cast<std::int64_t>(config.days) * 24 * 3600;
+
+  std::size_t next_arrival = 0;
+  int second_in_window = 0;
+  for (std::int64_t second = 0; second < total_seconds; ++second) {
+    while (next_arrival < workload.size() &&
+           workload[next_arrival].second == second) {
+      const Arrival& a = workload[next_arrival++];
+      ++result.tests_simulated;
+      for (std::size_t s = 0; s < a.n_servers; ++s) {
+        active[(a.first_server + s) % config.server_count].emplace_back(
+            a.duration_s, a.rate_mbps / static_cast<double>(a.n_servers));
+      }
+    }
+    double second_load = 0.0;
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      double load = 0.0;
+      for (auto& [remaining, mbps] : active[s]) {
+        load += mbps;
+        --remaining;
+      }
+      std::erase_if(active[s], [](const auto& e) { return e.first <= 0; });
+      window_load[s] += load;
+      second_load += load;
+    }
+    if (second_load > fleet_capacity) ++overload_seconds;
+    if (++second_in_window == config.window_seconds) {
+      for (std::size_t s = 0; s < config.server_count; ++s) {
+        const double util = 100.0 * window_load[s] /
+                            static_cast<double>(config.window_seconds) /
+                            config.server_uplink_mbps;
+        if (util > 0.0) result.busy_window_utilization.push_back(util);
+        window_load[s] = 0.0;
+      }
+      second_in_window = 0;
+    }
+  }
+
+  finish_result(result, overload_seconds,
+                static_cast<std::uint64_t>(total_seconds));
   return result;
+}
+
+FleetSimResult run_packet(const std::vector<Arrival>& workload,
+                          const swift::ModelRegistry& registry,
+                          const FleetSimConfig& config) {
+  FleetSimResult result;
+
+  netsim::TestbedConfig tb_cfg;
+  tb_cfg.fleet.server_count = config.server_count;
+  tb_cfg.fleet.server_uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
+  // Client slots are created on demand; start with one so the shared egress
+  // links exist before the first utilization window is read.
+  netsim::ClientAccessConfig slot_cfg;
+  slot_cfg.access_rate = core::Bandwidth::mbps(1000);  // re-set per test
+  tb_cfg.clients = {slot_cfg};
+  // Decorrelate topology randomness from the workload draw stream.
+  netsim::Testbed testbed(tb_cfg, config.seed ^ 0x9E3779B97F4A7C15ull);
+
+  swift::ServerConfig server_cfg;
+  server_cfg.uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
+  swift::ServerFleet fleet(testbed, server_cfg);
+
+  struct Slot {
+    std::size_t client_index = 0;
+    std::unique_ptr<swift::WireClient> wire;
+    bool busy = false;
+  };
+  std::vector<std::unique_ptr<Slot>> slots;
+  slots.push_back(std::make_unique<Slot>());
+  slots[0]->client_index = 0;
+
+  netsim::Scheduler& sched = testbed.scheduler();
+  auto start_test = [&](const Arrival& a) {
+    Slot* slot = nullptr;
+    for (auto& candidate : slots) {
+      if (!candidate->busy) {
+        slot = candidate.get();
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      if (slots.size() >= config.max_concurrent_tests) {
+        ++result.tests_dropped;
+        return;
+      }
+      slots.push_back(std::make_unique<Slot>());
+      slot = slots.back().get();
+      slot->client_index = testbed.add_client(slot_cfg);
+    }
+    slot->busy = true;
+    netsim::ClientContext& ctx = testbed.client(slot->client_index);
+    ctx.access_link().set_rate(core::Bandwidth::mbps(a.truth_mbps));
+
+    swift::SwiftestConfig wc_cfg;
+    wc_cfg.tech = a.tech;
+    wc_cfg.server_uplink_mbps = config.server_uplink_mbps;
+    slot->wire = std::make_unique<swift::WireClient>(wc_cfg, registry, server_cfg);
+    slot->wire->attach_fleet(fleet);
+    slot->wire->set_forced_server(a.first_server);
+    slot->wire->start(ctx, [slot](const bts::BtsResult&) { slot->busy = false; });
+    ++result.tests_simulated;
+  };
+
+  for (const Arrival& a : workload) {
+    sched.schedule_at(a.second * core::seconds(1), [&start_test, &a] { start_test(a); });
+  }
+
+  // Periodic utilization windows over each server's shared egress queue: the
+  // delivered-byte delta per window is the ground-truth egress utilization,
+  // queueing included — the measurement the analytic backend approximates.
+  const std::int64_t total_seconds =
+      static_cast<std::int64_t>(config.days) * 24 * 3600;
+  const core::SimDuration window = config.window_seconds * core::seconds(1);
+  const double window_capacity_mbit =
+      config.server_uplink_mbps * static_cast<double>(config.window_seconds);
+  std::vector<std::int64_t> last_delivered(config.server_count, 0);
+  std::uint64_t overloaded_windows = 0;
+  std::uint64_t windows_elapsed = 0;
+  std::function<void()> tick = [&] {
+    double total_util = 0.0;
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      const netsim::LinkBase* egress = testbed.server_egress(s);
+      const std::int64_t delivered =
+          egress != nullptr ? egress->stats().bytes_delivered : 0;
+      const std::int64_t delta = delivered - last_delivered[s];
+      last_delivered[s] = delivered;
+      const double util =
+          100.0 * static_cast<double>(delta) * 8.0 / 1e6 / window_capacity_mbit;
+      if (util > 0.0) result.busy_window_utilization.push_back(util);
+      total_util += util;
+    }
+    ++windows_elapsed;
+    // Overload proxy: the whole fleet's egress effectively saturated.
+    if (total_util >= 98.0 * static_cast<double>(config.server_count)) {
+      ++overloaded_windows;
+    }
+    if (static_cast<std::int64_t>(windows_elapsed) * config.window_seconds <
+        total_seconds) {
+      sched.schedule_in(window, tick);
+    }
+  };
+  sched.schedule_at(window, tick);
+
+  // Let the tail of the last tests (max_duration + drain) play out.
+  sched.run_until(total_seconds * core::seconds(1) + core::seconds(30));
+
+  finish_result(result,
+                overloaded_windows * static_cast<std::uint64_t>(config.window_seconds),
+                static_cast<std::uint64_t>(total_seconds));
+  return result;
+}
+
+}  // namespace
+
+FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
+                              const swift::ModelRegistry& registry,
+                              const FleetSimConfig& config) {
+  FleetSimResult result;
+  if (population.empty() || config.server_count == 0) return result;
+
+  const std::vector<Arrival> workload =
+      generate_workload(population, registry, config);
+  if (config.backend == FleetBackend::kPacket && config.server_uplink_mbps > 0.0) {
+    return run_packet(workload, registry, config);
+  }
+  return run_analytic(workload, config);
 }
 
 }  // namespace swiftest::deploy

@@ -18,6 +18,18 @@
 
 namespace swiftest::deploy {
 
+/// How the fleet load is evaluated once the workload is drawn.
+enum class FleetBackend {
+  /// Closed-form accounting: each test contributes rate/n_servers to its
+  /// servers for its duration. Fast; ignores queueing and protocol effects.
+  kAnalytic,
+  /// Packet-level replay: every test is a real WireClient probing real
+  /// SwiftestServers through a netsim::Testbed, so concurrent tests contend
+  /// in each server's one shared egress queue. Orders of magnitude slower;
+  /// use small workloads.
+  kPacket,
+};
+
 struct FleetSimConfig {
   std::size_t server_count = 20;
   double server_uplink_mbps = 100.0;
@@ -26,6 +38,10 @@ struct FleetSimConfig {
   /// Utilization aggregation window.
   int window_seconds = 10;
   std::uint64_t seed = 99;
+  FleetBackend backend = FleetBackend::kAnalytic;
+  /// Packet backend only: client slots available for overlapping tests.
+  /// Arrivals beyond this concurrency are dropped (tests_dropped).
+  std::size_t max_concurrent_tests = 64;
 };
 
 struct FleetSimResult {
@@ -40,6 +56,9 @@ struct FleetSimResult {
   /// Fraction of seconds where requested load exceeded fleet capacity.
   double overload_seconds_share = 0.0;
   std::uint64_t tests_simulated = 0;
+  /// Packet backend only: arrivals skipped because every client slot was
+  /// already mid-test.
+  std::uint64_t tests_dropped = 0;
 };
 
 /// The probing rate Swiftest settles on for a client of the given capacity:

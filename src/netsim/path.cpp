@@ -1,6 +1,7 @@
 #include "netsim/path.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace swiftest::netsim {
@@ -9,27 +10,44 @@ Path::Path(Scheduler& sched, LinkBase& access_link, core::SimDuration server_del
     : sched_(sched), link_(access_link), server_delay_(server_delay) {}
 
 void Path::set_server_egress(core::Bandwidth uplink, core::Rng rng) {
+  if (egress() != nullptr) {
+    throw std::logic_error("Path: server egress already set");
+  }
+  if (downstream_traffic_started_) {
+    throw std::logic_error("Path: cannot set server egress after traffic has flowed");
+  }
   LinkConfig cfg;
   cfg.rate = uplink;
   cfg.propagation_delay = 0;  // the backbone delay is modelled separately
   // Server-side buffer: ~50 ms at the uplink rate.
   cfg.queue_capacity = core::Bytes(std::max<std::int64_t>(
       static_cast<std::int64_t>(uplink.bits_per_second() * 0.050 / 8.0), 64 * 1024));
-  egress_ = std::make_unique<Link>(sched_, cfg, std::move(rng));
+  owned_egress_ = std::make_unique<Link>(sched_, cfg, std::move(rng));
+}
+
+void Path::attach_server_egress(LinkBase& egress_link) {
+  if (egress() != nullptr) {
+    throw std::logic_error("Path: server egress already set");
+  }
+  if (downstream_traffic_started_) {
+    throw std::logic_error("Path: cannot attach server egress after traffic has flowed");
+  }
+  shared_egress_ = &egress_link;
 }
 
 void Path::send_downstream(Packet packet, DeliveryFn client_sink) {
+  downstream_traffic_started_ = true;
   auto through_backbone = [this, sink = std::move(client_sink)](Packet pkt) mutable {
     sched_.schedule_in(server_delay_,
                        [this, pkt = std::move(pkt), sink = std::move(sink)]() mutable {
                          link_.send(std::move(pkt), std::move(sink));
                        });
   };
-  if (egress_) {
-    egress_->send(std::move(packet),
-                  [fwd = std::move(through_backbone)](const Packet& pkt) mutable {
-                    fwd(pkt);
-                  });
+  if (LinkBase* out = egress()) {
+    out->send(std::move(packet),
+              [fwd = std::move(through_backbone)](const Packet& pkt) mutable {
+                fwd(pkt);
+              });
     return;
   }
   through_backbone(std::move(packet));

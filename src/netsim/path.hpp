@@ -27,9 +27,17 @@ class Path {
   /// the one-way delay between this server and the access link.
   Path(Scheduler& sched, LinkBase& access_link, core::SimDuration server_delay);
 
-  /// Adds a server-side egress link of the given capacity in front of the
-  /// backbone delay. Call at most once, before traffic flows.
+  /// Adds a private server-side egress link of the given capacity in front
+  /// of the backbone delay. Call at most once, before traffic flows — the
+  /// contract is enforced: a second call, a call after attach_server_egress,
+  /// or a call once downstream traffic has flowed throws std::logic_error.
   void set_server_egress(core::Bandwidth uplink, core::Rng rng);
+
+  /// Routes this path's downstream traffic through a shared egress link (one
+  /// queue per fleet server, contended by every client crossing it — the
+  /// Testbed wiring). Same at-most-once / before-traffic contract as
+  /// set_server_egress. The link must outlive the path.
+  void attach_server_egress(LinkBase& egress);
 
   /// Server -> client: (optional egress link,) backbone delay, access link.
   void send_downstream(Packet packet, DeliveryFn client_sink);
@@ -43,14 +51,20 @@ class Path {
 
   [[nodiscard]] LinkBase& access_link() noexcept { return link_; }
   [[nodiscard]] core::SimDuration server_delay() const noexcept { return server_delay_; }
-  [[nodiscard]] bool has_server_egress() const noexcept { return egress_ != nullptr; }
-  [[nodiscard]] Link* server_egress() noexcept { return egress_.get(); }
+  [[nodiscard]] bool has_server_egress() const noexcept { return egress() != nullptr; }
+  [[nodiscard]] LinkBase* server_egress() noexcept { return egress(); }
 
  private:
+  [[nodiscard]] LinkBase* egress() const noexcept {
+    return owned_egress_ ? owned_egress_.get() : shared_egress_;
+  }
+
   Scheduler& sched_;
   LinkBase& link_;
   core::SimDuration server_delay_;
-  std::unique_ptr<Link> egress_;  // optional server uplink
+  std::unique_ptr<Link> owned_egress_;   // optional private server uplink
+  LinkBase* shared_egress_ = nullptr;    // optional fleet-shared server uplink
+  bool downstream_traffic_started_ = false;
 };
 
 }  // namespace swiftest::netsim

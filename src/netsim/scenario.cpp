@@ -1,83 +1,26 @@
 #include "netsim/scenario.hpp"
 
-#include <algorithm>
-
 namespace swiftest::netsim {
 
-std::int32_t suggested_mss(core::Bandwidth rate) {
-  const double mbps = rate.megabits_per_second();
-  if (mbps <= 200.0) return kDefaultMss;
-  if (mbps <= 600.0) return kDefaultMss * 2;
-  return kDefaultMss * 4;
+TestbedConfig ScenarioConfig::to_testbed_config() const {
+  TestbedConfig tb;
+  tb.fleet.server_count = server_count;
+  tb.fleet.server_delay_min = server_delay_min;
+  tb.fleet.server_delay_max = server_delay_max;
+  tb.fleet.server_uplink = server_uplink;
+  ClientAccessConfig client;
+  client.access_rate = access_rate;
+  client.access_delay = access_delay;
+  client.random_loss = random_loss;
+  client.queue_bdp_multiple = queue_bdp_multiple;
+  client.fair_queuing = fair_queuing;
+  client.enable_cross_traffic = enable_cross_traffic;
+  client.cross_traffic = cross_traffic;
+  tb.clients = {client};
+  return tb;
 }
 
 Scenario::Scenario(ScenarioConfig config, std::uint64_t seed)
-    : config_(config), rng_(seed) {
-  const double bdp_bytes =
-      config_.access_rate.bits_per_second() * 0.050 / 8.0 * config_.queue_bdp_multiple;
-  const core::Bytes buffer(std::max<std::int64_t>(
-      static_cast<std::int64_t>(bdp_bytes), 64 * 1024));
-  if (config_.fair_queuing) {
-    FairLinkConfig lc;
-    lc.rate = config_.access_rate;
-    lc.propagation_delay = config_.access_delay;
-    lc.random_loss = config_.random_loss;
-    lc.per_flow_queue = buffer;  // each flow gets a BDP-scale queue
-    link_ = std::make_unique<FairLink>(sched_, lc, rng_.fork());
-  } else {
-    LinkConfig lc;
-    lc.rate = config_.access_rate;
-    lc.propagation_delay = config_.access_delay;
-    lc.random_loss = config_.random_loss;
-    lc.queue_capacity = buffer;
-    link_ = std::make_unique<Link>(sched_, lc, rng_.fork());
-  }
-
-  paths_.reserve(config_.server_count);
-  for (std::size_t i = 0; i < config_.server_count; ++i) {
-    const auto delay = static_cast<core::SimDuration>(
-        rng_.uniform(static_cast<double>(config_.server_delay_min),
-                     static_cast<double>(config_.server_delay_max)));
-    auto path = std::make_unique<Path>(sched_, *link_, delay);
-    if (!config_.server_uplink.is_zero()) {
-      path->set_server_egress(config_.server_uplink, rng_.fork());
-    }
-    paths_.push_back(std::move(path));
-  }
-
-  if (config_.enable_cross_traffic) {
-    cross_ = std::make_unique<CrossTraffic>(sched_, *paths_.front(), /*flow_id=*/0xC207,
-                                            config_.cross_traffic, rng_.fork());
-  }
-}
-
-core::SimDuration Scenario::measure_ping(std::size_t i) {
-  const core::SimDuration base = paths_.at(i)->base_rtt();
-  // ICMP-style jitter: up to 10% inflation from scheduling and queueing.
-  return base + static_cast<core::SimDuration>(rng_.uniform(0.0, 0.1) *
-                                               static_cast<double>(base));
-}
-
-std::size_t Scenario::select_nearest_server(std::size_t candidates) {
-  candidates = std::min(candidates, paths_.size());
-  std::size_t best = 0;
-  core::SimDuration best_rtt = core::kSimTimeMax;
-  for (std::size_t i = 0; i < candidates; ++i) {
-    const core::SimDuration rtt = measure_ping(i);
-    if (rtt < best_rtt) {
-      best_rtt = rtt;
-      best = i;
-    }
-  }
-  return best;
-}
-
-void Scenario::start_cross_traffic() {
-  if (cross_) cross_->start();
-}
-
-void Scenario::stop_cross_traffic() {
-  if (cross_) cross_->stop();
-}
+    : config_(config), testbed_(config.to_testbed_config(), seed) {}
 
 }  // namespace swiftest::netsim

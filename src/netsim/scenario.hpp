@@ -1,25 +1,22 @@
-// Test scenario: one client's access network plus a pool of test servers.
+// Legacy single-client test scenario: a thin facade over netsim::Testbed.
 //
-// A bandwidth test simulation needs a client access link (the bottleneck whose
-// rate is the ground truth the tester tries to estimate), a set of candidate
-// test servers at various backbone distances, and optional cross traffic. The
-// Scenario owns all of it, wired to one Scheduler, and is the substrate the
-// BTS implementations (bts/, swiftest/) run on.
+// A bandwidth test simulation needs a client access link (the bottleneck
+// whose rate is the ground truth the tester tries to estimate), a set of
+// candidate test servers at various backbone distances, and optional cross
+// traffic. Scenario packages exactly one client of a Testbed behind the
+// historical one-client API; it converts implicitly to the client's
+// ClientContext, so every bts::BandwidthTester runs on it unchanged. For
+// concurrent multi-client simulations build a Testbed directly
+// (testbed.hpp).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "core/rng.hpp"
 #include "core/time.hpp"
 #include "core/units.hpp"
-#include "netsim/fair_link.hpp"
-#include "netsim/link.hpp"
-#include "netsim/link_base.hpp"
-#include "netsim/path.hpp"
-#include "netsim/scheduler.hpp"
-#include "netsim/udp.hpp"
+#include "netsim/testbed.hpp"
 
 namespace swiftest::netsim {
 
@@ -47,43 +44,53 @@ struct ScenarioConfig {
   /// or per-flow deficit round robin (the BS proportional-fair backstop
   /// §5.1 relies on).
   bool fair_queuing = false;
-};
 
-/// Segment size for TCP flows at the given rate. Models NIC/stack segment
-/// aggregation (GSO/GRO): high-rate paths move data in larger bursts, which
-/// also keeps simulated event counts proportionate.
-[[nodiscard]] std::int32_t suggested_mss(core::Bandwidth rate);
+  /// The equivalent one-client testbed configuration.
+  [[nodiscard]] TestbedConfig to_testbed_config() const;
+};
 
 class Scenario {
  public:
   Scenario(ScenarioConfig config, std::uint64_t seed);
 
-  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
-  [[nodiscard]] LinkBase& access_link() noexcept { return *link_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return testbed_.scheduler(); }
+  [[nodiscard]] LinkBase& access_link() noexcept { return client().access_link(); }
   [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::size_t server_count() const noexcept { return paths_.size(); }
-  [[nodiscard]] Path& server_path(std::size_t i) { return *paths_.at(i); }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return testbed_.server_count();
+  }
+  [[nodiscard]] Path& server_path(std::size_t i) { return client().server_path(i); }
 
   /// Simulated PING to server i: base RTT plus a small measurement jitter.
-  [[nodiscard]] core::SimDuration measure_ping(std::size_t i);
+  [[nodiscard]] core::SimDuration measure_ping(std::size_t i) {
+    return client().measure_ping(i);
+  }
 
   /// Index of the server with the lowest measured PING among the first
   /// `candidates` servers — the standard BTS server-selection step.
-  [[nodiscard]] std::size_t select_nearest_server(std::size_t candidates);
+  [[nodiscard]] std::size_t select_nearest_server(std::size_t candidates) {
+    return client().select_server(candidates).server;
+  }
 
   /// Fork of the scenario RNG for components that need their own stream.
-  [[nodiscard]] core::Rng fork_rng() { return rng_.fork(); }
+  [[nodiscard]] core::Rng fork_rng() { return testbed_.fork_rng(); }
 
-  void start_cross_traffic();
-  void stop_cross_traffic();
+  void start_cross_traffic() { client().start_cross_traffic(); }
+  void stop_cross_traffic() { client().stop_cross_traffic(); }
+
+  /// The single client this scenario wraps. Testers take a ClientContext;
+  /// the implicit conversion keeps Scenario-based call sites source
+  /// compatible.
+  [[nodiscard]] ClientContext& client() { return testbed_.client(0); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  [[nodiscard]] operator ClientContext&() { return client(); }
+
+  /// The underlying substrate (e.g. for inspecting shared server egress).
+  [[nodiscard]] Testbed& testbed() noexcept { return testbed_; }
 
  private:
   ScenarioConfig config_;
-  core::Rng rng_;
-  Scheduler sched_;
-  std::unique_ptr<LinkBase> link_;
-  std::vector<std::unique_ptr<Path>> paths_;
-  std::unique_ptr<CrossTraffic> cross_;
+  Testbed testbed_;
 };
 
 }  // namespace swiftest::netsim

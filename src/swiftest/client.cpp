@@ -14,15 +14,15 @@ std::size_t SwiftestClient::servers_needed(double rate_mbps, double uplink_mbps)
   return static_cast<std::size_t>(std::max(1.0, std::ceil(rate_mbps / uplink_mbps)));
 }
 
-bts::BtsResult SwiftestClient::run(netsim::Scenario& scenario) {
+bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
   bts::BtsResult result;
-  auto& sched = scenario.scheduler();
+  auto& sched = client.scheduler();
   const auto& model = registry_.model(config_.tech);
 
   // 1. Server selection: Swiftest PINGs the whole (small) server pool, four
   // probes in flight at a time (~0.2 s total, §5.3).
   const bts::ServerSelection sel =
-      bts::select_server(scenario, scenario.server_count(), /*concurrency=*/4);
+      bts::select_server(client, client.server_count(), /*concurrency=*/4);
   result.ping_duration = sel.elapsed;
   sched.run_until(sched.now() + sel.elapsed);
 
@@ -43,10 +43,10 @@ bts::BtsResult SwiftestClient::run(netsim::Scenario& scenario) {
 
   auto apply_rate = [&](double total_mbps) {
     const std::size_t needed = std::min(
-        servers_needed(total_mbps, config_.server_uplink_mbps), scenario.server_count());
+        servers_needed(total_mbps, config_.server_uplink_mbps), client.server_count());
     while (flows.size() < needed) {
-      const std::size_t server = (sel.server + flows.size()) % scenario.server_count();
-      auto flow = std::make_unique<netsim::UdpFlow>(sched, scenario.server_path(server),
+      const std::size_t server = (sel.server + flows.size()) % client.server_count();
+      auto flow = std::make_unique<netsim::UdpFlow>(sched, client.server_path(server),
                                                     flows.size() + 1,
                                                     config_.probe_payload_bytes);
       flow->set_on_delivered(

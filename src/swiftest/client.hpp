@@ -45,7 +45,7 @@ class SwiftestClient final : public bts::BandwidthTester {
  public:
   SwiftestClient(SwiftestConfig config, const ModelRegistry& registry);
 
-  [[nodiscard]] bts::BtsResult run(netsim::Scenario& scenario) override;
+  [[nodiscard]] bts::BtsResult run(netsim::ClientContext& client) override;
   [[nodiscard]] std::string name() const override { return "swiftest"; }
 
   /// Servers needed so that total uplink capacity covers `rate_mbps`.

@@ -8,7 +8,12 @@ namespace swiftest::swift {
 
 SwiftestServer::SwiftestServer(netsim::Scheduler& sched, netsim::Path& path,
                                ServerConfig config)
-    : sched_(sched), path_(path), config_(config) {
+    : sched_(sched), default_path_(&path), config_(config) {
+  gc_timer_ = sched_.schedule_in(config_.idle_timeout, [this] { reap_idle(); });
+}
+
+SwiftestServer::SwiftestServer(netsim::Scheduler& sched, ServerConfig config)
+    : sched_(sched), config_(config) {
   gc_timer_ = sched_.schedule_in(config_.idle_timeout, [this] { reap_idle(); });
 }
 
@@ -22,6 +27,17 @@ core::Bandwidth SwiftestServer::clamp_rate(double kbps) const {
 }
 
 void SwiftestServer::on_control_message(std::span<const std::uint8_t> bytes) {
+  dispatch(bytes, nullptr, {});
+}
+
+void SwiftestServer::on_control_message(std::span<const std::uint8_t> bytes,
+                                        netsim::Path& reply_path,
+                                        netsim::Path::DeliveryFn sink) {
+  dispatch(bytes, &reply_path, std::move(sink));
+}
+
+void SwiftestServer::dispatch(std::span<const std::uint8_t> bytes,
+                              netsim::Path* reply_path, netsim::Path::DeliveryFn sink) {
   const auto type = peek_type(bytes);
   if (!type) {
     ++stats_.garbled_messages;
@@ -34,7 +50,7 @@ void SwiftestServer::on_control_message(std::span<const std::uint8_t> bytes) {
         ++stats_.garbled_messages;
         return;
       }
-      handle_request(*request);
+      handle_request(*request, reply_path, std::move(sink));
       return;
     }
     case MessageType::kRateUpdate: {
@@ -62,9 +78,17 @@ void SwiftestServer::on_control_message(std::span<const std::uint8_t> bytes) {
   }
 }
 
-void SwiftestServer::handle_request(const ProbeRequest& request) {
+void SwiftestServer::handle_request(const ProbeRequest& request,
+                                    netsim::Path* reply_path,
+                                    netsim::Path::DeliveryFn sink) {
   if (sessions_.size() >= config_.max_sessions &&
       sessions_.find(request.nonce) == sessions_.end()) {
+    ++stats_.requests_rejected;
+    return;
+  }
+  if (reply_path == nullptr && default_path_ == nullptr) {
+    // Multi-endpoint server, but this request arrived without a reply
+    // endpoint: nowhere to send probes.
     ++stats_.requests_rejected;
     return;
   }
@@ -73,6 +97,10 @@ void SwiftestServer::handle_request(const ProbeRequest& request) {
   session.last_update_seq = 0;
   session.last_activity = sched_.now();
   session.next_send = std::max(session.next_send, sched_.now());
+  if (reply_path != nullptr) {
+    session.path = reply_path;
+    session.sink = std::move(sink);
+  }
   ++stats_.requests_accepted;
   pump(request.nonce);
 }
@@ -131,7 +159,10 @@ void SwiftestServer::pump(std::uint64_t nonce) {
   pkt.sent_at = now;
   pkt.payload = std::make_shared<const std::vector<std::uint8_t>>(serialize(header));
   stats_.probe_bytes_sent += pkt.size_bytes;
-  path_.send_downstream(std::move(pkt), downstream_sink_);
+  netsim::Path* out = session.path != nullptr ? session.path : default_path_;
+  const netsim::Path::DeliveryFn& sink =
+      session.sink ? session.sink : downstream_sink_;
+  out->send_downstream(std::move(pkt), sink);
 
   const core::SimDuration gap = session.rate.transmit_time(
       core::Bytes(config_.probe_payload_bytes + netsim::kUdpHeaderBytes));

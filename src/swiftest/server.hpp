@@ -42,7 +42,13 @@ struct ServerStats {
 
 class SwiftestServer {
  public:
+  /// Legacy single-endpoint server: every session replies over `path`.
   SwiftestServer(netsim::Scheduler& sched, netsim::Path& path, ServerConfig config);
+  /// Multi-endpoint server: each session's reply path and delivery sink are
+  /// bound when its ProbeRequest arrives (the three-argument
+  /// on_control_message overload). This is the shape a fleet server has in
+  /// deployment — many concurrent clients, one egress.
+  SwiftestServer(netsim::Scheduler& sched, ServerConfig config);
   ~SwiftestServer();
 
   SwiftestServer(const SwiftestServer&) = delete;
@@ -52,8 +58,14 @@ class SwiftestServer {
   /// datagram). Garbled or foreign bytes are counted and dropped.
   void on_control_message(std::span<const std::uint8_t> bytes);
 
+  /// Multi-endpoint entry point: a ProbeRequest binds (or rebinds) the
+  /// session to `reply_path`/`sink`; later messages for the same nonce may
+  /// omit them (the two-argument overload) and still reach the right client.
+  void on_control_message(std::span<const std::uint8_t> bytes,
+                          netsim::Path& reply_path, netsim::Path::DeliveryFn sink);
+
   /// Where downstream probe datagrams are delivered (the client's receive
-  /// handler at the far end of the path).
+  /// handler at the far end of the path) for sessions without a bound sink.
   void set_downstream_sink(netsim::Path::DeliveryFn sink) {
     downstream_sink_ = std::move(sink);
   }
@@ -70,9 +82,16 @@ class SwiftestServer {
     core::SimTime last_activity = 0;
     bool timer_armed = false;
     netsim::EventHandle timer;
+    /// Reply endpoint, bound at ProbeRequest time in multi-endpoint mode;
+    /// null falls back to the server-wide default path/sink.
+    netsim::Path* path = nullptr;
+    netsim::Path::DeliveryFn sink;
   };
 
-  void handle_request(const ProbeRequest& request);
+  void dispatch(std::span<const std::uint8_t> bytes, netsim::Path* reply_path,
+                netsim::Path::DeliveryFn sink);
+  void handle_request(const ProbeRequest& request, netsim::Path* reply_path,
+                      netsim::Path::DeliveryFn sink);
   void handle_rate_update(std::uint64_t nonce_hint, const RateUpdate& update);
   void handle_complete(const TestComplete& complete);
   void pump(std::uint64_t nonce);
@@ -80,7 +99,7 @@ class SwiftestServer {
   [[nodiscard]] core::Bandwidth clamp_rate(double kbps) const;
 
   netsim::Scheduler& sched_;
-  netsim::Path& path_;
+  netsim::Path* default_path_ = nullptr;
   ServerConfig config_;
   netsim::Path::DeliveryFn downstream_sink_ = [](const netsim::Packet&) {};
   std::map<std::uint64_t, Session> sessions_;  // keyed by client nonce

@@ -1,9 +1,11 @@
 #include "swiftest/wire_client.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/rng.hpp"
 #include "netsim/packet.hpp"
+#include "swiftest/fleet.hpp"
 
 namespace swiftest::swift {
 namespace {
@@ -20,24 +22,115 @@ netsim::Packet make_control_packet(std::uint64_t nonce,
   return pkt;
 }
 
+void accumulate(ServerStats& total, const ServerStats& s) {
+  total.requests_accepted += s.requests_accepted;
+  total.requests_rejected += s.requests_rejected;
+  total.rate_updates_applied += s.rate_updates_applied;
+  total.rate_updates_stale += s.rate_updates_stale;
+  total.completions += s.completions;
+  total.sessions_reaped += s.sessions_reaped;
+  total.probe_bytes_sent += s.probe_bytes_sent;
+  total.garbled_messages += s.garbled_messages;
+}
+
 }  // namespace
+
+// All per-test state lives here on the heap so the test can outlive the call
+// frame that started it. Scheduler events hold the shared_ptr; the sampler
+// callback and packet sinks hold only a raw pointer plus the `alive` flag
+// (a shared_ptr capture there would cycle through sampler.on_sample_ and
+// leak, because ThroughputSampler::stop does not clear its callback).
+struct WireClient::RunState {
+  RunState(WireClient* owner_ptr, netsim::ClientContext& ctx,
+           const ProbingFsmConfig& fsm_cfg, const stats::GaussianMixture& model)
+      : owner(owner_ptr),
+        client(&ctx),
+        sched(&ctx.scheduler()),
+        fsm(fsm_cfg, model),
+        sampler(ctx.scheduler()) {}
+
+  WireClient* owner;  // nulled if the WireClient dies or restarts first
+  netsim::ClientContext* client;
+  netsim::Scheduler* sched;
+  SwiftestConfig config;
+  ServerConfig server_cfg;
+  ServerFleet* fleet = nullptr;
+
+  ProbingFsm fsm;
+  bts::ThroughputSampler sampler;
+  /// Active server endpoints, in enlistment order. Owned entries (private
+  /// mode) also live in owned_servers; fleet entries are borrowed.
+  std::vector<SwiftestServer*> servers;
+  std::vector<std::unique_ptr<SwiftestServer>> owned_servers;
+  netsim::Path::DeliveryFn client_sink;
+
+  std::uint64_t nonce = 1;
+  std::uint32_t update_seq = 0;
+  std::int64_t wire_bytes = 0;
+  std::size_t base_server = 0;
+
+  core::SimTime start_time = 0;
+  core::SimTime hard_stop = 0;
+  core::SimTime completion_time = 0;
+  bool completion_known = false;
+  bool finalized = false;
+  bool completed = false;
+
+  std::shared_ptr<bool> alive = std::make_shared<bool>(true);
+  std::weak_ptr<RunState> self;  // for callbacks that must re-schedule
+
+  bts::BtsResult result;
+  ServerStats server_stats;
+  CompletionFn on_complete;
+
+  netsim::EventHandle begin_event;
+  netsim::EventHandle hard_stop_tick;
+  netsim::EventHandle finalize_event;
+  netsim::EventHandle completion_event;
+};
 
 WireClient::WireClient(SwiftestConfig config, const ModelRegistry& registry,
                        ServerConfig server_config)
     : config_(config), registry_(registry), server_config_(server_config) {}
 
-bts::BtsResult WireClient::run(netsim::Scenario& scenario) {
-  bts::BtsResult result;
+WireClient::~WireClient() { abandon(); }
+
+void WireClient::attach_fleet(ServerFleet& fleet) { fleet_ = &fleet; }
+
+void WireClient::set_forced_server(std::size_t index) {
+  has_forced_server_ = true;
+  forced_server_ = index;
+}
+
+bool WireClient::running() const noexcept {
+  return state_ != nullptr && !state_->completed;
+}
+
+void WireClient::abandon() {
+  auto st = state_;
+  state_.reset();
+  if (!st) return;
+  st->owner = nullptr;
+  if (st->completed) return;
+  // Walk away mid-test: silence every callback and drop our servers. Fleet
+  // sessions are left dangling on purpose — the server-side idle GC must
+  // clean up after vanished clients, exactly as in deployment.
+  *st->alive = false;
+  st->finalized = true;
+  st->begin_event.cancel();
+  st->hard_stop_tick.cancel();
+  st->finalize_event.cancel();
+  st->completion_event.cancel();
+  st->sampler.stop();
+  st->owned_servers.clear();
+  st->servers.clear();
+}
+
+void WireClient::start(netsim::ClientContext& client, CompletionFn on_complete) {
+  abandon();
   server_stats_ = {};
-  auto& sched = scenario.scheduler();
+
   const auto& model = registry_.model(config_.tech);
-
-  // Server selection, as in SwiftestClient.
-  const bts::ServerSelection sel =
-      bts::select_server(scenario, scenario.server_count(), /*concurrency=*/4);
-  result.ping_duration = sel.elapsed;
-  sched.run_until(sched.now() + sel.elapsed);
-
   ProbingFsmConfig fsm_cfg;
   fsm_cfg.convergence_window = config_.convergence_window;
   fsm_cfg.convergence_tolerance = config_.convergence_tolerance;
@@ -45,126 +138,224 @@ bts::BtsResult WireClient::run(netsim::Scenario& scenario) {
   fsm_cfg.overshoot_factor = config_.overshoot_factor;
   fsm_cfg.quantization_floor_mbps = 3.0 * (config_.probe_payload_bytes + 28) * 8.0 /
                                     core::to_seconds(config_.sample_interval) / 1e6;
-  ProbingFsm fsm(fsm_cfg, model);
 
-  // One server per enlisted path; all share the client's nonce.
-  core::Rng nonce_rng(scenario.fork_rng());
-  const std::uint64_t nonce = nonce_rng.next_u64() | 1;
-  bts::ThroughputSampler sampler(sched);
-  std::int64_t wire_bytes = 0;
-  // Packets still in flight when this function returns must not touch the
-  // dead locals (sampler, servers); the shared flag disables their sinks.
-  auto alive = std::make_shared<bool>(true);
+  auto st = std::make_shared<RunState>(this, client, fsm_cfg, model);
+  st->self = st;
+  st->config = config_;
+  st->server_cfg = server_config_;
+  st->server_cfg.probe_payload_bytes = config_.probe_payload_bytes;
+  st->fleet = fleet_;
+  st->on_complete = std::move(on_complete);
 
-  ServerConfig server_cfg = server_config_;
-  server_cfg.probe_payload_bytes = config_.probe_payload_bytes;
-  std::vector<std::unique_ptr<SwiftestServer>> servers;
-  std::uint32_t update_seq = 0;
+  // Server selection. Swiftest PINGs its (small) pool four at a time; with a
+  // forced assignment only that server is PINGed.
+  if (has_forced_server_) {
+    st->base_server = forced_server_ % client.server_count();
+    st->result.ping_duration = client.measure_ping(st->base_server);
+  } else {
+    const netsim::ServerChoice sel =
+        client.select_server(client.server_count(), /*concurrency=*/4);
+    st->base_server = sel.server;
+    st->result.ping_duration = sel.elapsed;
+  }
 
-  auto client_sink = [&, alive](const netsim::Packet& pkt) {
+  // One nonce shared by every per-server session of this test. Drawn after
+  // the selection PINGs, matching the historical stream order.
+  st->nonce = client.fork_rng().next_u64() | 1;
+
+  RunState* raw = st.get();
+  st->client_sink = [raw, alive = st->alive](const netsim::Packet& pkt) {
     if (!*alive) return;
-    wire_bytes += pkt.size_bytes;
+    raw->wire_bytes += pkt.size_bytes;
     if (!pkt.payload || !parse_probe_data(*pkt.payload)) return;  // corrupt probe
-    sampler.add_bytes(pkt.size_bytes - netsim::kUdpHeaderBytes);
+    raw->sampler.add_bytes(pkt.size_bytes - netsim::kUdpHeaderBytes);
   };
 
-  auto send_control = [&](std::size_t server_index, std::vector<std::uint8_t> bytes) {
-    SwiftestServer* server = servers[server_index].get();
-    scenario.server_path((sel.server + server_index) % scenario.server_count())
-        .send_upstream(make_control_packet(nonce, std::move(bytes)),
-                       [server, alive](const netsim::Packet& pkt) {
-                         if (*alive && pkt.payload) {
-                           server->on_control_message(*pkt.payload);
-                         }
-                       });
-  };
+  state_ = st;
+  st->begin_event = client.scheduler().schedule_in(
+      st->result.ping_duration, [st] { begin_probing(st); });
+}
 
-  auto apply_rate = [&](double total_mbps) {
-    const double uplink = server_cfg.uplink.megabits_per_second();
-    const std::size_t needed = std::min(
-        SwiftestClient::servers_needed(total_mbps, uplink), scenario.server_count());
-    while (servers.size() < needed) {
-      const std::size_t index = servers.size();
-      auto& path = scenario.server_path((sel.server + index) % scenario.server_count());
-      servers.push_back(std::make_unique<SwiftestServer>(sched, path, server_cfg));
-      servers.back()->set_downstream_sink(client_sink);
-      // New servers join via a ProbeRequest at the (not yet known) share;
-      // the follow-up RateUpdate below sets the precise split.
-      ProbeRequest request;
-      request.tech = config_.tech;
-      request.initial_rate_kbps = 0;
-      request.nonce = nonce;
-      send_control(index, serialize(request));
-    }
-    const double per_server = total_mbps / static_cast<double>(servers.size());
-    ++update_seq;
-    for (std::size_t i = 0; i < servers.size(); ++i) {
-      RateUpdate update;
-      update.nonce = nonce;
-      update.rate_kbps = static_cast<std::uint32_t>(per_server * 1000.0);
-      update.update_seq = update_seq;
-      send_control(i, serialize(update));
-    }
-  };
+void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
+  netsim::Scheduler& sched = *st->sched;
+  st->start_time = sched.now();
+  st->hard_stop = st->start_time + st->config.max_duration;
+  st->hard_stop_tick = sched.schedule_at(st->hard_stop, [st] { on_hard_stop(st); });
 
-  apply_rate(fsm.rate_mbps());
+  apply_rate(*st, st->fsm.rate_mbps());
 
-  const core::SimTime start = sched.now();
-  const core::SimTime hard_stop = start + config_.max_duration;
-  bool done = false;
-  sampler.start(config_.sample_interval, [&](double sample_mbps) {
-    switch (fsm.on_sample(sample_mbps)) {
+  RunState* raw = st.get();
+  st->sampler.start(st->config.sample_interval,
+                    [raw, alive = st->alive](double sample_mbps) {
+    if (!*alive) return false;
+    switch (raw->fsm.on_sample(sample_mbps)) {
       case ProbingFsm::Action::kEscalate:
-        apply_rate(fsm.rate_mbps());
+        apply_rate(*raw, raw->fsm.rate_mbps());
         return true;
-      case ProbingFsm::Action::kConverged:
-        done = true;
+      case ProbingFsm::Action::kConverged: {
+        // Tear down at the next 100 ms client tick after convergence (the
+        // cadence the app's event loop ran at), capped by the hard stop.
+        const core::SimDuration tick = core::milliseconds(100);
+        const core::SimDuration since = raw->sched->now() - raw->start_time;
+        const core::SimDuration rounded = ((since + tick - 1) / tick) * tick;
+        core::SimTime when = raw->start_time + rounded;
+        when = std::min(when, raw->hard_stop);
+        if (auto self = raw->self.lock()) {
+          raw->finalize_event =
+              raw->sched->schedule_at(when, [self] { finalize(self); });
+        }
         return false;
+      }
       case ProbingFsm::Action::kContinue:
         return true;
     }
     return true;
   });
+}
 
-  while (!done && sched.now() < hard_stop) {
-    const core::SimTime step =
-        std::min<core::SimTime>(sched.now() + core::milliseconds(100), hard_stop);
-    sched.run_until(step);
-  }
-  sampler.stop();
+void WireClient::on_hard_stop(const std::shared_ptr<RunState>& st) {
+  if (st->finalized) return;
+  // Re-queue at the same timestamp so the sampler's final sample (already in
+  // the queue with an earlier sequence number) runs first, as it did when the
+  // synchronous loop ran run_until(hard_stop) before tearing down.
+  st->finalize_event =
+      st->sched->schedule_at(st->sched->now(), [st] { finalize(st); });
+}
+
+void WireClient::finalize(const std::shared_ptr<RunState>& st) {
+  if (st->finalized) return;
+  st->finalized = true;
+  st->hard_stop_tick.cancel();
+  st->sampler.stop();
 
   // Tear the sessions down; servers stop within the control one-way delay.
-  for (std::size_t i = 0; i < servers.size(); ++i) {
-    TestComplete complete;
-    complete.nonce = nonce;
-    complete.result_kbps = static_cast<std::uint32_t>(fsm.fallback_estimate() * 1000.0);
-    complete.sample_count = static_cast<std::uint32_t>(sampler.samples().size());
-    send_control(i, serialize(complete));
+  for (std::size_t i = 0; i < st->servers.size(); ++i) {
+    TestComplete complete_msg;
+    complete_msg.nonce = st->nonce;
+    complete_msg.result_kbps =
+        static_cast<std::uint32_t>(st->fsm.fallback_estimate() * 1000.0);
+    complete_msg.sample_count =
+        static_cast<std::uint32_t>(st->sampler.samples().size());
+    send_control(*st, i, serialize(complete_msg));
   }
-  sched.run_until(sched.now() + core::milliseconds(200));  // drain in flight
 
-  result.probe_duration = sched.now() > hard_stop
-                              ? config_.max_duration
-                              : sched.now() - start - core::milliseconds(200);
-  if (result.probe_duration < 0) result.probe_duration = 0;
-  result.samples_mbps = sampler.samples();
-  result.connections_used = servers.size();
-  result.data_used = core::Bytes(wire_bytes);
-  result.bandwidth_mbps = fsm.fallback_estimate();
-  *alive = false;  // anything still in flight must not touch the dead locals
+  // 200 ms in-flight drain before the result is declared final.
+  st->completion_time = st->sched->now() + core::milliseconds(200);
+  st->completion_known = true;
+  st->completion_event =
+      st->sched->schedule_at(st->completion_time, [st] { complete(st); });
+}
 
-  for (const auto& server : servers) {
-    const auto& s = server->stats();
-    server_stats_.requests_accepted += s.requests_accepted;
-    server_stats_.requests_rejected += s.requests_rejected;
-    server_stats_.rate_updates_applied += s.rate_updates_applied;
-    server_stats_.rate_updates_stale += s.rate_updates_stale;
-    server_stats_.completions += s.completions;
-    server_stats_.sessions_reaped += s.sessions_reaped;
-    server_stats_.probe_bytes_sent += s.probe_bytes_sent;
-    server_stats_.garbled_messages += s.garbled_messages;
+void WireClient::complete(const std::shared_ptr<RunState>& st) {
+  bts::BtsResult& r = st->result;
+  const core::SimTime now = st->sched->now();
+  r.probe_duration = now > st->hard_stop
+                         ? st->config.max_duration
+                         : now - st->start_time - core::milliseconds(200);
+  if (r.probe_duration < 0) r.probe_duration = 0;
+  r.samples_mbps = st->sampler.samples();
+  r.connections_used = st->servers.size();
+  r.data_used = core::Bytes(st->wire_bytes);
+  r.bandwidth_mbps = st->fsm.fallback_estimate();
+
+  *st->alive = false;  // late packets must not touch the finished state
+  for (const auto& server : st->owned_servers) {
+    accumulate(st->server_stats, server->stats());
   }
-  return result;
+  st->owned_servers.clear();
+  st->completed = true;
+  if (st->owner != nullptr) st->owner->server_stats_ = st->server_stats;
+  if (st->on_complete) {
+    // The callback may restart or destroy the owning WireClient; move it out
+    // so RunState teardown cannot free it mid-call.
+    CompletionFn fn = std::move(st->on_complete);
+    fn(r);
+  }
+}
+
+void WireClient::send_control(RunState& st, std::size_t index,
+                              std::vector<std::uint8_t> bytes) {
+  const std::size_t path_index =
+      (st.base_server + index) % st.client->server_count();
+  netsim::Path& path = st.client->server_path(path_index);
+  if (st.fleet != nullptr) {
+    SwiftestServer* server = &st.fleet->server(path_index % st.fleet->size());
+    path.send_upstream(
+        make_control_packet(st.nonce, std::move(bytes)),
+        [server, path_ptr = &path, alive = st.alive,
+         sink = st.client_sink](const netsim::Packet& pkt) {
+          if (*alive && pkt.payload) {
+            server->on_control_message(*pkt.payload, *path_ptr, sink);
+          }
+        });
+    return;
+  }
+  SwiftestServer* server = st.servers[index];
+  path.send_upstream(make_control_packet(st.nonce, std::move(bytes)),
+                     [server, alive = st.alive](const netsim::Packet& pkt) {
+                       if (*alive && pkt.payload) {
+                         server->on_control_message(*pkt.payload);
+                       }
+                     });
+}
+
+void WireClient::apply_rate(RunState& st, double total_mbps) {
+  const double uplink = st.server_cfg.uplink.megabits_per_second();
+  const std::size_t limit =
+      st.fleet != nullptr
+          ? std::min(st.client->server_count(), st.fleet->size())
+          : st.client->server_count();
+  const std::size_t needed =
+      std::min(SwiftestClient::servers_needed(total_mbps, uplink), limit);
+  while (st.servers.size() < needed) {
+    const std::size_t index = st.servers.size();
+    if (st.fleet != nullptr) {
+      const std::size_t path_index =
+          (st.base_server + index) % st.client->server_count();
+      st.servers.push_back(&st.fleet->server(path_index % st.fleet->size()));
+    } else {
+      netsim::Path& path =
+          st.client->server_path((st.base_server + index) % st.client->server_count());
+      st.owned_servers.push_back(
+          std::make_unique<SwiftestServer>(*st.sched, path, st.server_cfg));
+      st.owned_servers.back()->set_downstream_sink(st.client_sink);
+      st.servers.push_back(st.owned_servers.back().get());
+    }
+    // New servers join via a ProbeRequest at the (not yet known) share; the
+    // follow-up RateUpdate below sets the precise split.
+    ProbeRequest request;
+    request.tech = st.config.tech;
+    request.initial_rate_kbps = 0;
+    request.nonce = st.nonce;
+    send_control(st, index, serialize(request));
+  }
+  const double per_server = total_mbps / static_cast<double>(st.servers.size());
+  ++st.update_seq;
+  for (std::size_t i = 0; i < st.servers.size(); ++i) {
+    RateUpdate update;
+    update.nonce = st.nonce;
+    update.rate_kbps = static_cast<std::uint32_t>(per_server * 1000.0);
+    update.update_seq = st.update_seq;
+    send_control(st, i, serialize(update));
+  }
+}
+
+bts::BtsResult WireClient::run(netsim::ClientContext& client) {
+  bts::BtsResult out;
+  bool done = false;
+  start(client, [&out, &done](const bts::BtsResult& r) {
+    out = r;
+    done = true;
+  });
+  netsim::Scheduler& sched = client.scheduler();
+  while (!done) {
+    const auto st = state_;
+    const core::SimTime target = (st && st->completion_known)
+                                     ? st->completion_time
+                                     : sched.now() + core::milliseconds(100);
+    sched.run_until(target);
+  }
+  return out;
 }
 
 }  // namespace swiftest::swift

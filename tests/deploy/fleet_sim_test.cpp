@@ -74,6 +74,30 @@ TEST(FleetSim, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.summary.mean, b.summary.mean);
 }
 
+TEST(FleetSim, PacketBackendAgreesWithAnalytic) {
+  // Same seed => identical drawn workload; the packet backend replays it
+  // through real wire clients and servers contending in each server's one
+  // shared egress queue. The headline sufficiency number must agree with
+  // the closed-form accounting to within 10 percentage points.
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg;
+  cfg.days = 1;
+  cfg.tests_per_day = 250;
+  cfg.server_count = 5;
+  FleetSimConfig packet_cfg = cfg;
+  packet_cfg.backend = FleetBackend::kPacket;
+
+  const auto analytic = simulate_fleet(population(), registry, cfg);
+  const auto packet = simulate_fleet(population(), registry, packet_cfg);
+
+  ASSERT_GT(packet.tests_simulated, 100u);
+  EXPECT_EQ(packet.tests_simulated + packet.tests_dropped,
+            analytic.tests_simulated);
+  EXPECT_GT(packet.busy_window_utilization.size(), 50u);
+  EXPECT_NEAR(packet.share_leq_45, analytic.share_leq_45, 0.10);
+  EXPECT_EQ(packet.overload_seconds_share, 0.0);
+}
+
 TEST(FleetSim, EmptyInputsAreSafe) {
   const swift::ModelRegistry registry;
   EXPECT_EQ(simulate_fleet({}, registry).tests_simulated, 0u);

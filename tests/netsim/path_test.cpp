@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "netsim/scenario.hpp"
 #include "netsim/udp.hpp"
 #include "swiftest/client.hpp"
@@ -64,6 +66,30 @@ TEST(Path, ServerEgressCapsDownstreamRate) {
   EXPECT_LT(mbps, 105.0);
   EXPECT_GT(mbps, 85.0);
   EXPECT_GT(path.server_egress()->stats().queue_drops, 0u);
+}
+
+TEST(Path, ServerEgressCanOnlyBeSetOnce) {
+  Scheduler sched;
+  Link link(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(10)}, core::Rng(1));
+  Link shared(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(0)}, core::Rng(2));
+  Path path(sched, link, milliseconds(15));
+  path.set_server_egress(Bandwidth::mbps(100), core::Rng(3));
+  EXPECT_THROW(path.set_server_egress(Bandwidth::mbps(50), core::Rng(4)),
+               std::logic_error);
+  EXPECT_THROW(path.attach_server_egress(shared), std::logic_error);
+}
+
+TEST(Path, ServerEgressCannotBeSetAfterTraffic) {
+  Scheduler sched;
+  Link link(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(10)}, core::Rng(1));
+  Link shared(sched, LinkConfig{Bandwidth::mbps(100), milliseconds(0)}, core::Rng(2));
+  Path path(sched, link, milliseconds(15));
+  Packet pkt;
+  pkt.size_bytes = 100;
+  path.send_downstream(pkt, [](const Packet&) {});
+  EXPECT_THROW(path.set_server_egress(Bandwidth::mbps(100), core::Rng(3)),
+               std::logic_error);
+  EXPECT_THROW(path.attach_server_egress(shared), std::logic_error);
 }
 
 TEST(Scenario, ServerUplinkConfigCapsSingleServerTests) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite twice —
+# once plain, once under AddressSanitizer + UBSan (SWIFTEST_SANITIZE=address).
+#
+# Usage: tools/ci.sh [--plain-only|--asan-only]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*) ==="
+  cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" "$@"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}"
+  echo "=== ctest ${build_dir} ==="
+  ctest --test-dir "${REPO_ROOT}/${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  --plain-only) run_suite build ;;
+  --asan-only) run_suite build-asan -DSWIFTEST_SANITIZE=address ;;
+  all)
+    run_suite build
+    run_suite build-asan -DSWIFTEST_SANITIZE=address
+    ;;
+  *)
+    echo "usage: tools/ci.sh [--plain-only|--asan-only]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== tier-1 verification passed ==="

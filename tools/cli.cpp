@@ -32,7 +32,8 @@ constexpr const char* kUsage =
     "           [--models FILE]\n"
     "  fit      --in FILE --out FILE    fit per-technology bandwidth models\n"
     "  plan     [--tests-per-day N] [--regional]\n"
-    "  fleet    [--servers N] [--days D] [--tests-per-day N]\n";
+    "  fleet    [--servers N] [--days D] [--tests-per-day N]\n"
+    "           [--backend analytic|packet]\n";
 
 /// Minimal --key value parser; flags without values map to "true".
 class Options {
@@ -211,9 +212,20 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   cfg.server_count = static_cast<std::size_t>(options.get_int("servers", 20));
   cfg.days = static_cast<int>(options.get_int("days", 3));
   cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
+  const std::string backend = options.get("backend", "analytic");
+  if (backend == "packet") {
+    cfg.backend = deploy::FleetBackend::kPacket;
+  } else if (backend != "analytic") {
+    out << "unknown --backend '" << backend << "' (expected analytic or packet)\n";
+    return 2;
+  }
   const auto result = deploy::simulate_fleet(population, registry, cfg);
   out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days << " day(s), "
-      << result.tests_simulated << " tests\n"
+      << result.tests_simulated << " tests (" << backend << " backend"
+      << (result.tests_dropped > 0
+              ? ", " + std::to_string(result.tests_dropped) + " dropped"
+              : "")
+      << ")\n"
       << "utilization: median " << result.summary.median << "%, mean "
       << result.summary.mean << "%, p99 " << result.p99 << "%, max "
       << result.summary.max << "%\n"
