@@ -9,6 +9,7 @@
 #include "deploy/planner.hpp"
 #include "netsim/scenario.hpp"
 #include "netsim/tcp.hpp"
+#include "obs/hub.hpp"
 #include "stats/gmm.hpp"
 
 namespace {
@@ -29,6 +30,27 @@ void BM_SchedulerEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100'000);
 }
 BENCHMARK(BM_SchedulerEventThroughput);
+
+// Same workload with a tracing hub attached: the gap to the benchmark above
+// is the full (enabled) observability cost; the benchmark above measures the
+// disabled path, which must stay a pointer-load and branch per site.
+void BM_SchedulerEventThroughputTraced(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Hub hub;
+    netsim::Scheduler sched;
+    sched.set_obs(&hub);
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 100'000) sched.schedule_in(1, chain);
+    };
+    sched.schedule_at(0, chain);
+    sched.run();
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(hub.tracer.dropped());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SchedulerEventThroughputTraced);
 
 void BM_TcpSimulatedSecond(benchmark::State& state) {
   const double mbps = static_cast<double>(state.range(0));

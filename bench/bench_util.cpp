@@ -82,6 +82,12 @@ std::vector<double> draw_truths(dataset::AccessTech tech, std::size_t count,
   return truths;
 }
 
+namespace {
+obs::Hub* g_comparison_obs = nullptr;
+}  // namespace
+
+void set_comparison_obs(obs::Hub* hub) { g_comparison_obs = hub; }
+
 std::vector<ComparisonOutcome> run_comparison(std::span<const dataset::AccessTech> techs,
                                               std::size_t tests_per_tech,
                                               std::span<const TesterFactory> testers,
@@ -103,6 +109,7 @@ std::vector<ComparisonOutcome> run_comparison(std::span<const dataset::AccessTec
         // the exact noise realization: sequential tests in the wild see
         // different cross-traffic, which is what Fig 22's deviations reflect.
         netsim::Scenario scenario(scenario_cfg, scenario_seed + tester_index++);
+        scenario.scheduler().set_obs(g_comparison_obs);
         scenario.start_cross_traffic();
         auto tester = factory(tech);
         outcome.results.push_back(tester->run(scenario));

@@ -15,6 +15,7 @@
 #include "dataset/record.hpp"
 #include "dataset/taxonomy.hpp"
 #include "netsim/scenario.hpp"
+#include "obs/hub.hpp"
 
 namespace swiftest::benchutil {
 
@@ -58,6 +59,13 @@ struct ComparisonOutcome {
 
 using TesterFactory = std::function<std::unique_ptr<bts::BandwidthTester>(
     dataset::AccessTech tech)>;
+
+/// Attaches an observability hub to every scenario run_comparison builds
+/// from here on (traces and metrics from all testers accumulate in it).
+/// Pass nullptr to detach. Benches call this before run_comparison and
+/// export the hub afterwards; by default no hub is attached and the
+/// instrumentation stays on its disabled (null-branch) path.
+void set_comparison_obs(obs::Hub* hub);
 
 /// Runs `tests_per_tech` back-to-back groups for each technology.
 [[nodiscard]] std::vector<ComparisonOutcome> run_comparison(

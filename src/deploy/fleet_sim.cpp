@@ -7,6 +7,7 @@
 
 #include "core/rng.hpp"
 #include "dataset/profiles.hpp"
+#include "obs/log.hpp"
 #include "deploy/placement.hpp"
 #include "netsim/testbed.hpp"
 #include "swiftest/client.hpp"
@@ -182,6 +183,7 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
   tb_cfg.clients = {slot_cfg};
   // Decorrelate topology randomness from the workload draw stream.
   netsim::Testbed testbed(tb_cfg, config.seed ^ 0x9E3779B97F4A7C15ull);
+  testbed.scheduler().set_obs(config.obs);
 
   swift::ServerConfig server_cfg;
   server_cfg.uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
@@ -197,6 +199,19 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
   slots[0]->client_index = 0;
 
   netsim::Scheduler& sched = testbed.scheduler();
+  std::size_t busy_slots = 0;
+  auto note_concurrency = [&] {
+    if (auto* hub = sched.obs()) {
+      hub->metrics.gauge("fleet.concurrent_tests")
+          .set(static_cast<double>(busy_slots));
+    }
+  };
+  auto trace_fleet = [&sched](const char* name, std::uint64_t id, double value) {
+    if (auto* tr = sched.tracer(obs::Category::kFleet)) {
+      tr->record(sched.now(), obs::Category::kFleet, obs::EventKind::kInstant,
+                 name, id, value);
+    }
+  };
   auto start_test = [&](const Arrival& a) {
     Slot* slot = nullptr;
     for (auto& candidate : slots) {
@@ -208,6 +223,13 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     if (slot == nullptr) {
       if (slots.size() >= config.max_concurrent_tests) {
         ++result.tests_dropped;
+        if (auto* hub = sched.obs()) {
+          hub->metrics.counter("fleet.tests_dropped").inc();
+        }
+        trace_fleet("fleet.test_dropped", a.first_server, a.rate_mbps);
+        obs::logf(obs::LogLevel::kWarn,
+                  "fleet_sim: arrival dropped, all %zu client slots busy",
+                  slots.size());
         return;
       }
       slots.push_back(std::make_unique<Slot>());
@@ -215,6 +237,10 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
       slot->client_index = testbed.add_client(slot_cfg);
     }
     slot->busy = true;
+    ++busy_slots;
+    note_concurrency();
+    if (auto* hub = sched.obs()) hub->metrics.counter("fleet.tests_started").inc();
+    trace_fleet("fleet.test_start", slot->client_index, a.rate_mbps);
     netsim::ClientContext& ctx = testbed.client(slot->client_index);
     ctx.access_link().set_rate(core::Bandwidth::mbps(a.truth_mbps));
 
@@ -224,7 +250,13 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     slot->wire = std::make_unique<swift::WireClient>(wc_cfg, registry, server_cfg);
     slot->wire->attach_fleet(fleet);
     slot->wire->set_forced_server(a.first_server);
-    slot->wire->start(ctx, [slot](const bts::BtsResult&) { slot->busy = false; });
+    slot->wire->start(ctx, [slot, &busy_slots, &note_concurrency,
+                            &trace_fleet](const bts::BtsResult& r) {
+      slot->busy = false;
+      --busy_slots;
+      note_concurrency();
+      trace_fleet("fleet.test_done", slot->client_index, r.bandwidth_mbps);
+    });
     ++result.tests_simulated;
   };
 
@@ -255,6 +287,19 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
           100.0 * static_cast<double>(delta) * 8.0 / 1e6 / window_capacity_mbit;
       if (util > 0.0) result.busy_window_utilization.push_back(util);
       total_util += util;
+      if (auto* hub = sched.obs()) {
+        if (util > 0.0) {
+          hub->metrics
+              .histogram("fleet.window_utilization",
+                         {5.0, 15.0, 30.0, 45.0, 60.0, 80.0, 95.0})
+              .observe(util);
+        }
+        if (auto* tr = sched.tracer(obs::Category::kFleet)) {
+          // One series per server (id = server index), sampled each window.
+          tr->record(sched.now(), obs::Category::kFleet, obs::EventKind::kCounter,
+                     "fleet.egress_util", s, util);
+        }
+      }
     }
     ++windows_elapsed;
     // Overload proxy: the whole fleet's egress effectively saturated.

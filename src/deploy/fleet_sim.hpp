@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dataset/record.hpp"
+#include "obs/hub.hpp"
 #include "stats/descriptive.hpp"
 #include "swiftest/model_registry.hpp"
 
@@ -42,6 +43,10 @@ struct FleetSimConfig {
   /// Packet backend only: client slots available for overlapping tests.
   /// Arrivals beyond this concurrency are dropped (tests_dropped).
   std::size_t max_concurrent_tests = 64;
+  /// Optional observability hub, attached to the packet backend's scheduler
+  /// for the run: per-test lifecycle traces, per-server egress-utilization
+  /// samples, and fleet.* counters land here. Null disables instrumentation.
+  obs::Hub* obs = nullptr;
 };
 
 struct FleetSimResult {

@@ -8,12 +8,31 @@ namespace swiftest::netsim {
 FairLink::FairLink(Scheduler& sched, FairLinkConfig config, core::Rng rng)
     : sched_(sched), config_(config), rng_(std::move(rng)) {}
 
+void FairLink::bind_obs() {
+  obs_.bound = true;
+  auto& m = sched_.obs()->metrics;
+  obs_.enqueued = &m.counter("fairlink.enqueued");
+  obs_.delivered = &m.counter("fairlink.delivered");
+  obs_.queue_drops = &m.counter("fairlink.queue_drops");
+  obs_.random_drops = &m.counter("fairlink.random_drops");
+  obs_.active_flows = &m.gauge("fairlink.active_flows");
+}
+
 void FairLink::send(Packet packet, DeliveryFn sink) {
   ++stats_.packets_sent;
   const core::Bytes size(packet.size_bytes);
   FlowQueue& flow = flows_[packet.flow_id];
   if (flow.queued + size > config_.per_flow_queue) {
     ++stats_.queue_drops;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.queue_drops->inc();
+      if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+        tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kInstant,
+                   "fairlink.drop", packet.flow_id,
+                   static_cast<double>(flow.queued.count()));
+      }
+    }
     return;
   }
   if (flow.queue.empty()) {
@@ -21,7 +40,19 @@ void FairLink::send(Packet packet, DeliveryFn sink) {
     flow.deficit = 0;
   }
   flow.queued += size;
+  const std::uint64_t flow_id = packet.flow_id;
   flow.queue.push_back(Pending{std::move(packet), std::move(sink)});
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.enqueued->inc();
+    obs_.active_flows->set(static_cast<double>(round_robin_.size()));
+    if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+      // Per-flow backlog sample: id keys the flow's own counter track.
+      tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kCounter,
+                 "fairlink.flow_backlog", flow_id,
+                 static_cast<double>(flow.queued.count()));
+    }
+  }
   if (!serving_) serve_next();
 }
 
@@ -60,12 +91,26 @@ void FairLink::serve_next() {
           config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
       if (corrupted) {
         ++stats_.random_drops;
+        if (sched_.obs() != nullptr) {
+          if (!obs_.bound) bind_obs();
+          obs_.random_drops->inc();
+        }
       } else {
         inner.delivered_bytes += size;
         sched_.schedule_in(config_.propagation_delay,
                            [this, pending = std::move(pending)]() mutable {
                              ++stats_.packets_delivered;
                              stats_.bytes_delivered += pending.packet.size_bytes;
+                             if (sched_.obs() != nullptr) {
+                               if (!obs_.bound) bind_obs();
+                               obs_.delivered->inc();
+                               if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+                                 tr->record(sched_.now(), obs::Category::kLink,
+                                            obs::EventKind::kInstant,
+                                            "fairlink.deliver", pending.packet.flow_id,
+                                            static_cast<double>(pending.packet.size_bytes));
+                               }
+                             }
                              pending.sink(pending.packet);
                            });
       }

@@ -57,8 +57,17 @@ class FairLink final : public LinkBase {
     std::int64_t deficit = 0;
     std::int64_t delivered_bytes = 0;
   };
+  struct ObsHandles {
+    bool bound = false;
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* queue_drops = nullptr;
+    obs::Counter* random_drops = nullptr;
+    obs::Gauge* active_flows = nullptr;
+  };
 
   void serve_next();
+  void bind_obs();
 
   Scheduler& sched_;
   FairLinkConfig config_;
@@ -67,6 +76,7 @@ class FairLink final : public LinkBase {
   std::deque<std::uint64_t> round_robin_;  // flows with queued packets
   bool serving_ = false;
   LinkStats stats_;
+  ObsHandles obs_;
 };
 
 }  // namespace swiftest::netsim

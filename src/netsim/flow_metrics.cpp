@@ -18,6 +18,15 @@ std::vector<FlowTimeseries::Window> FlowTimeseries::windows(
     core::SimDuration width) const {
   std::vector<Window> out;
   if (arrivals_.empty() || width <= 0) return out;
+  if (arrivals_.size() == 1) {
+    // Guaranteed (not incidental) single-arrival shape: one window at the
+    // arrival instant carrying all of its bytes.
+    const Arrival& only = arrivals_.front();
+    out.push_back(Window{only.at, only.bytes,
+                         static_cast<double>(only.bytes) * 8.0 /
+                             core::to_seconds(width) / 1e6});
+    return out;
+  }
   const core::SimTime first = arrivals_.front().at;
   const core::SimTime last = arrivals_.back().at;
   const auto count = static_cast<std::size_t>((last - first) / width) + 1;
@@ -47,6 +56,7 @@ stats::Summary FlowTimeseries::throughput_summary(core::SimDuration width) const
 std::vector<FlowTimeseries::Stall> FlowTimeseries::stalls(
     core::SimDuration min_gap) const {
   std::vector<Stall> out;
+  if (arrivals_.size() < 2) return out;  // no pair of arrivals, no gap
   for (std::size_t i = 1; i < arrivals_.size(); ++i) {
     const core::SimDuration gap = arrivals_[i].at - arrivals_[i - 1].at;
     if (gap >= min_gap) out.push_back(Stall{arrivals_[i - 1].at, gap});

@@ -33,7 +33,9 @@ class FlowTimeseries {
   };
 
   /// Aggregates arrivals into fixed windows from the first arrival to the
-  /// last (inclusive); empty if nothing was recorded.
+  /// last (inclusive); empty if nothing was recorded. A single-arrival
+  /// series is a guaranteed edge case: it yields exactly one window, anchored
+  /// at the arrival and holding all its bytes.
   [[nodiscard]] std::vector<Window> windows(core::SimDuration width) const;
 
   /// Throughput summary over the windowed series.
@@ -45,7 +47,8 @@ class FlowTimeseries {
   };
 
   /// Gaps between consecutive arrivals longer than `min_gap` — RTO silences,
-  /// handover outages, server pauses.
+  /// handover outages, server pauses. Gaps exist only between two arrivals,
+  /// so a series with fewer than two arrivals never reports a stall.
   [[nodiscard]] std::vector<Stall> stalls(core::SimDuration min_gap) const;
 
   /// Mean throughput between the first and last arrival.

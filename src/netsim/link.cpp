@@ -7,15 +7,44 @@ namespace swiftest::netsim {
 Link::Link(Scheduler& sched, LinkConfig config, core::Rng rng)
     : sched_(sched), config_(config), rng_(std::move(rng)) {}
 
+void Link::bind_obs() {
+  obs_.bound = true;
+  auto& m = sched_.obs()->metrics;
+  obs_.enqueued = &m.counter("link.enqueued");
+  obs_.delivered = &m.counter("link.delivered");
+  obs_.queue_drops = &m.counter("link.queue_drops");
+  obs_.random_drops = &m.counter("link.random_drops");
+  obs_.queued_bytes = &m.gauge("link.queued_bytes");
+}
+
 void Link::send(Packet packet, DeliveryFn sink) {
   ++stats_.packets_sent;
   const core::Bytes size(packet.size_bytes);
   if (queued_ + size > config_.queue_capacity) {
     ++stats_.queue_drops;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.queue_drops->inc();
+      if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+        tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kInstant,
+                   "link.drop", packet.flow_id,
+                   static_cast<double>(queued_.count()));
+      }
+    }
     return;
   }
   queued_ += size;
   queue_.push_back(Pending{std::move(packet), std::move(sink)});
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.enqueued->inc();
+    obs_.queued_bytes->set(static_cast<double>(queued_.count()));
+    if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+      tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kCounter,
+                 "link.queued_bytes", queue_.back().packet.flow_id,
+                 static_cast<double>(queued_.count()));
+    }
+  }
   if (!serving_) serve_next();
 }
 
@@ -38,11 +67,25 @@ void Link::serve_next() {
         config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
     if (corrupted) {
       ++stats_.random_drops;
+      if (sched_.obs() != nullptr) {
+        if (!obs_.bound) bind_obs();
+        obs_.random_drops->inc();
+      }
     } else {
       sched_.schedule_in(config_.propagation_delay,
                          [this, pending = std::move(pending)]() mutable {
                            ++stats_.packets_delivered;
                            stats_.bytes_delivered += pending.packet.size_bytes;
+                           if (sched_.obs() != nullptr) {
+                             if (!obs_.bound) bind_obs();
+                             obs_.delivered->inc();
+                             if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+                               tr->record(sched_.now(), obs::Category::kLink,
+                                          obs::EventKind::kInstant, "link.deliver",
+                                          pending.packet.flow_id,
+                                          static_cast<double>(pending.packet.size_bytes));
+                             }
+                           }
                            pending.sink(pending.packet);
                          });
     }

@@ -53,8 +53,17 @@ class Link final : public LinkBase {
     Packet packet;
     DeliveryFn sink;
   };
+  struct ObsHandles {
+    bool bound = false;
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* queue_drops = nullptr;
+    obs::Counter* random_drops = nullptr;
+    obs::Gauge* queued_bytes = nullptr;
+  };
 
   void serve_next();
+  void bind_obs();
 
   Scheduler& sched_;
   LinkConfig config_;
@@ -63,6 +72,7 @@ class Link final : public LinkBase {
   std::deque<Pending> queue_;
   bool serving_ = false;
   LinkStats stats_;
+  ObsHandles obs_;
 };
 
 }  // namespace swiftest::netsim

@@ -5,10 +5,26 @@
 
 namespace swiftest::netsim {
 
+void Scheduler::bind_obs() {
+  obs_handles_.bound = true;
+  auto& m = obs_->metrics;
+  obs_handles_.scheduled = &m.counter("scheduler.events_scheduled");
+  obs_handles_.fired = &m.counter("scheduler.events_fired");
+  obs_handles_.cancelled = &m.counter("scheduler.events_cancelled");
+  obs_handles_.queue_depth = &m.gauge("scheduler.queue_depth");
+  static constexpr double kDepthBounds[] = {10, 100, 1'000, 10'000, 100'000};
+  obs_handles_.depth_hist = &m.histogram("scheduler.queue_depth", kDepthBounds);
+}
+
 EventHandle Scheduler::schedule_at(core::SimTime when, std::function<void()> fn) {
   if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  if (obs_ != nullptr) {
+    if (!obs_handles_.bound) bind_obs();
+    obs_handles_.scheduled->inc();
+    obs_handles_.queue_depth->set(static_cast<double>(queue_.size()));
+  }
   return EventHandle(std::move(cancelled));
 }
 
@@ -23,7 +39,21 @@ void Scheduler::run_until(core::SimTime deadline) {
     now_ = ev.when;
     if (!*ev.cancelled) {
       ++executed_;
+      if (obs_ != nullptr) {
+        if (!obs_handles_.bound) bind_obs();
+        obs_handles_.fired->inc();
+        obs_handles_.queue_depth->set(static_cast<double>(queue_.size()));
+        obs_handles_.depth_hist->observe(static_cast<double>(queue_.size()));
+        if (obs_->tracer.wants(obs::Category::kScheduler)) {
+          obs_->tracer.record(now_, obs::Category::kScheduler,
+                              obs::EventKind::kInstant, "sched.fire", ev.seq,
+                              static_cast<double>(queue_.size()));
+        }
+      }
       ev.fn();
+    } else if (obs_ != nullptr) {
+      if (!obs_handles_.bound) bind_obs();
+      obs_handles_.cancelled->inc();
     }
   }
   // Advance the clock to the deadline, except for the "drain everything"

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/time.hpp"
+#include "obs/hub.hpp"
 
 namespace swiftest::netsim {
 
@@ -60,6 +61,19 @@ class Scheduler {
 
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
+  /// Attaches (or detaches, with nullptr) an observability Hub. Every
+  /// component driven by this scheduler reads the Hub through here; with no
+  /// Hub attached each instrumentation site is one branch on a null pointer.
+  /// The Hub must outlive the simulation.
+  void set_obs(obs::Hub* hub) noexcept { obs_ = hub; }
+  [[nodiscard]] obs::Hub* obs() const noexcept { return obs_; }
+
+  /// The attached tracer iff it retains `category` events; instrumentation
+  /// sites gate payload computation on this returning non-null.
+  [[nodiscard]] obs::Tracer* tracer(obs::Category category) const noexcept {
+    return obs_ != nullptr && obs_->tracer.wants(category) ? &obs_->tracer : nullptr;
+  }
+
  private:
   struct Event {
     core::SimTime when;
@@ -72,10 +86,22 @@ class Scheduler {
     }
   };
 
+  struct ObsHandles {
+    bool bound = false;
+    obs::Counter* scheduled = nullptr;
+    obs::Counter* fired = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* depth_hist = nullptr;
+  };
+  void bind_obs();
+
   core::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  obs::Hub* obs_ = nullptr;
+  ObsHandles obs_handles_;
 };
 
 }  // namespace swiftest::netsim

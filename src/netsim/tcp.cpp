@@ -94,6 +94,17 @@ void TcpConnection::transmit_segment(std::int64_t seq, bool retransmit) {
   pkt.retransmit = retransmit;
   ++stats_.segments_sent;
   if (retransmit) ++stats_.retransmissions;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.segments_sent->inc();
+    if (retransmit) {
+      obs_.retransmissions->inc();
+      if (auto* tr = sched_.tracer(obs::Category::kTransport)) {
+        tr->record(sched_.now(), obs::Category::kTransport, obs::EventKind::kInstant,
+                   "tcp.retransmit", flow_id_, static_cast<double>(seq));
+      }
+    }
+  }
 
   path_.send_downstream(pkt, [this, alive = liveness_.watch()](const Packet& p) {
     if (*alive) handle_data(p);
@@ -121,6 +132,14 @@ void TcpConnection::handle_rto() {
   if (stopped_ || completed_) return;
   if (next_seq_ == una_) return;  // nothing outstanding
   ++stats_.rto_count;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.rto_count->inc();
+    if (auto* tr = sched_.tracer(obs::Category::kTransport)) {
+      tr->record(sched_.now(), obs::Category::kTransport, obs::EventKind::kInstant,
+                 "tcp.rto", flow_id_, static_cast<double>(una_));
+    }
+  }
   cc_->on_rto(sched_.now());
   note_cc_state();
   in_recovery_ = false;
@@ -166,9 +185,25 @@ void TcpConnection::retransmit_holes(int budget) {
   }
 }
 
+void TcpConnection::bind_obs() {
+  obs_.bound = true;
+  auto& m = sched_.obs()->metrics;
+  obs_.segments_sent = &m.counter("tcp.segments_sent");
+  obs_.retransmissions = &m.counter("tcp.retransmissions");
+  obs_.rto_count = &m.counter("tcp.rto_count");
+}
+
+// Called after every congestion-controller transition (ACK, loss, RTO), so
+// it doubles as the cwnd/pacing sampling point for the tracer.
 void TcpConnection::note_cc_state() {
   if (stats_.slow_start_exit < 0 && !cc_->in_slow_start()) {
     stats_.slow_start_exit = sched_.now();
+  }
+  if (auto* tr = sched_.tracer(obs::Category::kTransport)) {
+    tr->record(sched_.now(), obs::Category::kTransport, obs::EventKind::kCounter,
+               "tcp.cwnd_bytes", flow_id_, static_cast<double>(cc_->cwnd_bytes()));
+    tr->record(sched_.now(), obs::Category::kTransport, obs::EventKind::kCounter,
+               "tcp.pacing_mbps", flow_id_, cc_->pacing_rate_bps() / 1e6);
   }
 }
 

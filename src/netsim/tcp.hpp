@@ -96,6 +96,7 @@ class TcpConnection {
   [[nodiscard]] core::SimDuration current_rto() const;
   [[nodiscard]] bool may_send_new_segment() const;
   void note_cc_state();
+  void bind_obs();
 
   // --- receiver side ---
   void handle_data(const Packet& pkt);
@@ -138,7 +139,15 @@ class TcpConnection {
   EventHandle delayed_ack_timer_;
   bool delayed_ack_armed_ = false;
 
+  struct ObsHandles {
+    bool bound = false;
+    obs::Counter* segments_sent = nullptr;
+    obs::Counter* retransmissions = nullptr;
+    obs::Counter* rto_count = nullptr;
+  };
+
   TcpStats stats_;
+  ObsHandles obs_;
   DeliveredFn on_delivered_;
   CompletedFn on_completed_;
   core::LivenessToken liveness_;  // disables in-flight packet sinks on death

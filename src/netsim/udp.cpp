@@ -9,8 +9,19 @@ UdpFlow::UdpFlow(Scheduler& sched, Path& path, std::uint64_t flow_id,
                  std::int32_t payload_bytes)
     : sched_(sched), path_(path), flow_id_(flow_id), payload_bytes_(payload_bytes) {}
 
+void UdpFlow::bind_obs() {
+  obs_.bound = true;
+  auto& m = sched_.obs()->metrics;
+  obs_.sent = &m.counter("udp.datagrams_sent");
+  obs_.delivered = &m.counter("udp.datagrams_delivered");
+}
+
 void UdpFlow::set_rate(core::Bandwidth rate) {
   rate_ = rate;
+  if (auto* tr = sched_.tracer(obs::Category::kTransport)) {
+    tr->record(sched_.now(), obs::Category::kTransport, obs::EventKind::kCounter,
+               "udp.rate_mbps", flow_id_, rate_.megabits_per_second());
+  }
   if (!rate_.is_zero() && !stopped_) {
     next_send_ = std::max(next_send_, sched_.now());
     schedule_next();
@@ -42,10 +53,18 @@ void UdpFlow::send_datagram() {
   pkt.size_bytes = payload_bytes_ + kUdpHeaderBytes;
   pkt.sent_at = sched_.now();
   ++sent_;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.sent->inc();
+  }
   path_.send_downstream(pkt, [this, alive = liveness_.watch()](const Packet& p) {
     if (!*alive) return;
     ++delivered_;
     wire_bytes_ += p.size_bytes;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.delivered->inc();
+    }
     if (on_delivered_) on_delivered_(p.size_bytes - kUdpHeaderBytes, p.seq);
   });
 

@@ -43,8 +43,15 @@ class UdpFlow {
   [[nodiscard]] std::int64_t wire_bytes_delivered() const noexcept { return wire_bytes_; }
 
  private:
+  struct ObsHandles {
+    bool bound = false;
+    obs::Counter* sent = nullptr;
+    obs::Counter* delivered = nullptr;
+  };
+
   void schedule_next();
   void send_datagram();
+  void bind_obs();
 
   Scheduler& sched_;
   Path& path_;
@@ -59,6 +66,7 @@ class UdpFlow {
   std::int64_t sent_ = 0;
   std::int64_t delivered_ = 0;
   std::int64_t wire_bytes_ = 0;
+  ObsHandles obs_;
   DeliveredFn on_delivered_;
   core::LivenessToken liveness_;
 };

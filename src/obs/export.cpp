@@ -1,0 +1,141 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace swiftest::obs {
+namespace {
+
+/// Shortest round-trip decimal form of a double — deterministic across runs
+/// (unlike iostream formatting, which depends on stream state).
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+/// Chrome's `ts` field is in microseconds; emit ns with fixed millimicro
+/// precision ("123.456") so nothing is lost and output stays byte-stable.
+void append_ts_us(std::string& out, core::SimTime ns) {
+  append_i64(out, ns / 1000);
+  const auto frac = static_cast<int>(ns % 1000);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), ".%03d", frac);
+  out.append(buf);
+}
+
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
+  std::string line;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& ev : tracer.events()) {
+    line.clear();
+    if (!first) line += ",\n";
+    first = false;
+    line += "{\"name\":\"";
+    line += ev.name;
+    line += "\",\"cat\":\"";
+    line += to_string(ev.category);
+    line += "\",\"ph\":\"";
+    line += ev.kind == EventKind::kCounter ? 'C' : 'i';
+    line += "\",\"ts\":";
+    append_ts_us(line, ev.ts);
+    line += ",\"pid\":1,\"tid\":";
+    append_u64(line, ev.id);
+    if (ev.kind == EventKind::kCounter) {
+      line += ",\"args\":{\"value\":";
+      append_double(line, ev.value);
+      line += "}}";
+    } else {
+      line += ",\"s\":\"t\",\"args\":{\"value\":";
+      append_double(line, ev.value);
+      line += "}}";
+    }
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+void write_trace_jsonl(const Tracer& tracer, std::ostream& out) {
+  std::string line;
+  for (const TraceEvent& ev : tracer.events()) {
+    line.clear();
+    line += "{\"ts\":";
+    append_i64(line, ev.ts);
+    line += ",\"cat\":\"";
+    line += to_string(ev.category);
+    line += "\",\"k\":\"";
+    line += ev.kind == EventKind::kCounter ? 'C' : 'i';
+    line += "\",\"name\":\"";
+    line += ev.name;
+    line += "\",\"id\":";
+    append_u64(line, ev.id);
+    line += ",\"v\":";
+    append_double(line, ev.value);
+    line += "}\n";
+    out << line;
+  }
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
+  std::string body = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    \"" + name + "\": ";
+    append_u64(body, value);
+  }
+  body += first ? "},\n" : "\n  },\n";
+  body += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    \"" + name + "\": ";
+    append_double(body, value);
+  }
+  body += first ? "},\n" : "\n  },\n";
+  body += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += "    \"" + name + "\": {\"le\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) body += ", ";
+      append_double(body, h.bounds[i]);
+    }
+    body += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) body += ", ";
+      append_u64(body, h.counts[i]);
+    }
+    body += "], \"count\": ";
+    append_u64(body, h.count);
+    body += ", \"sum\": ";
+    append_double(body, h.sum);
+    body += "}";
+  }
+  body += first ? "}\n" : "\n  }\n";
+  body += "}\n";
+  out << body;
+}
+
+}  // namespace swiftest::obs

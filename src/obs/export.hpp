@@ -1,0 +1,28 @@
+// Exporters for the tracer and metrics registry.
+//
+// All output is deterministic: event order is simulation order, doubles are
+// rendered with std::to_chars (shortest round-trip form), and metric maps
+// are name-ordered — so two runs with the same seed produce byte-identical
+// files.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swiftest::obs {
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}), loadable in
+/// chrome://tracing and Perfetto. Instant events render as markers
+/// (ph "i"); counter events render as value tracks (ph "C").
+void write_chrome_trace(const Tracer& tracer, std::ostream& out);
+
+/// Compact JSONL: one JSON object per event per line, oldest first.
+void write_trace_jsonl(const Tracer& tracer, std::ostream& out);
+
+/// Metrics snapshot as one JSON document:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace swiftest::obs

@@ -1,0 +1,27 @@
+// The observability bundle a simulation opts into.
+//
+// A Hub owns one Tracer and one MetricsRegistry. Attaching a Hub to a
+// netsim::Scheduler (Scheduler::set_obs) switches on instrumentation for
+// every component driven by that scheduler; with no Hub attached (the
+// default), every instrumentation site reduces to a branch on a null
+// pointer — no allocation, no stores, no formatting.
+//
+// Attach the Hub before running the simulation. Handle-based metric
+// bindings are established lazily at each component's first instrumented
+// action, so components constructed before set_obs() still report.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swiftest::obs {
+
+struct Hub {
+  Hub() = default;
+  explicit Hub(std::size_t trace_capacity) : tracer(trace_capacity) {}
+
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+}  // namespace swiftest::obs

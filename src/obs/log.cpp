@@ -1,0 +1,64 @@
+#include "obs/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace swiftest::obs {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+LogSink& sink_storage() {
+  static LogSink sink;
+  return sink;
+}
+
+void default_sink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", to_string(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_sink(LogSink sink) { sink_storage() = std::move(sink); }
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  const LogSink& sink = sink_storage();
+  if (sink) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log(level, buf);
+}
+
+}  // namespace swiftest::obs

@@ -1,0 +1,39 @@
+// Tiny leveled logger for library diagnostics.
+//
+// Library code (src/) must never write to stdout — stdout belongs to the CLI
+// and bench binaries' structured output. Diagnostics go through obs::log
+// instead: below the threshold they cost one enum compare; above it they go
+// to the installed sink (stderr by default, a capture function in tests).
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+namespace swiftest::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Messages below `level` are discarded. Default: kWarn.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the output sink; an empty function restores the default
+/// (one "[level] message" line on stderr).
+void set_log_sink(LogSink sink);
+
+void log(LogLevel level, std::string_view message);
+
+/// printf-style convenience; formatting is skipped entirely when the level
+/// is below the threshold.
+__attribute__((format(printf, 2, 3))) void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace swiftest::obs

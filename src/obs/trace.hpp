@@ -1,0 +1,124 @@
+// Deterministic simulation-time event tracer.
+//
+// A ring buffer of fixed-size trace records, each stamped with the simulated
+// clock (never wall time), so two runs with the same seed produce
+// byte-identical trace files. Event names must be string literals (static
+// storage): recording an event is a handful of stores into preallocated
+// memory — no allocation, no formatting — and sites guard on a null Hub
+// pointer, so a simulation without an attached Hub pays one branch per site.
+//
+// Exporters (trace_export.hpp) render the retained events as a Chrome
+// `trace_event` JSON document (loadable in chrome://tracing / Perfetto) or
+// as compact JSONL, one event per line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace swiftest::obs {
+
+/// Trace categories, one bit each, so a mask can select subsystems. Keeping
+/// the set small and stable is deliberate: category filtering is the lever
+/// that keeps a long simulation's trace focused (e.g. protocol-only).
+enum class Category : std::uint32_t {
+  kScheduler = 1u << 0,  // event queue activity
+  kLink = 1u << 1,       // access/egress link enqueue/deliver/drop
+  kTransport = 1u << 2,  // TCP cwnd/retransmit, UDP pacing
+  kProtocol = 1u << 3,   // Swiftest sessions, probing-stage transitions
+  kFleet = 1u << 4,      // fleet replay: concurrent tests, egress utilization
+};
+
+inline constexpr std::uint32_t kAllCategories = 0x1f;
+
+[[nodiscard]] const char* to_string(Category category) noexcept;
+
+/// Parses a comma-separated category list ("scheduler,link,protocol") into a
+/// mask; "all" selects everything. Returns nullopt on an unknown name.
+[[nodiscard]] std::optional<std::uint32_t> parse_category_mask(std::string_view csv);
+
+/// How an event renders in the Chrome exporter: a point-in-time marker or a
+/// sample of a numeric series (cwnd, queue depth, probing rate).
+enum class EventKind : std::uint8_t {
+  kInstant,
+  kCounter,
+};
+
+struct TraceEvent {
+  core::SimTime ts = 0;
+  Category category = Category::kScheduler;
+  EventKind kind = EventKind::kInstant;
+  /// Must point at static storage (a string literal).
+  const char* name = "";
+  /// Correlates related events: flow id, session nonce, server index.
+  std::uint64_t id = 0;
+  /// Numeric payload: rate in Mbps, queue bytes, sample value, ...
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  /// `capacity` is the ring size in events; once full, the oldest events are
+  /// overwritten (and counted in dropped()).
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// True when the tracer retains events of this category. Instrumentation
+  /// sites check this before computing event payloads.
+  [[nodiscard]] bool wants(Category category) const noexcept {
+    return (mask_ & static_cast<std::uint32_t>(category)) != 0;
+  }
+
+  void set_category_mask(std::uint32_t mask) noexcept { mask_ = mask; }
+  [[nodiscard]] std::uint32_t category_mask() const noexcept { return mask_; }
+
+  /// Records one event (unconditionally — callers gate on wants()).
+  void record(core::SimTime ts, Category category, EventKind kind, const char* name,
+              std::uint64_t id, double value) noexcept {
+    TraceEvent& slot = ring_[head_];
+    slot.ts = ts;
+    slot.category = category;
+    slot.kind = kind;
+    slot.name = name;
+    slot.id = id;
+    slot.value = value;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Events currently retained.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint32_t mask_ = kAllCategories;
+};
+
+}  // namespace swiftest::obs

@@ -41,6 +41,13 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
   bts::ThroughputSampler sampler(sched);
   std::vector<std::unique_ptr<netsim::UdpFlow>> flows;
 
+  // Facade tests have no wire nonce; stage events key on id 0.
+  auto trace_stage = [&sched](obs::EventKind kind, const char* name, double value) {
+    if (auto* tr = sched.tracer(obs::Category::kProtocol)) {
+      tr->record(sched.now(), obs::Category::kProtocol, kind, name, 0, value);
+    }
+  };
+
   auto apply_rate = [&](double total_mbps) {
     const std::size_t needed = std::min(
         servers_needed(total_mbps, config_.server_uplink_mbps), client.server_count());
@@ -57,6 +64,9 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
     for (auto& flow : flows) flow->set_rate(core::Bandwidth::mbps(per_flow));
   };
 
+  if (auto* hub = sched.obs()) hub->metrics.counter("probe.tests_started").inc();
+  trace_stage(obs::EventKind::kInstant, "probe.start", fsm.rate_mbps());
+
   apply_rate(fsm.rate_mbps());
 
   const core::SimTime start = sched.now();
@@ -64,11 +74,16 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
   bool done = false;
 
   sampler.start(config_.sample_interval, [&](double sample_mbps) {
+    trace_stage(obs::EventKind::kCounter, "probe.sample_mbps", sample_mbps);
     switch (fsm.on_sample(sample_mbps)) {
       case ProbingFsm::Action::kEscalate:
+        if (auto* hub = sched.obs()) hub->metrics.counter("probe.escalations").inc();
+        trace_stage(obs::EventKind::kInstant, "probe.escalate", fsm.rate_mbps());
         apply_rate(fsm.rate_mbps());
         return true;
       case ProbingFsm::Action::kConverged:
+        trace_stage(obs::EventKind::kInstant, "probe.converged",
+                    fsm.fallback_estimate());
         done = true;
         return false;
       case ProbingFsm::Action::kContinue:
@@ -93,6 +108,13 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
   result.data_used = core::Bytes(wire_bytes);
 
   result.bandwidth_mbps = fsm.fallback_estimate();  // == result when converged
+  if (auto* hub = sched.obs()) {
+    hub->metrics.counter("probe.tests_completed").inc();
+    hub->metrics
+        .histogram("probe.test_seconds", {1.0, 2.0, 5.0, 10.0, 15.0, 30.0})
+        .observe(core::to_seconds(result.probe_duration));
+  }
+  trace_stage(obs::EventKind::kInstant, "probe.complete", result.bandwidth_mbps);
   return result;
 }
 

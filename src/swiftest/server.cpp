@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netsim/packet.hpp"
+#include "obs/log.hpp"
 
 namespace swiftest::swift {
 
@@ -24,6 +25,29 @@ SwiftestServer::~SwiftestServer() {
 
 core::Bandwidth SwiftestServer::clamp_rate(double kbps) const {
   return std::min(core::Bandwidth::kbps(kbps), config_.uplink);
+}
+
+void SwiftestServer::bind_obs() {
+  obs_.bound = true;
+  auto& m = sched_.obs()->metrics;
+  obs_.accepted = &m.counter("server.requests_accepted");
+  obs_.rejected = &m.counter("server.requests_rejected");
+  obs_.rate_updates = &m.counter("server.rate_updates_applied");
+  obs_.completions = &m.counter("server.completions");
+  obs_.reaped = &m.counter("server.sessions_reaped");
+  obs_.active_sessions = &m.gauge("server.active_sessions");
+}
+
+// Keeps the shared active-session gauge in step after any session create,
+// complete, or reap. With several servers on one scheduler (a fleet) the
+// gauge aggregates poorly as a "last writer wins" value, so it tracks this
+// server's count only on single-server setups and the fleet relies on the
+// per-event trace instead; the counters always aggregate correctly.
+void SwiftestServer::note_session_count() {
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.active_sessions->set(static_cast<double>(sessions_.size()));
+  }
 }
 
 void SwiftestServer::on_control_message(std::span<const std::uint8_t> bytes) {
@@ -84,12 +108,25 @@ void SwiftestServer::handle_request(const ProbeRequest& request,
   if (sessions_.size() >= config_.max_sessions &&
       sessions_.find(request.nonce) == sessions_.end()) {
     ++stats_.requests_rejected;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.rejected->inc();
+    }
+    obs::logf(obs::LogLevel::kDebug,
+              "server: rejected probe request (at capacity, %zu sessions)",
+              sessions_.size());
     return;
   }
   if (reply_path == nullptr && default_path_ == nullptr) {
     // Multi-endpoint server, but this request arrived without a reply
     // endpoint: nowhere to send probes.
     ++stats_.requests_rejected;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.rejected->inc();
+    }
+    obs::log(obs::LogLevel::kWarn,
+             "server: probe request without a reply endpoint dropped");
     return;
   }
   auto& session = sessions_[request.nonce];  // creates or restarts
@@ -102,6 +139,16 @@ void SwiftestServer::handle_request(const ProbeRequest& request,
     session.sink = std::move(sink);
   }
   ++stats_.requests_accepted;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.accepted->inc();
+    note_session_count();
+    if (auto* tr = sched_.tracer(obs::Category::kProtocol)) {
+      tr->record(sched_.now(), obs::Category::kProtocol, obs::EventKind::kInstant,
+                 "server.session_start", request.nonce,
+                 session.rate.megabits_per_second());
+    }
+  }
   pump(request.nonce);
 }
 
@@ -117,6 +164,16 @@ void SwiftestServer::handle_rate_update(std::uint64_t nonce, const RateUpdate& u
   session.rate = clamp_rate(update.rate_kbps);
   session.last_activity = sched_.now();
   ++stats_.rate_updates_applied;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.rate_updates->inc();
+    if (auto* tr = sched_.tracer(obs::Category::kProtocol)) {
+      // Commanded (post-clamp) per-session pacing rate; id keys the session.
+      tr->record(sched_.now(), obs::Category::kProtocol, obs::EventKind::kCounter,
+                 "server.session_rate_mbps", nonce,
+                 session.rate.megabits_per_second());
+    }
+  }
   pump(nonce);
 }
 
@@ -126,6 +183,16 @@ void SwiftestServer::handle_complete(const TestComplete& complete) {
   it->second.timer.cancel();
   sessions_.erase(it);
   ++stats_.completions;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.completions->inc();
+    note_session_count();
+    if (auto* tr = sched_.tracer(obs::Category::kProtocol)) {
+      tr->record(sched_.now(), obs::Category::kProtocol, obs::EventKind::kInstant,
+                 "server.session_complete", complete.nonce,
+                 static_cast<double>(complete.result_kbps) / 1000.0);
+    }
+  }
 }
 
 void SwiftestServer::pump(std::uint64_t nonce) {
@@ -175,8 +242,19 @@ void SwiftestServer::reap_idle() {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second.last_activity < cutoff) {
       it->second.timer.cancel();
+      const std::uint64_t nonce = it->first;
       it = sessions_.erase(it);
       ++stats_.sessions_reaped;
+      if (sched_.obs() != nullptr) {
+        if (!obs_.bound) bind_obs();
+        obs_.reaped->inc();
+        note_session_count();
+        if (auto* tr = sched_.tracer(obs::Category::kProtocol)) {
+          tr->record(sched_.now(), obs::Category::kProtocol,
+                     obs::EventKind::kInstant, "server.session_reaped", nonce,
+                     static_cast<double>(sessions_.size()));
+        }
+      }
     } else {
       ++it;
     }

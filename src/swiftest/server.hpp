@@ -88,8 +88,20 @@ class SwiftestServer {
     netsim::Path::DeliveryFn sink;
   };
 
+  struct ObsHandles {
+    bool bound = false;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* rate_updates = nullptr;
+    obs::Counter* completions = nullptr;
+    obs::Counter* reaped = nullptr;
+    obs::Gauge* active_sessions = nullptr;
+  };
+
   void dispatch(std::span<const std::uint8_t> bytes, netsim::Path* reply_path,
                 netsim::Path::DeliveryFn sink);
+  void bind_obs();
+  void note_session_count();
   void handle_request(const ProbeRequest& request, netsim::Path* reply_path,
                       netsim::Path::DeliveryFn sink);
   void handle_rate_update(std::uint64_t nonce_hint, const RateUpdate& update);
@@ -104,6 +116,7 @@ class SwiftestServer {
   netsim::Path::DeliveryFn downstream_sink_ = [](const netsim::Packet&) {};
   std::map<std::uint64_t, Session> sessions_;  // keyed by client nonce
   ServerStats stats_;
+  ObsHandles obs_;
   netsim::EventHandle gc_timer_;
 };
 

@@ -22,6 +22,14 @@ netsim::Packet make_control_packet(std::uint64_t nonce,
   return pkt;
 }
 
+/// Probing-stage trace helper; all per-test events key on the test nonce.
+void trace_protocol(netsim::Scheduler& sched, obs::EventKind kind, const char* name,
+                    std::uint64_t id, double value) {
+  if (auto* tr = sched.tracer(obs::Category::kProtocol)) {
+    tr->record(sched.now(), obs::Category::kProtocol, kind, name, id, value);
+  }
+}
+
 void accumulate(ServerStats& total, const ServerStats& s) {
   total.requests_accepted += s.requests_accepted;
   total.requests_rejected += s.requests_rejected;
@@ -182,17 +190,30 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
   st->hard_stop = st->start_time + st->config.max_duration;
   st->hard_stop_tick = sched.schedule_at(st->hard_stop, [st] { on_hard_stop(st); });
 
+  if (auto* hub = sched.obs()) hub->metrics.counter("probe.tests_started").inc();
+  trace_protocol(sched, obs::EventKind::kInstant, "probe.start", st->nonce,
+                 st->fsm.rate_mbps());
+
   apply_rate(*st, st->fsm.rate_mbps());
 
   RunState* raw = st.get();
   st->sampler.start(st->config.sample_interval,
                     [raw, alive = st->alive](double sample_mbps) {
     if (!*alive) return false;
+    trace_protocol(*raw->sched, obs::EventKind::kCounter, "probe.sample_mbps",
+                   raw->nonce, sample_mbps);
     switch (raw->fsm.on_sample(sample_mbps)) {
       case ProbingFsm::Action::kEscalate:
+        if (auto* hub = raw->sched->obs()) {
+          hub->metrics.counter("probe.escalations").inc();
+        }
+        trace_protocol(*raw->sched, obs::EventKind::kInstant, "probe.escalate",
+                       raw->nonce, raw->fsm.rate_mbps());
         apply_rate(*raw, raw->fsm.rate_mbps());
         return true;
       case ProbingFsm::Action::kConverged: {
+        trace_protocol(*raw->sched, obs::EventKind::kInstant, "probe.converged",
+                       raw->nonce, raw->fsm.fallback_estimate());
         // Tear down at the next 100 ms client tick after convergence (the
         // cadence the app's event loop ran at), capped by the hard stop.
         const core::SimDuration tick = core::milliseconds(100);
@@ -227,6 +248,8 @@ void WireClient::finalize(const std::shared_ptr<RunState>& st) {
   st->finalized = true;
   st->hard_stop_tick.cancel();
   st->sampler.stop();
+  trace_protocol(*st->sched, obs::EventKind::kInstant, "probe.finalize",
+                 st->nonce, st->fsm.fallback_estimate());
 
   // Tear the sessions down; servers stop within the control one-way delay.
   for (std::size_t i = 0; i < st->servers.size(); ++i) {
@@ -257,6 +280,15 @@ void WireClient::complete(const std::shared_ptr<RunState>& st) {
   r.connections_used = st->servers.size();
   r.data_used = core::Bytes(st->wire_bytes);
   r.bandwidth_mbps = st->fsm.fallback_estimate();
+
+  if (auto* hub = st->sched->obs()) {
+    hub->metrics.counter("probe.tests_completed").inc();
+    hub->metrics
+        .histogram("probe.test_seconds", {1.0, 2.0, 5.0, 10.0, 15.0, 30.0})
+        .observe(core::to_seconds(r.probe_duration));
+  }
+  trace_protocol(*st->sched, obs::EventKind::kInstant, "probe.complete",
+                 st->nonce, r.bandwidth_mbps);
 
   *st->alive = false;  // late packets must not touch the finished state
   for (const auto& server : st->owned_servers) {
@@ -331,6 +363,10 @@ void WireClient::apply_rate(RunState& st, double total_mbps) {
   }
   const double per_server = total_mbps / static_cast<double>(st.servers.size());
   ++st.update_seq;
+  // One event per fan-out round: id carries the RateUpdate seq so a trace
+  // shows the commanded per-server split converging over the ladder.
+  trace_protocol(*st.sched, obs::EventKind::kCounter, "probe.rate_update",
+                 st.update_seq, per_server);
   for (std::size_t i = 0; i < st.servers.size(); ++i) {
     RateUpdate update;
     update.nonce = st.nonce;

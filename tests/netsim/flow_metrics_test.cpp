@@ -49,6 +49,26 @@ TEST(FlowTimeseries, CoalescesSameInstantArrivals) {
   EXPECT_EQ(ts.total_bytes(), 1000);
 }
 
+TEST(FlowTimeseries, SingleArrivalYieldsOneWindowAndNoStalls) {
+  Scheduler sched;
+  FlowTimeseries ts(sched);
+  sched.schedule_at(milliseconds(30), [&] { ts.on_bytes(1500); });
+  sched.run();
+
+  // The documented single-arrival contract: exactly one window, anchored at
+  // the arrival, carrying all its bytes — and no stall, since a gap needs
+  // two arrivals.
+  const auto windows = ts.windows(milliseconds(50));
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start, milliseconds(30));
+  EXPECT_EQ(windows[0].bytes, 1500);
+  // 1500 B over the 50 ms window width = 0.24 Mbps.
+  EXPECT_NEAR(windows[0].mbps, 0.24, 1e-9);
+  EXPECT_TRUE(ts.stalls(milliseconds(1)).empty());
+  // A rate needs an elapsed interval, which one arrival does not define.
+  EXPECT_DOUBLE_EQ(ts.mean_mbps(), 0.0);
+}
+
 TEST(FlowTimeseries, IgnoresNonPositiveBytes) {
   Scheduler sched;
   FlowTimeseries ts(sched);

@@ -1,0 +1,67 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace swiftest::obs {
+namespace {
+
+/// Installs a capturing sink for the test's duration and restores the
+/// previous level/default sink afterwards (the logger is process-global).
+class LogCapture {
+ public:
+  LogCapture() : saved_level_(log_level()) {
+    set_log_sink([this](LogLevel level, std::string_view message) {
+      lines_.emplace_back(level, std::string(message));
+    });
+  }
+  ~LogCapture() {
+    set_log_sink({});
+    set_log_level(saved_level_);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<LogLevel, std::string>>& lines() const {
+    return lines_;
+  }
+
+ private:
+  LogLevel saved_level_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+TEST(Log, LevelThresholdFilters) {
+  LogCapture capture;
+  set_log_level(LogLevel::kWarn);
+  log(LogLevel::kDebug, "quiet");
+  log(LogLevel::kInfo, "also quiet");
+  log(LogLevel::kWarn, "loud");
+  log(LogLevel::kError, "louder");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(capture.lines()[0].second, "loud");
+  EXPECT_EQ(capture.lines()[1].first, LogLevel::kError);
+}
+
+TEST(Log, LogfFormats) {
+  LogCapture capture;
+  set_log_level(LogLevel::kDebug);
+  logf(LogLevel::kInfo, "dropped %d of %d (%s)", 3, 10, "probe");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].second, "dropped 3 of 10 (probe)");
+}
+
+TEST(Log, LogfSkipsFormattingBelowThreshold) {
+  LogCapture capture;
+  set_log_level(LogLevel::kError);
+  logf(LogLevel::kDebug, "never rendered %d", 1);
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");
+}
+
+}  // namespace
+}  // namespace swiftest::obs

@@ -1,0 +1,94 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace swiftest::obs {
+namespace {
+
+TEST(Metrics, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("tests.run");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same handle.
+  EXPECT_EQ(&registry.counter("tests.run"), &c);
+  EXPECT_EQ(registry.counter("tests.run").value(), 5u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("queue.depth");
+  g.set(10.0);
+  g.add(-3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 6.5);
+  EXPECT_EQ(&registry.gauge("queue.depth"), &g);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (inclusive bound)
+  h.observe(1.5);   // bucket 1
+  h.observe(5.0);   // bucket 2 (inclusive bound)
+  h.observe(100.0); // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 100.0);
+}
+
+TEST(Metrics, HistogramBoundsApplyOnFirstRegistrationOnly) {
+  MetricsRegistry registry;
+  Histogram& first = registry.histogram("h", {1.0, 2.0});
+  Histogram& again = registry.histogram("h", {99.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+TEST(Metrics, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h", {10.0}).observe(4.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  registry.counter("c").inc(100);
+  registry.gauge("g").set(-8.0);
+  registry.histogram("h", {}).observe(3.0);
+
+  EXPECT_EQ(snap.counters.at("c"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 1.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("h").sum, 4.0);
+}
+
+TEST(Metrics, JsonExportIsNameOrderedAndDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc();
+  registry.counter("alpha").inc(2);
+  registry.gauge("mid").set(0.25);
+  registry.histogram("hist", {1.0}).observe(0.5);
+
+  std::ostringstream a;
+  write_metrics_json(registry.snapshot(), a);
+  std::ostringstream b;
+  write_metrics_json(registry.snapshot(), b);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string json = a.str();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swiftest::obs

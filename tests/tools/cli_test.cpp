@@ -94,5 +94,55 @@ TEST(Cli, FleetReportsUtilization) {
   EXPECT_NE(output.find("utilization:"), std::string::npos);
 }
 
+TEST(Cli, RunIsAnAliasForTest) {
+  std::string output;
+  ASSERT_EQ(run({"run", "--rate", "60", "--tech", "wifi5"}, output), 0);
+  EXPECT_NE(output.find("estimate:"), std::string::npos);
+}
+
+TEST(Cli, RunWritesTraceAndMetricsFiles) {
+  const std::string trace_path = testing::TempDir() + "/cli_trace.json";
+  const std::string metrics_path = testing::TempDir() + "/cli_metrics.json";
+  std::string output;
+  ASSERT_EQ(run({"run", "--rate", "50", "--wire", "--trace-out", trace_path,
+                 "--metrics-out", metrics_path},
+                output),
+            0);
+  EXPECT_NE(output.find("trace: " + trace_path), std::string::npos);
+
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.good());
+  std::stringstream trace;
+  trace << trace_file.rdbuf();
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.str().find("probe.start"), std::string::npos);
+
+  std::ifstream metrics_file(metrics_path);
+  ASSERT_TRUE(metrics_file.good());
+  std::stringstream metrics;
+  metrics << metrics_file.rdbuf();
+  EXPECT_NE(metrics.str().find("\"probe.tests_completed\": 1"), std::string::npos);
+}
+
+TEST(Cli, TraceCategoriesFilterAppliesAndRejectsUnknown) {
+  const std::string trace_path = testing::TempDir() + "/cli_trace_proto.json";
+  std::string output;
+  ASSERT_EQ(run({"run", "--rate", "50", "--wire", "--trace-out", trace_path,
+                 "--trace-categories", "protocol"},
+                output),
+            0);
+  std::ifstream trace_file(trace_path);
+  std::stringstream trace;
+  trace << trace_file.rdbuf();
+  EXPECT_NE(trace.str().find("\"cat\":\"protocol\""), std::string::npos);
+  EXPECT_EQ(trace.str().find("\"cat\":\"scheduler\""), std::string::npos);
+
+  EXPECT_EQ(run({"run", "--rate", "50", "--trace-out", trace_path,
+                 "--trace-categories", "bogus"},
+                output),
+            2);
+  EXPECT_NE(output.find("bad --trace-categories"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace swiftest::cli

@@ -17,6 +17,24 @@ run_suite() {
   cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}"
   echo "=== ctest ${build_dir} ==="
   ctest --test-dir "${REPO_ROOT}/${build_dir}" --output-on-failure -j "${JOBS}"
+  run_traced_cli "${build_dir}"
+}
+
+# One traced end-to-end CLI run per suite: exercises the tracing/metrics
+# export path (under ASan too) and validates that the emitted files are
+# well-formed JSON.
+run_traced_cli() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke"
+  echo "=== traced swiftest-cli run (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" run --rate 50 --wire \
+    --trace-out "${out_dir}/trace.json" \
+    --trace-jsonl "${out_dir}/trace.jsonl" \
+    --metrics-out "${out_dir}/metrics.json"
+  python3 -m json.tool "${out_dir}/trace.json" > /dev/null
+  python3 -m json.tool "${out_dir}/metrics.json" > /dev/null
+  echo "trace + metrics JSON validated"
 }
 
 mode="${1:-all}"

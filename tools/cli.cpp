@@ -1,12 +1,16 @@
 #include "cli.hpp"
 
+#include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "obs/export.hpp"
+#include "obs/hub.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/io.hpp"
 #include "deploy/catalog.hpp"
@@ -30,10 +34,18 @@ constexpr const char* kUsage =
     "  report   --in FILE\n"
     "  test     --rate MBPS [--tech 4g|5g|wifi4|wifi5|wifi6] [--wire] [--seed S]\n"
     "           [--models FILE]\n"
+    "  run      alias for test\n"
     "  fit      --in FILE --out FILE    fit per-technology bandwidth models\n"
     "  plan     [--tests-per-day N] [--regional]\n"
     "  fleet    [--servers N] [--days D] [--tests-per-day N]\n"
-    "           [--backend analytic|packet]\n";
+    "           [--backend analytic|packet]\n"
+    "\n"
+    "observability (test, run, fleet):\n"
+    "  --trace-out FILE        write a Chrome trace_event JSON trace\n"
+    "  --trace-jsonl FILE      write the trace as compact JSONL instead\n"
+    "  --metrics-out FILE      write a metrics snapshot as JSON\n"
+    "  --trace-categories L    comma list: all,scheduler,link,transport,\n"
+    "                          protocol,fleet (default all)\n";
 
 /// Minimal --key value parser; flags without values map to "true".
 class Options {
@@ -76,6 +88,60 @@ class Options {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Builds an obs::Hub when any --trace-out/--trace-jsonl/--metrics-out flag
+/// is present; null hub (and success) otherwise. Returns false on a bad
+/// --trace-categories list.
+bool setup_obs(const Options& options, std::ostream& out,
+               std::unique_ptr<obs::Hub>& hub) {
+  if (!options.has("trace-out") && !options.has("trace-jsonl") &&
+      !options.has("metrics-out")) {
+    return true;
+  }
+  hub = std::make_unique<obs::Hub>();
+  if (options.has("trace-categories")) {
+    const auto mask = obs::parse_category_mask(options.get("trace-categories", ""));
+    if (!mask) {
+      out << "bad --trace-categories '" << options.get("trace-categories", "")
+          << "' (expected comma list of all,scheduler,link,transport,protocol,fleet)\n";
+      return false;
+    }
+    hub->tracer.set_category_mask(*mask);
+  }
+  return true;
+}
+
+/// Writes whichever trace/metrics outputs were requested. Returns a nonzero
+/// exit code if a file cannot be opened.
+int flush_obs(const Options& options, std::ostream& out, const obs::Hub* hub) {
+  if (hub == nullptr) return 0;
+  auto open = [&out](const std::string& path, std::ofstream& file) {
+    file.open(path, std::ios::binary | std::ios::trunc);
+    if (!file) out << "cannot write " << path << "\n";
+    return static_cast<bool>(file);
+  };
+  if (options.has("trace-out")) {
+    std::ofstream file;
+    if (!open(options.get("trace-out", ""), file)) return 1;
+    obs::write_chrome_trace(hub->tracer, file);
+    out << "trace: " << options.get("trace-out", "") << " ("
+        << hub->tracer.events().size() << " events";
+    if (hub->tracer.dropped() > 0) out << ", " << hub->tracer.dropped() << " dropped";
+    out << ")\n";
+  }
+  if (options.has("trace-jsonl")) {
+    std::ofstream file;
+    if (!open(options.get("trace-jsonl", ""), file)) return 1;
+    obs::write_trace_jsonl(hub->tracer, file);
+  }
+  if (options.has("metrics-out")) {
+    std::ofstream file;
+    if (!open(options.get("metrics-out", ""), file)) return 1;
+    obs::write_metrics_json(hub->metrics.snapshot(), file);
+    out << "metrics: " << options.get("metrics-out", "") << "\n";
+  }
+  return 0;
+}
 
 std::optional<dataset::AccessTech> parse_tech(const std::string& name) {
   if (name == "3g") return dataset::AccessTech::k3G;
@@ -123,10 +189,13 @@ int cmd_test(const Options& options, std::ostream& out) {
     out << "unknown --tech\n";
     return 2;
   }
+  std::unique_ptr<obs::Hub> hub;
+  if (!setup_obs(options, out, hub)) return 2;
   netsim::ScenarioConfig net;
   net.access_rate = core::Bandwidth::mbps(rate);
   netsim::Scenario scenario(net,
                             static_cast<std::uint64_t>(options.get_int("seed", 42)));
+  scenario.scheduler().set_obs(hub.get());
   swift::ModelRegistry registry;
   if (options.has("models")) {
     swift::load_models_file(options.get("models", ""), registry);
@@ -145,7 +214,7 @@ int cmd_test(const Options& options, std::ostream& out) {
       << "probe time: " << core::to_seconds(result.probe_duration) << " s; data: "
       << core::to_string(result.data_used) << "; servers: " << result.connections_used
       << "\n";
-  return 0;
+  return flush_obs(options, out, hub.get());
 }
 
 int cmd_fit(const Options& options, std::ostream& out) {
@@ -208,7 +277,10 @@ int cmd_plan(const Options& options, std::ostream& out) {
 int cmd_fleet(const Options& options, std::ostream& out) {
   const auto population = dataset::generate_campaign(40'000, 2021, 9);
   static const swift::ModelRegistry registry;
+  std::unique_ptr<obs::Hub> hub;
+  if (!setup_obs(options, out, hub)) return 2;
   deploy::FleetSimConfig cfg;
+  cfg.obs = hub.get();
   cfg.server_count = static_cast<std::size_t>(options.get_int("servers", 20));
   cfg.days = static_cast<int>(options.get_int("days", 3));
   cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
@@ -230,7 +302,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       << result.summary.mean << "%, p99 " << result.p99 << "%, max "
       << result.summary.max << "%\n"
       << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45 << "%\n";
-  return 0;
+  return flush_obs(options, out, hub.get());
 }
 
 }  // namespace
@@ -247,7 +319,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out) {
   try {
     if (command == "campaign") return cmd_campaign(*options, out);
     if (command == "report") return cmd_report(*options, out);
-    if (command == "test") return cmd_test(*options, out);
+    if (command == "test" || command == "run") return cmd_test(*options, out);
     if (command == "fit") return cmd_fit(*options, out);
     if (command == "plan") return cmd_plan(*options, out);
     if (command == "fleet") return cmd_fleet(*options, out);
