@@ -7,10 +7,14 @@
 #include "bench_util.hpp"
 #include "stats/descriptive.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swiftest;
   using dataset::AccessTech;
   namespace bu = benchutil;
+
+  bu::report_init(argc, argv, "fig20_swiftest_time");
+  bu::report_config("tests_per_tech", "60");
+  bu::report_config("seed", "2020");
 
   const std::vector<AccessTech> techs = {AccessTech::k4G, AccessTech::k5G,
                                          AccessTech::kWiFi5};
@@ -29,12 +33,19 @@ int main() {
     }
     const auto ps = stats::summarize(probe);
     const auto ts = stats::summarize(total);
+    const std::string name =
+        tech == AccessTech::kWiFi5 ? "wifi" : to_string(tech);
     std::printf("%-8s probe mean=%.2f median=%.2f max=%.2f | incl. PING mean=%.2f\n",
                 (tech == AccessTech::kWiFi5 ? "WiFi" : to_string(tech)).c_str(), ps.mean,
                 ps.median, ps.max, ts.mean);
+    bu::report_value("probe_mean_" + name, ps.mean);
+    bu::report_value("probe_median_" + name, ps.median);
+    bu::report_value("total_mean_" + name, ts.mean);
   }
+  const double within_1s = stats::fraction_below(all_totals, 1.0);
   std::printf("\n  tests finished within 1 s (incl. PING): %.0f%% (paper 55%%)\n",
-              100.0 * stats::fraction_below(all_totals, 1.0));
+              100.0 * within_1s);
+  bu::report_value("share_within_1s", within_1s);
   bu::print_note("paper: probe mean ~1 s per tech, max 4.49 s, overall 1.19 s incl. PING");
-  return 0;
+  return bu::report_flush();
 }

@@ -12,9 +12,15 @@
 #include "dataset/generator.hpp"
 #include "deploy/fleet_sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace swiftest;
   namespace bu = benchutil;
+
+  bu::report_init(argc, argv, "fig26_utilization");
+  bu::report_config("servers", "20x100Mbps");
+  bu::report_config("tests_per_day", "10000");
+  bu::report_config("days", "30");
+  bu::report_config("seed", "1026");
 
   const auto population = dataset::generate_campaign(100'000, 2021, 1026);
   const swift::ModelRegistry registry;
@@ -40,5 +46,11 @@ int main() {
               100.0 * result.share_leq_45, 100.0 * result.overload_seconds_share);
   bu::print_note("paper: median 4.8, mean 8.2, P99 45.0, P999 73.2, max 135.3;");
   bu::print_note("       utilization <= 45% in 99% of cases");
-  return 0;
+  bu::report_value("util_median", result.summary.median);
+  bu::report_value("util_mean", result.summary.mean);
+  bu::report_value("util_p99", result.p99);
+  bu::report_value("util_p999", result.p999);
+  bu::report_value("util_max", result.summary.max);
+  bu::report_value("share_leq_45", result.share_leq_45);
+  return bu::report_flush();
 }

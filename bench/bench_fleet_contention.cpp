@@ -55,7 +55,9 @@ std::vector<double> run_concurrent(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::report_init(argc, argv, "fleet_contention");
+  benchutil::report_config("uplink_mbps", "100");
   benchutil::print_title(
       "Server egress contention: N concurrent Swiftest tests, one 100 Mbps server");
 
@@ -70,9 +72,12 @@ int main() {
     }
     mean /= static_cast<double>(estimates.size());
     std::printf("%12zu %10.1f M %10.1f M %10.1f M\n", n, fair, mean, worst);
+    const std::string suffix = std::to_string(n) + "_clients";
+    benchutil::report_value("mean_est_" + suffix, mean);
+    benchutil::report_value("max_abs_err_" + suffix, worst);
   }
   benchutil::print_note(
       "Each client should land near 100/N Mbps: the shared egress queue, not "
       "per-client private links, is what splits the uplink.");
-  return 0;
+  return benchutil::report_flush();
 }

@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <utility>
 
 #include "bts/fast.hpp"
 #include "bts/fastbts.hpp"
 #include "bts/flooding.hpp"
 #include "dataset/generator.hpp"
+#include "obs/json_util.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 #include "swiftest/client.hpp"
+
+#ifndef SWIFTEST_GIT_SHA
+#define SWIFTEST_GIT_SHA "unknown"
+#endif
 
 namespace swiftest::benchutil {
 
@@ -136,6 +144,69 @@ TesterFactory flooding_factory() {
   return [](dataset::AccessTech) -> std::unique_ptr<bts::BandwidthTester> {
     return std::make_unique<bts::FloodingBts>();
   };
+}
+
+namespace {
+
+struct ReportState {
+  std::string bench_name;
+  std::string json_path;
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::pair<std::string, double>> values;
+};
+ReportState g_report;
+
+}  // namespace
+
+void report_init(int argc, char** argv, const std::string& bench_name) {
+  g_report = {};
+  g_report.bench_name = bench_name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") g_report.json_path = argv[i + 1];
+  }
+}
+
+void report_config(const std::string& key, const std::string& value) {
+  g_report.config.emplace_back(key, value);
+}
+
+void report_value(const std::string& name, double value) {
+  g_report.values.emplace_back(name, value);
+}
+
+int report_flush() {
+  if (g_report.json_path.empty()) return 0;
+  std::string out;
+  out += "{\n  \"name\": ";
+  obs::append_json_string(out, g_report.bench_name);
+  out += ",\n  \"repo_sha\": ";
+  obs::append_json_string(out, SWIFTEST_GIT_SHA);
+  out += ",\n  \"config\": {";
+  for (std::size_t i = 0; i < g_report.config.size(); ++i) {
+    out += (i == 0 ? "\n    " : ",\n    ");
+    obs::append_json_string(out, g_report.config[i].first);
+    out += ": ";
+    obs::append_json_string(out, g_report.config[i].second);
+  }
+  out += g_report.config.empty() ? "},\n" : "\n  },\n";
+  out += "  \"values\": {";
+  for (std::size_t i = 0; i < g_report.values.size(); ++i) {
+    out += (i == 0 ? "\n    " : ",\n    ");
+    obs::append_json_string(out, g_report.values[i].first);
+    out += ": ";
+    obs::append_double(out, g_report.values[i].second);
+  }
+  out += g_report.values.empty() ? "}\n}\n" : "\n  }\n}\n";
+  std::ofstream file(g_report.json_path, std::ios::binary | std::ios::trunc);
+  file << out;
+  file.flush();
+  if (!file) {
+    std::fprintf(stderr, "cannot write bench report: %s\n",
+                 g_report.json_path.c_str());
+    return 1;
+  }
+  std::printf("  bench report: %s\n", g_report.json_path.c_str());
+  return 0;
 }
 
 TesterFactory swiftest_factory() {

@@ -82,4 +82,35 @@ void set_comparison_obs(obs::Hub* hub);
 /// Swiftest-only factory.
 [[nodiscard]] TesterFactory swiftest_factory();
 
+// ------------------------------------------------------------ machine output
+//
+// Benches stay human-first (the printf tables above), but when launched with
+// `--json <path>` they also emit a small machine-readable result file so
+// tools/bench_compare.py can diff two runs with a tolerance. Protocol:
+//
+//   int main(int argc, char** argv) {
+//     benchutil::report_init(argc, argv, "fig20_swiftest_time");
+//     benchutil::report_config("seed", "2020");
+//     ...
+//     benchutil::report_value("probe_mean_4g", ps.mean);
+//     return benchutil::report_flush();
+//   }
+//
+// The file holds {"name", "repo_sha", "config", "values"}; repo_sha is baked
+// in at build time. Without --json, report_flush() is a no-op returning 0.
+
+/// Scans argv for `--json <path>` and resets the report state.
+void report_init(int argc, char** argv, const std::string& bench_name);
+
+/// Records one configuration string (seed, sizes, ...) for the report header.
+void report_config(const std::string& key, const std::string& value);
+
+/// Records one named scalar result. Insertion order is preserved in the
+/// output, so same code + same seed produces a byte-identical file.
+void report_value(const std::string& name, double value);
+
+/// Writes the JSON file when --json was given. Returns 0, or 1 if the file
+/// could not be written (so benches can `return report_flush();`).
+[[nodiscard]] int report_flush();
+
 }  // namespace swiftest::benchutil

@@ -37,4 +37,26 @@ std::string to_string(WifiRadio r) {
   return r == WifiRadio::k2_4GHz ? "2.4GHz" : "5GHz";
 }
 
+std::string dimension_key(AccessTech t) {
+  switch (t) {
+    case AccessTech::k3G: return "tech:3g";
+    case AccessTech::k4G: return "tech:4g";
+    case AccessTech::k5G: return "tech:5g";
+    case AccessTech::kWiFi4: return "tech:wifi4";
+    case AccessTech::kWiFi5: return "tech:wifi5";
+    case AccessTech::kWiFi6: return "tech:wifi6";
+  }
+  return "tech:unknown";
+}
+
+std::string dimension_key(Isp isp) {
+  switch (isp) {
+    case Isp::kIsp1: return "isp:1";
+    case Isp::kIsp2: return "isp:2";
+    case Isp::kIsp3: return "isp:3";
+    case Isp::kIsp4: return "isp:4";
+  }
+  return "isp:unknown";
+}
+
 }  // namespace swiftest::dataset

@@ -39,4 +39,11 @@ enum class WifiRadio : std::uint8_t { k2_4GHz, k5GHz };
 [[nodiscard]] std::string to_string(CitySize s);
 [[nodiscard]] std::string to_string(WifiRadio r);
 
+/// Stable lowercase dimension keys for the health/SLO layer ("tech:4g",
+/// "isp:1"). Unlike to_string (display names, free to change), these are a
+/// wire format: SLO spec files and health reports reference them, so they
+/// must stay fixed.
+[[nodiscard]] std::string dimension_key(AccessTech t);
+[[nodiscard]] std::string dimension_key(Isp isp);
+
 }  // namespace swiftest::dataset

@@ -5,8 +5,10 @@
 #include <memory>
 #include <utility>
 
+#include "bts/tester.hpp"
 #include "core/rng.hpp"
 #include "dataset/profiles.hpp"
+#include "dataset/taxonomy.hpp"
 #include "obs/log.hpp"
 #include "deploy/placement.hpp"
 #include "netsim/testbed.hpp"
@@ -32,6 +34,7 @@ namespace {
 struct Arrival {
   std::int64_t second = 0;  // arrival time, seconds since simulation start
   dataset::AccessTech tech = dataset::AccessTech::kWiFi5;
+  dataset::Isp isp = dataset::Isp::kIsp1;
   double truth_mbps = 0.0;
   double rate_mbps = 0.0;       // the settled probing rate (analytic load)
   std::size_t n_servers = 1;    // servers the analytic model spreads it over
@@ -46,6 +49,7 @@ struct Arrival {
 std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> population,
                                        const swift::ModelRegistry& registry,
                                        const FleetSimConfig& config) {
+  obs::ProfScope prof(config.prof, "fleet.workload_gen");
   std::vector<Arrival> workload;
   core::Rng rng(config.seed);
   const auto weights = dataset::hourly_test_weights();
@@ -78,6 +82,7 @@ std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> popu
           Arrival arrival;
           arrival.second = second_index;
           arrival.tech = rec.tech;
+          arrival.isp = rec.isp;
           arrival.truth_mbps = rec.bandwidth_mbps;
           arrival.rate_mbps =
               settled_probing_rate(registry.model(rec.tech), rec.bandwidth_mbps);
@@ -101,6 +106,12 @@ std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> popu
   return workload;
 }
 
+/// Dimension keys a test's health samples land under, beyond "all".
+std::vector<std::string> arrival_dimensions(const Arrival& a) {
+  return {dataset::dimension_key(a.tech), dataset::dimension_key(a.isp),
+          "server:" + std::to_string(a.first_server)};
+}
+
 void finish_result(FleetSimResult& result, std::uint64_t overload_seconds,
                    std::uint64_t total_seconds) {
   std::sort(result.busy_window_utilization.begin(),
@@ -118,6 +129,7 @@ void finish_result(FleetSimResult& result, std::uint64_t overload_seconds,
 
 FleetSimResult run_analytic(const std::vector<Arrival>& workload,
                             const FleetSimConfig& config) {
+  obs::ProfScope prof(config.prof, "fleet.replay_analytic");
   FleetSimResult result;
   const double fleet_capacity =
       config.server_uplink_mbps * static_cast<double>(config.server_count);
@@ -138,6 +150,20 @@ FleetSimResult run_analytic(const std::vector<Arrival>& workload,
         active[(a.first_server + s) % config.server_count].emplace_back(
             a.duration_s, a.rate_mbps / static_cast<double>(a.n_servers));
       }
+      if (config.health != nullptr) {
+        config.health->note_arrival(static_cast<double>(a.second));
+        obs::health::TestSample sample;
+        sample.duration_s = static_cast<double>(a.duration_s);
+        // Data usage at the settled probing rate for the test's duration.
+        sample.data_mb = a.rate_mbps * static_cast<double>(a.duration_s) / 8.0;
+        // No estimator in the closed form: deviation is the model-coverage
+        // proxy — zero whenever the settled rate covers the client's truth.
+        sample.deviation =
+            bts::deviation(std::min(a.rate_mbps, a.truth_mbps), a.truth_mbps);
+        const auto dims = arrival_dimensions(a);
+        sample.dimensions = dims;
+        config.health->record_test(sample);
+      }
     }
     double second_load = 0.0;
     for (std::size_t s = 0; s < config.server_count; ++s) {
@@ -156,7 +182,13 @@ FleetSimResult run_analytic(const std::vector<Arrival>& workload,
         const double util = 100.0 * window_load[s] /
                             static_cast<double>(config.window_seconds) /
                             config.server_uplink_mbps;
-        if (util > 0.0) result.busy_window_utilization.push_back(util);
+        if (util > 0.0) {
+          result.busy_window_utilization.push_back(util);
+          // Busy windows only, matching Fig 26's utilization distribution.
+          if (config.health != nullptr) {
+            config.health->record_egress_utilization(s, util);
+          }
+        }
         window_load[s] = 0.0;
       }
       second_in_window = 0;
@@ -171,6 +203,7 @@ FleetSimResult run_analytic(const std::vector<Arrival>& workload,
 FleetSimResult run_packet(const std::vector<Arrival>& workload,
                           const swift::ModelRegistry& registry,
                           const FleetSimConfig& config) {
+  obs::ProfScope prof(config.prof, "fleet.replay_packet");
   FleetSimResult result;
 
   netsim::TestbedConfig tb_cfg;
@@ -213,6 +246,9 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     }
   };
   auto start_test = [&](const Arrival& a) {
+    if (config.health != nullptr) {
+      config.health->note_arrival(static_cast<double>(a.second));
+    }
     Slot* slot = nullptr;
     for (auto& candidate : slots) {
       if (!candidate->busy) {
@@ -250,12 +286,22 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     slot->wire = std::make_unique<swift::WireClient>(wc_cfg, registry, server_cfg);
     slot->wire->attach_fleet(fleet);
     slot->wire->set_forced_server(a.first_server);
-    slot->wire->start(ctx, [slot, &busy_slots, &note_concurrency,
-                            &trace_fleet](const bts::BtsResult& r) {
+    obs::health::HealthMonitor* health = config.health;
+    slot->wire->start(ctx, [slot, &busy_slots, &note_concurrency, &trace_fleet,
+                            health, a](const bts::BtsResult& r) {
       slot->busy = false;
       --busy_slots;
       note_concurrency();
       trace_fleet("fleet.test_done", slot->client_index, r.bandwidth_mbps);
+      if (health != nullptr) {
+        obs::health::TestSample sample;
+        sample.duration_s = core::to_seconds(r.total_duration());
+        sample.data_mb = r.data_used.megabytes();
+        sample.deviation = bts::deviation(r.bandwidth_mbps, a.truth_mbps);
+        const auto dims = arrival_dimensions(a);
+        sample.dimensions = dims;
+        health->record_test(sample);
+      }
     });
     ++result.tests_simulated;
   };
@@ -285,7 +331,12 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
       last_delivered[s] = delivered;
       const double util =
           100.0 * static_cast<double>(delta) * 8.0 / 1e6 / window_capacity_mbit;
-      if (util > 0.0) result.busy_window_utilization.push_back(util);
+      if (util > 0.0) {
+        result.busy_window_utilization.push_back(util);
+        if (config.health != nullptr) {
+          config.health->record_egress_utilization(s, util);
+        }
+      }
       total_util += util;
       if (auto* hub = sched.obs()) {
         if (util > 0.0) {
@@ -315,6 +366,9 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
 
   // Let the tail of the last tests (max_duration + drain) play out.
   sched.run_until(total_seconds * core::seconds(1) + core::seconds(30));
+
+  // Protocol-level per-server load balance (sessions, probe egress).
+  if (config.health != nullptr) fleet.record_health(*config.health);
 
   finish_result(result,
                 overloaded_windows * static_cast<std::uint64_t>(config.window_seconds),

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "dataset/record.hpp"
+#include "obs/health/monitor.hpp"
 #include "obs/hub.hpp"
+#include "obs/prof.hpp"
 #include "stats/descriptive.hpp"
 #include "swiftest/model_registry.hpp"
 
@@ -47,6 +49,18 @@ struct FleetSimConfig {
   /// for the run: per-test lifecycle traces, per-server egress-utilization
   /// samples, and fleet.* counters land here. Null disables instrumentation.
   obs::Hub* obs = nullptr;
+  /// Optional health monitor: both backends stream the §5 operational
+  /// signals into it — per-test duration, data usage, and deviation (keyed
+  /// by tech/ISP/server dimensions) plus per-server busy-window egress
+  /// utilization and the windowed test-arrival rate. The analytic backend
+  /// has no estimator, so its deviation is the model-coverage proxy
+  /// |min(rate, truth) - truth| / truth (0 whenever the settled probing
+  /// rate covers the client). Null disables health aggregation.
+  obs::health::HealthMonitor* health = nullptr;
+  /// Optional wall-clock self-profiler: workload generation and replay are
+  /// timed under fleet.* categories. Host-time only — never part of the
+  /// deterministic result or health report.
+  obs::ProfRegistry* prof = nullptr;
 };
 
 struct FleetSimResult {

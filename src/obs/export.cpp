@@ -1,32 +1,12 @@
 #include "obs/export.hpp"
 
-#include <charconv>
-#include <cinttypes>
 #include <cstdio>
 #include <ostream>
 
+#include "obs/json_util.hpp"
+
 namespace swiftest::obs {
 namespace {
-
-/// Shortest round-trip decimal form of a double — deterministic across runs
-/// (unlike iostream formatting, which depends on stream state).
-void append_double(std::string& out, double v) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  out.append(buf, static_cast<std::size_t>(ptr - buf));
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  char buf[24];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  out.append(buf, static_cast<std::size_t>(ptr - buf));
-}
-
-void append_i64(std::string& out, std::int64_t v) {
-  char buf[24];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  out.append(buf, static_cast<std::size_t>(ptr - buf));
-}
 
 /// Chrome's `ts` field is in microseconds; emit ns with fixed millimicro
 /// precision ("123.456") so nothing is lost and output stays byte-stable.
@@ -99,7 +79,9 @@ void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
   for (const auto& [name, value] : snapshot.counters) {
     body += first ? "\n" : ",\n";
     first = false;
-    body += "    \"" + name + "\": ";
+    body += "    ";
+    append_json_string(body, name);
+    body += ": ";
     append_u64(body, value);
   }
   body += first ? "},\n" : "\n  },\n";
@@ -108,7 +90,9 @@ void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
   for (const auto& [name, value] : snapshot.gauges) {
     body += first ? "\n" : ",\n";
     first = false;
-    body += "    \"" + name + "\": ";
+    body += "    ";
+    append_json_string(body, name);
+    body += ": ";
     append_double(body, value);
   }
   body += first ? "},\n" : "\n  },\n";
@@ -117,7 +101,9 @@ void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
   for (const auto& [name, h] : snapshot.histograms) {
     body += first ? "\n" : ",\n";
     first = false;
-    body += "    \"" + name + "\": {\"le\": [";
+    body += "    ";
+    append_json_string(body, name);
+    body += ": {\"le\": [";
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       if (i > 0) body += ", ";
       append_double(body, h.bounds[i]);

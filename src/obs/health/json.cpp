@@ -1,0 +1,208 @@
+#include "obs/health/json.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace swiftest::obs::health {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string_view fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->type() == Type::kString ? v->string_
+                                                    : std::string(fallback);
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->type() == Type::kNumber ? v->number_ : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = "trailing characters at offset " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& why) {
+    error_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue key;
+      skip_ws();
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object_[key.string_] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array_.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(JsonValue& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.type_ = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.string_ += '"'; break;
+          case '\\': out.string_ += '\\'; break;
+          case '/': out.string_ += '/'; break;
+          case 'n': out.string_ += '\n'; break;
+          case 't': out.string_ += '\t'; break;
+          case 'r': out.string_ += '\r'; break;
+          case 'b': out.string_ += '\b'; break;
+          case 'f': out.string_ += '\f'; break;
+          default: return fail("unsupported escape");
+        }
+      } else {
+        out.string_ += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    if (text_.substr(pos_, 4) == "true") {
+      out.type_ = JsonValue::Type::kBool;
+      out.number_ = 1.0;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out.type_ = JsonValue::Type::kBool;
+      out.number_ = 0.0;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(JsonValue& out) {
+    if (text_.substr(pos_, 4) == "null") {
+      out.type_ = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc() || ptr == begin) return fail("bad number");
+    out.type_ = JsonValue::Type::kNumber;
+    out.number_ = v;
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+}  // namespace swiftest::obs::health

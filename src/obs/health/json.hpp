@@ -1,0 +1,60 @@
+// Minimal JSON reader for declarative health/SLO specs.
+//
+// A deliberately small recursive-descent parser: objects, arrays, strings
+// (with the common escapes), numbers, booleans, null. It exists so SLO spec
+// files can be plain JSON without pulling a dependency into the tree; it is
+// not a general-purpose JSON library (no \uXXXX surrogate pairs, no
+// duplicate-key policy beyond last-wins).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swiftest::obs::health {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return type_ == Type::kBool ? number_ != 0.0 : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const { return array_; }
+
+  /// Object member by key, or nullptr.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+  /// Convenience accessors with fallbacks for absent/mistyped members.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  double number_ = 0.0;  // doubles as bool storage
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document. Returns nullopt (with a position/reason in
+/// `error`, when provided) on malformed input or trailing garbage.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
+
+}  // namespace swiftest::obs::health

@@ -1,0 +1,99 @@
+#include "obs/health/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swiftest::obs::health {
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  increment_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  // The P² parabolic prediction of marker i's height after moving d (±1).
+  return heights_[static_cast<std::size_t>(i)] +
+         d / (positions_[static_cast<std::size_t>(i + 1)] -
+              positions_[static_cast<std::size_t>(i - 1)]) *
+             ((positions_[static_cast<std::size_t>(i)] -
+               positions_[static_cast<std::size_t>(i - 1)] + d) *
+                  (heights_[static_cast<std::size_t>(i + 1)] -
+                   heights_[static_cast<std::size_t>(i)]) /
+                  (positions_[static_cast<std::size_t>(i + 1)] -
+                   positions_[static_cast<std::size_t>(i)]) +
+              (positions_[static_cast<std::size_t>(i + 1)] -
+               positions_[static_cast<std::size_t>(i)] - d) *
+                  (heights_[static_cast<std::size_t>(i)] -
+                   heights_[static_cast<std::size_t>(i - 1)]) /
+                  (positions_[static_cast<std::size_t>(i)] -
+                   positions_[static_cast<std::size_t>(i - 1)]));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto next = static_cast<std::size_t>(i + static_cast<int>(d));
+  return heights_[idx] +
+         d * (heights_[next] - heights_[idx]) / (positions_[next] - positions_[idx]);
+}
+
+void P2Quantile::observe(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    std::sort(heights_.begin(), heights_.begin() + static_cast<long>(count_));
+    if (count_ == 5) {
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        desired_[i] = 1.0 + 4.0 * increment_[i];
+      }
+    }
+    return;
+  }
+  ++count_;
+
+  // Find the cell the observation falls into, stretching the extremes.
+  std::size_t cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (std::size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double gap = desired_[idx] - positions_[idx];
+    if ((gap >= 1.0 && positions_[idx + 1] - positions_[idx] > 1.0) ||
+        (gap <= -1.0 && positions_[idx - 1] - positions_[idx] < -1.0)) {
+      const double d = gap >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, d);
+      if (candidate <= heights_[idx - 1] || candidate >= heights_[idx + 1]) {
+        candidate = linear(i, d);
+      }
+      heights_[idx] = candidate;
+      positions_[idx] += d;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact interpolated quantile of the sorted prefix.
+    const double rank = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return heights_[lo] + frac * (heights_[hi] - heights_[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace swiftest::obs::health

@@ -1,0 +1,39 @@
+// Streaming quantile estimation for the health layer.
+//
+// P2Quantile is the P² algorithm (Jain & Chlamtac, CACM 1985): five markers
+// track one quantile of an unbounded stream in O(1) memory, no samples
+// retained. The estimate is deterministic for a given observation sequence,
+// which keeps health reports byte-identical across same-seed runs. Until the
+// fifth observation the exact (interpolated) quantile of the seen values is
+// returned.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace swiftest::obs::health {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1): the quantile to track (0.5 = median).
+  explicit P2Quantile(double q);
+
+  void observe(double x);
+
+  /// Current estimate; 0 before any observation.
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (sorted)
+  std::array<double, 5> positions_{};  // actual marker positions (1-based)
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increment_{};  // desired-position increments
+};
+
+}  // namespace swiftest::obs::health

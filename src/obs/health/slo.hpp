@@ -1,0 +1,79 @@
+// Declarative service-level objectives over health snapshots.
+//
+// An SLO spec is a JSON document:
+//
+//   {"slos": [
+//     {"name": "mean-deviation", "metric": "deviation", "stat": "mean",
+//      "dimension": "all", "max": 0.10, "min_samples": 100},
+//     {"name": "server-egress-margin", "metric": "egress_util",
+//      "stat": "p99", "dimension": "server:*", "max": 90.0}
+//   ]}
+//
+// metric: duration_s | data_mb | deviation | egress_util (any recorded name)
+// stat:   mean | min | max | p50 | p95 | p99 | count | sum
+// dimension: an exact key ("all", "tech:4g"), or "<prefix>:*" to apply the
+//   objective to every key with that prefix ("server:*" checks each server).
+// max / min: threshold(s); at least one must be present.
+// min_samples: cells with fewer samples are skipped (reported, not failed) —
+//   a thin slice of traffic shouldn't flap a gate. A dimension that matches
+//   no cell at all IS a violation (the signal the SLO guards is missing).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/health/monitor.hpp"
+
+namespace swiftest::obs::health {
+
+struct SloSpec {
+  std::string name;
+  std::string metric;
+  std::string stat = "p95";
+  std::string dimension = "all";
+  std::optional<double> max_value;
+  std::optional<double> min_value;
+  std::uint64_t min_samples = 1;
+};
+
+enum class SloStatus {
+  kPass,
+  kSkipped,   // matched cell below min_samples
+  kViolated,  // threshold breached, or no matching cell
+};
+
+struct SloResult {
+  SloSpec spec;
+  std::string dimension;  // the concrete cell evaluated
+  double observed = 0.0;
+  std::uint64_t samples = 0;
+  SloStatus status = SloStatus::kPass;
+};
+
+struct SloEvaluation {
+  std::vector<SloResult> results;
+  [[nodiscard]] std::size_t violations() const;
+  [[nodiscard]] bool ok() const { return violations() == 0; }
+};
+
+/// Parses an SLO spec document ({"slos": [...]}); nullopt + `error` on
+/// malformed JSON or a spec missing name/metric/threshold.
+[[nodiscard]] std::optional<std::vector<SloSpec>> parse_slo_specs(
+    std::string_view json_text, std::string* error = nullptr);
+
+/// Loads and parses a spec file from disk.
+[[nodiscard]] std::optional<std::vector<SloSpec>> load_slo_file(
+    const std::string& path, std::string* error = nullptr);
+
+/// Evaluates every spec against the snapshot. A "<prefix>:*" dimension
+/// expands to one result per matching cell, in key order.
+[[nodiscard]] SloEvaluation evaluate_slos(const std::vector<SloSpec>& specs,
+                                          const HealthSnapshot& snapshot);
+
+/// One stat from an aggregate by name ("mean", "p99", ...); nullopt for an
+/// unknown stat name.
+[[nodiscard]] std::optional<double> stat_value(const AggregateStats& stats,
+                                               std::string_view stat);
+
+}  // namespace swiftest::obs::health

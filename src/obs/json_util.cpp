@@ -1,0 +1,68 @@
+#include "obs/json_util.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace swiftest::obs {
+
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "\"NaN\"";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace swiftest::obs

@@ -1,0 +1,28 @@
+// Deterministic JSON rendering primitives shared by every obs exporter.
+//
+// Doubles are rendered with std::to_chars (shortest round-trip form), so the
+// same value always produces the same bytes regardless of stream state. JSON
+// has no literal for NaN or the infinities; those render as the quoted
+// strings "NaN", "Infinity", and "-Infinity" so the emitted document stays
+// parseable by any conforming reader instead of containing bare `nan`/`inf`
+// tokens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swiftest::obs {
+
+/// Appends a finite double in shortest round-trip decimal form; non-finite
+/// values render as the quoted strings "NaN" / "Infinity" / "-Infinity".
+void append_double(std::string& out, double v);
+
+void append_u64(std::string& out, std::uint64_t v);
+void append_i64(std::string& out, std::int64_t v);
+
+/// Appends `s` as a quoted JSON string, escaping quotes, backslashes, and
+/// control characters.
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace swiftest::obs

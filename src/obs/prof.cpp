@@ -1,0 +1,35 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace swiftest::obs {
+
+void ProfRegistry::add(const char* category, std::uint64_t elapsed_ns) {
+  Entry& entry = entries_[category];
+  ++entry.count;
+  entry.total_ns += elapsed_ns;
+  entry.max_ns = std::max(entry.max_ns, elapsed_ns);
+}
+
+void write_profile(const ProfRegistry& registry, std::ostream& out) {
+  out << "self-profile (wall clock)\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-28s %10s %12s %12s %12s\n", "category",
+                "count", "total ms", "mean us", "max us");
+  out << line;
+  for (const auto& [category, e] : registry.entries()) {
+    const double total_ms = static_cast<double>(e.total_ns) / 1e6;
+    const double mean_us =
+        e.count == 0 ? 0.0
+                     : static_cast<double>(e.total_ns) / static_cast<double>(e.count) / 1e3;
+    const double max_us = static_cast<double>(e.max_ns) / 1e3;
+    std::snprintf(line, sizeof(line), "  %-28s %10llu %12.3f %12.1f %12.1f\n",
+                  category.c_str(), static_cast<unsigned long long>(e.count),
+                  total_ms, mean_us, max_us);
+    out << line;
+  }
+}
+
+}  // namespace swiftest::obs

@@ -1,0 +1,79 @@
+// Wall-clock self-profiling for the simulator itself.
+//
+// Everything else in obs/ is keyed on *simulated* time and is byte-stable
+// across same-seed runs. ProfScope is the deliberate exception: it measures
+// where the simulator spends *host* time (workload generation, packet
+// replay, export), aggregated per category — count, total, and max
+// nanoseconds, no per-event storage. Because the numbers are wall-clock
+// they are non-deterministic by nature and MUST NOT be written into the
+// deterministic trace/metrics/health artifacts; render them separately with
+// write_profile().
+//
+// Usage:
+//   obs::ProfRegistry prof;
+//   { obs::ProfScope scope(&prof, "fleet.replay"); run_packet(...); }
+//   obs::write_profile(prof, std::cout);
+//
+// A null registry makes ProfScope a no-op (no clock read), mirroring the
+// null-Hub discipline of the tracer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace swiftest::obs {
+
+class ProfRegistry {
+ public:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  void add(const char* category, std::uint64_t elapsed_ns);
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII wall-clock scope: records steady_clock elapsed time into `registry`
+/// under `category` (a string literal) on destruction.
+class ProfScope {
+ public:
+  ProfScope(ProfRegistry* registry, const char* category) noexcept
+      : registry_(registry), category_(category) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfScope() {
+    if (registry_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->add(
+        category_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  ProfRegistry* registry_;
+  const char* category_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Plain-text table (category, count, total ms, mean us, max us), ordered by
+/// category name. Host-time: informational output only, never a gated or
+/// diffed artifact.
+void write_profile(const ProfRegistry& registry, std::ostream& out);
+
+}  // namespace swiftest::obs

@@ -35,6 +35,12 @@ enum class Category : std::uint32_t {
 
 inline constexpr std::uint32_t kAllCategories = 0x1f;
 
+/// The accepted `--trace-categories` tokens, comma-separated — the one
+/// authoritative list. CLI usage/error text and docs quote this constant;
+/// extend it together with Category and parse_category_mask.
+inline constexpr const char* kCategoryListCsv =
+    "all,scheduler,link,transport,protocol,fleet";
+
 [[nodiscard]] const char* to_string(Category category) noexcept;
 
 /// Parses a comma-separated category list ("scheduler,link,protocol") into a

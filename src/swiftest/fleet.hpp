@@ -14,6 +14,7 @@
 
 #include "netsim/scheduler.hpp"
 #include "netsim/testbed.hpp"
+#include "obs/health/monitor.hpp"
 #include "swiftest/server.hpp"
 
 namespace swiftest::swift {
@@ -38,6 +39,12 @@ class ServerFleet {
   [[nodiscard]] ServerStats aggregate_stats() const;
   /// Total live sessions across the fleet.
   [[nodiscard]] std::size_t active_sessions() const noexcept;
+
+  /// Streams per-server protocol-level load into `monitor`: one
+  /// "server_sessions" and one "server_probe_mb" sample per server, keyed
+  /// "server:<i>" — the load-balance view of the fleet (the "all" cell's
+  /// spread shows how evenly anycast assignment landed).
+  void record_health(obs::health::HealthMonitor& monitor) const;
 
  private:
   std::vector<std::unique_ptr<SwiftestServer>> servers_;

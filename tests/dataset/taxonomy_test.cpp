@@ -1,0 +1,39 @@
+#include "dataset/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace swiftest::dataset {
+namespace {
+
+TEST(Taxonomy, DimensionKeysAreStable) {
+  // These keys are a wire format: tools/slo_default.json and emitted health
+  // reports reference them, so they must never change spelling.
+  EXPECT_EQ(dimension_key(AccessTech::k3G), "tech:3g");
+  EXPECT_EQ(dimension_key(AccessTech::k4G), "tech:4g");
+  EXPECT_EQ(dimension_key(AccessTech::k5G), "tech:5g");
+  EXPECT_EQ(dimension_key(AccessTech::kWiFi4), "tech:wifi4");
+  EXPECT_EQ(dimension_key(AccessTech::kWiFi5), "tech:wifi5");
+  EXPECT_EQ(dimension_key(AccessTech::kWiFi6), "tech:wifi6");
+  EXPECT_EQ(dimension_key(Isp::kIsp1), "isp:1");
+  EXPECT_EQ(dimension_key(Isp::kIsp4), "isp:4");
+}
+
+TEST(Taxonomy, DimensionKeysAreUniqueAndPrefixed) {
+  std::set<std::string> keys;
+  for (const auto tech : kAllTechs) {
+    const auto key = dimension_key(tech);
+    EXPECT_EQ(key.rfind("tech:", 0), 0u) << key;
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate " << key;
+  }
+  for (const auto isp : kAllIsps) {
+    const auto key = dimension_key(isp);
+    EXPECT_EQ(key.rfind("isp:", 0), 0u) << key;
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate " << key;
+  }
+  EXPECT_EQ(keys.size(), kAllTechs.size() + kAllIsps.size());
+}
+
+}  // namespace
+}  // namespace swiftest::dataset

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "dataset/generator.hpp"
+#include "obs/health/report.hpp"
+#include "obs/health/slo.hpp"
 #include "stats/gmm.hpp"
 
 namespace swiftest::deploy {
@@ -96,6 +100,123 @@ TEST(FleetSim, PacketBackendAgreesWithAnalytic) {
   EXPECT_GT(packet.busy_window_utilization.size(), 50u);
   EXPECT_NEAR(packet.share_leq_45, analytic.share_leq_45, 0.10);
   EXPECT_EQ(packet.overload_seconds_share, 0.0);
+}
+
+TEST(FleetSim, StreamsHealthSignalsPerDimension) {
+  const swift::ModelRegistry registry;
+  obs::health::HealthMonitor health;
+  obs::ProfRegistry prof;
+  FleetSimConfig cfg;
+  cfg.days = 1;
+  cfg.health = &health;
+  cfg.prof = &prof;
+  const auto result = simulate_fleet(population(), registry, cfg);
+
+  const auto snap = health.snapshot();
+  EXPECT_EQ(snap.tests, result.tests_simulated);
+  EXPECT_EQ(snap.test_rate.events, result.tests_simulated);
+  // The four §5 signals, sliced per dimension family.
+  using namespace obs::health;
+  for (const char* metric : {kMetricDuration, kMetricDataUsage, kMetricDeviation}) {
+    const auto* all = snap.find(metric, "all");
+    ASSERT_NE(all, nullptr) << metric;
+    EXPECT_EQ(all->count, result.tests_simulated) << metric;
+    EXPECT_NE(snap.find(metric, "tech:4g"), nullptr) << metric;
+    EXPECT_NE(snap.find(metric, "isp:1"), nullptr) << metric;
+    EXPECT_NE(snap.find(metric, "server:0"), nullptr) << metric;
+  }
+  // Egress utilization: one sample per busy (server, window).
+  const auto* egress = snap.find(kMetricEgressUtil, "all");
+  ASSERT_NE(egress, nullptr);
+  EXPECT_EQ(egress->count, result.busy_window_utilization.size());
+  EXPECT_DOUBLE_EQ(egress->max, result.summary.max);
+  EXPECT_NEAR(egress->p99, result.p99, 3.0);
+  // Analytic deviation proxy: ~0 when the settled rate covers the truth.
+  EXPECT_LE(snap.find(kMetricDeviation, "all")->mean, 0.10);
+  // Self-profiling saw both stages.
+  EXPECT_EQ(prof.entries().count("fleet.workload_gen"), 1u);
+  EXPECT_EQ(prof.entries().count("fleet.replay_analytic"), 1u);
+}
+
+TEST(FleetSim, PacketBackendStreamsRealTestOutcomes) {
+  const swift::ModelRegistry registry;
+  obs::health::HealthMonitor health;
+  FleetSimConfig cfg;
+  cfg.days = 1;
+  cfg.tests_per_day = 250;
+  cfg.server_count = 5;
+  cfg.backend = FleetBackend::kPacket;
+  cfg.health = &health;
+  const auto result = simulate_fleet(population(), registry, cfg);
+
+  const auto snap = health.snapshot();
+  using namespace obs::health;
+  const auto* duration = snap.find(kMetricDuration, "all");
+  ASSERT_NE(duration, nullptr);
+  EXPECT_EQ(duration->count, result.tests_simulated);
+  // Real wire tests take on the order of a second and deviate a little.
+  EXPECT_GT(duration->mean, 0.2);
+  EXPECT_LT(duration->mean, 10.0);
+  const auto* deviation = snap.find(kMetricDeviation, "all");
+  ASSERT_NE(deviation, nullptr);
+  EXPECT_GT(deviation->mean, 0.0);
+  EXPECT_LT(deviation->mean, 0.5);
+  // Per-server protocol counters from ServerFleet::record_health.
+  const auto* sessions = snap.find("server_sessions", "all");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_EQ(sessions->count, cfg.server_count);
+}
+
+TEST(FleetSim, SeedFleetPassesDefaultSloSpec) {
+  // tools/slo_default.json is the checked-in CI gate; the seed fleet-day
+  // must clear every objective in it.
+  const auto specs = obs::health::load_slo_file(SWIFTEST_SLO_DEFAULT_PATH);
+  ASSERT_TRUE(specs.has_value());
+  ASSERT_GE(specs->size(), 5u);
+
+  const swift::ModelRegistry registry;
+  obs::health::HealthMonitor health;
+  FleetSimConfig cfg;
+  cfg.days = 1;
+  cfg.health = &health;
+  (void)simulate_fleet(population(), registry, cfg);
+
+  const auto eval = obs::health::evaluate_slos(*specs, health.snapshot());
+  for (const auto& r : eval.results) {
+    EXPECT_NE(r.status, obs::health::SloStatus::kViolated)
+        << r.spec.name << " [" << r.dimension << "] observed " << r.observed;
+  }
+  EXPECT_TRUE(eval.ok());
+
+  // An impossible objective against the same snapshot must trip the gate.
+  obs::health::SloSpec strict;
+  strict.name = "impossible";
+  strict.metric = obs::health::kMetricDuration;
+  strict.stat = "p95";
+  strict.max_value = 1e-6;
+  const auto bad = obs::health::evaluate_slos({strict}, health.snapshot());
+  EXPECT_EQ(bad.violations(), 1u);
+}
+
+TEST(FleetSim, HealthReportIsByteStableAcrossReruns) {
+  const swift::ModelRegistry registry;
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    obs::health::HealthMonitor health;
+    FleetSimConfig cfg;
+    cfg.days = 1;
+    cfg.health = &health;
+    (void)simulate_fleet(population(), registry, cfg);
+    std::ostringstream out;
+    obs::health::write_health_json(health.snapshot(), {{"seed", "99"}},
+                                   nullptr, out);
+    if (run == 0) {
+      first = out.str();
+    } else {
+      EXPECT_EQ(out.str(), first);
+    }
+  }
+  EXPECT_GT(first.size(), 1000u);
 }
 
 TEST(FleetSim, EmptyInputsAreSafe) {

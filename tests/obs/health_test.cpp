@@ -1,0 +1,193 @@
+#include "obs/health/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "obs/health/quantile.hpp"
+
+namespace swiftest::obs::health {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+TEST(P2Quantile, ExactBelowFiveObservations) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);
+  median.observe(10.0);
+  EXPECT_DOUBLE_EQ(median.value(), 10.0);
+  median.observe(2.0);
+  median.observe(30.0);
+  // Sorted prefix {2, 10, 30}: the median is the middle sample.
+  EXPECT_DOUBLE_EQ(median.value(), 10.0);
+  EXPECT_EQ(median.count(), 3u);
+}
+
+TEST(P2Quantile, TracksUniformStream) {
+  P2Quantile p95(0.95);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = dist(rng);
+    xs.push_back(x);
+    p95.observe(x);
+  }
+  EXPECT_NEAR(p95.value(), exact_quantile(xs, 0.95), 1.0);
+}
+
+TEST(P2Quantile, TracksSkewedStream) {
+  // Heavy-tailed input (exponential): the regime quantile sketches get wrong.
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  std::mt19937_64 rng(21);
+  std::exponential_distribution<double> dist(1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = dist(rng);
+    xs.push_back(x);
+    p50.observe(x);
+    p99.observe(x);
+  }
+  EXPECT_NEAR(p50.value(), exact_quantile(xs, 0.50), 0.05);
+  EXPECT_NEAR(p99.value(), exact_quantile(xs, 0.99), 0.5);
+}
+
+TEST(P2Quantile, DeterministicForSameSequence) {
+  P2Quantile a(0.95);
+  P2Quantile b(0.95);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 1'000; ++i) xs.push_back(dist(rng));
+  for (double x : xs) a.observe(x);
+  for (double x : xs) b.observe(x);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(StreamingAggregate, MomentsAndQuantiles) {
+  StreamingAggregate agg;
+  for (int i = 1; i <= 100; ++i) agg.observe(static_cast<double>(i));
+  const auto s = agg.stats();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.0, 3.0);
+  EXPECT_NEAR(s.p95, 95.0, 3.0);
+  EXPECT_NEAR(s.p99, 99.0, 3.0);
+}
+
+TEST(WindowedRate, CountsEmptyIntermediateWindows) {
+  WindowedRate rate(10.0);
+  rate.note(1.0);   // window 0
+  rate.note(2.0);   // window 0
+  rate.note(55.0);  // window 5 — windows 1..4 are empty but counted
+  const auto s = rate.stats();
+  EXPECT_EQ(s.events, 3u);
+  EXPECT_EQ(s.windows, 6u);
+  EXPECT_DOUBLE_EQ(s.max_per_window, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_per_window, 3.0 / 6.0);
+}
+
+TEST(WindowedRate, EmptyIsZero) {
+  const auto s = WindowedRate(10.0).stats();
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_EQ(s.windows, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_per_window, 0.0);
+}
+
+TEST(HealthMonitor, RecordsAllPlusDimensions) {
+  HealthMonitor monitor;
+  const std::vector<std::string> dims = {"tech:4g", "isp:2", "server:0"};
+  TestSample sample;
+  sample.duration_s = 1.5;
+  sample.data_mb = 20.0;
+  sample.deviation = 0.05;
+  sample.dimensions = dims;
+  monitor.note_arrival(0.5);
+  monitor.record_test(sample);
+
+  const auto snap = monitor.snapshot();
+  EXPECT_EQ(snap.tests, 1u);
+  for (const char* metric :
+       {kMetricDuration, kMetricDataUsage, kMetricDeviation}) {
+    for (const char* dim : {"all", "tech:4g", "isp:2", "server:0"}) {
+      const auto* cell = snap.find(metric, dim);
+      ASSERT_NE(cell, nullptr) << metric << " / " << dim;
+      EXPECT_EQ(cell->count, 1u);
+    }
+  }
+  EXPECT_DOUBLE_EQ(snap.find(kMetricDuration, "all")->mean, 1.5);
+  EXPECT_DOUBLE_EQ(snap.find(kMetricDeviation, "tech:4g")->mean, 0.05);
+  EXPECT_EQ(snap.find(kMetricDuration, "tech:5g"), nullptr);
+  EXPECT_EQ(snap.find("no_such_metric", "all"), nullptr);
+}
+
+TEST(HealthMonitor, EgressUtilizationKeysServers) {
+  HealthMonitor monitor;
+  monitor.record_egress_utilization(3, 40.0);
+  monitor.record_egress_utilization(3, 60.0);
+  monitor.record_egress_utilization(7, 10.0);
+  const auto snap = monitor.snapshot();
+  const auto* all = snap.find(kMetricEgressUtil, "all");
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(all->count, 3u);
+  const auto* s3 = snap.find(kMetricEgressUtil, "server:3");
+  ASSERT_NE(s3, nullptr);
+  EXPECT_EQ(s3->count, 2u);
+  EXPECT_DOUBLE_EQ(s3->mean, 50.0);
+  ASSERT_NE(snap.find(kMetricEgressUtil, "server:7"), nullptr);
+  // Egress windows are not tests.
+  EXPECT_EQ(snap.tests, 0u);
+}
+
+TEST(HealthMonitor, SkipsEmptyDimensionKeys) {
+  HealthMonitor monitor;
+  const std::vector<std::string> dims = {"", "tech:4g"};
+  monitor.record("x", 1.0, dims);
+  const auto snap = monitor.snapshot();
+  ASSERT_NE(snap.find("x", "all"), nullptr);
+  ASSERT_NE(snap.find("x", "tech:4g"), nullptr);
+  EXPECT_EQ(snap.find("x", ""), nullptr);
+}
+
+TEST(HealthMonitor, ConstantMemoryAcrossManyTests) {
+  // 50k tests over 4 dimension keys: the snapshot stays O(cells), and the
+  // aggregates match the closed forms for the constant stream.
+  HealthMonitor monitor;
+  const std::vector<std::string> dims = {"tech:wifi5"};
+  for (int i = 0; i < 50'000; ++i) {
+    TestSample sample;
+    sample.duration_s = 2.0;
+    sample.data_mb = 10.0;
+    sample.deviation = 0.0;
+    sample.dimensions = dims;
+    monitor.note_arrival(static_cast<double>(i) * 0.01);
+    monitor.record_test(sample);
+  }
+  const auto snap = monitor.snapshot();
+  EXPECT_EQ(snap.tests, 50'000u);
+  const auto* cell = snap.find(kMetricDuration, "tech:wifi5");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->count, 50'000u);
+  EXPECT_DOUBLE_EQ(cell->p95, 2.0);
+  EXPECT_DOUBLE_EQ(cell->max, 2.0);
+  // 50k arrivals at 100/s over 10 s windows: 1000 per window.
+  EXPECT_EQ(snap.test_rate.events, 50'000u);
+  EXPECT_NEAR(snap.test_rate.mean_per_window, 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace swiftest::obs::health

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace swiftest::cli {
 namespace {
 
@@ -142,6 +144,130 @@ TEST(Cli, TraceCategoriesFilterAppliesAndRejectsUnknown) {
                 output),
             2);
   EXPECT_NE(output.find("bad --trace-categories"), std::string::npos);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(Cli, FleetWritesHealthReportAndMarkdown) {
+  const std::string json_path = testing::TempDir() + "/cli_health.json";
+  const std::string md_path = testing::TempDir() + "/cli_health.md";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--days", "1", "--health-out", json_path,
+                 "--report-md", md_path},
+                output),
+            0);
+  EXPECT_NE(output.find("health: " + json_path), std::string::npos);
+
+  const std::string json = slurp(json_path);
+  for (const char* key : {"\"meta\"", "\"tests\"", "\"test_rate\"",
+                          "\"metrics\"", "\"duration_s\"", "\"data_mb\"",
+                          "\"deviation\"", "\"egress_util\"", "\"tech:4g\"",
+                          "\"isp:1\"", "\"server:0\"", "\"p50\"", "\"p95\"",
+                          "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // No --slo given: the report carries no SLO section.
+  EXPECT_EQ(json.find("\"slo\""), std::string::npos);
+
+  const std::string md = slurp(md_path);
+  EXPECT_NE(md.find("# Fleet health report"), std::string::npos);
+  EXPECT_NE(md.find("## Operational signals"), std::string::npos);
+}
+
+TEST(Cli, FleetHealthReportIsByteIdenticalForSameSeed) {
+  const std::string a_path = testing::TempDir() + "/cli_health_a.json";
+  const std::string b_path = testing::TempDir() + "/cli_health_b.json";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--days", "1", "--seed", "7", "--health-out", a_path},
+                output),
+            0);
+  ASSERT_EQ(run({"fleet", "--days", "1", "--seed", "7", "--health-out", b_path},
+                output),
+            0);
+  const std::string a = slurp(a_path);
+  EXPECT_EQ(a, slurp(b_path));
+  EXPECT_GT(a.size(), 1000u);
+
+  const std::string c_path = testing::TempDir() + "/cli_health_c.json";
+  ASSERT_EQ(run({"fleet", "--days", "1", "--seed", "8", "--health-out", c_path},
+                output),
+            0);
+  EXPECT_NE(a, slurp(c_path));
+}
+
+TEST(Cli, FleetPassesDefaultSloSpec) {
+  std::string output;
+  EXPECT_EQ(run({"fleet", "--days", "1", "--slo", SWIFTEST_SLO_DEFAULT_PATH},
+                output),
+            0);
+  EXPECT_NE(output.find("objectives passed"), std::string::npos);
+  EXPECT_EQ(output.find("SLO VIOLATION"), std::string::npos);
+}
+
+TEST(Cli, FleetSloViolationExitsNonZero) {
+  const std::string spec_path = testing::TempDir() + "/cli_slo_strict.json";
+  {
+    std::ofstream spec(spec_path);
+    spec << R"({"slos": [{"name": "impossible", "metric": "duration_s",
+                          "stat": "p95", "max": 0.000001}]})";
+  }
+  std::string output;
+  EXPECT_EQ(run({"fleet", "--days", "1", "--slo", spec_path}, output), 3);
+  EXPECT_NE(output.find("SLO VIOLATION: impossible"), std::string::npos);
+}
+
+TEST(Cli, FleetRejectsMalformedSloSpec) {
+  const std::string spec_path = testing::TempDir() + "/cli_slo_bad.json";
+  {
+    std::ofstream spec(spec_path);
+    spec << R"({"slos": [{"metric": "duration_s"}]})";
+  }
+  std::string output;
+  EXPECT_EQ(run({"fleet", "--days", "1", "--slo", spec_path}, output), 2);
+  EXPECT_NE(output.find("bad --slo spec"), std::string::npos);
+
+  EXPECT_EQ(run({"fleet", "--days", "1", "--slo", "/nonexistent/spec.json"},
+                output),
+            2);
+}
+
+TEST(Cli, TestCommandWritesSingleTestHealth) {
+  const std::string json_path = testing::TempDir() + "/cli_test_health.json";
+  std::string output;
+  ASSERT_EQ(run({"test", "--rate", "80", "--tech", "4g", "--health-out",
+                 json_path},
+                output),
+            0);
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"tests\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tech:4g\""), std::string::npos);
+  EXPECT_NE(json.find("\"deviation\""), std::string::npos);
+}
+
+TEST(Cli, ProfilePrintsWallClockTable) {
+  std::string output;
+  ASSERT_EQ(run({"test", "--rate", "80", "--tech", "4g", "--profile"}, output),
+            0);
+  EXPECT_NE(output.find("self-profile (wall clock)"), std::string::npos);
+  EXPECT_NE(output.find("cli.test_run"), std::string::npos);
+
+  // Fleet profiles its stages too.
+  ASSERT_EQ(run({"fleet", "--days", "1", "--profile"}, output), 0);
+  EXPECT_NE(output.find("fleet.workload_gen"), std::string::npos);
+  EXPECT_NE(output.find("fleet.replay_analytic"), std::string::npos);
+}
+
+TEST(Cli, UsageDocumentsHealthFlagsAndCategories) {
+  std::string output;
+  EXPECT_EQ(run({"help"}, output), 0);
+  EXPECT_NE(output.find("--health-out"), std::string::npos);
+  EXPECT_NE(output.find("--slo"), std::string::npos);
+  EXPECT_NE(output.find(obs::kCategoryListCsv), std::string::npos);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@ run_suite() {
   echo "=== ctest ${build_dir} ==="
   ctest --test-dir "${REPO_ROOT}/${build_dir}" --output-on-failure -j "${JOBS}"
   run_traced_cli "${build_dir}"
+  run_health_gate "${build_dir}"
 }
 
 # One traced end-to-end CLI run per suite: exercises the tracing/metrics
@@ -35,6 +36,23 @@ run_traced_cli() {
   python3 -m json.tool "${out_dir}/trace.json" > /dev/null
   python3 -m json.tool "${out_dir}/metrics.json" > /dev/null
   echo "trace + metrics JSON validated"
+}
+
+# One fleet-day per suite gated on the default SLO spec: any objective
+# violation makes swiftest-cli exit 3 and fails CI, and the emitted health
+# report (JSON + markdown) must be well-formed.
+run_health_gate() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke"
+  echo "=== fleet health/SLO gate (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet --days 1 \
+    --health-out "${out_dir}/health.json" \
+    --report-md "${out_dir}/health.md" \
+    --slo "${REPO_ROOT}/tools/slo_default.json"
+  python3 -m json.tool "${out_dir}/health.json" > /dev/null
+  grep -q '^# Fleet health report' "${out_dir}/health.md"
+  echo "health report validated, SLOs passed"
 }
 
 mode="${1:-all}"

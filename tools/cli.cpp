@@ -10,7 +10,10 @@
 
 #include "analysis/report.hpp"
 #include "obs/export.hpp"
+#include "obs/health/report.hpp"
+#include "obs/health/slo.hpp"
 #include "obs/hub.hpp"
+#include "obs/prof.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/io.hpp"
 #include "deploy/catalog.hpp"
@@ -26,7 +29,7 @@
 namespace swiftest::cli {
 namespace {
 
-constexpr const char* kUsage =
+const std::string kUsage = std::string(
     "usage: swiftest-cli <command> [options]\n"
     "\n"
     "commands:\n"
@@ -44,8 +47,15 @@ constexpr const char* kUsage =
     "  --trace-out FILE        write a Chrome trace_event JSON trace\n"
     "  --trace-jsonl FILE      write the trace as compact JSONL instead\n"
     "  --metrics-out FILE      write a metrics snapshot as JSON\n"
-    "  --trace-categories L    comma list: all,scheduler,link,transport,\n"
-    "                          protocol,fleet (default all)\n";
+    "  --trace-categories L    comma list: ") + obs::kCategoryListCsv + " (default all)\n"
+    "\n"
+    "health / SLO (test, run, fleet):\n"
+    "  --health-out FILE       write the health snapshot (aggregated duration,\n"
+    "                          data usage, deviation, egress utilization) as JSON\n"
+    "  --report-md FILE        render the health report as markdown\n"
+    "  --slo FILE              evaluate an SLO spec (JSON); any violation makes\n"
+    "                          the process exit 3\n"
+    "  --profile               print a wall-clock self-profile after the run\n";
 
 /// Minimal --key value parser; flags without values map to "true".
 class Options {
@@ -103,7 +113,7 @@ bool setup_obs(const Options& options, std::ostream& out,
     const auto mask = obs::parse_category_mask(options.get("trace-categories", ""));
     if (!mask) {
       out << "bad --trace-categories '" << options.get("trace-categories", "")
-          << "' (expected comma list of all,scheduler,link,transport,protocol,fleet)\n";
+          << "' (expected comma list of " << obs::kCategoryListCsv << ")\n";
       return false;
     }
     hub->tracer.set_category_mask(*mask);
@@ -139,6 +149,65 @@ int flush_obs(const Options& options, std::ostream& out, const obs::Hub* hub) {
     if (!open(options.get("metrics-out", ""), file)) return 1;
     obs::write_metrics_json(hub->metrics.snapshot(), file);
     out << "metrics: " << options.get("metrics-out", "") << "\n";
+  }
+  return 0;
+}
+
+/// True when any health/SLO output was requested (a HealthMonitor is only
+/// built — and the run only pays for aggregation — in that case).
+bool wants_health(const Options& options) {
+  return options.has("health-out") || options.has("report-md") || options.has("slo");
+}
+
+/// Writes the requested health artifacts and evaluates the SLO spec, if any.
+/// Returns 0 on success, 1 on an unwritable file, 2 on a malformed spec, and
+/// 3 when at least one objective is violated — the CI gate's exit code.
+int flush_health(const Options& options, std::ostream& out,
+                 const obs::health::HealthMonitor* health,
+                 const obs::health::ReportMeta& meta) {
+  if (health == nullptr) return 0;
+  const obs::health::HealthSnapshot snapshot = health->snapshot();
+
+  std::optional<obs::health::SloEvaluation> evaluation;
+  if (options.has("slo")) {
+    std::string error;
+    const auto specs = obs::health::load_slo_file(options.get("slo", ""), &error);
+    if (!specs) {
+      out << "bad --slo spec: " << error << "\n";
+      return 2;
+    }
+    evaluation = obs::health::evaluate_slos(*specs, snapshot);
+  }
+  const obs::health::SloEvaluation* eval_ptr =
+      evaluation ? &*evaluation : nullptr;
+
+  auto open = [&out](const std::string& path, std::ofstream& file) {
+    file.open(path, std::ios::binary | std::ios::trunc);
+    if (!file) out << "cannot write " << path << "\n";
+    return static_cast<bool>(file);
+  };
+  if (options.has("health-out")) {
+    std::ofstream file;
+    if (!open(options.get("health-out", ""), file)) return 1;
+    obs::health::write_health_json(snapshot, meta, eval_ptr, file);
+    out << "health: " << options.get("health-out", "") << "\n";
+  }
+  if (options.has("report-md")) {
+    std::ofstream file;
+    if (!open(options.get("report-md", ""), file)) return 1;
+    obs::health::write_health_markdown(snapshot, meta, eval_ptr, file);
+    out << "report: " << options.get("report-md", "") << "\n";
+  }
+  if (evaluation) {
+    for (const auto& r : evaluation->results) {
+      if (r.status != obs::health::SloStatus::kViolated) continue;
+      out << "SLO VIOLATION: " << r.spec.name << " [" << r.dimension << "] "
+          << r.spec.stat << " = " << r.observed << " (samples " << r.samples
+          << ")\n";
+    }
+    out << "slo: " << evaluation->results.size() - evaluation->violations()
+        << "/" << evaluation->results.size() << " objectives passed\n";
+    if (!evaluation->ok()) return 3;
   }
   return 0;
 }
@@ -191,6 +260,7 @@ int cmd_test(const Options& options, std::ostream& out) {
   }
   std::unique_ptr<obs::Hub> hub;
   if (!setup_obs(options, out, hub)) return 2;
+  obs::ProfRegistry prof;
   netsim::ScenarioConfig net;
   net.access_rate = core::Bandwidth::mbps(rate);
   netsim::Scenario scenario(net,
@@ -203,18 +273,44 @@ int cmd_test(const Options& options, std::ostream& out) {
   swift::SwiftestConfig cfg;
   cfg.tech = *tech;
   bts::BtsResult result;
-  if (options.has("wire")) {
-    swift::WireClient client(cfg, registry);
-    result = client.run(scenario);
-  } else {
-    swift::SwiftestClient client(cfg, registry);
-    result = client.run(scenario);
+  {
+    obs::ProfScope scope(options.has("profile") ? &prof : nullptr, "cli.test_run");
+    if (options.has("wire")) {
+      swift::WireClient client(cfg, registry);
+      result = client.run(scenario);
+    } else {
+      swift::SwiftestClient client(cfg, registry);
+      result = client.run(scenario);
+    }
   }
   out << "estimate: " << result.bandwidth_mbps << " Mbps (truth " << rate << ")\n"
       << "probe time: " << core::to_seconds(result.probe_duration) << " s; data: "
       << core::to_string(result.data_used) << "; servers: " << result.connections_used
       << "\n";
-  return flush_obs(options, out, hub.get());
+  const int obs_rc = flush_obs(options, out, hub.get());
+  if (obs_rc != 0) return obs_rc;
+
+  int health_rc = 0;
+  if (wants_health(options)) {
+    obs::health::HealthMonitor health;
+    obs::health::TestSample sample;
+    sample.duration_s = core::to_seconds(result.total_duration());
+    sample.data_mb = result.data_used.megabytes();
+    sample.deviation = bts::deviation(result.bandwidth_mbps, rate);
+    const std::string dims[] = {dataset::dimension_key(*tech)};
+    sample.dimensions = dims;
+    health.note_arrival(0.0);
+    health.record_test(sample);
+    const obs::health::ReportMeta meta = {
+        {"command", "test"},
+        {"tech", options.get("tech", "5g")},
+        {"rate_mbps", options.get("rate", "")},
+        {"seed", std::to_string(options.get_int("seed", 42))},
+    };
+    health_rc = flush_health(options, out, &health, meta);
+  }
+  if (options.has("profile")) obs::write_profile(prof, out);
+  return health_rc;
 }
 
 int cmd_fit(const Options& options, std::ostream& out) {
@@ -279,11 +375,19 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   static const swift::ModelRegistry registry;
   std::unique_ptr<obs::Hub> hub;
   if (!setup_obs(options, out, hub)) return 2;
+  std::unique_ptr<obs::health::HealthMonitor> health;
+  if (wants_health(options)) {
+    health = std::make_unique<obs::health::HealthMonitor>();
+  }
+  obs::ProfRegistry prof;
   deploy::FleetSimConfig cfg;
   cfg.obs = hub.get();
+  cfg.health = health.get();
+  cfg.prof = options.has("profile") ? &prof : nullptr;
   cfg.server_count = static_cast<std::size_t>(options.get_int("servers", 20));
   cfg.days = static_cast<int>(options.get_int("days", 3));
   cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
+  cfg.seed = static_cast<std::uint64_t>(options.get_int("seed", 99));
   const std::string backend = options.get("backend", "analytic");
   if (backend == "packet") {
     cfg.backend = deploy::FleetBackend::kPacket;
@@ -302,7 +406,19 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       << result.summary.mean << "%, p99 " << result.p99 << "%, max "
       << result.summary.max << "%\n"
       << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45 << "%\n";
-  return flush_obs(options, out, hub.get());
+  const int obs_rc = flush_obs(options, out, hub.get());
+  if (obs_rc != 0) return obs_rc;
+  const obs::health::ReportMeta meta = {
+      {"command", "fleet"},
+      {"backend", backend},
+      {"servers", std::to_string(cfg.server_count)},
+      {"days", std::to_string(cfg.days)},
+      {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
+      {"seed", std::to_string(cfg.seed)},
+  };
+  const int health_rc = flush_health(options, out, health.get(), meta);
+  if (options.has("profile")) obs::write_profile(prof, out);
+  return health_rc;
 }
 
 }  // namespace
