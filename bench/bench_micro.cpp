@@ -52,6 +52,26 @@ void BM_SchedulerEventThroughputTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerEventThroughputTraced);
 
+// Span begin/attr/end round trip against a live store (trace + metrics
+// sinks attached): the per-stage cost every instrumented session pays.
+void BM_SpanBeginEnd(benchmark::State& state) {
+  obs::Hub hub;
+  core::SimTime now = 0;
+  for (auto _ : state) {
+    if (hub.spans.size() + 2 > hub.spans.capacity()) hub.spans.clear();
+    const auto root = hub.spans.begin(now, obs::Category::kProtocol, "bench.root");
+    const auto child =
+        hub.spans.begin(now, obs::Category::kProtocol, "bench.child", root);
+    hub.spans.attr_f64(child, "rate_mbps", 100.0);
+    hub.spans.end(child, now + 1000);
+    hub.spans.end(root, now + 2000);
+    now += 2000;
+    benchmark::DoNotOptimize(hub.spans.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SpanBeginEnd);
+
 void BM_TcpSimulatedSecond(benchmark::State& state) {
   const double mbps = static_cast<double>(state.range(0));
   for (auto _ : state) {

@@ -226,6 +226,9 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     std::size_t client_index = 0;
     std::unique_ptr<swift::WireClient> wire;
     bool busy = false;
+    /// Per-test wrapper span; the wire client's swiftest.test nests under it
+    /// (the slot pushes it as ambient parent around start()).
+    obs::span::SpanId span = obs::span::kNoSpan;
   };
   std::vector<std::unique_ptr<Slot>> slots;
   slots.push_back(std::make_unique<Slot>());
@@ -287,12 +290,24 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     slot->wire->attach_fleet(fleet);
     slot->wire->set_forced_server(a.first_server);
     obs::health::HealthMonitor* health = config.health;
-    slot->wire->start(ctx, [slot, &busy_slots, &note_concurrency, &trace_fleet,
-                            health, a](const bts::BtsResult& r) {
+    auto& sctx = ctx.spans();
+    slot->span = sctx.begin(obs::Category::kFleet, "fleet.test");
+    if (auto* spans = sctx.store()) {
+      spans->attr_f64(slot->span, "truth_mbps", a.truth_mbps);
+      spans->attr_u64(slot->span, "slot", slot->client_index);
+    }
+    sctx.push(slot->span);
+    slot->wire->start(ctx, [slot, &sched, &busy_slots, &note_concurrency,
+                            &trace_fleet, health, a](const bts::BtsResult& r) {
       slot->busy = false;
       --busy_slots;
       note_concurrency();
       trace_fleet("fleet.test_done", slot->client_index, r.bandwidth_mbps);
+      if (auto* hub = sched.obs()) {
+        hub->spans.attr_f64(slot->span, "estimate_mbps", r.bandwidth_mbps);
+        hub->spans.end(slot->span, sched.now());
+      }
+      slot->span = obs::span::kNoSpan;
       if (health != nullptr) {
         obs::health::TestSample sample;
         sample.duration_s = core::to_seconds(r.total_duration());
@@ -303,6 +318,7 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
         health->record_test(sample);
       }
     });
+    sctx.pop(slot->span);
     ++result.tests_simulated;
   };
 

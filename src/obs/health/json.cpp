@@ -23,6 +23,18 @@ double JsonValue::get_number(std::string_view key, double fallback) const {
   return v != nullptr && v->type() == Type::kNumber ? v->number_ : fallback;
 }
 
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (type_ != Type::kNumber) return fallback;
+  std::uint64_t v = 0;
+  const char* begin = string_.data();
+  const char* end = begin + string_.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec == std::errc() && ptr == end) return v;
+  // Not a plain non-negative integer token (sign, fraction, exponent):
+  // the double value is the best available reading.
+  return number_ >= 0.0 ? static_cast<std::uint64_t>(number_) : fallback;
+}
+
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
@@ -192,6 +204,9 @@ class JsonParser {
     if (ec != std::errc() || ptr == begin) return fail("bad number");
     out.type_ = JsonValue::Type::kNumber;
     out.number_ = v;
+    // Keep the raw token so 64-bit integers (trace ids) survive exactly:
+    // a double holds only 53 mantissa bits.
+    out.string_.assign(begin, static_cast<std::size_t>(ptr - begin));
     pos_ += static_cast<std::size_t>(ptr - begin);
     return true;
   }

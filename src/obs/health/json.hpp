@@ -7,6 +7,7 @@
 // duplicate-key policy beyond last-wins).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -29,6 +30,9 @@ class JsonValue {
   [[nodiscard]] double as_number(double fallback = 0.0) const {
     return type_ == Type::kNumber ? number_ : fallback;
   }
+  /// Exact unsigned 64-bit read: doubles carry 53 mantissa bits, so ids above
+  /// 2^53 (trace nonces) must be re-parsed from the raw number token.
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const;
   [[nodiscard]] bool as_bool(bool fallback = false) const {
     return type_ == Type::kBool ? number_ != 0.0 : fallback;
   }
@@ -37,6 +41,10 @@ class JsonValue {
 
   /// Object member by key, or nullptr.
   [[nodiscard]] const JsonValue* get(std::string_view key) const;
+  /// All object members, key-ordered (empty for non-objects).
+  [[nodiscard]] const std::map<std::string, JsonValue>& members() const noexcept {
+    return object_;
+  }
   /// Convenience accessors with fallbacks for absent/mistyped members.
   [[nodiscard]] std::string get_string(std::string_view key,
                                        std::string_view fallback) const;

@@ -1,27 +1,35 @@
 // The observability bundle a simulation opts into.
 //
-// A Hub owns one Tracer and one MetricsRegistry. Attaching a Hub to a
-// netsim::Scheduler (Scheduler::set_obs) switches on instrumentation for
-// every component driven by that scheduler; with no Hub attached (the
-// default), every instrumentation site reduces to a branch on a null
-// pointer — no allocation, no stores, no formatting.
+// A Hub owns one Tracer, one MetricsRegistry, and one SpanStore. Attaching a
+// Hub to a netsim::Scheduler (Scheduler::set_obs) switches on
+// instrumentation for every component driven by that scheduler; with no Hub
+// attached (the default), every instrumentation site reduces to a branch on
+// a null pointer — no allocation, no stores, no formatting.
 //
 // Attach the Hub before running the simulation. Handle-based metric
 // bindings are established lazily at each component's first instrumented
-// action, so components constructed before set_obs() still report.
+// action, so components constructed before set_obs() still report. The span
+// store mirrors begin/end markers into the tracer and per-stage duration
+// histograms into the metrics registry (span.stage_seconds/<name>).
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/span/span.hpp"
 #include "obs/trace.hpp"
 
 namespace swiftest::obs {
 
 struct Hub {
-  Hub() = default;
-  explicit Hub(std::size_t trace_capacity) : tracer(trace_capacity) {}
+  Hub() { spans.set_sinks(&tracer, &metrics); }
+  explicit Hub(std::size_t trace_capacity, std::size_t span_capacity =
+                                               span::SpanStore::kDefaultCapacity)
+      : tracer(trace_capacity), spans(span_capacity) {
+    spans.set_sinks(&tracer, &metrics);
+  }
 
   Tracer tracer;
   MetricsRegistry metrics;
+  span::SpanStore spans;
 };
 
 }  // namespace swiftest::obs

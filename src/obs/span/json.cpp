@@ -1,0 +1,152 @@
+#include "obs/span/json.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/health/json.hpp"
+#include "obs/json_util.hpp"
+
+namespace swiftest::obs::span {
+
+std::vector<SpanData> to_span_data(const SpanStore& store) {
+  std::vector<SpanData> out;
+  out.reserve(store.size());
+  for (const SpanRecord& record : store.spans()) {
+    SpanData data;
+    data.id = record.id;
+    data.parent = record.parent;
+    data.trace_id = record.trace_id;
+    data.name = record.name;
+    data.category = to_string(record.category);
+    data.start = record.start;
+    data.end = record.end;
+    data.closed = record.closed;
+    for (std::size_t i = 0; i < record.attr_count; ++i) {
+      const SpanAttr& attr = record.attrs[i];
+      data.attrs.emplace_back(attr.key, attr.type == SpanAttr::Type::kU64
+                                            ? static_cast<double>(attr.u64)
+                                            : attr.f64);
+    }
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+void write_spans_json(const SpanStore& store, std::ostream& out) {
+  std::string line = "{\"spans\":[\n";
+  out << line;
+  bool first = true;
+  for (const SpanRecord& record : store.spans()) {
+    line.clear();
+    if (!first) line += ",\n";
+    first = false;
+    line += "{\"id\":";
+    append_u64(line, record.id);
+    line += ",\"parent\":";
+    append_u64(line, record.parent);
+    line += ",\"trace\":";
+    append_u64(line, record.trace_id);
+    line += ",\"name\":";
+    append_json_string(line, record.name);
+    line += ",\"cat\":\"";
+    line += to_string(record.category);
+    line += "\",\"start\":";
+    append_i64(line, record.start);
+    line += ",\"end\":";
+    append_i64(line, record.end);
+    line += ",\"closed\":";
+    line += record.closed ? "true" : "false";
+    if (record.attr_count > 0) {
+      line += ",\"attrs\":{";
+      for (std::size_t i = 0; i < record.attr_count; ++i) {
+        const SpanAttr& attr = record.attrs[i];
+        if (i > 0) line += ",";
+        append_json_string(line, attr.key);
+        line += ":";
+        if (attr.type == SpanAttr::Type::kU64) {
+          append_u64(line, attr.u64);
+        } else {
+          append_double(line, attr.f64);
+        }
+      }
+      line += "}";
+    }
+    line += "}";
+    out << line;
+  }
+  line = "\n],\"open\":";
+  std::string tail;
+  append_u64(tail, store.open_count());
+  line += tail;
+  line += ",\"dropped\":";
+  tail.clear();
+  append_u64(tail, store.dropped());
+  line += tail;
+  line += "}\n";
+  out << line;
+}
+
+std::optional<std::vector<SpanData>> parse_spans_json(std::string_view text,
+                                                      std::string* error) {
+  const auto doc = health::parse_json(text, error);
+  if (!doc) return std::nullopt;
+  const health::JsonValue* spans = doc->get("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    if (error != nullptr) {
+      *error = "span document must be an object with a \"spans\" array";
+    }
+    return std::nullopt;
+  }
+  std::vector<SpanData> out;
+  out.reserve(spans->as_array().size());
+  for (const health::JsonValue& entry : spans->as_array()) {
+    if (!entry.is_object()) {
+      if (error != nullptr) *error = "span entries must be objects";
+      return std::nullopt;
+    }
+    SpanData data;
+    // Ids and timestamps are 64-bit integers; read them exactly (a double
+    // would silently round trace nonces above 2^53).
+    const auto u64_field = [&entry](const char* key) -> std::uint64_t {
+      const health::JsonValue* v = entry.get(key);
+      return v != nullptr ? v->as_u64(0) : 0;
+    };
+    data.id = u64_field("id");
+    data.parent = u64_field("parent");
+    data.trace_id = u64_field("trace");
+    data.name = entry.get_string("name", "");
+    data.category = entry.get_string("cat", "");
+    data.start = static_cast<core::SimTime>(u64_field("start"));
+    data.end = static_cast<core::SimTime>(u64_field("end"));
+    if (const health::JsonValue* closed = entry.get("closed")) {
+      data.closed = closed->as_bool(false);
+    }
+    if (data.id == 0) {
+      if (error != nullptr) *error = "span entry missing a nonzero \"id\"";
+      return std::nullopt;
+    }
+    if (const health::JsonValue* attrs = entry.get("attrs");
+        attrs != nullptr && attrs->is_object()) {
+      for (const auto& [key, value] : attrs->members()) {
+        data.attrs.emplace_back(key, value.as_number(0.0));
+      }
+    }
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+std::optional<std::vector<SpanData>> load_spans_file(const std::string& path,
+                                                     std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_spans_json(text.str(), error);
+}
+
+}  // namespace swiftest::obs::span

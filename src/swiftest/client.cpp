@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/span/span.hpp"
+
 namespace swiftest::swift {
 
 SwiftestClient::SwiftestClient(SwiftestConfig config, const ModelRegistry& registry)
@@ -19,12 +21,25 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
   auto& sched = client.scheduler();
   const auto& model = registry_.model(config_.tech);
 
+  // Stage spans mirror the wire client's decomposition; the facade has no
+  // nonce, so the tree stands alone (trace_id 0).
+  auto& sctx = client.spans();
+  obs::span::SpanStore* spans = sctx.store();
+  const obs::span::SpanId span_test =
+      sctx.begin(obs::Category::kProtocol, "swiftest.test");
+  sctx.push(span_test);
+  if (spans != nullptr) spans->attr_u64(span_test, "client", client.index());
+
   // 1. Server selection: Swiftest PINGs the whole (small) server pool, four
   // probes in flight at a time (~0.2 s total, §5.3).
+  const obs::span::SpanId span_select =
+      sctx.begin(obs::Category::kProtocol, "swiftest.select_server");
   const bts::ServerSelection sel =
       bts::select_server(client, client.server_count(), /*concurrency=*/4);
   result.ping_duration = sel.elapsed;
   sched.run_until(sched.now() + sel.elapsed);
+  if (spans != nullptr) spans->attr_u64(span_select, "server", sel.server);
+  sctx.end(span_select);
 
   // 2. The §5.1 probing state machine, seeded by the model.
   ProbingFsmConfig fsm_cfg;
@@ -67,6 +82,19 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
   if (auto* hub = sched.obs()) hub->metrics.counter("probe.tests_started").inc();
   trace_stage(obs::EventKind::kInstant, "probe.start", fsm.rate_mbps());
 
+  obs::span::SpanId span_handshake =
+      sctx.begin(obs::Category::kProtocol, "swiftest.handshake");
+  obs::span::SpanId span_round = obs::span::kNoSpan;
+  std::uint32_t round_index = 0;
+  auto begin_round_span = [&]() -> obs::span::SpanId {
+    if (spans == nullptr) return obs::span::kNoSpan;
+    const obs::span::SpanId id = spans->begin(
+        sched.now(), obs::Category::kProtocol, "swiftest.round", span_test);
+    spans->attr_u64(id, "round", ++round_index);
+    spans->attr_f64(id, "rate_mbps", fsm.rate_mbps());
+    return id;
+  };
+
   apply_rate(fsm.rate_mbps());
 
   const core::SimTime start = sched.now();
@@ -75,15 +103,43 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
 
   sampler.start(config_.sample_interval, [&](double sample_mbps) {
     trace_stage(obs::EventKind::kCounter, "probe.sample_mbps", sample_mbps);
+    if (span_handshake != obs::span::kNoSpan) {
+      sctx.end(span_handshake);
+      span_handshake = obs::span::kNoSpan;
+      span_round = begin_round_span();
+    }
     switch (fsm.on_sample(sample_mbps)) {
       case ProbingFsm::Action::kEscalate:
         if (auto* hub = sched.obs()) hub->metrics.counter("probe.escalations").inc();
         trace_stage(obs::EventKind::kInstant, "probe.escalate", fsm.rate_mbps());
+        sctx.end(span_round);
+        span_round = begin_round_span();
         apply_rate(fsm.rate_mbps());
         return true;
       case ProbingFsm::Action::kConverged:
         trace_stage(obs::EventKind::kInstant, "probe.converged",
                     fsm.fallback_estimate());
+        // Split the final round at the trailing convergence window, exactly
+        // as the wire client does.
+        if (spans != nullptr) {
+          const core::SimTime now = sched.now();
+          const core::SimDuration window =
+              static_cast<core::SimDuration>(config_.convergence_window) *
+              config_.sample_interval;
+          core::SimTime conv_start = now > window ? now - window : 0;
+          const auto& recs = spans->spans();
+          if (span_round != obs::span::kNoSpan && span_round <= recs.size()) {
+            conv_start = std::max(conv_start, recs[span_round - 1].start);
+          }
+          spans->end(span_round, conv_start);
+          span_round = obs::span::kNoSpan;
+          const obs::span::SpanId conv =
+              spans->begin(conv_start, obs::Category::kProtocol,
+                           "swiftest.convergence", span_test);
+          spans->attr_f64(conv, "estimate_mbps", fsm.fallback_estimate());
+          spans->attr_u64(conv, "window", config_.convergence_window);
+          spans->end(conv, now);
+        }
         done = true;
         return false;
       case ProbingFsm::Action::kContinue:
@@ -115,6 +171,15 @@ bts::BtsResult SwiftestClient::run(netsim::ClientContext& client) {
         .observe(core::to_seconds(result.probe_duration));
   }
   trace_stage(obs::EventKind::kInstant, "probe.complete", result.bandwidth_mbps);
+  // A hard stop lands mid-round (or even mid-handshake): close what's open.
+  sctx.end(span_round);
+  sctx.end(span_handshake);
+  if (spans != nullptr) {
+    spans->attr_f64(span_test, "estimate_mbps", result.bandwidth_mbps);
+    spans->attr_u64(span_test, "servers", flows.size());
+  }
+  sctx.pop(span_test);
+  sctx.end(span_test);
   return result;
 }
 

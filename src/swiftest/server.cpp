@@ -139,7 +139,7 @@ void SwiftestServer::handle_request(const ProbeRequest& request,
     session.sink = std::move(sink);
   }
   ++stats_.requests_accepted;
-  if (sched_.obs() != nullptr) {
+  if (auto* hub = sched_.obs()) {
     if (!obs_.bound) bind_obs();
     obs_.accepted->inc();
     note_session_count();
@@ -147,6 +147,19 @@ void SwiftestServer::handle_request(const ProbeRequest& request,
       tr->record(sched_.now(), obs::Category::kProtocol, obs::EventKind::kInstant,
                  "server.session_start", request.nonce,
                  session.rate.megabits_per_second());
+    }
+    // Session span, joined to the client's test tree via the nonce anchor
+    // (or its own root if this server never sees the client's trace).
+    // Marked aux: it runs concurrently with the client's probing rounds and
+    // must annotate the tree, not claim its critical path.
+    if (session.span == obs::span::kNoSpan) {
+      auto& spans = hub->spans;
+      session.span =
+          spans.begin(sched_.now(), obs::Category::kProtocol, "server.session",
+                      spans.anchor(request.nonce), request.nonce);
+      spans.attr_u64(session.span, "aux", 1);
+      spans.attr_f64(session.span, "rate_mbps",
+                     session.rate.megabits_per_second());
     }
   }
   pump(request.nonce);
@@ -181,6 +194,7 @@ void SwiftestServer::handle_complete(const TestComplete& complete) {
   const auto it = sessions_.find(complete.nonce);
   if (it == sessions_.end()) return;
   it->second.timer.cancel();
+  if (auto* hub = sched_.obs()) hub->spans.end(it->second.span, sched_.now());
   sessions_.erase(it);
   ++stats_.completions;
   if (sched_.obs() != nullptr) {
@@ -243,6 +257,10 @@ void SwiftestServer::reap_idle() {
     if (it->second.last_activity < cutoff) {
       it->second.timer.cancel();
       const std::uint64_t nonce = it->first;
+      if (auto* hub = sched_.obs()) {
+        hub->spans.attr_u64(it->second.span, "reaped", 1);
+        hub->spans.end(it->second.span, sched_.now());
+      }
       it = sessions_.erase(it);
       ++stats_.sessions_reaped;
       if (sched_.obs() != nullptr) {

@@ -15,6 +15,7 @@
 #include "core/units.hpp"
 #include "netsim/path.hpp"
 #include "netsim/scheduler.hpp"
+#include "obs/span/span.hpp"
 #include "swiftest/protocol.hpp"
 
 namespace swiftest::swift {
@@ -86,6 +87,9 @@ class SwiftestServer {
     /// null falls back to the server-wide default path/sink.
     netsim::Path* path = nullptr;
     netsim::Path::DeliveryFn sink;
+    /// Session lifetime span, parented at the trace anchor the client
+    /// registered under this nonce (kNoSpan with no Hub attached).
+    obs::span::SpanId span = obs::span::kNoSpan;
   };
 
   struct ObsHandles {

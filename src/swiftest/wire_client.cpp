@@ -5,6 +5,8 @@
 
 #include "core/rng.hpp"
 #include "netsim/packet.hpp"
+#include "obs/hub.hpp"
+#include "obs/span/span.hpp"
 #include "swiftest/fleet.hpp"
 
 namespace swiftest::swift {
@@ -28,6 +30,26 @@ void trace_protocol(netsim::Scheduler& sched, obs::EventKind kind, const char* n
   if (auto* tr = sched.tracer(obs::Category::kProtocol)) {
     tr->record(sched.now(), obs::Category::kProtocol, kind, name, id, value);
   }
+}
+
+/// The scheduler's span store, or null when no Hub is attached. Every span
+/// operation below goes through this gate; SpanStore itself no-ops on
+/// kNoSpan ids, so a test started without a Hub stays span-free throughout.
+obs::span::SpanStore* span_store(netsim::Scheduler& sched) {
+  obs::Hub* hub = sched.obs();
+  return hub != nullptr ? &hub->spans : nullptr;
+}
+
+/// Opens the next probing-round span (child of the test span), annotated
+/// with the commanded rate and the round index.
+obs::span::SpanId begin_round(obs::span::SpanStore& spans, netsim::Scheduler& sched,
+                              obs::span::SpanId test_span, std::uint32_t round,
+                              double rate_mbps) {
+  const obs::span::SpanId id = spans.begin(sched.now(), obs::Category::kProtocol,
+                                           "swiftest.round", test_span);
+  spans.attr_u64(id, "round", round);
+  spans.attr_f64(id, "rate_mbps", rate_mbps);
+  return id;
 }
 
 void accumulate(ServerStats& total, const ServerStats& s) {
@@ -76,6 +98,17 @@ struct WireClient::RunState {
   std::uint32_t update_seq = 0;
   std::int64_t wire_bytes = 0;
   std::size_t base_server = 0;
+
+  /// Stage spans (obs/span/). The root test span is registered under the
+  /// nonce so server sessions attach to the same tree. Async stages hold
+  /// their SpanId here and close it from the event that ends the stage;
+  /// abandon() leaves them open on purpose (the analyzer clips open spans,
+  /// which is exactly what a vanished client looks like).
+  obs::span::SpanId span_test = obs::span::kNoSpan;
+  obs::span::SpanId span_handshake = obs::span::kNoSpan;
+  obs::span::SpanId span_round = obs::span::kNoSpan;
+  obs::span::SpanId span_finalize = obs::span::kNoSpan;
+  std::uint32_t round_index = 0;
 
   core::SimTime start_time = 0;
   core::SimTime hard_stop = 0;
@@ -171,6 +204,21 @@ void WireClient::start(netsim::ClientContext& client, CompletionFn on_complete) 
   // the selection PINGs, matching the historical stream order.
   st->nonce = client.fork_rng().next_u64() | 1;
 
+  // Root test span, keyed to the nonce so server sessions join the tree.
+  // The selection PINGs happened synchronously above; their span covers
+  // [now, now + ping_duration], which is when probing actually begins.
+  if (auto* spans = span_store(client.scheduler())) {
+    const core::SimTime t0 = client.scheduler().now();
+    st->span_test = spans->begin(t0, obs::Category::kProtocol, "swiftest.test",
+                                 client.spans().current());
+    spans->attr_u64(st->span_test, "client", client.index());
+    spans->set_trace_id(st->span_test, st->nonce);
+    const obs::span::SpanId sel = spans->begin(
+        t0, obs::Category::kProtocol, "swiftest.select_server", st->span_test);
+    spans->attr_u64(sel, "server", st->base_server);
+    spans->end(sel, t0 + st->result.ping_duration);
+  }
+
   RunState* raw = st.get();
   st->client_sink = [raw, alive = st->alive](const netsim::Packet& pkt) {
     if (!*alive) return;
@@ -194,6 +242,14 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
   trace_protocol(sched, obs::EventKind::kInstant, "probe.start", st->nonce,
                  st->fsm.rate_mbps());
 
+  // Handshake: ProbeRequest fan-out until the first throughput sample. The
+  // span closes from the first sampler callback.
+  if (auto* spans = span_store(sched)) {
+    st->span_handshake = spans->begin(sched.now(), obs::Category::kProtocol,
+                                      "swiftest.handshake", st->span_test);
+    spans->attr_f64(st->span_handshake, "rate_mbps", st->fsm.rate_mbps());
+  }
+
   apply_rate(*st, st->fsm.rate_mbps());
 
   RunState* raw = st.get();
@@ -202,6 +258,15 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
     if (!*alive) return false;
     trace_protocol(*raw->sched, obs::EventKind::kCounter, "probe.sample_mbps",
                    raw->nonce, sample_mbps);
+    // First sample: the handshake stage is over, round 1 starts here.
+    if (raw->span_handshake != obs::span::kNoSpan) {
+      if (auto* spans = span_store(*raw->sched)) {
+        spans->end(raw->span_handshake, raw->sched->now());
+        raw->span_round = begin_round(*spans, *raw->sched, raw->span_test,
+                                      ++raw->round_index, raw->fsm.rate_mbps());
+      }
+      raw->span_handshake = obs::span::kNoSpan;
+    }
     switch (raw->fsm.on_sample(sample_mbps)) {
       case ProbingFsm::Action::kEscalate:
         if (auto* hub = raw->sched->obs()) {
@@ -209,11 +274,40 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
         }
         trace_protocol(*raw->sched, obs::EventKind::kInstant, "probe.escalate",
                        raw->nonce, raw->fsm.rate_mbps());
+        if (auto* spans = span_store(*raw->sched)) {
+          spans->end(raw->span_round, raw->sched->now());
+          raw->span_round = begin_round(*spans, *raw->sched, raw->span_test,
+                                        ++raw->round_index, raw->fsm.rate_mbps());
+        }
         apply_rate(*raw, raw->fsm.rate_mbps());
         return true;
       case ProbingFsm::Action::kConverged: {
         trace_protocol(*raw->sched, obs::EventKind::kInstant, "probe.converged",
                        raw->nonce, raw->fsm.fallback_estimate());
+        // Split the final round at the start of the trailing convergence
+        // window: the FSM declared convergence because the last
+        // `convergence_window` samples agreed, so that window is its own
+        // stage (the part of the test an SLO on time-to-converge bounds).
+        if (auto* spans = span_store(*raw->sched)) {
+          const core::SimTime now = raw->sched->now();
+          const core::SimDuration window =
+              static_cast<core::SimDuration>(raw->config.convergence_window) *
+              raw->config.sample_interval;
+          core::SimTime conv_start = now > window ? now - window : 0;
+          const auto& recs = spans->spans();
+          if (raw->span_round != obs::span::kNoSpan &&
+              raw->span_round <= recs.size()) {
+            conv_start = std::max(conv_start, recs[raw->span_round - 1].start);
+          }
+          spans->end(raw->span_round, conv_start);
+          raw->span_round = obs::span::kNoSpan;
+          const obs::span::SpanId conv =
+              spans->begin(conv_start, obs::Category::kProtocol,
+                           "swiftest.convergence", raw->span_test);
+          spans->attr_f64(conv, "estimate_mbps", raw->fsm.fallback_estimate());
+          spans->attr_u64(conv, "window", raw->config.convergence_window);
+          spans->end(conv, now);
+        }
         // Tear down at the next 100 ms client tick after convergence (the
         // cadence the app's event loop ran at), capped by the hard stop.
         const core::SimDuration tick = core::milliseconds(100);
@@ -250,6 +344,21 @@ void WireClient::finalize(const std::shared_ptr<RunState>& st) {
   st->sampler.stop();
   trace_protocol(*st->sched, obs::EventKind::kInstant, "probe.finalize",
                  st->nonce, st->fsm.fallback_estimate());
+
+  // Close whatever stage was still running (a hard stop lands mid-round, or
+  // even mid-handshake) and open the finalization stage: TestComplete
+  // fan-out plus the in-flight drain, ended when the result is declared.
+  if (auto* spans = span_store(*st->sched)) {
+    const core::SimTime now = st->sched->now();
+    spans->end(st->span_round, now);
+    spans->end(st->span_handshake, now);
+    st->span_round = obs::span::kNoSpan;
+    st->span_handshake = obs::span::kNoSpan;
+    st->span_finalize = spans->begin(now, obs::Category::kProtocol,
+                                     "swiftest.finalize", st->span_test);
+    spans->attr_f64(st->span_finalize, "estimate_mbps",
+                    st->fsm.fallback_estimate());
+  }
 
   // Tear the sessions down; servers stop within the control one-way delay.
   for (std::size_t i = 0; i < st->servers.size(); ++i) {
@@ -289,6 +398,15 @@ void WireClient::complete(const std::shared_ptr<RunState>& st) {
   }
   trace_protocol(*st->sched, obs::EventKind::kInstant, "probe.complete",
                  st->nonce, r.bandwidth_mbps);
+
+  if (auto* spans = span_store(*st->sched)) {
+    spans->end(st->span_finalize, now);
+    spans->attr_f64(st->span_test, "estimate_mbps", r.bandwidth_mbps);
+    spans->attr_u64(st->span_test, "servers", st->servers.size());
+    spans->attr_u64(st->span_test, "wire_bytes",
+                    static_cast<std::uint64_t>(st->wire_bytes));
+    spans->end(st->span_test, now);
+  }
 
   *st->alive = false;  // late packets must not touch the finished state
   for (const auto& server : st->owned_servers) {

@@ -1,0 +1,242 @@
+// Critical-path analyzer unit tests over hand-built span trees: exact
+// partition of the root interval, gap charging, self-time union, aux
+// exclusion, and graceful handling of damaged input (orphans, cycles, open
+// spans).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "obs/span/critical_path.hpp"
+
+namespace swiftest::obs::span {
+namespace {
+
+SpanData make_span(std::uint64_t id, std::uint64_t parent, const char* name,
+                   core::SimTime start, core::SimTime end, bool closed = true) {
+  SpanData span;
+  span.id = id;
+  span.parent = parent;
+  span.name = name;
+  span.category = "protocol";
+  span.start = start;
+  span.end = end;
+  span.closed = closed;
+  return span;
+}
+
+double critical_sum(const TraceAttribution& trace) {
+  double sum = 0.0;
+  for (const auto& seg : trace.critical_path) sum += seg.seconds();
+  return sum;
+}
+
+TEST(CriticalPath, LeafRootIsItsOwnPartition) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "test", 0, core::seconds(2))};
+  const AttributionReport report = analyze_spans(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  const TraceAttribution& trace = report.traces.front();
+  EXPECT_DOUBLE_EQ(trace.duration_s, 2.0);
+  ASSERT_EQ(trace.critical_path.size(), 1u);
+  EXPECT_EQ(trace.critical_path[0].name, "test");
+  EXPECT_DOUBLE_EQ(trace.critical_sum_s, 2.0);
+  ASSERT_EQ(trace.stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.stages[0].self_s, 2.0);
+  EXPECT_DOUBLE_EQ(trace.stages[0].critical_s, 2.0);
+}
+
+TEST(CriticalPath, GapsBetweenChildrenAreChargedToParent) {
+  // root [0,1000ms] with a [0,400ms] and b [500,900ms]: the uncovered
+  // [400,500] and [900,1000] belong to the root itself.
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::milliseconds(1000)),
+      make_span(2, 1, "a", 0, core::milliseconds(400)),
+      make_span(3, 1, "b", core::milliseconds(500), core::milliseconds(900)),
+  };
+  const AttributionReport report = analyze_spans(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  const TraceAttribution& trace = report.traces.front();
+
+  ASSERT_EQ(trace.critical_path.size(), 4u);
+  EXPECT_EQ(trace.critical_path[0].name, "a");
+  EXPECT_EQ(trace.critical_path[1].name, "root");
+  EXPECT_EQ(trace.critical_path[2].name, "b");
+  EXPECT_EQ(trace.critical_path[3].name, "root");
+  // Contiguous, and partitioning [0, 1000ms] exactly.
+  EXPECT_EQ(trace.critical_path.front().start, 0);
+  EXPECT_EQ(trace.critical_path.back().end, core::milliseconds(1000));
+  for (std::size_t i = 1; i < trace.critical_path.size(); ++i) {
+    EXPECT_EQ(trace.critical_path[i - 1].end, trace.critical_path[i].start);
+  }
+  EXPECT_DOUBLE_EQ(trace.critical_sum_s, trace.duration_s);
+  EXPECT_DOUBLE_EQ(critical_sum(trace), trace.critical_sum_s);
+
+  // Root self time = the two gaps.
+  for (const StageStat& stat : trace.stages) {
+    if (stat.name == "root") {
+      EXPECT_DOUBLE_EQ(stat.self_s, 0.2);
+      EXPECT_DOUBLE_EQ(stat.critical_s, 0.2);
+    }
+  }
+}
+
+TEST(CriticalPath, DescendsThroughNestedChildren) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::seconds(10)),
+      make_span(2, 1, "child", core::seconds(2), core::seconds(8)),
+      make_span(3, 2, "grand", core::seconds(3), core::seconds(7)),
+  };
+  const AttributionReport report = analyze_spans(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  const TraceAttribution& trace = report.traces.front();
+
+  std::vector<std::string> path_names;
+  for (const auto& seg : trace.critical_path) path_names.push_back(seg.name);
+  const std::vector<std::string> expected = {"root", "child", "grand", "child",
+                                             "root"};
+  EXPECT_EQ(path_names, expected);
+  EXPECT_DOUBLE_EQ(trace.critical_sum_s, 10.0);
+
+  for (const StageStat& stat : trace.stages) {
+    if (stat.name == "child") {
+      EXPECT_DOUBLE_EQ(stat.total_s, 6.0);
+      EXPECT_DOUBLE_EQ(stat.self_s, 2.0);       // 6 minus grand's 4
+      EXPECT_DOUBLE_EQ(stat.critical_s, 2.0);   // [2,3] and [7,8]
+    }
+    if (stat.name == "grand") {
+      EXPECT_DOUBLE_EQ(stat.critical_s, 4.0);
+    }
+  }
+}
+
+TEST(CriticalPath, AuxSpansCountInStagesButNotOnThePath) {
+  // The aux child covers the whole root (a server session running alongside
+  // the client); the walk must stay with the sequential "work" child.
+  std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::seconds(10)),
+      make_span(2, 1, "session", 0, core::seconds(10)),
+      make_span(3, 1, "work", core::seconds(2), core::seconds(6)),
+  };
+  spans[1].attrs.emplace_back("aux", 1.0);
+  const AttributionReport report = analyze_spans(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  const TraceAttribution& trace = report.traces.front();
+
+  for (const auto& seg : trace.critical_path) {
+    EXPECT_NE(seg.name, "session");
+  }
+  EXPECT_DOUBLE_EQ(trace.critical_sum_s, trace.duration_s);
+
+  for (const StageStat& stat : trace.stages) {
+    if (stat.name == "session") {
+      EXPECT_DOUBLE_EQ(stat.total_s, 10.0);
+      EXPECT_DOUBLE_EQ(stat.critical_s, 0.0);
+    }
+    // Aux spans still cover the parent: root self time is zero here.
+    if (stat.name == "root") EXPECT_DOUBLE_EQ(stat.self_s, 0.0);
+  }
+
+  // aux == 0 means not aux: the session takes over the path end.
+  spans[1].attrs[0].second = 0.0;
+  const AttributionReport report2 = analyze_spans(spans);
+  bool session_on_path = false;
+  for (const auto& seg : report2.traces.front().critical_path) {
+    session_on_path |= seg.name == "session";
+  }
+  EXPECT_TRUE(session_on_path);
+}
+
+TEST(CriticalPath, ChildOverflowingParentIsClippedToParentInterval) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::seconds(10)),
+      make_span(2, 1, "late", core::seconds(5), core::seconds(15)),
+  };
+  const AttributionReport report = analyze_spans(spans);
+  const TraceAttribution& trace = report.traces.front();
+  EXPECT_DOUBLE_EQ(trace.duration_s, 10.0);
+  EXPECT_DOUBLE_EQ(trace.critical_sum_s, 10.0);
+  ASSERT_EQ(trace.critical_path.size(), 2u);
+  EXPECT_EQ(trace.critical_path[0].name, "root");
+  EXPECT_EQ(trace.critical_path[1].name, "late");
+  EXPECT_EQ(trace.critical_path[1].end, core::seconds(10));
+}
+
+TEST(CriticalPath, OrphanSpansArePromotedToRoots) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::seconds(1)),
+      make_span(5, 99, "lost", 0, core::seconds(2)),  // parent never recorded
+  };
+  const AttributionReport report = analyze_spans(spans);
+  EXPECT_EQ(report.orphan_spans, 1u);
+  ASSERT_EQ(report.traces.size(), 2u);
+  EXPECT_EQ(report.traces[0].root_id, 1u);
+  EXPECT_EQ(report.traces[1].root_id, 5u);
+  EXPECT_EQ(report.traces[1].root_name, "lost");
+  EXPECT_DOUBLE_EQ(report.traces[1].critical_sum_s, 2.0);
+}
+
+TEST(CriticalPath, ParentCyclesAreBrokenNotFatal) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 2, "ouro", 0, core::seconds(1)),
+      make_span(2, 1, "boros", 0, core::seconds(1)),
+  };
+  const AttributionReport report = analyze_spans(spans);
+  EXPECT_EQ(report.orphan_spans, 1u);
+  ASSERT_EQ(report.traces.size(), 1u);
+  EXPECT_EQ(report.traces.front().critical_sum_s,
+            report.traces.front().duration_s);
+}
+
+TEST(CriticalPath, OpenSpansAreClippedToTreeMax) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::seconds(10)),
+      // An abandoned stage: begun at 4s, never ended (end == start).
+      make_span(2, 1, "stuck", core::seconds(4), core::seconds(4), false),
+  };
+  const AttributionReport report = analyze_spans(spans);
+  EXPECT_EQ(report.open_spans, 1u);
+  const TraceAttribution& trace = report.traces.front();
+  ASSERT_EQ(trace.critical_path.size(), 2u);
+  EXPECT_EQ(trace.critical_path[0].name, "root");
+  EXPECT_EQ(trace.critical_path[1].name, "stuck");
+  EXPECT_EQ(trace.critical_path[1].end, core::seconds(10));
+  EXPECT_DOUBLE_EQ(trace.critical_sum_s, trace.duration_s);
+}
+
+TEST(CriticalPath, EmptyInputYieldsEmptyReport) {
+  const AttributionReport report = analyze_spans({});
+  EXPECT_TRUE(report.traces.empty());
+  EXPECT_TRUE(report.stages.empty());
+  std::ostringstream json;
+  std::ostringstream md;
+  write_attribution_json(report, json);
+  write_attribution_markdown(report, md);
+  EXPECT_NE(json.str().find("\"traces\": 0"), std::string::npos);
+  EXPECT_NE(md.str().find("# Latency attribution"), std::string::npos);
+}
+
+TEST(CriticalPath, RenderersAreDeterministic) {
+  const std::vector<SpanData> spans = {
+      make_span(1, 0, "root", 0, core::milliseconds(1500)),
+      make_span(2, 1, "a", 0, core::milliseconds(700)),
+      make_span(3, 1, "b", core::milliseconds(700), core::milliseconds(1500)),
+  };
+  std::ostringstream json_a;
+  std::ostringstream json_b;
+  write_attribution_json(analyze_spans(spans), json_a);
+  write_attribution_json(analyze_spans(spans), json_b);
+  EXPECT_EQ(json_a.str(), json_b.str());
+  EXPECT_NE(json_a.str().find("\"critical_sum_s\""), std::string::npos);
+
+  std::ostringstream md;
+  write_attribution_markdown(analyze_spans(spans), md);
+  EXPECT_NE(md.str().find("| stage | count | total s | self s | critical s |"),
+            std::string::npos);
+  EXPECT_NE(md.str().find("## Trace root"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swiftest::obs::span

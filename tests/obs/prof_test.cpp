@@ -1,0 +1,123 @@
+// Wall-clock self-profiling (obs::ProfRegistry / ProfScope) and graceful
+// degradation of the tracer ring while spans are open: overflow must never
+// damage the span tree.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/hub.hpp"
+#include "obs/prof.hpp"
+#include "obs/span/span.hpp"
+
+namespace swiftest::obs {
+namespace {
+
+TEST(ProfRegistry, AggregatesCountTotalAndMax) {
+  ProfRegistry prof;
+  prof.add("stage.a", 100);
+  prof.add("stage.a", 300);
+  prof.add("stage.b", 50);
+  const auto& entries = prof.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("stage.a").count, 2u);
+  EXPECT_EQ(entries.at("stage.a").total_ns, 400u);
+  EXPECT_EQ(entries.at("stage.a").max_ns, 300u);
+  EXPECT_EQ(entries.at("stage.b").count, 1u);
+}
+
+TEST(ProfScope, NestedAndReentrantScopesEachRecordOnce) {
+  ProfRegistry prof;
+  {
+    ProfScope outer(&prof, "outer");
+    {
+      ProfScope inner(&prof, "inner");
+      // Reentrant: the same category opened again while already active.
+      ProfScope again(&prof, "outer");
+    }
+  }
+  const auto& entries = prof.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("outer").count, 2u);
+  EXPECT_EQ(entries.at("inner").count, 1u);
+  // The enclosing scope closed last, so it saw at least the inner elapsed.
+  EXPECT_GE(entries.at("outer").total_ns, entries.at("outer").max_ns);
+  EXPECT_GE(entries.at("outer").max_ns, entries.at("inner").max_ns == 0
+                                            ? 0
+                                            : entries.at("inner").max_ns);
+}
+
+TEST(ProfScope, NullRegistryIsANoOp) {
+  ProfScope scope(nullptr, "ignored");  // must not crash or allocate
+  ProfRegistry prof;
+  EXPECT_TRUE(prof.empty());
+}
+
+TEST(ProfScope, WriteProfileRendersEveryCategory) {
+  ProfRegistry prof;
+  {
+    ProfScope a(&prof, "fleet.replay");
+    ProfScope b(&prof, "fleet.workload_gen");
+  }
+  std::ostringstream out;
+  write_profile(prof, out);
+  EXPECT_NE(out.str().find("fleet.replay"), std::string::npos);
+  EXPECT_NE(out.str().find("fleet.workload_gen"), std::string::npos);
+}
+
+TEST(TracerOverflow, OpenSpansSurviveRingWrap) {
+  // A tiny ring that is guaranteed to wrap while spans are still open: the
+  // span store (which mirrors begin/end into the tracer) must stay intact.
+  Hub hub(/*trace_capacity=*/4);
+  auto& spans = hub.spans;
+  const auto root = spans.begin(0, Category::kProtocol, "test");
+  const auto child = spans.begin(10, Category::kProtocol, "round", root);
+
+  for (int i = 0; i < 100; ++i) {
+    hub.tracer.record(core::SimTime(i), Category::kProtocol, EventKind::kInstant,
+                      "noise", 0, 0.0);
+  }
+  EXPECT_GT(hub.tracer.dropped(), 0u);
+  EXPECT_EQ(hub.tracer.size(), hub.tracer.capacity());
+
+  // The span layer is unaffected by the ring wrapping...
+  EXPECT_EQ(spans.open_count(), 2u);
+  EXPECT_EQ(spans.dropped(), 0u);
+  spans.attr_f64(child, "rate_mbps", 25.0);
+  spans.end(child, 500);
+  spans.end(root, 1000);
+  EXPECT_EQ(spans.open_count(), 0u);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_TRUE(spans.spans()[0].closed);
+  EXPECT_TRUE(spans.spans()[1].closed);
+  EXPECT_EQ(spans.spans()[1].parent, root);
+  EXPECT_EQ(spans.spans()[0].duration(), 1000);
+
+  // ...and closing spans after the wrap still feeds the stage histograms.
+  const auto snap = hub.metrics.snapshot();
+  EXPECT_EQ(snap.histograms.at("span.stage_seconds/test").count, 1u);
+  EXPECT_EQ(snap.histograms.at("span.stage_seconds/round").count, 1u);
+}
+
+TEST(TracerOverflow, FullSpanStoreStillMirrorsNothingButStaysConsistent) {
+  // Both bounded structures at their limits at once: ring wrapped, span
+  // store full. Everything degrades to counters, nothing corrupts.
+  Hub hub(/*trace_capacity=*/4, /*span_capacity=*/2);
+  const auto a = hub.spans.begin(0, Category::kProtocol, "a");
+  const auto b = hub.spans.begin(1, Category::kProtocol, "b", a);
+  const auto c = hub.spans.begin(2, Category::kProtocol, "c", b);
+  EXPECT_EQ(c, span::kNoSpan);
+  for (int i = 0; i < 50; ++i) {
+    hub.tracer.record(core::SimTime(i), Category::kProtocol, EventKind::kInstant,
+                      "noise", 0, 0.0);
+  }
+  hub.spans.end(b, 10);
+  hub.spans.end(a, 20);
+  EXPECT_EQ(hub.spans.dropped(), 1u);
+  EXPECT_GT(hub.tracer.dropped(), 0u);
+  EXPECT_EQ(hub.spans.open_count(), 0u);
+  EXPECT_EQ(hub.spans.size(), 2u);
+}
+
+}  // namespace
+}  // namespace swiftest::obs

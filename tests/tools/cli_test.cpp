@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace swiftest::cli {
@@ -262,11 +263,93 @@ TEST(Cli, ProfilePrintsWallClockTable) {
   EXPECT_NE(output.find("fleet.replay_analytic"), std::string::npos);
 }
 
+TEST(Cli, TestWritesSpansAndAttributionAndAnalyzeRoundTrips) {
+  const std::string spans_path = testing::TempDir() + "/cli_spans.json";
+  const std::string md_path = testing::TempDir() + "/cli_attribution.md";
+  std::string output;
+  ASSERT_EQ(run({"test", "--rate", "50", "--tech", "4g", "--wire", "--seed", "7",
+                 "--spans-out", spans_path, "--attribution-md", md_path},
+                output),
+            0);
+  EXPECT_NE(output.find("spans: " + spans_path), std::string::npos);
+  EXPECT_NE(output.find("attribution: " + md_path), std::string::npos);
+
+  const std::string spans = slurp(spans_path);
+  EXPECT_NE(spans.find("\"swiftest.test\""), std::string::npos);
+  EXPECT_NE(spans.find("\"swiftest.convergence\""), std::string::npos);
+  const std::string md = slurp(md_path);
+  EXPECT_NE(md.find("# Latency attribution"), std::string::npos);
+  EXPECT_NE(md.find("swiftest.finalize"), std::string::npos);
+
+  // The emitted span file feeds straight back into `trace analyze`.
+  const std::string json_path = testing::TempDir() + "/cli_attribution.json";
+  ASSERT_EQ(run({"trace", "analyze", spans_path, "--json", json_path}, output),
+            0);
+  EXPECT_NE(output.find("attribution json: " + json_path), std::string::npos);
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"critical_sum_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"swiftest.round\""), std::string::npos);
+
+  // With no output flags the markdown report goes to stdout.
+  ASSERT_EQ(run({"trace", "analyze", spans_path}, output), 0);
+  EXPECT_NE(output.find("# Latency attribution"), std::string::npos);
+}
+
+TEST(Cli, FleetWritesSpanTree) {
+  // Spans come from the wire clients, so only the packet backend emits them.
+  const std::string spans_path = testing::TempDir() + "/cli_fleet_spans.json";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--backend", "packet", "--days", "1", "--tests-per-day",
+                 "40", "--servers", "2", "--seed", "3", "--spans-out", spans_path},
+                output),
+            0);
+  const std::string spans = slurp(spans_path);
+  EXPECT_NE(spans.find("\"fleet.test\""), std::string::npos);
+  EXPECT_NE(spans.find("\"swiftest.test\""), std::string::npos);
+  EXPECT_NE(spans.find("\"spans\""), std::string::npos);
+}
+
+TEST(Cli, TraceAnalyzeRejectsBadInvocations) {
+  std::string output;
+  EXPECT_EQ(run({"trace"}, output), 2);
+  EXPECT_NE(output.find("usage: swiftest-cli trace analyze"), std::string::npos);
+  EXPECT_EQ(run({"trace", "analyze"}, output), 2);
+  EXPECT_EQ(run({"trace", "analyze", "--json", "x"}, output), 2);
+  EXPECT_EQ(run({"trace", "frobnicate", "file.json"}, output), 2);
+
+  EXPECT_EQ(run({"trace", "analyze", "/nonexistent/spans.json"}, output), 1);
+  EXPECT_NE(output.find("cannot analyze"), std::string::npos);
+}
+
+TEST(Cli, LogLevelFlagMapsToObsLogLevels) {
+  const obs::LogLevel before = obs::log_level();
+  std::string output;
+  ASSERT_EQ(run({"test", "--rate", "80", "--tech", "4g", "--log-level", "debug"},
+                output),
+            0);
+  EXPECT_EQ(obs::log_level(), obs::LogLevel::kDebug);
+  ASSERT_EQ(run({"test", "--rate", "80", "--tech", "4g", "--log-level", "error"},
+                output),
+            0);
+  EXPECT_EQ(obs::log_level(), obs::LogLevel::kError);
+  obs::set_log_level(before);
+
+  EXPECT_EQ(run({"test", "--rate", "80", "--tech", "4g", "--log-level", "loud"},
+                output),
+            2);
+  EXPECT_NE(output.find("unknown --log-level"), std::string::npos);
+  EXPECT_EQ(obs::log_level(), before);
+}
+
 TEST(Cli, UsageDocumentsHealthFlagsAndCategories) {
   std::string output;
   EXPECT_EQ(run({"help"}, output), 0);
   EXPECT_NE(output.find("--health-out"), std::string::npos);
   EXPECT_NE(output.find("--slo"), std::string::npos);
+  EXPECT_NE(output.find("--spans-out"), std::string::npos);
+  EXPECT_NE(output.find("--attribution-md"), std::string::npos);
+  EXPECT_NE(output.find("--log-level"), std::string::npos);
+  EXPECT_NE(output.find("trace analyze"), std::string::npos);
   EXPECT_NE(output.find(obs::kCategoryListCsv), std::string::npos);
 }
 

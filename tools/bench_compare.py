@@ -11,7 +11,9 @@ absolute tolerance instead, so near-zero metrics do not trip on noise.
 
 Exit status: 0 when every shared value is within tolerance and both files
 hold the same value names; 1 on any regression, missing value, or non-finite
-mismatch; 2 on usage/parse errors.
+mismatch; 2 on usage/parse errors or when the two reports come from
+different benches (mismatched "name" fields — comparing those is always a
+setup bug, not a regression).
 """
 
 import argparse
@@ -54,8 +56,11 @@ def main():
     curr = load_report(args.current)
 
     if base.get("name") != curr.get("name"):
-        print(f"warning: comparing different benches: "
-              f"{base.get('name')!r} vs {curr.get('name')!r}")
+        print(f"error: cannot compare different benches: baseline is "
+              f"{base.get('name')!r} ({args.baseline}) but current is "
+              f"{curr.get('name')!r} ({args.current}); pass two reports "
+              f"from the same bench", file=sys.stderr)
+        sys.exit(2)
 
     base_values = base["values"]
     curr_values = curr["values"]

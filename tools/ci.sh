@@ -19,6 +19,8 @@ run_suite() {
   ctest --test-dir "${REPO_ROOT}/${build_dir}" --output-on-failure -j "${JOBS}"
   run_traced_cli "${build_dir}"
   run_health_gate "${build_dir}"
+  run_span_gate "${build_dir}"
+  run_bench_gate "${build_dir}"
 }
 
 # One traced end-to-end CLI run per suite: exercises the tracing/metrics
@@ -53,6 +55,51 @@ run_health_gate() {
   python3 -m json.tool "${out_dir}/health.json" > /dev/null
   grep -q '^# Fleet health report' "${out_dir}/health.md"
   echo "health report validated, SLOs passed"
+}
+
+# One traced packet fleet-day per suite, piped through `trace analyze`: the
+# attribution JSON must parse, and every trace's critical-path segments must
+# sum to its root duration within 1% — the span layer's core invariant.
+run_span_gate() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke"
+  echo "=== span attribution gate (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet --backend packet \
+    --servers 5 --days 1 --tests-per-day 200 --seed 3 \
+    --spans-out "${out_dir}/spans.json" \
+    --attribution-md "${out_dir}/attribution.md"
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" trace analyze \
+    "${out_dir}/spans.json" --json "${out_dir}/attribution.json"
+  python3 - "${out_dir}/attribution.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+traces = report["traces"]
+assert traces, "attribution report holds no traces"
+bad = [t for t in traces
+       if t["duration_s"] > 0
+       and abs(t["critical_sum_s"] - t["duration_s"]) > 0.01 * t["duration_s"]]
+if bad:
+    for t in bad[:5]:
+        print(f"trace {t['root_id']}: critical_sum_s={t['critical_sum_s']} "
+              f"vs duration_s={t['duration_s']}", file=sys.stderr)
+    sys.exit(f"{len(bad)}/{len(traces)} traces violate the 1% critical-sum invariant")
+print(f"span attribution validated: {len(traces)} traces within 1%")
+PYEOF
+}
+
+# Deterministic bench regression gate: fig20 (Swiftest test duration) values
+# are pure sim-time, so they must match the committed baseline on any host.
+run_bench_gate() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke"
+  echo "=== bench baseline gate (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  "${REPO_ROOT}/${build_dir}/bench/bench_fig20_swiftest_time" \
+    --json "${out_dir}/BENCH_swiftest.json" > /dev/null
+  python3 "${REPO_ROOT}/tools/bench_compare.py" \
+    "${REPO_ROOT}/tools/bench_baseline/BENCH_swiftest.json" \
+    "${out_dir}/BENCH_swiftest.json"
 }
 
 mode="${1:-all}"

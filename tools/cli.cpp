@@ -13,7 +13,10 @@
 #include "obs/health/report.hpp"
 #include "obs/health/slo.hpp"
 #include "obs/hub.hpp"
+#include "obs/log.hpp"
 #include "obs/prof.hpp"
+#include "obs/span/critical_path.hpp"
+#include "obs/span/json.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/io.hpp"
 #include "deploy/catalog.hpp"
@@ -42,12 +45,20 @@ const std::string kUsage = std::string(
     "  plan     [--tests-per-day N] [--regional]\n"
     "  fleet    [--servers N] [--days D] [--tests-per-day N]\n"
     "           [--backend analytic|packet]\n"
+    "  trace    analyze FILE [--json OUT] [--md OUT]\n"
+    "           critical-path latency attribution of a span JSON file\n"
     "\n"
     "observability (test, run, fleet):\n"
     "  --trace-out FILE        write a Chrome trace_event JSON trace\n"
     "  --trace-jsonl FILE      write the trace as compact JSONL instead\n"
     "  --metrics-out FILE      write a metrics snapshot as JSON\n"
     "  --trace-categories L    comma list: ") + obs::kCategoryListCsv + " (default all)\n"
+    "  --spans-out FILE        write the causal span tree as JSON (input of\n"
+    "                          `trace analyze`)\n"
+    "  --attribution-md FILE   write the critical-path attribution as markdown\n"
+    "\n"
+    "logging (all commands):\n"
+    "  --log-level L           debug|info|warn|error (default warn)\n"
     "\n"
     "health / SLO (test, run, fleet):\n"
     "  --health-out FILE       write the health snapshot (aggregated duration,\n"
@@ -99,13 +110,35 @@ class Options {
   std::map<std::string, std::string> values_;
 };
 
-/// Builds an obs::Hub when any --trace-out/--trace-jsonl/--metrics-out flag
-/// is present; null hub (and success) otherwise. Returns false on a bad
+/// Maps --log-level onto obs::set_log_level. Returns false (with a message)
+/// on an unknown level name.
+bool apply_log_level(const Options& options, std::ostream& out) {
+  if (!options.has("log-level")) return true;
+  const std::string name = options.get("log-level", "");
+  if (name == "debug") {
+    obs::set_log_level(obs::LogLevel::kDebug);
+  } else if (name == "info") {
+    obs::set_log_level(obs::LogLevel::kInfo);
+  } else if (name == "warn") {
+    obs::set_log_level(obs::LogLevel::kWarn);
+  } else if (name == "error") {
+    obs::set_log_level(obs::LogLevel::kError);
+  } else {
+    out << "unknown --log-level '" << name
+        << "' (expected debug, info, warn, or error)\n";
+    return false;
+  }
+  return true;
+}
+
+/// Builds an obs::Hub when any trace/metrics/span output flag is present;
+/// null hub (and success) otherwise. Returns false on a bad
 /// --trace-categories list.
 bool setup_obs(const Options& options, std::ostream& out,
                std::unique_ptr<obs::Hub>& hub) {
   if (!options.has("trace-out") && !options.has("trace-jsonl") &&
-      !options.has("metrics-out")) {
+      !options.has("metrics-out") && !options.has("spans-out") &&
+      !options.has("attribution-md")) {
     return true;
   }
   hub = std::make_unique<obs::Hub>();
@@ -149,6 +182,23 @@ int flush_obs(const Options& options, std::ostream& out, const obs::Hub* hub) {
     if (!open(options.get("metrics-out", ""), file)) return 1;
     obs::write_metrics_json(hub->metrics.snapshot(), file);
     out << "metrics: " << options.get("metrics-out", "") << "\n";
+  }
+  if (options.has("spans-out")) {
+    std::ofstream file;
+    if (!open(options.get("spans-out", ""), file)) return 1;
+    obs::span::write_spans_json(hub->spans, file);
+    out << "spans: " << options.get("spans-out", "") << " (" << hub->spans.size()
+        << " spans";
+    if (hub->spans.dropped() > 0) out << ", " << hub->spans.dropped() << " dropped";
+    out << ")\n";
+  }
+  if (options.has("attribution-md")) {
+    std::ofstream file;
+    if (!open(options.get("attribution-md", ""), file)) return 1;
+    const auto report = obs::span::analyze_spans(obs::span::to_span_data(hub->spans));
+    obs::span::write_attribution_markdown(report, file);
+    out << "attribution: " << options.get("attribution-md", "") << " ("
+        << report.traces.size() << " traces)\n";
   }
   return 0;
 }
@@ -208,6 +258,59 @@ int flush_health(const Options& options, std::ostream& out,
     out << "slo: " << evaluation->results.size() - evaluation->violations()
         << "/" << evaluation->results.size() << " objectives passed\n";
     if (!evaluation->ok()) return 3;
+  }
+  return 0;
+}
+
+/// Feeds every closed span's duration into the health monitor as the
+/// "stage_s" metric under dimension "stage:<name>", so an SLO spec can bound
+/// per-stage latency (e.g. p95 swiftest.convergence time).
+void record_stage_health(const obs::Hub* hub, obs::health::HealthMonitor* health) {
+  if (hub == nullptr || health == nullptr) return;
+  for (const auto& s : hub->spans.spans()) {
+    if (!s.closed) continue;
+    const std::string dims[] = {std::string("stage:") + s.name};
+    health->record("stage_s", core::to_seconds(s.duration()), dims);
+  }
+}
+
+int cmd_trace(std::span<const std::string> args, std::ostream& out) {
+  if (args.size() < 2 || args[0] != "analyze" || args[1].rfind("--", 0) == 0) {
+    out << "usage: swiftest-cli trace analyze FILE [--json OUT] [--md OUT]\n";
+    return 2;
+  }
+  const std::string path = args[1];
+  const auto options = Options::parse(args.subspan(2), out);
+  if (!options) return 2;
+  if (!apply_log_level(*options, out)) return 2;
+
+  std::string error;
+  const auto spans = obs::span::load_spans_file(path, &error);
+  if (!spans) {
+    out << "cannot analyze " << path << ": " << error << "\n";
+    return 1;
+  }
+  const obs::span::AttributionReport report = obs::span::analyze_spans(*spans);
+
+  auto open = [&out](const std::string& file_path, std::ofstream& file) {
+    file.open(file_path, std::ios::binary | std::ios::trunc);
+    if (!file) out << "cannot write " << file_path << "\n";
+    return static_cast<bool>(file);
+  };
+  if (options->has("json")) {
+    std::ofstream file;
+    if (!open(options->get("json", ""), file)) return 1;
+    obs::span::write_attribution_json(report, file);
+    out << "attribution json: " << options->get("json", "") << "\n";
+  }
+  if (options->has("md")) {
+    std::ofstream file;
+    if (!open(options->get("md", ""), file)) return 1;
+    obs::span::write_attribution_markdown(report, file);
+    out << "attribution md: " << options->get("md", "") << "\n";
+  }
+  if (!options->has("json") && !options->has("md")) {
+    obs::span::write_attribution_markdown(report, out);
   }
   return 0;
 }
@@ -301,6 +404,7 @@ int cmd_test(const Options& options, std::ostream& out) {
     sample.dimensions = dims;
     health.note_arrival(0.0);
     health.record_test(sample);
+    record_stage_health(hub.get(), &health);
     const obs::health::ReportMeta meta = {
         {"command", "test"},
         {"tech", options.get("tech", "5g")},
@@ -408,6 +512,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45 << "%\n";
   const int obs_rc = flush_obs(options, out, hub.get());
   if (obs_rc != 0) return obs_rc;
+  record_stage_health(hub.get(), health.get());
   const obs::health::ReportMeta meta = {
       {"command", "fleet"},
       {"backend", backend},
@@ -429,8 +534,17 @@ int run_cli(std::span<const std::string> args, std::ostream& out) {
     return args.empty() ? 2 : 0;
   }
   const std::string& command = args[0];
+  if (command == "trace") {
+    try {
+      return cmd_trace(args.subspan(1), out);
+    } catch (const std::exception& e) {
+      out << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   const auto options = Options::parse(args.subspan(1), out);
   if (!options) return 2;
+  if (!apply_log_level(*options, out)) return 2;
 
   try {
     if (command == "campaign") return cmd_campaign(*options, out);
