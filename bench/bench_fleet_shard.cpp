@@ -1,0 +1,114 @@
+// Sharded fleet-day scaling: wall-clock of the packet backend at a fixed
+// shard count as the worker pool grows (deploy::FleetSimConfig::jobs), plus
+// the determinism contract that makes the parallelism safe to use — every
+// job count must produce byte-identical artifacts.
+//
+// Wall-clock numbers are host-dependent, so they are reported as config
+// strings (visible in the JSON, never compared); the gated values are the
+// deterministic quantities: tests simulated, busy windows, and the
+// artifacts-identical flag.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dataset/generator.hpp"
+#include "deploy/fleet_sim.hpp"
+#include "obs/health/report.hpp"
+
+namespace {
+
+using namespace swiftest;
+
+constexpr std::size_t kShards = 8;
+constexpr std::uint64_t kSeed = 5;
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::string health_json;
+  std::uint64_t tests = 0;
+  std::uint64_t busy_windows = 0;
+};
+
+RunOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
+                         const swift::ModelRegistry& registry, std::size_t jobs) {
+  deploy::FleetSimConfig cfg;
+  cfg.backend = deploy::FleetBackend::kPacket;
+  cfg.server_count = 8;
+  cfg.days = 1;
+  cfg.tests_per_day = 300.0;
+  cfg.seed = kSeed;
+  cfg.shards = kShards;
+  cfg.jobs = jobs;
+  obs::health::HealthMonitor health;
+  cfg.health = &health;
+
+  const auto start = std::chrono::steady_clock::now();
+  const deploy::FleetSimResult result =
+      deploy::simulate_fleet(population, registry, cfg);
+  const auto end = std::chrono::steady_clock::now();
+
+  RunOutcome outcome;
+  outcome.seconds = std::chrono::duration<double>(end - start).count();
+  std::ostringstream health_out;
+  obs::health::write_health_json(health.snapshot(), {}, nullptr, health_out);
+  outcome.health_json = health_out.str();
+  outcome.tests = result.tests_simulated;
+  outcome.busy_windows = result.busy_window_utilization.size();
+  return outcome;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::report_init(argc, argv, "fleet_shard");
+  benchutil::report_config("backend", "packet");
+  benchutil::report_config("shards", std::to_string(kShards));
+  benchutil::report_config("seed", std::to_string(kSeed));
+  benchutil::report_config("hw_threads",
+                           std::to_string(std::thread::hardware_concurrency()));
+
+  const auto population = dataset::generate_campaign(10'000, 2021, 3);
+  static const swift::ModelRegistry registry;
+
+  benchutil::print_title("Sharded packet fleet-day: wall-clock vs worker pool size");
+  std::printf("  %-6s %-10s %-9s %s\n", "jobs", "seconds", "speedup", "artifacts");
+
+  const std::vector<std::size_t> job_counts = {1, 2, 4, 8};
+  std::vector<RunOutcome> outcomes;
+  bool identical = true;
+  for (std::size_t jobs : job_counts) {
+    outcomes.push_back(run_fleet_day(population, registry, jobs));
+    const RunOutcome& o = outcomes.back();
+    const bool same = o.health_json == outcomes.front().health_json &&
+                      o.tests == outcomes.front().tests &&
+                      o.busy_windows == outcomes.front().busy_windows;
+    identical = identical && same;
+    std::printf("  %-6zu %-10.3f %-9.2f %s\n", jobs, o.seconds,
+                outcomes.front().seconds / o.seconds, same ? "identical" : "DIFFER");
+    benchutil::report_config("wall_s_jobs" + std::to_string(jobs),
+                             format_seconds(o.seconds));
+  }
+  benchutil::report_config(
+      "speedup_jobs8", format_seconds(outcomes.front().seconds / outcomes.back().seconds));
+  benchutil::print_note(
+      "wall-clock scales with available cores; artifacts must never vary");
+
+  // The gated (deterministic) values: same code + same seed => same numbers
+  // on any host, any core count.
+  benchutil::report_value("tests_simulated",
+                          static_cast<double>(outcomes.front().tests));
+  benchutil::report_value("busy_windows",
+                          static_cast<double>(outcomes.front().busy_windows));
+  benchutil::report_value("artifacts_identical", identical ? 1.0 : 0.0);
+  return benchutil::report_flush();
+}

@@ -23,17 +23,8 @@ BtsResult FastBts::run(netsim::ClientContext& client) {
   BtsResult result;
   auto& sched = client.scheduler();
 
-  auto& sctx = client.spans();
-  const obs::span::SpanId span_test =
-      sctx.begin(obs::Category::kProtocol, "fast.test");
-  sctx.push(span_test);
-
-  const obs::span::SpanId span_select =
-      sctx.begin(obs::Category::kProtocol, "bts.select_server");
-  const ServerSelection sel = select_server(client, config_.ping_candidates);
-  result.ping_duration = sel.elapsed;
-  sched.run_until(sched.now() + sel.elapsed);
-  sctx.end(span_select);
+  TestSpanScope scope(client, "fast.test");
+  const ServerSelection sel = scope.run_selection(result, config_.ping_candidates);
 
   ThroughputSampler sampler(sched);
   std::vector<std::unique_ptr<netsim::TcpConnection>> connections;
@@ -67,8 +58,7 @@ BtsResult FastBts::run(netsim::ClientContext& client) {
   });
 
   // Run until convergence (sampler stops itself) or the hard cap.
-  const obs::span::SpanId span_probe =
-      sctx.begin(obs::Category::kProtocol, "bts.probe");
+  scope.begin_probe();
   while (!done && sched.now() < hard_stop) {
     const core::SimTime step = std::min<core::SimTime>(sched.now() + core::milliseconds(250),
                                                        hard_stop);
@@ -76,7 +66,7 @@ BtsResult FastBts::run(netsim::ClientContext& client) {
   }
   sampler.stop();
   for (auto& conn : connections) conn->stop();
-  sctx.end(span_probe);
+  scope.end_probe();
 
   result.probe_duration = sched.now() - start;
   result.samples_mbps = sampler.samples();
@@ -94,12 +84,7 @@ BtsResult FastBts::run(netsim::ClientContext& client) {
                         0.0) /
         static_cast<double>(window);
   }
-  if (auto* spans = sctx.store()) {
-    spans->attr_f64(span_test, "estimate_mbps", result.bandwidth_mbps);
-    spans->attr_u64(span_test, "connections", connections.size());
-  }
-  sctx.pop(span_test);
-  sctx.end(span_test);
+  scope.finish(result, connections.size());
   return result;
 }
 

@@ -46,17 +46,8 @@ BtsResult FloodingBts::run(netsim::ClientContext& client) {
   BtsResult result;
   auto& sched = client.scheduler();
 
-  auto& sctx = client.spans();
-  const obs::span::SpanId span_test =
-      sctx.begin(obs::Category::kProtocol, "flooding.test");
-  sctx.push(span_test);
-
-  const obs::span::SpanId span_select =
-      sctx.begin(obs::Category::kProtocol, "bts.select_server");
-  const ServerSelection sel = select_server(client, config_.ping_candidates);
-  result.ping_duration = sel.elapsed;
-  sched.run_until(sched.now() + sel.elapsed);
-  sctx.end(span_select);
+  TestSpanScope scope(client, "flooding.test");
+  const ServerSelection sel = scope.run_selection(result, config_.ping_candidates);
 
   ThroughputSampler sampler(sched);
   std::vector<std::unique_ptr<netsim::TcpConnection>> connections;
@@ -89,12 +80,11 @@ BtsResult FloodingBts::run(netsim::ClientContext& client) {
     return true;  // flooding runs for the fixed duration regardless
   });
 
-  const obs::span::SpanId span_probe =
-      sctx.begin(obs::Category::kProtocol, "bts.probe");
+  scope.begin_probe();
   sched.run_until(probe_end);
   sampler.stop();
   for (auto& conn : connections) conn->stop();
-  sctx.end(span_probe);
+  scope.end_probe();
 
   result.probe_duration = config_.probe_duration;
   result.samples_mbps = sampler.samples();
@@ -105,12 +95,7 @@ BtsResult FloodingBts::run(netsim::ClientContext& client) {
   result.bandwidth_mbps =
       estimate_from_samples(result.samples_mbps, config_.sample_groups,
                             config_.discard_lowest_groups, config_.discard_highest_groups);
-  if (auto* spans = sctx.store()) {
-    spans->attr_f64(span_test, "estimate_mbps", result.bandwidth_mbps);
-    spans->attr_u64(span_test, "connections", connections.size());
-  }
-  sctx.pop(span_test);
-  sctx.end(span_test);
+  scope.finish(result, connections.size());
   return result;
 }
 

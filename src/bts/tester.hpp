@@ -67,4 +67,45 @@ struct ServerSelection {
 /// result), following §5.3: |a - b| / max(a, b). 1 = identical, 0 = useless.
 [[nodiscard]] double deviation(double result_mbps, double reference_mbps);
 
+/// Shared observability wiring for one tester run: the wrapper span a BTS
+/// pushes around its whole test ("<name>.test"), the "bts.select_server"
+/// stage span, the "bts.probe" stage span, and the closing
+/// estimate/connections attributes. One implementation instead of a copy in
+/// every tester, so all testers emit structurally identical span trees.
+///
+/// Usage mirrors a test's phases:
+///   TestSpanScope scope(client, "fast.test");
+///   const ServerSelection sel = scope.run_selection(result, candidates);
+///   ... open connections ...
+///   scope.begin_probe();
+///   ... drive the probing stage ...
+///   scope.end_probe();
+///   ... fill in result ...
+///   scope.finish(result, connections.size());
+class TestSpanScope {
+ public:
+  /// Opens the wrapper span and pushes it as the ambient parent, so every
+  /// span the test produces nests under it.
+  TestSpanScope(netsim::ClientContext& client, const char* test_name);
+
+  /// Runs the PING/server-selection stage under a "bts.select_server" span:
+  /// picks the server, stores the selection time in `result.ping_duration`,
+  /// and advances the scheduler past it.
+  ServerSelection run_selection(BtsResult& result, std::size_t candidates,
+                                std::size_t concurrency = 1);
+
+  /// Brackets the probing stage with a "bts.probe" span.
+  void begin_probe();
+  void end_probe();
+
+  /// Attaches the closing attributes (estimate_mbps, connections), pops the
+  /// ambient parent, and ends the wrapper span. Call exactly once, last.
+  void finish(const BtsResult& result, std::size_t connections);
+
+ private:
+  netsim::ClientContext& client_;
+  obs::span::SpanId test_ = obs::span::kNoSpan;
+  obs::span::SpanId probe_ = obs::span::kNoSpan;
+};
+
 }  // namespace swiftest::bts

@@ -110,4 +110,11 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t x = seed;
+  std::uint64_t out = seed;
+  for (std::uint64_t i = 0; i < stream; ++i) out = splitmix64(x);
+  return out;
+}
+
 }  // namespace swiftest::core

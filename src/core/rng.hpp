@@ -72,4 +72,11 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+/// Stable (seed, stream) split for sharded execution: stream 0 is `seed`
+/// itself, so a one-stream run is bit-identical to an unsplit legacy run;
+/// stream k > 0 is the k-th output of a splitmix64 sequence seeded at
+/// `seed`, giving every shard a well-mixed independent seed that depends
+/// only on (seed, stream) — never on thread or execution order.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace swiftest::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -9,8 +10,10 @@
 #include "core/rng.hpp"
 #include "dataset/profiles.hpp"
 #include "dataset/taxonomy.hpp"
+#include "obs/health/sample_log.hpp"
 #include "obs/log.hpp"
 #include "deploy/placement.hpp"
+#include "deploy/shard.hpp"
 #include "netsim/testbed.hpp"
 #include "swiftest/client.hpp"
 #include "swiftest/fleet.hpp"
@@ -29,6 +32,10 @@ double settled_probing_rate(const stats::GaussianMixture& model, double truth_mb
 
 namespace {
 
+/// Decorrelates the packet testbed's topology randomness from the workload
+/// draw stream; per-shard testbeds further split it with core::stream_seed.
+constexpr std::uint64_t kTestbedSeedSalt = 0x9E3779B97F4A7C15ull;
+
 /// One test drawn from the workload generator: everything both backends need
 /// to replay it.
 struct Arrival {
@@ -45,7 +52,9 @@ struct Arrival {
 /// Draws the whole workload up front. The RNG consumption order is exactly
 /// the historical analytic loop's — per second one poisson draw, then per
 /// test: record, duration, domain, offset — so a given seed produces the
-/// identical test sequence for both backends (and for pre-refactor runs).
+/// identical test sequence for both backends, for any shard count, and for
+/// pre-refactor runs. Sharding partitions this list after the fact; it never
+/// touches the draw order.
 std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> population,
                                        const swift::ModelRegistry& registry,
                                        const FleetSimConfig& config) {
@@ -127,31 +136,52 @@ void finish_result(FleetSimResult& result, std::uint64_t overload_seconds,
                                static_cast<double>(total_seconds);
 }
 
-FleetSimResult run_analytic(const std::vector<Arrival>& workload,
-                            const FleetSimConfig& config) {
-  obs::ProfScope prof(config.prof, "fleet.replay_analytic");
-  FleetSimResult result;
-  const double fleet_capacity =
-      config.server_uplink_mbps * static_cast<double>(config.server_count);
-  std::vector<std::vector<std::pair<int, double>>> active(config.server_count);
-  std::vector<double> window_load(config.server_count, 0.0);
-  std::uint64_t overload_seconds = 0;
+/// One analytic shard's raw output. The closed form is linear in the
+/// arrivals, so per-(window, server) load matrices and per-second fleet
+/// loads sum exactly at merge: a sharded analytic run computes the same
+/// numbers as the unsharded one, to the bit, for any shard count.
+struct AnalyticShard {
+  std::vector<double> window_load;  // [window * server_count + server]
+  std::vector<double> second_load;  // requested fleet load per second
+  std::uint64_t tests = 0;
+  obs::health::SampleLog health;
+  bool want_health = false;
+};
+
+void run_analytic_shard(std::span<const Arrival> arrivals,
+                        const FleetSimConfig& config, AnalyticShard& out) {
   const std::int64_t total_seconds =
       static_cast<std::int64_t>(config.days) * 24 * 3600;
+  const std::int64_t windows_total =
+      config.window_seconds > 0 ? total_seconds / config.window_seconds : 0;
+  out.window_load.assign(
+      static_cast<std::size_t>(windows_total) * config.server_count, 0.0);
+  out.second_load.assign(static_cast<std::size_t>(total_seconds), 0.0);
 
+  std::vector<std::vector<std::pair<int, double>>> active(config.server_count);
+  std::size_t active_entries = 0;
   std::size_t next_arrival = 0;
-  int second_in_window = 0;
   for (std::int64_t second = 0; second < total_seconds; ++second) {
-    while (next_arrival < workload.size() &&
-           workload[next_arrival].second == second) {
-      const Arrival& a = workload[next_arrival++];
-      ++result.tests_simulated;
+    if (active_entries == 0) {
+      // Idle: nothing contributes load until the next arrival, and zero
+      // seconds are already materialized, so jump straight there.
+      if (next_arrival >= arrivals.size()) break;
+      if (arrivals[next_arrival].second > second) {
+        second = arrivals[next_arrival].second;
+      }
+      if (second >= total_seconds) break;
+    }
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].second == second) {
+      const Arrival& a = arrivals[next_arrival++];
+      ++out.tests;
       for (std::size_t s = 0; s < a.n_servers; ++s) {
         active[(a.first_server + s) % config.server_count].emplace_back(
             a.duration_s, a.rate_mbps / static_cast<double>(a.n_servers));
+        ++active_entries;
       }
-      if (config.health != nullptr) {
-        config.health->note_arrival(static_cast<double>(a.second));
+      if (out.want_health) {
+        out.health.note_arrival(static_cast<double>(a.second));
         obs::health::TestSample sample;
         sample.duration_s = static_cast<double>(a.duration_s);
         // Data usage at the settled probing rate for the test's duration.
@@ -162,36 +192,84 @@ FleetSimResult run_analytic(const std::vector<Arrival>& workload,
             bts::deviation(std::min(a.rate_mbps, a.truth_mbps), a.truth_mbps);
         const auto dims = arrival_dimensions(a);
         sample.dimensions = dims;
-        config.health->record_test(sample);
+        out.health.record_test(sample);
       }
     }
-    double second_load = 0.0;
+    const std::int64_t w =
+        config.window_seconds > 0 ? second / config.window_seconds : windows_total;
+    double second_total = 0.0;
     for (std::size_t s = 0; s < config.server_count; ++s) {
       double load = 0.0;
       for (auto& [remaining, mbps] : active[s]) {
         load += mbps;
         --remaining;
       }
+      const std::size_t before = active[s].size();
       std::erase_if(active[s], [](const auto& e) { return e.first <= 0; });
-      window_load[s] += load;
-      second_load += load;
-    }
-    if (second_load > fleet_capacity) ++overload_seconds;
-    if (++second_in_window == config.window_seconds) {
-      for (std::size_t s = 0; s < config.server_count; ++s) {
-        const double util = 100.0 * window_load[s] /
-                            static_cast<double>(config.window_seconds) /
-                            config.server_uplink_mbps;
-        if (util > 0.0) {
-          result.busy_window_utilization.push_back(util);
-          // Busy windows only, matching Fig 26's utilization distribution.
-          if (config.health != nullptr) {
-            config.health->record_egress_utilization(s, util);
-          }
-        }
-        window_load[s] = 0.0;
+      active_entries -= before - active[s].size();
+      if (load > 0.0 && w < windows_total) {
+        out.window_load[static_cast<std::size_t>(w) * config.server_count + s] +=
+            load;
       }
-      second_in_window = 0;
+      second_total += load;
+    }
+    out.second_load[static_cast<std::size_t>(second)] = second_total;
+  }
+}
+
+FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
+                              const FleetSimConfig& config) {
+  FleetSimResult result;
+  const std::int64_t total_seconds =
+      static_cast<std::int64_t>(config.days) * 24 * 3600;
+  const std::int64_t windows_total =
+      config.window_seconds > 0 ? total_seconds / config.window_seconds : 0;
+  const double fleet_capacity =
+      config.server_uplink_mbps * static_cast<double>(config.server_count);
+
+  std::vector<double> window_load(
+      static_cast<std::size_t>(windows_total) * config.server_count, 0.0);
+  std::vector<double> second_load(static_cast<std::size_t>(total_seconds), 0.0);
+  for (const AnalyticShard& shard : shards) {
+    result.tests_simulated += shard.tests;
+    for (std::size_t i = 0; i < window_load.size(); ++i) {
+      window_load[i] += shard.window_load[i];
+    }
+    for (std::size_t i = 0; i < second_load.size(); ++i) {
+      second_load[i] += shard.second_load[i];
+    }
+  }
+
+  std::uint64_t overload_seconds = 0;
+  for (double load : second_load) {
+    if (load > fleet_capacity) ++overload_seconds;
+  }
+
+  if (config.health != nullptr) {
+    std::vector<const obs::health::SampleLog*> logs;
+    logs.reserve(shards.size());
+    for (const AnalyticShard& shard : shards) logs.push_back(&shard.health);
+    obs::health::SampleLog::merge_arrivals(logs, *config.health);
+    for (const AnalyticShard& shard : shards) {
+      shard.health.replay_samples(*config.health);
+    }
+  }
+
+  // Busy windows in the historical emission order: window-major, then server.
+  for (std::int64_t w = 0; w < windows_total; ++w) {
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      const double load =
+          window_load[static_cast<std::size_t>(w) * config.server_count + s];
+      const double util = 100.0 * load /
+                          static_cast<double>(config.window_seconds) /
+                          config.server_uplink_mbps;
+      if (util > 0.0) {
+        result.busy_window_utilization.push_back(util);
+        // Busy windows only, matching Fig 26's utilization distribution.
+        if (config.health != nullptr) {
+          config.health->record_egress_utilization(s, util);
+        }
+      }
     }
   }
 
@@ -200,12 +278,26 @@ FleetSimResult run_analytic(const std::vector<Arrival>& workload,
   return result;
 }
 
-FleetSimResult run_packet(const std::vector<Arrival>& workload,
-                          const swift::ModelRegistry& registry,
-                          const FleetSimConfig& config) {
-  obs::ProfScope prof(config.prof, "fleet.replay_packet");
-  FleetSimResult result;
+/// One packet shard's raw output. Each shard replays its arrivals against a
+/// private full-size testbed (own scheduler, fleet, RNG stream, obs hub,
+/// health log); the merge concatenates artifacts in shard order and sums the
+/// per-window fleet utilization for the overload proxy. Cross-shard egress
+/// contention — tests from different shards escalating onto the same
+/// server — is the one effect sharding loses.
+struct PacketShard {
+  std::vector<double> busy_windows;       // per-shard emission order
+  std::vector<double> window_total_util;  // fleet-wide util per window
+  std::uint64_t tests_simulated = 0;
+  std::uint64_t tests_dropped = 0;
+  std::unique_ptr<obs::Hub> hub;  // mirror of config.obs; null when disabled
+  obs::health::SampleLog health;
+  bool want_health = false;
+};
 
+void run_packet_shard(std::span<const Arrival> arrivals,
+                      const swift::ModelRegistry& registry,
+                      const FleetSimConfig& config, std::uint64_t testbed_seed,
+                      PacketShard& out) {
   netsim::TestbedConfig tb_cfg;
   tb_cfg.fleet.server_count = config.server_count;
   tb_cfg.fleet.server_uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
@@ -214,9 +306,8 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
   netsim::ClientAccessConfig slot_cfg;
   slot_cfg.access_rate = core::Bandwidth::mbps(1000);  // re-set per test
   tb_cfg.clients = {slot_cfg};
-  // Decorrelate topology randomness from the workload draw stream.
-  netsim::Testbed testbed(tb_cfg, config.seed ^ 0x9E3779B97F4A7C15ull);
-  testbed.scheduler().set_obs(config.obs);
+  netsim::Testbed testbed(tb_cfg, testbed_seed);
+  testbed.scheduler().set_obs(out.hub.get());
 
   swift::ServerConfig server_cfg;
   server_cfg.uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
@@ -248,9 +339,10 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
                  name, id, value);
     }
   };
+  obs::health::HealthSink* health = out.want_health ? &out.health : nullptr;
   auto start_test = [&](const Arrival& a) {
-    if (config.health != nullptr) {
-      config.health->note_arrival(static_cast<double>(a.second));
+    if (health != nullptr) {
+      health->note_arrival(static_cast<double>(a.second));
     }
     Slot* slot = nullptr;
     for (auto& candidate : slots) {
@@ -261,7 +353,7 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     }
     if (slot == nullptr) {
       if (slots.size() >= config.max_concurrent_tests) {
-        ++result.tests_dropped;
+        ++out.tests_dropped;
         if (auto* hub = sched.obs()) {
           hub->metrics.counter("fleet.tests_dropped").inc();
         }
@@ -289,7 +381,6 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
     slot->wire = std::make_unique<swift::WireClient>(wc_cfg, registry, server_cfg);
     slot->wire->attach_fleet(fleet);
     slot->wire->set_forced_server(a.first_server);
-    obs::health::HealthMonitor* health = config.health;
     auto& sctx = ctx.spans();
     slot->span = sctx.begin(obs::Category::kFleet, "fleet.test");
     if (auto* spans = sctx.store()) {
@@ -319,10 +410,10 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
       }
     });
     sctx.pop(slot->span);
-    ++result.tests_simulated;
+    ++out.tests_simulated;
   };
 
-  for (const Arrival& a : workload) {
+  for (const Arrival& a : arrivals) {
     sched.schedule_at(a.second * core::seconds(1), [&start_test, &a] { start_test(a); });
   }
 
@@ -335,7 +426,6 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
   const double window_capacity_mbit =
       config.server_uplink_mbps * static_cast<double>(config.window_seconds);
   std::vector<std::int64_t> last_delivered(config.server_count, 0);
-  std::uint64_t overloaded_windows = 0;
   std::uint64_t windows_elapsed = 0;
   std::function<void()> tick = [&] {
     double total_util = 0.0;
@@ -348,9 +438,9 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
       const double util =
           100.0 * static_cast<double>(delta) * 8.0 / 1e6 / window_capacity_mbit;
       if (util > 0.0) {
-        result.busy_window_utilization.push_back(util);
-        if (config.health != nullptr) {
-          config.health->record_egress_utilization(s, util);
+        out.busy_windows.push_back(util);
+        if (health != nullptr) {
+          health->record_egress_utilization(s, util);
         }
       }
       total_util += util;
@@ -368,11 +458,11 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
         }
       }
     }
+    // The overload proxy (fleet egress effectively saturated) needs the
+    // fleet-wide utilization, which only the merge can see — record this
+    // shard's contribution per window and let the merge sum and threshold.
+    out.window_total_util.push_back(total_util);
     ++windows_elapsed;
-    // Overload proxy: the whole fleet's egress effectively saturated.
-    if (total_util >= 98.0 * static_cast<double>(config.server_count)) {
-      ++overloaded_windows;
-    }
     if (static_cast<std::int64_t>(windows_elapsed) * config.window_seconds <
         total_seconds) {
       sched.schedule_in(window, tick);
@@ -384,7 +474,58 @@ FleetSimResult run_packet(const std::vector<Arrival>& workload,
   sched.run_until(total_seconds * core::seconds(1) + core::seconds(30));
 
   // Protocol-level per-server load balance (sessions, probe egress).
-  if (config.health != nullptr) fleet.record_health(*config.health);
+  if (health != nullptr) fleet.record_health(*health);
+}
+
+FleetSimResult merge_packet(std::vector<PacketShard>& shards,
+                            const FleetSimConfig& config) {
+  FleetSimResult result;
+  const std::int64_t total_seconds =
+      static_cast<std::int64_t>(config.days) * 24 * 3600;
+
+  std::size_t windows_total = 0;
+  for (const PacketShard& shard : shards) {
+    result.tests_simulated += shard.tests_simulated;
+    result.tests_dropped += shard.tests_dropped;
+    windows_total = std::max(windows_total, shard.window_total_util.size());
+  }
+
+  // Fleet-wide overload: sum each window's per-shard utilization, then apply
+  // the saturation threshold — for one shard this is the historical check.
+  std::vector<double> window_total(windows_total, 0.0);
+  for (const PacketShard& shard : shards) {
+    for (std::size_t w = 0; w < shard.window_total_util.size(); ++w) {
+      window_total[w] += shard.window_total_util[w];
+    }
+  }
+  std::uint64_t overloaded_windows = 0;
+  for (double total : window_total) {
+    if (total >= 98.0 * static_cast<double>(config.server_count)) {
+      ++overloaded_windows;
+    }
+  }
+
+  for (const PacketShard& shard : shards) {
+    result.busy_window_utilization.insert(result.busy_window_utilization.end(),
+                                          shard.busy_windows.begin(),
+                                          shard.busy_windows.end());
+  }
+
+  if (config.obs != nullptr) {
+    for (const PacketShard& shard : shards) {
+      if (shard.hub != nullptr) config.obs->merge_from(*shard.hub);
+    }
+  }
+
+  if (config.health != nullptr) {
+    std::vector<const obs::health::SampleLog*> logs;
+    logs.reserve(shards.size());
+    for (const PacketShard& shard : shards) logs.push_back(&shard.health);
+    obs::health::SampleLog::merge_arrivals(logs, *config.health);
+    for (const PacketShard& shard : shards) {
+      shard.health.replay_samples(*config.health);
+    }
+  }
 
   finish_result(result,
                 overloaded_windows * static_cast<std::uint64_t>(config.window_seconds),
@@ -399,13 +540,55 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
                               const FleetSimConfig& config) {
   FleetSimResult result;
   if (population.empty() || config.server_count == 0) return result;
+  const std::size_t shard_count = std::max<std::size_t>(1, config.shards);
+  const std::size_t jobs = std::max<std::size_t>(1, config.jobs);
 
   const std::vector<Arrival> workload =
       generate_workload(population, registry, config);
-  if (config.backend == FleetBackend::kPacket && config.server_uplink_mbps > 0.0) {
-    return run_packet(workload, registry, config);
+
+  // Partition by the stable hash of each arrival's first server; relative
+  // order within a shard stays chronological. One shard takes everything —
+  // the legacy unsharded run.
+  std::vector<std::vector<Arrival>> parts(shard_count);
+  if (shard_count == 1) {
+    parts[0] = workload;
+  } else {
+    obs::ProfScope prof(config.prof, "fleet.partition");
+    for (const Arrival& a : workload) {
+      parts[shard_of(a.first_server, shard_count)].push_back(a);
+    }
   }
-  return run_analytic(workload, config);
+
+  if (config.backend == FleetBackend::kPacket && config.server_uplink_mbps > 0.0) {
+    std::vector<PacketShard> outputs(shard_count);
+    for (PacketShard& out : outputs) {
+      if (config.obs != nullptr) out.hub = obs::Hub::mirror_of(*config.obs);
+      out.want_health = config.health != nullptr;
+    }
+    {
+      obs::ProfScope prof(config.prof, "fleet.replay_packet");
+      run_shards(shard_count, jobs, [&](std::size_t s) {
+        run_packet_shard(parts[s], registry, config,
+                         core::stream_seed(config.seed ^ kTestbedSeedSalt, s),
+                         outputs[s]);
+      });
+    }
+    obs::ProfScope prof(config.prof, "fleet.merge");
+    return merge_packet(outputs, config);
+  }
+
+  std::vector<AnalyticShard> outputs(shard_count);
+  for (AnalyticShard& out : outputs) {
+    out.want_health = config.health != nullptr;
+  }
+  {
+    obs::ProfScope prof(config.prof, "fleet.replay_analytic");
+    run_shards(shard_count, jobs, [&](std::size_t s) {
+      run_analytic_shard(parts[s], config, outputs[s]);
+    });
+  }
+  obs::ProfScope prof(config.prof, "fleet.merge");
+  return merge_analytic(outputs, config);
 }
 
 }  // namespace swiftest::deploy

@@ -42,8 +42,23 @@ struct FleetSimConfig {
   int window_seconds = 10;
   std::uint64_t seed = 99;
   FleetBackend backend = FleetBackend::kAnalytic;
-  /// Packet backend only: client slots available for overlapping tests.
-  /// Arrivals beyond this concurrency are dropped (tests_dropped).
+  /// Number of independent shards the drawn workload partitions into, by
+  /// stable hash of each arrival's first server (deploy/shard.hpp). Every
+  /// shard is a self-contained simulation — own scheduler, testbed, RNG
+  /// stream (core::stream_seed of this config's seed), obs hub, and health
+  /// log — and the per-shard outputs merge in shard order. shards = 1 is
+  /// the legacy unsharded run, bit-identical to pre-shard outputs. The
+  /// analytic backend's result is exact for any shard count (per-window
+  /// loads sum at merge); the packet backend loses only cross-shard egress
+  /// contention (escalation traffic spilling onto another shard's servers).
+  std::size_t shards = 1;
+  /// Worker threads replaying shards (clamped to the shard count); 1 runs
+  /// every shard inline on the calling thread. Results and every artifact
+  /// are independent of this value — it buys wall-clock time only.
+  std::size_t jobs = 1;
+  /// Packet backend only: client slots available for overlapping tests,
+  /// per shard. Arrivals beyond this concurrency are dropped
+  /// (tests_dropped).
   std::size_t max_concurrent_tests = 64;
   /// Optional observability hub, attached to the packet backend's scheduler
   /// for the run: per-test lifecycle traces, per-server egress-utilization

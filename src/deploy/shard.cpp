@@ -1,0 +1,55 @@
+#include "deploy/shard.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swiftest::deploy {
+
+std::uint64_t stable_hash64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t shard_of(std::uint64_t key, std::size_t shards) noexcept {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(stable_hash64(key) % shards);
+}
+
+void run_shards(std::size_t shard_count, std::size_t jobs,
+                const std::function<void(std::size_t)>& fn) {
+  if (shard_count == 0) return;
+  if (jobs <= 1 || shard_count == 1) {
+    for (std::size_t shard = 0; shard < shard_count; ++shard) fn(shard);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shard_count) return;
+      try {
+        fn(shard);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers = jobs < shard_count ? jobs : shard_count;
+  pool.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace swiftest::deploy

@@ -1,0 +1,37 @@
+// Shard partitioning and the bounded worker pool for parallel fleet-days.
+//
+// A fleet-day shards by server locality: every arrival is assigned to
+// shard_of(first_server, shards) with a stable 64-bit hash, so a given
+// server's tests land in one shard regardless of arrival order, workload
+// size, or thread count. Shards are fully independent simulations (own
+// Scheduler, own Testbed, own RNG stream, own obs Hub and health log);
+// run_shards executes them on at most `jobs` threads and the caller merges
+// the per-shard outputs in shard order — which makes every artifact a pure
+// function of (workload, shards), never of `jobs`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace swiftest::deploy {
+
+/// Stable 64-bit mix (splitmix64 finalizer). Not cryptographic; chosen for
+/// a fixed, platform-independent bit pattern so shard assignment is part of
+/// the reproducible simulation contract.
+[[nodiscard]] std::uint64_t stable_hash64(std::uint64_t x) noexcept;
+
+/// The shard an arrival keyed by `key` (its first server index) belongs to.
+[[nodiscard]] std::size_t shard_of(std::uint64_t key, std::size_t shards) noexcept;
+
+/// Runs `fn(shard)` for every shard in [0, shard_count) on a pool of at most
+/// `jobs` threads. jobs <= 1 runs inline on the calling thread in shard
+/// order (the zero-thread path TSan baselines and debuggers want). Worker
+/// threads pull the next unstarted shard from a shared counter, so the set
+/// of executed shards — and, given shard-local state, the computed results —
+/// is independent of scheduling. The first exception thrown by any shard is
+/// rethrown on the calling thread after every worker has joined.
+void run_shards(std::size_t shard_count, std::size_t jobs,
+                const std::function<void(std::size_t)>& fn);
+
+}  // namespace swiftest::deploy

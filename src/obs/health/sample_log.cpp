@@ -1,0 +1,76 @@
+#include "obs/health/sample_log.hpp"
+
+#include <algorithm>
+
+namespace swiftest::obs::health {
+
+void SampleLog::record_test(const TestSample& sample) {
+  Entry e;
+  e.kind = Entry::Kind::kTest;
+  e.duration_s = sample.duration_s;
+  e.data_mb = sample.data_mb;
+  e.deviation = sample.deviation;
+  e.dimensions.assign(sample.dimensions.begin(), sample.dimensions.end());
+  entries_.push_back(std::move(e));
+}
+
+void SampleLog::record_egress_utilization(std::uint64_t server, double util_pct) {
+  Entry e;
+  e.kind = Entry::Kind::kEgress;
+  e.server = server;
+  e.value = util_pct;
+  entries_.push_back(std::move(e));
+}
+
+void SampleLog::record(std::string_view metric, double value,
+                       std::span<const std::string> dimensions) {
+  Entry e;
+  e.kind = Entry::Kind::kRecord;
+  e.metric = std::string(metric);
+  e.value = value;
+  e.dimensions.assign(dimensions.begin(), dimensions.end());
+  entries_.push_back(std::move(e));
+}
+
+void SampleLog::replay_samples(HealthSink& sink) const {
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Entry::Kind::kTest: {
+        TestSample sample;
+        sample.duration_s = e.duration_s;
+        sample.data_mb = e.data_mb;
+        sample.deviation = e.deviation;
+        sample.dimensions = e.dimensions;
+        sink.record_test(sample);
+        break;
+      }
+      case Entry::Kind::kEgress:
+        sink.record_egress_utilization(e.server, e.value);
+        break;
+      case Entry::Kind::kRecord:
+        sink.record(e.metric, e.value, e.dimensions);
+        break;
+    }
+  }
+}
+
+void SampleLog::merge_arrivals(std::span<const SampleLog* const> logs,
+                               HealthSink& sink) {
+  std::size_t total = 0;
+  for (const SampleLog* log : logs) {
+    if (log != nullptr) total += log->arrivals_.size();
+  }
+  std::vector<double> merged;
+  merged.reserve(total);
+  for (const SampleLog* log : logs) {
+    if (log != nullptr) {
+      merged.insert(merged.end(), log->arrivals_.begin(), log->arrivals_.end());
+    }
+  }
+  // Each shard's stream is already non-decreasing; a stable sort makes the
+  // union globally monotone while keeping shard order for equal times.
+  std::stable_sort(merged.begin(), merged.end());
+  for (double t : merged) sink.note_arrival(t);
+}
+
+}  // namespace swiftest::obs::health

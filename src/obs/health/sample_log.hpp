@@ -1,0 +1,72 @@
+// Buffering health sink for sharded runs.
+//
+// A sharded simulation cannot stream health observations into one
+// HealthMonitor concurrently (the P² cells are order-sensitive and not
+// mergeable), so each shard writes to its own SampleLog — a verbatim,
+// insertion-ordered buffer of every sink call — and the merge stage replays
+// the logs into the real monitor after the shards join:
+//
+//   * arrival times from all shards are k-way merged by sim time (stable in
+//     shard order for ties) so the windowed test-rate sees one globally
+//     time-ordered arrival stream, exactly as an unsharded run would;
+//   * the remaining samples replay shard by shard, in shard order, which is
+//     deterministic and independent of how shards were scheduled onto
+//     threads.
+//
+// Replaying a single log into a fresh monitor reproduces the unsharded
+// monitor state exactly: arrivals and samples touch disjoint monitor state,
+// and each log preserves its shard's call order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/health/monitor.hpp"
+
+namespace swiftest::obs::health {
+
+class SampleLog final : public HealthSink {
+ public:
+  void note_arrival(double t_seconds) override { arrivals_.push_back(t_seconds); }
+  void record_test(const TestSample& sample) override;
+  void record_egress_utilization(std::uint64_t server, double util_pct) override;
+  void record(std::string_view metric, double value,
+              std::span<const std::string> dimensions) override;
+
+  /// Arrival times in the order they were noted (non-decreasing within one
+  /// shard's log).
+  [[nodiscard]] const std::vector<double>& arrival_times() const noexcept {
+    return arrivals_;
+  }
+
+  /// Replays every buffered sample except arrivals into `sink`, preserving
+  /// insertion order. Arrivals are replayed separately (merge_arrivals) so
+  /// multiple shards' clocks stay globally monotone.
+  void replay_samples(HealthSink& sink) const;
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return entries_.size(); }
+
+  /// Merges the arrival streams of `logs` by time — stable, so ties keep
+  /// shard order — and feeds them into `sink`.
+  static void merge_arrivals(std::span<const SampleLog* const> logs,
+                             HealthSink& sink);
+
+ private:
+  struct Entry {
+    enum class Kind : std::uint8_t { kTest, kEgress, kRecord };
+    Kind kind = Kind::kTest;
+    double duration_s = 0.0;            // kTest
+    double data_mb = 0.0;               // kTest
+    double deviation = 0.0;             // kTest
+    std::uint64_t server = 0;           // kEgress
+    double value = 0.0;                 // kEgress / kRecord
+    std::string metric;                 // kRecord
+    std::vector<std::string> dimensions;  // kTest / kRecord
+  };
+
+  std::vector<double> arrivals_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace swiftest::obs::health

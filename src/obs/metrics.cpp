@@ -16,6 +16,14 @@ void Histogram::observe(double v) noexcept {
   sum_ += v;
 }
 
+void Histogram::add_counts(std::span<const std::uint64_t> counts,
+                           std::uint64_t count, double sum) {
+  const std::size_t n = std::min(counts.size(), counts_.size());
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += counts[i];
+  count_ += count;
+  sum_ += sum;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -33,6 +41,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(bounds);
   return *slot;
+}
+
+void MetricsRegistry::merge_from(const MetricsSnapshot& src) {
+  for (const auto& [name, value] : src.counters) counter(name).inc(value);
+  for (const auto& [name, value] : src.gauges) gauge(name).add(value);
+  for (const auto& [name, value] : src.histograms) {
+    Histogram& h = histogram(name, value.bounds);
+    if (h.counts().size() == value.counts.size()) {
+      h.add_counts(value.counts, value.count, value.sum);
+    } else {
+      // Mismatched bucket layouts cannot be combined bucket by bucket; keep
+      // the totals so count/sum stay conserved.
+      h.add_counts({}, value.count, value.sum);
+    }
+  }
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -43,6 +43,11 @@ class Histogram {
 
   void observe(double v) noexcept;
 
+  /// Adds another histogram's per-bucket counts (same bounds layout —
+  /// `counts.size()` must equal `counts().size()`) plus its count/sum.
+  void add_counts(std::span<const std::uint64_t> counts, std::uint64_t count,
+                  double sum);
+
   [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (last is overflow).
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
@@ -90,6 +95,14 @@ class MetricsRegistry {
   }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Folds a snapshot into this registry: counters and gauges add, histogram
+  /// bucket counts add elementwise (a histogram absent here is created with
+  /// the source's bounds). Gauges are shard-additive by convention — fleet
+  /// gauges are either zero at merge time (concurrency high-water gauges end
+  /// a run at 0) or meaningful as a sum. Merging into an empty registry
+  /// reproduces the source snapshot exactly.
+  void merge_from(const MetricsSnapshot& src);
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;

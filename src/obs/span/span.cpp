@@ -84,4 +84,20 @@ SpanId SpanStore::anchor(std::uint64_t trace_id) const {
   return it == anchors_.end() ? kNoSpan : it->second;
 }
 
+void SpanStore::merge_from(const SpanStore& src) {
+  const SpanId offset = spans_.size();
+  spans_.reserve(spans_.size() + src.spans_.size());
+  for (const SpanRecord& r : src.spans_) {
+    SpanRecord copy = r;
+    copy.id += offset;
+    if (copy.parent != kNoSpan) copy.parent += offset;
+    spans_.push_back(copy);
+  }
+  for (const auto& [trace_id, id] : src.anchors_) {
+    anchors_.emplace(trace_id, id + offset);  // first registration wins
+  }
+  dropped_ += src.dropped_;
+  open_ += src.open_;
+}
+
 }  // namespace swiftest::obs::span

@@ -112,6 +112,15 @@ class SpanStore {
   /// root, and the analyzer reports it as a separate tree.
   [[nodiscard]] SpanId anchor(std::uint64_t trace_id) const;
 
+  /// Appends every span of `src` with ids (and parent links) rebased past
+  /// this store's current size; anchors rebase the same way (first
+  /// registration still wins) and drop counts add. No sink mirroring — the
+  /// source store already mirrored into its own shard's tracer/metrics,
+  /// which merge separately. Merging a full source into an empty store
+  /// reproduces it record for record; an explicit merge may grow the store
+  /// past its begin() capacity.
+  void merge_from(const SpanStore& src);
+
   [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
   [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

@@ -58,4 +58,11 @@ std::vector<TraceEvent> Tracer::events() const {
   return out;
 }
 
+void Tracer::merge_from(const Tracer& src) {
+  for (const TraceEvent& e : src.events()) {
+    record(e.ts, e.category, e.kind, e.name, e.id, e.value);
+  }
+  dropped_ += src.dropped();
+}
+
 }  // namespace swiftest::obs

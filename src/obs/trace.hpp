@@ -111,6 +111,12 @@ class Tracer {
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
+  /// Appends every retained event of `src` (oldest first) and carries its
+  /// drop count over. Used to fold per-shard tracers into one artifact in
+  /// shard order: merging one full source into an empty same-capacity ring
+  /// reproduces it byte for byte, retention and drop count included.
+  void merge_from(const Tracer& src);
+
   void clear() noexcept {
     head_ = 0;
     size_ = 0;

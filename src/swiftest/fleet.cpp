@@ -44,13 +44,13 @@ std::size_t ServerFleet::active_sessions() const noexcept {
   return total;
 }
 
-void ServerFleet::record_health(obs::health::HealthMonitor& monitor) const {
+void ServerFleet::record_health(obs::health::HealthSink& sink) const {
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     const ServerStats& s = servers_[i]->stats();
     const std::string dims[] = {"server:" + std::to_string(i)};
-    monitor.record("server_sessions",
+    sink.record("server_sessions",
                    static_cast<double>(s.requests_accepted), dims);
-    monitor.record("server_probe_mb",
+    sink.record("server_probe_mb",
                    static_cast<double>(s.probe_bytes_sent) / 1e6, dims);
   }
 }

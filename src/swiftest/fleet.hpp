@@ -40,11 +40,13 @@ class ServerFleet {
   /// Total live sessions across the fleet.
   [[nodiscard]] std::size_t active_sessions() const noexcept;
 
-  /// Streams per-server protocol-level load into `monitor`: one
+  /// Streams per-server protocol-level load into `sink`: one
   /// "server_sessions" and one "server_probe_mb" sample per server, keyed
   /// "server:<i>" — the load-balance view of the fleet (the "all" cell's
-  /// spread shows how evenly anycast assignment landed).
-  void record_health(obs::health::HealthMonitor& monitor) const;
+  /// spread shows how evenly anycast assignment landed). Takes the sink
+  /// interface so sharded runs can log the samples and replay them in
+  /// deterministic shard order.
+  void record_health(obs::health::HealthSink& sink) const;
 
  private:
   std::vector<std::unique_ptr<SwiftestServer>> servers_;

@@ -1,0 +1,179 @@
+// Determinism contract of the sharded fleet substrate (deploy/shard.hpp +
+// the sharded simulate_fleet): shard assignment is a stable pure function,
+// the analytic backend is exact under sharding, and no artifact — result,
+// health JSON, metrics JSON, span JSON — may depend on the worker-thread
+// count.
+#include "deploy/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "dataset/generator.hpp"
+#include "deploy/fleet_sim.hpp"
+#include "obs/export.hpp"
+#include "obs/health/report.hpp"
+#include "obs/hub.hpp"
+#include "obs/span/json.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+TEST(ShardOf, StableAndInRange) {
+  for (std::size_t shards : {1u, 2u, 7u, 8u}) {
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      const std::size_t shard = shard_of(key, shards);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(shard, shard_of(key, shards)) << "assignment must be pure";
+    }
+  }
+  // One shard degenerates to the unsharded run.
+  EXPECT_EQ(shard_of(12345, 1), 0u);
+  EXPECT_EQ(shard_of(12345, 0), 0u);
+}
+
+TEST(ShardOf, SpreadsKeysAcrossShards) {
+  std::set<std::size_t> hit;
+  for (std::uint64_t key = 0; key < 64; ++key) hit.insert(shard_of(key, 8));
+  // 64 keys over 8 shards: a stable hash worth its name touches all of them.
+  EXPECT_EQ(hit.size(), 8u);
+}
+
+TEST(StreamSeed, StreamZeroIsIdentity) {
+  // The shards=1 bit-compatibility guarantee hangs on this: shard 0 of a
+  // single-shard run must seed its testbed exactly as the unsharded code did.
+  EXPECT_EQ(core::stream_seed(42, 0), 42u);
+  EXPECT_EQ(core::stream_seed(0xDEADBEEF, 0), 0xDEADBEEFull);
+}
+
+TEST(StreamSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 16; ++stream) {
+    seeds.insert(core::stream_seed(99, stream));
+  }
+  EXPECT_EQ(seeds.size(), 16u);
+}
+
+TEST(RunShards, CoversEveryShardOnceAtAnyJobCount) {
+  for (std::size_t jobs : {1u, 2u, 4u, 9u}) {
+    std::vector<std::atomic<int>> hits(17);
+    run_shards(hits.size(), jobs, [&](std::size_t shard) { ++hits[shard]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RunShards, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      run_shards(8, 4,
+                 [](std::size_t shard) {
+                   if (shard == 5) throw std::runtime_error("boom");
+                 }),
+      std::runtime_error);
+}
+
+const std::vector<dataset::TestRecord>& population() {
+  static const auto records = dataset::generate_campaign(8'000, 2021, 5);
+  return records;
+}
+
+FleetSimConfig base_config() {
+  FleetSimConfig cfg;
+  cfg.server_count = 5;
+  cfg.days = 1;
+  cfg.tests_per_day = 400.0;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(ShardedFleet, AnalyticResultIsExactForAnyShardCount) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg = base_config();
+  const FleetSimResult reference = simulate_fleet(population(), registry, cfg);
+  ASSERT_GT(reference.tests_simulated, 100u);
+
+  for (std::size_t shards : {2u, 3u, 8u}) {
+    cfg.shards = shards;
+    cfg.jobs = 2;
+    const FleetSimResult sharded = simulate_fleet(population(), registry, cfg);
+    EXPECT_EQ(sharded.tests_simulated, reference.tests_simulated);
+    // Exact, not approximate: per-window loads are summed per shard and the
+    // merge adds them back together, so every busy window matches bit for
+    // bit regardless of the partition.
+    ASSERT_EQ(sharded.busy_window_utilization.size(),
+              reference.busy_window_utilization.size());
+    for (std::size_t i = 0; i < reference.busy_window_utilization.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sharded.busy_window_utilization[i],
+                       reference.busy_window_utilization[i]);
+    }
+    EXPECT_DOUBLE_EQ(sharded.overload_seconds_share,
+                     reference.overload_seconds_share);
+    EXPECT_DOUBLE_EQ(sharded.summary.mean, reference.summary.mean);
+    EXPECT_DOUBLE_EQ(sharded.p99, reference.p99);
+  }
+}
+
+/// Every artifact a sharded run can produce, rendered to strings.
+struct Artifacts {
+  std::string health;
+  std::string metrics;
+  std::string spans;
+  std::vector<double> busy_windows;
+  std::uint64_t tests = 0;
+  std::uint64_t dropped = 0;
+};
+
+Artifacts run_packet(std::size_t shards, std::size_t jobs) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg = base_config();
+  cfg.backend = FleetBackend::kPacket;
+  cfg.tests_per_day = 150.0;
+  cfg.shards = shards;
+  cfg.jobs = jobs;
+
+  obs::Hub hub;
+  obs::health::HealthMonitor health;
+  cfg.obs = &hub;
+  cfg.health = &health;
+
+  const FleetSimResult result = simulate_fleet(population(), registry, cfg);
+
+  Artifacts artifacts;
+  std::ostringstream health_out;
+  obs::health::write_health_json(health.snapshot(), {}, nullptr, health_out);
+  artifacts.health = health_out.str();
+  std::ostringstream metrics_out;
+  obs::write_metrics_json(hub.metrics.snapshot(), metrics_out);
+  artifacts.metrics = metrics_out.str();
+  std::ostringstream spans_out;
+  obs::span::write_spans_json(hub.spans, spans_out);
+  artifacts.spans = spans_out.str();
+  artifacts.busy_windows = result.busy_window_utilization;
+  artifacts.tests = result.tests_simulated;
+  artifacts.dropped = result.tests_dropped;
+  return artifacts;
+}
+
+TEST(ShardedFleet, PacketArtifactsIndependentOfJobCount) {
+  for (std::size_t shards : {1u, 2u, 8u}) {
+    const Artifacts serial = run_packet(shards, 1);
+    const Artifacts threaded = run_packet(shards, 4);
+    EXPECT_EQ(serial.tests, threaded.tests) << "shards=" << shards;
+    EXPECT_EQ(serial.dropped, threaded.dropped) << "shards=" << shards;
+    EXPECT_EQ(serial.busy_windows, threaded.busy_windows) << "shards=" << shards;
+    // Byte-identical JSON, not merely equivalent: the merge runs in shard
+    // order after the pool joins, so thread scheduling cannot leak into any
+    // serialized artifact.
+    EXPECT_EQ(serial.health, threaded.health) << "shards=" << shards;
+    EXPECT_EQ(serial.metrics, threaded.metrics) << "shards=" << shards;
+    EXPECT_EQ(serial.spans, threaded.spans) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

@@ -353,5 +353,57 @@ TEST(Cli, UsageDocumentsHealthFlagsAndCategories) {
   EXPECT_NE(output.find(obs::kCategoryListCsv), std::string::npos);
 }
 
+TEST(Cli, FleetRejectsBadShardAndJobCounts) {
+  std::string output;
+  EXPECT_EQ(run({"fleet", "--days", "1", "--shards", "0"}, output), 2);
+  EXPECT_NE(output.find("--shards"), std::string::npos);
+  EXPECT_EQ(run({"fleet", "--days", "1", "--jobs", "0"}, output), 2);
+  EXPECT_NE(output.find("--jobs"), std::string::npos);
+}
+
+TEST(Cli, FleetShardsAnnotateOutputAndHealthMeta) {
+  const std::string health_path = testing::TempDir() + "/cli_fleet_sharded_health.json";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "500", "--shards", "4",
+                 "--jobs", "2", "--health-out", health_path},
+                output),
+            0);
+  EXPECT_NE(output.find("4 shards"), std::string::npos);
+  const std::string health = slurp(health_path);
+  EXPECT_NE(health.find("\"shards\": \"4\""), std::string::npos);
+  // --jobs is wall-clock-only and must never appear in an artifact.
+  EXPECT_EQ(health.find("jobs"), std::string::npos);
+}
+
+// The committed goldens under tests/golden were produced by the unsharded
+// pre-shard implementation. An unsharded (default --shards 1) run must keep
+// reproducing them byte for byte: sharding is an opt-in partition of the
+// same simulation, not a new simulation.
+TEST(Cli, FleetUnshardedRunMatchesPreShardGoldens) {
+  const std::string health_path = testing::TempDir() + "/cli_golden_health.json";
+  const std::string metrics_path = testing::TempDir() + "/cli_golden_metrics.json";
+  const std::string spans_path = testing::TempDir() + "/cli_golden_spans.json";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--backend", "packet", "--servers", "5", "--days", "1",
+                 "--tests-per-day", "200", "--seed", "3", "--health-out",
+                 health_path, "--metrics-out", metrics_path, "--spans-out",
+                 spans_path},
+                output),
+            0);
+
+  const std::string golden_dir = SWIFTEST_GOLDEN_DIR;
+  EXPECT_EQ(slurp(health_path), slurp(golden_dir + "/fleet_shard1_health.json"));
+  EXPECT_EQ(slurp(metrics_path), slurp(golden_dir + "/fleet_shard1_metrics.json"));
+  EXPECT_EQ(slurp(spans_path), slurp(golden_dir + "/fleet_shard1_spans.json"));
+
+  // The summary lines (everything before the artifact-path echoes) must
+  // match the golden stdout too.
+  std::istringstream lines(output);
+  std::string line;
+  std::string summary;
+  for (int i = 0; i < 3 && std::getline(lines, line); ++i) summary += line + "\n";
+  EXPECT_EQ(summary, slurp(golden_dir + "/fleet_shard1_stdout.txt"));
+}
+
 }  // namespace
 }  // namespace swiftest::cli

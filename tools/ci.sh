@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite twice —
-# once plain, once under AddressSanitizer + UBSan (SWIFTEST_SANITIZE=address).
+# once plain, once under AddressSanitizer + UBSan (SWIFTEST_SANITIZE=address) —
+# plus a ThreadSanitizer job that drives a sharded multi-threaded fleet-day
+# (SWIFTEST_SANITIZE=thread), the only place the codebase runs real threads.
 #
-# Usage: tools/ci.sh [--plain-only|--asan-only]
+# Usage: tools/ci.sh [--plain-only|--asan-only|--tsan-only]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -90,6 +92,9 @@ PYEOF
 
 # Deterministic bench regression gate: fig20 (Swiftest test duration) values
 # are pure sim-time, so they must match the committed baseline on any host.
+# bench_fleet_shard additionally asserts that a sharded fleet-day's artifacts
+# are identical at every worker-pool size (its gated values are the
+# deterministic counts, never the host-dependent wall-clock).
 run_bench_gate() {
   local build_dir="$1"
   local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke"
@@ -100,18 +105,42 @@ run_bench_gate() {
   python3 "${REPO_ROOT}/tools/bench_compare.py" \
     "${REPO_ROOT}/tools/bench_baseline/BENCH_swiftest.json" \
     "${out_dir}/BENCH_swiftest.json"
+  "${REPO_ROOT}/${build_dir}/bench/bench_fleet_shard" \
+    --json "${out_dir}/BENCH_fleet_shard.json" > /dev/null
+  python3 "${REPO_ROOT}/tools/bench_compare.py" \
+    "${REPO_ROOT}/tools/bench_baseline/BENCH_fleet_shard.json" \
+    "${out_dir}/BENCH_fleet_shard.json"
+}
+
+# ThreadSanitizer job: build the CLI under -fsanitize=thread and run a
+# sharded packet fleet-day on a real worker pool (--shards 4 --jobs 4). The
+# shard workers must share nothing but the partitioned workload and the
+# join-then-merge handoff, so a single TSan-clean sharded run certifies the
+# substrate's isolation contract; any cross-shard data race fails CI here.
+run_tsan_fleet() {
+  local build_dir="build-tsan"
+  echo "=== configure ${build_dir} (-DSWIFTEST_SANITIZE=thread) ==="
+  cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" -DSWIFTEST_SANITIZE=thread
+  echo "=== build ${build_dir} (swiftest-cli) ==="
+  cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}" --target swiftest-cli
+  echo "=== TSan sharded fleet-day (--shards 4 --jobs 4) ==="
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet --backend packet \
+    --servers 5 --days 1 --tests-per-day 200 --seed 3 --shards 4 --jobs 4
+  echo "TSan sharded fleet-day clean"
 }
 
 mode="${1:-all}"
 case "${mode}" in
   --plain-only) run_suite build ;;
   --asan-only) run_suite build-asan -DSWIFTEST_SANITIZE=address ;;
+  --tsan-only) run_tsan_fleet ;;
   all)
     run_suite build
     run_suite build-asan -DSWIFTEST_SANITIZE=address
+    run_tsan_fleet
     ;;
   *)
-    echo "usage: tools/ci.sh [--plain-only|--asan-only]" >&2
+    echo "usage: tools/ci.sh [--plain-only|--asan-only|--tsan-only]" >&2
     exit 2
     ;;
 esac

@@ -44,7 +44,10 @@ const std::string kUsage = std::string(
     "  fit      --in FILE --out FILE    fit per-technology bandwidth models\n"
     "  plan     [--tests-per-day N] [--regional]\n"
     "  fleet    [--servers N] [--days D] [--tests-per-day N]\n"
-    "           [--backend analytic|packet]\n"
+    "           [--backend analytic|packet] [--shards N] [--jobs N]\n"
+    "           --shards partitions the fleet-day into N independent shards\n"
+    "           (deterministic for a given N); --jobs replays them on up to\n"
+    "           N worker threads without changing any output\n"
     "  trace    analyze FILE [--json OUT] [--md OUT]\n"
     "           critical-path latency attribution of a span JSON file\n"
     "\n"
@@ -492,6 +495,18 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   cfg.days = static_cast<int>(options.get_int("days", 3));
   cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
   cfg.seed = static_cast<std::uint64_t>(options.get_int("seed", 99));
+  const long shards = options.get_int("shards", 1);
+  const long jobs = options.get_int("jobs", 1);
+  if (shards < 1) {
+    out << "--shards must be >= 1\n";
+    return 2;
+  }
+  if (jobs < 1) {
+    out << "--jobs must be >= 1\n";
+    return 2;
+  }
+  cfg.shards = static_cast<std::size_t>(shards);
+  cfg.jobs = static_cast<std::size_t>(jobs);
   const std::string backend = options.get("backend", "analytic");
   if (backend == "packet") {
     cfg.backend = deploy::FleetBackend::kPacket;
@@ -502,6 +517,9 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   const auto result = deploy::simulate_fleet(population, registry, cfg);
   out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days << " day(s), "
       << result.tests_simulated << " tests (" << backend << " backend"
+      // The shard count shapes the result (the job count never does), so
+      // surface it; unsharded output stays byte-compatible with older runs.
+      << (cfg.shards > 1 ? ", " + std::to_string(cfg.shards) + " shards" : "")
       << (result.tests_dropped > 0
               ? ", " + std::to_string(result.tests_dropped) + " dropped"
               : "")
@@ -513,7 +531,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   const int obs_rc = flush_obs(options, out, hub.get());
   if (obs_rc != 0) return obs_rc;
   record_stage_health(hub.get(), health.get());
-  const obs::health::ReportMeta meta = {
+  obs::health::ReportMeta meta = {
       {"command", "fleet"},
       {"backend", backend},
       {"servers", std::to_string(cfg.server_count)},
@@ -521,6 +539,10 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
       {"seed", std::to_string(cfg.seed)},
   };
+  // Only a shard count > 1 changes the artifacts; keep unsharded reports
+  // byte-identical to pre-shard ones. --jobs never appears: no artifact may
+  // depend on thread count.
+  if (cfg.shards > 1) meta.emplace_back("shards", std::to_string(cfg.shards));
   const int health_rc = flush_health(options, out, health.get(), meta);
   if (options.has("profile")) obs::write_profile(prof, out);
   return health_rc;
