@@ -3,10 +3,12 @@
 // the determinism contract that makes the parallelism safe to use — every
 // job count must produce byte-identical artifacts.
 //
-// Wall-clock numbers are host-dependent, so they are reported as config
-// strings (visible in the JSON, never compared); the gated values are the
-// deterministic quantities: tests simulated, busy windows, and the
-// artifacts-identical flag.
+// Wall-clock numbers are host-dependent, so they are reported as numeric
+// values alongside the host's hardware thread count (a config key);
+// tools/bench_compare.py only compares the scaling values between runs from
+// hosts with the same hw_threads (> 1) and always gates the deterministic
+// quantities: tests simulated, busy windows, and the artifacts-identical
+// flag.
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -61,12 +63,6 @@ RunOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
   return outcome;
 }
 
-std::string format_seconds(double s) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.3f", s);
-  return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,11 +91,7 @@ int main(int argc, char** argv) {
     identical = identical && same;
     std::printf("  %-6zu %-10.3f %-9.2f %s\n", jobs, o.seconds,
                 outcomes.front().seconds / o.seconds, same ? "identical" : "DIFFER");
-    benchutil::report_config("wall_s_jobs" + std::to_string(jobs),
-                             format_seconds(o.seconds));
   }
-  benchutil::report_config(
-      "speedup_jobs8", format_seconds(outcomes.front().seconds / outcomes.back().seconds));
   benchutil::print_note(
       "wall-clock scales with available cores; artifacts must never vary");
 
@@ -110,5 +102,14 @@ int main(int argc, char** argv) {
   benchutil::report_value("busy_windows",
                           static_cast<double>(outcomes.front().busy_windows));
   benchutil::report_value("artifacts_identical", identical ? 1.0 : 0.0);
+  // Host-dependent scaling values: bench_compare.py skips these (with a
+  // warning) unless both runs report the same hw_threads config and the
+  // host actually has more than one hardware thread.
+  for (std::size_t i = 0; i < job_counts.size(); ++i) {
+    benchutil::report_value("wall_s_jobs" + std::to_string(job_counts[i]),
+                            outcomes[i].seconds);
+  }
+  benchutil::report_value("speedup_jobs8",
+                          outcomes.front().seconds / outcomes.back().seconds);
   return benchutil::report_flush();
 }

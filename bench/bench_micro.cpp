@@ -7,6 +7,7 @@
 #include "core/rng.hpp"
 #include "dataset/generator.hpp"
 #include "deploy/planner.hpp"
+#include "netsim/fair_link.hpp"
 #include "netsim/scenario.hpp"
 #include "netsim/tcp.hpp"
 #include "obs/hub.hpp"
@@ -51,6 +52,53 @@ void BM_SchedulerEventThroughputTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100'000);
 }
 BENCHMARK(BM_SchedulerEventThroughputTraced);
+
+// Schedule-then-cancel churn: the pattern every paced sender and GC timer
+// produces. Exercises the slab free-list and generation-tagged handles; in
+// steady state (after the first iterations grow the slab) neither the
+// schedule nor the cancel may heap-allocate.
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  netsim::Scheduler sched;
+  constexpr int kBatch = 64;
+  netsim::EventHandle handles[kBatch];
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      handles[i] = sched.schedule_in(1000 + i, [] {});
+    }
+    for (int i = 0; i < kBatch; ++i) handles[i].cancel();
+    // Drain the cancelled events so the queue stays bounded.
+    sched.run_until(sched.now() + 2000);
+  }
+  benchmark::DoNotOptimize(sched.alloc_stats().slab_slots);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SchedulerScheduleCancel);
+
+// Four flows hammering a DRR link: pooled transit nodes, dense flow slots,
+// intrusive per-flow queues. Steady state must be allocation-free.
+void BM_FairLinkEnqueueDequeue(benchmark::State& state) {
+  netsim::Scheduler sched;
+  netsim::FairLinkConfig cfg;
+  cfg.rate = core::Bandwidth::mbps(10'000);
+  cfg.propagation_delay = core::microseconds(10);
+  netsim::FairLink link(sched, cfg, core::Rng(7));
+  std::uint64_t delivered = 0;
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      netsim::Packet pkt;
+      pkt.flow_id = static_cast<std::uint64_t>(i % 4);
+      pkt.seq = static_cast<std::uint32_t>(i);
+      pkt.size_bytes = 1200;
+      link.send(std::move(pkt),
+                [&delivered](const netsim::Packet&) { ++delivered; });
+    }
+    sched.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_FairLinkEnqueueDequeue);
 
 // Span begin/attr/end round trip against a live store (trace + metrics
 // sinks attached): the per-stage cost every instrumented session pays.

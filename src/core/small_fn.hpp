@@ -1,0 +1,179 @@
+// Small-buffer-optimized type-erased callable.
+//
+// The discrete-event hot path schedules millions of callbacks per simulated
+// day; std::function's inline buffer (16 bytes on libstdc++, and only for
+// trivially-copyable targets) forces a heap allocation for almost every one
+// of them, and those allocations serialize shard workers on the global
+// allocator. SmallFn trades generality for a caller-chosen inline buffer:
+// any callable that fits is stored in place, anything larger falls back to
+// the heap and bumps a thread-local counter so the scheduler's
+// allocation-accounting hook can prove the fallback never happens in steady
+// state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace swiftest::core {
+
+namespace detail {
+// Thread-local so per-shard worker threads never contend; each Scheduler
+// snapshots deltas on its own thread.
+inline thread_local std::uint64_t small_fn_heap_allocs = 0;
+}  // namespace detail
+
+/// Number of SmallFn targets (on this thread) that did not fit their inline
+/// buffer and were heap-allocated instead. Monotonic; compare snapshots.
+inline std::uint64_t small_fn_heap_allocations() noexcept {
+  return detail::small_fn_heap_allocs;
+}
+
+template <typename Sig, std::size_t InlineBytes = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+  static_assert(InlineBytes >= sizeof(void*), "inline buffer must hold a pointer");
+
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct<D>(std::forward<F>(f));
+  }
+
+  SmallFn(const SmallFn& other) : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->copy(&storage_, &other.storage_);
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(const SmallFn& other) {
+    if (this != &other) *this = SmallFn(other);
+    return *this;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&storage_, &other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~SmallFn() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the target lives in the inline buffer (or there is no
+  /// target). False means this instance cost one heap allocation.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ == nullptr || ops_->inline_stored;
+  }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*copy)(void* dst, const void* src);
+    void (*relocate)(void* dst, void* src) noexcept;  // move into dst, destroy src
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static const Ops* inline_ops() noexcept {
+    static constexpr Ops ops = {
+        [](void* s, Args&&... args) -> R {
+          return (*static_cast<F*>(s))(std::forward<Args>(args)...);
+        },
+        [](void* dst, const void* src) {
+          if constexpr (std::is_copy_constructible_v<F>) {
+            ::new (dst) F(*static_cast<const F*>(src));
+          } else {
+            std::abort();  // copying a move-only target is a caller bug
+          }
+        },
+        [](void* dst, void* src) noexcept {
+          auto* from = static_cast<F*>(src);
+          ::new (dst) F(std::move(*from));
+          from->~F();
+        },
+        [](void* s) noexcept { static_cast<F*>(s)->~F(); },
+        /*inline_stored=*/true,
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  static const Ops* heap_ops() noexcept {
+    static constexpr Ops ops = {
+        [](void* s, Args&&... args) -> R {
+          return (**static_cast<F* const*>(s))(std::forward<Args>(args)...);
+        },
+        [](void* dst, const void* src) {
+          if constexpr (std::is_copy_constructible_v<F>) {
+            *static_cast<F**>(dst) = new F(**static_cast<F* const*>(src));
+            ++detail::small_fn_heap_allocs;
+          } else {
+            std::abort();
+          }
+        },
+        [](void* dst, void* src) noexcept {
+          *static_cast<F**>(dst) = *static_cast<F**>(src);
+        },
+        [](void* s) noexcept { delete *static_cast<F**>(s); },
+        /*inline_stored=*/false,
+    };
+    return &ops;
+  }
+
+  template <typename D, typename F>
+  void construct(F&& f) {
+    if constexpr (kFitsInline<D>) {
+      ::new (&storage_) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      *reinterpret_cast<D**>(&storage_) = new D(std::forward<F>(f));
+      ++detail::small_fn_heap_allocs;
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  alignas(std::max_align_t) mutable unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace swiftest::core

@@ -505,6 +505,9 @@ FleetSimResult merge_packet(std::vector<PacketShard>& shards,
     }
   }
 
+  std::size_t busy_total = 0;
+  for (const PacketShard& shard : shards) busy_total += shard.busy_windows.size();
+  result.busy_window_utilization.reserve(busy_total);
   for (const PacketShard& shard : shards) {
     result.busy_window_utilization.insert(result.busy_window_utilization.end(),
                                           shard.busy_windows.begin(),

@@ -1,0 +1,199 @@
+// Event-queue front-ends for the slab scheduler.
+//
+// The scheduler stores callbacks in a slab; what gets ordered is a 24-byte
+// EventKey {when, seq, slot}. Two interchangeable front-ends produce the
+// exact same total order (strict (when, seq) — seq is unique, so there are
+// no ambiguous ties):
+//
+//  * HeapEventQueue — the reference std::priority_queue, O(log n) per op.
+//    Kept for the byte-identical migration gate and A/B determinism tests.
+//  * CalendarEventQueue — a bucketed timer ring for the dominant near-future
+//    events, O(1) amortized. The ring covers [base, base + buckets * width);
+//    events beyond the horizon wait in a far-future heap and migrate into
+//    the ring when it drains and rebases. The bucket currently being
+//    consumed is drained through a small "active" min-heap so same-bucket
+//    inserts during the drain still come out in (when, seq) order. Inserts
+//    before `base` (possible after run_until() parks the clock between a
+//    drained ring and a far-future rebase target) go to an underflow heap
+//    that is strictly earlier than everything else, preserving the total
+//    order without ever rebasing backwards.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace swiftest::netsim {
+
+struct EventKey {
+  core::SimTime when = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+
+  bool operator>(const EventKey& other) const noexcept {
+    if (when != other.when) return when > other.when;
+    return seq > other.seq;
+  }
+};
+
+using EventKeyHeap =
+    std::priority_queue<EventKey, std::vector<EventKey>, std::greater<>>;
+
+/// Reference front-end: a plain binary min-heap of keys.
+class HeapEventQueue {
+ public:
+  void push(const EventKey& key) { heap_.push(key); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  bool peek(EventKey& out) {
+    if (heap_.empty()) return false;
+    out = heap_.top();
+    return true;
+  }
+
+  EventKey pop() {
+    EventKey key = heap_.top();
+    heap_.pop();
+    return key;
+  }
+
+ private:
+  EventKeyHeap heap_;
+};
+
+/// O(1)-amortized calendar queue. Defaults: 1024 buckets of 2^18 ns
+/// (~262 us) give a ~268 ms ring — wider than any simulated RTT or pacing
+/// gap, so steady-state packet events never touch the far heap.
+class CalendarEventQueue {
+ public:
+  explicit CalendarEventQueue(std::uint32_t width_shift = 18,
+                              std::uint32_t bucket_count = 1024)
+      : width_shift_(width_shift),
+        bucket_mask_(bucket_count - 1),
+        buckets_(bucket_count) {
+    assert((bucket_count & (bucket_count - 1)) == 0 && "bucket count must be a power of 2");
+    horizon_end_ = span();
+  }
+
+  void push(const EventKey& key) {
+    ++size_;
+    if (key.when >= horizon_end_) {
+      far_.push(key);
+    } else if (key.when < base_) {
+      underflow_.push(key);
+    } else {
+      place_in_ring(key);
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Lowest (when, seq) key without removing it. May migrate far-future
+  /// events into the ring (order-preserving). False when empty.
+  bool peek(EventKey& out) {
+    EventKeyHeap* src = select_source();
+    if (src == nullptr) return false;
+    out = src->top();
+    return true;
+  }
+
+  EventKey pop() {
+    EventKeyHeap* src = select_source();
+    assert(src != nullptr);
+    EventKey key = src->top();
+    src->pop();
+    --size_;
+    return key;
+  }
+
+ private:
+  [[nodiscard]] core::SimTime span() const noexcept {
+    return static_cast<core::SimTime>(bucket_mask_ + 1) << width_shift_;
+  }
+  [[nodiscard]] std::uint32_t bucket_of(core::SimTime when) const noexcept {
+    return static_cast<std::uint32_t>(when >> width_shift_) & bucket_mask_;
+  }
+
+  void place_in_ring(const EventKey& key) {
+    const std::uint32_t b = bucket_of(key.when);
+    if (active_valid_ && b == active_bucket_) {
+      // The bucket is mid-drain: its vector was already swept into the
+      // active heap, so late arrivals must join the heap to keep order.
+      active_.push(key);
+    } else {
+      buckets_[b].push_back(key);
+      ++ring_count_;
+    }
+  }
+
+  /// Loads the next non-empty ring bucket into the active heap. False when
+  /// both the active heap and the ring are exhausted.
+  bool ensure_active() {
+    while (true) {
+      if (!active_.empty()) return true;
+      if (ring_count_ == 0) {
+        active_valid_ = false;
+        return false;
+      }
+      while (buckets_[cursor_].empty()) cursor_ = (cursor_ + 1) & bucket_mask_;
+      std::vector<EventKey>& bucket = buckets_[cursor_];
+      for (const EventKey& key : bucket) active_.push(key);
+      ring_count_ -= bucket.size();
+      bucket.clear();
+      active_bucket_ = cursor_;
+      active_valid_ = true;
+      cursor_ = (cursor_ + 1) & bucket_mask_;
+    }
+  }
+
+  /// Ring drained and no underflow: jump the window to the earliest
+  /// far-future event and pull everything inside the new horizon into the
+  /// ring. Keys only ever move far -> ring, so `size_` is untouched.
+  void rebase_from_far() {
+    assert(!far_.empty());
+    base_ = (far_.top().when >> width_shift_) << width_shift_;
+    horizon_end_ = base_ + span();
+    cursor_ = bucket_of(base_);
+    active_valid_ = false;
+    while (!far_.empty() && far_.top().when < horizon_end_) {
+      place_in_ring(far_.top());
+      far_.pop();
+    }
+  }
+
+  EventKeyHeap* select_source() {
+    if (size_ == 0) return nullptr;
+    // Underflow keys are strictly earlier than base_, and every ring/active
+    // key is >= base_, so the underflow heap always wins while non-empty.
+    if (!underflow_.empty()) return &underflow_;
+    if (!ensure_active()) {
+      rebase_from_far();
+      const bool loaded = ensure_active();
+      assert(loaded);
+      (void)loaded;
+    }
+    return &active_;
+  }
+
+  std::uint32_t width_shift_;
+  std::uint32_t bucket_mask_;
+  std::vector<std::vector<EventKey>> buckets_;
+  std::size_t ring_count_ = 0;  // keys sitting in bucket vectors
+  std::size_t size_ = 0;        // total keys across all structures
+  core::SimTime base_ = 0;      // start of the ring window
+  core::SimTime horizon_end_;   // base_ + span()
+  std::uint32_t cursor_ = 0;    // next bucket to sweep into the active heap
+  std::uint32_t active_bucket_ = 0;
+  bool active_valid_ = false;
+  EventKeyHeap active_;     // keys of the bucket currently being drained
+  EventKeyHeap underflow_;  // keys scheduled before base_ (post-rebase gap)
+  EventKeyHeap far_;        // keys at or beyond the horizon
+};
+
+}  // namespace swiftest::netsim

@@ -6,7 +6,7 @@
 namespace swiftest::netsim {
 
 FairLink::FairLink(Scheduler& sched, FairLinkConfig config, core::Rng rng)
-    : sched_(sched), config_(config), rng_(std::move(rng)) {}
+    : sched_(sched), config_(config), rng_(std::move(rng)), pool_(sched.transit_pool()) {}
 
 void FairLink::bind_obs() {
   obs_.bound = true;
@@ -18,10 +18,18 @@ void FairLink::bind_obs() {
   obs_.active_flows = &m.gauge("fairlink.active_flows");
 }
 
+std::uint32_t FairLink::flow_slot(std::uint64_t flow_id) {
+  const auto [it, inserted] =
+      flow_index_.try_emplace(flow_id, static_cast<std::uint32_t>(flows_.size()));
+  if (inserted) flows_.emplace_back();
+  return it->second;
+}
+
 void FairLink::send(Packet packet, DeliveryFn sink) {
   ++stats_.packets_sent;
   const core::Bytes size(packet.size_bytes);
-  FlowQueue& flow = flows_[packet.flow_id];
+  const std::uint32_t slot = flow_slot(packet.flow_id);
+  FlowQueue& flow = flows_[slot];
   if (flow.queued + size > config_.per_flow_queue) {
     ++stats_.queue_drops;
     if (sched_.obs() != nullptr) {
@@ -35,13 +43,22 @@ void FairLink::send(Packet packet, DeliveryFn sink) {
     }
     return;
   }
-  if (flow.queue.empty()) {
-    round_robin_.push_back(packet.flow_id);
+  if (flow.head == kTransitNil) {
+    round_robin_.push_back(slot);
     flow.deficit = 0;
   }
   flow.queued += size;
   const std::uint64_t flow_id = packet.flow_id;
-  flow.queue.push_back(Pending{std::move(packet), std::move(sink)});
+  const std::uint32_t node_idx = pool_.alloc();
+  TransitNode& node = pool_.at(node_idx);
+  node.packet = std::move(packet);
+  node.sink = std::move(sink);
+  if (flow.tail == kTransitNil) {
+    flow.head = node_idx;
+  } else {
+    pool_.at(flow.tail).next = node_idx;
+  }
+  flow.tail = node_idx;
   if (sched_.obs() != nullptr) {
     if (!obs_.bound) bind_obs();
     obs_.enqueued->inc();
@@ -60,72 +77,85 @@ void FairLink::serve_next() {
   // Find the next flow whose deficit covers its head packet; replenish
   // deficits round by round (classic DRR).
   while (!round_robin_.empty()) {
-    const std::uint64_t flow_id = round_robin_.front();
-    FlowQueue& flow = flows_[flow_id];
-    if (flow.queue.empty()) {
+    const std::uint32_t slot = round_robin_.front();
+    FlowQueue& flow = flows_[slot];
+    if (flow.head == kTransitNil) {
       round_robin_.pop_front();
       continue;
     }
-    const auto head_size = static_cast<std::int64_t>(flow.queue.front().packet.size_bytes);
+    const auto head_size =
+        static_cast<std::int64_t>(pool_.at(flow.head).packet.size_bytes);
     if (flow.deficit < head_size) {
       // Move to the back of the round with a fresh quantum.
       flow.deficit += config_.quantum.count();
       round_robin_.pop_front();
-      round_robin_.push_back(flow_id);
+      round_robin_.push_back(slot);
       continue;
     }
 
     serving_ = true;
     const core::SimDuration serialize =
         config_.rate.transmit_time(core::Bytes(head_size));
-    sched_.schedule_in(serialize, [this, flow_id] {
-      FlowQueue& inner = flows_[flow_id];
-      Pending pending = std::move(inner.queue.front());
-      inner.queue.pop_front();
-      const auto size = static_cast<std::int64_t>(pending.packet.size_bytes);
-      inner.queued -= core::Bytes(size);
-      inner.deficit -= size;
-      if (inner.queue.empty()) inner.deficit = 0;
-
-      const bool corrupted =
-          config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
-      if (corrupted) {
-        ++stats_.random_drops;
-        if (sched_.obs() != nullptr) {
-          if (!obs_.bound) bind_obs();
-          obs_.random_drops->inc();
-        }
-      } else {
-        inner.delivered_bytes += size;
-        sched_.schedule_in(config_.propagation_delay,
-                           [this, pending = std::move(pending)]() mutable {
-                             ++stats_.packets_delivered;
-                             stats_.bytes_delivered += pending.packet.size_bytes;
-                             if (sched_.obs() != nullptr) {
-                               if (!obs_.bound) bind_obs();
-                               obs_.delivered->inc();
-                               if (auto* tr = sched_.tracer(obs::Category::kLink)) {
-                                 tr->record(sched_.now(), obs::Category::kLink,
-                                            obs::EventKind::kInstant,
-                                            "fairlink.deliver", pending.packet.flow_id,
-                                            static_cast<double>(pending.packet.size_bytes));
-                               }
-                             }
-                             pending.sink(pending.packet);
-                           });
-      }
-      serve_next();
-    });
+    sched_.schedule_in(serialize, [this, slot] { complete_serialize(slot); });
     return;
   }
   serving_ = false;
 }
 
+void FairLink::complete_serialize(std::uint32_t slot) {
+  FlowQueue& flow = flows_[slot];
+  const std::uint32_t node_idx = flow.head;
+  TransitNode& node = pool_.at(node_idx);
+  flow.head = node.next;
+  if (flow.head == kTransitNil) flow.tail = kTransitNil;
+  node.next = kTransitNil;
+  const auto size = static_cast<std::int64_t>(node.packet.size_bytes);
+  flow.queued -= core::Bytes(size);
+  flow.deficit -= size;
+  if (flow.head == kTransitNil) flow.deficit = 0;
+
+  const bool corrupted =
+      config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
+  if (corrupted) {
+    ++stats_.random_drops;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.random_drops->inc();
+    }
+    pool_.release(node_idx);
+  } else {
+    flow.delivered_bytes += size;
+    sched_.schedule_in(config_.propagation_delay,
+                       [this, node_idx] { deliver(node_idx); });
+  }
+  serve_next();
+}
+
+void FairLink::deliver(std::uint32_t node_idx) {
+  TransitNode& node = pool_.at(node_idx);
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += node.packet.size_bytes;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.delivered->inc();
+    if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+      tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kInstant,
+                 "fairlink.deliver", node.packet.flow_id,
+                 static_cast<double>(node.packet.size_bytes));
+    }
+  }
+  // Detach before invoking: the sink may re-enter send() and grow the pool.
+  DeliveryFn sink = std::move(node.sink);
+  Packet pkt = std::move(node.packet);
+  pool_.release(node_idx);
+  sink(pkt);
+}
+
 void FairLink::set_rate(core::Bandwidth rate) { config_.rate = rate; }
 
 std::int64_t FairLink::flow_bytes_delivered(std::uint64_t flow_id) const {
-  const auto it = flows_.find(flow_id);
-  return it == flows_.end() ? 0 : it->second.delivered_bytes;
+  const auto it = flow_index_.find(flow_id);
+  return it == flow_index_.end() ? 0 : flows_[it->second].delivered_bytes;
 }
 
 }  // namespace swiftest::netsim

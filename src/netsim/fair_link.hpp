@@ -6,16 +6,23 @@
 // variant models that backstop: instead of one FIFO, each flow gets its own
 // queue and the scheduler serves them deficit-round-robin, so an aggressive
 // flow cannot starve a competing one no matter how hard it floods.
+//
+// Hot-path layout: flow state lives in a dense slot vector (flow_id resolves
+// through an unordered side-table that is never iterated, so determinism is
+// untouched), and queued packets are TransitPool nodes chained through an
+// intrusive per-flow list — no per-packet heap allocation in steady state.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "core/units.hpp"
 #include "netsim/link.hpp"
 #include "netsim/link_base.hpp"
+#include "netsim/transit_pool.hpp"
 
 namespace swiftest::netsim {
 
@@ -42,17 +49,16 @@ class FairLink final : public LinkBase {
   [[nodiscard]] core::SimDuration propagation_delay() const noexcept override {
     return config_.propagation_delay;
   }
+  /// Flows ever seen (slots are never reclaimed, matching the historical
+  /// std::map semantics).
   [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
   /// Bytes delivered so far for one flow (0 if unknown).
   [[nodiscard]] std::int64_t flow_bytes_delivered(std::uint64_t flow_id) const;
 
  private:
-  struct Pending {
-    Packet packet;
-    DeliveryFn sink;
-  };
   struct FlowQueue {
-    std::deque<Pending> queue;
+    std::uint32_t head = kTransitNil;  // intrusive list of pooled nodes
+    std::uint32_t tail = kTransitNil;
     core::Bytes queued{0};
     std::int64_t deficit = 0;
     std::int64_t delivered_bytes = 0;
@@ -66,14 +72,19 @@ class FairLink final : public LinkBase {
     obs::Gauge* active_flows = nullptr;
   };
 
+  std::uint32_t flow_slot(std::uint64_t flow_id);
+  void complete_serialize(std::uint32_t slot);
+  void deliver(std::uint32_t node_idx);
   void serve_next();
   void bind_obs();
 
   Scheduler& sched_;
   FairLinkConfig config_;
   core::Rng rng_;
-  std::map<std::uint64_t, FlowQueue> flows_;
-  std::deque<std::uint64_t> round_robin_;  // flows with queued packets
+  std::vector<FlowQueue> flows_;  // dense, indexed by slot, never shrinks
+  std::unordered_map<std::uint64_t, std::uint32_t> flow_index_;  // id -> slot
+  std::deque<std::uint32_t> round_robin_;  // flow slots with queued packets
+  TransitPool& pool_;  // the scheduler's shared per-shard pool
   bool serving_ = false;
   LinkStats stats_;
   ObsHandles obs_;

@@ -5,7 +5,7 @@
 namespace swiftest::netsim {
 
 Link::Link(Scheduler& sched, LinkConfig config, core::Rng rng)
-    : sched_(sched), config_(config), rng_(std::move(rng)) {}
+    : sched_(sched), config_(config), rng_(std::move(rng)), pool_(sched.transit_pool()) {}
 
 void Link::bind_obs() {
   obs_.bound = true;
@@ -34,14 +34,23 @@ void Link::send(Packet packet, DeliveryFn sink) {
     return;
   }
   queued_ += size;
-  queue_.push_back(Pending{std::move(packet), std::move(sink)});
+  const std::uint32_t node_idx = pool_.alloc();
+  TransitNode& node = pool_.at(node_idx);
+  node.packet = std::move(packet);
+  node.sink = std::move(sink);
+  if (queue_tail_ == kTransitNil) {
+    queue_head_ = node_idx;
+  } else {
+    pool_.at(queue_tail_).next = node_idx;
+  }
+  queue_tail_ = node_idx;
   if (sched_.obs() != nullptr) {
     if (!obs_.bound) bind_obs();
     obs_.enqueued->inc();
     obs_.queued_bytes->set(static_cast<double>(queued_.count()));
     if (auto* tr = sched_.tracer(obs::Category::kLink)) {
       tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kCounter,
-                 "link.queued_bytes", queue_.back().packet.flow_id,
+                 "link.queued_bytes", node.packet.flow_id,
                  static_cast<double>(queued_.count()));
     }
   }
@@ -49,48 +58,60 @@ void Link::send(Packet packet, DeliveryFn sink) {
 }
 
 void Link::serve_next() {
-  if (queue_.empty()) {
+  if (queue_head_ == kTransitNil) {
     serving_ = false;
     return;
   }
   serving_ = true;
   // The rate is read when serialization *begins*, so mid-run rate changes
   // (fading, handover) apply to every packet still waiting in the queue.
-  const core::Bytes size(queue_.front().packet.size_bytes);
+  const core::Bytes size(pool_.at(queue_head_).packet.size_bytes);
   const core::SimDuration serialize = config_.rate.transmit_time(size);
-  sched_.schedule_in(serialize, [this] {
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
-    queued_ -= core::Bytes(pending.packet.size_bytes);
+  sched_.schedule_in(serialize, [this] { complete_serialize(); });
+}
 
-    const bool corrupted =
-        config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
-    if (corrupted) {
-      ++stats_.random_drops;
-      if (sched_.obs() != nullptr) {
-        if (!obs_.bound) bind_obs();
-        obs_.random_drops->inc();
-      }
-    } else {
-      sched_.schedule_in(config_.propagation_delay,
-                         [this, pending = std::move(pending)]() mutable {
-                           ++stats_.packets_delivered;
-                           stats_.bytes_delivered += pending.packet.size_bytes;
-                           if (sched_.obs() != nullptr) {
-                             if (!obs_.bound) bind_obs();
-                             obs_.delivered->inc();
-                             if (auto* tr = sched_.tracer(obs::Category::kLink)) {
-                               tr->record(sched_.now(), obs::Category::kLink,
-                                          obs::EventKind::kInstant, "link.deliver",
-                                          pending.packet.flow_id,
-                                          static_cast<double>(pending.packet.size_bytes));
-                             }
-                           }
-                           pending.sink(pending.packet);
-                         });
+void Link::complete_serialize() {
+  const std::uint32_t node_idx = queue_head_;
+  TransitNode& node = pool_.at(node_idx);
+  queue_head_ = node.next;
+  if (queue_head_ == kTransitNil) queue_tail_ = kTransitNil;
+  node.next = kTransitNil;
+  queued_ -= core::Bytes(node.packet.size_bytes);
+
+  const bool corrupted =
+      config_.random_loss > 0.0 && rng_.bernoulli(config_.random_loss);
+  if (corrupted) {
+    ++stats_.random_drops;
+    if (sched_.obs() != nullptr) {
+      if (!obs_.bound) bind_obs();
+      obs_.random_drops->inc();
     }
-    serve_next();
-  });
+    pool_.release(node_idx);
+  } else {
+    sched_.schedule_in(config_.propagation_delay,
+                       [this, node_idx] { deliver(node_idx); });
+  }
+  serve_next();
+}
+
+void Link::deliver(std::uint32_t node_idx) {
+  TransitNode& node = pool_.at(node_idx);
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += node.packet.size_bytes;
+  if (sched_.obs() != nullptr) {
+    if (!obs_.bound) bind_obs();
+    obs_.delivered->inc();
+    if (auto* tr = sched_.tracer(obs::Category::kLink)) {
+      tr->record(sched_.now(), obs::Category::kLink, obs::EventKind::kInstant,
+                 "link.deliver", node.packet.flow_id,
+                 static_cast<double>(node.packet.size_bytes));
+    }
+  }
+  // Detach before invoking: the sink may re-enter send() and grow the pool.
+  DeliveryFn sink = std::move(node.sink);
+  Packet pkt = std::move(node.packet);
+  pool_.release(node_idx);
+  sink(pkt);
 }
 
 void Link::set_rate(core::Bandwidth rate) { config_.rate = rate; }

@@ -8,8 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 
 #include "core/rng.hpp"
 #include "core/time.hpp"
@@ -17,6 +15,7 @@
 #include "netsim/link_base.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/scheduler.hpp"
+#include "netsim/transit_pool.hpp"
 
 namespace swiftest::netsim {
 
@@ -49,10 +48,6 @@ class Link final : public LinkBase {
   void set_rate(core::Bandwidth rate) override;
 
  private:
-  struct Pending {
-    Packet packet;
-    DeliveryFn sink;
-  };
   struct ObsHandles {
     bool bound = false;
     obs::Counter* enqueued = nullptr;
@@ -63,13 +58,20 @@ class Link final : public LinkBase {
   };
 
   void serve_next();
+  void complete_serialize();
+  void deliver(std::uint32_t node_idx);
   void bind_obs();
 
   Scheduler& sched_;
   LinkConfig config_;
   core::Rng rng_;
   core::Bytes queued_{0};
-  std::deque<Pending> queue_;
+  // FIFO of pooled nodes chained through TransitNode::next — no per-packet
+  // heap allocation in steady state. The pool is the scheduler's (shared by
+  // all links/paths on this shard and guaranteed to outlive them).
+  TransitPool& pool_;
+  std::uint32_t queue_head_ = kTransitNil;
+  std::uint32_t queue_tail_ = kTransitNil;
   bool serving_ = false;
   LinkStats stats_;
   ObsHandles obs_;

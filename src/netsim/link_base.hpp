@@ -6,8 +6,7 @@
 // can run over either queueing discipline.
 #pragma once
 
-#include <functional>
-
+#include "core/small_fn.hpp"
 #include "core/time.hpp"
 #include "core/units.hpp"
 #include "netsim/packet.hpp"
@@ -25,7 +24,11 @@ struct LinkStats {
 
 class LinkBase {
  public:
-  using DeliveryFn = std::function<void(const Packet&)>;
+  /// Delivery callback. 48 inline bytes: every hot-path sink (client
+  /// delivery taps, Path transit hops) fits without a heap allocation;
+  /// oversized captures fall back to the heap and are counted (see
+  /// core::small_fn_heap_allocations).
+  using DeliveryFn = core::SmallFn<void(const Packet&), 48>;
 
   virtual ~LinkBase() = default;
 

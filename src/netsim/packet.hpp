@@ -2,10 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "core/time.hpp"
+#include "netsim/payload.hpp"
 
 namespace swiftest::netsim {
 
@@ -30,9 +29,10 @@ struct Packet {
   core::SimTime acked_at = 0;          // receiver clock when the ACK was emitted
   core::SimTime first_sent_at = 0;     // original transmission time (retransmits keep it)
   bool retransmit = false;
-  /// Optional application payload (control messages). Shared so that copying
-  /// a Packet stays cheap; null for bulk data/ACK packets.
-  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  /// Optional application payload (control messages). Arena-backed and
+  /// refcounted so that copying a Packet stays cheap; empty for bulk
+  /// data/ACK packets. The owning arena is the scheduler's (payload_arena()).
+  PayloadRef payload;
 };
 
 inline constexpr std::int32_t kDefaultMss = 1460;      // TCP payload bytes

@@ -7,7 +7,10 @@
 namespace swiftest::netsim {
 
 Path::Path(Scheduler& sched, LinkBase& access_link, core::SimDuration server_delay)
-    : sched_(sched), link_(access_link), server_delay_(server_delay) {}
+    : sched_(sched),
+      link_(access_link),
+      server_delay_(server_delay),
+      pool_(sched.transit_pool()) {}
 
 void Path::set_server_egress(core::Bandwidth uplink, core::Rng rng) {
   if (egress() != nullptr) {
@@ -37,26 +40,53 @@ void Path::attach_server_egress(LinkBase& egress_link) {
 
 void Path::send_downstream(Packet packet, DeliveryFn client_sink) {
   downstream_traffic_started_ = true;
-  auto through_backbone = [this, sink = std::move(client_sink)](Packet pkt) mutable {
-    sched_.schedule_in(server_delay_,
-                       [this, pkt = std::move(pkt), sink = std::move(sink)]() mutable {
-                         link_.send(std::move(pkt), std::move(sink));
-                       });
-  };
+  const std::uint32_t node = pool_.alloc();  // one ref, owned by this scope
+  pool_.at(node).sink = std::move(client_sink);
   if (LinkBase* out = egress()) {
-    out->send(std::move(packet),
-              [fwd = std::move(through_backbone)](const Packet& pkt) mutable {
-                fwd(pkt);
-              });
+    // The EgressHop takes over our ref; if the egress link drops the packet
+    // the hop's destructor releases the node (and the client sink with it).
+    out->send(std::move(packet), DeliveryFn(EgressHop(this, node)));
     return;
   }
-  through_backbone(std::move(packet));
+  start_backbone(node, std::move(packet));
+}
+
+void Path::enter_backbone(std::uint32_t node, const Packet& pkt) {
+  // Called from inside an EgressHop which still owns its ref (released when
+  // the link destroys the hop after this returns) — take one for the timer.
+  pool_.add_ref(node);
+  start_backbone(node, pkt);
+}
+
+void Path::start_backbone(std::uint32_t node, Packet pkt) {
+  // Owns one ref on `node`; parks the packet there for the backbone leg.
+  pool_.at(node).packet = std::move(pkt);
+  sched_.schedule_in(server_delay_, [this, node] {
+    Packet pkt = std::move(pool_.at(node).packet);
+    // The AccessHop inherits the timer's ref; invoked or dropped by the
+    // access link, its destructor settles the node.
+    link_.send(std::move(pkt), DeliveryFn(AccessHop(this, node)));
+  });
+}
+
+void Path::finish_downstream(std::uint32_t node, const Packet& pkt) {
+  // Detach the sink before invoking: it may re-enter and grow the pool.
+  DeliveryFn sink = std::move(pool_.at(node).sink);
+  sink(pkt);
 }
 
 void Path::send_upstream(Packet packet, DeliveryFn server_sink) {
   const core::SimDuration delay = link_.propagation_delay() + server_delay_;
-  sched_.schedule_in(delay, [packet = std::move(packet), sink = std::move(server_sink)] {
-    sink(packet);
+  const std::uint32_t node = pool_.alloc();
+  TransitNode& n = pool_.at(node);
+  n.packet = std::move(packet);
+  n.sink = std::move(server_sink);
+  sched_.schedule_in(delay, [this, node] {
+    TransitNode& inner = pool_.at(node);
+    DeliveryFn sink = std::move(inner.sink);
+    Packet pkt = std::move(inner.packet);
+    pool_.release(node);
+    sink(pkt);
   });
 }
 

@@ -9,13 +9,14 @@
 // a download test).
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <memory>
 
 #include "core/time.hpp"
 #include "netsim/link.hpp"
 #include "netsim/link_base.hpp"
 #include "netsim/scheduler.hpp"
+#include "netsim/transit_pool.hpp"
 
 namespace swiftest::netsim {
 
@@ -59,9 +60,46 @@ class Path {
     return owned_egress_ ? owned_egress_.get() : shared_egress_;
   }
 
+  // A packet in flight is one pooled transit node carrying the client sink
+  // (and, on the backbone leg, the packet itself); every closure involved
+  // captures only {this, node index}. The hop functors below are refcounted
+  // owners of the node, so a link that drops the packet — destroying the
+  // delivery functor it was handed without invoking it — releases the node
+  // and its captured sink with it. Hops release through the scheduler-owned
+  // pool, never through the Path: a link being torn down may destroy hops
+  // after the Path itself is already gone.
+  struct Hop {
+    Path* path = nullptr;       // only dereferenced on invocation
+    TransitPool* pool = nullptr;  // outlives every link and path
+    std::uint32_t node = 0;
+    Hop(Path* p, std::uint32_t n) noexcept : path(p), pool(&p->pool_), node(n) {}
+    Hop(const Hop& o) noexcept : path(o.path), pool(o.pool), node(o.node) {
+      if (pool != nullptr) pool->add_ref(node);
+    }
+    Hop(Hop&& o) noexcept : path(o.path), pool(o.pool), node(o.node) { o.pool = nullptr; }
+    Hop& operator=(const Hop&) = delete;
+    Hop& operator=(Hop&&) = delete;
+    ~Hop() {
+      if (pool != nullptr) pool->release(node);
+    }
+  };
+  struct EgressHop : Hop {
+    using Hop::Hop;
+    void operator()(const Packet& pkt) const { path->enter_backbone(node, pkt); }
+  };
+  struct AccessHop : Hop {
+    using Hop::Hop;
+    void operator()(const Packet& pkt) const { path->finish_downstream(node, pkt); }
+  };
+
+  void enter_backbone(std::uint32_t node, const Packet& pkt);
+  void start_backbone(std::uint32_t node, Packet pkt);
+  void finish_downstream(std::uint32_t node, const Packet& pkt);
+
   Scheduler& sched_;
   LinkBase& link_;
   core::SimDuration server_delay_;
+  TransitPool& pool_;  // the scheduler's shared per-shard pool
   std::unique_ptr<Link> owned_egress_;   // optional private server uplink
   LinkBase* shared_egress_ = nullptr;    // optional fleet-shared server uplink
   bool downstream_traffic_started_ = false;

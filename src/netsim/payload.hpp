@@ -1,0 +1,187 @@
+// Arena-backed packet payloads.
+//
+// Control messages used to ride Packets as shared_ptr<const vector<uint8_t>>:
+// two heap allocations per message plus atomic refcount traffic on every
+// Packet copy. PayloadArena owns a slab of fixed nodes (free-list reuse,
+// 40 inline bytes — every Swiftest control message is <= 24 wire bytes) and
+// PayloadRef is a non-atomic refcounted handle into it. Each Scheduler owns
+// one arena, so payloads are strictly per-shard and single-threaded; a
+// PayloadRef must not outlive its arena (in practice: the Scheduler).
+//
+// Oversized payloads spill to one heap block and are counted, so the
+// allocation-accounting hook can prove the hot path never spills.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <span>
+
+namespace swiftest::netsim {
+
+class PayloadArena;
+
+/// Refcounted view of one arena payload. Copying bumps a plain (non-atomic)
+/// refcount; destruction returns the node to the arena free list.
+class PayloadRef {
+ public:
+  PayloadRef() noexcept = default;
+  inline PayloadRef(const PayloadRef& other) noexcept;
+  PayloadRef(PayloadRef&& other) noexcept : arena_(other.arena_), idx_(other.idx_) {
+    other.arena_ = nullptr;
+  }
+  inline PayloadRef& operator=(const PayloadRef& other) noexcept;
+  inline PayloadRef& operator=(PayloadRef&& other) noexcept;
+  inline ~PayloadRef();
+
+  explicit operator bool() const noexcept { return arena_ != nullptr; }
+  [[nodiscard]] inline std::span<const std::uint8_t> bytes() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return bytes().size(); }
+  inline void reset() noexcept;
+
+ private:
+  friend class PayloadArena;
+  PayloadRef(PayloadArena* arena, std::uint32_t idx) noexcept : arena_(arena), idx_(idx) {}
+
+  PayloadArena* arena_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+class PayloadArena {
+ public:
+  /// Payloads at or under this many bytes live inline in a slab node.
+  static constexpr std::size_t kInlineBytes = 40;
+
+  PayloadArena() = default;
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+  ~PayloadArena() {
+    // Live refs outliving the arena are a contract violation; still free any
+    // spilled blocks so the leak is bounded to the slab itself.
+    for (Node& n : nodes_) {
+      delete[] n.heap;
+      n.heap = nullptr;
+    }
+  }
+
+  /// Copies `bytes` into a fresh node.
+  PayloadRef intern(std::span<const std::uint8_t> bytes) {
+    std::span<std::uint8_t> dst;
+    PayloadRef ref = allocate(bytes.size(), dst);
+    std::memcpy(dst.data(), bytes.data(), bytes.size());
+    return ref;
+  }
+
+  /// Allocates an uninitialized payload of `len` bytes; `out` receives the
+  /// writable span (stable for the lifetime of the returned ref).
+  PayloadRef allocate(std::size_t len, std::span<std::uint8_t>& out) {
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = nodes_[idx].next_free;
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    Node& n = nodes_[idx];
+    n.refs = 1;
+    n.len = static_cast<std::uint32_t>(len);
+    if (len > kInlineBytes) {
+      n.heap = new std::uint8_t[len];
+      ++heap_spills_;
+      out = {n.heap, len};
+    } else {
+      out = {n.inline_bytes, len};
+    }
+    ++live_;
+    return PayloadRef(this, idx);
+  }
+
+  struct Stats {
+    std::uint64_t nodes = 0;        // slab capacity (never shrinks)
+    std::uint64_t live = 0;         // currently referenced payloads
+    std::uint64_t heap_spills = 0;  // payloads too large for a node (monotonic)
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{nodes_.size(), live_, heap_spills_};
+  }
+
+ private:
+  friend class PayloadRef;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    std::uint32_t refs = 0;
+    std::uint32_t next_free = kNil;
+    std::uint32_t len = 0;
+    std::uint8_t* heap = nullptr;  // spill block iff len > kInlineBytes
+    std::uint8_t inline_bytes[kInlineBytes];
+  };
+
+  void add_ref(std::uint32_t idx) noexcept { ++nodes_[idx].refs; }
+
+  void release(std::uint32_t idx) noexcept {
+    Node& n = nodes_[idx];
+    assert(n.refs > 0);
+    if (--n.refs == 0) {
+      delete[] n.heap;
+      n.heap = nullptr;
+      n.next_free = free_head_;
+      free_head_ = idx;
+      --live_;
+    }
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> view(std::uint32_t idx) const noexcept {
+    const Node& n = nodes_[idx];
+    return {n.heap != nullptr ? n.heap : n.inline_bytes, n.len};
+  }
+
+  // deque: node addresses stay stable while the slab grows, so spans handed
+  // out by bytes()/allocate() survive later allocations.
+  std::deque<Node> nodes_;
+  std::uint32_t free_head_ = kNil;
+  std::uint64_t live_ = 0;
+  std::uint64_t heap_spills_ = 0;
+};
+
+inline PayloadRef::PayloadRef(const PayloadRef& other) noexcept
+    : arena_(other.arena_), idx_(other.idx_) {
+  if (arena_ != nullptr) arena_->add_ref(idx_);
+}
+
+inline PayloadRef& PayloadRef::operator=(const PayloadRef& other) noexcept {
+  if (this != &other) {
+    if (other.arena_ != nullptr) other.arena_->add_ref(other.idx_);
+    reset();
+    arena_ = other.arena_;
+    idx_ = other.idx_;
+  }
+  return *this;
+}
+
+inline PayloadRef& PayloadRef::operator=(PayloadRef&& other) noexcept {
+  if (this != &other) {
+    reset();
+    arena_ = other.arena_;
+    idx_ = other.idx_;
+    other.arena_ = nullptr;
+  }
+  return *this;
+}
+
+inline PayloadRef::~PayloadRef() { reset(); }
+
+inline void PayloadRef::reset() noexcept {
+  if (arena_ != nullptr) {
+    arena_->release(idx_);
+    arena_ = nullptr;
+  }
+}
+
+inline std::span<const std::uint8_t> PayloadRef::bytes() const noexcept {
+  return arena_ != nullptr ? arena_->view(idx_) : std::span<const std::uint8_t>{};
+}
+
+}  // namespace swiftest::netsim

@@ -1,7 +1,7 @@
 #include "netsim/scheduler.hpp"
 
-#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace swiftest::netsim {
 
@@ -16,41 +16,83 @@ void Scheduler::bind_obs() {
   obs_handles_.depth_hist = &m.histogram("scheduler.queue_depth", kDepthBounds);
 }
 
-EventHandle Scheduler::schedule_at(core::SimTime when, std::function<void()> fn) {
+std::uint32_t Scheduler::alloc_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return idx;
+}
+
+void Scheduler::free_slot(std::uint32_t idx) {
+  EventSlot& s = slots_[idx];
+  s.fn.reset();
+  s.state = SlotState::kFree;
+  ++s.generation;  // invalidates every outstanding handle to this slot
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void Scheduler::cancel_event(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slots_.size()) return;
+  EventSlot& s = slots_[slot];
+  if (s.generation != generation || s.state != SlotState::kArmed) return;
+  s.state = SlotState::kCancelled;
+  // Release captures eagerly; the slot itself stays queued (and counted in
+  // the queue depth) until its key is popped, matching legacy semantics.
+  s.fn.reset();
+}
+
+EventHandle Scheduler::schedule_at(core::SimTime when, Task fn) {
   if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  const std::uint32_t idx = alloc_slot();
+  EventSlot& s = slots_[idx];
+  s.fn = std::move(fn);
+  s.state = SlotState::kArmed;
+  if (!s.fn.is_inline()) ++fn_heap_fallbacks_;
+  push_key(EventKey{when, next_seq_++, idx});
+  ++size_;
   if (obs_ != nullptr) {
     if (!obs_handles_.bound) bind_obs();
     obs_handles_.scheduled->inc();
-    obs_handles_.queue_depth->set(static_cast<double>(queue_.size()));
+    obs_handles_.queue_depth->set(static_cast<double>(size_));
   }
-  return EventHandle(std::move(cancelled));
+  return EventHandle(this, idx, s.generation);
 }
 
-EventHandle Scheduler::schedule_in(core::SimDuration delay, std::function<void()> fn) {
+EventHandle Scheduler::schedule_in(core::SimDuration delay, Task fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 void Scheduler::run_until(core::SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    if (!*ev.cancelled) {
+  EventKey key;
+  while (peek_key(key) && key.when <= deadline) {
+    pop_key();
+    EventSlot& slot = slots_[key.slot];
+    // The clock advances even for cancelled events (legacy behavior).
+    now_ = key.when;
+    const bool cancelled = slot.state == SlotState::kCancelled;
+    Task fn;
+    if (!cancelled) fn = std::move(slot.fn);
+    free_slot(key.slot);
+    --size_;
+    if (!cancelled) {
       ++executed_;
       if (obs_ != nullptr) {
         if (!obs_handles_.bound) bind_obs();
         obs_handles_.fired->inc();
-        obs_handles_.queue_depth->set(static_cast<double>(queue_.size()));
-        obs_handles_.depth_hist->observe(static_cast<double>(queue_.size()));
+        obs_handles_.queue_depth->set(static_cast<double>(size_));
+        obs_handles_.depth_hist->observe(static_cast<double>(size_));
         if (obs_->tracer.wants(obs::Category::kScheduler)) {
           obs_->tracer.record(now_, obs::Category::kScheduler,
-                              obs::EventKind::kInstant, "sched.fire", ev.seq,
-                              static_cast<double>(queue_.size()));
+                              obs::EventKind::kInstant, "sched.fire", key.seq,
+                              static_cast<double>(size_));
         }
       }
-      ev.fn();
+      fn();
     } else if (obs_ != nullptr) {
       if (!obs_handles_.bound) bind_obs();
       obs_handles_.cancelled->inc();

@@ -1,53 +1,89 @@
 // Discrete-event scheduler.
 //
-// The simulator core: a priority queue of timestamped callbacks with a
-// monotonically advancing integer-nanosecond clock. Ties are broken by
-// insertion sequence so runs are fully deterministic.
+// The simulator core: timestamped callbacks ordered by (when, insertion
+// sequence) under a monotonically advancing integer-nanosecond clock, so
+// runs are fully deterministic.
+//
+// Hot-path layout (see DESIGN.md §11): callbacks live in a slab of reusable
+// EventSlots (free-list, small-buffer-optimized storage — zero per-event
+// heap allocations in steady state); the queue orders 24-byte EventKeys
+// through either an O(1)-amortized calendar ring (default) or the reference
+// binary heap (kept as the byte-identical migration gate). Cancellation is
+// by slot index + generation: an EventHandle holding a stale generation is
+// a guaranteed no-op, replacing the old shared_ptr<bool> per event.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "core/small_fn.hpp"
 #include "core/time.hpp"
+#include "netsim/event_queue.hpp"
+#include "netsim/payload.hpp"
+#include "netsim/transit_pool.hpp"
 #include "obs/hub.hpp"
 
 namespace swiftest::netsim {
 
-/// Handle for cancelling a scheduled event.
+class Scheduler;
+
+/// Handle for cancelling a scheduled event. Trivially copyable: it names a
+/// slab slot plus the generation the slot had when the event was armed, so
+/// it stays safe (and inert) after the event fires and the slot is reused.
+/// Must not be used after its Scheduler is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevents the event's callback from running. Safe to call repeatedly or
   /// after the event has fired (no-op in that case).
-  void cancel() const {
-    if (cancelled_) *cancelled_ = true;
-  }
+  inline void cancel() const;
 
-  [[nodiscard]] bool valid() const noexcept { return cancelled_ != nullptr; }
+  [[nodiscard]] bool valid() const noexcept { return owner_ != nullptr; }
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Scheduler* owner, std::uint32_t slot, std::uint32_t generation)
+      : owner_(owner), slot_(slot), generation_(generation) {}
+
+  Scheduler* owner_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  /// Scheduled callback type. 48 inline bytes covers every capture list on
+  /// the packet hot path; larger callables fall back to the heap and are
+  /// counted in AllocStats.
+  using Task = core::SmallFn<void(), 48>;
+
+  /// Queue front-end selection. kCalendar is the production default;
+  /// kHeap is the reference ordering used by determinism A/B tests.
+  enum class FrontEnd : std::uint8_t { kCalendar, kHeap };
+
+  Scheduler() : Scheduler(default_front_end()) {}
+  explicit Scheduler(FrontEnd front_end) : front_end_(front_end) { slots_.reserve(kInitialSlots); }
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Process-wide default front-end for newly constructed schedulers.
+  static void set_default_front_end(FrontEnd fe) noexcept {
+    default_front_end_.store(fe, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static FrontEnd default_front_end() noexcept {
+    return default_front_end_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] FrontEnd front_end() const noexcept { return front_end_; }
 
   [[nodiscard]] core::SimTime now() const noexcept { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (>= now).
-  EventHandle schedule_at(core::SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(core::SimTime when, Task fn);
 
   /// Schedules `fn` to run `delay` from now.
-  EventHandle schedule_in(core::SimDuration delay, std::function<void()> fn);
+  EventHandle schedule_in(core::SimDuration delay, Task fn);
 
   /// Runs events until the queue is empty or the clock passes `deadline`.
   /// Events scheduled exactly at `deadline` are executed.
@@ -56,10 +92,38 @@ class Scheduler {
   /// Runs until the queue drains completely.
   void run();
 
-  /// True if no runnable (non-cancelled) events remain.
-  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  /// True when no events remain (cancelled events count until they are
+  /// popped, matching the legacy queue-size semantics).
+  [[nodiscard]] bool idle() const noexcept { return size_ == 0; }
 
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Arena for Packet payloads created by components driven by this
+  /// scheduler. Per-shard, single-threaded; see payload.hpp.
+  [[nodiscard]] PayloadArena& payload_arena() noexcept { return payloads_; }
+
+  /// Pool of in-flight packet nodes shared by every link and path driven by
+  /// this scheduler. Owned here — not by the links — because delivery
+  /// functors release nodes from their destructors during component
+  /// teardown, and only the scheduler reliably outlives all components.
+  [[nodiscard]] TransitPool& transit_pool() noexcept { return transits_; }
+
+  /// Allocation accounting for the zero-allocation steady-state gate:
+  /// slab/arena capacities only grow while the working set grows, and the
+  /// fallback counters stay flat once warm.
+  struct AllocStats {
+    std::uint64_t slab_slots = 0;          // event slots ever allocated
+    std::uint64_t live_events = 0;         // armed + cancelled-not-yet-popped
+    std::uint64_t callback_heap_fallbacks = 0;  // callables too big for inline storage
+    std::uint64_t payload_nodes = 0;       // payload arena slab capacity
+    std::uint64_t payload_heap_spills = 0;  // payloads too big for a node
+    std::uint64_t transit_nodes = 0;       // transit pool slab capacity
+  };
+  [[nodiscard]] AllocStats alloc_stats() const noexcept {
+    const PayloadArena::Stats pa = payloads_.stats();
+    return AllocStats{slots_.size(),       size_,          fn_heap_fallbacks_,
+                      pa.nodes,            pa.heap_spills, transits_.capacity()};
+  }
 
   /// Attaches (or detaches, with nullptr) an observability Hub. Every
   /// component driven by this scheduler reads the Hub through here; with no
@@ -75,15 +139,17 @@ class Scheduler {
   }
 
  private:
-  struct Event {
-    core::SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-    bool operator>(const Event& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+  friend class EventHandle;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kInitialSlots = 256;
+
+  enum class SlotState : std::uint8_t { kFree, kArmed, kCancelled };
+
+  struct EventSlot {
+    Task fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNil;
+    SlotState state = SlotState::kFree;
   };
 
   struct ObsHandles {
@@ -96,12 +162,44 @@ class Scheduler {
   };
   void bind_obs();
 
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t idx);
+  void cancel_event(std::uint32_t slot, std::uint32_t generation);
+
+  void push_key(const EventKey& key) {
+    if (front_end_ == FrontEnd::kCalendar) {
+      calendar_.push(key);
+    } else {
+      heap_.push(key);
+    }
+  }
+  bool peek_key(EventKey& out) {
+    return front_end_ == FrontEnd::kCalendar ? calendar_.peek(out) : heap_.peek(out);
+  }
+  EventKey pop_key() {
+    return front_end_ == FrontEnd::kCalendar ? calendar_.pop() : heap_.pop();
+  }
+
+  static inline std::atomic<FrontEnd> default_front_end_{FrontEnd::kCalendar};
+
   core::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t size_ = 0;  // events alive in the queue (incl. cancelled)
+  std::uint64_t fn_heap_fallbacks_ = 0;
+  FrontEnd front_end_;
+  std::vector<EventSlot> slots_;
+  std::uint32_t free_head_ = kNil;
+  CalendarEventQueue calendar_;
+  HeapEventQueue heap_;
+  PayloadArena payloads_;
+  TransitPool transits_;
   obs::Hub* obs_ = nullptr;
   ObsHandles obs_handles_;
 };
+
+inline void EventHandle::cancel() const {
+  if (owner_ != nullptr) owner_->cancel_event(slot_, generation_);
+}
 
 }  // namespace swiftest::netsim

@@ -1,0 +1,87 @@
+// Pooled in-flight packet nodes.
+//
+// Links and Paths used to carry each in-flight packet inside a closure
+// (capturing a Packet plus its DeliveryFn by value — ~150 bytes, a heap
+// allocation per hop per packet). TransitPool keeps those {Packet, sink}
+// pairs in a free-listed slab addressed by 32-bit index, so the closures a
+// hop schedules capture only {this, index}. Nodes are refcounted because a
+// Path hands a node through a link it does not control: the link invoking —
+// or dropping — the delivery functor releases the ref via the functor's
+// destructor, which makes packet drops leak-free by construction.
+//
+// `next` doubles as the free-list link and an intrusive queue link (FairLink
+// chains a flow's queued packets through it); a node is never on both.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "netsim/link_base.hpp"
+#include "netsim/packet.hpp"
+
+namespace swiftest::netsim {
+
+inline constexpr std::uint32_t kTransitNil = 0xffffffffu;
+
+struct TransitNode {
+  Packet packet;
+  LinkBase::DeliveryFn sink;
+  std::uint32_t refs = 0;
+  std::uint32_t next = kTransitNil;
+};
+
+class TransitPool {
+ public:
+  TransitPool() = default;
+  TransitPool(const TransitPool&) = delete;
+  TransitPool& operator=(const TransitPool&) = delete;
+
+  /// Allocates a node with one reference and vacant packet/sink slots.
+  std::uint32_t alloc() {
+    std::uint32_t idx;
+    if (free_head_ != kTransitNil) {
+      idx = free_head_;
+      free_head_ = nodes_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    TransitNode& n = nodes_[idx];
+    n.refs = 1;
+    n.next = kTransitNil;
+    ++live_;
+    return idx;
+  }
+
+  [[nodiscard]] TransitNode& at(std::uint32_t idx) noexcept { return nodes_[idx]; }
+
+  void add_ref(std::uint32_t idx) noexcept { ++nodes_[idx].refs; }
+
+  void release(std::uint32_t idx) noexcept {
+    TransitNode& n = nodes_[idx];
+    assert(n.refs > 0);
+    if (--n.refs == 0) {
+      // Drop payload/sink refcounts now; a node parked on the free list must
+      // not pin arena payloads or captured state until its slot is reused.
+      n.packet = Packet{};
+      n.sink.reset();
+      n.next = free_head_;
+      free_head_ = idx;
+      --live_;
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+
+ private:
+  // deque: stable node addresses while the slab grows, so a TransitNode&
+  // held across an alloc() stays valid.
+  std::deque<TransitNode> nodes_;
+  std::uint32_t free_head_ = kTransitNil;
+  std::size_t live_ = 0;
+};
+
+}  // namespace swiftest::netsim

@@ -44,10 +44,11 @@ std::optional<std::uint32_t> parse_category_mask(std::string_view csv) {
   return mask;
 }
 
-Tracer::Tracer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
+  if (size_ == 0) return out;
   out.reserve(size_);
   // Oldest event: `head_` when full (the slot about to be overwritten),
   // index 0 otherwise.
@@ -59,6 +60,7 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 void Tracer::merge_from(const Tracer& src) {
+  if (src.size() > 0 && ring_.empty()) ring_.resize(capacity_);
   for (const TraceEvent& e : src.events()) {
     record(e.ts, e.category, e.kind, e.name, e.id, e.value);
   }

@@ -87,6 +87,7 @@ class Tracer {
   /// Records one event (unconditionally — callers gate on wants()).
   void record(core::SimTime ts, Category category, EventKind kind, const char* name,
               std::uint64_t id, double value) noexcept {
+    if (ring_.empty()) ring_.resize(capacity_);
     TraceEvent& slot = ring_[head_];
     slot.ts = ts;
     slot.category = category;
@@ -104,7 +105,7 @@ class Tracer {
 
   /// Events currently retained.
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Events overwritten because the ring wrapped.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -126,7 +127,11 @@ class Tracer {
   static constexpr std::size_t kDefaultCapacity = 1u << 18;
 
  private:
+  // The ring (capacity_ × 40 bytes, ~10 MB at the default) is allocated on
+  // the first record(), not at construction: a fleet shard's Hub mirror that
+  // never traces (mask off, or a category nothing touches) costs no memory.
   std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,5 +1,7 @@
 #include "swiftest/protocol.hpp"
 
+#include <cassert>
+
 namespace swiftest::swift {
 namespace {
 
@@ -102,6 +104,22 @@ std::vector<std::uint8_t> serialize(const ProbeData& msg) {
   put_u32(out, msg.seq);
   put_u64(out, msg.send_time_us);
   return out;
+}
+
+void serialize_into(const ProbeData& msg, std::span<std::uint8_t> out) {
+  assert(out.size() == kProbeDataWireBytes);
+  std::size_t i = 0;
+  const auto put = [&](std::uint64_t v, int bytes) {
+    for (int shift = (bytes - 1) * 8; shift >= 0; shift -= 8) {
+      out[i++] = static_cast<std::uint8_t>(v >> shift);
+    }
+  };
+  put(kProtocolMagic, 2);
+  put(kProtocolVersion, 1);
+  put(static_cast<std::uint8_t>(MessageType::kProbeData), 1);
+  put(0, 2);  // pad, matches serialize()
+  put(msg.seq, 4);
+  put(msg.send_time_us, 8);
 }
 
 std::vector<std::uint8_t> serialize(const TestComplete& msg) {

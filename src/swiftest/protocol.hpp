@@ -75,6 +75,14 @@ struct TestComplete {
 [[nodiscard]] std::vector<std::uint8_t> serialize(const ProbeData& msg);
 [[nodiscard]] std::vector<std::uint8_t> serialize(const TestComplete& msg);
 
+/// Exact wire size of a serialized ProbeData (header + pad + seq + time).
+inline constexpr std::size_t kProbeDataWireBytes = 18;
+
+/// Allocation-free ProbeData serializer for the server's probe hot path.
+/// `out` must be exactly kProbeDataWireBytes; produces the same bytes as
+/// serialize(msg).
+void serialize_into(const ProbeData& msg, std::span<std::uint8_t> out);
+
 /// Peeks the message type; nullopt on short/garbled/foreign input.
 [[nodiscard]] std::optional<MessageType> peek_type(std::span<const std::uint8_t> bytes);
 

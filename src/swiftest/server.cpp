@@ -212,43 +212,61 @@ void SwiftestServer::handle_complete(const TestComplete& complete) {
 void SwiftestServer::pump(std::uint64_t nonce) {
   const auto it = sessions_.find(nonce);
   if (it == sessions_.end()) return;
-  Session& session = it->second;
+  pump_session(nonce, it->second);
+}
+
+void SwiftestServer::pump_session(std::uint64_t nonce, Session& session) {
   if (session.rate.is_zero()) return;
   if (session.timer_armed) return;
+  for (;;) {
+    const core::SimTime now = sched_.now();
+    if (session.next_send > now) {
+      core::SimTime wake = session.next_send;
+      if (config_.pacing_quantum > 0) {
+        // Coalesce: round the wakeup up to the quantum boundary; the emit
+        // loop below then drains every probe due by the time we fire.
+        const core::SimDuration q = config_.pacing_quantum;
+        wake = ((wake + q - 1) / q) * q;
+      }
+      session.timer_armed = true;
+      // The map node is stable and the timer is cancelled before the node
+      // is ever erased (complete, reap, destructor), so the wakeup can
+      // capture the Session directly instead of re-finding it by nonce.
+      Session* stable = &session;
+      session.timer = sched_.schedule_at(wake, [this, nonce, stable] {
+        stable->timer_armed = false;
+        pump_session(nonce, *stable);
+      });
+      return;
+    }
 
-  const core::SimTime now = sched_.now();
-  if (session.next_send > now) {
-    session.timer_armed = true;
-    session.timer = sched_.schedule_at(session.next_send, [this, nonce] {
-      const auto inner = sessions_.find(nonce);
-      if (inner == sessions_.end()) return;
-      inner->second.timer_armed = false;
-      pump(nonce);
-    });
-    return;
+    // Emit one probe datagram and loop for the next at the paced gap.
+    ProbeData header;
+    header.seq = session.next_probe_seq++;
+    header.send_time_us = static_cast<std::uint64_t>(now / 1000);
+    netsim::Packet pkt;
+    pkt.kind = netsim::PacketKind::kUdpData;
+    pkt.flow_id = nonce;
+    pkt.seq = header.seq;
+    pkt.size_bytes = config_.probe_payload_bytes + netsim::kUdpHeaderBytes;
+    pkt.sent_at = now;
+    std::span<std::uint8_t> payload_out;
+    pkt.payload = sched_.payload_arena().allocate(kProbeDataWireBytes, payload_out);
+    serialize_into(header, payload_out);
+    stats_.probe_bytes_sent += pkt.size_bytes;
+    netsim::Path* out = session.path != nullptr ? session.path : default_path_;
+    const netsim::Path::DeliveryFn& sink =
+        session.sink ? session.sink : downstream_sink_;
+    out->send_downstream(std::move(pkt), sink);
+
+    const core::SimDuration gap = session.rate.transmit_time(
+        core::Bytes(config_.probe_payload_bytes + netsim::kUdpHeaderBytes));
+    // Rebase after long idle (no unbounded catch-up burst), but keep the
+    // backlog within one coalescing window so a quantum wakeup emits every
+    // probe that was due — with quantum 0 this is the exact legacy pacing.
+    session.next_send =
+        std::max(session.next_send, now - config_.pacing_quantum) + gap;
   }
-
-  // Emit one probe datagram and schedule the next at the paced gap.
-  ProbeData header;
-  header.seq = session.next_probe_seq++;
-  header.send_time_us = static_cast<std::uint64_t>(now / 1000);
-  netsim::Packet pkt;
-  pkt.kind = netsim::PacketKind::kUdpData;
-  pkt.flow_id = nonce;
-  pkt.seq = header.seq;
-  pkt.size_bytes = config_.probe_payload_bytes + netsim::kUdpHeaderBytes;
-  pkt.sent_at = now;
-  pkt.payload = std::make_shared<const std::vector<std::uint8_t>>(serialize(header));
-  stats_.probe_bytes_sent += pkt.size_bytes;
-  netsim::Path* out = session.path != nullptr ? session.path : default_path_;
-  const netsim::Path::DeliveryFn& sink =
-      session.sink ? session.sink : downstream_sink_;
-  out->send_downstream(std::move(pkt), sink);
-
-  const core::SimDuration gap = session.rate.transmit_time(
-      core::Bytes(config_.probe_payload_bytes + netsim::kUdpHeaderBytes));
-  session.next_send = std::max(session.next_send, now) + gap;
-  pump(nonce);
 }
 
 void SwiftestServer::reap_idle() {

@@ -28,6 +28,12 @@ struct ServerConfig {
   core::SimDuration idle_timeout = core::seconds(3);
   std::int32_t probe_payload_bytes = 1400;
   std::size_t max_sessions = 64;
+  /// Timer-coalescing window for the token-bucket pacer. Zero (the default)
+  /// wakes exactly at each probe's paced send time — the reference timing.
+  /// Positive values round wakeups up to the next quantum boundary and emit
+  /// every probe due within the window in one burst, trading per-probe
+  /// scheduling churn for bounded (≤ quantum) pacing jitter.
+  core::SimDuration pacing_quantum = 0;
 };
 
 struct ServerStats {
@@ -111,6 +117,7 @@ class SwiftestServer {
   void handle_rate_update(std::uint64_t nonce_hint, const RateUpdate& update);
   void handle_complete(const TestComplete& complete);
   void pump(std::uint64_t nonce);
+  void pump_session(std::uint64_t nonce, Session& session);
   void reap_idle();
   [[nodiscard]] core::Bandwidth clamp_rate(double kbps) const;
 

@@ -14,13 +14,13 @@ namespace {
 
 constexpr std::int32_t kControlWireBytes = 48;  // header + message + slack
 
-netsim::Packet make_control_packet(std::uint64_t nonce,
-                                   std::vector<std::uint8_t> bytes) {
+netsim::Packet make_control_packet(netsim::PayloadArena& arena, std::uint64_t nonce,
+                                   std::span<const std::uint8_t> bytes) {
   netsim::Packet pkt;
   pkt.kind = netsim::PacketKind::kUdpControl;
   pkt.flow_id = nonce;
   pkt.size_bytes = kControlWireBytes;
-  pkt.payload = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  pkt.payload = arena.intern(bytes);
   return pkt;
 }
 
@@ -223,7 +223,7 @@ void WireClient::start(netsim::ClientContext& client, CompletionFn on_complete) 
   st->client_sink = [raw, alive = st->alive](const netsim::Packet& pkt) {
     if (!*alive) return;
     raw->wire_bytes += pkt.size_bytes;
-    if (!pkt.payload || !parse_probe_data(*pkt.payload)) return;  // corrupt probe
+    if (!pkt.payload || !parse_probe_data(pkt.payload.bytes())) return;  // corrupt probe
     raw->sampler.add_bytes(pkt.size_bytes - netsim::kUdpHeaderBytes);
   };
 
@@ -431,20 +431,20 @@ void WireClient::send_control(RunState& st, std::size_t index,
   if (st.fleet != nullptr) {
     SwiftestServer* server = &st.fleet->server(path_index % st.fleet->size());
     path.send_upstream(
-        make_control_packet(st.nonce, std::move(bytes)),
+        make_control_packet(st.sched->payload_arena(), st.nonce, bytes),
         [server, path_ptr = &path, alive = st.alive,
          sink = st.client_sink](const netsim::Packet& pkt) {
           if (*alive && pkt.payload) {
-            server->on_control_message(*pkt.payload, *path_ptr, sink);
+            server->on_control_message(pkt.payload.bytes(), *path_ptr, sink);
           }
         });
     return;
   }
   SwiftestServer* server = st.servers[index];
-  path.send_upstream(make_control_packet(st.nonce, std::move(bytes)),
+  path.send_upstream(make_control_packet(st.sched->payload_arena(), st.nonce, bytes),
                      [server, alive = st.alive](const netsim::Packet& pkt) {
                        if (*alive && pkt.payload) {
-                         server->on_control_message(*pkt.payload);
+                         server->on_control_message(pkt.payload.bytes());
                        }
                      });
 }

@@ -132,5 +132,31 @@ TEST(FairLink, RandomLossCounted) {
   EXPECT_NEAR(static_cast<double>(delivered) / 5000.0, 0.8, 0.03);
 }
 
+TEST(FairLink, SteadyStateChurnDoesNotGrowThePools) {
+  Scheduler sched;
+  FairLink link(sched, FairLinkConfig{Bandwidth::mbps(50), milliseconds(2)},
+                core::Rng(1));
+  const core::SimDuration gap =
+      Bandwidth::mbps(30).transmit_time(core::Bytes(1000));
+  const auto churn = [&] {
+    for (std::uint64_t flow = 1; flow <= 4; ++flow) {
+      for (int i = 0; i < 100; ++i) {
+        sched.schedule_in(i * gap, [&link, flow] {
+          link.send(make_packet(flow), [](const Packet&) {});
+        });
+      }
+    }
+    sched.run();
+  };
+  churn();  // warm-up: slab, transit pool, and flow slots reach full size
+  const Scheduler::AllocStats warm = sched.alloc_stats();
+  churn();  // steady state re-uses every pooled structure
+  const Scheduler::AllocStats after = sched.alloc_stats();
+  EXPECT_EQ(after.transit_nodes, warm.transit_nodes);
+  EXPECT_EQ(after.slab_slots, warm.slab_slots);
+  EXPECT_EQ(after.callback_heap_fallbacks, warm.callback_heap_fallbacks);
+  EXPECT_EQ(link.active_flows(), 4u);
+}
+
 }  // namespace
 }  // namespace swiftest::netsim

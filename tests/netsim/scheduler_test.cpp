@@ -2,12 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
+
+#include "core/rng.hpp"
+#include "core/small_fn.hpp"
 
 namespace swiftest::netsim {
 namespace {
 
+using core::microseconds;
 using core::milliseconds;
+using core::seconds;
 using core::seconds;
 
 TEST(Scheduler, RunsEventsInTimeOrder) {
@@ -105,6 +111,92 @@ TEST(Scheduler, EventsCanScheduleMoreEvents) {
   sched.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sched.now(), milliseconds(99));
+}
+
+TEST(Scheduler, CancelAfterSlotReuseIsNoop) {
+  Scheduler sched;
+  // Occupy one slot, cancel it, and drain so the slot returns to the free
+  // list with a bumped generation.
+  EventHandle stale = sched.schedule_at(milliseconds(1), [] {});
+  stale.cancel();
+  sched.run();
+  // The next event reuses that slot under a new generation; the stale
+  // handle must not be able to cancel the new occupant.
+  bool ran = false;
+  EventHandle fresh = sched.schedule_at(milliseconds(2), [&] { ran = true; });
+  stale.cancel();
+  sched.run();
+  EXPECT_TRUE(ran);
+  (void)fresh;
+}
+
+TEST(Scheduler, SteadyStateChurnDoesNotGrowTheSlab) {
+  Scheduler sched;
+  const auto churn = [&] {
+    std::vector<EventHandle> handles;
+    for (int round = 0; round < 50; ++round) {
+      handles.clear();
+      for (int i = 0; i < 32; ++i) {
+        handles.push_back(sched.schedule_in(microseconds(10 + i), [] {}));
+      }
+      for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+      sched.run();
+    }
+  };
+  churn();  // warm-up sizes the slab for this footprint
+  const Scheduler::AllocStats warm = sched.alloc_stats();
+  const std::uint64_t fn_heap_before = core::small_fn_heap_allocations();
+  churn();  // steady state: same footprint, zero new slots or heap fallbacks
+  const Scheduler::AllocStats after = sched.alloc_stats();
+  EXPECT_EQ(after.slab_slots, warm.slab_slots);
+  EXPECT_EQ(after.callback_heap_fallbacks, warm.callback_heap_fallbacks);
+  EXPECT_EQ(core::small_fn_heap_allocations(), fn_heap_before)
+      << "scheduler callbacks must fit SmallFn inline storage";
+}
+
+TEST(Scheduler, CalendarFrontEndMatchesReferenceHeap) {
+  // Random churn replayed on both queue front-ends: uniform and far-future
+  // arrivals (beyond the calendar ring, forcing rebase), mid-drain inserts
+  // from firing events, and cancellations. The fire sequence — time and
+  // insertion id — must match the reference binary heap exactly.
+  const auto run_with = [](Scheduler::FrontEnd fe) {
+    Scheduler sched(fe);
+    core::Rng rng(2022);
+    std::vector<std::pair<core::SimTime, int>> fired;
+    std::vector<EventHandle> handles;
+    int next_id = 0;
+    for (int i = 0; i < 500; ++i) {
+      // Mix of near (same bucket), mid-ring, and far-future (several times
+      // the ~268 ms ring horizon) target times; duplicates are common and
+      // must resolve by insertion order.
+      const core::SimTime when = rng.uniform_int(0, seconds(2));
+      const int id = next_id++;
+      handles.push_back(sched.schedule_at(when, [&fired, &sched, id] {
+        fired.emplace_back(sched.now(), id);
+      }));
+      if (i % 4 == 0) {
+        const int child = next_id++;
+        handles.push_back(
+            sched.schedule_at(when, [&fired, &sched, &rng, &handles, child] {
+              fired.emplace_back(sched.now(), child);
+              // Mid-drain insert relative to the firing time: lands in the
+              // active bucket or just past it.
+              const int grandchild = -child;
+              handles.push_back(sched.schedule_in(
+                  rng.uniform_int(0, milliseconds(1)), [&fired, &sched, grandchild] {
+                    fired.emplace_back(sched.now(), grandchild);
+                  }));
+            }));
+      }
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 5) handles[i].cancel();
+    sched.run();
+    return fired;
+  };
+  const auto heap = run_with(Scheduler::FrontEnd::kHeap);
+  const auto calendar = run_with(Scheduler::FrontEnd::kCalendar);
+  ASSERT_FALSE(heap.empty());
+  EXPECT_EQ(heap, calendar);
 }
 
 }  // namespace

@@ -39,13 +39,39 @@ TEST(SwiftestServer, SendsProbesAtRequestedRate) {
   server.set_downstream_sink([&](const netsim::Packet& pkt) {
     received += pkt.size_bytes;
     ASSERT_TRUE(pkt.payload);
-    EXPECT_TRUE(parse_probe_data(*pkt.payload).has_value());
+    EXPECT_TRUE(parse_probe_data(pkt.payload.bytes()).has_value());
   });
   server.on_control_message(serialize(request_for(1, 50.0)));
   net.sched.run_until(seconds(2));
   const double mbps = static_cast<double>(received) * 8.0 / 2.0 / 1e6;
   EXPECT_NEAR(mbps, 50.0, 3.0);
   EXPECT_EQ(server.stats().requests_accepted, 1u);
+}
+
+TEST(SwiftestServer, PacingQuantumPreservesRateWithFewerWakeups) {
+  // Coalesced pacing must deliver the same long-run rate as exact pacing —
+  // probes due within a quantum window just go out in one burst — while
+  // scheduling measurably fewer pacer timer events.
+  const auto run_with = [](core::SimDuration quantum) {
+    ServerNet net;
+    ServerConfig cfg;
+    cfg.pacing_quantum = quantum;
+    SwiftestServer server(net.sched, net.path, cfg);
+    std::int64_t received = 0;
+    server.set_downstream_sink(
+        [&](const netsim::Packet& pkt) { received += pkt.size_bytes; });
+    server.on_control_message(serialize(request_for(1, 50.0)));
+    net.sched.run_until(seconds(2));
+    return std::pair<std::int64_t, std::uint64_t>(received,
+                                                  net.sched.events_executed());
+  };
+  const auto [exact_bytes, exact_events] = run_with(0);
+  const auto [batched_bytes, batched_events] = run_with(milliseconds(2));
+  const double exact_mbps = static_cast<double>(exact_bytes) * 8.0 / 2.0 / 1e6;
+  const double batched_mbps = static_cast<double>(batched_bytes) * 8.0 / 2.0 / 1e6;
+  EXPECT_NEAR(exact_mbps, 50.0, 3.0);
+  EXPECT_NEAR(batched_mbps, exact_mbps, 3.0);
+  EXPECT_LT(batched_events, exact_events);
 }
 
 TEST(SwiftestServer, ClampsRateToUplink) {

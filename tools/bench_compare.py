@@ -9,6 +9,11 @@ by benchutil::report_flush(). Values are compared with a relative tolerance
 (default 5%); values whose baseline magnitude is below --abs-floor use an
 absolute tolerance instead, so near-zero metrics do not trip on noise.
 
+Wall-clock scaling values (names prefixed "wall_s_" or "speedup_") are only
+meaningful between runs on comparable hosts: they are skipped with a warning
+unless both reports carry the same "hw_threads" config entry and that count
+is greater than one (a single-core host cannot demonstrate jobs scaling).
+
 Exit status: 0 when every shared value is within tolerance and both files
 hold the same value names; 1 on any regression, missing value, or non-finite
 mismatch; 2 on usage/parse errors or when the two reports come from
@@ -42,6 +47,42 @@ def as_float(value):
     return float(value)
 
 
+# Host-dependent scaling metrics: comparable only between runs that report
+# the same hardware-thread count, and meaningless on a single-core host.
+SCALING_PREFIXES = ("wall_s_", "speedup_")
+
+
+def is_scaling_value(name):
+    return name.startswith(SCALING_PREFIXES)
+
+
+def hw_threads_of(doc):
+    """The report's recorded hardware-thread count, or None if absent."""
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return None
+    raw = config.get("hw_threads")
+    if raw is None:
+        return None
+    try:
+        return int(str(raw))
+    except ValueError:
+        return None
+
+
+def scaling_skip_reason(base, curr):
+    """Why scaling values cannot be compared between these reports
+    (None when they can)."""
+    b, c = hw_threads_of(base), hw_threads_of(curr)
+    if b is None or c is None:
+        return "hw_threads not recorded in both reports"
+    if b != c:
+        return f"hw_threads differs (baseline {b}, current {c})"
+    if b <= 1:
+        return f"host reports {b} hardware thread(s); scaling is unmeasurable"
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -66,8 +107,14 @@ def main():
     curr_values = curr["values"]
     failures = 0
     checked = 0
+    skipped = 0
+    skip_scaling = scaling_skip_reason(base, curr)
 
     for name in sorted(set(base_values) | set(curr_values)):
+        if is_scaling_value(name) and skip_scaling is not None:
+            print(f"WARN {name}: skipped ({skip_scaling})")
+            skipped += 1
+            continue
         if name not in base_values:
             print(f"FAIL {name}: missing from baseline")
             failures += 1
@@ -99,8 +146,9 @@ def main():
 
     sha_b = base.get("repo_sha", "?")
     sha_c = curr.get("repo_sha", "?")
+    skipped_note = f", {skipped} skipped" if skipped else ""
     print(f"compared {checked} values ({sha_b[:12]} -> {sha_c[:12]}): "
-          f"{failures} failure(s)")
+          f"{failures} failure(s){skipped_note}")
     return 1 if failures else 0
 
 

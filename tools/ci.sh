@@ -4,7 +4,7 @@
 # plus a ThreadSanitizer job that drives a sharded multi-threaded fleet-day
 # (SWIFTEST_SANITIZE=thread), the only place the codebase runs real threads.
 #
-# Usage: tools/ci.sh [--plain-only|--asan-only|--tsan-only]
+# Usage: tools/ci.sh [--plain-only|--asan-only|--tsan-only|--scaling-only]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -112,6 +112,45 @@ run_bench_gate() {
     "${out_dir}/BENCH_fleet_shard.json"
 }
 
+# Release-build multicore jobs-scaling gate: the allocation-free event core
+# exists to make shard workers scale, so prove it — bench_fleet_shard runs a
+# packet fleet-day at --shards 8 across jobs {1,2,4,8} and the gate asserts
+# a >= 3x wall-clock speedup at 8 jobs with byte-identical artifacts.
+# Wall-clock scaling needs real cores: on hosts with fewer than 8 hardware
+# threads the speedup assertion is skipped with a warning (the determinism
+# half — artifacts_identical — is still enforced by run_bench_gate above).
+run_scaling_gate() {
+  local build_dir="build-release"
+  local hw
+  hw="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+  if [ "${hw}" -lt 8 ]; then
+    echo "=== jobs-scaling gate: SKIPPED (${hw} hardware thread(s) < 8) ==="
+    return 0
+  fi
+  echo "=== configure ${build_dir} (Release) ==="
+  cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release
+  echo "=== build ${build_dir} (bench_fleet_shard) ==="
+  cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}" --target bench_fleet_shard
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke"
+  mkdir -p "${out_dir}"
+  echo "=== jobs-scaling gate (--shards 8, jobs 1..8, Release) ==="
+  "${REPO_ROOT}/${build_dir}/bench/bench_fleet_shard" \
+    --json "${out_dir}/BENCH_fleet_shard.json"
+  python3 - "${out_dir}/BENCH_fleet_shard.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+values = report["values"]
+speedup = float(values["speedup_jobs8"])
+identical = float(values["artifacts_identical"])
+if identical != 1.0:
+    sys.exit("jobs-scaling gate: artifacts differ across job counts")
+if speedup < 3.0:
+    sys.exit(f"jobs-scaling gate: speedup_jobs8={speedup:.2f} < 3.0")
+print(f"jobs-scaling gate passed: speedup_jobs8={speedup:.2f}, artifacts identical")
+PYEOF
+}
+
 # ThreadSanitizer job: build the CLI under -fsanitize=thread and run a
 # sharded packet fleet-day on a real worker pool (--shards 4 --jobs 4). The
 # shard workers must share nothing but the partitioned workload and the
@@ -134,13 +173,15 @@ case "${mode}" in
   --plain-only) run_suite build ;;
   --asan-only) run_suite build-asan -DSWIFTEST_SANITIZE=address ;;
   --tsan-only) run_tsan_fleet ;;
+  --scaling-only) run_scaling_gate ;;
   all)
     run_suite build
     run_suite build-asan -DSWIFTEST_SANITIZE=address
     run_tsan_fleet
+    run_scaling_gate
     ;;
   *)
-    echo "usage: tools/ci.sh [--plain-only|--asan-only|--tsan-only]" >&2
+    echo "usage: tools/ci.sh [--plain-only|--asan-only|--tsan-only|--scaling-only]" >&2
     exit 2
     ;;
 esac
