@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -95,7 +96,10 @@ class SmallFn<R(Args...), InlineBytes> {
     return ops_ == nullptr || ops_->inline_stored;
   }
 
+  /// Invoking an empty SmallFn throws std::bad_function_call, matching the
+  /// std::function it replaced on the scheduler hot path.
   R operator()(Args... args) const {
+    if (ops_ == nullptr) throw std::bad_function_call();
     return ops_->invoke(&storage_, std::forward<Args>(args)...);
   }
 

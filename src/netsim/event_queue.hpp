@@ -10,13 +10,18 @@
 //  * CalendarEventQueue — a bucketed timer ring for the dominant near-future
 //    events, O(1) amortized. The ring covers [base, base + buckets * width);
 //    events beyond the horizon wait in a far-future heap and migrate into
-//    the ring when it drains and rebases. The bucket currently being
-//    consumed is drained through a small "active" min-heap so same-bucket
-//    inserts during the drain still come out in (when, seq) order. Inserts
-//    before `base` (possible after run_until() parks the clock between a
-//    drained ring and a far-future rebase target) go to an underflow heap
-//    that is strictly earlier than everything else, preserving the total
-//    order without ever rebasing backwards.
+//    the ring when it drains and rebases. Buckets are swept into a small
+//    "active" min-heap as the cursor reaches them; `swept_end` records the
+//    exclusive end time of the last swept bucket, and any in-window insert
+//    below that watermark joins the active heap directly — the cursor has
+//    already passed its bucket (e.g. a peek() swept a future bucket and the
+//    caller then scheduled into the gap), and parking it in the ring would
+//    delay it a full lap. Inserts before `base` (possible after run_until()
+//    parks the clock between a drained ring and a far-future rebase target)
+//    go to an underflow heap that is strictly earlier than everything else.
+//    Invariant: underflow < base <= active < swept_end <= ring, so draining
+//    underflow, then active, then sweeping buckets in cursor order yields
+//    the exact (when, seq) total order without ever rebasing backwards.
 #pragma once
 
 #include <cassert>
@@ -86,8 +91,13 @@ class CalendarEventQueue {
       far_.push(key);
     } else if (key.when < base_) {
       underflow_.push(key);
+    } else if (key.when < swept_end_) {
+      // The sweep cursor has already passed this key's bucket in the current
+      // lap; the active heap restores (when, seq) order for late arrivals.
+      active_.push(key);
     } else {
-      place_in_ring(key);
+      buckets_[bucket_of(key.when)].push_back(key);
+      ++ring_count_;
     }
   }
 
@@ -119,35 +129,27 @@ class CalendarEventQueue {
   [[nodiscard]] std::uint32_t bucket_of(core::SimTime when) const noexcept {
     return static_cast<std::uint32_t>(when >> width_shift_) & bucket_mask_;
   }
-
-  void place_in_ring(const EventKey& key) {
-    const std::uint32_t b = bucket_of(key.when);
-    if (active_valid_ && b == active_bucket_) {
-      // The bucket is mid-drain: its vector was already swept into the
-      // active heap, so late arrivals must join the heap to keep order.
-      active_.push(key);
-    } else {
-      buckets_[b].push_back(key);
-      ++ring_count_;
-    }
+  /// Start time of ring bucket `b` within the current window. Well-defined
+  /// because `base_` is bucket-aligned and the window spans exactly one lap.
+  [[nodiscard]] core::SimTime bucket_start(std::uint32_t b) const noexcept {
+    const std::uint32_t lap = (b - bucket_of(base_)) & bucket_mask_;
+    return base_ + (static_cast<core::SimTime>(lap) << width_shift_);
   }
 
-  /// Loads the next non-empty ring bucket into the active heap. False when
-  /// both the active heap and the ring are exhausted.
+  /// Sweeps ring buckets into the active heap (advancing the watermark)
+  /// until it is non-empty. False when both it and the ring are exhausted.
   bool ensure_active() {
     while (true) {
       if (!active_.empty()) return true;
-      if (ring_count_ == 0) {
-        active_valid_ = false;
-        return false;
-      }
+      if (ring_count_ == 0) return false;
       while (buckets_[cursor_].empty()) cursor_ = (cursor_ + 1) & bucket_mask_;
       std::vector<EventKey>& bucket = buckets_[cursor_];
       for (const EventKey& key : bucket) active_.push(key);
       ring_count_ -= bucket.size();
       bucket.clear();
-      active_bucket_ = cursor_;
-      active_valid_ = true;
+      // Buckets skipped above were empty, so every ring key still ahead of
+      // the cursor is >= swept_end_ — late pushes below it go to active_.
+      swept_end_ = bucket_start(cursor_) + (core::SimTime{1} << width_shift_);
       cursor_ = (cursor_ + 1) & bucket_mask_;
     }
   }
@@ -160,9 +162,10 @@ class CalendarEventQueue {
     base_ = (far_.top().when >> width_shift_) << width_shift_;
     horizon_end_ = base_ + span();
     cursor_ = bucket_of(base_);
-    active_valid_ = false;
+    swept_end_ = base_;  // nothing in the new window has been swept yet
     while (!far_.empty() && far_.top().when < horizon_end_) {
-      place_in_ring(far_.top());
+      buckets_[bucket_of(far_.top().when)].push_back(far_.top());
+      ++ring_count_;
       far_.pop();
     }
   }
@@ -186,12 +189,11 @@ class CalendarEventQueue {
   std::vector<std::vector<EventKey>> buckets_;
   std::size_t ring_count_ = 0;  // keys sitting in bucket vectors
   std::size_t size_ = 0;        // total keys across all structures
-  core::SimTime base_ = 0;      // start of the ring window
-  core::SimTime horizon_end_;   // base_ + span()
-  std::uint32_t cursor_ = 0;    // next bucket to sweep into the active heap
-  std::uint32_t active_bucket_ = 0;
-  bool active_valid_ = false;
-  EventKeyHeap active_;     // keys of the bucket currently being drained
+  core::SimTime base_ = 0;       // start of the ring window
+  core::SimTime horizon_end_;    // base_ + span()
+  core::SimTime swept_end_ = 0;  // exclusive end of the last swept bucket
+  std::uint32_t cursor_ = 0;     // next bucket to sweep into the active heap
+  EventKeyHeap active_;     // swept keys plus late arrivals below swept_end_
   EventKeyHeap underflow_;  // keys scheduled before base_ (post-rebase gap)
   EventKeyHeap far_;        // keys at or beyond the horizon
 };

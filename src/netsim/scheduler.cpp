@@ -60,7 +60,7 @@ EventHandle Scheduler::schedule_at(core::SimTime when, Task fn) {
     obs_handles_.scheduled->inc();
     obs_handles_.queue_depth->set(static_cast<double>(size_));
   }
-  return EventHandle(this, idx, s.generation);
+  return EventHandle(life_, idx, s.generation);
 }
 
 EventHandle Scheduler::schedule_in(core::SimDuration delay, Task fn) {

@@ -28,26 +28,78 @@ namespace swiftest::netsim {
 
 class Scheduler;
 
-/// Handle for cancelling a scheduled event. Trivially copyable: it names a
-/// slab slot plus the generation the slot had when the event was armed, so
-/// it stays safe (and inert) after the event fires and the slot is reused.
-/// Must not be used after its Scheduler is destroyed.
+namespace detail {
+/// Liveness token shared by a Scheduler and every EventHandle it issued:
+/// one allocation per scheduler, never per event. The scheduler's destructor
+/// nulls `owner`, turning cancel() on outstanding handles into a no-op. The
+/// refcount is deliberately non-atomic: a scheduler and its handles live on
+/// one shard thread, crossing threads only with happens-before ordering
+/// (worker hand-off / join).
+struct SchedulerLife {
+  Scheduler* owner = nullptr;
+  std::uint32_t refs = 0;
+};
+}  // namespace detail
+
+/// Handle for cancelling a scheduled event. It names a slab slot plus the
+/// generation the slot had when the event was armed, so it stays safe (and
+/// inert) after the event fires and the slot is reused — and, via the
+/// scheduler's liveness token, cancel() is also a safe no-op after the
+/// Scheduler itself is destroyed (components torn down late keep working).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Prevents the event's callback from running. Safe to call repeatedly or
-  /// after the event has fired (no-op in that case).
+  EventHandle(const EventHandle& other) noexcept
+      : life_(other.life_), slot_(other.slot_), generation_(other.generation_) {
+    if (life_ != nullptr) ++life_->refs;
+  }
+  EventHandle(EventHandle&& other) noexcept
+      : life_(other.life_), slot_(other.slot_), generation_(other.generation_) {
+    other.life_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& other) noexcept {
+    if (this != &other) {
+      release();
+      life_ = other.life_;
+      slot_ = other.slot_;
+      generation_ = other.generation_;
+      if (life_ != nullptr) ++life_->refs;
+    }
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    if (this != &other) {
+      release();
+      life_ = other.life_;
+      slot_ = other.slot_;
+      generation_ = other.generation_;
+      other.life_ = nullptr;
+    }
+    return *this;
+  }
+  ~EventHandle() { release(); }
+
+  /// Prevents the event's callback from running. Safe to call repeatedly,
+  /// after the event has fired, or after the owning Scheduler is destroyed
+  /// (no-op in all of those cases).
   inline void cancel() const;
 
-  [[nodiscard]] bool valid() const noexcept { return owner_ != nullptr; }
+  [[nodiscard]] bool valid() const noexcept { return life_ != nullptr; }
 
  private:
   friend class Scheduler;
-  EventHandle(Scheduler* owner, std::uint32_t slot, std::uint32_t generation)
-      : owner_(owner), slot_(slot), generation_(generation) {}
+  EventHandle(detail::SchedulerLife* life, std::uint32_t slot,
+              std::uint32_t generation) noexcept
+      : life_(life), slot_(slot), generation_(generation) {
+    ++life_->refs;
+  }
+  void release() noexcept {
+    if (life_ != nullptr && --life_->refs == 0) delete life_;
+    life_ = nullptr;
+  }
 
-  Scheduler* owner_ = nullptr;
+  detail::SchedulerLife* life_ = nullptr;
   std::uint32_t slot_ = 0;
   std::uint32_t generation_ = 0;
 };
@@ -64,9 +116,16 @@ class Scheduler {
   enum class FrontEnd : std::uint8_t { kCalendar, kHeap };
 
   Scheduler() : Scheduler(default_front_end()) {}
-  explicit Scheduler(FrontEnd front_end) : front_end_(front_end) { slots_.reserve(kInitialSlots); }
+  explicit Scheduler(FrontEnd front_end)
+      : front_end_(front_end), life_(new detail::SchedulerLife{this, 1}) {
+    slots_.reserve(kInitialSlots);
+  }
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler() {
+    life_->owner = nullptr;  // outstanding handles become inert
+    if (--life_->refs == 0) delete life_;
+  }
 
   /// Process-wide default front-end for newly constructed schedulers.
   static void set_default_front_end(FrontEnd fe) noexcept {
@@ -188,6 +247,7 @@ class Scheduler {
   std::uint64_t size_ = 0;  // events alive in the queue (incl. cancelled)
   std::uint64_t fn_heap_fallbacks_ = 0;
   FrontEnd front_end_;
+  detail::SchedulerLife* life_;
   std::vector<EventSlot> slots_;
   std::uint32_t free_head_ = kNil;
   CalendarEventQueue calendar_;
@@ -199,7 +259,9 @@ class Scheduler {
 };
 
 inline void EventHandle::cancel() const {
-  if (owner_ != nullptr) owner_->cancel_event(slot_, generation_);
+  if (life_ != nullptr && life_->owner != nullptr) {
+    life_->owner->cancel_event(slot_, generation_);
+  }
 }
 
 }  // namespace swiftest::netsim

@@ -46,6 +46,8 @@ std::optional<std::uint32_t> parse_category_mask(std::string_view csv) {
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void Tracer::ensure_ring() { ring_.resize(capacity_); }
+
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
   if (size_ == 0) return out;
@@ -60,7 +62,7 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 void Tracer::merge_from(const Tracer& src) {
-  if (src.size() > 0 && ring_.empty()) ring_.resize(capacity_);
+  if (src.size() > 0 && ring_.empty()) ensure_ring();
   for (const TraceEvent& e : src.events()) {
     record(e.ts, e.category, e.kind, e.name, e.id, e.value);
   }

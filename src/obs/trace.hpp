@@ -84,10 +84,11 @@ class Tracer {
   void set_category_mask(std::uint32_t mask) noexcept { mask_ = mask; }
   [[nodiscard]] std::uint32_t category_mask() const noexcept { return mask_; }
 
-  /// Records one event (unconditionally — callers gate on wants()).
+  /// Records one event (unconditionally — callers gate on wants()). Not
+  /// noexcept: the first record() allocates the ring and may throw bad_alloc.
   void record(core::SimTime ts, Category category, EventKind kind, const char* name,
-              std::uint64_t id, double value) noexcept {
-    if (ring_.empty()) ring_.resize(capacity_);
+              std::uint64_t id, double value) {
+    if (ring_.empty()) ensure_ring();
     TraceEvent& slot = ring_[head_];
     slot.ts = ts;
     slot.category = category;
@@ -127,6 +128,9 @@ class Tracer {
   static constexpr std::size_t kDefaultCapacity = 1u << 18;
 
  private:
+  /// Cold path: allocates the ring (capacity_ × 40 bytes) on first use.
+  void ensure_ring();
+
   // The ring (capacity_ × 40 bytes, ~10 MB at the default) is allocated on
   // the first record(), not at construction: a fleet shard's Hub mirror that
   // never traces (mask off, or a category nothing touches) costs no memory.

@@ -154,6 +154,75 @@ TEST(Scheduler, SteadyStateChurnDoesNotGrowTheSlab) {
       << "scheduler callbacks must fit SmallFn inline storage";
 }
 
+TEST(Scheduler, CancelAfterSchedulerDestructionIsNoop) {
+  EventHandle h;
+  {
+    Scheduler sched;
+    h = sched.schedule_at(milliseconds(10), [] {});
+  }
+  h.cancel();  // scheduler is gone: must be a safe no-op, not UB
+  EXPECT_TRUE(h.valid());
+}
+
+TEST(Scheduler, FiringAnEmptyTaskThrowsBadFunctionCall) {
+  Scheduler sched;
+  sched.schedule_at(milliseconds(1), Scheduler::Task{});
+  EXPECT_THROW(sched.run(), std::bad_function_call);
+}
+
+TEST(Scheduler, LateInsertBehindSweepCursorFiresInOrder) {
+  // Regression: run_until()'s exit peek sweeps the 100 ms bucket into the
+  // calendar's active heap. A subsequent schedule_at() into the gap between
+  // now and that bucket must not be parked in a behind-cursor ring bucket
+  // (which would fire it a full ~268 ms lap late, after the 100 ms event).
+  Scheduler sched(Scheduler::FrontEnd::kCalendar);
+  std::vector<int> order;
+  sched.schedule_at(milliseconds(100), [&] { order.push_back(100); });
+  sched.run_until(milliseconds(1));
+  sched.schedule_at(milliseconds(60), [&] { order.push_back(60); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{60, 100}));
+  EXPECT_EQ(sched.now(), milliseconds(100));
+}
+
+TEST(Scheduler, CalendarMatchesHeapUnderInterleavedRunUntil) {
+  // A/B determinism with external scheduling between run_until() steps: the
+  // final peek of each step can sweep a future bucket into the calendar's
+  // active heap, so the next external push often lands behind the sweep
+  // cursor. Fire sequences must match the reference heap exactly, and the
+  // clock must never move backwards.
+  const auto run_with = [](Scheduler::FrontEnd fe) {
+    Scheduler sched(fe);
+    core::Rng rng(424242);
+    std::vector<std::pair<core::SimTime, int>> fired;
+    int next_id = 0;
+    for (int step = 0; step < 300; ++step) {
+      const auto pushes = rng.uniform_int(0, 3);
+      for (std::int64_t k = 0; k < pushes; ++k) {
+        // Offsets span same-bucket, mid-ring, and beyond-horizon targets.
+        const core::SimTime when = sched.now() + rng.uniform_int(0, milliseconds(400));
+        const int id = next_id++;
+        sched.schedule_at(when, [&fired, &sched, id] {
+          fired.emplace_back(sched.now(), id);
+        });
+      }
+      const core::SimTime before = sched.now();
+      sched.run_until(sched.now() + rng.uniform_int(0, milliseconds(120)));
+      EXPECT_GE(sched.now(), before);
+    }
+    sched.run();
+    return fired;
+  };
+  const auto heap = run_with(Scheduler::FrontEnd::kHeap);
+  const auto calendar = run_with(Scheduler::FrontEnd::kCalendar);
+  ASSERT_FALSE(heap.empty());
+  EXPECT_EQ(heap, calendar);
+  // The sequence itself must be sorted by fire time (no backwards pops).
+  for (std::size_t i = 1; i < calendar.size(); ++i) {
+    EXPECT_LE(calendar[i - 1].first, calendar[i].first);
+  }
+}
+
 TEST(Scheduler, CalendarFrontEndMatchesReferenceHeap) {
   // Random churn replayed on both queue front-ends: uniform and far-future
   // arrivals (beyond the calendar ring, forcing rebase), mid-drain inserts
