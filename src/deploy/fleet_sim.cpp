@@ -1,6 +1,7 @@
 #include "deploy/fleet_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "dataset/taxonomy.hpp"
 #include "obs/health/sample_log.hpp"
 #include "obs/log.hpp"
+#include "obs/spill.hpp"
 #include "deploy/placement.hpp"
 #include "deploy/shard.hpp"
 #include "netsim/testbed.hpp"
@@ -47,6 +49,10 @@ struct Arrival {
   std::size_t n_servers = 1;    // servers the analytic model spreads it over
   int duration_s = 1;
   std::size_t first_server = 0;
+  /// Global workload draw index — the observability sampling key. Assigned
+  /// in draw order before partitioning, so it is identical for every shard
+  /// count and never consumes RNG state.
+  std::uint64_t test_id = 0;
 };
 
 /// Draws the whole workload up front. The RNG consumption order is exactly
@@ -107,6 +113,7 @@ std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> popu
               rng.uniform_int(0, static_cast<std::int64_t>(domain_size) - 1));
           arrival.first_server =
               (domain_first[domain] + offset) % config.server_count;
+          arrival.test_id = static_cast<std::uint64_t>(workload.size());
           workload.push_back(arrival);
         }
       }
@@ -136,6 +143,60 @@ void finish_result(FleetSimResult& result, std::uint64_t overload_seconds,
                                static_cast<double>(total_seconds);
 }
 
+/// Rotating spill sinks for one shard's hub (obs/spill.hpp). The writers
+/// must outlive the shard run; the merge collects their segment paths in
+/// (shard, segment) order.
+struct ShardSpill {
+  std::unique_ptr<obs::SpillWriter> trace;
+  std::unique_ptr<obs::SpillWriter> spans;
+
+  void attach(obs::Hub& hub, const std::string& dir, std::size_t shard) {
+    if (dir.empty()) return;
+    trace = std::make_unique<obs::SpillWriter>(dir, "trace", shard);
+    spans = std::make_unique<obs::SpillWriter>(dir, "spans", shard);
+    hub.tracer.set_spill(
+        [w = trace.get()](const obs::TraceEvent* events, std::size_t n) {
+          w->write_trace_segment(events, n);
+        });
+    hub.spans.set_spill(
+        [w = spans.get()](const obs::span::SpanRecord* records, std::size_t n) {
+          w->write_span_segment(records, n);
+        });
+  }
+};
+
+/// The deterministic observability footprint a budget degrades against:
+/// store capacities, never RSS, so degradation points are host-independent.
+std::uint64_t obs_footprint_bytes(const obs::Hub* hub,
+                                  const obs::health::SampleLog& health) {
+  std::uint64_t bytes = health.approx_bytes();
+  if (hub != nullptr) {
+    bytes += hub->tracer.approx_bytes() + hub->spans.approx_bytes();
+  }
+  return bytes;
+}
+
+/// Concatenates every shard's spill segments — shard order, then rotation
+/// order within a shard, so the result is independent of --jobs — into
+/// <dir>/<stream>.spill.jsonl. No-op when nothing spilled.
+void concat_spill(const std::vector<ShardSpill>& spills, bool trace_stream,
+                  const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const ShardSpill& s : spills) {
+    const obs::SpillWriter* w = trace_stream ? s.trace.get() : s.spans.get();
+    if (w == nullptr) continue;
+    paths.insert(paths.end(), w->segment_paths().begin(),
+                 w->segment_paths().end());
+  }
+  if (paths.empty()) return;
+  const std::string out = dir + (trace_stream ? "/trace.spill.jsonl" : "/spans.spill.jsonl");
+  std::string error;
+  if (!obs::concat_segments(paths, out, &error)) {
+    obs::logf(obs::LogLevel::kWarn, "fleet_sim: spill concat failed: %s",
+              error.c_str());
+  }
+}
+
 /// One analytic shard's raw output. The closed form is linear in the
 /// arrivals, so per-(window, server) load matrices and per-second fleet
 /// loads sum exactly at merge: a sharded analytic run computes the same
@@ -146,6 +207,14 @@ struct AnalyticShard {
   std::uint64_t tests = 0;
   obs::health::SampleLog health;
   bool want_health = false;
+  /// Sampled observability emission (fleet.test events + spans); null unless
+  /// sampling or a budget is active — legacy analytic runs emit nothing.
+  std::unique_ptr<obs::Hub> hub;
+  ShardSpill spill;
+  /// Per-shard working copy: the denominator may degrade under this shard's
+  /// budget slice, independently of other shards.
+  obs::SamplingPolicy policy;
+  obs::ShardTelemetry telemetry;
 };
 
 void run_analytic_shard(std::span<const Arrival> arrivals,
@@ -175,10 +244,38 @@ void run_analytic_shard(std::span<const Arrival> arrivals,
            arrivals[next_arrival].second == second) {
       const Arrival& a = arrivals[next_arrival++];
       ++out.tests;
+      if (config.resource != nullptr) config.resource->add_tests(1);
       for (std::size_t s = 0; s < a.n_servers; ++s) {
         active[(a.first_server + s) % config.server_count].emplace_back(
             a.duration_s, a.rate_mbps / static_cast<double>(a.n_servers));
         ++active_entries;
+      }
+      if (out.hub != nullptr) {
+        // Budget check every 4k arrivals: deterministic cadence, so the
+        // degradation points depend only on (workload, shards, budget).
+        if ((out.tests & 0xfffu) == 0) {
+          out.policy.note_footprint(obs_footprint_bytes(out.hub.get(), out.health));
+        }
+        if (out.policy.sampled(a.test_id)) {
+          const core::SimTime ts = a.second * core::seconds(1);
+          const core::SimTime te = ts + a.duration_s * core::seconds(1);
+          out.hub->metrics.counter("fleet.tests_sampled").inc();
+          if (out.hub->tracer.wants(obs::Category::kFleet)) {
+            out.hub->tracer.record(ts, obs::Category::kFleet,
+                                   obs::EventKind::kInstant, "fleet.test_start",
+                                   a.test_id, a.rate_mbps);
+            out.hub->tracer.record(te, obs::Category::kFleet,
+                                   obs::EventKind::kInstant, "fleet.test_done",
+                                   a.test_id, a.rate_mbps);
+          }
+          // trace_id 0 means "no trace", so the sampling key shifts by one.
+          const obs::span::SpanId span = out.hub->spans.begin(
+              ts, obs::Category::kFleet, "fleet.test", obs::span::kNoSpan,
+              a.test_id + 1);
+          out.hub->spans.attr_f64(span, "truth_mbps", a.truth_mbps);
+          out.hub->spans.attr_f64(span, "rate_mbps", a.rate_mbps);
+          out.hub->spans.end(span, te);
+        }
       }
       if (out.want_health) {
         out.health.note_arrival(static_cast<double>(a.second));
@@ -245,6 +342,28 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
     if (load > fleet_capacity) ++overload_seconds;
   }
 
+  if (config.obs != nullptr && !shards.empty() && shards[0].hub != nullptr) {
+    // The merge target can itself rotate: its segments take the index one
+    // past the last shard, so concat order stays (shard, segment).
+    ShardSpill merge_spill;
+    if (!config.obs_spill_dir.empty()) {
+      merge_spill.attach(*config.obs, config.obs_spill_dir, shards.size());
+    }
+    for (const AnalyticShard& shard : shards) {
+      config.obs->merge_from(*shard.hub);
+    }
+    // Shard concatenation order depends on the partition; the canonical
+    // content order does not. After this, the sampled artifact renders
+    // byte-identically for every shard count (DESIGN.md §12).
+    config.obs->tracer.sort_canonical();
+    config.obs->spans.sort_canonical();
+    std::vector<ShardSpill> spills;
+    for (AnalyticShard& shard : shards) spills.push_back(std::move(shard.spill));
+    spills.push_back(std::move(merge_spill));
+    concat_spill(spills, /*trace_stream=*/true, config.obs_spill_dir);
+    concat_spill(spills, /*trace_stream=*/false, config.obs_spill_dir);
+  }
+
   if (config.health != nullptr) {
     std::vector<const obs::health::SampleLog*> logs;
     logs.reserve(shards.size());
@@ -292,6 +411,9 @@ struct PacketShard {
   std::unique_ptr<obs::Hub> hub;  // mirror of config.obs; null when disabled
   obs::health::SampleLog health;
   bool want_health = false;
+  ShardSpill spill;
+  obs::SamplingPolicy policy;  // per-shard copy; may degrade under budget
+  obs::ShardTelemetry telemetry;
 };
 
 void run_packet_shard(std::span<const Arrival> arrivals,
@@ -344,6 +466,11 @@ void run_packet_shard(std::span<const Arrival> arrivals,
     if (health != nullptr) {
       health->note_arrival(static_cast<double>(a.second));
     }
+    if (config.resource != nullptr) config.resource->add_tests(1);
+    // Whole-test sampling: keyed on the global draw index, so the decision
+    // is identical for every shard count and jobs value. With the default
+    // 1/1 policy every test is sampled and nothing below changes.
+    const bool sampled_test = out.policy.sampled(a.test_id);
     Slot* slot = nullptr;
     for (auto& candidate : slots) {
       if (!candidate->busy) {
@@ -357,7 +484,9 @@ void run_packet_shard(std::span<const Arrival> arrivals,
         if (auto* hub = sched.obs()) {
           hub->metrics.counter("fleet.tests_dropped").inc();
         }
-        trace_fleet("fleet.test_dropped", a.first_server, a.rate_mbps);
+        if (sampled_test) {
+          trace_fleet("fleet.test_dropped", a.first_server, a.rate_mbps);
+        }
         obs::logf(obs::LogLevel::kWarn,
                   "fleet_sim: arrival dropped, all %zu client slots busy",
                   slots.size());
@@ -370,9 +499,18 @@ void run_packet_shard(std::span<const Arrival> arrivals,
     slot->busy = true;
     ++busy_slots;
     note_concurrency();
-    if (auto* hub = sched.obs()) hub->metrics.counter("fleet.tests_started").inc();
-    trace_fleet("fleet.test_start", slot->client_index, a.rate_mbps);
+    if (auto* hub = sched.obs()) {
+      hub->metrics.counter("fleet.tests_started").inc();
+      if (sampled_test && out.policy.enabled()) {
+        hub->metrics.counter("fleet.tests_sampled").inc();
+      }
+    }
+    if (sampled_test) trace_fleet("fleet.test_start", slot->client_index, a.rate_mbps);
     netsim::ClientContext& ctx = testbed.client(slot->client_index);
+    // The suppression flag persists across the context's rebinds for the
+    // whole test; every span this test's client (or the wire protocol under
+    // it) would begin becomes a no-op when unsampled.
+    ctx.spans().set_suppressed(!sampled_test);
     ctx.access_link().set_rate(core::Bandwidth::mbps(a.truth_mbps));
 
     swift::SwiftestConfig wc_cfg;
@@ -389,11 +527,14 @@ void run_packet_shard(std::span<const Arrival> arrivals,
     }
     sctx.push(slot->span);
     slot->wire->start(ctx, [slot, &sched, &busy_slots, &note_concurrency,
-                            &trace_fleet, health, a](const bts::BtsResult& r) {
+                            &trace_fleet, health, a,
+                            sampled_test](const bts::BtsResult& r) {
       slot->busy = false;
       --busy_slots;
       note_concurrency();
-      trace_fleet("fleet.test_done", slot->client_index, r.bandwidth_mbps);
+      if (sampled_test) {
+        trace_fleet("fleet.test_done", slot->client_index, r.bandwidth_mbps);
+      }
       if (auto* hub = sched.obs()) {
         hub->spans.attr_f64(slot->span, "estimate_mbps", r.bandwidth_mbps);
         hub->spans.end(slot->span, sched.now());
@@ -462,6 +603,9 @@ void run_packet_shard(std::span<const Arrival> arrivals,
     // fleet-wide utilization, which only the merge can see — record this
     // shard's contribution per window and let the merge sum and threshold.
     out.window_total_util.push_back(total_util);
+    // Budget check once per window: a deterministic sim-time cadence, so
+    // degradation points depend only on (workload, shards, budget).
+    out.policy.note_footprint(obs_footprint_bytes(sched.obs(), out.health));
     ++windows_elapsed;
     if (static_cast<std::int64_t>(windows_elapsed) * config.window_seconds <
         total_seconds) {
@@ -475,6 +619,21 @@ void run_packet_shard(std::span<const Arrival> arrivals,
 
   // Protocol-level per-server load balance (sessions, probe egress).
   if (health != nullptr) fleet.record_health(*health);
+
+  // Scheduler-side self-telemetry, captured before the testbed dies with
+  // this frame (the common fields are filled by the caller).
+  const netsim::Scheduler::AllocStats alloc = sched.alloc_stats();
+  const netsim::CalendarEventQueue::Stats cal = sched.calendar_stats();
+  out.telemetry.events_executed = sched.events_executed();
+  out.telemetry.slab_slots = alloc.slab_slots;
+  out.telemetry.callback_heap_fallbacks = alloc.callback_heap_fallbacks;
+  out.telemetry.payload_nodes = alloc.payload_nodes;
+  out.telemetry.payload_heap_spills = alloc.payload_heap_spills;
+  out.telemetry.transit_nodes = alloc.transit_nodes;
+  out.telemetry.transit_peak_live = alloc.transit_peak_live;
+  out.telemetry.calendar_sweeps = cal.sweeps;
+  out.telemetry.calendar_rebases = cal.rebases;
+  out.telemetry.calendar_far_pushes = cal.far_pushes;
 }
 
 FleetSimResult merge_packet(std::vector<PacketShard>& shards,
@@ -515,9 +674,26 @@ FleetSimResult merge_packet(std::vector<PacketShard>& shards,
   }
 
   if (config.obs != nullptr) {
+    ShardSpill merge_spill;
+    if (!config.obs_spill_dir.empty()) {
+      merge_spill.attach(*config.obs, config.obs_spill_dir, shards.size());
+    }
     for (const PacketShard& shard : shards) {
       if (shard.hub != nullptr) config.obs->merge_from(*shard.hub);
     }
+    if (config.sample.enabled() || config.obs_budget_mb > 0) {
+      // Canonical content order, as in the analytic merge. The packet
+      // backend's event *content* still differs across shard counts (shards
+      // lose cross-shard egress contention), so unlike the analytic path
+      // this only guarantees independence from --jobs.
+      config.obs->tracer.sort_canonical();
+      config.obs->spans.sort_canonical();
+    }
+    std::vector<ShardSpill> spills;
+    for (PacketShard& shard : shards) spills.push_back(std::move(shard.spill));
+    spills.push_back(std::move(merge_spill));
+    concat_spill(spills, /*trace_stream=*/true, config.obs_spill_dir);
+    concat_spill(spills, /*trace_stream=*/false, config.obs_spill_dir);
   }
 
   if (config.health != nullptr) {
@@ -546,6 +722,28 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
   const std::size_t shard_count = std::max<std::size_t>(1, config.shards);
   const std::size_t jobs = std::max<std::size_t>(1, config.jobs);
 
+  const auto run_start = std::chrono::steady_clock::now();
+  if (config.resource != nullptr) config.resource->begin_run(shard_count);
+  const auto finish_resource = [&] {
+    if (config.resource == nullptr) return;
+    config.resource->finish_run(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - run_start)
+                                    .count());
+  };
+
+  // Per-shard sampling policy: salted with the run seed, budget split evenly
+  // so the per-shard slice is a pure function of (budget, shards). A budget
+  // without an explicit sample spec starts at 1/1 and only degrades if the
+  // footprint actually exceeds the slice.
+  obs::SamplingPolicy base_policy = config.sample;
+  base_policy.set_salt(config.seed);
+  if (config.obs_budget_mb > 0) {
+    base_policy.set_budget_bytes(config.obs_budget_mb * 1024ull * 1024ull /
+                                 static_cast<std::uint64_t>(shard_count));
+  }
+  const bool sampling_active =
+      base_policy.enabled() || config.obs_budget_mb > 0;
+
   const std::vector<Arrival> workload =
       generate_workload(population, registry, config);
 
@@ -564,34 +762,106 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
 
   if (config.backend == FleetBackend::kPacket && config.server_uplink_mbps > 0.0) {
     std::vector<PacketShard> outputs(shard_count);
-    for (PacketShard& out : outputs) {
-      if (config.obs != nullptr) out.hub = obs::Hub::mirror_of(*config.obs);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      PacketShard& out = outputs[s];
       out.want_health = config.health != nullptr;
+      out.policy = base_policy;
+      if (config.obs != nullptr) {
+        out.hub = obs::Hub::mirror_of(*config.obs);
+        out.spill.attach(*out.hub, config.obs_spill_dir, s);
+        if (sampling_active) {
+          // Server sessions key on the wire nonce; unsampled tests never
+          // register an anchor, so sampled mode drops their orphan roots.
+          out.hub->spans.set_sampled_mode(true);
+          // Span ids are store-local and partition-dependent; the begin/end
+          // tracer mirror would leak them into the merged trace, so under
+          // sampling spans mirror into metrics only.
+          out.hub->spans.set_sinks(nullptr, &out.hub->metrics);
+        }
+      }
     }
     {
       obs::ProfScope prof(config.prof, "fleet.replay_packet");
       run_shards(shard_count, jobs, [&](std::size_t s) {
+        const auto t0 = std::chrono::steady_clock::now();
         run_packet_shard(parts[s], registry, config,
                          core::stream_seed(config.seed ^ kTestbedSeedSalt, s),
                          outputs[s]);
+        PacketShard& out = outputs[s];
+        obs::ShardTelemetry& t = out.telemetry;
+        t.shard = s;
+        t.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        t.tests = out.tests_simulated;
+        t.health_dropped = out.health.dropped();
+        t.sample_degradations = out.policy.degradations();
+        if (out.hub != nullptr) {
+          t.trace_dropped = out.hub->tracer.dropped();
+          t.trace_spilled = out.hub->tracer.spilled();
+          t.span_dropped = out.hub->spans.dropped();
+          t.span_spilled = out.hub->spans.spilled();
+        }
+        if (config.resource != nullptr) {
+          config.resource->record_shard(t);
+          config.resource->note_shard_done();
+          config.resource->sample_usage();
+        }
       });
     }
     obs::ProfScope prof(config.prof, "fleet.merge");
-    return merge_packet(outputs, config);
+    result = merge_packet(outputs, config);
+    finish_resource();
+    return result;
   }
 
   std::vector<AnalyticShard> outputs(shard_count);
-  for (AnalyticShard& out : outputs) {
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    AnalyticShard& out = outputs[s];
     out.want_health = config.health != nullptr;
+    out.policy = base_policy;
+    // The analytic backend emits observability only under sampling (or a
+    // budget): its legacy contract is "no obs emission", and the sampled
+    // fleet.test events/spans are the artifact the byte-identity gate pins.
+    if (config.obs != nullptr && sampling_active) {
+      out.hub = obs::Hub::mirror_of(*config.obs);
+      out.spill.attach(*out.hub, config.obs_spill_dir, s);
+      // Analytic fleet.test spans root their trace trees explicitly, so
+      // sampled mode stays off; only the id-leaking tracer mirror goes.
+      out.hub->spans.set_sinks(nullptr, &out.hub->metrics);
+    }
   }
   {
     obs::ProfScope prof(config.prof, "fleet.replay_analytic");
     run_shards(shard_count, jobs, [&](std::size_t s) {
+      const auto t0 = std::chrono::steady_clock::now();
       run_analytic_shard(parts[s], config, outputs[s]);
+      AnalyticShard& out = outputs[s];
+      obs::ShardTelemetry& t = out.telemetry;
+      t.shard = s;
+      t.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      t.tests = out.tests;
+      t.health_dropped = out.health.dropped();
+      t.sample_degradations = out.policy.degradations();
+      if (out.hub != nullptr) {
+        t.trace_dropped = out.hub->tracer.dropped();
+        t.trace_spilled = out.hub->tracer.spilled();
+        t.span_dropped = out.hub->spans.dropped();
+        t.span_spilled = out.hub->spans.spilled();
+      }
+      if (config.resource != nullptr) {
+        config.resource->record_shard(t);
+        config.resource->note_shard_done();
+        config.resource->sample_usage();
+      }
     });
   }
   obs::ProfScope prof(config.prof, "fleet.merge");
-  return merge_analytic(outputs, config);
+  result = merge_analytic(outputs, config);
+  finish_resource();
+  return result;
 }
 
 }  // namespace swiftest::deploy

@@ -10,12 +10,15 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "dataset/record.hpp"
 #include "obs/health/monitor.hpp"
 #include "obs/hub.hpp"
 #include "obs/prof.hpp"
+#include "obs/resource.hpp"
+#include "obs/sampling.hpp"
 #include "stats/descriptive.hpp"
 #include "swiftest/model_registry.hpp"
 
@@ -76,6 +79,30 @@ struct FleetSimConfig {
   /// timed under fleet.* categories. Host-time only — never part of the
   /// deterministic result or health report.
   obs::ProfRegistry* prof = nullptr;
+  /// Deterministic whole-test observability sampling (DESIGN.md §12). When
+  /// enabled (denominator > 1) and `obs` is attached, each test's trace
+  /// events and spans are retained iff sampled(test_id) — test_id is the
+  /// global workload draw index, so the sampled artifact is a pure function
+  /// of (seed, workload) and byte-identical for every `jobs` value and, with
+  /// the analytic backend, every shard count (the merge canonicalizes event
+  /// and span order). The salt is overridden with this config's seed.
+  /// Disabled (1/1) keeps the legacy retain-everything behavior untouched.
+  obs::SamplingPolicy sample;
+  /// Total observability memory budget in MB, split evenly across shards;
+  /// 0 = unlimited. When a shard's deterministic obs footprint (trace ring +
+  /// span store + health log capacity) exceeds its slice, the shard's
+  /// sampling denominator doubles — recorded in obs.sample_degradations —
+  /// instead of the run growing without bound. Keyed on store footprint,
+  /// never RSS, so degradation points are host-independent.
+  std::uint64_t obs_budget_mb = 0;
+  /// Directory for rotating spill segments (must exist; empty disables
+  /// spilling). Full trace rings and span stores flush whole segments here
+  /// instead of dropping; the merge concatenates them in (shard, segment)
+  /// order into <dir>/trace.spill.jsonl and <dir>/spans.spill.jsonl.
+  std::string obs_spill_dir;
+  /// Optional resource self-telemetry: per-shard occupancy/drop/spill
+  /// counters and host wall/RSS measurements land here (obs/resource.hpp).
+  obs::ResourceMonitor* resource = nullptr;
 };
 
 struct FleetSimResult {

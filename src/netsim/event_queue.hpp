@@ -85,11 +85,24 @@ class CalendarEventQueue {
     horizon_end_ = span();
   }
 
+  /// Structural activity counters for resource self-telemetry: how often the
+  /// ring swept buckets, rebased its window, or routed keys to the slow
+  /// heaps. Deterministic for a deterministic event sequence.
+  struct Stats {
+    std::uint64_t sweeps = 0;           // buckets swept into the active heap
+    std::uint64_t rebases = 0;          // window jumps to the far heap
+    std::uint64_t far_pushes = 0;       // keys pushed beyond the horizon
+    std::uint64_t underflow_pushes = 0; // keys pushed before base
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
   void push(const EventKey& key) {
     ++size_;
     if (key.when >= horizon_end_) {
+      ++stats_.far_pushes;
       far_.push(key);
     } else if (key.when < base_) {
+      ++stats_.underflow_pushes;
       underflow_.push(key);
     } else if (key.when < swept_end_) {
       // The sweep cursor has already passed this key's bucket in the current
@@ -147,6 +160,7 @@ class CalendarEventQueue {
       for (const EventKey& key : bucket) active_.push(key);
       ring_count_ -= bucket.size();
       bucket.clear();
+      ++stats_.sweeps;
       // Buckets skipped above were empty, so every ring key still ahead of
       // the cursor is >= swept_end_ — late pushes below it go to active_.
       swept_end_ = bucket_start(cursor_) + (core::SimTime{1} << width_shift_);
@@ -159,6 +173,7 @@ class CalendarEventQueue {
   /// ring. Keys only ever move far -> ring, so `size_` is untouched.
   void rebase_from_far() {
     assert(!far_.empty());
+    ++stats_.rebases;
     base_ = (far_.top().when >> width_shift_) << width_shift_;
     horizon_end_ = base_ + span();
     cursor_ = bucket_of(base_);
@@ -196,6 +211,7 @@ class CalendarEventQueue {
   EventKeyHeap active_;     // swept keys plus late arrivals below swept_end_
   EventKeyHeap underflow_;  // keys scheduled before base_ (post-rebase gap)
   EventKeyHeap far_;        // keys at or beyond the horizon
+  Stats stats_;
 };
 
 }  // namespace swiftest::netsim

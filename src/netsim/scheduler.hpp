@@ -177,11 +177,20 @@ class Scheduler {
     std::uint64_t payload_nodes = 0;       // payload arena slab capacity
     std::uint64_t payload_heap_spills = 0;  // payloads too big for a node
     std::uint64_t transit_nodes = 0;       // transit pool slab capacity
+    std::uint64_t transit_peak_live = 0;   // high-water mark of live transits
   };
   [[nodiscard]] AllocStats alloc_stats() const noexcept {
     const PayloadArena::Stats pa = payloads_.stats();
-    return AllocStats{slots_.size(),       size_,          fn_heap_fallbacks_,
-                      pa.nodes,            pa.heap_spills, transits_.capacity()};
+    return AllocStats{slots_.size(),  size_,          fn_heap_fallbacks_,
+                      pa.nodes,       pa.heap_spills, transits_.capacity(),
+                      transits_.peak_live()};
+  }
+
+  /// Calendar-ring activity counters for resource self-telemetry. All zeros
+  /// when this scheduler runs the reference heap front-end.
+  [[nodiscard]] CalendarEventQueue::Stats calendar_stats() const noexcept {
+    return front_end_ == FrontEnd::kCalendar ? calendar_.stats()
+                                             : CalendarEventQueue::Stats{};
   }
 
   /// Attaches (or detaches, with nullptr) an observability Hub. Every

@@ -52,6 +52,7 @@ class TransitPool {
     n.refs = 1;
     n.next = kTransitNil;
     ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
     return idx;
   }
 
@@ -75,6 +76,10 @@ class TransitPool {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  /// High-water mark of simultaneously live nodes — the pool occupancy the
+  /// resource monitor reports (capacity never shrinks, so peak ≈ capacity
+  /// once warm; the distinction matters for budget sizing).
+  [[nodiscard]] std::size_t peak_live() const noexcept { return peak_live_; }
 
  private:
   // deque: stable node addresses while the slab grows, so a TransitNode&
@@ -82,6 +87,7 @@ class TransitPool {
   std::deque<TransitNode> nodes_;
   std::uint32_t free_head_ = kTransitNil;
   std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
 };
 
 }  // namespace swiftest::netsim

@@ -52,23 +52,27 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
   out << "\n]}\n";
 }
 
+void append_trace_jsonl_line(std::string& out, const TraceEvent& ev) {
+  out += "{\"ts\":";
+  append_i64(out, ev.ts);
+  out += ",\"cat\":\"";
+  out += to_string(ev.category);
+  out += "\",\"k\":\"";
+  out += ev.kind == EventKind::kCounter ? 'C' : 'i';
+  out += "\",\"name\":\"";
+  out += ev.name;
+  out += "\",\"id\":";
+  append_u64(out, ev.id);
+  out += ",\"v\":";
+  append_double(out, ev.value);
+  out += "}\n";
+}
+
 void write_trace_jsonl(const Tracer& tracer, std::ostream& out) {
   std::string line;
   for (const TraceEvent& ev : tracer.events()) {
     line.clear();
-    line += "{\"ts\":";
-    append_i64(line, ev.ts);
-    line += ",\"cat\":\"";
-    line += to_string(ev.category);
-    line += "\",\"k\":\"";
-    line += ev.kind == EventKind::kCounter ? 'C' : 'i';
-    line += "\",\"name\":\"";
-    line += ev.name;
-    line += "\",\"id\":";
-    append_u64(line, ev.id);
-    line += ",\"v\":";
-    append_double(line, ev.value);
-    line += "}\n";
+    append_trace_jsonl_line(line, ev);
     out << line;
   }
 }

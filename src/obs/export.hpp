@@ -21,6 +21,11 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& out);
 /// Compact JSONL: one JSON object per event per line, oldest first.
 void write_trace_jsonl(const Tracer& tracer, std::ostream& out);
 
+/// Appends one event's JSONL line (newline included) — the exact line format
+/// write_trace_jsonl emits, shared with the spill writer so spilled segments
+/// concatenate seamlessly with the exported remainder.
+void append_trace_jsonl_line(std::string& out, const TraceEvent& event);
+
 /// Metrics snapshot as one JSON document:
 /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out);

@@ -4,7 +4,13 @@
 
 namespace swiftest::obs::health {
 
+std::uint64_t SampleLog::approx_bytes() const noexcept {
+  return arrivals_.capacity() * sizeof(double) +
+         entries_.capacity() * sizeof(Entry);
+}
+
 void SampleLog::record_test(const TestSample& sample) {
+  if (!admit_entry()) return;
   Entry e;
   e.kind = Entry::Kind::kTest;
   e.duration_s = sample.duration_s;
@@ -15,6 +21,7 @@ void SampleLog::record_test(const TestSample& sample) {
 }
 
 void SampleLog::record_egress_utilization(std::uint64_t server, double util_pct) {
+  if (!admit_entry()) return;
   Entry e;
   e.kind = Entry::Kind::kEgress;
   e.server = server;
@@ -24,6 +31,7 @@ void SampleLog::record_egress_utilization(std::uint64_t server, double util_pct)
 
 void SampleLog::record(std::string_view metric, double value,
                        std::span<const std::string> dimensions) {
+  if (!admit_entry()) return;
   Entry e;
   e.kind = Entry::Kind::kRecord;
   e.metric = std::string(metric);

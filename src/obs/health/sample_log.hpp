@@ -26,9 +26,26 @@
 
 namespace swiftest::obs::health {
 
+// A log is bounded: at most `capacity` buffered samples and `capacity`
+// buffered arrivals (kDefaultCapacity = 4M each, far above any tier-1 run
+// but a hard ceiling for fleet-scale days). Overflow policy is drop-newest:
+// the buffered prefix replays verbatim — exactly what an unbounded log
+// would have replayed first — and everything past the cap is counted in
+// dropped() so the merge stage can surface the loss instead of OOMing.
 class SampleLog final : public HealthSink {
  public:
-  void note_arrival(double t_seconds) override { arrivals_.push_back(t_seconds); }
+  static constexpr std::size_t kDefaultCapacity = 1u << 22;
+
+  explicit SampleLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void note_arrival(double t_seconds) override {
+    if (arrivals_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    arrivals_.push_back(t_seconds);
+  }
   void record_test(const TestSample& sample) override;
   void record_egress_utilization(std::uint64_t server, double util_pct) override;
   void record(std::string_view metric, double value,
@@ -46,6 +63,13 @@ class SampleLog final : public HealthSink {
   void replay_samples(HealthSink& sink) const;
 
   [[nodiscard]] std::size_t sample_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Arrivals plus samples refused because the log was at capacity.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Rough in-memory footprint (for budget accounting): buffer capacity
+  /// only; per-entry string payloads are not walked.
+  [[nodiscard]] std::uint64_t approx_bytes() const noexcept;
 
   /// Merges the arrival streams of `logs` by time — stable, so ties keep
   /// shard order — and feeds them into `sink`.
@@ -65,6 +89,17 @@ class SampleLog final : public HealthSink {
     std::vector<std::string> dimensions;  // kTest / kRecord
   };
 
+  /// True when another entry fits; counts the drop otherwise.
+  bool admit_entry() {
+    if (entries_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    return true;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
   std::vector<double> arrivals_;
   std::vector<Entry> entries_;
 };

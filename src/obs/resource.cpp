@@ -1,0 +1,191 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+namespace swiftest::obs {
+namespace {
+
+double page_size_mb() {
+  static const double mb =
+      static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+  return mb;
+}
+
+/// VmHWM from /proc/self/status, in MB; 0 when unavailable.
+double read_vm_hwm_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    double kb = 0.0;
+    fields >> kb;
+    return kb / 1024.0;
+  }
+  return 0.0;
+}
+
+std::string format_mb(double mb) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", mb);
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+}  // namespace
+
+ResourceUsage read_resource_usage() {
+  ResourceUsage usage;
+  std::ifstream statm("/proc/self/statm");
+  if (statm) {
+    std::uint64_t total_pages = 0;
+    std::uint64_t resident_pages = 0;
+    statm >> total_pages >> resident_pages;
+    usage.rss_mb = static_cast<double>(resident_pages) * page_size_mb();
+  }
+  usage.peak_rss_mb = read_vm_hwm_mb();
+  if (usage.peak_rss_mb < usage.rss_mb) usage.peak_rss_mb = usage.rss_mb;
+  return usage;
+}
+
+void ResourceMonitor::begin_run(std::size_t shard_count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shard_count_ = shard_count;
+  tests_done_.store(0, std::memory_order_relaxed);
+  shards_done_.store(0, std::memory_order_relaxed);
+  total_wall_seconds_ = 0.0;
+  peak_rss_mb_ = 0.0;
+  shards_.clear();
+}
+
+ResourceUsage ResourceMonitor::sample_usage() {
+  const ResourceUsage usage = read_resource_usage();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (usage.peak_rss_mb > peak_rss_mb_) peak_rss_mb_ = usage.peak_rss_mb;
+  return usage;
+}
+
+std::string ResourceMonitor::progress_line() {
+  const ResourceUsage usage = sample_usage();
+  std::size_t shard_count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shard_count = shard_count_;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "fleet: %llu tests | shards %llu/%zu | rss %.1f MB (peak %.1f)",
+                static_cast<unsigned long long>(tests_done()),
+                static_cast<unsigned long long>(shards_done()), shard_count,
+                usage.rss_mb, usage.peak_rss_mb);
+  return buf;
+}
+
+void ResourceMonitor::record_shard(const ShardTelemetry& telemetry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(telemetry);
+}
+
+void ResourceMonitor::finish_run(double wall_seconds) {
+  sample_usage();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  total_wall_seconds_ = wall_seconds;
+}
+
+std::vector<ShardTelemetry> ResourceMonitor::shard_telemetry() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shards_;
+}
+
+double ResourceMonitor::peak_rss_mb() {
+  sample_usage();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_rss_mb_;
+}
+
+ShardTelemetry ResourceMonitor::totals_locked() const {
+  ShardTelemetry total;
+  for (const ShardTelemetry& t : shards_) {
+    total.tests += t.tests;
+    total.events_executed += t.events_executed;
+    total.slab_slots += t.slab_slots;
+    total.callback_heap_fallbacks += t.callback_heap_fallbacks;
+    total.payload_nodes += t.payload_nodes;
+    total.payload_heap_spills += t.payload_heap_spills;
+    total.transit_nodes += t.transit_nodes;
+    total.transit_peak_live += t.transit_peak_live;
+    total.calendar_sweeps += t.calendar_sweeps;
+    total.calendar_rebases += t.calendar_rebases;
+    total.calendar_far_pushes += t.calendar_far_pushes;
+    total.trace_dropped += t.trace_dropped;
+    total.trace_spilled += t.trace_spilled;
+    total.span_dropped += t.span_dropped;
+    total.span_spilled += t.span_spilled;
+    total.health_dropped += t.health_dropped;
+    total.sample_degradations += t.sample_degradations;
+  }
+  return total;
+}
+
+void ResourceMonitor::export_metrics(MetricsRegistry& metrics) const {
+  ShardTelemetry total;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total = totals_locked();
+  }
+  const auto put = [&metrics](const char* name, std::uint64_t value) {
+    if (value > 0) metrics.counter(name).inc(value);
+  };
+  put("obs.resource.slab_slots", total.slab_slots);
+  put("obs.resource.callback_heap_fallbacks", total.callback_heap_fallbacks);
+  put("obs.resource.payload_nodes", total.payload_nodes);
+  put("obs.resource.payload_heap_spills", total.payload_heap_spills);
+  put("obs.resource.transit_nodes", total.transit_nodes);
+  put("obs.resource.transit_peak_live", total.transit_peak_live);
+  put("obs.resource.calendar_sweeps", total.calendar_sweeps);
+  put("obs.resource.calendar_rebases", total.calendar_rebases);
+  put("obs.resource.calendar_far_pushes", total.calendar_far_pushes);
+  // Trace/span drop and spill counts are NOT exported here: the post-merge
+  // hub carries them (merge_from sums shard counts) and the CLI surfaces
+  // those directly — exporting both would double-count.
+  put("obs.health_dropped", total.health_dropped);
+  put("obs.sample_degradations", total.sample_degradations);
+}
+
+void ResourceMonitor::append_report_meta(health::ReportMeta& meta) {
+  sample_usage();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const ShardTelemetry total = totals_locked();
+  meta.emplace_back("obs.peak_rss_mb", format_mb(peak_rss_mb_));
+  meta.emplace_back("obs.wall_s", format_seconds(total_wall_seconds_));
+  std::string per_shard;
+  for (const ShardTelemetry& t : shards_) {
+    if (!per_shard.empty()) per_shard += ",";
+    per_shard += format_seconds(t.wall_seconds);
+  }
+  meta.emplace_back("obs.shard_wall_s", per_shard);
+  meta.emplace_back("obs.events_executed", std::to_string(total.events_executed));
+  meta.emplace_back("obs.slab_slots", std::to_string(total.slab_slots));
+  meta.emplace_back("obs.transit_nodes", std::to_string(total.transit_nodes));
+  meta.emplace_back("obs.transit_peak_live",
+                    std::to_string(total.transit_peak_live));
+  meta.emplace_back("obs.calendar_sweeps", std::to_string(total.calendar_sweeps));
+  // Trace/span drop/spill counts are surfaced from the merged hub (the CLI
+  // adds only-nonzero meta entries); duplicating them here would produce
+  // conflicting keys in the same report.
+  meta.emplace_back("obs.health_dropped", std::to_string(total.health_dropped));
+  meta.emplace_back("obs.sample_degradations",
+                    std::to_string(total.sample_degradations));
+}
+
+}  // namespace swiftest::obs

@@ -1,0 +1,133 @@
+// Resource self-telemetry: what observing (and running) the fleet costs.
+//
+// A measurement platform must account for its own overhead (PAPERS.md,
+// "Internet Speed Measurement: Current Challenges and Future
+// Recommendations"); this monitor is that accounting for the reproduction.
+// It collects two strictly separated kinds of signal:
+//
+//  * Deterministic counters — per-shard slab/transit-pool occupancy,
+//    calendar-queue sweep stats, trace/span drop + spill counts, sampling
+//    degradations. These are a pure function of (workload, shards) and may
+//    land in the metrics registry and health report.
+//  * Host measurements — RSS / peak RSS (/proc/self/statm + VmHWM), per-shard
+//    and total wall time. Like ProfScope, these NEVER enter deterministic
+//    artifacts; they surface only in the health report's meta block (opt-in)
+//    and the live `--progress` stderr line.
+//
+// The progress side (tests done, shards done, RSS sample) is thread-safe so
+// a CLI progress thread can poll it while shard workers run; the telemetry
+// side is recorded per shard under a mutex as each shard finishes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/health/report.hpp"
+#include "obs/metrics.hpp"
+
+namespace swiftest::obs {
+
+/// A point-in-time memory reading for this process. Zeros when /proc is
+/// unavailable (non-Linux hosts) — callers treat 0 as "unknown".
+struct ResourceUsage {
+  double rss_mb = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+/// Reads current and peak RSS from /proc/self/statm and /proc/self/status.
+[[nodiscard]] ResourceUsage read_resource_usage();
+
+/// Everything one finished shard reports. Wall time is host-dependent; all
+/// other fields are deterministic for a fixed (workload, shards).
+struct ShardTelemetry {
+  std::size_t shard = 0;
+  double wall_seconds = 0.0;  // host time; never in deterministic artifacts
+  std::uint64_t tests = 0;
+  std::uint64_t events_executed = 0;
+  // Scheduler / pool occupancy (zero for the analytic backend).
+  std::uint64_t slab_slots = 0;
+  std::uint64_t callback_heap_fallbacks = 0;
+  std::uint64_t payload_nodes = 0;
+  std::uint64_t payload_heap_spills = 0;
+  std::uint64_t transit_nodes = 0;
+  std::uint64_t transit_peak_live = 0;
+  std::uint64_t calendar_sweeps = 0;
+  std::uint64_t calendar_rebases = 0;
+  std::uint64_t calendar_far_pushes = 0;
+  // Per-store loss/spill accounting.
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t trace_spilled = 0;
+  std::uint64_t span_dropped = 0;
+  std::uint64_t span_spilled = 0;
+  std::uint64_t health_dropped = 0;
+  std::uint64_t sample_degradations = 0;
+};
+
+class ResourceMonitor {
+ public:
+  /// Resets the monitor for a run of `shard_count` shards.
+  void begin_run(std::size_t shard_count);
+
+  // -- progress side (thread-safe, called from shard workers / poller) -----
+
+  void add_tests(std::uint64_t n) noexcept {
+    tests_done_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_shard_done() noexcept {
+    shards_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tests_done() const noexcept {
+    return tests_done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shards_done() const noexcept {
+    return shards_done_.load(std::memory_order_relaxed);
+  }
+
+  /// Samples RSS now and folds it into the tracked peak. Thread-safe.
+  ResourceUsage sample_usage();
+
+  /// One-line run status for the --progress stderr line, e.g.
+  /// "fleet: 10234 tests | shards 3/4 | rss 182.4 MB (peak 201.7)".
+  [[nodiscard]] std::string progress_line();
+
+  // -- telemetry side ------------------------------------------------------
+
+  void record_shard(const ShardTelemetry& telemetry);
+
+  /// Marks the run finished; records total wall seconds.
+  void finish_run(double wall_seconds);
+
+  [[nodiscard]] std::vector<ShardTelemetry> shard_telemetry() const;
+
+  /// Highest RSS ever observed by sample_usage() (or the kernel's VmHWM,
+  /// whichever is larger).
+  [[nodiscard]] double peak_rss_mb();
+
+  /// Exports the deterministic counters (occupancy, drops, spills,
+  /// degradations — summed over shards) into `metrics`. Only-nonzero
+  /// counters are written so runs that never drop stay artifact-compatible.
+  void export_metrics(MetricsRegistry& metrics) const;
+
+  /// Appends the full self-telemetry — deterministic counters AND host
+  /// measurements (peak RSS, per-shard wall times) — as health-report meta
+  /// entries. Opt-in: callers only attach this when the user asked for
+  /// resource telemetry, since wall/RSS values differ between hosts.
+  void append_report_meta(health::ReportMeta& meta);
+
+ private:
+  [[nodiscard]] ShardTelemetry totals_locked() const;
+
+  std::atomic<std::uint64_t> tests_done_{0};
+  std::atomic<std::uint64_t> shards_done_{0};
+  std::size_t shard_count_ = 0;
+  double total_wall_seconds_ = 0.0;
+  double peak_rss_mb_ = 0.0;
+  std::vector<ShardTelemetry> shards_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace swiftest::obs

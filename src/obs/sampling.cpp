@@ -1,0 +1,38 @@
+#include "obs/sampling.hpp"
+
+namespace swiftest::obs {
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<SamplingPolicy> SamplingPolicy::parse(std::string_view spec) {
+  std::string_view denom = spec;
+  if (const auto slash = spec.find('/'); slash != std::string_view::npos) {
+    if (spec.substr(0, slash) != "1") return std::nullopt;
+    denom = spec.substr(slash + 1);
+  }
+  std::uint64_t n = 0;
+  if (!parse_u64(denom, n) || n == 0 || n > kMaxDenominator) return std::nullopt;
+  SamplingPolicy policy;
+  policy.set_denominator(n);
+  return policy;
+}
+
+std::string SamplingPolicy::describe() const {
+  return "1/" + std::to_string(denominator_);
+}
+
+}  // namespace swiftest::obs

@@ -33,6 +33,41 @@ std::vector<SpanData> to_span_data(const SpanStore& store) {
   return out;
 }
 
+void append_span_json(std::string& out, const SpanRecord& record) {
+  out += "{\"id\":";
+  append_u64(out, record.id);
+  out += ",\"parent\":";
+  append_u64(out, record.parent);
+  out += ",\"trace\":";
+  append_u64(out, record.trace_id);
+  out += ",\"name\":";
+  append_json_string(out, record.name);
+  out += ",\"cat\":\"";
+  out += to_string(record.category);
+  out += "\",\"start\":";
+  append_i64(out, record.start);
+  out += ",\"end\":";
+  append_i64(out, record.end);
+  out += ",\"closed\":";
+  out += record.closed ? "true" : "false";
+  if (record.attr_count > 0) {
+    out += ",\"attrs\":{";
+    for (std::size_t i = 0; i < record.attr_count; ++i) {
+      const SpanAttr& attr = record.attrs[i];
+      if (i > 0) out += ",";
+      append_json_string(out, attr.key);
+      out += ":";
+      if (attr.type == SpanAttr::Type::kU64) {
+        append_u64(out, attr.u64);
+      } else {
+        append_double(out, attr.f64);
+      }
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
 void write_spans_json(const SpanStore& store, std::ostream& out) {
   std::string line = "{\"spans\":[\n";
   out << line;
@@ -41,38 +76,7 @@ void write_spans_json(const SpanStore& store, std::ostream& out) {
     line.clear();
     if (!first) line += ",\n";
     first = false;
-    line += "{\"id\":";
-    append_u64(line, record.id);
-    line += ",\"parent\":";
-    append_u64(line, record.parent);
-    line += ",\"trace\":";
-    append_u64(line, record.trace_id);
-    line += ",\"name\":";
-    append_json_string(line, record.name);
-    line += ",\"cat\":\"";
-    line += to_string(record.category);
-    line += "\",\"start\":";
-    append_i64(line, record.start);
-    line += ",\"end\":";
-    append_i64(line, record.end);
-    line += ",\"closed\":";
-    line += record.closed ? "true" : "false";
-    if (record.attr_count > 0) {
-      line += ",\"attrs\":{";
-      for (std::size_t i = 0; i < record.attr_count; ++i) {
-        const SpanAttr& attr = record.attrs[i];
-        if (i > 0) line += ",";
-        append_json_string(line, attr.key);
-        line += ":";
-        if (attr.type == SpanAttr::Type::kU64) {
-          append_u64(line, attr.u64);
-        } else {
-          append_double(line, attr.f64);
-        }
-      }
-      line += "}";
-    }
-    line += "}";
+    append_span_json(line, record);
     out << line;
   }
   line = "\n],\"open\":";
@@ -83,6 +87,12 @@ void write_spans_json(const SpanStore& store, std::ostream& out) {
   tail.clear();
   append_u64(tail, store.dropped());
   line += tail;
+  if (store.spilled() > 0) {
+    line += ",\"spilled\":";
+    tail.clear();
+    append_u64(tail, store.spilled());
+    line += tail;
+  }
   line += "}\n";
   out << line;
 }

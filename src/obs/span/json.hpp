@@ -46,8 +46,15 @@ struct SpanData {
 /// Copies a live store's spans into the analyzer's owning form.
 [[nodiscard]] std::vector<SpanData> to_span_data(const SpanStore& store);
 
-/// Writes the span document for a store (deterministic bytes).
+/// Writes the span document for a store (deterministic bytes). Stores that
+/// spilled additionally carry a "spilled" count after "dropped"; stores that
+/// never spilled render exactly as before.
 void write_spans_json(const SpanStore& store, std::ostream& out);
+
+/// Appends one span's JSON object (no surrounding newline/comma) — the exact
+/// entry format of the "spans" array, shared with the spill writer so
+/// spilled JSONL segments use the same schema line by line.
+void append_span_json(std::string& out, const SpanRecord& record);
 
 /// Parses a span document. Returns nullopt (with a reason in `error`, when
 /// provided) on malformed JSON or a document without a "spans" array.

@@ -1,17 +1,67 @@
 #include "obs/span/span.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 namespace swiftest::obs::span {
 
+SpanRecord* SpanStore::find(SpanId id) noexcept {
+  if (id == kNoSpan || spans_.empty()) return nullptr;
+  const SpanId first = spans_.front().id;
+  if (id < first || id > spans_.back().id) return nullptr;
+  if (!gapped_) return &spans_[static_cast<std::size_t>(id - first)];
+  const auto it = std::lower_bound(
+      spans_.begin(), spans_.end(), id,
+      [](const SpanRecord& r, SpanId value) { return r.id < value; });
+  return it != spans_.end() && it->id == id ? &*it : nullptr;
+}
+
+void SpanStore::make_room() {
+  if (spill_) {
+    // Rotate out the longest fully-closed prefix. Parents begin before and
+    // close after their children, so an open subtree is never split: the
+    // prefix stops at the oldest still-open span.
+    std::size_t closed = 0;
+    while (closed < spans_.size() && spans_[closed].closed) ++closed;
+    if (closed == 0) return;
+    spill_(spans_.data(), closed);
+    spilled_ += closed;
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + static_cast<std::ptrdiff_t>(closed));
+    return;
+  }
+  if (head_keep_ == 0 && tail_keep_ == 0) return;
+  // Head+tail retention: keep the first head_keep_ ids ever begun and the
+  // newest tail_keep_ records; evict the middle in one batch so eviction
+  // cost amortizes to O(1) per begin.
+  std::size_t head_n = 0;
+  while (head_n < spans_.size() && spans_[head_n].id <= head_keep_) ++head_n;
+  if (spans_.size() <= head_n + tail_keep_) return;
+  const std::size_t erase_end = spans_.size() - tail_keep_;
+  for (std::size_t i = head_n; i < erase_end; ++i) {
+    if (!spans_[i].closed) --open_;
+  }
+  dropped_ += erase_end - head_n;
+  spans_.erase(spans_.begin() + static_cast<std::ptrdiff_t>(head_n),
+               spans_.begin() + static_cast<std::ptrdiff_t>(erase_end));
+  gapped_ = true;
+}
+
 SpanId SpanStore::begin(core::SimTime ts, Category category, const char* name,
                         SpanId parent, std::uint64_t trace_id) {
+  if (sampled_mode_ && parent == kNoSpan && trace_id != 0 &&
+      anchors_.find(trace_id) == anchors_.end()) {
+    ++suppressed_;
+    return kNoSpan;
+  }
+  if (spans_.size() >= capacity_) make_room();
   if (spans_.size() >= capacity_) {
     ++dropped_;
     return kNoSpan;
   }
   SpanRecord record;
-  record.id = spans_.size() + 1;
+  record.id = next_id_++;
   record.parent = parent;
   record.name = name;
   record.category = category;
@@ -85,19 +135,68 @@ SpanId SpanStore::anchor(std::uint64_t trace_id) const {
 }
 
 void SpanStore::merge_from(const SpanStore& src) {
-  const SpanId offset = spans_.size();
+  // Parents always begin before their children, so by the time a child is
+  // copied its parent's new id is already in the remap (unless src spilled
+  // or evicted it — then the child becomes a root here, matching how the
+  // spill file keeps the original global ids).
+  std::map<SpanId, SpanId> remap;
   spans_.reserve(spans_.size() + src.spans_.size());
   for (const SpanRecord& r : src.spans_) {
     SpanRecord copy = r;
-    copy.id += offset;
-    if (copy.parent != kNoSpan) copy.parent += offset;
+    copy.id = next_id_++;
+    if (copy.parent != kNoSpan) {
+      const auto it = remap.find(copy.parent);
+      copy.parent = it == remap.end() ? kNoSpan : it->second;
+    }
+    remap.emplace(r.id, copy.id);
     spans_.push_back(copy);
   }
   for (const auto& [trace_id, id] : src.anchors_) {
-    anchors_.emplace(trace_id, id + offset);  // first registration wins
+    const auto it = remap.find(id);
+    if (it != remap.end()) {
+      anchors_.emplace(trace_id, it->second);  // first registration wins
+    }
   }
   dropped_ += src.dropped_;
+  spilled_ += src.spilled_;
+  suppressed_ += src.suppressed_;
   open_ += src.open_;
+  gapped_ = gapped_ || src.gapped_;
+}
+
+void SpanStore::sort_canonical() {
+  std::stable_sort(
+      spans_.begin(), spans_.end(), [](const SpanRecord& a, const SpanRecord& b) {
+        if (a.start != b.start) return a.start < b.start;
+        if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+        // Names are literals but MUST compare by content: the same literal
+        // has different addresses in different shard replicas.
+        if (const int c = std::strcmp(a.name, b.name); c != 0) return c < 0;
+        if (a.end != b.end) return a.end < b.end;
+        if (a.category != b.category) return a.category < b.category;
+        return a.closed != b.closed && !a.closed;
+        // Full content ties keep their (stable) order; identical records
+        // render identically either way.
+      });
+  std::map<SpanId, SpanId> remap;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    remap.emplace(spans_[i].id, static_cast<SpanId>(i + 1));
+  }
+  for (SpanRecord& r : spans_) {
+    r.id = remap[r.id];
+    if (r.parent != kNoSpan) {
+      const auto it = remap.find(r.parent);
+      r.parent = it == remap.end() ? kNoSpan : it->second;
+    }
+  }
+  anchors_.clear();
+  for (const SpanRecord& r : spans_) {
+    if (r.trace_id != 0 && r.parent == kNoSpan) {
+      anchors_.emplace(r.trace_id, r.id);  // first root per trace wins
+    }
+  }
+  next_id_ = static_cast<SpanId>(spans_.size()) + 1;
+  gapped_ = false;  // ids are 1..n in vector order again
 }
 
 }  // namespace swiftest::obs::span

@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -89,6 +90,34 @@ class SpanStore {
     metrics_ = metrics;
   }
 
+  /// Rotation sink: when set, a store that reaches capacity spills its
+  /// longest fully-closed prefix (in id order) through this callback and
+  /// frees that room, instead of refusing the begin. Spilled spans count in
+  /// spilled(), keep their global ids in the spill file, and become
+  /// invisible to find() — every later operation on a spilled id is a no-op.
+  using SpillFn = std::function<void(const SpanRecord*, std::size_t)>;
+  void set_spill(SpillFn fn) { spill_ = std::move(fn); }
+
+  /// Head+tail retention: with no spill sink, a full store keeps the first
+  /// `head` spans (by id) ever begun plus the newest spans, and evicts the
+  /// middle in batches (counted in dropped()) — so both the first and last
+  /// tests of a long run survive in the artifact. `head + tail` must leave
+  /// room below capacity or begins still drop. Zero/zero (the default) is
+  /// the legacy behavior: begins are refused once the store is full.
+  void set_retention(std::size_t head, std::size_t tail) noexcept {
+    head_keep_ = head;
+    tail_keep_ = tail;
+  }
+
+  /// Sampled mode (fleet sampling): a begin that would start a NEW trace
+  /// tree for an unknown trace_id — nonzero trace_id, no parent, no anchor
+  /// registered — is silently refused (counted in suppressed()). Unsampled
+  /// tests never register their anchor, so cross-component participants
+  /// (server sessions keyed on the wire nonce) drop out with them instead
+  /// of leaving orphan roots in the artifact.
+  void set_sampled_mode(bool on) noexcept { sampled_mode_ = on; }
+  [[nodiscard]] bool sampled_mode() const noexcept { return sampled_mode_; }
+
   /// Opens a span. Returns kNoSpan (and counts the drop) once the store is
   /// at capacity. `trace_id` 0 inherits the parent's trace id.
   SpanId begin(core::SimTime ts, Category category, const char* name,
@@ -112,41 +141,73 @@ class SpanStore {
   /// root, and the analyzer reports it as a separate tree.
   [[nodiscard]] SpanId anchor(std::uint64_t trace_id) const;
 
-  /// Appends every span of `src` with ids (and parent links) rebased past
-  /// this store's current size; anchors rebase the same way (first
-  /// registration still wins) and drop counts add. No sink mirroring — the
-  /// source store already mirrored into its own shard's tracer/metrics,
-  /// which merge separately. Merging a full source into an empty store
-  /// reproduces it record for record; an explicit merge may grow the store
-  /// past its begin() capacity.
+  /// Appends every retained span of `src` with fresh sequential ids (parent
+  /// links remapped; a parent that `src` spilled or evicted remaps to
+  /// kNoSpan); anchors remap the same way (first registration still wins)
+  /// and drop/spill counts add. No sink mirroring — the source store already
+  /// mirrored into its own shard's tracer/metrics, which merge separately.
+  /// Merging a full source into an empty store reproduces it record for
+  /// record; an explicit merge may grow the store past its begin() capacity.
   void merge_from(const SpanStore& src);
 
+  /// Reorders the retained spans into their content order — (start,
+  /// trace_id, name by string value, end, ...) — and re-ids them 1..n with
+  /// parents remapped and anchors rebuilt. The sampled-artifact determinism
+  /// hinge: a sharded merge appends shards in shard order, which depends on
+  /// the partition; after this sort the same retained set renders
+  /// byte-identically for every shard count (DESIGN.md §12).
+  void sort_canonical();
+
+  /// Retained spans, id-ascending (spilled/evicted spans are absent).
   [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
   [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Begins refused because the store was full.
+  /// Begins refused, or retained spans evicted by head+tail retention.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
-  /// Spans begun but not yet ended.
+  /// Spans rotated out through the spill sink.
+  [[nodiscard]] std::uint64_t spilled() const noexcept { return spilled_; }
+  /// Begins refused by sampled mode (intentional, not data loss).
+  [[nodiscard]] std::uint64_t suppressed() const noexcept { return suppressed_; }
+  /// Spans begun but not yet ended (evicted open spans leave this count).
   [[nodiscard]] std::size_t open_count() const noexcept { return open_; }
+
+  /// In-memory footprint of the retained spans (for budget accounting).
+  [[nodiscard]] std::uint64_t approx_bytes() const noexcept {
+    return spans_.capacity() * sizeof(SpanRecord);
+  }
 
   void clear() noexcept {
     spans_.clear();
     anchors_.clear();
     dropped_ = 0;
+    spilled_ = 0;
+    suppressed_ = 0;
     open_ = 0;
+    next_id_ = 1;
+    gapped_ = false;
   }
 
  private:
-  [[nodiscard]] SpanRecord* find(SpanId id) noexcept {
-    if (id == kNoSpan || id > spans_.size()) return nullptr;
-    return &spans_[id - 1];
-  }
+  [[nodiscard]] SpanRecord* find(SpanId id) noexcept;
+  /// Frees room at capacity: spill the closed prefix, or evict the middle
+  /// under head+tail retention. May free nothing (all spans open / no policy).
+  void make_room();
 
   std::size_t capacity_;
   std::vector<SpanRecord> spans_;
   std::map<std::uint64_t, SpanId> anchors_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t spilled_ = 0;
+  std::uint64_t suppressed_ = 0;
   std::size_t open_ = 0;
+  SpanId next_id_ = 1;
+  /// True once retention eviction removed ids from the middle — find() then
+  /// binary-searches instead of indexing.
+  bool gapped_ = false;
+  bool sampled_mode_ = false;
+  std::size_t head_keep_ = 0;
+  std::size_t tail_keep_ = 0;
+  SpillFn spill_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   /// Per-name histogram handles, keyed on the literal's address (bind once).
@@ -168,7 +229,17 @@ class SpanContext {
   }
 
   [[nodiscard]] SpanStore* store() const noexcept { return store_; }
-  [[nodiscard]] bool enabled() const noexcept { return store_ != nullptr; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return store_ != nullptr && !suppressed_;
+  }
+
+  /// Whole-test sampling switch: while suppressed, begin() returns kNoSpan
+  /// (so every dependent attr/end/push is a no-op) without touching the
+  /// store. Deliberately NOT reset by bind() — the owning client re-binds
+  /// the context on every access, but a sampling decision covers the whole
+  /// test and is flipped explicitly at test start.
+  void set_suppressed(bool suppressed) noexcept { suppressed_ = suppressed; }
+  [[nodiscard]] bool suppressed() const noexcept { return suppressed_; }
   [[nodiscard]] core::SimTime now() const noexcept {
     return clock_ != nullptr ? clock_(clock_arg_) : 0;
   }
@@ -180,7 +251,7 @@ class SpanContext {
 
   /// Opens a child of current() at the clock's now. Does not push.
   SpanId begin(Category category, const char* name) {
-    if (store_ == nullptr) return kNoSpan;
+    if (store_ == nullptr || suppressed_) return kNoSpan;
     return store_->begin(now(), category, name, current());
   }
 
@@ -207,6 +278,7 @@ class SpanContext {
   SpanStore* store_ = nullptr;
   ClockFn clock_ = nullptr;
   void* clock_arg_ = nullptr;
+  bool suppressed_ = false;
   std::vector<SpanId> stack_;
 };
 

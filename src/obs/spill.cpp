@@ -1,0 +1,71 @@
+#include "obs/spill.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/export.hpp"
+#include "obs/span/json.hpp"
+
+namespace swiftest::obs {
+
+SpillWriter::SpillWriter(std::string dir, std::string stream, std::size_t shard)
+    : dir_(std::move(dir)), stream_(std::move(stream)), shard_(shard) {}
+
+void SpillWriter::write_segment(const std::string& body) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s.shard%04zu.seg%04zu.jsonl",
+                stream_.c_str(), shard_, paths_.size());
+  const std::string path = dir_ + "/" + name;
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    ok_ = false;
+    return;
+  }
+  file << body;
+  if (!file) {
+    ok_ = false;
+    return;
+  }
+  bytes_ += body.size();
+  paths_.push_back(path);
+}
+
+void SpillWriter::write_trace_segment(const TraceEvent* events, std::size_t count) {
+  std::string body;
+  body.reserve(count * 96);
+  for (std::size_t i = 0; i < count; ++i) {
+    append_trace_jsonl_line(body, events[i]);
+  }
+  write_segment(body);
+}
+
+void SpillWriter::write_span_segment(const span::SpanRecord* spans,
+                                     std::size_t count) {
+  std::string body;
+  body.reserve(count * 160);
+  for (std::size_t i = 0; i < count; ++i) {
+    span::append_span_json(body, spans[i]);
+    body += '\n';
+  }
+  write_segment(body);
+}
+
+bool concat_segments(const std::vector<std::string>& segment_paths,
+                     const std::string& out_path, std::string* error) {
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + out_path;
+    return false;
+  }
+  for (const std::string& path : segment_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + path;
+      return false;
+    }
+    out << in.rdbuf();
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace swiftest::obs

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -84,11 +85,22 @@ class Tracer {
   void set_category_mask(std::uint32_t mask) noexcept { mask_ = mask; }
   [[nodiscard]] std::uint32_t category_mask() const noexcept { return mask_; }
 
+  /// Rotation sink: when set, a full ring flushes its whole contents
+  /// (oldest first) through this callback and starts over, instead of
+  /// overwriting the oldest event. Flushed events count in spilled(), not
+  /// dropped(). Wired to a SpillWriter segment per flush (obs/spill.hpp).
+  using SpillFn = std::function<void(const TraceEvent*, std::size_t)>;
+  void set_spill(SpillFn fn) { spill_ = std::move(fn); }
+
   /// Records one event (unconditionally — callers gate on wants()). Not
   /// noexcept: the first record() allocates the ring and may throw bad_alloc.
   void record(core::SimTime ts, Category category, EventKind kind, const char* name,
               std::uint64_t id, double value) {
-    if (ring_.empty()) ensure_ring();
+    if (ring_.empty()) {
+      ensure_ring();
+    } else if (size_ == ring_.size() && spill_) {
+      flush_spill();
+    }
     TraceEvent& slot = ring_[head_];
     slot.ts = ts;
     slot.category = category;
@@ -107,22 +119,40 @@ class Tracer {
   /// Events currently retained.
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Events overwritten because the ring wrapped.
+  /// Events overwritten because the ring wrapped (with no spill sink).
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Events flushed to the spill sink instead of being overwritten.
+  [[nodiscard]] std::uint64_t spilled() const noexcept { return spilled_; }
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   /// Appends every retained event of `src` (oldest first) and carries its
-  /// drop count over. Used to fold per-shard tracers into one artifact in
-  /// shard order: merging one full source into an empty same-capacity ring
-  /// reproduces it byte for byte, retention and drop count included.
+  /// drop and spill counts over. Used to fold per-shard tracers into one
+  /// artifact in shard order: merging one full source into an empty
+  /// same-capacity ring reproduces it byte for byte, retention and drop
+  /// count included.
   void merge_from(const Tracer& src);
+
+  /// Reorders the retained events into their content order — (ts, name, id,
+  /// kind, category, value), names by string value — discarding the record
+  /// order. A sharded merge concatenates shards in shard order, which
+  /// depends on the partition; after this sort the retained set renders
+  /// identically for every shard count that retains the same events (the
+  /// sampled-artifact determinism contract, DESIGN.md §12).
+  void sort_canonical();
+
+  /// In-memory footprint of the ring (for budget accounting): zero until
+  /// the lazy ring is allocated.
+  [[nodiscard]] std::uint64_t approx_bytes() const noexcept {
+    return ring_.capacity() * sizeof(TraceEvent);
+  }
 
   void clear() noexcept {
     head_ = 0;
     size_ = 0;
     dropped_ = 0;
+    spilled_ = 0;
   }
 
   static constexpr std::size_t kDefaultCapacity = 1u << 18;
@@ -130,6 +160,8 @@ class Tracer {
  private:
   /// Cold path: allocates the ring (capacity_ × 40 bytes) on first use.
   void ensure_ring();
+  /// Cold path: rotates the full ring out through the spill sink.
+  void flush_spill();
 
   // The ring (capacity_ × 40 bytes, ~10 MB at the default) is allocated on
   // the first record(), not at construction: a fleet shard's Hub mirror that
@@ -139,7 +171,11 @@ class Tracer {
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t spilled_ = 0;
   std::uint32_t mask_ = kAllCategories;
+  SpillFn spill_;
+  /// Scratch for flush_spill's oldest-first rotation; reused across flushes.
+  std::vector<TraceEvent> spill_scratch_;
 };
 
 }  // namespace swiftest::obs

@@ -207,7 +207,12 @@ void WireClient::start(netsim::ClientContext& client, CompletionFn on_complete) 
   // Root test span, keyed to the nonce so server sessions join the tree.
   // The selection PINGs happened synchronously above; their span covers
   // [now, now + ping_duration], which is when probing actually begins.
-  if (auto* spans = span_store(client.scheduler())) {
+  // Honors the context's whole-test sampling switch: a suppressed client
+  // never opens the root (span_test stays kNoSpan, so every descendant stage
+  // below skips too) and never registers the nonce anchor — the store's
+  // sampled mode then refuses the matching server sessions as well.
+  if (auto* spans = span_store(client.scheduler());
+      spans != nullptr && !client.spans().suppressed()) {
     const core::SimTime t0 = client.scheduler().now();
     st->span_test = spans->begin(t0, obs::Category::kProtocol, "swiftest.test",
                                  client.spans().current());
@@ -244,7 +249,8 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
 
   // Handshake: ProbeRequest fan-out until the first throughput sample. The
   // span closes from the first sampler callback.
-  if (auto* spans = span_store(sched)) {
+  if (auto* spans = span_store(sched);
+      spans != nullptr && st->span_test != obs::span::kNoSpan) {
     st->span_handshake = spans->begin(sched.now(), obs::Category::kProtocol,
                                       "swiftest.handshake", st->span_test);
     spans->attr_f64(st->span_handshake, "rate_mbps", st->fsm.rate_mbps());
@@ -274,7 +280,8 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
         }
         trace_protocol(*raw->sched, obs::EventKind::kInstant, "probe.escalate",
                        raw->nonce, raw->fsm.rate_mbps());
-        if (auto* spans = span_store(*raw->sched)) {
+        if (auto* spans = span_store(*raw->sched);
+            spans != nullptr && raw->span_test != obs::span::kNoSpan) {
           spans->end(raw->span_round, raw->sched->now());
           raw->span_round = begin_round(*spans, *raw->sched, raw->span_test,
                                         ++raw->round_index, raw->fsm.rate_mbps());
@@ -288,7 +295,8 @@ void WireClient::begin_probing(const std::shared_ptr<RunState>& st) {
         // window: the FSM declared convergence because the last
         // `convergence_window` samples agreed, so that window is its own
         // stage (the part of the test an SLO on time-to-converge bounds).
-        if (auto* spans = span_store(*raw->sched)) {
+        if (auto* spans = span_store(*raw->sched);
+            spans != nullptr && raw->span_test != obs::span::kNoSpan) {
           const core::SimTime now = raw->sched->now();
           const core::SimDuration window =
               static_cast<core::SimDuration>(raw->config.convergence_window) *
@@ -348,7 +356,8 @@ void WireClient::finalize(const std::shared_ptr<RunState>& st) {
   // Close whatever stage was still running (a hard stop lands mid-round, or
   // even mid-handshake) and open the finalization stage: TestComplete
   // fan-out plus the in-flight drain, ended when the result is declared.
-  if (auto* spans = span_store(*st->sched)) {
+  if (auto* spans = span_store(*st->sched);
+      spans != nullptr && st->span_test != obs::span::kNoSpan) {
     const core::SimTime now = st->sched->now();
     spans->end(st->span_round, now);
     spans->end(st->span_handshake, now);

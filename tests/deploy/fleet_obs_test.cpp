@@ -1,0 +1,213 @@
+// Bounded observability at fleet scale (DESIGN.md §12): deterministic
+// whole-test sampling keyed on the global workload draw index makes the
+// sampled trace/span/metrics artifacts a pure function of (seed, workload) —
+// byte-identical across shard and job counts for the analytic backend, and
+// across job counts for the packet backend — and the memory budget degrades
+// the sampling rate (recorded) instead of letting the run grow without
+// bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dataset/generator.hpp"
+#include "deploy/fleet_sim.hpp"
+#include "obs/export.hpp"
+#include "obs/health/report.hpp"
+#include "obs/hub.hpp"
+#include "obs/resource.hpp"
+#include "obs/span/json.hpp"
+#include "swiftest/model_registry.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+const std::vector<dataset::TestRecord>& population() {
+  static const auto records = dataset::generate_campaign(8'000, 2021, 5);
+  return records;
+}
+
+struct ObsArtifacts {
+  std::string trace;
+  std::string spans;
+  std::string metrics;
+  std::string health;
+  std::uint64_t tests = 0;
+  std::uint64_t sampled = 0;
+  std::uint64_t degradations = 0;
+  std::uint64_t span_suppressed = 0;
+};
+
+ObsArtifacts run_fleet(FleetBackend backend, std::size_t shards, std::size_t jobs,
+                       std::uint64_t sample_denominator,
+                       std::uint64_t budget_mb = 0) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg;
+  cfg.server_count = 5;
+  cfg.days = 1;
+  cfg.tests_per_day = backend == FleetBackend::kPacket ? 150.0 : 400.0;
+  cfg.seed = 11;
+  cfg.backend = backend;
+  cfg.shards = shards;
+  cfg.jobs = jobs;
+  cfg.sample.set_denominator(sample_denominator);
+  cfg.obs_budget_mb = budget_mb;
+
+  obs::Hub hub;
+  obs::health::HealthMonitor health;
+  obs::ResourceMonitor monitor;
+  cfg.obs = &hub;
+  cfg.health = &health;
+  cfg.resource = &monitor;
+
+  const FleetSimResult result = simulate_fleet(population(), registry, cfg);
+
+  ObsArtifacts out;
+  std::ostringstream trace_out;
+  obs::write_trace_jsonl(hub.tracer, trace_out);
+  out.trace = trace_out.str();
+  std::ostringstream spans_out;
+  obs::span::write_spans_json(hub.spans, spans_out);
+  out.spans = spans_out.str();
+  std::ostringstream metrics_out;
+  obs::write_metrics_json(hub.metrics.snapshot(), metrics_out);
+  out.metrics = metrics_out.str();
+  std::ostringstream health_out;
+  obs::health::write_health_json(health.snapshot(), {}, nullptr, health_out);
+  out.health = health_out.str();
+  out.tests = result.tests_simulated;
+  const auto& counters = hub.metrics.snapshot().counters;
+  if (const auto it = counters.find("fleet.tests_sampled"); it != counters.end()) {
+    out.sampled = it->second;
+  }
+  for (const obs::ShardTelemetry& t : monitor.shard_telemetry()) {
+    out.degradations += t.sample_degradations;
+  }
+  out.span_suppressed = hub.spans.suppressed();
+  return out;
+}
+
+std::size_t count_lines(const std::string& text) {
+  return static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(FleetSampling, AnalyticSampledArtifactsByteIdenticalAcrossShardsAndJobs) {
+  const ObsArtifacts reference = run_fleet(FleetBackend::kAnalytic, 1, 1, 8);
+  ASSERT_GT(reference.tests, 100u);
+  // 1/8 sampling keeps a proper, non-empty subset.
+  EXPECT_GT(reference.sampled, 0u);
+  EXPECT_LT(reference.sampled, reference.tests);
+  // Each sampled test contributes exactly fleet.test_start + fleet.test_done.
+  EXPECT_EQ(count_lines(reference.trace), 2 * reference.sampled);
+
+  for (const std::size_t shards : {1u, 4u}) {
+    const ObsArtifacts j1 =
+        shards == 1 ? reference : run_fleet(FleetBackend::kAnalytic, shards, 1, 8);
+    const ObsArtifacts j4 = run_fleet(FleetBackend::kAnalytic, shards, 4, 8);
+    for (const ObsArtifacts* run : {&j1, &j4}) {
+      EXPECT_EQ(run->tests, reference.tests);
+      EXPECT_EQ(run->sampled, reference.sampled);
+      // The whole point: the sampled trace/span/metrics artifacts are a pure
+      // function of (seed, workload) — the canonical merge erases the
+      // partition entirely.
+      EXPECT_EQ(run->trace, reference.trace) << "shards=" << shards;
+      EXPECT_EQ(run->spans, reference.spans) << "shards=" << shards;
+      EXPECT_EQ(run->metrics, reference.metrics) << "shards=" << shards;
+    }
+    // Health is deterministic for a fixed (workload, shards) and independent
+    // of jobs — but NOT of the shard count: its P² quantile cells are
+    // replay-order-sensitive, and sharded replay runs shard by shard.
+    EXPECT_EQ(j1.health, j4.health) << "shards=" << shards;
+  }
+}
+
+TEST(FleetSampling, AnalyticSampledSubsetChangesWithSeedNotPartition) {
+  // Same workload, different seed: the salt selects a different subset
+  // (almost surely, at these sizes), so sampling is seed-keyed, not
+  // position-keyed.
+  const ObsArtifacts a = run_fleet(FleetBackend::kAnalytic, 2, 2, 8);
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg;
+  cfg.server_count = 5;
+  cfg.days = 1;
+  cfg.tests_per_day = 400.0;
+  cfg.seed = 12;
+  cfg.shards = 2;
+  cfg.jobs = 2;
+  cfg.sample.set_denominator(8);
+  obs::Hub hub;
+  cfg.obs = &hub;
+  (void)simulate_fleet(population(), registry, cfg);
+  std::ostringstream trace_out;
+  obs::write_trace_jsonl(hub.tracer, trace_out);
+  EXPECT_NE(trace_out.str(), a.trace);
+}
+
+TEST(FleetSampling, DisabledSamplingLeavesAnalyticRunUninstrumented) {
+  // Keep-everything (1/1) with no budget preserves the legacy contract: the
+  // analytic backend emits no per-test traces or spans at all, so existing
+  // artifacts cannot shift.
+  const ObsArtifacts run = run_fleet(FleetBackend::kAnalytic, 2, 2, 1);
+  EXPECT_EQ(run.sampled, 0u);
+  EXPECT_TRUE(run.trace.empty());
+}
+
+TEST(FleetSampling, BudgetDegradesSamplingInsteadOfGrowing) {
+  const swift::ModelRegistry registry;
+  FleetSimConfig cfg;
+  cfg.server_count = 5;
+  cfg.days = 1;
+  cfg.tests_per_day = 6000.0;  // past the 4096-arrival budget checkpoint
+  cfg.seed = 11;
+  cfg.sample.set_denominator(2);
+  cfg.obs_budget_mb = 1;  // far below the trace ring's ~10 MB
+  obs::Hub hub;
+  obs::ResourceMonitor monitor;
+  cfg.obs = &hub;
+  cfg.resource = &monitor;
+
+  const FleetSimResult result = simulate_fleet(population(), registry, cfg);
+  ASSERT_GT(result.tests_simulated, 4096u);
+  std::uint64_t degradations = 0;
+  for (const obs::ShardTelemetry& t : monitor.shard_telemetry()) {
+    degradations += t.sample_degradations;
+  }
+  // Over budget at the checkpoint: the denominator doubled (recorded),
+  // rather than the run refusing or growing without bound.
+  EXPECT_GE(degradations, 1u);
+
+  // Degradation only thins the FUTURE sample; the run completes and the
+  // artifact stays a valid 2-events-per-sampled-test stream.
+  const auto& counters = hub.metrics.snapshot().counters;
+  const auto it = counters.find("fleet.tests_sampled");
+  ASSERT_NE(it, counters.end());
+  std::ostringstream trace_out;
+  obs::write_trace_jsonl(hub.tracer, trace_out);
+  EXPECT_EQ(count_lines(trace_out.str()), 2 * it->second);
+}
+
+TEST(FleetSampling, PacketSampledArtifactsIndependentOfJobsAndSuppressOrphans) {
+  const ObsArtifacts serial = run_fleet(FleetBackend::kPacket, 2, 1, 4);
+  const ObsArtifacts threaded = run_fleet(FleetBackend::kPacket, 2, 4, 4);
+  ASSERT_GT(serial.tests, 50u);
+  EXPECT_GT(serial.sampled, 0u);
+  EXPECT_LT(serial.sampled, serial.tests);
+  // Unsampled tests' server sessions are refused (suppressed, not dropped):
+  // no orphan roots from participants whose client never registered an
+  // anchor.
+  EXPECT_GT(serial.span_suppressed, 0u);
+  EXPECT_NE(serial.spans.find("swiftest.test"), std::string::npos);
+
+  EXPECT_EQ(serial.tests, threaded.tests);
+  EXPECT_EQ(serial.sampled, threaded.sampled);
+  EXPECT_EQ(serial.trace, threaded.trace);
+  EXPECT_EQ(serial.spans, threaded.spans);
+  EXPECT_EQ(serial.metrics, threaded.metrics);
+  EXPECT_EQ(serial.health, threaded.health);
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

@@ -1,0 +1,130 @@
+// Deterministic whole-test sampling (obs/sampling.hpp): the sampled set is a
+// pure function of (key, salt, denominator) — no wall clock, shard, or
+// thread input — and the budget rule degrades the denominator instead of
+// letting the observability footprint grow without bound.
+#include "obs/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace swiftest::obs {
+namespace {
+
+TEST(SamplingPolicyParse, AcceptsOneOverNAndPlainN) {
+  const auto one_in_8 = SamplingPolicy::parse("1/8");
+  ASSERT_TRUE(one_in_8.has_value());
+  EXPECT_EQ(one_in_8->denominator(), 8u);
+  EXPECT_TRUE(one_in_8->enabled());
+  EXPECT_EQ(one_in_8->describe(), "1/8");
+
+  const auto plain = SamplingPolicy::parse("16");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->denominator(), 16u);
+
+  // "1/1" and "1" are the explicit keep-everything spellings.
+  for (const char* spec : {"1/1", "1"}) {
+    const auto keep_all = SamplingPolicy::parse(spec);
+    ASSERT_TRUE(keep_all.has_value()) << spec;
+    EXPECT_FALSE(keep_all->enabled()) << spec;
+    EXPECT_TRUE(keep_all->sampled(12345)) << spec;
+  }
+}
+
+TEST(SamplingPolicyParse, RejectsMalformedSpecs) {
+  // Only keep-1-in-N is expressible: numerators other than 1, zero
+  // denominators, negatives, and junk all fail parse (the CLI exits 2).
+  for (const char* spec :
+       {"", "0", "1/0", "2/8", "1/", "/8", "1/x", "-1", "1/-4", "8.5",
+        "1/99999999999999999999999"}) {
+    EXPECT_FALSE(SamplingPolicy::parse(spec).has_value()) << spec;
+  }
+}
+
+TEST(SamplingPolicy, SampledIsPureAndSaltSensitive) {
+  SamplingPolicy policy;
+  policy.set_denominator(8);
+  policy.set_salt(42);
+  std::vector<bool> first;
+  for (std::uint64_t key = 0; key < 4096; ++key) first.push_back(policy.sampled(key));
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(policy.sampled(key), first[key]) << "decision must be pure";
+  }
+
+  // A different salt (run seed) selects a different subset.
+  SamplingPolicy other;
+  other.set_denominator(8);
+  other.set_salt(43);
+  std::size_t differs = 0;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    if (other.sampled(key) != first[key]) ++differs;
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(SamplingPolicy, KeepRateTracksDenominator) {
+  SamplingPolicy policy;
+  policy.set_denominator(8);
+  policy.set_salt(7);
+  std::size_t kept = 0;
+  constexpr std::uint64_t kKeys = 64 * 1024;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    if (policy.sampled(key)) ++kept;
+  }
+  // splitmix64 avalanches sequential keys; 1/8 ± 20% over 64k draws.
+  const double rate = static_cast<double>(kept) / kKeys;
+  EXPECT_GT(rate, 0.8 / 8.0);
+  EXPECT_LT(rate, 1.2 / 8.0);
+}
+
+TEST(SamplingPolicy, BudgetDoublesDenominatorOncePerCall) {
+  SamplingPolicy policy;
+  policy.set_denominator(4);
+  policy.set_budget_bytes(1000);
+
+  EXPECT_FALSE(policy.note_footprint(1000));  // at budget: fine
+  EXPECT_EQ(policy.denominator(), 4u);
+  EXPECT_EQ(policy.degradations(), 0u);
+
+  // Over budget: one doubling per call, however far over.
+  EXPECT_TRUE(policy.note_footprint(50'000));
+  EXPECT_EQ(policy.denominator(), 8u);
+  EXPECT_TRUE(policy.note_footprint(50'000));
+  EXPECT_EQ(policy.denominator(), 16u);
+  EXPECT_EQ(policy.degradations(), 2u);
+
+  // No budget set: never degrades.
+  SamplingPolicy unbudgeted;
+  EXPECT_FALSE(unbudgeted.note_footprint(UINT64_MAX));
+  EXPECT_EQ(unbudgeted.degradations(), 0u);
+}
+
+TEST(SamplingPolicy, DegradationCapsAtMaxDenominator) {
+  SamplingPolicy policy;
+  policy.set_denominator(1ull << 31);
+  policy.set_budget_bytes(1);
+  EXPECT_TRUE(policy.note_footprint(2));
+  EXPECT_EQ(policy.denominator(), SamplingPolicy::kMaxDenominator);
+  // At the cap the policy stops doubling (degradations stop counting too).
+  EXPECT_FALSE(policy.note_footprint(2));
+  EXPECT_EQ(policy.denominator(), SamplingPolicy::kMaxDenominator);
+  EXPECT_EQ(policy.degradations(), 1u);
+}
+
+TEST(SamplingPolicy, MatchesSplitmix64Definition) {
+  // The decision is documented as splitmix64(key ^ salt) % N == 0; pin that
+  // so the sampled subset never silently changes between versions (stored
+  // artifacts reference it).
+  SamplingPolicy policy;
+  policy.set_denominator(8);
+  policy.set_salt(99);
+  std::set<std::uint64_t> kept;
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(policy.sampled(key), splitmix64(key ^ 99u) % 8 == 0);
+  }
+}
+
+}  // namespace
+}  // namespace swiftest::obs

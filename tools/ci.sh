@@ -22,6 +22,7 @@ run_suite() {
   run_traced_cli "${build_dir}"
   run_health_gate "${build_dir}"
   run_span_gate "${build_dir}"
+  run_obs_budget_gate "${build_dir}"
   run_bench_gate "${build_dir}"
 }
 
@@ -39,6 +40,19 @@ run_traced_cli() {
     --metrics-out "${out_dir}/metrics.json"
   python3 -m json.tool "${out_dir}/trace.json" > /dev/null
   python3 -m json.tool "${out_dir}/metrics.json" > /dev/null
+  python3 - "${out_dir}/trace.jsonl" <<'PYEOF'
+import json, sys
+count = 0
+with open(sys.argv[1]) as stream:
+    for lineno, line in enumerate(stream, 1):
+        try:
+            json.loads(line)
+        except ValueError as err:
+            sys.exit(f"trace.jsonl line {lineno} is not valid JSON: {err}")
+        count += 1
+assert count > 0, "trace.jsonl is empty"
+print(f"trace.jsonl validated: {count} events")
+PYEOF
   echo "trace + metrics JSON validated"
 }
 
@@ -90,6 +104,55 @@ print(f"span attribution validated: {len(traces)} traces within 1%")
 PYEOF
 }
 
+# Bounded-observability gate (DESIGN.md §12): a 50k-test fleet-day under
+# --obs-sample 1/16 with a 256 MB budget must emit byte-identical sampled
+# trace and span artifacts for every --shards/--jobs combination, and the
+# run's own resource telemetry (obs.peak_rss_mb, from ResourceMonitor) must
+# stay under the budget. The RSS assertion is skipped in sanitizer builds —
+# shadow memory inflates RSS by design — but byte-identity is always gated.
+run_obs_budget_gate() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke/obs-budget"
+  echo "=== bounded-observability gate (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  local shards jobs tag
+  for shards in 1 4; do
+    for jobs in 1 4; do
+      tag="s${shards}j${jobs}"
+      mkdir -p "${out_dir}/spill-${tag}"
+      "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet \
+        --days 1 --tests-per-day 50000 --seed 21 \
+        --shards "${shards}" --jobs "${jobs}" \
+        --obs-sample 1/16 --obs-budget-mb 256 --progress \
+        --obs-spill-dir "${out_dir}/spill-${tag}" \
+        --trace-jsonl "${out_dir}/trace-${tag}.jsonl" \
+        --spans-out "${out_dir}/spans-${tag}.json" \
+        --health-out "${out_dir}/health-${tag}.json" \
+        > /dev/null 2> "${out_dir}/progress-${tag}.log"
+    done
+  done
+  for tag in s1j4 s4j1 s4j4; do
+    cmp "${out_dir}/trace-s1j1.jsonl" "${out_dir}/trace-${tag}.jsonl" \
+      || { echo "sampled trace differs: s1j1 vs ${tag}" >&2; return 1; }
+    cmp "${out_dir}/spans-s1j1.json" "${out_dir}/spans-${tag}.json" \
+      || { echo "sampled spans differ: s1j1 vs ${tag}" >&2; return 1; }
+  done
+  local check_rss=1
+  case "${build_dir}" in *asan*|*tsan*) check_rss=0 ;; esac
+  python3 - "${out_dir}/health-s4j4.json" "${check_rss}" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+meta = report["meta"]
+assert meta.get("obs.sample", "").startswith("1/"), "obs.sample missing from meta"
+assert meta.get("obs.budget_mb") == "256", "obs.budget_mb missing from meta"
+peak = float(meta["obs.peak_rss_mb"])
+assert peak > 0.0, "obs.peak_rss_mb not recorded"
+if sys.argv[2] == "1" and peak >= 256.0:
+    sys.exit(f"fleet-day peak RSS {peak:.1f} MB breaches the 256 MB budget")
+print(f"bounded-obs gate passed: artifacts byte-identical, peak RSS {peak:.1f} MB")
+PYEOF
+}
+
 # Deterministic bench regression gate: fig20 (Swiftest test duration) values
 # are pure sim-time, so they must match the committed baseline on any host.
 # bench_fleet_shard additionally asserts that a sharded fleet-day's artifacts
@@ -110,6 +173,11 @@ run_bench_gate() {
   python3 "${REPO_ROOT}/tools/bench_compare.py" \
     "${REPO_ROOT}/tools/bench_baseline/BENCH_fleet_shard.json" \
     "${out_dir}/BENCH_fleet_shard.json"
+  "${REPO_ROOT}/${build_dir}/bench/bench_obs_overhead" \
+    --json "${out_dir}/BENCH_obs_overhead.json" > /dev/null
+  python3 "${REPO_ROOT}/tools/bench_compare.py" \
+    "${REPO_ROOT}/tools/bench_baseline/BENCH_obs_overhead.json" \
+    "${out_dir}/BENCH_obs_overhead.json"
 }
 
 # Release-build multicore jobs-scaling gate: the allocation-free event core

@@ -1,11 +1,15 @@
 #include "cli.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "analysis/report.hpp"
@@ -15,6 +19,8 @@
 #include "obs/hub.hpp"
 #include "obs/log.hpp"
 #include "obs/prof.hpp"
+#include "obs/resource.hpp"
+#include "obs/sampling.hpp"
 #include "obs/span/critical_path.hpp"
 #include "obs/span/json.hpp"
 #include "dataset/generator.hpp"
@@ -59,6 +65,19 @@ const std::string kUsage = std::string(
     "  --spans-out FILE        write the causal span tree as JSON (input of\n"
     "                          `trace analyze`)\n"
     "  --attribution-md FILE   write the critical-path attribution as markdown\n"
+    "\n"
+    "bounded observability (fleet):\n"
+    "  --obs-sample 1/N        deterministically retain 1-in-N tests' trace\n"
+    "                          events and spans, keyed on the test identity —\n"
+    "                          the sampled artifacts are byte-identical for\n"
+    "                          every --shards/--jobs (analytic backend)\n"
+    "  --obs-budget-mb N       total observability memory budget; when a\n"
+    "                          shard's stores outgrow their slice the sampling\n"
+    "                          rate degrades (recorded) instead of OOMing\n"
+    "  --obs-spill-dir DIR     rotate full trace rings / span stores into\n"
+    "                          JSONL segments under DIR instead of dropping\n"
+    "  --progress              live test/shard/RSS progress line on stderr\n"
+    "                          (host telemetry; never part of artifacts)\n"
     "\n"
     "logging (all commands):\n"
     "  --log-level L           debug|info|warn|error (default warn)\n"
@@ -157,10 +176,35 @@ bool setup_obs(const Options& options, std::ostream& out,
   return true;
 }
 
+/// True when the run opted into any of the bounded-observability machinery.
+/// Drop accounting lands in artifacts only then: golden pre-sampling runs
+/// (which legitimately wrap their rings) must stay byte-identical.
+bool bounded_obs_requested(const Options& options) {
+  return options.has("obs-sample") || options.has("obs-budget-mb") ||
+         options.has("obs-spill-dir") || options.has("progress");
+}
+
 /// Writes whichever trace/metrics outputs were requested. Returns a nonzero
-/// exit code if a file cannot be opened.
-int flush_obs(const Options& options, std::ostream& out, const obs::Hub* hub) {
+/// exit code if a file cannot be opened. Data loss is surfaced before the
+/// artifacts render: a stderr warning always, plus — for bounded-obs runs —
+/// only-nonzero obs.trace_dropped / obs.span_dropped counters in the metrics
+/// snapshot, so a silently-wrapped ring can't masquerade as a complete trace.
+int flush_obs(const Options& options, std::ostream& out, obs::Hub* hub) {
   if (hub == nullptr) return 0;
+  if (hub->tracer.dropped() > 0) {
+    std::cerr << "warning: trace ring dropped " << hub->tracer.dropped()
+              << " events (use --obs-sample or --obs-spill-dir)\n";
+    if (bounded_obs_requested(options)) {
+      hub->metrics.counter("obs.trace_dropped").inc(hub->tracer.dropped());
+    }
+  }
+  if (hub->spans.dropped() > 0) {
+    std::cerr << "warning: span store dropped " << hub->spans.dropped()
+              << " spans (use --obs-sample or --obs-spill-dir)\n";
+    if (bounded_obs_requested(options)) {
+      hub->metrics.counter("obs.span_dropped").inc(hub->spans.dropped());
+    }
+  }
   auto open = [&out](const std::string& path, std::ofstream& file) {
     file.open(path, std::ios::binary | std::ios::trunc);
     if (!file) out << "cannot write " << path << "\n";
@@ -514,7 +558,48 @@ int cmd_fleet(const Options& options, std::ostream& out) {
     out << "unknown --backend '" << backend << "' (expected analytic or packet)\n";
     return 2;
   }
+  if (options.has("obs-sample")) {
+    const auto policy = obs::SamplingPolicy::parse(options.get("obs-sample", ""));
+    if (!policy) {
+      out << "bad --obs-sample '" << options.get("obs-sample", "")
+          << "' (expected 1/N or N)\n";
+      return 2;
+    }
+    cfg.sample = *policy;
+  }
+  const long budget_mb = options.get_int("obs-budget-mb", 0);
+  if (budget_mb < 0) {
+    out << "--obs-budget-mb must be >= 0\n";
+    return 2;
+  }
+  cfg.obs_budget_mb = static_cast<std::uint64_t>(budget_mb);
+  cfg.obs_spill_dir = options.get("obs-spill-dir", "");
+
+  // Resource self-telemetry is always collected (a few relaxed atomics per
+  // test); --progress controls whether it is *surfaced* — the live stderr
+  // line while running, and resource meta/metrics afterwards. Host wall/RSS
+  // values never enter artifacts unless the user opts in this way.
+  obs::ResourceMonitor monitor;
+  cfg.resource = &monitor;
+  std::atomic<bool> progress_stop{false};
+  std::thread progress_thread;
+  if (options.has("progress")) {
+    progress_thread = std::thread([&monitor, &progress_stop] {
+      while (!progress_stop.load(std::memory_order_relaxed)) {
+        std::cerr << "\r" << monitor.progress_line() << std::flush;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    });
+  }
   const auto result = deploy::simulate_fleet(population, registry, cfg);
+  if (progress_thread.joinable()) {
+    progress_stop.store(true, std::memory_order_relaxed);
+    progress_thread.join();
+    std::cerr << "\r" << monitor.progress_line() << "\n";
+  }
+  if (options.has("progress") && hub != nullptr) {
+    monitor.export_metrics(hub->metrics);
+  }
   out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days << " day(s), "
       << result.tests_simulated << " tests (" << backend << " backend"
       // The shard count shapes the result (the job count never does), so
@@ -543,6 +628,27 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   // byte-identical to pre-shard ones. --jobs never appears: no artifact may
   // depend on thread count.
   if (cfg.shards > 1) meta.emplace_back("shards", std::to_string(cfg.shards));
+  if (cfg.sample.enabled()) meta.emplace_back("obs.sample", cfg.sample.describe());
+  if (cfg.obs_budget_mb > 0) {
+    meta.emplace_back("obs.budget_mb", std::to_string(cfg.obs_budget_mb));
+  }
+  // Data-loss accounting rides in the meta only for bounded-obs runs and
+  // only when loss happened, keeping legacy reports byte-identical.
+  if (hub != nullptr && bounded_obs_requested(options)) {
+    if (hub->tracer.dropped() > 0) {
+      meta.emplace_back("obs.trace_dropped", std::to_string(hub->tracer.dropped()));
+    }
+    if (hub->tracer.spilled() > 0) {
+      meta.emplace_back("obs.trace_spilled", std::to_string(hub->tracer.spilled()));
+    }
+    if (hub->spans.dropped() > 0) {
+      meta.emplace_back("obs.span_dropped", std::to_string(hub->spans.dropped()));
+    }
+    if (hub->spans.spilled() > 0) {
+      meta.emplace_back("obs.span_spilled", std::to_string(hub->spans.spilled()));
+    }
+  }
+  if (options.has("progress")) monitor.append_report_meta(meta);
   const int health_rc = flush_health(options, out, health.get(), meta);
   if (options.has("profile")) obs::write_profile(prof, out);
   return health_rc;
