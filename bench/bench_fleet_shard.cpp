@@ -11,6 +11,7 @@
 // flag.
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,6 +21,8 @@
 #include "dataset/generator.hpp"
 #include "deploy/fleet_sim.hpp"
 #include "obs/health/report.hpp"
+#include "obs/hostprof/hostprof.hpp"
+#include "obs/hostprof/report.hpp"
 
 namespace {
 
@@ -36,7 +39,8 @@ struct RunOutcome {
 };
 
 RunOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
-                         const swift::ModelRegistry& registry, std::size_t jobs) {
+                         const swift::ModelRegistry& registry, std::size_t jobs,
+                         obs::hostprof::HostProfiler* prof = nullptr) {
   deploy::FleetSimConfig cfg;
   cfg.backend = deploy::FleetBackend::kPacket;
   cfg.server_count = 8;
@@ -45,6 +49,7 @@ RunOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
   cfg.seed = kSeed;
   cfg.shards = kShards;
   cfg.jobs = jobs;
+  cfg.hostprof = prof;
   obs::health::HealthMonitor health;
   cfg.health = &health;
 
@@ -82,8 +87,15 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> job_counts = {1, 2, 4, 8};
   std::vector<RunOutcome> outcomes;
   bool identical = true;
+  obs::hostprof::ProfData widest_prof;
   for (std::size_t jobs : job_counts) {
-    outcomes.push_back(run_fleet_day(population, registry, jobs));
+    // Every run self-profiles (the overhead is per shard, not per test); the
+    // widest pool's attribution is printed below — it names what bounds the
+    // jobs-8 speedup, the roadmap's open scaling question.
+    obs::hostprof::HostProfiler prof;
+    outcomes.push_back(run_fleet_day(population, registry, jobs, &prof));
+    prof.finish();
+    if (jobs == job_counts.back()) widest_prof = prof.snapshot();
     const RunOutcome& o = outcomes.back();
     const bool same = o.health_json == outcomes.front().health_json &&
                       o.tests == outcomes.front().tests &&
@@ -94,6 +106,12 @@ int main(int argc, char** argv) {
   }
   benchutil::print_note(
       "wall-clock scales with available cores; artifacts must never vary");
+
+  // Host-time attribution of the widest run. Informational only: these are
+  // host-dependent numbers, so none of them become gated report values.
+  benchutil::print_title("Host-time attribution (jobs=8)");
+  obs::hostprof::write_prof_report_markdown(
+      obs::hostprof::analyze_prof(widest_prof), std::cout);
 
   // The gated (deterministic) values: same code + same seed => same numbers
   // on any host, any core count.

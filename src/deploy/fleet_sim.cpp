@@ -215,6 +215,9 @@ struct AnalyticShard {
   /// budget slice, independently of other shards.
   obs::SamplingPolicy policy;
   obs::ShardTelemetry telemetry;
+  /// Private self-profile registry: workers record here without locks and
+  /// the caller folds them into config.prof after the join.
+  obs::ProfRegistry prof;
 };
 
 void run_analytic_shard(std::span<const Arrival> arrivals,
@@ -316,6 +319,8 @@ void run_analytic_shard(std::span<const Arrival> arrivals,
 
 FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
                               const FleetSimConfig& config) {
+  obs::hostprof::Timeline* host_tl =
+      config.hostprof != nullptr ? &config.hostprof->main() : nullptr;
   FleetSimResult result;
   const std::int64_t total_seconds =
       static_cast<std::int64_t>(config.days) * 24 * 3600;
@@ -349,14 +354,35 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
     if (!config.obs_spill_dir.empty()) {
       merge_spill.attach(*config.obs, config.obs_spill_dir, shards.size());
     }
-    for (const AnalyticShard& shard : shards) {
-      config.obs->merge_from(*shard.hub);
+    // Component-wise merge in shard order — identical bytes to the fused
+    // Hub::merge_from loop, but each component gets its own host-time phase.
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.tracer");
+      for (const AnalyticShard& shard : shards) {
+        config.obs->tracer.merge_from(shard.hub->tracer);
+      }
+    }
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.metrics");
+      for (const AnalyticShard& shard : shards) {
+        config.obs->metrics.merge_from(shard.hub->metrics.snapshot());
+      }
+    }
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.spans");
+      for (const AnalyticShard& shard : shards) {
+        config.obs->spans.merge_from(shard.hub->spans);
+      }
     }
     // Shard concatenation order depends on the partition; the canonical
     // content order does not. After this, the sampled artifact renders
     // byte-identically for every shard count (DESIGN.md §12).
-    config.obs->tracer.sort_canonical();
-    config.obs->spans.sort_canonical();
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.canonicalize");
+      config.obs->tracer.sort_canonical();
+      config.obs->spans.sort_canonical();
+    }
+    const obs::hostprof::HostScope scope(host_tl, "spill.io");
     std::vector<ShardSpill> spills;
     for (AnalyticShard& shard : shards) spills.push_back(std::move(shard.spill));
     spills.push_back(std::move(merge_spill));
@@ -365,6 +391,7 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
   }
 
   if (config.health != nullptr) {
+    const obs::hostprof::HostScope scope(host_tl, "samplelog.replay");
     std::vector<const obs::health::SampleLog*> logs;
     logs.reserve(shards.size());
     for (const AnalyticShard& shard : shards) logs.push_back(&shard.health);
@@ -414,6 +441,7 @@ struct PacketShard {
   ShardSpill spill;
   obs::SamplingPolicy policy;  // per-shard copy; may degrade under budget
   obs::ShardTelemetry telemetry;
+  obs::ProfRegistry prof;  // private; merged into config.prof after the join
 };
 
 void run_packet_shard(std::span<const Arrival> arrivals,
@@ -638,6 +666,8 @@ void run_packet_shard(std::span<const Arrival> arrivals,
 
 FleetSimResult merge_packet(std::vector<PacketShard>& shards,
                             const FleetSimConfig& config) {
+  obs::hostprof::Timeline* host_tl =
+      config.hostprof != nullptr ? &config.hostprof->main() : nullptr;
   FleetSimResult result;
   const std::int64_t total_seconds =
       static_cast<std::int64_t>(config.days) * 24 * 3600;
@@ -678,17 +708,38 @@ FleetSimResult merge_packet(std::vector<PacketShard>& shards,
     if (!config.obs_spill_dir.empty()) {
       merge_spill.attach(*config.obs, config.obs_spill_dir, shards.size());
     }
-    for (const PacketShard& shard : shards) {
-      if (shard.hub != nullptr) config.obs->merge_from(*shard.hub);
+    // Component-wise merge in shard order (same bytes as the fused hub
+    // merge), one host-time phase per component.
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.tracer");
+      for (const PacketShard& shard : shards) {
+        if (shard.hub != nullptr) config.obs->tracer.merge_from(shard.hub->tracer);
+      }
+    }
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.metrics");
+      for (const PacketShard& shard : shards) {
+        if (shard.hub != nullptr) {
+          config.obs->metrics.merge_from(shard.hub->metrics.snapshot());
+        }
+      }
+    }
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.spans");
+      for (const PacketShard& shard : shards) {
+        if (shard.hub != nullptr) config.obs->spans.merge_from(shard.hub->spans);
+      }
     }
     if (config.sample.enabled() || config.obs_budget_mb > 0) {
       // Canonical content order, as in the analytic merge. The packet
       // backend's event *content* still differs across shard counts (shards
       // lose cross-shard egress contention), so unlike the analytic path
       // this only guarantees independence from --jobs.
+      const obs::hostprof::HostScope scope(host_tl, "merge.canonicalize");
       config.obs->tracer.sort_canonical();
       config.obs->spans.sort_canonical();
     }
+    const obs::hostprof::HostScope scope(host_tl, "spill.io");
     std::vector<ShardSpill> spills;
     for (PacketShard& shard : shards) spills.push_back(std::move(shard.spill));
     spills.push_back(std::move(merge_spill));
@@ -697,6 +748,7 @@ FleetSimResult merge_packet(std::vector<PacketShard>& shards,
   }
 
   if (config.health != nullptr) {
+    const obs::hostprof::HostScope scope(host_tl, "samplelog.replay");
     std::vector<const obs::health::SampleLog*> logs;
     logs.reserve(shards.size());
     for (const PacketShard& shard : shards) logs.push_back(&shard.health);
@@ -721,6 +773,11 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
   if (population.empty() || config.server_count == 0) return result;
   const std::size_t shard_count = std::max<std::size_t>(1, config.shards);
   const std::size_t jobs = std::max<std::size_t>(1, config.jobs);
+  obs::hostprof::Timeline* host_tl =
+      config.hostprof != nullptr ? &config.hostprof->main() : nullptr;
+  if (config.hostprof != nullptr) {
+    config.hostprof->set_run_shape(shard_count, jobs);
+  }
 
   const auto run_start = std::chrono::steady_clock::now();
   if (config.resource != nullptr) config.resource->begin_run(shard_count);
@@ -744,19 +801,25 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
   const bool sampling_active =
       base_policy.enabled() || config.obs_budget_mb > 0;
 
-  const std::vector<Arrival> workload =
-      generate_workload(population, registry, config);
+  std::vector<Arrival> workload;
+  {
+    const obs::hostprof::HostScope scope(host_tl, "workload.gen");
+    workload = generate_workload(population, registry, config);
+  }
 
   // Partition by the stable hash of each arrival's first server; relative
   // order within a shard stays chronological. One shard takes everything —
   // the legacy unsharded run.
   std::vector<std::vector<Arrival>> parts(shard_count);
-  if (shard_count == 1) {
-    parts[0] = workload;
-  } else {
-    obs::ProfScope prof(config.prof, "fleet.partition");
-    for (const Arrival& a : workload) {
-      parts[shard_of(a.first_server, shard_count)].push_back(a);
+  {
+    const obs::hostprof::HostScope scope(host_tl, "workload.partition");
+    if (shard_count == 1) {
+      parts[0] = std::move(workload);
+    } else {
+      obs::ProfScope prof(config.prof, "fleet.partition");
+      for (const Arrival& a : workload) {
+        parts[shard_of(a.first_server, shard_count)].push_back(a);
+      }
     }
   }
 
@@ -782,11 +845,19 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
     }
     {
       obs::ProfScope prof(config.prof, "fleet.replay_packet");
-      run_shards(shard_count, jobs, [&](std::size_t s) {
+      run_shards(
+          shard_count, jobs,
+          [&](std::size_t s) {
         const auto t0 = std::chrono::steady_clock::now();
-        run_packet_shard(parts[s], registry, config,
-                         core::stream_seed(config.seed ^ kTestbedSeedSalt, s),
-                         outputs[s]);
+        {
+          // Per-shard registry: lock-free on the worker, merged after join.
+          obs::ProfScope shard_prof(
+              config.prof != nullptr ? &outputs[s].prof : nullptr,
+              "fleet.shard_replay");
+          run_packet_shard(parts[s], registry, config,
+                           core::stream_seed(config.seed ^ kTestbedSeedSalt, s),
+                           outputs[s]);
+        }
         PacketShard& out = outputs[s];
         obs::ShardTelemetry& t = out.telemetry;
         t.shard = s;
@@ -807,9 +878,14 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
           config.resource->note_shard_done();
           config.resource->sample_usage();
         }
-      });
+          },
+          config.hostprof);
+      if (config.prof != nullptr) {
+        for (const PacketShard& out : outputs) config.prof->merge_from(out.prof);
+      }
     }
     obs::ProfScope prof(config.prof, "fleet.merge");
+    const obs::hostprof::HostScope merge_scope(host_tl, "merge");
     result = merge_packet(outputs, config);
     finish_resource();
     return result;
@@ -833,9 +909,16 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
   }
   {
     obs::ProfScope prof(config.prof, "fleet.replay_analytic");
-    run_shards(shard_count, jobs, [&](std::size_t s) {
+    run_shards(
+        shard_count, jobs,
+        [&](std::size_t s) {
       const auto t0 = std::chrono::steady_clock::now();
-      run_analytic_shard(parts[s], config, outputs[s]);
+      {
+        obs::ProfScope shard_prof(
+            config.prof != nullptr ? &outputs[s].prof : nullptr,
+            "fleet.shard_replay");
+        run_analytic_shard(parts[s], config, outputs[s]);
+      }
       AnalyticShard& out = outputs[s];
       obs::ShardTelemetry& t = out.telemetry;
       t.shard = s;
@@ -856,9 +939,14 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
         config.resource->note_shard_done();
         config.resource->sample_usage();
       }
-    });
+        },
+        config.hostprof);
+    if (config.prof != nullptr) {
+      for (const AnalyticShard& out : outputs) config.prof->merge_from(out.prof);
+    }
   }
   obs::ProfScope prof(config.prof, "fleet.merge");
+  const obs::hostprof::HostScope merge_scope(host_tl, "merge");
   result = merge_analytic(outputs, config);
   finish_resource();
   return result;

@@ -15,6 +15,7 @@
 
 #include "dataset/record.hpp"
 #include "obs/health/monitor.hpp"
+#include "obs/hostprof/hostprof.hpp"
 #include "obs/hub.hpp"
 #include "obs/prof.hpp"
 #include "obs/resource.hpp"
@@ -77,8 +78,18 @@ struct FleetSimConfig {
   obs::health::HealthMonitor* health = nullptr;
   /// Optional wall-clock self-profiler: workload generation and replay are
   /// timed under fleet.* categories. Host-time only — never part of the
-  /// deterministic result or health report.
+  /// deterministic result or health report. Each shard records into a
+  /// private registry merged (ProfRegistry::merge_from) after the join, so
+  /// the aggregate is thread-safe at any `jobs`.
   obs::ProfRegistry* prof = nullptr;
+  /// Optional thread-aware host-time profiler (obs/hostprof/). When set, the
+  /// run records per-thread phase timelines — workload.gen / workload.partition
+  /// on the calling thread, shard.replay + per-worker shard.run via
+  /// run_shards, then merge.tracer / merge.metrics / merge.spans /
+  /// merge.canonicalize / spill.io / samplelog.replay — plus per-worker
+  /// busy/idle wait accounting. Host time only: a non-null profiler never
+  /// changes a single byte of the deterministic artifacts.
+  obs::hostprof::HostProfiler* hostprof = nullptr;
   /// Deterministic whole-test observability sampling (DESIGN.md §12). When
   /// enabled (denominator > 1) and `obs` is attached, each test's trace
   /// events and spans are retained iff sampled(test_id) — test_id is the

@@ -14,6 +14,10 @@
 #include <cstdint>
 #include <functional>
 
+namespace swiftest::obs::hostprof {
+class HostProfiler;
+}
+
 namespace swiftest::deploy {
 
 /// Stable 64-bit mix (splitmix64 finalizer). Not cryptographic; chosen for
@@ -31,7 +35,20 @@ namespace swiftest::deploy {
 /// of executed shards — and, given shard-local state, the computed results —
 /// is independent of scheduling. The first exception thrown by any shard is
 /// rethrown on the calling thread after every worker has joined.
+///
+/// When `prof` is non-null, the pool self-profiles into it (host time only;
+/// never touches the shards' deterministic outputs):
+///   * calling thread: one "shard.replay" interval spanning the parallel
+///     region and a nested "pool.join" interval over the joins;
+///   * each worker timeline: one "shard.run" interval per executed shard
+///     (arg = shard index) plus WorkerStats — busy (inside fn), idle
+///     (everything else between thread start and exit, i.e. counter pulls
+///     and the drained-counter miss; busy + idle == wall exactly), pulls,
+///     and shard count. The inline path records the same on the calling
+///     thread's timeline (tid 0). Worker timelines must already exist: the
+///     pool calls reserve_workers before spawning, on the calling thread.
 void run_shards(std::size_t shard_count, std::size_t jobs,
-                const std::function<void(std::size_t)>& fn);
+                const std::function<void(std::size_t)>& fn,
+                obs::hostprof::HostProfiler* prof = nullptr);
 
 }  // namespace swiftest::deploy

@@ -1,0 +1,98 @@
+#include "obs/hostprof/hostprof.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace swiftest::obs::hostprof {
+
+std::uint64_t Timeline::now_ns() const noexcept { return owner_->now_ns(); }
+
+void Timeline::close(const char* phase, std::uint64_t t0_ns, std::uint32_t depth,
+                     std::uint64_t arg) {
+  // Lazy ring allocation happens before the end-of-interval clock read, so
+  // its cost is charged to the interval that triggered it instead of
+  // vanishing into an unattributed gap between intervals.
+  if (capacity_ != 0 && ring_.empty()) ring_.resize(capacity_);
+  const std::uint64_t t1_ns = now_ns();
+  const std::uint64_t dur_ns = t1_ns > t0_ns ? t1_ns - t0_ns : 0;
+  depth_ = depth;
+
+  // Exact aggregate first: drops never corrupt the totals. String literals
+  // make pointer equality the common case; strcmp catches the same phase
+  // name spelled in two translation units.
+  PhaseAgg* agg = nullptr;
+  for (auto& [key, value] : aggs_) {
+    if (key == phase || std::strcmp(key, phase) == 0) {
+      agg = &value;
+      break;
+    }
+  }
+  if (agg == nullptr) {
+    aggs_.emplace_back(phase, PhaseAgg{phase, 0, 0, 0});
+    agg = &aggs_.back().second;
+  }
+  ++agg->count;
+  agg->total_ns += dur_ns;
+  agg->max_ns = std::max(agg->max_ns, dur_ns);
+
+  if (ring_.empty()) return;  // capacity 0: aggregates only
+  Interval& slot = ring_[head_];
+  slot.phase = phase;
+  slot.t0_ns = t0_ns;
+  slot.dur_ns = dur_ns;
+  slot.depth = depth;
+  slot.arg = arg;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<Interval> Timeline::intervals() const {
+  std::vector<Interval> out;
+  out.reserve(size_);
+  if (size_ == 0) return out;
+  // Oldest first: when the ring wrapped, the oldest retained interval sits
+  // at head_ (the next overwrite target).
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+HostProfiler::HostProfiler(std::size_t capacity_per_timeline)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(capacity_per_timeline) {
+  timelines_.push_back(std::make_unique<Timeline>(this, 0, capacity_));
+}
+
+void HostProfiler::reserve_workers(std::size_t n) {
+  while (timelines_.size() < n + 1) {
+    timelines_.push_back(std::make_unique<Timeline>(
+        this, static_cast<std::uint32_t>(timelines_.size()), capacity_));
+  }
+}
+
+ProfData HostProfiler::snapshot() const {
+  ProfData data;
+  data.shards = shards_;
+  data.jobs = jobs_;
+  data.wall_ns = wall_ns_ != 0 ? wall_ns_ : now_ns();
+  data.timelines.reserve(timelines_.size());
+  for (const auto& timeline : timelines_) {
+    TimelineData td;
+    td.tid = timeline->tid();
+    td.dropped = timeline->dropped();
+    td.worker = timeline->worker_stats();
+    for (const auto& [key, agg] : timeline->phase_aggs()) td.phases.push_back(agg);
+    for (const Interval& iv : timeline->intervals()) {
+      td.intervals.push_back({iv.phase, iv.t0_ns, iv.dur_ns, iv.depth, iv.arg});
+    }
+    data.timelines.push_back(std::move(td));
+  }
+  return data;
+}
+
+}  // namespace swiftest::obs::hostprof

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 namespace swiftest::obs {
 
@@ -13,21 +15,55 @@ void ProfRegistry::add(const char* category, std::uint64_t elapsed_ns) {
   entry.max_ns = std::max(entry.max_ns, elapsed_ns);
 }
 
-void write_profile(const ProfRegistry& registry, std::ostream& out) {
+void ProfRegistry::merge_from(const ProfRegistry& other) {
+  for (const auto& [category, theirs] : other.entries_) {
+    Entry& entry = entries_[category];
+    entry.count += theirs.count;
+    entry.total_ns += theirs.total_ns;
+    entry.max_ns = std::max(entry.max_ns, theirs.max_ns);
+  }
+}
+
+void write_profile(const ProfRegistry& registry, std::ostream& out,
+                   std::uint64_t wall_ns) {
   out << "self-profile (wall clock)\n";
-  char line[160];
-  std::snprintf(line, sizeof(line), "  %-28s %10s %12s %12s %12s\n", "category",
-                "count", "total ms", "mean us", "max us");
-  out << line;
-  for (const auto& [category, e] : registry.entries()) {
+  char line[192];
+  if (wall_ns > 0) {
+    std::snprintf(line, sizeof(line), "  %-28s %10s %12s %12s %12s %8s\n",
+                  "category", "count", "total ms", "mean us", "max us", "% wall");
+    out << line;
+  } else {
+    std::snprintf(line, sizeof(line), "  %-28s %10s %12s %12s %12s\n", "category",
+                  "count", "total ms", "mean us", "max us");
+    out << line;
+  }
+
+  std::vector<std::pair<std::string, ProfRegistry::Entry>> rows(
+      registry.entries().begin(), registry.entries().end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns != b.second.total_ns
+               ? a.second.total_ns > b.second.total_ns
+               : a.first < b.first;
+  });
+
+  for (const auto& [category, e] : rows) {
     const double total_ms = static_cast<double>(e.total_ns) / 1e6;
     const double mean_us =
         e.count == 0 ? 0.0
                      : static_cast<double>(e.total_ns) / static_cast<double>(e.count) / 1e3;
     const double max_us = static_cast<double>(e.max_ns) / 1e3;
-    std::snprintf(line, sizeof(line), "  %-28s %10llu %12.3f %12.1f %12.1f\n",
-                  category.c_str(), static_cast<unsigned long long>(e.count),
-                  total_ms, mean_us, max_us);
+    if (wall_ns > 0) {
+      const double pct =
+          100.0 * static_cast<double>(e.total_ns) / static_cast<double>(wall_ns);
+      std::snprintf(line, sizeof(line),
+                    "  %-28s %10llu %12.3f %12.1f %12.1f %7.1f%%\n", category.c_str(),
+                    static_cast<unsigned long long>(e.count), total_ms, mean_us,
+                    max_us, pct);
+    } else {
+      std::snprintf(line, sizeof(line), "  %-28s %10llu %12.3f %12.1f %12.1f\n",
+                    category.c_str(), static_cast<unsigned long long>(e.count),
+                    total_ms, mean_us, max_us);
+    }
     out << line;
   }
 }

@@ -16,6 +16,13 @@
 //
 // A null registry makes ProfScope a no-op (no clock read), mirroring the
 // null-Hub discipline of the tracer.
+//
+// Threading: a ProfRegistry is single-owner — add() mutates a plain std::map
+// with no lock, so concurrent ProfScopes targeting one registry are a data
+// race. Parallel code (deploy::run_shards workers) records into a private
+// per-thread/per-shard registry and the owner folds them together with
+// merge_from() after the join. For per-thread *timelines* (who spent the
+// time, when, busy vs idle) use obs/hostprof/.
 #pragma once
 
 #include <chrono>
@@ -35,6 +42,11 @@ class ProfRegistry {
   };
 
   void add(const char* category, std::uint64_t elapsed_ns);
+
+  /// Folds another registry into this one (counts and totals add, maxes
+  /// take the larger). The single-owner way to combine per-shard/per-thread
+  /// registries after a parallel region joins.
+  void merge_from(const ProfRegistry& other);
 
   [[nodiscard]] const std::map<std::string, Entry>& entries() const noexcept {
     return entries_;
@@ -72,8 +84,11 @@ class ProfScope {
 };
 
 /// Plain-text table (category, count, total ms, mean us, max us), ordered by
-/// category name. Host-time: informational output only, never a gated or
-/// diffed artifact.
-void write_profile(const ProfRegistry& registry, std::ostream& out);
+/// total time descending (name ascending on ties) so the expensive
+/// categories lead. When `wall_ns` is nonzero a "% wall" column relates each
+/// category to the run's wall-clock. Host-time: informational output only,
+/// never a gated or diffed artifact.
+void write_profile(const ProfRegistry& registry, std::ostream& out,
+                   std::uint64_t wall_ns = 0);
 
 }  // namespace swiftest::obs

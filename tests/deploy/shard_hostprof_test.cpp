@@ -1,0 +1,158 @@
+// Host-time self-profiling of the run_shards worker pool. The suite name is
+// the TSan gate's filter (`--gtest_filter='RunShardsHostprof.*'` in ci.sh):
+// it drives the pool at 8 shards x 4 jobs with a live profiler to prove the
+// lock-free record path is race-free and its accounting adds up.
+#include "deploy/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/hostprof/hostprof.hpp"
+#include "obs/hostprof/report.hpp"
+
+namespace swiftest::deploy {
+namespace {
+
+using obs::hostprof::HostProfiler;
+using obs::hostprof::ProfData;
+using obs::hostprof::TimelineData;
+
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kJobs = 4;
+
+/// A shard body with real (if tiny) host time, so busy windows are nonzero.
+void spin_shard(std::atomic<std::uint64_t>& sink) {
+  const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+  std::uint64_t x = 1;
+  while (std::chrono::steady_clock::now() < until) x = x * 6364136223846793005ull + 1;
+  sink.fetch_add(x | 1, std::memory_order_relaxed);
+}
+
+TEST(RunShardsHostprof, PoolAccountingAddsUp) {
+  HostProfiler prof;
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<std::atomic<int>> ran(kShards);
+  run_shards(
+      kShards, kJobs,
+      [&](std::size_t shard) {
+        ran[shard].fetch_add(1);
+        spin_shard(sink);
+      },
+      &prof);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(ran[s].load(), 1) << "shard " << s;
+  }
+
+  prof.set_run_shape(kShards, kJobs);
+  prof.finish();
+  const ProfData data = prof.snapshot();
+  ASSERT_EQ(data.timelines.size(), 1 + kJobs);
+
+  // Calling thread: the pool region and the nested join barrier.
+  const TimelineData& main_tl = data.timelines[0];
+  bool saw_pool = false;
+  bool saw_join = false;
+  for (const auto& iv : main_tl.intervals) {
+    if (iv.phase == obs::hostprof::kPhasePool) {
+      saw_pool = true;
+      EXPECT_EQ(iv.depth, 0u);
+    }
+    if (iv.phase == obs::hostprof::kPhaseJoin) {
+      saw_join = true;
+      EXPECT_EQ(iv.depth, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_pool);
+  EXPECT_TRUE(saw_join);
+  EXPECT_FALSE(main_tl.worker.valid) << "pool path: workers own the stats";
+
+  // Workers: stats valid, busy + idle == wall exactly, every pull counted
+  // (each worker's last fetch_add is the miss that ends its loop), and the
+  // shard.run intervals jointly cover every shard exactly once.
+  std::uint64_t total_shards = 0;
+  std::uint64_t total_pulls = 0;
+  std::vector<int> shard_seen(kShards, 0);
+  for (std::size_t w = 1; w < data.timelines.size(); ++w) {
+    const TimelineData& tl = data.timelines[w];
+    ASSERT_TRUE(tl.worker.valid) << "worker tid " << tl.tid;
+    EXPECT_EQ(tl.worker.busy_ns + tl.worker.idle_ns, tl.worker.wall_ns);
+    EXPECT_GE(tl.worker.pulls, tl.worker.shards + 1) << "the final miss pulls too";
+    total_shards += tl.worker.shards;
+    total_pulls += tl.worker.pulls;
+    std::uint64_t busy_from_intervals = 0;
+    for (const auto& iv : tl.intervals) {
+      ASSERT_EQ(iv.phase, obs::hostprof::kPhaseShard);
+      ASSERT_LT(iv.arg, kShards);
+      ++shard_seen[iv.arg];
+      busy_from_intervals += iv.dur_ns;
+    }
+    EXPECT_EQ(tl.intervals.size(), tl.worker.shards);
+    EXPECT_LE(busy_from_intervals, tl.worker.busy_ns);
+  }
+  EXPECT_EQ(total_shards, kShards);
+  EXPECT_EQ(total_pulls, kShards + kJobs);  // every shard + one miss per worker
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(shard_seen[s], 1) << "shard " << s;
+  }
+
+  // The analyzer accepts a real pool profile end to end.
+  const auto report = obs::hostprof::analyze_prof(data);
+  EXPECT_EQ(report.workers, kJobs);
+  EXPECT_EQ(report.slowest_shards.size(), kShards);
+  EXPECT_GT(report.busy_ns, 0u);
+  EXPECT_GT(report.pool_wall_ns, 0u);
+}
+
+TEST(RunShardsHostprof, InlinePathRecordsOnMainTimeline) {
+  HostProfiler prof;
+  std::atomic<std::uint64_t> sink{0};
+  run_shards(3, 1, [&](std::size_t) { spin_shard(sink); }, &prof);
+  prof.finish();
+  const ProfData data = prof.snapshot();
+  ASSERT_EQ(data.timelines.size(), 1u) << "jobs<=1 must not spawn timelines";
+  const TimelineData& tl = data.timelines[0];
+  ASSERT_TRUE(tl.worker.valid);
+  EXPECT_EQ(tl.worker.shards, 3u);
+  EXPECT_EQ(tl.worker.busy_ns + tl.worker.idle_ns, tl.worker.wall_ns);
+  std::size_t shard_runs = 0;
+  for (const auto& iv : tl.intervals) {
+    if (iv.phase == obs::hostprof::kPhaseShard) ++shard_runs;
+  }
+  EXPECT_EQ(shard_runs, 3u);
+}
+
+TEST(RunShardsHostprof, NullProfilerStillRunsEveryShard) {
+  std::vector<std::atomic<int>> ran(kShards);
+  run_shards(kShards, kJobs, [&](std::size_t shard) { ran[shard].fetch_add(1); },
+             nullptr);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(ran[s].load(), 1) << "shard " << s;
+  }
+}
+
+TEST(RunShardsHostprof, ExceptionStillJoinsAndRethrows) {
+  HostProfiler prof;
+  EXPECT_THROW(
+      run_shards(
+          kShards, kJobs,
+          [&](std::size_t shard) {
+            if (shard == 3) throw std::runtime_error("shard 3 boom");
+          },
+          &prof),
+      std::runtime_error);
+  // Workers joined: their stats are consistent even on the error path.
+  const ProfData data = prof.snapshot();
+  for (std::size_t w = 1; w < data.timelines.size(); ++w) {
+    const TimelineData& tl = data.timelines[w];
+    if (!tl.worker.valid) continue;
+    EXPECT_EQ(tl.worker.busy_ns + tl.worker.idle_ns, tl.worker.wall_ns);
+  }
+}
+
+}  // namespace
+}  // namespace swiftest::deploy

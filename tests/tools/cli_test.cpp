@@ -405,5 +405,82 @@ TEST(Cli, FleetUnshardedRunMatchesPreShardGoldens) {
   EXPECT_EQ(summary, slurp(golden_dir + "/fleet_shard1_stdout.txt"));
 }
 
+// Host-time profiling must be pure observation: switching --prof-out /
+// --prof-trace on cannot move a single byte of the deterministic artifacts.
+// (ci.sh gates the same property on a full fleet-day.)
+TEST(Cli, ProfOutDoesNotPerturbDeterministicArtifacts) {
+  const std::string dir = testing::TempDir();
+  std::string output;
+  auto fleet_args = [&](const std::string& tag) {
+    return std::vector<std::string>{
+        "fleet",         "--backend", "packet",
+        "--days",        "1",         "--tests-per-day",
+        "200",           "--servers", "4",
+        "--seed",        "9",         "--shards",
+        "4",             "--jobs",    "2",
+        "--health-out",  dir + "/prof_" + tag + "_health.json",
+        "--metrics-out", dir + "/prof_" + tag + "_metrics.json",
+        "--spans-out",   dir + "/prof_" + tag + "_spans.json",
+        "--trace-out",   dir + "/prof_" + tag + "_trace.json"};
+  };
+  ASSERT_EQ(run(fleet_args("off"), output), 0);
+
+  auto with_prof = fleet_args("on");
+  with_prof.push_back("--prof-out");
+  with_prof.push_back(dir + "/prof_on.jsonl");
+  with_prof.push_back("--prof-trace");
+  with_prof.push_back(dir + "/prof_on_chrome.json");
+  ASSERT_EQ(run(with_prof, output), 0);
+  EXPECT_NE(output.find("profile: " + dir + "/prof_on.jsonl"), std::string::npos);
+  EXPECT_NE(output.find("profile trace: "), std::string::npos);
+
+  for (const char* artifact : {"health", "metrics", "spans", "trace"}) {
+    const std::string off = slurp(dir + "/prof_off_" + artifact + ".json");
+    ASSERT_GT(off.size(), 0u) << artifact;
+    EXPECT_EQ(off, slurp(dir + "/prof_on_" + artifact + ".json")) << artifact;
+  }
+}
+
+TEST(Cli, ProfileReportFromFleetRun) {
+  const std::string prof_path = testing::TempDir() + "/cli_prof.jsonl";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "300", "--shards", "4",
+                 "--jobs", "2", "--prof-out", prof_path},
+                output),
+            0);
+
+  ASSERT_EQ(run({"profile", "report", prof_path}, output), 0);
+  EXPECT_NE(output.find("# Host-time profile"), std::string::npos);
+  EXPECT_NE(output.find("serial fraction:"), std::string::npos);
+  EXPECT_NE(output.find("## Phases"), std::string::npos);
+  EXPECT_NE(output.find("## Workers"), std::string::npos);
+  EXPECT_NE(output.find("shard.replay"), std::string::npos);
+
+  // --md writes the report to a file instead of stdout.
+  const std::string md_path = testing::TempDir() + "/cli_prof_report.md";
+  ASSERT_EQ(run({"profile", "report", prof_path, "--md", md_path}, output), 0);
+  EXPECT_NE(output.find("profile report: " + md_path), std::string::npos);
+  EXPECT_NE(slurp(md_path).find("# Host-time profile"), std::string::npos);
+}
+
+TEST(Cli, ProfileReportRejectsBadInvocations) {
+  std::string output;
+  EXPECT_EQ(run({"profile"}, output), 2);
+  EXPECT_NE(output.find("usage: swiftest-cli profile report"), std::string::npos);
+  EXPECT_EQ(run({"profile", "report"}, output), 2);
+  EXPECT_EQ(run({"profile", "frobnicate", "file.jsonl"}, output), 2);
+
+  EXPECT_EQ(run({"profile", "report", "/nonexistent/prof.jsonl"}, output), 1);
+  EXPECT_NE(output.find("cannot analyze"), std::string::npos);
+}
+
+TEST(Cli, UsageDocumentsHostProfiling) {
+  std::string output;
+  EXPECT_EQ(run({"help"}, output), 0);
+  EXPECT_NE(output.find("--prof-out"), std::string::npos);
+  EXPECT_NE(output.find("--prof-trace"), std::string::npos);
+  EXPECT_NE(output.find("profile  report FILE"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace swiftest::cli

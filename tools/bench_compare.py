@@ -19,11 +19,21 @@ hold the same value names; 1 on any regression, missing value, or non-finite
 mismatch; 2 on usage/parse errors or when the two reports come from
 different benches (mismatched "name" fields — comparing those is always a
 setup bug, not a regression).
+
+History: every compared run is appended to tools/bench_history/<name>.jsonl
+(one report document per line) so regressions can be traced across commits,
+not just against the committed baseline. Before appending, the current
+report's value names are checked against the newest history line: schema
+drift (values added or removed) fails the run — a renamed metric silently
+resets its history — unless --allow-schema-change acknowledges it.
+--history-dir relocates the ledger; --no-history disables it (used by
+throwaway comparisons in tests).
 """
 
 import argparse
 import json
 import math
+import os
 import sys
 
 
@@ -83,6 +93,57 @@ def scaling_skip_reason(base, curr):
     return None
 
 
+def default_history_dir():
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "bench_history")
+
+
+def last_history_entry(path):
+    """The newest parseable report on the history ledger, or None."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line.strip() for line in fh if line.strip()]
+    except OSError:
+        return None
+    for line in reversed(lines):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc.get("values"), dict):
+            return doc
+    return None
+
+
+def update_history(curr, history_dir, allow_schema_change):
+    """Appends `curr` to the bench's history ledger.
+
+    Returns an error string on schema drift against the newest history entry
+    (nothing is appended then, so the drift stays visible until acknowledged
+    with --allow-schema-change), None on success."""
+    name = curr.get("name") or "unnamed"
+    path = os.path.join(history_dir, f"{name}.jsonl")
+    prev = last_history_entry(path)
+    if prev is not None:
+        prev_names = sorted(prev["values"])
+        curr_names = sorted(curr["values"])
+        if prev_names != curr_names and not allow_schema_change:
+            added = sorted(set(curr_names) - set(prev_names))
+            removed = sorted(set(prev_names) - set(curr_names))
+            detail = []
+            if added:
+                detail.append(f"added {added}")
+            if removed:
+                detail.append(f"removed {removed}")
+            return (f"value schema drifted vs history {path}: "
+                    f"{'; '.join(detail)} "
+                    f"(pass --allow-schema-change if intentional)")
+    os.makedirs(history_dir, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(curr, sort_keys=True) + "\n")
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -91,6 +152,13 @@ def main():
                         help="relative tolerance (default 0.05 = 5%%)")
     parser.add_argument("--abs-floor", type=float, default=1e-9,
                         help="below this baseline magnitude, compare absolutely")
+    parser.add_argument("--history-dir", default=None,
+                        help="bench history ledger directory "
+                             "(default: tools/bench_history)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not read or append the history ledger")
+    parser.add_argument("--allow-schema-change", action="store_true",
+                        help="accept a changed value-name set vs history")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -142,6 +210,13 @@ def main():
         if not ok:
             print(f"FAIL {name}: baseline={b:g} current={c:g} "
                   f"(rel delta {delta / scale:.2%} > {args.tolerance:.2%})")
+            failures += 1
+
+    if not args.no_history:
+        history_dir = args.history_dir or default_history_dir()
+        error = update_history(curr, history_dir, args.allow_schema_change)
+        if error is not None:
+            print(f"FAIL history: {error}")
             failures += 1
 
     sha_b = base.get("repo_sha", "?")

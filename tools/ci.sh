@@ -23,6 +23,7 @@ run_suite() {
   run_health_gate "${build_dir}"
   run_span_gate "${build_dir}"
   run_obs_budget_gate "${build_dir}"
+  run_profile_gate "${build_dir}"
   run_bench_gate "${build_dir}"
 }
 
@@ -153,6 +154,73 @@ print(f"bounded-obs gate passed: artifacts byte-identical, peak RSS {peak:.1f} M
 PYEOF
 }
 
+# Host-time profile attribution gate (DESIGN.md §13): a 10k-test fleet-day
+# at --jobs 1 and --jobs 4 with --prof-out/--prof-trace must emit (a) a PROF
+# JSONL file whose every line matches the record schema, (b) a Chrome trace
+# that parses as JSON, and (c) calling-thread phase coverage of >= 95% of
+# wall-clock — if instrumented phases stop summing to the wall, the Amdahl
+# attribution is lying about where the time went. `profile report` must
+# render the markdown analysis from the same file.
+run_profile_gate() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke/profile"
+  echo "=== profile attribution gate (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  local jobs
+  for jobs in 1 4; do
+    "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet \
+      --days 1 --tests-per-day 10000 --seed 11 --shards 8 --jobs "${jobs}" \
+      --prof-out "${out_dir}/prof-j${jobs}.jsonl" \
+      --prof-trace "${out_dir}/prof-j${jobs}-trace.json" > /dev/null
+    python3 -m json.tool "${out_dir}/prof-j${jobs}-trace.json" > /dev/null
+    python3 - "${out_dir}/prof-j${jobs}.jsonl" <<'PYEOF'
+import json, sys
+
+REQUIRED = {
+    "meta": {"tool", "version", "shards", "jobs", "timelines", "wall_ns"},
+    "timeline": {"tid", "intervals", "dropped"},
+    "worker": {"tid", "busy_ns", "idle_ns", "wall_ns", "pulls", "shards"},
+    "phase": {"tid", "name", "count", "total_ns", "max_ns"},
+    "interval": {"tid", "depth", "phase", "t0_ns", "dur_ns", "arg"},
+}
+meta = None
+covered_ns = 0
+counts = dict.fromkeys(REQUIRED, 0)
+with open(sys.argv[1]) as stream:
+    for lineno, line in enumerate(stream, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind not in REQUIRED:
+            sys.exit(f"line {lineno}: unknown record type {kind!r}")
+        missing = REQUIRED[kind] - rec.keys()
+        if missing:
+            sys.exit(f"line {lineno}: {kind} record missing {sorted(missing)}")
+        counts[kind] += 1
+        if kind == "meta":
+            meta = rec
+        elif kind == "interval" and rec["tid"] == 0 and rec["depth"] == 0:
+            covered_ns += rec["dur_ns"]
+        elif kind == "worker":
+            if rec["busy_ns"] + rec["idle_ns"] != rec["wall_ns"]:
+                sys.exit(f"line {lineno}: worker busy+idle != wall")
+if meta is None:
+    sys.exit("no meta record")
+if counts["timeline"] != meta["timelines"]:
+    sys.exit(f"meta says {meta['timelines']} timelines, saw {counts['timeline']}")
+coverage = covered_ns / meta["wall_ns"] if meta["wall_ns"] else 0.0
+if coverage < 0.95:
+    sys.exit(f"calling-thread phase coverage {coverage:.1%} < 95% of wall")
+print(f"PROF schema ok: {sum(counts.values())} records, "
+      f"{counts['timeline']} timelines, coverage {coverage:.1%}")
+PYEOF
+  done
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" profile report \
+    "${out_dir}/prof-j4.jsonl" --md "${out_dir}/prof-j4.md"
+  grep -q '^# Host-time profile' "${out_dir}/prof-j4.md"
+  grep -q '^## Workers' "${out_dir}/prof-j4.md"
+  echo "profile attribution gate passed"
+}
+
 # Deterministic bench regression gate: fig20 (Swiftest test duration) values
 # are pure sim-time, so they must match the committed baseline on any host.
 # bench_fleet_shard additionally asserts that a sharded fleet-day's artifacts
@@ -224,15 +292,26 @@ PYEOF
 # shard workers must share nothing but the partitioned workload and the
 # join-then-merge handoff, so a single TSan-clean sharded run certifies the
 # substrate's isolation contract; any cross-shard data race fails CI here.
+# The host-time profiler's lock-free record path rides the same job: the
+# RunShardsHostprof gtests drive run_shards at 8 shards x 4 jobs with a live
+# profiler, and the fleet-day reruns with --prof-out — the reserve-before-
+# spawn / read-after-join contract (DESIGN.md §13) must be TSan-clean too.
 run_tsan_fleet() {
   local build_dir="build-tsan"
   echo "=== configure ${build_dir} (-DSWIFTEST_SANITIZE=thread) ==="
   cmake -B "${REPO_ROOT}/${build_dir}" -S "${REPO_ROOT}" -DSWIFTEST_SANITIZE=thread
-  echo "=== build ${build_dir} (swiftest-cli) ==="
-  cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}" --target swiftest-cli
-  echo "=== TSan sharded fleet-day (--shards 4 --jobs 4) ==="
+  echo "=== build ${build_dir} (swiftest-cli, test_deploy) ==="
+  cmake --build "${REPO_ROOT}/${build_dir}" -j "${JOBS}" \
+    --target swiftest-cli --target test_deploy
+  echo "=== TSan run_shards hostprof pool (8 shards x 4 jobs) ==="
+  "${REPO_ROOT}/${build_dir}/tests/test_deploy" \
+    --gtest_filter='RunShardsHostprof.*'
+  echo "=== TSan sharded fleet-day (--shards 4 --jobs 4, profiled) ==="
   "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet --backend packet \
     --servers 5 --days 1 --tests-per-day 200 --seed 3 --shards 4 --jobs 4
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet --backend packet \
+    --servers 5 --days 1 --tests-per-day 200 --seed 3 --shards 4 --jobs 4 \
+    --prof-out "${REPO_ROOT}/${build_dir}/prof-tsan.jsonl"
   echo "TSan sharded fleet-day clean"
 }
 

@@ -16,6 +16,8 @@
 #include "obs/export.hpp"
 #include "obs/health/report.hpp"
 #include "obs/health/slo.hpp"
+#include "obs/hostprof/hostprof.hpp"
+#include "obs/hostprof/report.hpp"
 #include "obs/hub.hpp"
 #include "obs/log.hpp"
 #include "obs/prof.hpp"
@@ -56,6 +58,9 @@ const std::string kUsage = std::string(
     "           N worker threads without changing any output\n"
     "  trace    analyze FILE [--json OUT] [--md OUT]\n"
     "           critical-path latency attribution of a span JSON file\n"
+    "  profile  report FILE [--md OUT]\n"
+    "           parallel efficiency, serial fraction, and Amdahl attribution\n"
+    "           of a --prof-out host-time profile\n"
     "\n"
     "observability (test, run, fleet):\n"
     "  --trace-out FILE        write a Chrome trace_event JSON trace\n"
@@ -78,6 +83,15 @@ const std::string kUsage = std::string(
     "                          JSONL segments under DIR instead of dropping\n"
     "  --progress              live test/shard/RSS progress line on stderr\n"
     "                          (host telemetry; never part of artifacts)\n"
+    "\n"
+    "host-time profiling (fleet):\n"
+    "  --prof-out FILE         write per-thread phase timelines and worker\n"
+    "                          busy/idle accounting as PROF JSONL (the input\n"
+    "                          of `profile report`); host time only — the\n"
+    "                          deterministic artifacts are byte-identical\n"
+    "                          with or without this flag\n"
+    "  --prof-trace FILE       write the host-time timeline as Chrome\n"
+    "                          trace_event JSON, one track per worker thread\n"
     "\n"
     "logging (all commands):\n"
     "  --log-level L           debug|info|warn|error (default warn)\n"
@@ -398,6 +412,7 @@ int cmd_report(const Options& options, std::ostream& out) {
 }
 
 int cmd_test(const Options& options, std::ostream& out) {
+  const auto wall_start = std::chrono::steady_clock::now();
   if (!options.has("rate")) {
     out << "test requires --rate\n";
     return 2;
@@ -460,7 +475,13 @@ int cmd_test(const Options& options, std::ostream& out) {
     };
     health_rc = flush_health(options, out, &health, meta);
   }
-  if (options.has("profile")) obs::write_profile(prof, out);
+  if (options.has("profile")) {
+    obs::write_profile(prof, out,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count()));
+  }
   return health_rc;
 }
 
@@ -522,7 +543,26 @@ int cmd_plan(const Options& options, std::ostream& out) {
 }
 
 int cmd_fleet(const Options& options, std::ostream& out) {
-  const auto population = dataset::generate_campaign(40'000, 2021, 9);
+  const auto wall_start = std::chrono::steady_clock::now();
+  // The host-time profiler spans the whole command — population draw through
+  // artifact export — so the attribution covers (nearly) all of wall-clock.
+  std::unique_ptr<obs::hostprof::HostProfiler> hostprof;
+  if (options.has("prof-out") || options.has("prof-trace")) {
+    hostprof = std::make_unique<obs::hostprof::HostProfiler>();
+  }
+  obs::hostprof::Timeline* host_tl =
+      hostprof != nullptr ? &hostprof->main() : nullptr;
+
+  std::vector<dataset::TestRecord> population;
+  {
+    const obs::hostprof::HostScope scope(host_tl, "workload.population");
+    population = dataset::generate_campaign(40'000, 2021, 9);
+  }
+  // Everything between the population draw and the replay — model registry,
+  // hub/health construction, option validation — is serial setup; covering
+  // it keeps the calling-thread phase coverage honest.
+  std::optional<obs::hostprof::HostScope> setup_scope;
+  setup_scope.emplace(host_tl, "run.setup");
   static const swift::ModelRegistry registry;
   std::unique_ptr<obs::Hub> hub;
   if (!setup_obs(options, out, hub)) return 2;
@@ -535,6 +575,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   cfg.obs = hub.get();
   cfg.health = health.get();
   cfg.prof = options.has("profile") ? &prof : nullptr;
+  cfg.hostprof = hostprof.get();
   cfg.server_count = static_cast<std::size_t>(options.get_int("servers", 20));
   cfg.days = static_cast<int>(options.get_int("days", 3));
   cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
@@ -591,67 +632,152 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       }
     });
   }
+  setup_scope.reset();
+  // One depth-0 umbrella over the whole simulation: the nested phases
+  // (workload.gen, shard.replay, merge, ...) open at depth 1, and the sim's
+  // internal setup/teardown — shard-state construction and destruction —
+  // stays attributed instead of leaking into a coverage gap.
+  std::optional<obs::hostprof::HostScope> sim_scope;
+  sim_scope.emplace(host_tl, "fleet.sim");
   const auto result = deploy::simulate_fleet(population, registry, cfg);
-  if (progress_thread.joinable()) {
-    progress_stop.store(true, std::memory_order_relaxed);
-    progress_thread.join();
-    std::cerr << "\r" << monitor.progress_line() << "\n";
-  }
-  if (options.has("progress") && hub != nullptr) {
-    monitor.export_metrics(hub->metrics);
-  }
-  out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days << " day(s), "
-      << result.tests_simulated << " tests (" << backend << " backend"
-      // The shard count shapes the result (the job count never does), so
-      // surface it; unsharded output stays byte-compatible with older runs.
-      << (cfg.shards > 1 ? ", " + std::to_string(cfg.shards) + " shards" : "")
-      << (result.tests_dropped > 0
-              ? ", " + std::to_string(result.tests_dropped) + " dropped"
-              : "")
-      << ")\n"
-      << "utilization: median " << result.summary.median << "%, mean "
-      << result.summary.mean << "%, p99 " << result.p99 << "%, max "
-      << result.summary.max << "%\n"
-      << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45 << "%\n";
-  const int obs_rc = flush_obs(options, out, hub.get());
-  if (obs_rc != 0) return obs_rc;
-  record_stage_health(hub.get(), health.get());
-  obs::health::ReportMeta meta = {
-      {"command", "fleet"},
-      {"backend", backend},
-      {"servers", std::to_string(cfg.server_count)},
-      {"days", std::to_string(cfg.days)},
-      {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
-      {"seed", std::to_string(cfg.seed)},
-  };
-  // Only a shard count > 1 changes the artifacts; keep unsharded reports
-  // byte-identical to pre-shard ones. --jobs never appears: no artifact may
-  // depend on thread count.
-  if (cfg.shards > 1) meta.emplace_back("shards", std::to_string(cfg.shards));
-  if (cfg.sample.enabled()) meta.emplace_back("obs.sample", cfg.sample.describe());
-  if (cfg.obs_budget_mb > 0) {
-    meta.emplace_back("obs.budget_mb", std::to_string(cfg.obs_budget_mb));
-  }
-  // Data-loss accounting rides in the meta only for bounded-obs runs and
-  // only when loss happened, keeping legacy reports byte-identical.
-  if (hub != nullptr && bounded_obs_requested(options)) {
-    if (hub->tracer.dropped() > 0) {
-      meta.emplace_back("obs.trace_dropped", std::to_string(hub->tracer.dropped()));
+  sim_scope.reset();
+  int rc = 0;
+  {
+    const obs::hostprof::HostScope scope(host_tl, "export");
+    if (progress_thread.joinable()) {
+      progress_stop.store(true, std::memory_order_relaxed);
+      progress_thread.join();
+      std::cerr << "\r" << monitor.progress_line() << "\n";
     }
-    if (hub->tracer.spilled() > 0) {
-      meta.emplace_back("obs.trace_spilled", std::to_string(hub->tracer.spilled()));
+    if (options.has("progress") && hub != nullptr) {
+      monitor.export_metrics(hub->metrics);
     }
-    if (hub->spans.dropped() > 0) {
-      meta.emplace_back("obs.span_dropped", std::to_string(hub->spans.dropped()));
-    }
-    if (hub->spans.spilled() > 0) {
-      meta.emplace_back("obs.span_spilled", std::to_string(hub->spans.spilled()));
+    out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days
+        << " day(s), " << result.tests_simulated << " tests (" << backend
+        << " backend"
+        // The shard count shapes the result (the job count never does), so
+        // surface it; unsharded output stays byte-compatible with older runs.
+        << (cfg.shards > 1 ? ", " + std::to_string(cfg.shards) + " shards" : "")
+        << (result.tests_dropped > 0
+                ? ", " + std::to_string(result.tests_dropped) + " dropped"
+                : "")
+        << ")\n"
+        << "utilization: median " << result.summary.median << "%, mean "
+        << result.summary.mean << "%, p99 " << result.p99 << "%, max "
+        << result.summary.max << "%\n"
+        << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45
+        << "%\n";
+    rc = flush_obs(options, out, hub.get());
+    if (rc == 0) {
+      record_stage_health(hub.get(), health.get());
+      obs::health::ReportMeta meta = {
+          {"command", "fleet"},
+          {"backend", backend},
+          {"servers", std::to_string(cfg.server_count)},
+          {"days", std::to_string(cfg.days)},
+          {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
+          {"seed", std::to_string(cfg.seed)},
+      };
+      // Only a shard count > 1 changes the artifacts; keep unsharded reports
+      // byte-identical to pre-shard ones. --jobs never appears: no artifact
+      // may depend on thread count.
+      if (cfg.shards > 1) meta.emplace_back("shards", std::to_string(cfg.shards));
+      if (cfg.sample.enabled()) {
+        meta.emplace_back("obs.sample", cfg.sample.describe());
+      }
+      if (cfg.obs_budget_mb > 0) {
+        meta.emplace_back("obs.budget_mb", std::to_string(cfg.obs_budget_mb));
+      }
+      // Data-loss accounting rides in the meta only for bounded-obs runs and
+      // only when loss happened, keeping legacy reports byte-identical.
+      if (hub != nullptr && bounded_obs_requested(options)) {
+        if (hub->tracer.dropped() > 0) {
+          meta.emplace_back("obs.trace_dropped",
+                            std::to_string(hub->tracer.dropped()));
+        }
+        if (hub->tracer.spilled() > 0) {
+          meta.emplace_back("obs.trace_spilled",
+                            std::to_string(hub->tracer.spilled()));
+        }
+        if (hub->spans.dropped() > 0) {
+          meta.emplace_back("obs.span_dropped",
+                            std::to_string(hub->spans.dropped()));
+        }
+        if (hub->spans.spilled() > 0) {
+          meta.emplace_back("obs.span_spilled",
+                            std::to_string(hub->spans.spilled()));
+        }
+      }
+      if (options.has("progress")) monitor.append_report_meta(meta);
+      rc = flush_health(options, out, health.get(), meta);
     }
   }
-  if (options.has("progress")) monitor.append_report_meta(meta);
-  const int health_rc = flush_health(options, out, health.get(), meta);
-  if (options.has("profile")) obs::write_profile(prof, out);
-  return health_rc;
+
+  // Host-time profile artifacts render last, after finish() stamps the wall:
+  // they describe the run, they are never diffed, and writing them cannot
+  // perturb anything deterministic.
+  std::uint64_t wall_ns = 0;
+  if (hostprof != nullptr) {
+    hostprof->finish();
+    const obs::hostprof::ProfData data = hostprof->snapshot();
+    wall_ns = data.wall_ns;
+    auto open = [&out](const std::string& path, std::ofstream& file) {
+      file.open(path, std::ios::binary | std::ios::trunc);
+      if (!file) out << "cannot write " << path << "\n";
+      return static_cast<bool>(file);
+    };
+    if (options.has("prof-out")) {
+      std::ofstream file;
+      if (!open(options.get("prof-out", ""), file)) return 1;
+      obs::hostprof::write_prof_jsonl(data, file);
+      out << "profile: " << options.get("prof-out", "") << " ("
+          << data.timelines.size() << " timelines)\n";
+    }
+    if (options.has("prof-trace")) {
+      std::ofstream file;
+      if (!open(options.get("prof-trace", ""), file)) return 1;
+      obs::hostprof::write_prof_chrome_trace(data, file);
+      out << "profile trace: " << options.get("prof-trace", "") << "\n";
+    }
+  } else {
+    wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+  }
+  if (options.has("profile")) obs::write_profile(prof, out, wall_ns);
+  return rc;
+}
+
+int cmd_profile(std::span<const std::string> args, std::ostream& out) {
+  if (args.size() < 2 || args[0] != "report" || args[1].rfind("--", 0) == 0) {
+    out << "usage: swiftest-cli profile report FILE [--md OUT]\n";
+    return 2;
+  }
+  const std::string path = args[1];
+  const auto options = Options::parse(args.subspan(2), out);
+  if (!options) return 2;
+  if (!apply_log_level(*options, out)) return 2;
+
+  std::string error;
+  const auto data = obs::hostprof::load_prof_file(path, &error);
+  if (!data) {
+    out << "cannot analyze " << path << ": " << error << "\n";
+    return 1;
+  }
+  const obs::hostprof::ProfReport report = obs::hostprof::analyze_prof(*data);
+  if (options->has("md")) {
+    std::ofstream file(options->get("md", ""), std::ios::binary | std::ios::trunc);
+    if (!file) {
+      out << "cannot write " << options->get("md", "") << "\n";
+      return 1;
+    }
+    obs::hostprof::write_prof_report_markdown(report, file);
+    out << "profile report: " << options->get("md", "") << "\n";
+  } else {
+    obs::hostprof::write_prof_report_markdown(report, out);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -662,9 +788,10 @@ int run_cli(std::span<const std::string> args, std::ostream& out) {
     return args.empty() ? 2 : 0;
   }
   const std::string& command = args[0];
-  if (command == "trace") {
+  if (command == "trace" || command == "profile") {
     try {
-      return cmd_trace(args.subspan(1), out);
+      return command == "trace" ? cmd_trace(args.subspan(1), out)
+                                : cmd_profile(args.subspan(1), out);
     } catch (const std::exception& e) {
       out << "error: " << e.what() << "\n";
       return 1;
