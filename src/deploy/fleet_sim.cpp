@@ -197,6 +197,24 @@ void concat_spill(const std::vector<ShardSpill>& spills, bool trace_stream,
   }
 }
 
+/// Sums every writer's rotation accounting into the result's spill fields,
+/// so the run manifest can report spill volume without holding the writers.
+void accumulate_spill(const std::vector<ShardSpill>& spills,
+                      FleetSimResult& result) {
+  for (const ShardSpill& s : spills) {
+    if (s.trace != nullptr) {
+      result.spill_trace_segments += s.trace->segments();
+      result.spill_trace_bytes += s.trace->bytes_written();
+      result.spill_ok = result.spill_ok && s.trace->ok();
+    }
+    if (s.spans != nullptr) {
+      result.spill_span_segments += s.spans->segments();
+      result.spill_span_bytes += s.spans->bytes_written();
+      result.spill_ok = result.spill_ok && s.spans->ok();
+    }
+  }
+}
+
 /// One analytic shard's raw output. The closed form is linear in the
 /// arrivals, so per-(window, server) load matrices and per-second fleet
 /// loads sum exactly at merge: a sharded analytic run computes the same
@@ -388,6 +406,7 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
     spills.push_back(std::move(merge_spill));
     concat_spill(spills, /*trace_stream=*/true, config.obs_spill_dir);
     concat_spill(spills, /*trace_stream=*/false, config.obs_spill_dir);
+    accumulate_spill(spills, result);
   }
 
   if (config.health != nullptr) {
@@ -745,6 +764,7 @@ FleetSimResult merge_packet(std::vector<PacketShard>& shards,
     spills.push_back(std::move(merge_spill));
     concat_spill(spills, /*trace_stream=*/true, config.obs_spill_dir);
     concat_spill(spills, /*trace_stream=*/false, config.obs_spill_dir);
+    accumulate_spill(spills, result);
   }
 
   if (config.health != nullptr) {

@@ -131,6 +131,16 @@ struct FleetSimResult {
   /// Packet backend only: arrivals skipped because every client slot was
   /// already mid-test.
   std::uint64_t tests_dropped = 0;
+  /// Spill accounting summed over every shard's writers plus the merge
+  /// target (all zero when --obs-spill-dir is off). Deterministic — segment
+  /// rotation depends on store capacity and event volume, never on --jobs —
+  /// so these feed the run manifest's spill summaries.
+  std::uint64_t spill_trace_segments = 0;
+  std::uint64_t spill_trace_bytes = 0;
+  std::uint64_t spill_span_segments = 0;
+  std::uint64_t spill_span_bytes = 0;
+  /// False if any spill segment or concat failed to land intact.
+  bool spill_ok = true;
 };
 
 /// The probing rate Swiftest settles on for a client of the given capacity:

@@ -87,7 +87,20 @@ class JsonParser {
     return parse_number(out);
   }
 
+  /// RAII depth guard: containers nest at most kMaxJsonDepth levels.
+  class DepthScope {
+   public:
+    explicit DepthScope(JsonParser& parser) : parser_(parser) { ++parser_.depth_; }
+    ~DepthScope() { --parser_.depth_; }
+    [[nodiscard]] bool ok() const { return parser_.depth_ <= kMaxJsonDepth; }
+
+   private:
+    JsonParser& parser_;
+  };
+
   bool parse_object(JsonValue& out) {
+    const DepthScope depth(*this);
+    if (!depth.ok()) return fail("nesting deeper than kMaxJsonDepth");
     if (!consume('{')) return false;
     out.type_ = JsonValue::Type::kObject;
     skip_ws();
@@ -118,6 +131,8 @@ class JsonParser {
   }
 
   bool parse_array(JsonValue& out) {
+    const DepthScope depth(*this);
+    if (!depth.ok()) return fail("nesting deeper than kMaxJsonDepth");
     if (!consume('[')) return false;
     out.type_ = JsonValue::Type::kArray;
     skip_ws();
@@ -162,6 +177,10 @@ class JsonParser {
           case 'r': out.string_ += '\r'; break;
           case 'b': out.string_ += '\b'; break;
           case 'f': out.string_ += '\f'; break;
+          case 'u': {
+            if (!parse_unicode_escape(out.string_)) return false;
+            break;
+          }
           default: return fail("unsupported escape");
         }
       } else {
@@ -169,6 +188,79 @@ class JsonParser {
       }
     }
     return fail("unterminated string");
+  }
+
+  /// Reads the four hex digits after "\u"; nullopt on malformed hex.
+  std::optional<std::uint32_t> read_hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  /// Decodes one \uXXXX escape (pos_ is just past the 'u'). A high surrogate
+  /// followed by a \uXXXX low surrogate combines into one code point; a lone
+  /// surrogate — unpaired high, or a low with no preceding high — decodes to
+  /// U+FFFD so damaged artifacts stay loadable.
+  bool parse_unicode_escape(std::string& out) {
+    static constexpr std::uint32_t kReplacement = 0xfffd;
+    const auto first = read_hex4();
+    if (!first) return fail("bad \\u escape");
+    std::uint32_t cp = *first;
+    if (cp >= 0xdc00 && cp <= 0xdfff) {
+      cp = kReplacement;  // lone low surrogate
+    } else if (cp >= 0xd800 && cp <= 0xdbff) {
+      // High surrogate: consume the paired \uXXXX if present and valid.
+      if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+        const std::size_t rewind = pos_;
+        pos_ += 2;
+        const auto second = read_hex4();
+        if (!second) return fail("bad \\u escape");
+        if (*second >= 0xdc00 && *second <= 0xdfff) {
+          cp = 0x10000 + ((cp - 0xd800) << 10) + (*second - 0xdc00);
+        } else {
+          // Not a low surrogate: the first escape was lone; re-parse the
+          // second one on the next loop iteration.
+          cp = kReplacement;
+          pos_ = rewind;
+        }
+      } else {
+        cp = kReplacement;  // lone high surrogate at end / before other text
+      }
+    }
+    append_utf8(out, cp);
+    return true;
   }
 
   bool parse_bool(JsonValue& out) {
@@ -213,6 +305,7 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 

@@ -1,10 +1,18 @@
-// Minimal JSON reader for declarative health/SLO specs.
+// Minimal JSON reader for declarative health/SLO specs and the obs artifact
+// loaders (span documents, manifests, diff inputs).
 //
-// A deliberately small recursive-descent parser: objects, arrays, strings
-// (with the common escapes), numbers, booleans, null. It exists so SLO spec
-// files can be plain JSON without pulling a dependency into the tree; it is
-// not a general-purpose JSON library (no \uXXXX surrogate pairs, no
-// duplicate-key policy beyond last-wins).
+// A deliberately small recursive-descent parser: objects, arrays, strings,
+// numbers, booleans, null. It exists so spec and artifact files can be plain
+// JSON without pulling a dependency into the tree. Semantics the loaders
+// rely on (covered by tests/obs/json_util_test.cpp):
+//   * duplicate object keys: last value wins;
+//   * \uXXXX escapes decode to UTF-8, surrogate pairs included; a lone
+//     surrogate decodes to U+FFFD (replacement) instead of failing, so a
+//     damaged artifact degrades rather than becoming unreadable;
+//   * nesting beyond kMaxJsonDepth is rejected (a hostile or corrupt
+//     document cannot overflow the parse stack);
+//   * integer tokens keep their raw text, so as_u64() is exact over the
+//     full u64 range (2^63 and friends round-trip bit-for-bit).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,11 @@
 #include <vector>
 
 namespace swiftest::obs::health {
+
+/// Maximum object/array nesting the parser accepts. Deep enough for any
+/// artifact this tree writes (they nest < 10 levels), small enough that a
+/// pathological document cannot exhaust the recursion stack.
+inline constexpr int kMaxJsonDepth = 192;
 
 class JsonValue {
  public:

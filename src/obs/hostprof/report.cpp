@@ -415,4 +415,17 @@ void write_prof_report_markdown(const ProfReport& report, std::ostream& out) {
   }
 }
 
+std::vector<std::pair<std::string, double>> summarize_for_manifest(
+    const ProfData& data) {
+  const ProfReport report = analyze_prof(data);
+  return {
+      {"wall_ns", static_cast<double>(data.wall_ns)},
+      {"timelines", static_cast<double>(data.timelines.size())},
+      {"serial_fraction", report.serial_fraction},
+      {"parallel_efficiency", report.parallel_efficiency},
+      {"shard_imbalance", report.shard_imbalance},
+      {"main_coverage", report.main_coverage},
+  };
+}
+
 }  // namespace swiftest::obs::hostprof

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/hostprof/hostprof.hpp"
@@ -108,6 +109,12 @@ struct ProfReport {
 
 /// Computes the attribution report from a profile.
 [[nodiscard]] ProfReport analyze_prof(const ProfData& data);
+
+/// Manifest summary of a host-time profile. Everything here is host time —
+/// the RunManifest marks the hostprof layer informational, so these values
+/// explain a wall-clock change without ever gating a diff.
+[[nodiscard]] std::vector<std::pair<std::string, double>> summarize_for_manifest(
+    const ProfData& data);
 
 /// Renders the report as markdown ("# Host-time profile" ...).
 void write_prof_report_markdown(const ProfReport& report, std::ostream& out);

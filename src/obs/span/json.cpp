@@ -147,6 +147,16 @@ std::optional<std::vector<SpanData>> parse_spans_json(std::string_view text,
   return out;
 }
 
+std::vector<std::pair<std::string, double>> summarize_for_manifest(
+    const SpanStore& store) {
+  return {
+      {"spans", static_cast<double>(store.size())},
+      {"open", static_cast<double>(store.open_count())},
+      {"dropped", static_cast<double>(store.dropped())},
+      {"spilled", static_cast<double>(store.spilled())},
+  };
+}
+
 std::optional<std::vector<SpanData>> load_spans_file(const std::string& path,
                                                      std::string* error) {
   std::ifstream file(path, std::ios::binary);

@@ -65,4 +65,8 @@ void append_span_json(std::string& out, const SpanRecord& record);
 [[nodiscard]] std::optional<std::vector<SpanData>> load_spans_file(
     const std::string& path, std::string* error = nullptr);
 
+/// Manifest summary of a span store: retained/open/dropped/spilled counts.
+[[nodiscard]] std::vector<std::pair<std::string, double>> summarize_for_manifest(
+    const SpanStore& store);
+
 }  // namespace swiftest::obs::span

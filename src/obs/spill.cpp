@@ -68,4 +68,13 @@ bool concat_segments(const std::vector<std::string>& segment_paths,
   return static_cast<bool>(out);
 }
 
+std::vector<std::pair<std::string, double>> summarize_for_manifest(
+    const SpillWriter& writer) {
+  return {
+      {"segments", static_cast<double>(writer.segments())},
+      {"bytes", static_cast<double>(writer.bytes_written())},
+      {"ok", writer.ok() ? 1.0 : 0.0},
+  };
+}
+
 }  // namespace swiftest::obs

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/span/span.hpp"
@@ -68,5 +69,10 @@ class SpillWriter {
 /// read or the output cannot be written.
 bool concat_segments(const std::vector<std::string>& segment_paths,
                      const std::string& out_path, std::string* error = nullptr);
+
+/// Manifest summary of one spill writer: segments rotated, bytes written,
+/// and whether every segment landed intact.
+[[nodiscard]] std::vector<std::pair<std::string, double>> summarize_for_manifest(
+    const SpillWriter& writer);
 
 }  // namespace swiftest::obs

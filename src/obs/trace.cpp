@@ -21,7 +21,8 @@ const char* to_string(Category category) noexcept {
   return "unknown";
 }
 
-std::optional<std::uint32_t> parse_category_mask(std::string_view csv) {
+std::optional<std::uint32_t> parse_category_mask(std::string_view csv,
+                                                 std::string* bad_token) {
   std::uint32_t mask = 0;
   while (!csv.empty()) {
     const auto comma = csv.find(',');
@@ -41,6 +42,7 @@ std::optional<std::uint32_t> parse_category_mask(std::string_view csv) {
     } else if (token == "fleet") {
       mask |= static_cast<std::uint32_t>(Category::kFleet);
     } else {
+      if (bad_token != nullptr) *bad_token = std::string(token);
       return std::nullopt;
     }
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -45,8 +46,11 @@ inline constexpr const char* kCategoryListCsv =
 [[nodiscard]] const char* to_string(Category category) noexcept;
 
 /// Parses a comma-separated category list ("scheduler,link,protocol") into a
-/// mask; "all" selects everything. Returns nullopt on an unknown name.
-[[nodiscard]] std::optional<std::uint32_t> parse_category_mask(std::string_view csv);
+/// mask; "all" selects everything. Returns nullopt on an unknown name; when
+/// `bad_token` is non-null it receives the first offending token so callers
+/// can name it in their error message.
+[[nodiscard]] std::optional<std::uint32_t> parse_category_mask(
+    std::string_view csv, std::string* bad_token = nullptr);
 
 /// How an event renders in the Chrome exporter: a point-in-time marker or a
 /// sample of a numeric series (cwnd, queue depth, probing rate).

@@ -1,0 +1,279 @@
+// RunManifest serialization round-trip, content hashing, and the semantic
+// diff verdicts `obs diff` builds on (DESIGN.md §14).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/diff/diff.hpp"
+#include "obs/manifest/manifest.hpp"
+#include "obs/spill.hpp"
+
+namespace swiftest::obs {
+namespace {
+
+// --- content hashing -------------------------------------------------------
+
+TEST(Manifest, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors: offset basis for "", and "a".
+  EXPECT_EQ(manifest::fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(manifest::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(manifest::fnv1a64("ab"), manifest::fnv1a64("ba"));
+}
+
+TEST(Manifest, ContentHashFormat) {
+  const std::string hash = manifest::content_hash("payload");
+  ASSERT_EQ(hash.size(), 8u + 16u);
+  EXPECT_EQ(hash.substr(0, 8), "fnv1a64:");
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef", 8), std::string::npos);
+}
+
+// --- artifact_from_file ----------------------------------------------------
+
+TEST(Manifest, ArtifactFromFileCountsRowsAndHashesContent) {
+  const std::string path = ::testing::TempDir() + "/manifest_artifact.jsonl";
+  const std::string content = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n";
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file << content;
+  }
+  const auto record = manifest::artifact_from_file("health", path);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->name, "health");
+  EXPECT_EQ(record->path, path);
+  EXPECT_EQ(record->bytes, content.size());
+  EXPECT_EQ(record->rows, 3u);
+  EXPECT_EQ(record->hash, manifest::content_hash(content));
+}
+
+TEST(Manifest, ArtifactFromMissingFileReportsError) {
+  std::string error;
+  const auto record = manifest::artifact_from_file(
+      "health", ::testing::TempDir() + "/does_not_exist.json", &error);
+  EXPECT_FALSE(record.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// --- serialization round-trip ----------------------------------------------
+
+manifest::RunManifest sample_manifest() {
+  manifest::RunManifest m;
+  m.command = "fleet";
+  m.build = "deadbeef";
+  m.config = {{"backend", "analytic"}, {"seed", "21"}, {"shards", "4"}};
+  m.artifacts.push_back({"health", "/tmp/health.json", 120, 1,
+                         manifest::content_hash("health-bytes")});
+  m.summaries["trace"] = {{"cat.protocol", 10.0}, {"dropped", 0.0},
+                          {"events", 42.0}};
+  m.summaries["health"] = {{"tests", 100.0}};
+  m.bench = {{"tests_simulated", 10000.0}, {"util_median_pct", 37.5}};
+  m.slos.push_back({"latency", "all", "p95", 1.25, "pass"});
+  m.host = {{"jobs", 4.0}, {"wall_ms", 1234.0}};
+  return m;
+}
+
+TEST(Manifest, JsonlRoundTripPreservesEveryField) {
+  const manifest::RunManifest m = sample_manifest();
+  std::ostringstream out;
+  manifest::write_manifest_jsonl(m, out);
+
+  std::string error;
+  const auto parsed = manifest::parse_manifest_jsonl(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->version, manifest::kManifestVersion);
+  EXPECT_EQ(parsed->tool, "swiftest-cli");
+  EXPECT_EQ(parsed->command, "fleet");
+  EXPECT_EQ(parsed->build, "deadbeef");
+  EXPECT_EQ(parsed->config, m.config);
+  ASSERT_EQ(parsed->artifacts.size(), 1u);
+  EXPECT_EQ(parsed->artifacts[0].name, "health");
+  EXPECT_EQ(parsed->artifacts[0].bytes, 120u);
+  EXPECT_EQ(parsed->artifacts[0].rows, 1u);
+  EXPECT_EQ(parsed->artifacts[0].hash, m.artifacts[0].hash);
+  ASSERT_NE(parsed->find_summary("trace"), nullptr);
+  EXPECT_EQ(*parsed->find_summary("trace"), m.summaries.at("trace"));
+  EXPECT_EQ(parsed->bench, m.bench);
+  ASSERT_EQ(parsed->slos.size(), 1u);
+  EXPECT_EQ(parsed->slos[0].stat, "p95");
+  EXPECT_DOUBLE_EQ(parsed->slos[0].observed, 1.25);
+  EXPECT_EQ(parsed->slos[0].status, "pass");
+  EXPECT_EQ(parsed->host, m.host);
+  EXPECT_EQ(parsed->config_value("seed"), std::optional<std::string>("21"));
+  EXPECT_EQ(parsed->config_value("nope"), std::nullopt);
+}
+
+TEST(Manifest, RoundTripIsByteStable) {
+  // write(parse(write(m))) == write(m): the parsed form loses nothing the
+  // writer renders.
+  std::ostringstream first;
+  manifest::write_manifest_jsonl(sample_manifest(), first);
+  const auto parsed = manifest::parse_manifest_jsonl(first.str());
+  ASSERT_TRUE(parsed.has_value());
+  std::ostringstream second;
+  manifest::write_manifest_jsonl(*parsed, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Manifest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(manifest::parse_manifest_jsonl("not json\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(manifest::parse_manifest_jsonl(
+                   R"({"type":"mystery"})" "\n", &error)
+                   .has_value());
+  // A document with records but no manifest header is not a manifest.
+  EXPECT_FALSE(manifest::parse_manifest_jsonl(
+                   R"({"type":"config","key":"seed","value":"1"})" "\n", &error)
+                   .has_value());
+  // Required field missing.
+  EXPECT_FALSE(manifest::parse_manifest_jsonl(
+                   R"({"type":"manifest","version":1,"tool":"swiftest-cli"})"
+                   "\n",
+                   &error)
+                   .has_value());
+}
+
+// --- diff verdicts ---------------------------------------------------------
+
+diff::DiffOptions no_artifact_options() {
+  diff::DiffOptions options;
+  options.load_artifacts = false;  // pure manifest-vs-manifest comparison
+  return options;
+}
+
+TEST(ManifestDiff, IdenticalManifestsDiffClean) {
+  const manifest::RunManifest m = sample_manifest();
+  const diff::DiffReport report = diff::diff_runs(m, m, no_artifact_options());
+  EXPECT_TRUE(report.identical);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
+TEST(ManifestDiff, HostAndConfigDriftStaysInformational) {
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.host = {{"jobs", 1.0}, {"wall_ms", 9999.0}};
+  b.config.emplace_back("obs.sample", "1/16");
+  const diff::DiffReport report = diff::diff_runs(a, b, no_artifact_options());
+  EXPECT_TRUE(report.identical) << "host/config drift must never gate";
+  EXPECT_EQ(report.regressions, 0u);
+  // ... but it is still reported for attribution.
+  bool saw_host = false, saw_config = false;
+  for (const diff::DiffEntry& entry : report.entries) {
+    if (entry.section == "host") saw_host = true;
+    if (entry.section == "config" && entry.key == "obs.sample") saw_config = true;
+    if (entry.section == "host" || entry.section == "config") {
+      EXPECT_EQ(entry.status, diff::DiffStatus::kInfo);
+    }
+  }
+  EXPECT_TRUE(saw_host);
+  EXPECT_TRUE(saw_config);
+}
+
+TEST(ManifestDiff, BenchValueBeyondToleranceRegresses) {
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.bench = {{"tests_simulated", 10000.0}, {"util_median_pct", 50.0}};
+  const diff::DiffReport report = diff::diff_runs(a, b, no_artifact_options());
+  EXPECT_FALSE(report.identical);
+  EXPECT_GE(report.regressions, 1u);
+  bool found = false;
+  for (const diff::DiffEntry& entry : report.entries) {
+    if (entry.section == "bench" && entry.key == "util_median_pct") {
+      found = true;
+      EXPECT_EQ(entry.status, diff::DiffStatus::kRegressed);
+      EXPECT_DOUBLE_EQ(entry.delta, 12.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ManifestDiff, SmallDriftWithinToleranceDoesNotGate) {
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.bench = {{"tests_simulated", 10000.0}, {"util_median_pct", 38.0}};  // +1.3%
+  const diff::DiffReport report = diff::diff_runs(a, b, no_artifact_options());
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_FALSE(report.identical) << "a real delta is still a semantic change";
+}
+
+TEST(ManifestDiff, ExpectIdenticalGatesToleratedDrift) {
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.bench = {{"tests_simulated", 10000.0}, {"util_median_pct", 38.0}};
+  diff::DiffOptions options = no_artifact_options();
+  options.expect_identical = true;
+  const diff::DiffReport report = diff::diff_runs(a, b, options);
+  EXPECT_FALSE(report.identical);
+  EXPECT_GE(report.regressions, 1u);
+}
+
+TEST(ManifestDiff, ExactCountKeysIgnoreTolerance) {
+  // "events" is integer-semantics: a one-event delta regresses even though
+  // it is far inside the 5% relative tolerance.
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.summaries["trace"] = {{"cat.protocol", 10.0}, {"dropped", 0.0},
+                          {"events", 43.0}};
+  const diff::DiffReport report = diff::diff_runs(a, b, no_artifact_options());
+  EXPECT_GE(report.regressions, 1u);
+  bool found = false;
+  for (const diff::DiffEntry& entry : report.entries) {
+    if (entry.key == "events") {
+      found = true;
+      EXPECT_EQ(entry.status, diff::DiffStatus::kRegressed);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ManifestDiff, NewSloViolationRegresses) {
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.slos[0].status = "violated";
+  b.slos[0].observed = 9.0;
+  const diff::DiffReport report = diff::diff_runs(a, b, no_artifact_options());
+  EXPECT_GE(report.regressions, 1u);
+  EXPECT_FALSE(report.identical);
+}
+
+TEST(ManifestDiff, RendersJsonAndMarkdown) {
+  const manifest::RunManifest a = sample_manifest();
+  manifest::RunManifest b = sample_manifest();
+  b.bench = {{"tests_simulated", 10000.0}, {"util_median_pct", 50.0}};
+  const diff::DiffReport report =
+      diff::diff_runs(a, b, no_artifact_options(), "runA", "runB");
+  std::ostringstream json;
+  diff::write_diff_json(report, json);
+  EXPECT_NE(json.str().find("\"regressions\""), std::string::npos);
+  EXPECT_NE(json.str().find("runA"), std::string::npos);
+  std::ostringstream md;
+  diff::write_diff_markdown(report, md);
+  EXPECT_NE(md.str().find("util_median_pct"), std::string::npos);
+}
+
+// --- spill manifest summary ------------------------------------------------
+
+TEST(Manifest, SpillWriterSummary) {
+  const std::string dir = ::testing::TempDir();
+  SpillWriter writer(dir, "trace", /*shard=*/0);
+  TraceEvent events[2] = {};
+  writer.write_trace_segment(events, 2);
+  writer.write_trace_segment(events, 1);
+  const auto summary = summarize_for_manifest(writer);
+  double segments = -1.0, ok = -1.0, bytes = -1.0;
+  for (const auto& [key, value] : summary) {
+    if (key == "segments") segments = value;
+    if (key == "ok") ok = value;
+    if (key == "bytes") bytes = value;
+  }
+  EXPECT_EQ(segments, 2.0);
+  EXPECT_EQ(bytes, static_cast<double>(writer.bytes_written()));
+  EXPECT_GT(writer.bytes_written(), 0u);
+  EXPECT_EQ(ok, 1.0);
+}
+
+}  // namespace
+}  // namespace swiftest::obs

@@ -144,7 +144,24 @@ TEST(Cli, TraceCategoriesFilterAppliesAndRejectsUnknown) {
                  "--trace-categories", "bogus"},
                 output),
             2);
-  EXPECT_NE(output.find("bad --trace-categories"), std::string::npos);
+  EXPECT_NE(output.find("unknown trace category 'bogus'"), std::string::npos);
+  EXPECT_NE(output.find(obs::kCategoryListCsv), std::string::npos)
+      << "the error must list the valid categories";
+}
+
+TEST(Cli, TraceCategoriesValidatedEvenWithoutTraceOutput) {
+  // A typo'd category list must fail loudly even when no trace output flag
+  // is present (it used to be silently ignored).
+  std::string output;
+  EXPECT_EQ(run({"run", "--rate", "50", "--trace-categories", "protcol"},
+                output),
+            2);
+  EXPECT_NE(output.find("unknown trace category 'protcol'"), std::string::npos);
+
+  // A valid list without any output flag stays a no-op success.
+  EXPECT_EQ(run({"run", "--rate", "50", "--trace-categories", "protocol"},
+                output),
+            0);
 }
 
 std::string slurp(const std::string& path) {
@@ -480,6 +497,94 @@ TEST(Cli, UsageDocumentsHostProfiling) {
   EXPECT_NE(output.find("--prof-out"), std::string::npos);
   EXPECT_NE(output.find("--prof-trace"), std::string::npos);
   EXPECT_NE(output.find("profile  report FILE"), std::string::npos);
+}
+
+TEST(Cli, UsageDocumentsManifestsAndDiff) {
+  std::string output;
+  EXPECT_EQ(run({"help"}, output), 0);
+  EXPECT_NE(output.find("--manifest-out"), std::string::npos);
+  EXPECT_NE(output.find("--no-manifest"), std::string::npos);
+  EXPECT_NE(output.find("obs      diff"), std::string::npos);
+  EXPECT_NE(output.find("4 diff regression"), std::string::npos);
+}
+
+TEST(Cli, TestCommandWritesManifest) {
+  const std::string manifest_path = testing::TempDir() + "/cli_test.manifest.jsonl";
+  std::string output;
+  ASSERT_EQ(run({"test", "--tech", "wifi5", "--rate", "60", "--seed", "7",
+                 "--manifest-out", manifest_path},
+                output),
+            0);
+  EXPECT_NE(output.find("manifest: " + manifest_path), std::string::npos);
+  const std::string text = slurp(manifest_path);
+  EXPECT_NE(text.find("\"type\":\"manifest\""), std::string::npos);
+  EXPECT_NE(text.find("\"command\":\"test\""), std::string::npos);
+  EXPECT_NE(text.find("\"key\":\"seed\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"estimate_mbps\""), std::string::npos);
+}
+
+TEST(Cli, FleetManifestDefaultsNextToFirstArtifact) {
+  const std::string health_path = testing::TempDir() + "/cli_mf_health.json";
+  std::string output;
+  ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "200", "--seed",
+                 "5", "--health-out", health_path},
+                output),
+            0);
+  const std::string manifest_path = health_path + ".manifest.jsonl";
+  EXPECT_NE(output.find("manifest: " + manifest_path), std::string::npos);
+  const std::string text = slurp(manifest_path);
+  EXPECT_NE(text.find("\"command\":\"fleet\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"health\""), std::string::npos);
+  EXPECT_NE(text.find("\"hash\":\"fnv1a64:"), std::string::npos);
+
+  // --no-manifest suppresses the default.
+  const std::string quiet_path = testing::TempDir() + "/cli_mf_quiet.json";
+  ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "200", "--seed",
+                 "5", "--health-out", quiet_path, "--no-manifest"},
+                output),
+            0);
+  EXPECT_EQ(output.find("manifest:"), std::string::npos);
+  EXPECT_TRUE(slurp(quiet_path + ".manifest.jsonl").empty());
+}
+
+TEST(Cli, ObsDiffVerdictsAndExitCodes) {
+  const std::string dir = testing::TempDir();
+  std::string output;
+  // Two identical-seed fleet-days and one perturbed-seed run.
+  for (const auto& [tag, seed] : {std::pair<const char*, const char*>{"a", "9"},
+                                  {"b", "9"},
+                                  {"c", "10"}}) {
+    ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "300", "--seed",
+                   seed, "--health-out",
+                   dir + "/cli_diff_" + tag + ".json", "--manifest-out",
+                   dir + "/cli_diff_" + tag + ".manifest.jsonl"},
+                  output),
+              0);
+  }
+
+  // Same seed: semantically identical, even under --expect-identical.
+  EXPECT_EQ(run({"obs", "diff", dir + "/cli_diff_a.manifest.jsonl",
+                 dir + "/cli_diff_b.manifest.jsonl", "--expect-identical"},
+                output),
+            0);
+  EXPECT_NE(output.find("diff: identical"), std::string::npos);
+
+  // Perturbed seed: regression, exit 4, JSON report written.
+  const std::string json_path = dir + "/cli_diff.json";
+  EXPECT_EQ(run({"obs", "diff", dir + "/cli_diff_a.manifest.jsonl",
+                 dir + "/cli_diff_c.manifest.jsonl", "--json", json_path},
+                output),
+            4);
+  EXPECT_NE(output.find("DIFF REGRESSION"), std::string::npos);
+  EXPECT_NE(slurp(json_path).find("\"regressions\""), std::string::npos);
+
+  // Usage and file errors keep their own exit codes.
+  EXPECT_EQ(run({"obs", "diff", "only-one.jsonl"}, output), 2);
+  EXPECT_EQ(run({"obs", "diff", "/nonexistent/a.jsonl",
+                 dir + "/cli_diff_b.manifest.jsonl"},
+                output),
+            1);
+  EXPECT_EQ(run({"obs", "frobnicate"}, output), 2);
 }
 
 }  // namespace

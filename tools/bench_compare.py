@@ -5,9 +5,13 @@ Usage:
     tools/bench_compare.py baseline.json current.json [--tolerance 0.05]
 
 Each file is the {"name", "repo_sha", "config", "values"} document written
-by benchutil::report_flush(). Values are compared with a relative tolerance
-(default 5%); values whose baseline magnitude is below --abs-floor use an
-absolute tolerance instead, so near-zero metrics do not trip on noise.
+by benchutil::report_flush(), or a RunManifest JSONL file written by
+`swiftest-cli --manifest-out` — manifests are detected by their
+{"type": "manifest"} header line and their "bench" lines become the value
+set (config lines become the config, the build sha becomes repo_sha).
+Values are compared with a relative tolerance (default 5%); values whose
+baseline magnitude is below --abs-floor use an absolute tolerance instead,
+so near-zero metrics do not trip on noise.
 
 Wall-clock scaling values (names prefixed "wall_s_" or "speedup_") are only
 meaningful between runs on comparable hosts: they are skipped with a warning
@@ -21,8 +25,9 @@ different benches (mismatched "name" fields — comparing those is always a
 setup bug, not a regression).
 
 History: every compared run is appended to tools/bench_history/<name>.jsonl
-(one report document per line) so regressions can be traced across commits,
-not just against the committed baseline. Before appending, the current
+(one report document per line, stamped with the comparison's "verdict") so
+regressions can be traced across commits, not just against the committed
+baseline. Before appending, the current
 report's value names are checked against the newest history line: schema
 drift (values added or removed) fails the run — a renamed metric silently
 resets its history — unless --allow-schema-change acknowledges it.
@@ -37,12 +42,54 @@ import os
 import sys
 
 
+def load_manifest_report(text):
+    """Builds a bench-report document from RunManifest JSONL, or None when
+    the text is not a manifest (no parseable {"type": "manifest"} header)."""
+    values, config, name, sha = {}, {}, None, "?"
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(rec, dict) or "type" not in rec:
+            return None
+        kind = rec["type"]
+        if kind == "manifest":
+            name = "manifest:" + str(rec.get("command", "?"))
+            sha = str(rec.get("build", "?"))
+        elif kind == "config":
+            config[str(rec.get("key"))] = rec.get("value")
+        elif kind == "bench":
+            values[str(rec.get("name"))] = rec.get("value")
+    if name is None:
+        return None
+    return {"name": name, "repo_sha": sha, "config": config, "values": values}
+
+
 def load_report(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
+            text = fh.read()
+    except OSError as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        doc = None
+        parse_error = exc
+    # A multi-line manifest fails the whole-document parse; a header-only
+    # manifest parses but carries "type": "manifest". Either way, fall
+    # through to the JSONL reader.
+    if doc is None or (isinstance(doc, dict) and doc.get("type") == "manifest"):
+        manifest = load_manifest_report(text)
+        if manifest is not None:
+            return manifest
+    if doc is None:
+        print(f"error: cannot read {path}: {parse_error}", file=sys.stderr)
         sys.exit(2)
     if not isinstance(doc.get("values"), dict):
         print(f"error: {path} has no \"values\" object", file=sys.stderr)
@@ -115,13 +162,15 @@ def last_history_entry(path):
     return None
 
 
-def update_history(curr, history_dir, allow_schema_change):
-    """Appends `curr` to the bench's history ledger.
+def update_history(curr, history_dir, allow_schema_change, verdict=None):
+    """Appends `curr` to the bench's history ledger, stamped with the
+    comparison `verdict` ({"ok": bool, "failures": int}) so the ledger
+    records not just what each run measured but how the comparison went.
 
     Returns an error string on schema drift against the newest history entry
     (nothing is appended then, so the drift stays visible until acknowledged
     with --allow-schema-change), None on success."""
-    name = curr.get("name") or "unnamed"
+    name = (curr.get("name") or "unnamed").replace(":", "_")
     path = os.path.join(history_dir, f"{name}.jsonl")
     prev = last_history_entry(path)
     if prev is not None:
@@ -138,9 +187,12 @@ def update_history(curr, history_dir, allow_schema_change):
             return (f"value schema drifted vs history {path}: "
                     f"{'; '.join(detail)} "
                     f"(pass --allow-schema-change if intentional)")
+    entry = dict(curr)
+    if verdict is not None:
+        entry["verdict"] = verdict
     os.makedirs(history_dir, exist_ok=True)
     with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(curr, sort_keys=True) + "\n")
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
     return None
 
 
@@ -214,7 +266,10 @@ def main():
 
     if not args.no_history:
         history_dir = args.history_dir or default_history_dir()
-        error = update_history(curr, history_dir, args.allow_schema_change)
+        verdict = {"ok": failures == 0, "failures": failures,
+                   "baseline_sha": base.get("repo_sha", "?")}
+        error = update_history(curr, history_dir, args.allow_schema_change,
+                               verdict)
         if error is not None:
             print(f"FAIL history: {error}")
             failures += 1

@@ -24,6 +24,7 @@ run_suite() {
   run_span_gate "${build_dir}"
   run_obs_budget_gate "${build_dir}"
   run_profile_gate "${build_dir}"
+  run_diff_gate "${build_dir}"
   run_bench_gate "${build_dir}"
 }
 
@@ -219,6 +220,105 @@ PYEOF
   grep -q '^# Host-time profile' "${out_dir}/prof-j4.md"
   grep -q '^## Workers' "${out_dir}/prof-j4.md"
   echo "profile attribution gate passed"
+}
+
+# Cross-run manifest diff gate (DESIGN.md §14): a 10k-test fleet-day at
+# --jobs 1 and --jobs 4 must produce manifests that `obs diff
+# --expect-identical` declares semantically identical (artifacts never depend
+# on worker count), every manifest line must match the record schema, and a
+# seed-perturbed run must produce a non-empty diff that names the changed
+# critical-path stage, with per-stage deltas summing to the observed
+# total-time delta within 1%.
+run_diff_gate() {
+  local build_dir="$1"
+  local out_dir="${REPO_ROOT}/${build_dir}/obs-smoke/diff"
+  echo "=== manifest diff gate (${build_dir}) ==="
+  mkdir -p "${out_dir}"
+  local jobs
+  for jobs in 1 4; do
+    "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet \
+      --days 1 --tests-per-day 10000 --seed 21 --shards 4 --jobs "${jobs}" \
+      --obs-sample 1/16 \
+      --trace-jsonl "${out_dir}/trace-j${jobs}.jsonl" \
+      --metrics-out "${out_dir}/metrics-j${jobs}.json" \
+      --health-out "${out_dir}/health-j${jobs}.json" \
+      --manifest-out "${out_dir}/manifest-j${jobs}.jsonl" > /dev/null
+  done
+  python3 - "${out_dir}/manifest-j1.jsonl" <<'PYEOF'
+import json, sys
+
+REQUIRED = {
+    "manifest": {"version", "tool", "command", "build"},
+    "config": {"key", "value"},
+    "artifact": {"name", "path", "bytes", "rows", "hash"},
+    "summary": {"layer", "values"},
+    "bench": {"name", "value"},
+    "slo": {"name", "dimension", "stat", "observed", "status"},
+    "host": {"key", "value"},
+}
+counts = dict.fromkeys(REQUIRED, 0)
+with open(sys.argv[1]) as stream:
+    for lineno, line in enumerate(stream, 1):
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind not in REQUIRED:
+            sys.exit(f"line {lineno}: unknown manifest record type {kind!r}")
+        missing = REQUIRED[kind] - rec.keys()
+        if missing:
+            sys.exit(f"line {lineno}: {kind} record missing {sorted(missing)}")
+        if kind == "artifact" and not rec["hash"].startswith("fnv1a64:"):
+            sys.exit(f"line {lineno}: artifact hash {rec['hash']!r} "
+                     f"lacks fnv1a64: prefix")
+        if kind == "summary" and not isinstance(rec["values"], dict):
+            sys.exit(f"line {lineno}: summary values is not an object")
+        counts[kind] += 1
+if counts["manifest"] != 1:
+    sys.exit(f"expected exactly one manifest header, saw {counts['manifest']}")
+for kind in ("config", "artifact", "summary", "bench", "host"):
+    if counts[kind] == 0:
+        sys.exit(f"manifest holds no {kind!r} record")
+print(f"manifest schema ok: {sum(counts.values())} lines "
+      f"({counts['artifact']} artifacts, {counts['summary']} summaries)")
+PYEOF
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" obs diff \
+    "${out_dir}/manifest-j1.jsonl" "${out_dir}/manifest-j4.jsonl" \
+    --expect-identical > "${out_dir}/diff-jobs.md" \
+    || { echo "jobs-varied runs are not semantically identical" >&2; return 1; }
+  grep -q 'diff: identical' "${out_dir}/diff-jobs.md" \
+    || { echo "diff verdict line missing" >&2; return 1; }
+  local seed
+  for seed in 3 4; do
+    "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" fleet --backend packet \
+      --servers 5 --days 1 --tests-per-day 200 --seed "${seed}" \
+      --spans-out "${out_dir}/spans-seed${seed}.json" \
+      --health-out "${out_dir}/health-seed${seed}.json" \
+      --manifest-out "${out_dir}/manifest-seed${seed}.jsonl" > /dev/null
+  done
+  local rc=0
+  "${REPO_ROOT}/${build_dir}/tools/swiftest-cli" obs diff \
+    "${out_dir}/manifest-seed3.jsonl" "${out_dir}/manifest-seed4.jsonl" \
+    --json "${out_dir}/diff-seed.json" > "${out_dir}/diff-seed.out" || rc=$?
+  if [ "${rc}" -ne 4 ]; then
+    echo "seed-perturbed diff exited ${rc}, expected 4 (regression)" >&2
+    return 1
+  fi
+  grep -q 'largest stage delta: ' "${out_dir}/diff-seed.out" \
+    || { echo "seed-perturbed diff names no changed stage" >&2; return 1; }
+  python3 - "${out_dir}/diff-seed.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["diff"]["regressions"] > 0, "perturbed diff reports no regression"
+sa = report["stage_attribution"]
+assert sa.get("top_stage"), "stage attribution names no top stage"
+total = sa["total_delta_s"]
+err = abs(sa["stage_delta_sum_s"] - total)
+if err > 0.01 * max(abs(total), 1e-3):
+    sys.exit(f"stage deltas sum to {sa['stage_delta_sum_s']} but observed "
+             f"total-time delta is {total} (error {err})")
+print(f"perturbed diff ok: top stage {sa['top_stage']}, "
+      f"stage-delta sum within 1% of total delta {total:.3f}s")
+PYEOF
+  echo "manifest diff gate passed"
 }
 
 # Deterministic bench regression gate: fig20 (Swiftest test duration) values

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "obs/diff/diff.hpp"
 #include "obs/export.hpp"
+#include "obs/manifest/manifest.hpp"
 #include "obs/health/report.hpp"
 #include "obs/health/slo.hpp"
 #include "obs/hostprof/hostprof.hpp"
@@ -36,6 +38,13 @@
 #include "swiftest/client.hpp"
 #include "swiftest/model_io.hpp"
 #include "swiftest/wire_client.hpp"
+
+// Injected by tools/CMakeLists.txt from `git rev-parse HEAD`; "unknown"
+// outside a git checkout. Run manifests carry it so `obs diff` can name the
+// builds it compares.
+#ifndef SWIFTEST_GIT_SHA
+#define SWIFTEST_GIT_SHA "unknown"
+#endif
 
 namespace swiftest::cli {
 namespace {
@@ -61,6 +70,25 @@ const std::string kUsage = std::string(
     "  profile  report FILE [--md OUT]\n"
     "           parallel efficiency, serial fraction, and Amdahl attribution\n"
     "           of a --prof-out host-time profile\n"
+    "  obs      diff MANIFEST_A MANIFEST_B [--json OUT] [--md OUT]\n"
+    "           [--expect-identical] [--tolerance R] [--no-artifacts]\n"
+    "           semantic cross-run diff of two run manifests (and the\n"
+    "           artifacts they point at); exits 4 on a gated regression\n"
+    "\n"
+    "run manifests (test, run, fleet):\n"
+    "  --manifest-out FILE     write a RunManifest (JSONL): resolved config,\n"
+    "                          build sha, per-artifact content hashes and row\n"
+    "                          counts, per-layer summaries, headline bench\n"
+    "                          values, and SLO verdicts — the input of\n"
+    "                          `obs diff`. For fleet this is on by default\n"
+    "                          whenever the run writes an artifact (the\n"
+    "                          manifest lands next to the first artifact as\n"
+    "                          <artifact>.manifest.jsonl)\n"
+    "  --no-manifest           disable the default fleet manifest\n"
+    "\n"
+    "exit codes:\n"
+    "  0 success   1 file/runtime error   2 usage error\n"
+    "  3 SLO violation (--slo)   4 diff regression (obs diff)\n"
     "\n"
     "observability (test, run, fleet):\n"
     "  --trace-out FILE        write a Chrome trace_event JSON trace\n"
@@ -169,25 +197,70 @@ bool apply_log_level(const Options& options, std::ostream& out) {
 
 /// Builds an obs::Hub when any trace/metrics/span output flag is present;
 /// null hub (and success) otherwise. Returns false on a bad
-/// --trace-categories list.
+/// --trace-categories list — validated unconditionally, so a typo'd
+/// category fails the run loudly even when no trace output is requested.
 bool setup_obs(const Options& options, std::ostream& out,
                std::unique_ptr<obs::Hub>& hub) {
+  std::optional<std::uint32_t> mask;
+  if (options.has("trace-categories")) {
+    std::string bad_token;
+    mask = obs::parse_category_mask(options.get("trace-categories", ""), &bad_token);
+    if (!mask) {
+      out << "unknown trace category '" << bad_token
+          << "' in --trace-categories '" << options.get("trace-categories", "")
+          << "' (valid: " << obs::kCategoryListCsv << ")\n";
+      return false;
+    }
+  }
   if (!options.has("trace-out") && !options.has("trace-jsonl") &&
       !options.has("metrics-out") && !options.has("spans-out") &&
       !options.has("attribution-md")) {
     return true;
   }
   hub = std::make_unique<obs::Hub>();
-  if (options.has("trace-categories")) {
-    const auto mask = obs::parse_category_mask(options.get("trace-categories", ""));
-    if (!mask) {
-      out << "bad --trace-categories '" << options.get("trace-categories", "")
-          << "' (expected comma list of " << obs::kCategoryListCsv << ")\n";
-      return false;
-    }
-    hub->tracer.set_category_mask(*mask);
-  }
+  if (mask) hub->tracer.set_category_mask(*mask);
   return true;
+}
+
+/// Registers an artifact the run just wrote (content hash, bytes, rows) in
+/// the manifest. A manifest-side read failure warns on stderr instead of
+/// failing the run: the artifact itself landed fine.
+void manifest_add_artifact(obs::manifest::RunManifest* manifest,
+                           const std::string& name, const std::string& path) {
+  if (manifest == nullptr) return;
+  std::string error;
+  auto record = obs::manifest::artifact_from_file(name, path, &error);
+  if (!record) {
+    std::cerr << "warning: manifest: " << error << "\n";
+    return;
+  }
+  manifest->artifacts.push_back(std::move(*record));
+}
+
+/// Writes the manifest file; returns 0 or 1 (unwritable path).
+int write_manifest_file(const std::string& path,
+                        const obs::manifest::RunManifest& manifest,
+                        std::ostream& out) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    out << "cannot write " << path << "\n";
+    return 1;
+  }
+  obs::manifest::write_manifest_jsonl(manifest, file);
+  out << "manifest: " << path << "\n";
+  return 0;
+}
+
+const char* slo_status_name(obs::health::SloStatus status) {
+  switch (status) {
+    case obs::health::SloStatus::kPass:
+      return "pass";
+    case obs::health::SloStatus::kSkipped:
+      return "skipped";
+    case obs::health::SloStatus::kViolated:
+      return "violated";
+  }
+  return "unknown";
 }
 
 /// True when the run opted into any of the bounded-observability machinery.
@@ -203,7 +276,8 @@ bool bounded_obs_requested(const Options& options) {
 /// artifacts render: a stderr warning always, plus — for bounded-obs runs —
 /// only-nonzero obs.trace_dropped / obs.span_dropped counters in the metrics
 /// snapshot, so a silently-wrapped ring can't masquerade as a complete trace.
-int flush_obs(const Options& options, std::ostream& out, obs::Hub* hub) {
+int flush_obs(const Options& options, std::ostream& out, obs::Hub* hub,
+              obs::manifest::RunManifest* manifest = nullptr) {
   if (hub == nullptr) return 0;
   if (hub->tracer.dropped() > 0) {
     std::cerr << "warning: trace ring dropped " << hub->tracer.dropped()
@@ -228,6 +302,8 @@ int flush_obs(const Options& options, std::ostream& out, obs::Hub* hub) {
     std::ofstream file;
     if (!open(options.get("trace-out", ""), file)) return 1;
     obs::write_chrome_trace(hub->tracer, file);
+    file.close();
+    manifest_add_artifact(manifest, "trace_chrome", options.get("trace-out", ""));
     out << "trace: " << options.get("trace-out", "") << " ("
         << hub->tracer.events().size() << " events";
     if (hub->tracer.dropped() > 0) out << ", " << hub->tracer.dropped() << " dropped";
@@ -237,17 +313,23 @@ int flush_obs(const Options& options, std::ostream& out, obs::Hub* hub) {
     std::ofstream file;
     if (!open(options.get("trace-jsonl", ""), file)) return 1;
     obs::write_trace_jsonl(hub->tracer, file);
+    file.close();
+    manifest_add_artifact(manifest, "trace_jsonl", options.get("trace-jsonl", ""));
   }
   if (options.has("metrics-out")) {
     std::ofstream file;
     if (!open(options.get("metrics-out", ""), file)) return 1;
     obs::write_metrics_json(hub->metrics.snapshot(), file);
+    file.close();
+    manifest_add_artifact(manifest, "metrics", options.get("metrics-out", ""));
     out << "metrics: " << options.get("metrics-out", "") << "\n";
   }
   if (options.has("spans-out")) {
     std::ofstream file;
     if (!open(options.get("spans-out", ""), file)) return 1;
     obs::span::write_spans_json(hub->spans, file);
+    file.close();
+    manifest_add_artifact(manifest, "spans", options.get("spans-out", ""));
     out << "spans: " << options.get("spans-out", "") << " (" << hub->spans.size()
         << " spans";
     if (hub->spans.dropped() > 0) out << ", " << hub->spans.dropped() << " dropped";
@@ -258,8 +340,17 @@ int flush_obs(const Options& options, std::ostream& out, obs::Hub* hub) {
     if (!open(options.get("attribution-md", ""), file)) return 1;
     const auto report = obs::span::analyze_spans(obs::span::to_span_data(hub->spans));
     obs::span::write_attribution_markdown(report, file);
+    file.close();
+    manifest_add_artifact(manifest, "attribution_md",
+                          options.get("attribution-md", ""));
     out << "attribution: " << options.get("attribution-md", "") << " ("
         << report.traces.size() << " traces)\n";
+  }
+  if (manifest != nullptr) {
+    manifest->summaries["trace"] = obs::summarize_for_manifest(hub->tracer);
+    manifest->summaries["metrics"] =
+        obs::summarize_for_manifest(hub->metrics.snapshot());
+    manifest->summaries["spans"] = obs::span::summarize_for_manifest(hub->spans);
   }
   return 0;
 }
@@ -275,9 +366,13 @@ bool wants_health(const Options& options) {
 /// 3 when at least one objective is violated — the CI gate's exit code.
 int flush_health(const Options& options, std::ostream& out,
                  const obs::health::HealthMonitor* health,
-                 const obs::health::ReportMeta& meta) {
+                 const obs::health::ReportMeta& meta,
+                 obs::manifest::RunManifest* manifest = nullptr) {
   if (health == nullptr) return 0;
   const obs::health::HealthSnapshot snapshot = health->snapshot();
+  if (manifest != nullptr) {
+    manifest->summaries["health"] = obs::health::summarize_for_manifest(snapshot);
+  }
 
   std::optional<obs::health::SloEvaluation> evaluation;
   if (options.has("slo")) {
@@ -301,13 +396,28 @@ int flush_health(const Options& options, std::ostream& out,
     std::ofstream file;
     if (!open(options.get("health-out", ""), file)) return 1;
     obs::health::write_health_json(snapshot, meta, eval_ptr, file);
+    file.close();
+    manifest_add_artifact(manifest, "health", options.get("health-out", ""));
     out << "health: " << options.get("health-out", "") << "\n";
   }
   if (options.has("report-md")) {
     std::ofstream file;
     if (!open(options.get("report-md", ""), file)) return 1;
     obs::health::write_health_markdown(snapshot, meta, eval_ptr, file);
+    file.close();
+    manifest_add_artifact(manifest, "report_md", options.get("report-md", ""));
     out << "report: " << options.get("report-md", "") << "\n";
+  }
+  if (evaluation && manifest != nullptr) {
+    for (const auto& r : evaluation->results) {
+      obs::manifest::SloVerdict verdict;
+      verdict.name = r.spec.name;
+      verdict.dimension = r.dimension;
+      verdict.stat = r.spec.stat;
+      verdict.observed = r.observed;
+      verdict.status = slo_status_name(r.status);
+      manifest->slos.push_back(std::move(verdict));
+    }
   }
   if (evaluation) {
     for (const auto& r : evaluation->results) {
@@ -425,6 +535,19 @@ int cmd_test(const Options& options, std::ostream& out) {
   }
   std::unique_ptr<obs::Hub> hub;
   if (!setup_obs(options, out, hub)) return 2;
+  obs::manifest::RunManifest manifest;
+  obs::manifest::RunManifest* mf =
+      options.has("manifest-out") ? &manifest : nullptr;
+  if (mf != nullptr) {
+    manifest.command = "test";
+    manifest.build = SWIFTEST_GIT_SHA;
+    manifest.config = {
+        {"tech", options.get("tech", "5g")},
+        {"rate_mbps", options.get("rate", "")},
+        {"seed", std::to_string(options.get_int("seed", 42))},
+        {"wire", options.has("wire") ? "true" : "false"},
+    };
+  }
   obs::ProfRegistry prof;
   netsim::ScenarioConfig net;
   net.access_rate = core::Bandwidth::mbps(rate);
@@ -452,7 +575,15 @@ int cmd_test(const Options& options, std::ostream& out) {
       << "probe time: " << core::to_seconds(result.probe_duration) << " s; data: "
       << core::to_string(result.data_used) << "; servers: " << result.connections_used
       << "\n";
-  const int obs_rc = flush_obs(options, out, hub.get());
+  if (mf != nullptr) {
+    manifest.bench = {
+        {"estimate_mbps", result.bandwidth_mbps},
+        {"probe_time_s", core::to_seconds(result.probe_duration)},
+        {"data_mb", result.data_used.megabytes()},
+        {"servers_used", static_cast<double>(result.connections_used)},
+    };
+  }
+  const int obs_rc = flush_obs(options, out, hub.get(), mf);
   if (obs_rc != 0) return obs_rc;
 
   int health_rc = 0;
@@ -473,7 +604,7 @@ int cmd_test(const Options& options, std::ostream& out) {
         {"rate_mbps", options.get("rate", "")},
         {"seed", std::to_string(options.get_int("seed", 42))},
     };
-    health_rc = flush_health(options, out, &health, meta);
+    health_rc = flush_health(options, out, &health, meta, mf);
   }
   if (options.has("profile")) {
     obs::write_profile(prof, out,
@@ -481,6 +612,19 @@ int cmd_test(const Options& options, std::ostream& out) {
                            std::chrono::duration_cast<std::chrono::nanoseconds>(
                                std::chrono::steady_clock::now() - wall_start)
                                .count()));
+  }
+  if (mf != nullptr) {
+    manifest.host = {
+        {"wall_ms",
+         static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - wall_start)
+                 .count()) /
+             1e6},
+    };
+    const int manifest_rc =
+        write_manifest_file(options.get("manifest-out", ""), manifest, out);
+    if (health_rc == 0) health_rc = manifest_rc;
   }
   return health_rc;
 }
@@ -540,6 +684,23 @@ int cmd_plan(const Options& options, std::ostream& out) {
   out << "plan: " << plan.total_servers << " servers, " << plan.total_bandwidth_mbps
       << " Mbps, $" << plan.total_cost_usd << "/month\n";
   return 0;
+}
+
+/// Fleet manifests are on by default whenever the run writes any artifact:
+/// the manifest lands next to the run's first artifact as
+/// <artifact>.manifest.jsonl. --manifest-out overrides the path,
+/// --no-manifest disables. Runs that write no artifact get no default
+/// manifest (nothing to hash, and a bare `fleet` should not litter the cwd).
+std::string resolve_fleet_manifest_path(const Options& options) {
+  if (options.has("no-manifest")) return "";
+  if (options.has("manifest-out")) return options.get("manifest-out", "");
+  static constexpr const char* kAnchors[] = {
+      "health-out", "trace-jsonl", "trace-out",      "metrics-out",
+      "spans-out",  "report-md",   "attribution-md"};
+  for (const char* anchor : kAnchors) {
+    if (options.has(anchor)) return options.get(anchor, "") + ".manifest.jsonl";
+  }
+  return "";
 }
 
 int cmd_fleet(const Options& options, std::ostream& out) {
@@ -616,6 +777,35 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   cfg.obs_budget_mb = static_cast<std::uint64_t>(budget_mb);
   cfg.obs_spill_dir = options.get("obs-spill-dir", "");
 
+  const std::string manifest_path = resolve_fleet_manifest_path(options);
+  obs::manifest::RunManifest manifest;
+  obs::manifest::RunManifest* mf = manifest_path.empty() ? nullptr : &manifest;
+  if (mf != nullptr) {
+    manifest.command = "fleet";
+    manifest.build = SWIFTEST_GIT_SHA;
+    // Deterministic configuration only: --jobs (and every other host-side
+    // fact) rides in the "host" lines so a jobs-varied pair of runs diffs
+    // as identical.
+    manifest.config = {
+        {"backend", backend},
+        {"servers", std::to_string(cfg.server_count)},
+        {"days", std::to_string(cfg.days)},
+        {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
+        {"seed", std::to_string(cfg.seed)},
+        {"shards", std::to_string(cfg.shards)},
+    };
+    if (cfg.sample.enabled()) {
+      manifest.config.emplace_back("obs.sample", cfg.sample.describe());
+    }
+    if (cfg.obs_budget_mb > 0) {
+      manifest.config.emplace_back("obs.budget_mb",
+                                   std::to_string(cfg.obs_budget_mb));
+    }
+    if (!cfg.obs_spill_dir.empty()) {
+      manifest.config.emplace_back("obs.spill", "on");
+    }
+  }
+
   // Resource self-telemetry is always collected (a few relaxed atomics per
   // test); --progress controls whether it is *surfaced* — the live stderr
   // line while running, and resource meta/metrics afterwards. Host wall/RSS
@@ -641,6 +831,38 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   sim_scope.emplace(host_tl, "fleet.sim");
   const auto result = deploy::simulate_fleet(population, registry, cfg);
   sim_scope.reset();
+  if (mf != nullptr) {
+    manifest.bench = {
+        {"tests_simulated", static_cast<double>(result.tests_simulated)},
+        {"tests_dropped", static_cast<double>(result.tests_dropped)},
+        {"util_median_pct", result.summary.median},
+        {"util_mean_pct", result.summary.mean},
+        {"util_p99_pct", result.p99},
+        {"util_max_pct", result.summary.max},
+        {"share_leq_45", result.share_leq_45},
+        {"overload_seconds_share", result.overload_seconds_share},
+    };
+    if (!cfg.obs_spill_dir.empty()) {
+      if (result.spill_trace_segments > 0) {
+        manifest.summaries["spill.trace"] = {
+            {"segments", static_cast<double>(result.spill_trace_segments)},
+            {"bytes", static_cast<double>(result.spill_trace_bytes)},
+            {"ok", result.spill_ok ? 1.0 : 0.0},
+        };
+        manifest_add_artifact(mf, "spill.trace",
+                              cfg.obs_spill_dir + "/trace.spill.jsonl");
+      }
+      if (result.spill_span_segments > 0) {
+        manifest.summaries["spill.spans"] = {
+            {"segments", static_cast<double>(result.spill_span_segments)},
+            {"bytes", static_cast<double>(result.spill_span_bytes)},
+            {"ok", result.spill_ok ? 1.0 : 0.0},
+        };
+        manifest_add_artifact(mf, "spill.spans",
+                              cfg.obs_spill_dir + "/spans.spill.jsonl");
+      }
+    }
+  }
   int rc = 0;
   {
     const obs::hostprof::HostScope scope(host_tl, "export");
@@ -667,7 +889,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
         << result.summary.max << "%\n"
         << "share of busy windows <= 45%: " << 100.0 * result.share_leq_45
         << "%\n";
-    rc = flush_obs(options, out, hub.get());
+    rc = flush_obs(options, out, hub.get(), mf);
     if (rc == 0) {
       record_stage_health(hub.get(), health.get());
       obs::health::ReportMeta meta = {
@@ -709,7 +931,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
         }
       }
       if (options.has("progress")) monitor.append_report_meta(meta);
-      rc = flush_health(options, out, health.get(), meta);
+      rc = flush_health(options, out, health.get(), meta, mf);
     }
   }
 
@@ -730,6 +952,8 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       std::ofstream file;
       if (!open(options.get("prof-out", ""), file)) return 1;
       obs::hostprof::write_prof_jsonl(data, file);
+      file.close();
+      manifest_add_artifact(mf, "prof", options.get("prof-out", ""));
       out << "profile: " << options.get("prof-out", "") << " ("
           << data.timelines.size() << " timelines)\n";
     }
@@ -737,7 +961,12 @@ int cmd_fleet(const Options& options, std::ostream& out) {
       std::ofstream file;
       if (!open(options.get("prof-trace", ""), file)) return 1;
       obs::hostprof::write_prof_chrome_trace(data, file);
+      file.close();
+      manifest_add_artifact(mf, "prof_trace", options.get("prof-trace", ""));
       out << "profile trace: " << options.get("prof-trace", "") << "\n";
+    }
+    if (mf != nullptr) {
+      manifest.summaries["hostprof"] = obs::hostprof::summarize_for_manifest(data);
     }
   } else {
     wall_ns = static_cast<std::uint64_t>(
@@ -746,6 +975,17 @@ int cmd_fleet(const Options& options, std::ostream& out) {
             .count());
   }
   if (options.has("profile")) obs::write_profile(prof, out, wall_ns);
+  // The manifest renders last so it can hash every artifact the run wrote.
+  // An SLO violation (rc 3) still gets a manifest — the diff side wants the
+  // violating run's record most of all.
+  if (mf != nullptr) {
+    manifest.host = {
+        {"jobs", static_cast<double>(cfg.jobs)},
+        {"wall_ms", static_cast<double>(wall_ns) / 1e6},
+    };
+    const int manifest_rc = write_manifest_file(manifest_path, manifest, out);
+    if (rc == 0) rc = manifest_rc;
+  }
   return rc;
 }
 
@@ -780,6 +1020,83 @@ int cmd_profile(std::span<const std::string> args, std::ostream& out) {
   return 0;
 }
 
+/// `obs diff A B`: semantic cross-run comparison of two run manifests.
+/// Exit codes: 0 no gated difference, 1 unreadable manifest, 2 usage,
+/// 4 gated regression (or any semantic difference under --expect-identical).
+int cmd_obs(std::span<const std::string> args, std::ostream& out) {
+  if (args.size() < 3 || args[0] != "diff" || args[1].rfind("--", 0) == 0 ||
+      args[2].rfind("--", 0) == 0) {
+    out << "usage: swiftest-cli obs diff MANIFEST_A MANIFEST_B [--json OUT]\n"
+           "       [--md OUT] [--expect-identical] [--tolerance R]\n"
+           "       [--no-artifacts]\n";
+    return 2;
+  }
+  const std::string path_a = args[1];
+  const std::string path_b = args[2];
+  const auto options = Options::parse(args.subspan(3), out);
+  if (!options) return 2;
+  if (!apply_log_level(*options, out)) return 2;
+
+  std::string error;
+  const auto manifest_a = obs::manifest::load_manifest_file(path_a, &error);
+  if (!manifest_a) {
+    out << "cannot load " << path_a << ": " << error << "\n";
+    return 1;
+  }
+  const auto manifest_b = obs::manifest::load_manifest_file(path_b, &error);
+  if (!manifest_b) {
+    out << "cannot load " << path_b << ": " << error << "\n";
+    return 1;
+  }
+
+  obs::diff::DiffOptions diff_options;
+  diff_options.expect_identical = options->has("expect-identical");
+  diff_options.rel_tolerance =
+      options->get_double("tolerance", diff_options.rel_tolerance);
+  diff_options.load_artifacts = !options->has("no-artifacts");
+  const obs::diff::DiffReport report =
+      obs::diff::diff_runs(*manifest_a, *manifest_b, diff_options, path_a, path_b);
+
+  auto open = [&out](const std::string& file_path, std::ofstream& file) {
+    file.open(file_path, std::ios::binary | std::ios::trunc);
+    if (!file) out << "cannot write " << file_path << "\n";
+    return static_cast<bool>(file);
+  };
+  if (options->has("json")) {
+    std::ofstream file;
+    if (!open(options->get("json", ""), file)) return 1;
+    obs::diff::write_diff_json(report, file);
+    out << "diff json: " << options->get("json", "") << "\n";
+  }
+  if (options->has("md")) {
+    std::ofstream file;
+    if (!open(options->get("md", ""), file)) return 1;
+    obs::diff::write_diff_markdown(report, file);
+    out << "diff md: " << options->get("md", "") << "\n";
+  }
+  if (!options->has("json") && !options->has("md")) {
+    obs::diff::write_diff_markdown(report, out);
+  }
+
+  const bool failed = diff_options.expect_identical ? !report.identical
+                                                    : report.regressions > 0;
+  out << "diff: "
+      << (report.identical
+              ? "identical"
+              : (report.regressions > 0 ? "regressed" : "within tolerance"));
+  if (report.has_stage_attribution && !report.top_stage.empty()) {
+    out << "; largest stage delta: " << report.top_stage;
+  }
+  out << "\n";
+  if (failed) {
+    out << "DIFF REGRESSION: " << report.regressions
+        << " gated difference(s) between " << path_a << " and " << path_b
+        << "\n";
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(std::span<const std::string> args, std::ostream& out) {
@@ -788,10 +1105,11 @@ int run_cli(std::span<const std::string> args, std::ostream& out) {
     return args.empty() ? 2 : 0;
   }
   const std::string& command = args[0];
-  if (command == "trace" || command == "profile") {
+  if (command == "trace" || command == "profile" || command == "obs") {
     try {
-      return command == "trace" ? cmd_trace(args.subspan(1), out)
-                                : cmd_profile(args.subspan(1), out);
+      if (command == "trace") return cmd_trace(args.subspan(1), out);
+      if (command == "profile") return cmd_profile(args.subspan(1), out);
+      return cmd_obs(args.subspan(1), out);
     } catch (const std::exception& e) {
       out << "error: " << e.what() << "\n";
       return 1;
