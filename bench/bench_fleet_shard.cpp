@@ -1,7 +1,7 @@
-// Sharded fleet-day scaling: wall-clock of the packet backend at a fixed
-// shard count as the worker pool grows (deploy::FleetSimConfig::jobs), plus
-// the determinism contract that makes the parallelism safe to use — every
-// job count must produce byte-identical artifacts.
+// Chunked fleet-day scaling: wall-clock of the packet backend at a fixed
+// chunk size as the work-stealing pool grows (deploy::FleetSimConfig::jobs),
+// plus the determinism contract that makes the parallelism safe to use —
+// every job count must produce byte-identical artifacts.
 //
 // Wall-clock numbers are host-dependent, so they are reported as numeric
 // values alongside the host's hardware thread count (a config key);
@@ -9,6 +9,7 @@
 // hosts with the same hw_threads (> 1) and always gates the deterministic
 // quantities: tests simulated, busy windows, and the artifacts-identical
 // flag.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -28,7 +29,7 @@ namespace {
 
 using namespace swiftest;
 
-constexpr std::size_t kShards = 8;
+constexpr std::size_t kChunk = 32;
 constexpr std::uint64_t kSeed = 5;
 
 struct RunOutcome {
@@ -47,7 +48,7 @@ RunOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
   cfg.days = 1;
   cfg.tests_per_day = 300.0;
   cfg.seed = kSeed;
-  cfg.shards = kShards;
+  cfg.chunk = kChunk;
   cfg.jobs = jobs;
   cfg.hostprof = prof;
   obs::health::HealthMonitor health;
@@ -73,7 +74,7 @@ RunOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
 int main(int argc, char** argv) {
   benchutil::report_init(argc, argv, "fleet_shard");
   benchutil::report_config("backend", "packet");
-  benchutil::report_config("shards", std::to_string(kShards));
+  benchutil::report_config("chunk", std::to_string(kChunk));
   benchutil::report_config("seed", std::to_string(kSeed));
   benchutil::report_config("hw_threads",
                            std::to_string(std::thread::hardware_concurrency()));
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
   const auto population = dataset::generate_campaign(10'000, 2021, 3);
   static const swift::ModelRegistry registry;
 
-  benchutil::print_title("Sharded packet fleet-day: wall-clock vs worker pool size");
+  benchutil::print_title("Chunked packet fleet-day: wall-clock vs worker pool size");
   std::printf("  %-6s %-10s %-9s %s\n", "jobs", "seconds", "speedup", "artifacts");
 
   const std::vector<std::size_t> job_counts = {1, 2, 4, 8};
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
   bool identical = true;
   obs::hostprof::ProfData widest_prof;
   for (std::size_t jobs : job_counts) {
-    // Every run self-profiles (the overhead is per shard, not per test); the
+    // Every run self-profiles (the overhead is per chunk, not per test); the
     // widest pool's attribution is printed below — it names what bounds the
     // jobs-8 speedup, the roadmap's open scaling question.
     obs::hostprof::HostProfiler prof;
@@ -112,6 +113,36 @@ int main(int argc, char** argv) {
   benchutil::print_title("Host-time attribution (jobs=8)");
   obs::hostprof::write_prof_report_markdown(
       obs::hostprof::analyze_prof(widest_prof), std::cout);
+
+  // Per-worker steal/imbalance attribution: who executed what, how much of
+  // it was stolen, and how far the busiest worker sits above the mean — the
+  // work-stealing analogue of the old static-shard imbalance number.
+  benchutil::print_title("Per-worker steal/imbalance attribution (jobs=8)");
+  {
+    std::uint64_t busy_sum = 0;
+    std::uint64_t busy_max = 0;
+    std::size_t workers = 0;
+    for (const auto& tl : widest_prof.timelines) {
+      if (tl.tid == 0 || !tl.worker.valid) continue;
+      ++workers;
+      busy_sum += tl.worker.busy_ns;
+      busy_max = std::max(busy_max, tl.worker.busy_ns);
+      const double busy_pct = tl.worker.wall_ns > 0
+                                  ? 100.0 * static_cast<double>(tl.worker.busy_ns) /
+                                        static_cast<double>(tl.worker.wall_ns)
+                                  : 0.0;
+      std::printf("  w%-3llu busy %6.1f%%  chunks %-4llu steals %-4llu pulls %llu\n",
+                  static_cast<unsigned long long>(tl.tid), busy_pct,
+                  static_cast<unsigned long long>(tl.worker.chunks),
+                  static_cast<unsigned long long>(tl.worker.steals),
+                  static_cast<unsigned long long>(tl.worker.pulls));
+    }
+    if (workers > 0 && busy_sum > 0) {
+      const double imbalance = static_cast<double>(busy_max) * workers /
+                               static_cast<double>(busy_sum);
+      std::printf("  busy-time imbalance (max/mean): %.2f\n", imbalance);
+    }
+  }
 
   // The gated (deterministic) values: same code + same seed => same numbers
   // on any host, any core count.

@@ -41,7 +41,7 @@ ObsOutcome run_fleet_day(std::span<const dataset::TestRecord> population,
   cfg.days = 1;
   cfg.tests_per_day = 150.0;
   cfg.seed = kSeed;
-  cfg.shards = 2;
+  cfg.chunk = 64;
   obs::Hub hub;
   if (mode != Mode::kNone) cfg.obs = &hub;
   if (mode == Mode::kSampled) cfg.sample.set_denominator(8);

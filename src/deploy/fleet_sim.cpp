@@ -5,6 +5,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "bts/tester.hpp"
@@ -14,8 +15,8 @@
 #include "obs/health/sample_log.hpp"
 #include "obs/log.hpp"
 #include "obs/spill.hpp"
+#include "deploy/exec.hpp"
 #include "deploy/placement.hpp"
-#include "deploy/shard.hpp"
 #include "netsim/testbed.hpp"
 #include "swiftest/client.hpp"
 #include "swiftest/fleet.hpp"
@@ -34,9 +35,13 @@ double settled_probing_rate(const stats::GaussianMixture& model, double truth_mb
 
 namespace {
 
-/// Decorrelates the packet testbed's topology randomness from the workload
-/// draw stream; per-shard testbeds further split it with core::stream_seed.
+/// Decorrelates packet testbed topology randomness from the workload draw
+/// stream; each test's private testbed further splits it with
+/// core::stream_seed of the test's global draw index.
 constexpr std::uint64_t kTestbedSeedSalt = 0x9E3779B97F4A7C15ull;
+
+/// Tests per execution chunk when FleetSimConfig::chunk is 0.
+constexpr std::size_t kDefaultChunkSize = 256;
 
 /// One test drawn from the workload generator: everything both backends need
 /// to replay it.
@@ -49,17 +54,18 @@ struct Arrival {
   std::size_t n_servers = 1;    // servers the analytic model spreads it over
   int duration_s = 1;
   std::size_t first_server = 0;
-  /// Global workload draw index — the observability sampling key. Assigned
-  /// in draw order before partitioning, so it is identical for every shard
-  /// count and never consumes RNG state.
+  /// Global workload draw index — the observability sampling key, the packet
+  /// testbed's RNG stream index, and the canonical merge key. Assigned in
+  /// draw order before chunking, so it is identical for every chunk size and
+  /// never consumes RNG state.
   std::uint64_t test_id = 0;
 };
 
 /// Draws the whole workload up front. The RNG consumption order is exactly
 /// the historical analytic loop's — per second one poisson draw, then per
 /// test: record, duration, domain, offset — so a given seed produces the
-/// identical test sequence for both backends, for any shard count, and for
-/// pre-refactor runs. Sharding partitions this list after the fact; it never
+/// identical test sequence for both backends, for any chunk size, and for
+/// pre-refactor runs. Chunking slices this list after the fact; it never
 /// touches the draw order.
 std::vector<Arrival> generate_workload(std::span<const dataset::TestRecord> population,
                                        const swift::ModelRegistry& registry,
@@ -143,17 +149,17 @@ void finish_result(FleetSimResult& result, std::uint64_t overload_seconds,
                                static_cast<double>(total_seconds);
 }
 
-/// Rotating spill sinks for one shard's hub (obs/spill.hpp). The writers
-/// must outlive the shard run; the merge collects their segment paths in
-/// (shard, segment) order.
-struct ShardSpill {
+/// Rotating spill sinks for one chunk's hub (obs/spill.hpp). The writers
+/// must outlive the chunk run; the merge collects their segment paths in
+/// (chunk, segment) order.
+struct ChunkSpill {
   std::unique_ptr<obs::SpillWriter> trace;
   std::unique_ptr<obs::SpillWriter> spans;
 
-  void attach(obs::Hub& hub, const std::string& dir, std::size_t shard) {
+  void attach(obs::Hub& hub, const std::string& dir, std::size_t chunk) {
     if (dir.empty()) return;
-    trace = std::make_unique<obs::SpillWriter>(dir, "trace", shard);
-    spans = std::make_unique<obs::SpillWriter>(dir, "spans", shard);
+    trace = std::make_unique<obs::SpillWriter>(dir, "trace", chunk);
+    spans = std::make_unique<obs::SpillWriter>(dir, "spans", chunk);
     hub.tracer.set_spill(
         [w = trace.get()](const obs::TraceEvent* events, std::size_t n) {
           w->write_trace_segment(events, n);
@@ -165,24 +171,13 @@ struct ShardSpill {
   }
 };
 
-/// The deterministic observability footprint a budget degrades against:
-/// store capacities, never RSS, so degradation points are host-independent.
-std::uint64_t obs_footprint_bytes(const obs::Hub* hub,
-                                  const obs::health::SampleLog& health) {
-  std::uint64_t bytes = health.approx_bytes();
-  if (hub != nullptr) {
-    bytes += hub->tracer.approx_bytes() + hub->spans.approx_bytes();
-  }
-  return bytes;
-}
-
-/// Concatenates every shard's spill segments — shard order, then rotation
-/// order within a shard, so the result is independent of --jobs — into
+/// Concatenates every chunk's spill segments — chunk order, then rotation
+/// order within a chunk, so the result is independent of --jobs — into
 /// <dir>/<stream>.spill.jsonl. No-op when nothing spilled.
-void concat_spill(const std::vector<ShardSpill>& spills, bool trace_stream,
+void concat_spill(const std::vector<ChunkSpill>& spills, bool trace_stream,
                   const std::string& dir) {
   std::vector<std::string> paths;
-  for (const ShardSpill& s : spills) {
+  for (const ChunkSpill& s : spills) {
     const obs::SpillWriter* w = trace_stream ? s.trace.get() : s.spans.get();
     if (w == nullptr) continue;
     paths.insert(paths.end(), w->segment_paths().begin(),
@@ -199,9 +194,9 @@ void concat_spill(const std::vector<ShardSpill>& spills, bool trace_stream,
 
 /// Sums every writer's rotation accounting into the result's spill fields,
 /// so the run manifest can report spill volume without holding the writers.
-void accumulate_spill(const std::vector<ShardSpill>& spills,
+void accumulate_spill(const std::vector<ChunkSpill>& spills,
                       FleetSimResult& result) {
-  for (const ShardSpill& s : spills) {
+  for (const ChunkSpill& s : spills) {
     if (s.trace != nullptr) {
       result.spill_trace_segments += s.trace->segments();
       result.spill_trace_bytes += s.trace->bytes_written();
@@ -215,31 +210,122 @@ void accumulate_spill(const std::vector<ShardSpill>& spills,
   }
 }
 
-/// One analytic shard's raw output. The closed form is linear in the
-/// arrivals, so per-(window, server) load matrices and per-second fleet
-/// loads sum exactly at merge: a sharded analytic run computes the same
-/// numbers as the unsharded one, to the bit, for any shard count.
-struct AnalyticShard {
-  std::vector<double> window_load;  // [window * server_count + server]
-  std::vector<double> second_load;  // requested fleet load per second
+/// The footprint model SampleSchedule::plan degrades against: store
+/// capacities and per-test record sizes, never RSS, so the degradation
+/// schedule is host-independent (and, being precomputed over the global
+/// draw order, partition-independent).
+obs::SampleSchedule::CostModel sample_cost_model(const FleetSimConfig& config) {
+  obs::SampleSchedule::CostModel model;
+  if (config.obs != nullptr) {
+    model.base_bytes = static_cast<std::uint64_t>(config.obs->tracer.capacity()) *
+                       sizeof(obs::TraceEvent);
+    if (config.backend == FleetBackend::kPacket) {
+      // A packet test leaves O(hundreds) of protocol events and O(dozens)
+      // of spans; the constants only shape the degradation cadence.
+      model.sampled_test_bytes = 256 * sizeof(obs::TraceEvent) +
+                                 24 * sizeof(obs::span::SpanRecord);
+    } else {
+      // Analytic: two fleet.test trace events plus one span per sampled test.
+      model.sampled_test_bytes =
+          2 * sizeof(obs::TraceEvent) + sizeof(obs::span::SpanRecord);
+    }
+  }
+  if (config.health != nullptr) model.per_test_bytes = 160;
+  return model;
+}
+
+/// A fresh hub shaped like the parent but with a bounded trace ring, so a
+/// run of many small chunks cannot multiply the parent's ring size by the
+/// chunk count. Analytic chunks emit at most two events per test, so
+/// 4 * chunk_size + slack never wraps (no drop-order dependence).
+std::unique_ptr<obs::Hub> make_chunk_hub(const obs::Hub& like,
+                                         std::size_t trace_capacity) {
+  auto hub = std::make_unique<obs::Hub>(
+      std::min(like.tracer.capacity(), trace_capacity), like.spans.capacity());
+  hub->tracer.set_category_mask(like.tracer.category_mask());
+  return hub;
+}
+
+// ---------------------------------------------------------------------------
+// Analytic backend
+// ---------------------------------------------------------------------------
+
+/// One analytic chunk's output: health samples and sampled observability for
+/// its consecutive slice of draws. The numeric load accounting is NOT here —
+/// floating-point sums are not associative, so per-chunk partials would tie
+/// the result bits to the partition; compute_analytic_load runs once, over
+/// the whole workload, at merge.
+struct AnalyticChunk {
   std::uint64_t tests = 0;
   obs::health::SampleLog health;
   bool want_health = false;
   /// Sampled observability emission (fleet.test events + spans); null unless
   /// sampling or a budget is active — legacy analytic runs emit nothing.
   std::unique_ptr<obs::Hub> hub;
-  ShardSpill spill;
-  /// Per-shard working copy: the denominator may degrade under this shard's
-  /// budget slice, independently of other shards.
-  obs::SamplingPolicy policy;
+  ChunkSpill spill;
   obs::ShardTelemetry telemetry;
   /// Private self-profile registry: workers record here without locks and
   /// the caller folds them into config.prof after the join.
   obs::ProfRegistry prof;
 };
 
-void run_analytic_shard(std::span<const Arrival> arrivals,
-                        const FleetSimConfig& config, AnalyticShard& out) {
+void run_analytic_chunk(std::span<const Arrival> arrivals,
+                        const FleetSimConfig& config,
+                        const obs::SampleSchedule* schedule, AnalyticChunk& out) {
+  for (const Arrival& a : arrivals) {
+    ++out.tests;
+    if (config.resource != nullptr) config.resource->add_tests(1);
+    if (out.hub != nullptr &&
+        (schedule == nullptr || schedule->sampled(a.test_id))) {
+      const core::SimTime ts = a.second * core::seconds(1);
+      const core::SimTime te = ts + a.duration_s * core::seconds(1);
+      out.hub->metrics.counter("fleet.tests_sampled").inc();
+      if (out.hub->tracer.wants(obs::Category::kFleet)) {
+        out.hub->tracer.record(ts, obs::Category::kFleet,
+                               obs::EventKind::kInstant, "fleet.test_start",
+                               a.test_id, a.rate_mbps);
+        out.hub->tracer.record(te, obs::Category::kFleet,
+                               obs::EventKind::kInstant, "fleet.test_done",
+                               a.test_id, a.rate_mbps);
+      }
+      // trace_id 0 means "no trace", so the sampling key shifts by one.
+      const obs::span::SpanId span = out.hub->spans.begin(
+          ts, obs::Category::kFleet, "fleet.test", obs::span::kNoSpan,
+          a.test_id + 1);
+      out.hub->spans.attr_f64(span, "truth_mbps", a.truth_mbps);
+      out.hub->spans.attr_f64(span, "rate_mbps", a.rate_mbps);
+      out.hub->spans.end(span, te);
+    }
+    if (out.want_health) {
+      out.health.note_arrival(static_cast<double>(a.second));
+      obs::health::TestSample sample;
+      sample.duration_s = static_cast<double>(a.duration_s);
+      // Data usage at the settled probing rate for the test's duration.
+      sample.data_mb = a.rate_mbps * static_cast<double>(a.duration_s) / 8.0;
+      // No estimator in the closed form: deviation is the model-coverage
+      // proxy — zero whenever the settled rate covers the client's truth.
+      sample.deviation =
+          bts::deviation(std::min(a.rate_mbps, a.truth_mbps), a.truth_mbps);
+      const auto dims = arrival_dimensions(a);
+      sample.dimensions = dims;
+      out.health.record_test(sample);
+    }
+  }
+}
+
+/// The closed-form load accounting, over the full workload in draw order.
+/// One serial pass — the bit-exact historical accumulation order, so the
+/// result is a pure function of (config, seed) with no partition anywhere
+/// in sight. Cheaper in total work than the per-shard scans it replaces:
+/// those walked the whole period once per shard.
+struct AnalyticLoad {
+  std::vector<double> window_load;  // [window * server_count + server]
+  std::vector<double> second_load;  // requested fleet load per second
+};
+
+AnalyticLoad compute_analytic_load(std::span<const Arrival> arrivals,
+                                   const FleetSimConfig& config) {
+  AnalyticLoad out;
   const std::int64_t total_seconds =
       static_cast<std::int64_t>(config.days) * 24 * 3600;
   const std::int64_t windows_total =
@@ -264,53 +350,10 @@ void run_analytic_shard(std::span<const Arrival> arrivals,
     while (next_arrival < arrivals.size() &&
            arrivals[next_arrival].second == second) {
       const Arrival& a = arrivals[next_arrival++];
-      ++out.tests;
-      if (config.resource != nullptr) config.resource->add_tests(1);
       for (std::size_t s = 0; s < a.n_servers; ++s) {
         active[(a.first_server + s) % config.server_count].emplace_back(
             a.duration_s, a.rate_mbps / static_cast<double>(a.n_servers));
         ++active_entries;
-      }
-      if (out.hub != nullptr) {
-        // Budget check every 4k arrivals: deterministic cadence, so the
-        // degradation points depend only on (workload, shards, budget).
-        if ((out.tests & 0xfffu) == 0) {
-          out.policy.note_footprint(obs_footprint_bytes(out.hub.get(), out.health));
-        }
-        if (out.policy.sampled(a.test_id)) {
-          const core::SimTime ts = a.second * core::seconds(1);
-          const core::SimTime te = ts + a.duration_s * core::seconds(1);
-          out.hub->metrics.counter("fleet.tests_sampled").inc();
-          if (out.hub->tracer.wants(obs::Category::kFleet)) {
-            out.hub->tracer.record(ts, obs::Category::kFleet,
-                                   obs::EventKind::kInstant, "fleet.test_start",
-                                   a.test_id, a.rate_mbps);
-            out.hub->tracer.record(te, obs::Category::kFleet,
-                                   obs::EventKind::kInstant, "fleet.test_done",
-                                   a.test_id, a.rate_mbps);
-          }
-          // trace_id 0 means "no trace", so the sampling key shifts by one.
-          const obs::span::SpanId span = out.hub->spans.begin(
-              ts, obs::Category::kFleet, "fleet.test", obs::span::kNoSpan,
-              a.test_id + 1);
-          out.hub->spans.attr_f64(span, "truth_mbps", a.truth_mbps);
-          out.hub->spans.attr_f64(span, "rate_mbps", a.rate_mbps);
-          out.hub->spans.end(span, te);
-        }
-      }
-      if (out.want_health) {
-        out.health.note_arrival(static_cast<double>(a.second));
-        obs::health::TestSample sample;
-        sample.duration_s = static_cast<double>(a.duration_s);
-        // Data usage at the settled probing rate for the test's duration.
-        sample.data_mb = a.rate_mbps * static_cast<double>(a.duration_s) / 8.0;
-        // No estimator in the closed form: deviation is the model-coverage
-        // proxy — zero whenever the settled rate covers the client's truth.
-        sample.deviation =
-            bts::deviation(std::min(a.rate_mbps, a.truth_mbps), a.truth_mbps);
-        const auto dims = arrival_dimensions(a);
-        sample.dimensions = dims;
-        out.health.record_test(sample);
       }
     }
     const std::int64_t w =
@@ -333,9 +376,11 @@ void run_analytic_shard(std::span<const Arrival> arrivals,
     }
     out.second_load[static_cast<std::size_t>(second)] = second_total;
   }
+  return out;
 }
 
-FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
+FleetSimResult merge_analytic(std::vector<AnalyticChunk>& chunks,
+                              const AnalyticLoad& load,
                               const FleetSimConfig& config) {
   obs::hostprof::Timeline* host_tl =
       config.hostprof != nullptr ? &config.hostprof->main() : nullptr;
@@ -347,62 +392,51 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
   const double fleet_capacity =
       config.server_uplink_mbps * static_cast<double>(config.server_count);
 
-  std::vector<double> window_load(
-      static_cast<std::size_t>(windows_total) * config.server_count, 0.0);
-  std::vector<double> second_load(static_cast<std::size_t>(total_seconds), 0.0);
-  for (const AnalyticShard& shard : shards) {
-    result.tests_simulated += shard.tests;
-    for (std::size_t i = 0; i < window_load.size(); ++i) {
-      window_load[i] += shard.window_load[i];
-    }
-    for (std::size_t i = 0; i < second_load.size(); ++i) {
-      second_load[i] += shard.second_load[i];
-    }
-  }
+  for (const AnalyticChunk& chunk : chunks) result.tests_simulated += chunk.tests;
 
   std::uint64_t overload_seconds = 0;
-  for (double load : second_load) {
-    if (load > fleet_capacity) ++overload_seconds;
+  for (double second : load.second_load) {
+    if (second > fleet_capacity) ++overload_seconds;
   }
 
-  if (config.obs != nullptr && !shards.empty() && shards[0].hub != nullptr) {
+  if (config.obs != nullptr && !chunks.empty() && chunks[0].hub != nullptr) {
     // The merge target can itself rotate: its segments take the index one
-    // past the last shard, so concat order stays (shard, segment).
-    ShardSpill merge_spill;
+    // past the last chunk, so concat order stays (chunk, segment).
+    ChunkSpill merge_spill;
     if (!config.obs_spill_dir.empty()) {
-      merge_spill.attach(*config.obs, config.obs_spill_dir, shards.size());
+      merge_spill.attach(*config.obs, config.obs_spill_dir, chunks.size());
     }
-    // Component-wise merge in shard order — identical bytes to the fused
+    // Component-wise merge in chunk order — identical bytes to the fused
     // Hub::merge_from loop, but each component gets its own host-time phase.
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.tracer");
-      for (const AnalyticShard& shard : shards) {
-        config.obs->tracer.merge_from(shard.hub->tracer);
+      for (const AnalyticChunk& chunk : chunks) {
+        config.obs->tracer.merge_from(chunk.hub->tracer);
       }
     }
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.metrics");
-      for (const AnalyticShard& shard : shards) {
-        config.obs->metrics.merge_from(shard.hub->metrics.snapshot());
+      for (const AnalyticChunk& chunk : chunks) {
+        config.obs->metrics.merge_from(chunk.hub->metrics.snapshot());
       }
     }
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.spans");
-      for (const AnalyticShard& shard : shards) {
-        config.obs->spans.merge_from(shard.hub->spans);
+      for (const AnalyticChunk& chunk : chunks) {
+        config.obs->spans.merge_from(chunk.hub->spans);
       }
     }
-    // Shard concatenation order depends on the partition; the canonical
+    // Chunk concatenation order depends on the partition; the canonical
     // content order does not. After this, the sampled artifact renders
-    // byte-identically for every shard count (DESIGN.md §12).
+    // byte-identically for every chunk size (DESIGN.md §12, §15).
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.canonicalize");
       config.obs->tracer.sort_canonical();
       config.obs->spans.sort_canonical();
     }
     const obs::hostprof::HostScope scope(host_tl, "spill.io");
-    std::vector<ShardSpill> spills;
-    for (AnalyticShard& shard : shards) spills.push_back(std::move(shard.spill));
+    std::vector<ChunkSpill> spills;
+    for (AnalyticChunk& chunk : chunks) spills.push_back(std::move(chunk.spill));
     spills.push_back(std::move(merge_spill));
     concat_spill(spills, /*trace_stream=*/true, config.obs_spill_dir);
     concat_spill(spills, /*trace_stream=*/false, config.obs_spill_dir);
@@ -412,20 +446,22 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
   if (config.health != nullptr) {
     const obs::hostprof::HostScope scope(host_tl, "samplelog.replay");
     std::vector<const obs::health::SampleLog*> logs;
-    logs.reserve(shards.size());
-    for (const AnalyticShard& shard : shards) logs.push_back(&shard.health);
+    logs.reserve(chunks.size());
+    for (const AnalyticChunk& chunk : chunks) logs.push_back(&chunk.health);
     obs::health::SampleLog::merge_arrivals(logs, *config.health);
-    for (const AnalyticShard& shard : shards) {
-      shard.health.replay_samples(*config.health);
+    // Chunks hold consecutive draws, so replay in chunk order IS the global
+    // draw order — bit-identical health to a single serial pass.
+    for (const AnalyticChunk& chunk : chunks) {
+      chunk.health.replay_samples(*config.health);
     }
   }
 
   // Busy windows in the historical emission order: window-major, then server.
   for (std::int64_t w = 0; w < windows_total; ++w) {
     for (std::size_t s = 0; s < config.server_count; ++s) {
-      const double load =
-          window_load[static_cast<std::size_t>(w) * config.server_count + s];
-      const double util = 100.0 * load /
+      const double window_sum =
+          load.window_load[static_cast<std::size_t>(w) * config.server_count + s];
+      const double util = 100.0 * window_sum /
                           static_cast<double>(config.window_seconds) /
                           config.server_uplink_mbps;
       if (util > 0.0) {
@@ -443,150 +479,159 @@ FleetSimResult merge_analytic(std::vector<AnalyticShard>& shards,
   return result;
 }
 
-/// One packet shard's raw output. Each shard replays its arrivals against a
-/// private full-size testbed (own scheduler, fleet, RNG stream, obs hub,
-/// health log); the merge concatenates artifacts in shard order and sums the
-/// per-window fleet utilization for the overload proxy. Cross-shard egress
-/// contention — tests from different shards escalating onto the same
-/// server — is the one effect sharding loses.
-struct PacketShard {
-  std::vector<double> busy_windows;       // per-shard emission order
-  std::vector<double> window_total_util;  // fleet-wide util per window
+// ---------------------------------------------------------------------------
+// Packet backend
+// ---------------------------------------------------------------------------
+
+/// One packet chunk's output. Every test in the chunk runs in its own
+/// isolated testbed (seeded by the test's global draw index), so a chunk is
+/// a pure function of its slice of draws: per-(window, server) delivered
+/// bytes and per-server protocol counters are *integers* that sum exactly —
+/// in any order — at merge. That is what makes the packet artifacts
+/// partition-free, at the documented cost of not modeling cross-test egress
+/// contention.
+struct PacketChunk {
+  struct WindowDelta {
+    std::uint32_t window = 0;
+    std::uint32_t server = 0;
+    std::int64_t bytes = 0;
+  };
+  std::vector<WindowDelta> deltas;
   std::uint64_t tests_simulated = 0;
-  std::uint64_t tests_dropped = 0;
+  std::vector<std::uint64_t> server_accepted;    // [server_count]
+  std::vector<std::int64_t> server_probe_bytes;  // [server_count]
   std::unique_ptr<obs::Hub> hub;  // mirror of config.obs; null when disabled
+  // One metrics snapshot per test, in draw order. Metrics must merge as a
+  // flat left fold over *tests* — not over chunks — because gauge adds and
+  // histogram `sum` accumulation are floating-point: folding per-chunk
+  // partials would make the result depend on where the chunk boundaries
+  // fall. Per-test snapshots folded in global draw order associate
+  // identically for every chunk size and job count.
+  std::vector<obs::MetricsSnapshot> metric_snaps;
   obs::health::SampleLog health;
   bool want_health = false;
-  ShardSpill spill;
-  obs::SamplingPolicy policy;  // per-shard copy; may degrade under budget
+  ChunkSpill spill;
   obs::ShardTelemetry telemetry;
   obs::ProfRegistry prof;  // private; merged into config.prof after the join
 };
 
-void run_packet_shard(std::span<const Arrival> arrivals,
-                      const swift::ModelRegistry& registry,
-                      const FleetSimConfig& config, std::uint64_t testbed_seed,
-                      PacketShard& out) {
+void run_packet_test(const Arrival& a, const swift::ModelRegistry& registry,
+                     const FleetSimConfig& config, bool sampled_test,
+                     bool count_sampled, bool sampled_mode,
+                     std::int64_t windows_total, PacketChunk& out) {
   netsim::TestbedConfig tb_cfg;
   tb_cfg.fleet.server_count = config.server_count;
   tb_cfg.fleet.server_uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
-  // Client slots are created on demand; start with one so the shared egress
-  // links exist before the first utilization window is read.
   netsim::ClientAccessConfig slot_cfg;
-  slot_cfg.access_rate = core::Bandwidth::mbps(1000);  // re-set per test
+  slot_cfg.access_rate = core::Bandwidth::mbps(1000);  // re-set to truth below
   tb_cfg.clients = {slot_cfg};
-  netsim::Testbed testbed(tb_cfg, testbed_seed);
-  testbed.scheduler().set_obs(out.hub.get());
+  netsim::Testbed testbed(
+      tb_cfg, core::stream_seed(config.seed ^ kTestbedSeedSalt, a.test_id));
+  netsim::Scheduler& sched = testbed.scheduler();
+  // Each test observes through its own hub: trace events and spans fold into
+  // the chunk hub right after the test (so chunk-level spill still engages),
+  // while the metrics snapshot is kept per test for the draw-order fold at
+  // merge (see PacketChunk::metric_snaps).
+  std::unique_ptr<obs::Hub> test_hub;
+  if (out.hub != nullptr) {
+    test_hub = obs::Hub::mirror_of(*out.hub);
+    if (sampled_mode) test_hub->spans.set_sampled_mode(true);
+    // Span ids are store-local and partition-dependent; the begin/end tracer
+    // mirror would leak them into the merged trace, so spans mirror into
+    // metrics only.
+    test_hub->spans.set_sinks(nullptr, &test_hub->metrics);
+  }
+  sched.set_obs(test_hub.get());
 
   swift::ServerConfig server_cfg;
   server_cfg.uplink = core::Bandwidth::mbps(config.server_uplink_mbps);
-  swift::ServerFleet fleet(testbed, server_cfg);
 
-  struct Slot {
-    std::size_t client_index = 0;
-    std::unique_ptr<swift::WireClient> wire;
-    bool busy = false;
-    /// Per-test wrapper span; the wire client's swiftest.test nests under it
-    /// (the slot pushes it as ambient parent around start()).
-    obs::span::SpanId span = obs::span::kNoSpan;
-  };
-  std::vector<std::unique_ptr<Slot>> slots;
-  slots.push_back(std::make_unique<Slot>());
-  slots[0]->client_index = 0;
+  obs::health::HealthSink* health = out.want_health ? &out.health : nullptr;
+  netsim::ClientContext& ctx = testbed.client(0);
+  // Whole-test sampling: keyed on the global draw index, so the decision is
+  // identical for every chunk size and jobs value. Every span this test's
+  // client (or the wire protocol under it) would begin becomes a no-op when
+  // unsampled.
+  ctx.spans().set_suppressed(!sampled_test);
 
-  netsim::Scheduler& sched = testbed.scheduler();
-  std::size_t busy_slots = 0;
-  auto note_concurrency = [&] {
-    if (auto* hub = sched.obs()) {
-      hub->metrics.gauge("fleet.concurrent_tests")
-          .set(static_cast<double>(busy_slots));
-    }
-  };
+  const std::int64_t W = config.window_seconds;
+  const core::SimTime start = a.second * core::seconds(1);
+
+  std::unique_ptr<swift::ServerFleet> fleet;
+  std::unique_ptr<swift::WireClient> wire;
+  obs::span::SpanId test_span = obs::span::kNoSpan;
+  bool done = false;
+
   auto trace_fleet = [&sched](const char* name, std::uint64_t id, double value) {
     if (auto* tr = sched.tracer(obs::Category::kFleet)) {
       tr->record(sched.now(), obs::Category::kFleet, obs::EventKind::kInstant,
                  name, id, value);
     }
   };
-  obs::health::HealthSink* health = out.want_health ? &out.health : nullptr;
-  auto start_test = [&](const Arrival& a) {
-    if (health != nullptr) {
-      health->note_arrival(static_cast<double>(a.second));
+
+  // Utilization windows tick on the GLOBAL W-second grid — window w's
+  // delivered-byte delta is read at time (w+1)*W regardless of when the
+  // test started — so per-window deltas from different tests line up and
+  // sum exactly at merge. The chain self-terminates once the test is done
+  // and a tick sees no new bytes.
+  std::vector<std::int64_t> last_delivered(config.server_count, 0);
+  std::int64_t window_index = W > 0 ? a.second / W : 0;
+  std::function<void()> tick = [&] {
+    bool moved = false;
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      const netsim::LinkBase* egress = testbed.server_egress(s);
+      const std::int64_t delivered =
+          egress != nullptr ? egress->stats().bytes_delivered : 0;
+      const std::int64_t delta = delivered - last_delivered[s];
+      last_delivered[s] = delivered;
+      if (delta != 0) {
+        out.deltas.push_back(
+            PacketChunk::WindowDelta{static_cast<std::uint32_t>(window_index),
+                                     static_cast<std::uint32_t>(s), delta});
+        moved = true;
+      }
     }
+    ++window_index;
+    if (window_index < windows_total && (moved || !done)) {
+      sched.schedule_in(W * core::seconds(1), tick);
+    }
+  };
+
+  sched.schedule_at(start, [&] {
+    if (health != nullptr) health->note_arrival(static_cast<double>(a.second));
     if (config.resource != nullptr) config.resource->add_tests(1);
-    // Whole-test sampling: keyed on the global draw index, so the decision
-    // is identical for every shard count and jobs value. With the default
-    // 1/1 policy every test is sampled and nothing below changes.
-    const bool sampled_test = out.policy.sampled(a.test_id);
-    Slot* slot = nullptr;
-    for (auto& candidate : slots) {
-      if (!candidate->busy) {
-        slot = candidate.get();
-        break;
-      }
-    }
-    if (slot == nullptr) {
-      if (slots.size() >= config.max_concurrent_tests) {
-        ++out.tests_dropped;
-        if (auto* hub = sched.obs()) {
-          hub->metrics.counter("fleet.tests_dropped").inc();
-        }
-        if (sampled_test) {
-          trace_fleet("fleet.test_dropped", a.first_server, a.rate_mbps);
-        }
-        obs::logf(obs::LogLevel::kWarn,
-                  "fleet_sim: arrival dropped, all %zu client slots busy",
-                  slots.size());
-        return;
-      }
-      slots.push_back(std::make_unique<Slot>());
-      slot = slots.back().get();
-      slot->client_index = testbed.add_client(slot_cfg);
-    }
-    slot->busy = true;
-    ++busy_slots;
-    note_concurrency();
+    // Servers are born at test start, not at t = 0: their idle-GC timers
+    // only tick while the test lives, which keeps this private scheduler's
+    // event count proportional to the test, not to the simulated week.
+    fleet = std::make_unique<swift::ServerFleet>(testbed, server_cfg);
     if (auto* hub = sched.obs()) {
       hub->metrics.counter("fleet.tests_started").inc();
-      if (sampled_test && out.policy.enabled()) {
-        hub->metrics.counter("fleet.tests_sampled").inc();
-      }
+      if (count_sampled) hub->metrics.counter("fleet.tests_sampled").inc();
     }
-    if (sampled_test) trace_fleet("fleet.test_start", slot->client_index, a.rate_mbps);
-    netsim::ClientContext& ctx = testbed.client(slot->client_index);
-    // The suppression flag persists across the context's rebinds for the
-    // whole test; every span this test's client (or the wire protocol under
-    // it) would begin becomes a no-op when unsampled.
-    ctx.spans().set_suppressed(!sampled_test);
+    if (sampled_test) trace_fleet("fleet.test_start", a.test_id, a.rate_mbps);
     ctx.access_link().set_rate(core::Bandwidth::mbps(a.truth_mbps));
 
     swift::SwiftestConfig wc_cfg;
     wc_cfg.tech = a.tech;
     wc_cfg.server_uplink_mbps = config.server_uplink_mbps;
-    slot->wire = std::make_unique<swift::WireClient>(wc_cfg, registry, server_cfg);
-    slot->wire->attach_fleet(fleet);
-    slot->wire->set_forced_server(a.first_server);
+    wire = std::make_unique<swift::WireClient>(wc_cfg, registry, server_cfg);
+    wire->attach_fleet(*fleet);
+    wire->set_forced_server(a.first_server);
     auto& sctx = ctx.spans();
-    slot->span = sctx.begin(obs::Category::kFleet, "fleet.test");
+    test_span = sctx.begin(obs::Category::kFleet, "fleet.test");
     if (auto* spans = sctx.store()) {
-      spans->attr_f64(slot->span, "truth_mbps", a.truth_mbps);
-      spans->attr_u64(slot->span, "slot", slot->client_index);
+      spans->attr_f64(test_span, "truth_mbps", a.truth_mbps);
+      spans->attr_u64(test_span, "server", a.first_server);
     }
-    sctx.push(slot->span);
-    slot->wire->start(ctx, [slot, &sched, &busy_slots, &note_concurrency,
-                            &trace_fleet, health, a,
-                            sampled_test](const bts::BtsResult& r) {
-      slot->busy = false;
-      --busy_slots;
-      note_concurrency();
-      if (sampled_test) {
-        trace_fleet("fleet.test_done", slot->client_index, r.bandwidth_mbps);
-      }
+    sctx.push(test_span);
+    wire->start(ctx, [&](const bts::BtsResult& r) {
+      done = true;
+      if (sampled_test) trace_fleet("fleet.test_done", a.test_id, r.bandwidth_mbps);
       if (auto* hub = sched.obs()) {
-        hub->spans.attr_f64(slot->span, "estimate_mbps", r.bandwidth_mbps);
-        hub->spans.end(slot->span, sched.now());
+        hub->spans.attr_f64(test_span, "estimate_mbps", r.bandwidth_mbps);
+        hub->spans.end(test_span, sched.now());
       }
-      slot->span = obs::span::kNoSpan;
+      test_span = obs::span::kNoSpan;
       if (health != nullptr) {
         obs::health::TestSample sample;
         sample.duration_s = core::to_seconds(r.total_duration());
@@ -597,170 +642,170 @@ void run_packet_shard(std::span<const Arrival> arrivals,
         health->record_test(sample);
       }
     });
-    sctx.pop(slot->span);
+    sctx.pop(test_span);
+    if (W > 0 && window_index < windows_total) {
+      sched.schedule_at((window_index + 1) * W * core::seconds(1), tick);
+    }
     ++out.tests_simulated;
-  };
+  });
 
-  for (const Arrival& a : arrivals) {
-    sched.schedule_at(a.second * core::seconds(1), [&start_test, &a] { start_test(a); });
+  // Bound covers the protocol's hard stop (start + max_duration), delivery
+  // drain, and one trailing window tick; the tick chain and the servers'
+  // GC timers cannot outlive it.
+  sched.run_until(start + core::seconds(30) + W * core::seconds(1));
+
+  if (fleet != nullptr) {
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      const swift::ServerStats& stats = fleet->server(s).stats();
+      out.server_accepted[s] += stats.requests_accepted;
+      out.server_probe_bytes[s] += stats.probe_bytes_sent;
+    }
   }
 
-  // Periodic utilization windows over each server's shared egress queue: the
-  // delivered-byte delta per window is the ground-truth egress utilization,
-  // queueing included — the measurement the analytic backend approximates.
-  const std::int64_t total_seconds =
-      static_cast<std::int64_t>(config.days) * 24 * 3600;
-  const core::SimDuration window = config.window_seconds * core::seconds(1);
-  const double window_capacity_mbit =
-      config.server_uplink_mbps * static_cast<double>(config.window_seconds);
-  std::vector<std::int64_t> last_delivered(config.server_count, 0);
-  std::uint64_t windows_elapsed = 0;
-  std::function<void()> tick = [&] {
-    double total_util = 0.0;
-    for (std::size_t s = 0; s < config.server_count; ++s) {
-      const netsim::LinkBase* egress = testbed.server_egress(s);
-      const std::int64_t delivered =
-          egress != nullptr ? egress->stats().bytes_delivered : 0;
-      const std::int64_t delta = delivered - last_delivered[s];
-      last_delivered[s] = delivered;
-      const double util =
-          100.0 * static_cast<double>(delta) * 8.0 / 1e6 / window_capacity_mbit;
-      if (util > 0.0) {
-        out.busy_windows.push_back(util);
-        if (health != nullptr) {
-          health->record_egress_utilization(s, util);
-        }
-      }
-      total_util += util;
-      if (auto* hub = sched.obs()) {
-        if (util > 0.0) {
-          hub->metrics
-              .histogram("fleet.window_utilization",
-                         {5.0, 15.0, 30.0, 45.0, 60.0, 80.0, 95.0})
-              .observe(util);
-        }
-        if (auto* tr = sched.tracer(obs::Category::kFleet)) {
-          // One series per server (id = server index), sampled each window.
-          tr->record(sched.now(), obs::Category::kFleet, obs::EventKind::kCounter,
-                     "fleet.egress_util", s, util);
-        }
-      }
-    }
-    // The overload proxy (fleet egress effectively saturated) needs the
-    // fleet-wide utilization, which only the merge can see — record this
-    // shard's contribution per window and let the merge sum and threshold.
-    out.window_total_util.push_back(total_util);
-    // Budget check once per window: a deterministic sim-time cadence, so
-    // degradation points depend only on (workload, shards, budget).
-    out.policy.note_footprint(obs_footprint_bytes(sched.obs(), out.health));
-    ++windows_elapsed;
-    if (static_cast<std::int64_t>(windows_elapsed) * config.window_seconds <
-        total_seconds) {
-      sched.schedule_in(window, tick);
-    }
-  };
-  sched.schedule_at(window, tick);
+  if (test_hub != nullptr) {
+    // Fold this test's trace/spans into the chunk accumulator now (replayed
+    // through record(), so the chunk's spill sink still sees overflow) and
+    // bank the metrics snapshot for the merge-time draw-order fold.
+    out.hub->tracer.merge_from(test_hub->tracer);
+    out.hub->spans.merge_from(test_hub->spans);
+    out.metric_snaps.push_back(test_hub->metrics.snapshot());
+  }
 
-  // Let the tail of the last tests (max_duration + drain) play out.
-  sched.run_until(total_seconds * core::seconds(1) + core::seconds(30));
-
-  // Protocol-level per-server load balance (sessions, probe egress).
-  if (health != nullptr) fleet.record_health(*health);
-
-  // Scheduler-side self-telemetry, captured before the testbed dies with
-  // this frame (the common fields are filled by the caller).
+  // Scheduler-side self-telemetry, summed across the chunk's testbeds.
   const netsim::Scheduler::AllocStats alloc = sched.alloc_stats();
   const netsim::CalendarEventQueue::Stats cal = sched.calendar_stats();
-  out.telemetry.events_executed = sched.events_executed();
-  out.telemetry.slab_slots = alloc.slab_slots;
-  out.telemetry.callback_heap_fallbacks = alloc.callback_heap_fallbacks;
-  out.telemetry.payload_nodes = alloc.payload_nodes;
-  out.telemetry.payload_heap_spills = alloc.payload_heap_spills;
-  out.telemetry.transit_nodes = alloc.transit_nodes;
-  out.telemetry.transit_peak_live = alloc.transit_peak_live;
-  out.telemetry.calendar_sweeps = cal.sweeps;
-  out.telemetry.calendar_rebases = cal.rebases;
-  out.telemetry.calendar_far_pushes = cal.far_pushes;
+  obs::ShardTelemetry& t = out.telemetry;
+  t.events_executed += sched.events_executed();
+  t.slab_slots += alloc.slab_slots;
+  t.callback_heap_fallbacks += alloc.callback_heap_fallbacks;
+  t.payload_nodes += alloc.payload_nodes;
+  t.payload_heap_spills += alloc.payload_heap_spills;
+  t.transit_nodes += alloc.transit_nodes;
+  t.transit_peak_live = std::max(t.transit_peak_live, alloc.transit_peak_live);
+  t.calendar_sweeps += cal.sweeps;
+  t.calendar_rebases += cal.rebases;
+  t.calendar_far_pushes += cal.far_pushes;
 }
 
-FleetSimResult merge_packet(std::vector<PacketShard>& shards,
+void run_packet_chunk(std::span<const Arrival> arrivals,
+                      const swift::ModelRegistry& registry,
+                      const FleetSimConfig& config,
+                      const obs::SampleSchedule* schedule,
+                      std::int64_t windows_total, PacketChunk& out) {
+  out.server_accepted.assign(config.server_count, 0);
+  out.server_probe_bytes.assign(config.server_count, 0);
+  out.metric_snaps.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) {
+    const bool sampled = schedule == nullptr || schedule->sampled(a.test_id);
+    const bool count_sampled =
+        schedule != nullptr && sampled && schedule->denominator_at(a.test_id) > 1;
+    run_packet_test(a, registry, config, sampled, count_sampled,
+                    /*sampled_mode=*/schedule != nullptr, windows_total, out);
+  }
+}
+
+FleetSimResult merge_packet(std::vector<PacketChunk>& chunks,
                             const FleetSimConfig& config) {
   obs::hostprof::Timeline* host_tl =
       config.hostprof != nullptr ? &config.hostprof->main() : nullptr;
   FleetSimResult result;
   const std::int64_t total_seconds =
       static_cast<std::int64_t>(config.days) * 24 * 3600;
+  const std::int64_t windows_total =
+      config.window_seconds > 0 ? total_seconds / config.window_seconds : 0;
+  const double window_capacity_mbit =
+      config.server_uplink_mbps * static_cast<double>(config.window_seconds);
 
-  std::size_t windows_total = 0;
-  for (const PacketShard& shard : shards) {
-    result.tests_simulated += shard.tests_simulated;
-    result.tests_dropped += shard.tests_dropped;
-    windows_total = std::max(windows_total, shard.window_total_util.size());
-  }
-
-  // Fleet-wide overload: sum each window's per-shard utilization, then apply
-  // the saturation threshold — for one shard this is the historical check.
-  std::vector<double> window_total(windows_total, 0.0);
-  for (const PacketShard& shard : shards) {
-    for (std::size_t w = 0; w < shard.window_total_util.size(); ++w) {
-      window_total[w] += shard.window_total_util[w];
+  // Integer sums, commutative and associative: the merged matrices are
+  // exactly partition-independent, no canonical summation order needed.
+  std::vector<std::int64_t> delivered(
+      static_cast<std::size_t>(windows_total) * config.server_count, 0);
+  std::vector<std::uint64_t> accepted(config.server_count, 0);
+  std::vector<std::int64_t> probe_bytes(config.server_count, 0);
+  for (const PacketChunk& chunk : chunks) {
+    result.tests_simulated += chunk.tests_simulated;
+    for (const PacketChunk::WindowDelta& d : chunk.deltas) {
+      delivered[static_cast<std::size_t>(d.window) * config.server_count +
+                d.server] += d.bytes;
+    }
+    for (std::size_t s = 0; s < chunk.server_accepted.size(); ++s) {
+      accepted[s] += chunk.server_accepted[s];
+      probe_bytes[s] += chunk.server_probe_bytes[s];
     }
   }
-  std::uint64_t overloaded_windows = 0;
-  for (double total : window_total) {
-    if (total >= 98.0 * static_cast<double>(config.server_count)) {
-      ++overloaded_windows;
-    }
-  }
 
-  std::size_t busy_total = 0;
-  for (const PacketShard& shard : shards) busy_total += shard.busy_windows.size();
-  result.busy_window_utilization.reserve(busy_total);
-  for (const PacketShard& shard : shards) {
-    result.busy_window_utilization.insert(result.busy_window_utilization.end(),
-                                          shard.busy_windows.begin(),
-                                          shard.busy_windows.end());
-  }
+  const auto util_of = [&](std::int64_t w, std::size_t s) {
+    const std::int64_t bytes =
+        delivered[static_cast<std::size_t>(w) * config.server_count + s];
+    return 100.0 * static_cast<double>(bytes) * 8.0 / 1e6 / window_capacity_mbit;
+  };
 
   if (config.obs != nullptr) {
-    ShardSpill merge_spill;
+    ChunkSpill merge_spill;
     if (!config.obs_spill_dir.empty()) {
-      merge_spill.attach(*config.obs, config.obs_spill_dir, shards.size());
+      merge_spill.attach(*config.obs, config.obs_spill_dir, chunks.size());
     }
-    // Component-wise merge in shard order (same bytes as the fused hub
+    // Component-wise merge in chunk order (same bytes as the fused hub
     // merge), one host-time phase per component.
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.tracer");
-      for (const PacketShard& shard : shards) {
-        if (shard.hub != nullptr) config.obs->tracer.merge_from(shard.hub->tracer);
+      for (const PacketChunk& chunk : chunks) {
+        if (chunk.hub != nullptr) config.obs->tracer.merge_from(chunk.hub->tracer);
       }
     }
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.metrics");
-      for (const PacketShard& shard : shards) {
-        if (shard.hub != nullptr) {
-          config.obs->metrics.merge_from(shard.hub->metrics.snapshot());
+      // A flat left fold over per-test snapshots in global draw order: the
+      // FP additions (gauge adds, histogram sums) associate identically for
+      // every chunk size and job count, so the merged registry is a pure
+      // function of (config, seed).
+      for (const PacketChunk& chunk : chunks) {
+        for (const obs::MetricsSnapshot& snap : chunk.metric_snaps) {
+          config.obs->metrics.merge_from(snap);
         }
       }
     }
     {
       const obs::hostprof::HostScope scope(host_tl, "merge.spans");
-      for (const PacketShard& shard : shards) {
-        if (shard.hub != nullptr) config.obs->spans.merge_from(shard.hub->spans);
+      for (const PacketChunk& chunk : chunks) {
+        if (chunk.hub != nullptr) config.obs->spans.merge_from(chunk.hub->spans);
       }
     }
-    if (config.sample.enabled() || config.obs_budget_mb > 0) {
-      // Canonical content order, as in the analytic merge. The packet
-      // backend's event *content* still differs across shard counts (shards
-      // lose cross-shard egress contention), so unlike the analytic path
-      // this only guarantees independence from --jobs.
+    // Fleet-level series are a function of the merged byte matrix, so they
+    // are emitted here — once, partition-free — rather than inside any
+    // chunk: one egress_util sample per (window, server) on the global
+    // grid, and the busy-window histogram.
+    {
+      const obs::hostprof::HostScope scope(host_tl, "merge.windows");
+      const bool wants_fleet = config.obs->tracer.wants(obs::Category::kFleet);
+      for (std::int64_t w = 0; w < windows_total; ++w) {
+        const core::SimTime ts = (w + 1) * config.window_seconds * core::seconds(1);
+        for (std::size_t s = 0; s < config.server_count; ++s) {
+          const double util = util_of(w, s);
+          if (util > 0.0) {
+            config.obs->metrics
+                .histogram("fleet.window_utilization",
+                           {5.0, 15.0, 30.0, 45.0, 60.0, 80.0, 95.0})
+                .observe(util);
+          }
+          if (wants_fleet) {
+            config.obs->tracer.record(ts, obs::Category::kFleet,
+                                      obs::EventKind::kCounter,
+                                      "fleet.egress_util", s, util);
+          }
+        }
+      }
+    }
+    // Always canonicalize: chunk concatenation order (and chunk-local span
+    // ids) depend on the partition; the content order does not.
+    {
       const obs::hostprof::HostScope scope(host_tl, "merge.canonicalize");
       config.obs->tracer.sort_canonical();
       config.obs->spans.sort_canonical();
     }
     const obs::hostprof::HostScope scope(host_tl, "spill.io");
-    std::vector<ShardSpill> spills;
-    for (PacketShard& shard : shards) spills.push_back(std::move(shard.spill));
+    std::vector<ChunkSpill> spills;
+    for (PacketChunk& chunk : chunks) spills.push_back(std::move(chunk.spill));
     spills.push_back(std::move(merge_spill));
     concat_spill(spills, /*trace_stream=*/true, config.obs_spill_dir);
     concat_spill(spills, /*trace_stream=*/false, config.obs_spill_dir);
@@ -770,17 +815,51 @@ FleetSimResult merge_packet(std::vector<PacketShard>& shards,
   if (config.health != nullptr) {
     const obs::hostprof::HostScope scope(host_tl, "samplelog.replay");
     std::vector<const obs::health::SampleLog*> logs;
-    logs.reserve(shards.size());
-    for (const PacketShard& shard : shards) logs.push_back(&shard.health);
+    logs.reserve(chunks.size());
+    for (const PacketChunk& chunk : chunks) logs.push_back(&chunk.health);
     obs::health::SampleLog::merge_arrivals(logs, *config.health);
-    for (const PacketShard& shard : shards) {
-      shard.health.replay_samples(*config.health);
+    for (const PacketChunk& chunk : chunks) {
+      chunk.health.replay_samples(*config.health);
     }
   }
 
-  finish_result(result,
-                overloaded_windows * static_cast<std::uint64_t>(config.window_seconds),
-                static_cast<std::uint64_t>(total_seconds));
+  // Busy windows, overload, and per-server egress health from the merged
+  // matrix, window-major — the historical emission order.
+  std::uint64_t overloaded_windows = 0;
+  for (std::int64_t w = 0; w < windows_total; ++w) {
+    double window_total = 0.0;
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      const double util = util_of(w, s);
+      window_total += util;
+      if (util > 0.0) {
+        result.busy_window_utilization.push_back(util);
+        if (config.health != nullptr) {
+          config.health->record_egress_utilization(s, util);
+        }
+      }
+    }
+    // Fleet egress effectively saturated (the overload proxy).
+    if (window_total >= 98.0 * static_cast<double>(config.server_count)) {
+      ++overloaded_windows;
+    }
+  }
+
+  // Protocol-level per-server load balance (sessions, probe egress), from
+  // the integer sums.
+  if (config.health != nullptr) {
+    for (std::size_t s = 0; s < config.server_count; ++s) {
+      const std::string dims[] = {"server:" + std::to_string(s)};
+      config.health->record("server_sessions",
+                            static_cast<double>(accepted[s]), dims);
+      config.health->record("server_probe_mb",
+                            static_cast<double>(probe_bytes[s]) / 1e6, dims);
+    }
+  }
+
+  finish_result(
+      result,
+      overloaded_windows * static_cast<std::uint64_t>(config.window_seconds),
+      static_cast<std::uint64_t>(total_seconds));
   return result;
 }
 
@@ -791,16 +870,13 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
                               const FleetSimConfig& config) {
   FleetSimResult result;
   if (population.empty() || config.server_count == 0) return result;
-  const std::size_t shard_count = std::max<std::size_t>(1, config.shards);
-  const std::size_t jobs = std::max<std::size_t>(1, config.jobs);
+  const std::size_t jobs = resolve_jobs(config.jobs);
+  const std::size_t chunk_size =
+      config.chunk == 0 ? kDefaultChunkSize : config.chunk;
   obs::hostprof::Timeline* host_tl =
       config.hostprof != nullptr ? &config.hostprof->main() : nullptr;
-  if (config.hostprof != nullptr) {
-    config.hostprof->set_run_shape(shard_count, jobs);
-  }
 
   const auto run_start = std::chrono::steady_clock::now();
-  if (config.resource != nullptr) config.resource->begin_run(shard_count);
   const auto finish_resource = [&] {
     if (config.resource == nullptr) return;
     config.resource->finish_run(std::chrono::duration<double>(
@@ -808,15 +884,13 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
                                     .count());
   };
 
-  // Per-shard sampling policy: salted with the run seed, budget split evenly
-  // so the per-shard slice is a pure function of (budget, shards). A budget
-  // without an explicit sample spec starts at 1/1 and only degrades if the
-  // footprint actually exceeds the slice.
+  // The sampling base: salted with the run seed; the budget is GLOBAL (the
+  // degradation schedule is planned over the whole draw order, so no
+  // per-partition split exists to leak the partition into the sampled set).
   obs::SamplingPolicy base_policy = config.sample;
   base_policy.set_salt(config.seed);
   if (config.obs_budget_mb > 0) {
-    base_policy.set_budget_bytes(config.obs_budget_mb * 1024ull * 1024ull /
-                                 static_cast<std::uint64_t>(shard_count));
+    base_policy.set_budget_bytes(config.obs_budget_mb * 1024ull * 1024ull);
   }
   const bool sampling_active =
       base_policy.enabled() || config.obs_budget_mb > 0;
@@ -827,81 +901,88 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
     workload = generate_workload(population, registry, config);
   }
 
-  // Partition by the stable hash of each arrival's first server; relative
-  // order within a shard stays chronological. One shard takes everything —
-  // the legacy unsharded run.
-  std::vector<std::vector<Arrival>> parts(shard_count);
-  {
-    const obs::hostprof::HostScope scope(host_tl, "workload.partition");
-    if (shard_count == 1) {
-      parts[0] = std::move(workload);
-    } else {
-      obs::ProfScope prof(config.prof, "fleet.partition");
-      for (const Arrival& a : workload) {
-        parts[shard_of(a.first_server, shard_count)].push_back(a);
-      }
-    }
+  const std::size_t chunk_count =
+      workload.empty() ? 0 : (workload.size() + chunk_size - 1) / chunk_size;
+  if (config.hostprof != nullptr) config.hostprof->set_run_shape(chunk_count, jobs);
+  if (config.resource != nullptr) config.resource->begin_run(chunk_count);
+
+  std::optional<obs::SampleSchedule> schedule;
+  if (sampling_active) {
+    schedule = obs::SampleSchedule::plan(workload.size(), base_policy,
+                                         sample_cost_model(config));
   }
+  const obs::SampleSchedule* sched_ptr =
+      schedule.has_value() ? &*schedule : nullptr;
+
+  const auto chunk_arrivals = [&](std::size_t c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(workload.size(), lo + chunk_size);
+    return std::span<const Arrival>(workload.data() + lo, hi - lo);
+  };
+  const auto chunk_degradations = [&](std::size_t c) -> std::uint64_t {
+    if (sched_ptr == nullptr) return 0;
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = std::min(workload.size(), lo + chunk_size);
+    return sched_ptr->degradations_in(lo, hi);
+  };
 
   if (config.backend == FleetBackend::kPacket && config.server_uplink_mbps > 0.0) {
-    std::vector<PacketShard> outputs(shard_count);
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      PacketShard& out = outputs[s];
+    const std::int64_t total_seconds =
+        static_cast<std::int64_t>(config.days) * 24 * 3600;
+    const std::int64_t windows_total =
+        config.window_seconds > 0 ? total_seconds / config.window_seconds : 0;
+    std::vector<PacketChunk> outputs(chunk_count);
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      PacketChunk& out = outputs[c];
       out.want_health = config.health != nullptr;
-      out.policy = base_policy;
       if (config.obs != nullptr) {
+        // The chunk hub is an accumulator: tests record into their own
+        // per-test hubs (run_packet_test) and fold in after each test, so
+        // the chunk's spill sink sees overflow while metrics stay banked
+        // per test. No live recording happens here, so no sink or sampled
+        // mode setup is needed — merge_from never re-emits through sinks.
         out.hub = obs::Hub::mirror_of(*config.obs);
-        out.spill.attach(*out.hub, config.obs_spill_dir, s);
-        if (sampling_active) {
-          // Server sessions key on the wire nonce; unsampled tests never
-          // register an anchor, so sampled mode drops their orphan roots.
-          out.hub->spans.set_sampled_mode(true);
-          // Span ids are store-local and partition-dependent; the begin/end
-          // tracer mirror would leak them into the merged trace, so under
-          // sampling spans mirror into metrics only.
-          out.hub->spans.set_sinks(nullptr, &out.hub->metrics);
-        }
+        out.spill.attach(*out.hub, config.obs_spill_dir, c);
       }
     }
     {
       obs::ProfScope prof(config.prof, "fleet.replay_packet");
-      run_shards(
-          shard_count, jobs,
-          [&](std::size_t s) {
-        const auto t0 = std::chrono::steady_clock::now();
-        {
-          // Per-shard registry: lock-free on the worker, merged after join.
-          obs::ProfScope shard_prof(
-              config.prof != nullptr ? &outputs[s].prof : nullptr,
-              "fleet.shard_replay");
-          run_packet_shard(parts[s], registry, config,
-                           core::stream_seed(config.seed ^ kTestbedSeedSalt, s),
-                           outputs[s]);
-        }
-        PacketShard& out = outputs[s];
-        obs::ShardTelemetry& t = out.telemetry;
-        t.shard = s;
-        t.wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                .count();
-        t.tests = out.tests_simulated;
-        t.health_dropped = out.health.dropped();
-        t.sample_degradations = out.policy.degradations();
-        if (out.hub != nullptr) {
-          t.trace_dropped = out.hub->tracer.dropped();
-          t.trace_spilled = out.hub->tracer.spilled();
-          t.span_dropped = out.hub->spans.dropped();
-          t.span_spilled = out.hub->spans.spilled();
-        }
-        if (config.resource != nullptr) {
-          config.resource->record_shard(t);
-          config.resource->note_shard_done();
-          config.resource->sample_usage();
-        }
+      run_tasks(
+          chunk_count, jobs,
+          [&](std::size_t c) {
+            const auto t0 = std::chrono::steady_clock::now();
+            {
+              // Per-chunk registry: lock-free on the worker, merged after join.
+              obs::ProfScope chunk_prof(
+                  config.prof != nullptr ? &outputs[c].prof : nullptr,
+                  "fleet.chunk_replay");
+              run_packet_chunk(chunk_arrivals(c), registry, config, sched_ptr,
+                               windows_total, outputs[c]);
+            }
+            PacketChunk& out = outputs[c];
+            obs::ShardTelemetry& t = out.telemetry;
+            t.shard = c;
+            t.wall_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+            t.tests = out.tests_simulated;
+            t.health_dropped = out.health.dropped();
+            t.sample_degradations = chunk_degradations(c);
+            if (out.hub != nullptr) {
+              t.trace_dropped = out.hub->tracer.dropped();
+              t.trace_spilled = out.hub->tracer.spilled();
+              t.span_dropped = out.hub->spans.dropped();
+              t.span_spilled = out.hub->spans.spilled();
+            }
+            if (config.resource != nullptr) {
+              config.resource->record_shard(t);
+              config.resource->note_shard_done();
+              config.resource->sample_usage();
+            }
           },
           config.hostprof);
       if (config.prof != nullptr) {
-        for (const PacketShard& out : outputs) config.prof->merge_from(out.prof);
+        for (const PacketChunk& out : outputs) config.prof->merge_from(out.prof);
       }
     }
     obs::ProfScope prof(config.prof, "fleet.merge");
@@ -911,63 +992,69 @@ FleetSimResult simulate_fleet(std::span<const dataset::TestRecord> population,
     return result;
   }
 
-  std::vector<AnalyticShard> outputs(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    AnalyticShard& out = outputs[s];
+  std::vector<AnalyticChunk> outputs(chunk_count);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    AnalyticChunk& out = outputs[c];
     out.want_health = config.health != nullptr;
-    out.policy = base_policy;
     // The analytic backend emits observability only under sampling (or a
     // budget): its legacy contract is "no obs emission", and the sampled
     // fleet.test events/spans are the artifact the byte-identity gate pins.
     if (config.obs != nullptr && sampling_active) {
-      out.hub = obs::Hub::mirror_of(*config.obs);
-      out.spill.attach(*out.hub, config.obs_spill_dir, s);
+      out.hub = make_chunk_hub(*config.obs, 4 * chunk_size + 1024);
+      out.spill.attach(*out.hub, config.obs_spill_dir, c);
       // Analytic fleet.test spans root their trace trees explicitly, so
       // sampled mode stays off; only the id-leaking tracer mirror goes.
       out.hub->spans.set_sinks(nullptr, &out.hub->metrics);
     }
   }
+  AnalyticLoad load;
   {
     obs::ProfScope prof(config.prof, "fleet.replay_analytic");
-    run_shards(
-        shard_count, jobs,
-        [&](std::size_t s) {
-      const auto t0 = std::chrono::steady_clock::now();
-      {
-        obs::ProfScope shard_prof(
-            config.prof != nullptr ? &outputs[s].prof : nullptr,
-            "fleet.shard_replay");
-        run_analytic_shard(parts[s], config, outputs[s]);
-      }
-      AnalyticShard& out = outputs[s];
-      obs::ShardTelemetry& t = out.telemetry;
-      t.shard = s;
-      t.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      t.tests = out.tests;
-      t.health_dropped = out.health.dropped();
-      t.sample_degradations = out.policy.degradations();
-      if (out.hub != nullptr) {
-        t.trace_dropped = out.hub->tracer.dropped();
-        t.trace_spilled = out.hub->tracer.spilled();
-        t.span_dropped = out.hub->spans.dropped();
-        t.span_spilled = out.hub->spans.spilled();
-      }
-      if (config.resource != nullptr) {
-        config.resource->record_shard(t);
-        config.resource->note_shard_done();
-        config.resource->sample_usage();
-      }
+    run_tasks(
+        chunk_count, jobs,
+        [&](std::size_t c) {
+          const auto t0 = std::chrono::steady_clock::now();
+          {
+            obs::ProfScope chunk_prof(
+                config.prof != nullptr ? &outputs[c].prof : nullptr,
+                "fleet.chunk_replay");
+            run_analytic_chunk(chunk_arrivals(c), config, sched_ptr, outputs[c]);
+          }
+          AnalyticChunk& out = outputs[c];
+          obs::ShardTelemetry& t = out.telemetry;
+          t.shard = c;
+          t.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+          t.tests = out.tests;
+          t.health_dropped = out.health.dropped();
+          t.sample_degradations = chunk_degradations(c);
+          if (out.hub != nullptr) {
+            t.trace_dropped = out.hub->tracer.dropped();
+            t.trace_spilled = out.hub->tracer.spilled();
+            t.span_dropped = out.hub->spans.dropped();
+            t.span_spilled = out.hub->spans.spilled();
+          }
+          if (config.resource != nullptr) {
+            config.resource->record_shard(t);
+            config.resource->note_shard_done();
+            config.resource->sample_usage();
+          }
         },
         config.hostprof);
     if (config.prof != nullptr) {
-      for (const AnalyticShard& out : outputs) config.prof->merge_from(out.prof);
+      for (const AnalyticChunk& out : outputs) config.prof->merge_from(out.prof);
     }
+    // The closed-form load accounting runs once, serially, over the whole
+    // workload: floating-point sums are order-sensitive, so this is the one
+    // place the numbers are allowed to accumulate — the historical order,
+    // bit-identical for every (chunk, jobs).
+    const obs::hostprof::HostScope scope(host_tl, "replay.numeric");
+    load = compute_analytic_load(workload, config);
   }
   obs::ProfScope prof(config.prof, "fleet.merge");
   const obs::hostprof::HostScope merge_scope(host_tl, "merge");
-  result = merge_analytic(outputs, config);
+  result = merge_analytic(outputs, load, config);
   finish_resource();
   return result;
 }

@@ -31,9 +31,11 @@ enum class FleetBackend {
   /// servers for its duration. Fast; ignores queueing and protocol effects.
   kAnalytic,
   /// Packet-level replay: every test is a real WireClient probing real
-  /// SwiftestServers through a netsim::Testbed, so concurrent tests contend
-  /// in each server's one shared egress queue. Orders of magnitude slower;
-  /// use small workloads.
+  /// SwiftestServers through its own isolated netsim::Testbed, keyed by the
+  /// test's global draw index — per-window delivered-byte deltas sum exactly
+  /// at merge, so artifacts are partition-free. Cross-test egress contention
+  /// is not modeled (each test sees dedicated servers). Orders of magnitude
+  /// slower than analytic; use small workloads.
   kPacket,
 };
 
@@ -46,24 +48,20 @@ struct FleetSimConfig {
   int window_seconds = 10;
   std::uint64_t seed = 99;
   FleetBackend backend = FleetBackend::kAnalytic;
-  /// Number of independent shards the drawn workload partitions into, by
-  /// stable hash of each arrival's first server (deploy/shard.hpp). Every
-  /// shard is a self-contained simulation — own scheduler, testbed, RNG
-  /// stream (core::stream_seed of this config's seed), obs hub, and health
-  /// log — and the per-shard outputs merge in shard order. shards = 1 is
-  /// the legacy unsharded run, bit-identical to pre-shard outputs. The
-  /// analytic backend's result is exact for any shard count (per-window
-  /// loads sum at merge); the packet backend loses only cross-shard egress
-  /// contention (escalation traffic spilling onto another shard's servers).
-  std::size_t shards = 1;
-  /// Worker threads replaying shards (clamped to the shard count); 1 runs
-  /// every shard inline on the calling thread. Results and every artifact
-  /// are independent of this value — it buys wall-clock time only.
+  /// Tests per execution chunk (0 = the default, 256). The drawn workload
+  /// decomposes into bounded chunks of *consecutive* draws executed by the
+  /// work-stealing pool (deploy/exec.hpp); chunk outputs merge in canonical
+  /// workload-index order. The partition-invariance contract: every
+  /// deterministic artifact — result numbers, trace, spans, metrics, health —
+  /// is a pure function of (config, seed), independent of this value and of
+  /// `jobs`. Each test keys its own RNG stream (core::stream_seed of the
+  /// test's global draw index), so chunk boundaries never shift a draw.
+  std::size_t chunk = 0;
+  /// Worker threads executing chunks (clamped to the chunk count); 1 runs
+  /// every chunk inline on the calling thread, 0 means the hardware
+  /// concurrency. Results and every artifact are independent of this value —
+  /// it buys wall-clock time only.
   std::size_t jobs = 1;
-  /// Packet backend only: client slots available for overlapping tests,
-  /// per shard. Arrivals beyond this concurrency are dropped
-  /// (tests_dropped).
-  std::size_t max_concurrent_tests = 64;
   /// Optional observability hub, attached to the packet backend's scheduler
   /// for the run: per-test lifecycle traces, per-server egress-utilization
   /// samples, and fleet.* counters land here. Null disables instrumentation.
@@ -83,35 +81,36 @@ struct FleetSimConfig {
   /// the aggregate is thread-safe at any `jobs`.
   obs::ProfRegistry* prof = nullptr;
   /// Optional thread-aware host-time profiler (obs/hostprof/). When set, the
-  /// run records per-thread phase timelines — workload.gen / workload.partition
-  /// on the calling thread, shard.replay + per-worker shard.run via
-  /// run_shards, then merge.tracer / merge.metrics / merge.spans /
-  /// merge.canonicalize / spill.io / samplelog.replay — plus per-worker
-  /// busy/idle wait accounting. Host time only: a non-null profiler never
-  /// changes a single byte of the deterministic artifacts.
+  /// run records per-thread phase timelines — workload.gen on the calling
+  /// thread, exec.run + per-worker chunk.run via run_tasks, then
+  /// replay.numeric (analytic) and merge.tracer / merge.metrics /
+  /// merge.spans / merge.canonicalize / spill.io / samplelog.replay — plus
+  /// per-worker busy/idle/steal accounting. Host time only: a non-null
+  /// profiler never changes a single byte of the deterministic artifacts.
   obs::hostprof::HostProfiler* hostprof = nullptr;
   /// Deterministic whole-test observability sampling (DESIGN.md §12). When
   /// enabled (denominator > 1) and `obs` is attached, each test's trace
   /// events and spans are retained iff sampled(test_id) — test_id is the
   /// global workload draw index, so the sampled artifact is a pure function
-  /// of (seed, workload) and byte-identical for every `jobs` value and, with
-  /// the analytic backend, every shard count (the merge canonicalizes event
-  /// and span order). The salt is overridden with this config's seed.
-  /// Disabled (1/1) keeps the legacy retain-everything behavior untouched.
+  /// of (seed, workload) and byte-identical for every `jobs`, `chunk`
+  /// combination (the merge canonicalizes event and span order). The salt
+  /// is overridden with this config's seed. Disabled (1/1) keeps the
+  /// retain-everything behavior.
   obs::SamplingPolicy sample;
-  /// Total observability memory budget in MB, split evenly across shards;
-  /// 0 = unlimited. When a shard's deterministic obs footprint (trace ring +
-  /// span store + health log capacity) exceeds its slice, the shard's
-  /// sampling denominator doubles — recorded in obs.sample_degradations —
-  /// instead of the run growing without bound. Keyed on store footprint,
-  /// never RSS, so degradation points are host-independent.
+  /// Global observability memory budget in MB; 0 = unlimited. The run plans
+  /// a deterministic degradation schedule up front (obs::SampleSchedule):
+  /// walking the workload in draw order, the sampling denominator doubles at
+  /// the checkpoints where the modeled obs footprint would exceed the budget
+  /// — recorded in obs.sample_degradations — instead of the run growing
+  /// without bound. The plan depends only on (workload size, policy, budget,
+  /// cost model): never on the partition, the thread schedule, or RSS.
   std::uint64_t obs_budget_mb = 0;
   /// Directory for rotating spill segments (must exist; empty disables
   /// spilling). Full trace rings and span stores flush whole segments here
-  /// instead of dropping; the merge concatenates them in (shard, segment)
+  /// instead of dropping; the merge concatenates them in (chunk, segment)
   /// order into <dir>/trace.spill.jsonl and <dir>/spans.spill.jsonl.
   std::string obs_spill_dir;
-  /// Optional resource self-telemetry: per-shard occupancy/drop/spill
+  /// Optional resource self-telemetry: per-chunk occupancy/drop/spill
   /// counters and host wall/RSS measurements land here (obs/resource.hpp).
   obs::ResourceMonitor* resource = nullptr;
 };
@@ -128,10 +127,11 @@ struct FleetSimResult {
   /// Fraction of seconds where requested load exceeded fleet capacity.
   double overload_seconds_share = 0.0;
   std::uint64_t tests_simulated = 0;
-  /// Packet backend only: arrivals skipped because every client slot was
-  /// already mid-test.
+  /// Always 0 since the partition-free runtime: every arrival runs in its
+  /// own isolated testbed, so there is no client-slot pool to exhaust. Kept
+  /// for artifact compatibility.
   std::uint64_t tests_dropped = 0;
-  /// Spill accounting summed over every shard's writers plus the merge
+  /// Spill accounting summed over every chunk's writers plus the merge
   /// target (all zero when --obs-spill-dir is off). Deterministic — segment
   /// rotation depends on store capacity and event volume, never on --jobs —
   /// so these feed the run manifest's spill summaries.

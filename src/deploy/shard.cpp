@@ -1,13 +1,6 @@
 #include "deploy/shard.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "obs/hostprof/hostprof.hpp"
-#include "obs/hostprof/report.hpp"
+#include "deploy/exec.hpp"
 
 namespace swiftest::deploy {
 
@@ -26,85 +19,7 @@ std::size_t shard_of(std::uint64_t key, std::size_t shards) noexcept {
 void run_shards(std::size_t shard_count, std::size_t jobs,
                 const std::function<void(std::size_t)>& fn,
                 obs::hostprof::HostProfiler* prof) {
-  using obs::hostprof::HostScope;
-  using obs::hostprof::WorkerStats;
-
-  if (shard_count == 0) return;
-  if (jobs <= 1 || shard_count == 1) {
-    // Inline path: the calling thread is the (only) worker, so its stats
-    // land on timeline 0 alongside the pool region itself.
-    obs::hostprof::Timeline* main_tl = prof != nullptr ? &prof->main() : nullptr;
-    const HostScope pool_scope(main_tl, obs::hostprof::kPhasePool);
-    WorkerStats stats;
-    const std::uint64_t t_start = main_tl != nullptr ? main_tl->now_ns() : 0;
-    for (std::size_t shard = 0; shard < shard_count; ++shard) {
-      const std::uint64_t t0 = main_tl != nullptr ? main_tl->now_ns() : 0;
-      {
-        const HostScope shard_scope(main_tl, obs::hostprof::kPhaseShard, shard);
-        fn(shard);
-      }
-      if (main_tl != nullptr) {
-        stats.busy_ns += main_tl->now_ns() - t0;
-        ++stats.shards;
-        ++stats.pulls;
-      }
-    }
-    if (main_tl != nullptr) {
-      stats.valid = true;
-      stats.wall_ns = main_tl->now_ns() - t_start;
-      stats.idle_ns = stats.wall_ns > stats.busy_ns ? stats.wall_ns - stats.busy_ns : 0;
-      main_tl->set_worker_stats(stats);
-    }
-    return;
-  }
-
-  const std::size_t workers = jobs < shard_count ? jobs : shard_count;
-  // Worker timelines must exist before the pool spawns: thread creation is
-  // the happens-before edge that lets each worker record lock-free.
-  if (prof != nullptr) prof->reserve_workers(workers);
-
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&](std::size_t index) {
-    obs::hostprof::Timeline* tl = prof != nullptr ? &prof->worker(index) : nullptr;
-    WorkerStats stats;
-    const std::uint64_t t_start = tl != nullptr ? tl->now_ns() : 0;
-    for (;;) {
-      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
-      if (tl != nullptr) ++stats.pulls;  // includes the final miss
-      if (shard >= shard_count) break;
-      const std::uint64_t t0 = tl != nullptr ? tl->now_ns() : 0;
-      try {
-        const HostScope shard_scope(tl, obs::hostprof::kPhaseShard, shard);
-        fn(shard);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      if (tl != nullptr) {
-        stats.busy_ns += tl->now_ns() - t0;
-        ++stats.shards;
-      }
-    }
-    if (tl != nullptr) {
-      stats.valid = true;
-      stats.wall_ns = tl->now_ns() - t_start;
-      stats.idle_ns = stats.wall_ns > stats.busy_ns ? stats.wall_ns - stats.busy_ns : 0;
-      tl->set_worker_stats(stats);
-    }
-  };
-
-  obs::hostprof::Timeline* main_tl = prof != nullptr ? &prof->main() : nullptr;
-  const HostScope pool_scope(main_tl, obs::hostprof::kPhasePool);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker, i);
-  {
-    const HostScope join_scope(main_tl, obs::hostprof::kPhaseJoin);
-    for (std::thread& t : pool) t.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  run_tasks(shard_count, jobs, fn, prof);
 }
 
 }  // namespace swiftest::deploy

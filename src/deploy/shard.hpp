@@ -1,13 +1,15 @@
-// Shard partitioning and the bounded worker pool for parallel fleet-days.
+// Legacy shard-keyed partitioning helpers and the deprecated whole-shard
+// pool entry point.
 //
-// A fleet-day shards by server locality: every arrival is assigned to
-// shard_of(first_server, shards) with a stable 64-bit hash, so a given
-// server's tests land in one shard regardless of arrival order, workload
-// size, or thread count. Shards are fully independent simulations (own
-// Scheduler, own Testbed, own RNG stream, own obs Hub and health log);
-// run_shards executes them on at most `jobs` threads and the caller merges
-// the per-shard outputs in shard order — which makes every artifact a pure
-// function of (workload, shards), never of `jobs`.
+// The execution substrate moved to deploy/exec.hpp: fleet-days decompose
+// into bounded chunks of consecutive workload draws executed by a
+// work-stealing pool (run_tasks), and artifacts are a pure function of
+// (config, seed) — independent of any partition count. What remains here:
+//   * stable_hash64 / shard_of — the stable key hash, still used wherever a
+//     deterministic assignment of keys to buckets is needed;
+//   * run_shards — a compatibility wrapper that forwards to run_tasks so
+//     existing callers keep working while they migrate. New code should call
+//     deploy::run_tasks directly.
 #pragma once
 
 #include <cstddef>
@@ -21,32 +23,16 @@ class HostProfiler;
 namespace swiftest::deploy {
 
 /// Stable 64-bit mix (splitmix64 finalizer). Not cryptographic; chosen for
-/// a fixed, platform-independent bit pattern so shard assignment is part of
-/// the reproducible simulation contract.
+/// a fixed, platform-independent bit pattern so key-to-bucket assignment is
+/// part of the reproducible simulation contract.
 [[nodiscard]] std::uint64_t stable_hash64(std::uint64_t x) noexcept;
 
-/// The shard an arrival keyed by `key` (its first server index) belongs to.
+/// The bucket a key hashes to out of `shards` buckets.
 [[nodiscard]] std::size_t shard_of(std::uint64_t key, std::size_t shards) noexcept;
 
-/// Runs `fn(shard)` for every shard in [0, shard_count) on a pool of at most
-/// `jobs` threads. jobs <= 1 runs inline on the calling thread in shard
-/// order (the zero-thread path TSan baselines and debuggers want). Worker
-/// threads pull the next unstarted shard from a shared counter, so the set
-/// of executed shards — and, given shard-local state, the computed results —
-/// is independent of scheduling. The first exception thrown by any shard is
-/// rethrown on the calling thread after every worker has joined.
-///
-/// When `prof` is non-null, the pool self-profiles into it (host time only;
-/// never touches the shards' deterministic outputs):
-///   * calling thread: one "shard.replay" interval spanning the parallel
-///     region and a nested "pool.join" interval over the joins;
-///   * each worker timeline: one "shard.run" interval per executed shard
-///     (arg = shard index) plus WorkerStats — busy (inside fn), idle
-///     (everything else between thread start and exit, i.e. counter pulls
-///     and the drained-counter miss; busy + idle == wall exactly), pulls,
-///     and shard count. The inline path records the same on the calling
-///     thread's timeline (tid 0). Worker timelines must already exist: the
-///     pool calls reserve_workers before spawning, on the calling thread.
+/// Deprecated: forwards to run_tasks(shard_count, jobs, fn, prof). Same
+/// exactly-once / first-exception / profiling contract (profile phases are
+/// the chunk-plane names "exec.run" / "chunk.run" / "pool.join").
 void run_shards(std::size_t shard_count, std::size_t jobs,
                 const std::function<void(std::size_t)>& fn,
                 obs::hostprof::HostProfiler* prof = nullptr);

@@ -77,7 +77,7 @@ void HostProfiler::reserve_workers(std::size_t n) {
 
 ProfData HostProfiler::snapshot() const {
   ProfData data;
-  data.shards = shards_;
+  data.chunks = chunks_;
   data.jobs = jobs_;
   data.wall_ns = wall_ns_ != 0 ? wall_ns_ : now_ns();
   data.timelines.reserve(timelines_.size());

@@ -3,10 +3,10 @@
 // obs::ProfScope answers "how much wall-clock did category X cost, in
 // total"; it cannot say *which thread* spent it, *when*, or how much of the
 // run was serial. This subsystem retains that structure: every thread of the
-// sharded fleet runtime records nested phase *intervals* into its own
+// chunked fleet runtime records nested phase *intervals* into its own
 // ProfTimeline — the calling thread's workload.gen / merge.* / export
-// phases, each pool worker's per-shard replay — plus per-worker busy/idle
-// wait accounting around deploy::run_shards' shared-counter pool. After the
+// phases, each pool worker's per-chunk replay — plus per-worker busy/idle
+// wait accounting around deploy::run_tasks' work-stealing pool. After the
 // pool joins, HostProfiler::snapshot() folds the timelines into one ProfData
 // that renders as PROF JSONL (obs/hostprof/report.hpp), as a Chrome
 // trace_event timeline with one track per worker, and as the Amdahl
@@ -59,16 +59,17 @@ struct PhaseAgg {
 };
 
 /// Pool wait accounting for one worker thread (or the calling thread on the
-/// inline jobs<=1 path): busy is the sum of shard-execution time, idle is
-/// everything else between the worker's first and last breath (shared-counter
-/// pulls, exit after the counter drains), so busy + idle == wall exactly.
+/// inline jobs<=1 path): busy is the sum of chunk-execution time, idle is
+/// everything else between the worker's first and last breath (deque takes,
+/// steal sweeps, termination checks), so busy + idle == wall exactly.
 struct WorkerStats {
   bool valid = false;
   std::uint64_t busy_ns = 0;
   std::uint64_t idle_ns = 0;
   std::uint64_t wall_ns = 0;
-  std::uint64_t pulls = 0;   // shared-counter fetch_adds (includes the miss)
-  std::uint64_t shards = 0;  // shards this worker executed
+  std::uint64_t pulls = 0;   // acquisition rounds (take + steal sweeps, incl. misses)
+  std::uint64_t steals = 0;  // chunks taken from another worker's deque
+  std::uint64_t chunks = 0;  // chunks this worker executed
 };
 
 /// One thread's interval store. Single-owner while recording (see the
@@ -174,7 +175,7 @@ struct TimelineData {
 /// wall, and every thread's timeline. Produced by snapshot(), round-tripped
 /// through PROF JSONL (report.hpp).
 struct ProfData {
-  std::size_t shards = 0;
+  std::size_t chunks = 0;
   std::size_t jobs = 0;
   std::uint64_t wall_ns = 0;
   std::vector<TimelineData> timelines;  // [0] is the calling thread (tid 0)
@@ -210,8 +211,8 @@ class HostProfiler {
     return *timelines_[index + 1];
   }
 
-  void set_run_shape(std::size_t shards, std::size_t jobs) noexcept {
-    shards_ = shards;
+  void set_run_shape(std::size_t chunks, std::size_t jobs) noexcept {
+    chunks_ = chunks;
     jobs_ = jobs;
   }
 
@@ -226,7 +227,7 @@ class HostProfiler {
  private:
   std::chrono::steady_clock::time_point epoch_;
   std::size_t capacity_;
-  std::size_t shards_ = 0;
+  std::size_t chunks_ = 0;
   std::size_t jobs_ = 0;
   std::uint64_t wall_ns_ = 0;
   std::vector<std::unique_ptr<Timeline>> timelines_;

@@ -41,8 +41,8 @@ std::string thread_label(std::uint32_t tid) {
 }  // namespace
 
 void write_prof_jsonl(const ProfData& data, std::ostream& out) {
-  std::string line = "{\"type\":\"meta\",\"tool\":\"swiftest-hostprof\",\"version\":1";
-  append_kv_u64(line, "shards", data.shards);
+  std::string line = "{\"type\":\"meta\",\"tool\":\"swiftest-hostprof\",\"version\":2";
+  append_kv_u64(line, "chunks", data.chunks);
   append_kv_u64(line, "jobs", data.jobs);
   append_kv_u64(line, "timelines", data.timelines.size());
   append_kv_u64(line, "wall_ns", data.wall_ns);
@@ -63,7 +63,8 @@ void write_prof_jsonl(const ProfData& data, std::ostream& out) {
       append_kv_u64(line, "idle_ns", tl.worker.idle_ns);
       append_kv_u64(line, "wall_ns", tl.worker.wall_ns);
       append_kv_u64(line, "pulls", tl.worker.pulls);
-      append_kv_u64(line, "shards", tl.worker.shards);
+      append_kv_u64(line, "steals", tl.worker.steals);
+      append_kv_u64(line, "chunks", tl.worker.chunks);
       line += "}\n";
       out << line;
     }
@@ -175,10 +176,22 @@ std::optional<ProfData> read_prof_jsonl(std::istream& in, std::string* error) {
     }
     const std::string type = value->get_string("type", "");
     if (type == "meta") {
-      if (!require(*value, {"shards", "jobs", "timelines", "wall_ns"}, lineno, error)) {
+      if (!require(*value, {"jobs", "timelines", "wall_ns"}, lineno, error)) {
         return std::nullopt;
       }
-      data.shards = static_cast<std::size_t>(value->get("shards")->as_u64());
+      // Version 2 writes "chunks"; version-1 files recorded "shards". Either
+      // way it is the task count of the parallel region.
+      if (const auto* chunks = value->get("chunks"); chunks != nullptr) {
+        data.chunks = static_cast<std::size_t>(chunks->as_u64());
+      } else if (const auto* shards = value->get("shards"); shards != nullptr) {
+        data.chunks = static_cast<std::size_t>(shards->as_u64());
+      } else {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(lineno) +
+                   ": missing field \"chunks\" (or legacy \"shards\")";
+        }
+        return std::nullopt;
+      }
       data.jobs = static_cast<std::size_t>(value->get("jobs")->as_u64());
       data.wall_ns = value->get("wall_ns")->as_u64();
       saw_meta = true;
@@ -187,7 +200,7 @@ std::optional<ProfData> read_prof_jsonl(std::istream& in, std::string* error) {
       timeline_for(data, static_cast<std::uint32_t>(value->get("tid")->as_u64()))
           .dropped = value->get("dropped")->as_u64();
     } else if (type == "worker") {
-      if (!require(*value, {"tid", "busy_ns", "idle_ns", "wall_ns", "pulls", "shards"},
+      if (!require(*value, {"tid", "busy_ns", "idle_ns", "wall_ns", "pulls"},
                    lineno, error)) {
         return std::nullopt;
       }
@@ -198,7 +211,23 @@ std::optional<ProfData> read_prof_jsonl(std::istream& in, std::string* error) {
       tl.worker.idle_ns = value->get("idle_ns")->as_u64();
       tl.worker.wall_ns = value->get("wall_ns")->as_u64();
       tl.worker.pulls = value->get("pulls")->as_u64();
-      tl.worker.shards = value->get("shards")->as_u64();
+      // Version 2 writes "steals"/"chunks"; version-1 files have "shards"
+      // (the executed-task count under the old static partition) and no
+      // steal accounting.
+      if (const auto* steals = value->get("steals"); steals != nullptr) {
+        tl.worker.steals = steals->as_u64();
+      }
+      if (const auto* chunks = value->get("chunks"); chunks != nullptr) {
+        tl.worker.chunks = chunks->as_u64();
+      } else if (const auto* shards = value->get("shards"); shards != nullptr) {
+        tl.worker.chunks = shards->as_u64();
+      } else {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(lineno) +
+                   ": missing field \"chunks\" (or legacy \"shards\")";
+        }
+        return std::nullopt;
+      }
     } else if (type == "phase") {
       if (!require(*value, {"tid", "name", "count", "total_ns", "max_ns"}, lineno,
                    error)) {
@@ -252,7 +281,7 @@ std::optional<ProfData> load_prof_file(const std::string& path, std::string* err
 
 ProfReport analyze_prof(const ProfData& data) {
   ProfReport report;
-  report.shards = data.shards;
+  report.chunks = data.chunks;
   report.jobs = data.jobs;
   report.wall_ns = data.wall_ns;
 
@@ -265,7 +294,10 @@ ProfReport analyze_prof(const ProfData& data) {
       row.count += agg.count;
       row.total_ns += agg.total_ns;
       row.max_ns = std::max(row.max_ns, agg.max_ns);
-      if (tl.tid == 0 && agg.name == kPhasePool) report.pool_wall_ns += agg.total_ns;
+      if (tl.tid == 0 &&
+          (agg.name == kPhasePool || agg.name == kLegacyPhasePool)) {
+        report.pool_wall_ns += agg.total_ns;
+      }
     }
     if (tl.worker.valid) {
       ++report.workers;
@@ -275,8 +307,8 @@ ProfReport analyze_prof(const ProfData& data) {
     }
     for (const TimelineData::IntervalData& iv : tl.intervals) {
       if (tl.tid == 0 && iv.depth == 0) report.main_coverage += seconds(iv.dur_ns);
-      if (iv.phase == kPhaseShard) {
-        report.slowest_shards.push_back({iv.arg, iv.dur_ns, tl.tid});
+      if (iv.phase == kPhaseChunk || iv.phase == kLegacyPhaseChunk) {
+        report.slowest_chunks.push_back({iv.arg, iv.dur_ns, tl.tid});
       }
     }
   }
@@ -300,20 +332,20 @@ ProfReport analyze_prof(const ProfData& data) {
           ? busy_s / (static_cast<double>(report.workers) * seconds(report.pool_wall_ns))
           : 0.0;
 
-  if (!report.slowest_shards.empty()) {
+  if (!report.slowest_chunks.empty()) {
     double total = 0.0;
     std::uint64_t max_ns = 0;
-    for (const ShardRow& row : report.slowest_shards) {
+    for (const ChunkRow& row : report.slowest_chunks) {
       total += seconds(row.dur_ns);
       max_ns = std::max(max_ns, row.dur_ns);
     }
-    const double mean = total / static_cast<double>(report.slowest_shards.size());
+    const double mean = total / static_cast<double>(report.slowest_chunks.size());
     report.shard_imbalance = mean > 0.0 ? seconds(max_ns) / mean : 0.0;
-    std::sort(report.slowest_shards.begin(), report.slowest_shards.end(),
-              [](const ShardRow& a, const ShardRow& b) {
-                return a.dur_ns != b.dur_ns ? a.dur_ns > b.dur_ns : a.shard < b.shard;
+    std::sort(report.slowest_chunks.begin(), report.slowest_chunks.end(),
+              [](const ChunkRow& a, const ChunkRow& b) {
+                return a.dur_ns != b.dur_ns ? a.dur_ns > b.dur_ns : a.chunk < b.chunk;
               });
-    if (report.slowest_shards.size() > 8) report.slowest_shards.resize(8);
+    if (report.slowest_chunks.size() > 8) report.slowest_chunks.resize(8);
   }
 
   report.phases.reserve(phases.size());
@@ -336,8 +368,8 @@ void write_prof_report_markdown(const ProfReport& report, std::ostream& out) {
   char line[256];
   out << "# Host-time profile\n\n";
   std::snprintf(line, sizeof(line),
-                "- wall-clock: %.3f s (%zu shards, %zu jobs, %zu worker(s))\n",
-                seconds(report.wall_ns), report.shards, report.jobs, report.workers);
+                "- wall-clock: %.3f s (%zu chunks, %zu jobs, %zu worker(s))\n",
+                seconds(report.wall_ns), report.chunks, report.jobs, report.workers);
   out << line;
   std::snprintf(line, sizeof(line),
                 "- parallel region (%s): %.3f s; parallel efficiency %.1f%%\n",
@@ -360,7 +392,7 @@ void write_prof_report_markdown(const ProfReport& report, std::ostream& out) {
   }
   out << line;
   std::snprintf(line, sizeof(line),
-                "- shard wall-time imbalance (max/mean): %.2f\n",
+                "- chunk wall-time imbalance (max/mean): %.2f\n",
                 report.shard_imbalance);
   out << line;
   std::snprintf(line, sizeof(line),
@@ -387,28 +419,30 @@ void write_prof_report_markdown(const ProfReport& report, std::ostream& out) {
          " of wall; that excess is the parallelism.\n";
 
   out << "\n## Workers\n\n"
-      << "| worker | busy s | idle s | busy % | shards | pulls |\n"
-      << "|---|---|---|---|---|---|\n";
+      << "| worker | busy s | idle s | busy % | chunks | steals | pulls |\n"
+      << "|---|---|---|---|---|---|---|\n";
   for (const WorkerRow& row : report.worker_rows) {
     const double wall_s = seconds(row.stats.wall_ns);
     const std::string label = thread_label(row.tid);
     std::snprintf(line, sizeof(line),
-                  "| %s | %.4f | %.4f | %.1f | %llu | %llu |\n", label.c_str(),
-                  seconds(row.stats.busy_ns), seconds(row.stats.idle_ns),
+                  "| %s | %.4f | %.4f | %.1f | %llu | %llu | %llu |\n",
+                  label.c_str(), seconds(row.stats.busy_ns),
+                  seconds(row.stats.idle_ns),
                   wall_s > 0.0 ? 100.0 * seconds(row.stats.busy_ns) / wall_s : 0.0,
-                  static_cast<unsigned long long>(row.stats.shards),
+                  static_cast<unsigned long long>(row.stats.chunks),
+                  static_cast<unsigned long long>(row.stats.steals),
                   static_cast<unsigned long long>(row.stats.pulls));
     out << line;
   }
 
-  if (!report.slowest_shards.empty()) {
-    out << "\n## Slowest shards\n\n"
-        << "| shard | wall s | worker |\n"
+  if (!report.slowest_chunks.empty()) {
+    out << "\n## Slowest chunks\n\n"
+        << "| chunk | wall s | worker |\n"
         << "|---|---|---|\n";
-    for (const ShardRow& row : report.slowest_shards) {
+    for (const ChunkRow& row : report.slowest_chunks) {
       const std::string label = thread_label(row.tid);
       std::snprintf(line, sizeof(line), "| %llu | %.4f | %s |\n",
-                    static_cast<unsigned long long>(row.shard), seconds(row.dur_ns),
+                    static_cast<unsigned long long>(row.chunk), seconds(row.dur_ns),
                     label.c_str());
       out << line;
     }

@@ -9,7 +9,8 @@
 //     one named track per thread (main + each pool worker), loadable in
 //     Perfetto / chrome://tracing.
 //   * The attribution report — parallel efficiency, serial fraction, Amdahl
-//     bounds, per-shard imbalance, and a ranked phase table, as markdown.
+//     bounds, per-chunk imbalance and steal attribution, and a ranked phase
+//     table, as markdown.
 //
 // Everything here is host-time presentation: these files are never compared
 // byte-for-byte and never feed deterministic artifacts.
@@ -61,15 +62,15 @@ struct WorkerRow {
   WorkerStats stats;
 };
 
-struct ShardRow {
-  std::uint64_t shard = 0;
+struct ChunkRow {
+  std::uint64_t chunk = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;  // the timeline that executed it
 };
 
-/// The Amdahl attribution of one run. Definitions (DESIGN.md §13):
-///   pool_wall_ns     wall time of the calling thread's "shard.replay"
-///                    phase — the parallel region.
+/// The Amdahl attribution of one run. Definitions (DESIGN.md §13, §15):
+///   pool_wall_ns     wall time of the calling thread's "exec.run" phase —
+///                    the parallel region ("shard.replay" in legacy files).
 ///   serial_ns        wall_ns - pool_wall_ns: everything only the calling
 ///                    thread does (workload gen, merge, canonicalize,
 ///                    sample-log replay, export).
@@ -82,12 +83,14 @@ struct ShardRow {
 ///                    could reach given this serial tail.
 ///   parallel_efficiency     busy_ns / (workers * pool_wall_ns): how much of
 ///                    the pool's capacity did real work (1 - idle share).
-///   shard_imbalance  max / mean of per-shard wall times ("shard.run").
+///   shard_imbalance  max / mean of per-chunk wall times ("chunk.run").
+///                    Work stealing bounds it structurally: the name keeps
+///                    the historical gate key, the unit is now a chunk.
 ///   main_coverage    Σ depth-0 calling-thread intervals / wall — how much
 ///                    of the run the phase instrumentation accounts for
 ///                    (the CI gate requires >= 95%).
 struct ProfReport {
-  std::size_t shards = 0;
+  std::size_t chunks = 0;
   std::size_t jobs = 0;
   std::size_t workers = 0;
   std::uint64_t wall_ns = 0;
@@ -104,7 +107,7 @@ struct ProfReport {
   std::uint64_t intervals_dropped = 0;
   std::vector<PhaseRow> phases;          // ranked by total_ns descending
   std::vector<WorkerRow> worker_rows;    // tid ascending
-  std::vector<ShardRow> slowest_shards;  // top slice, dur descending
+  std::vector<ChunkRow> slowest_chunks;  // top slice, dur descending
 };
 
 /// Computes the attribution report from a profile.
@@ -119,11 +122,15 @@ struct ProfReport {
 /// Renders the report as markdown ("# Host-time profile" ...).
 void write_prof_report_markdown(const ProfReport& report, std::ostream& out);
 
-/// The phase names run_shards records: the pool region on the calling
-/// thread, per-shard execution on workers, and the join barrier. Shared
+/// The phase names run_tasks records: the pool region on the calling
+/// thread, per-chunk execution on workers, and the join barrier. Shared
 /// constants so recorder and analyzer cannot drift apart.
-inline constexpr const char* kPhasePool = "shard.replay";
-inline constexpr const char* kPhaseShard = "shard.run";
+inline constexpr const char* kPhasePool = "exec.run";
+inline constexpr const char* kPhaseChunk = "chunk.run";
 inline constexpr const char* kPhaseJoin = "pool.join";
+/// Legacy phase names (pre chunk-plane profiles); the analyzer still folds
+/// them into the same report so old PROF files keep rendering.
+inline constexpr const char* kLegacyPhasePool = "shard.replay";
+inline constexpr const char* kLegacyPhaseChunk = "shard.run";
 
 }  // namespace swiftest::obs::hostprof

@@ -35,4 +35,58 @@ std::string SamplingPolicy::describe() const {
   return "1/" + std::to_string(denominator_);
 }
 
+SampleSchedule SampleSchedule::plan(std::uint64_t test_count,
+                                    const SamplingPolicy& policy,
+                                    const CostModel& model) {
+  SampleSchedule schedule;
+  schedule.salt_ = policy.salt();
+  std::uint64_t denom = policy.denominator() == 0 ? 1 : policy.denominator();
+  schedule.steps_.push_back(Step{0, denom});
+  const std::uint64_t budget = policy.budget_bytes();
+  std::uint64_t footprint = 0;
+  for (std::uint64_t t = 0; t < test_count; ++t) {
+    if (t > 0 && t % kCheckpointInterval == 0 && budget != 0 &&
+        footprint + model.base_bytes > budget &&
+        denom < SamplingPolicy::kMaxDenominator) {
+      denom *= 2;
+      schedule.steps_.push_back(Step{t, denom});
+      ++schedule.degradations_;
+    }
+    if (denom <= 1 || splitmix64(t ^ schedule.salt_) % denom == 0) {
+      footprint += model.sampled_test_bytes;
+    }
+    footprint += model.per_test_bytes;
+  }
+  return schedule;
+}
+
+std::uint64_t SampleSchedule::denominator_at(std::uint64_t test_id) const noexcept {
+  std::uint64_t denom = 1;
+  for (const Step& step : steps_) {
+    if (step.from_test > test_id) break;
+    denom = step.denominator;
+  }
+  return denom;
+}
+
+bool SampleSchedule::sampled(std::uint64_t test_id) const noexcept {
+  const std::uint64_t denom = denominator_at(test_id);
+  if (denom <= 1) return true;
+  return splitmix64(test_id ^ salt_) % denom == 0;
+}
+
+std::uint64_t SampleSchedule::degradations_in(std::uint64_t begin_test,
+                                              std::uint64_t end_test) const noexcept {
+  std::uint64_t count = 0;
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].from_test >= begin_test && steps_[i].from_test < end_test) ++count;
+  }
+  return count;
+}
+
+std::string SampleSchedule::describe_final() const {
+  const std::uint64_t denom = steps_.empty() ? 1 : steps_.back().denominator;
+  return "1/" + std::to_string(denom);
+}
+
 }  // namespace swiftest::obs

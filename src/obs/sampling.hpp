@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace swiftest::obs {
 
@@ -94,6 +95,73 @@ class SamplingPolicy {
   std::uint64_t denominator_ = 1;
   std::uint64_t salt_ = 0;
   std::uint64_t budget_bytes_ = 0;
+  std::uint64_t degradations_ = 0;
+};
+
+/// The precomputed budget-degradation schedule for one run.
+///
+/// With a global memory budget and a partition-free executor, degradation can
+/// no longer be a live decision made inside whichever shard happens to cross
+/// its slice of the budget first — that would make the sampled set depend on
+/// the partition. Instead plan() walks the workload once, in global test
+/// order, modelling the observability footprint the run will accumulate and
+/// doubling the denominator at the same deterministic checkpoints a serial
+/// run would: the resulting per-test keep/drop decisions are a pure function
+/// of (test count, base policy, budget, per-test cost model), so every chunk
+/// asks the schedule instead of mutating a shared policy.
+class SampleSchedule {
+ public:
+  /// A denominator step: tests with index >= from_test sample at 1/denominator
+  /// (until the next step).
+  struct Step {
+    std::uint64_t from_test = 0;
+    std::uint64_t denominator = 1;
+  };
+
+  /// Cost model for plan(): `base_bytes` is footprint that exists regardless
+  /// of sampling (e.g. preallocated trace rings), `sampled_test_bytes` is
+  /// paid only by retained tests, `per_test_bytes` by every test (health).
+  struct CostModel {
+    std::uint64_t base_bytes = 0;
+    std::uint64_t sampled_test_bytes = 0;
+    std::uint64_t per_test_bytes = 0;
+  };
+
+  /// Builds the schedule for `test_count` tests under `policy` (denominator,
+  /// salt and budget are read from it; the policy itself is not mutated).
+  /// Checkpoints every kCheckpointInterval tests mirror the legacy periodic
+  /// note_footprint cadence.
+  [[nodiscard]] static SampleSchedule plan(std::uint64_t test_count,
+                                           const SamplingPolicy& policy,
+                                           const CostModel& model);
+
+  /// Whether the test at global index `test_id` retains observability.
+  [[nodiscard]] bool sampled(std::uint64_t test_id) const noexcept;
+
+  /// Denominator in force at `test_id`.
+  [[nodiscard]] std::uint64_t denominator_at(std::uint64_t test_id) const noexcept;
+
+  /// True when any test is dropped anywhere in the schedule.
+  [[nodiscard]] bool enabled() const noexcept {
+    return !steps_.empty() && (steps_.size() > 1 || steps_[0].denominator > 1);
+  }
+
+  /// Total budget degradations (denominator doublings) in the plan.
+  [[nodiscard]] std::uint64_t degradations() const noexcept { return degradations_; }
+
+  /// Degradations whose trigger checkpoint lies in [begin_test, end_test) —
+  /// per-chunk telemetry attribution.
+  [[nodiscard]] std::uint64_t degradations_in(std::uint64_t begin_test,
+                                              std::uint64_t end_test) const noexcept;
+
+  /// Final "1/N" spec, for artifact meta.
+  [[nodiscard]] std::string describe_final() const;
+
+  static constexpr std::uint64_t kCheckpointInterval = 4096;
+
+ private:
+  std::vector<Step> steps_;          // from_test ascending; steps_[0].from_test == 0
+  std::uint64_t salt_ = 0;
   std::uint64_t degradations_ = 0;
 };
 

@@ -1,10 +1,9 @@
 // Bounded observability at fleet scale (DESIGN.md §12): deterministic
 // whole-test sampling keyed on the global workload draw index makes the
 // sampled trace/span/metrics artifacts a pure function of (seed, workload) —
-// byte-identical across shard and job counts for the analytic backend, and
-// across job counts for the packet backend — and the memory budget degrades
-// the sampling rate (recorded) instead of letting the run grow without
-// bound.
+// byte-identical across chunk sizes and job counts for both backends — and
+// the memory budget plans a deterministic degradation schedule (recorded)
+// instead of letting the run grow without bound.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -41,7 +40,7 @@ struct ObsArtifacts {
   std::uint64_t span_suppressed = 0;
 };
 
-ObsArtifacts run_fleet(FleetBackend backend, std::size_t shards, std::size_t jobs,
+ObsArtifacts run_fleet(FleetBackend backend, std::size_t chunk, std::size_t jobs,
                        std::uint64_t sample_denominator,
                        std::uint64_t budget_mb = 0) {
   const swift::ModelRegistry registry;
@@ -51,7 +50,7 @@ ObsArtifacts run_fleet(FleetBackend backend, std::size_t shards, std::size_t job
   cfg.tests_per_day = backend == FleetBackend::kPacket ? 150.0 : 400.0;
   cfg.seed = 11;
   cfg.backend = backend;
-  cfg.shards = shards;
+  cfg.chunk = chunk;
   cfg.jobs = jobs;
   cfg.sample.set_denominator(sample_denominator);
   cfg.obs_budget_mb = budget_mb;
@@ -94,8 +93,8 @@ std::size_t count_lines(const std::string& text) {
   return static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
 }
 
-TEST(FleetSampling, AnalyticSampledArtifactsByteIdenticalAcrossShardsAndJobs) {
-  const ObsArtifacts reference = run_fleet(FleetBackend::kAnalytic, 1, 1, 8);
+TEST(FleetSampling, AnalyticSampledArtifactsByteIdenticalAcrossChunksAndJobs) {
+  const ObsArtifacts reference = run_fleet(FleetBackend::kAnalytic, 0, 1, 8);
   ASSERT_GT(reference.tests, 100u);
   // 1/8 sampling keeps a proper, non-empty subset.
   EXPECT_GT(reference.sampled, 0u);
@@ -103,24 +102,22 @@ TEST(FleetSampling, AnalyticSampledArtifactsByteIdenticalAcrossShardsAndJobs) {
   // Each sampled test contributes exactly fleet.test_start + fleet.test_done.
   EXPECT_EQ(count_lines(reference.trace), 2 * reference.sampled);
 
-  for (const std::size_t shards : {1u, 4u}) {
-    const ObsArtifacts j1 =
-        shards == 1 ? reference : run_fleet(FleetBackend::kAnalytic, shards, 1, 8);
-    const ObsArtifacts j4 = run_fleet(FleetBackend::kAnalytic, shards, 4, 8);
+  for (const std::size_t chunk : {32u, 64u}) {
+    const ObsArtifacts j1 = run_fleet(FleetBackend::kAnalytic, chunk, 1, 8);
+    const ObsArtifacts j4 = run_fleet(FleetBackend::kAnalytic, chunk, 4, 8);
     for (const ObsArtifacts* run : {&j1, &j4}) {
       EXPECT_EQ(run->tests, reference.tests);
       EXPECT_EQ(run->sampled, reference.sampled);
-      // The whole point: the sampled trace/span/metrics artifacts are a pure
-      // function of (seed, workload) — the canonical merge erases the
-      // partition entirely.
-      EXPECT_EQ(run->trace, reference.trace) << "shards=" << shards;
-      EXPECT_EQ(run->spans, reference.spans) << "shards=" << shards;
-      EXPECT_EQ(run->metrics, reference.metrics) << "shards=" << shards;
+      // The whole point: every artifact is a pure function of (config,
+      // seed) — the canonical merge erases the partition entirely. That now
+      // includes health: chunks hold consecutive draws, so chunk-order
+      // replay IS the global draw order and the P² quantile cells see the
+      // exact same sample sequence at any chunk size.
+      EXPECT_EQ(run->trace, reference.trace) << "chunk=" << chunk;
+      EXPECT_EQ(run->spans, reference.spans) << "chunk=" << chunk;
+      EXPECT_EQ(run->metrics, reference.metrics) << "chunk=" << chunk;
+      EXPECT_EQ(run->health, reference.health) << "chunk=" << chunk;
     }
-    // Health is deterministic for a fixed (workload, shards) and independent
-    // of jobs — but NOT of the shard count: its P² quantile cells are
-    // replay-order-sensitive, and sharded replay runs shard by shard.
-    EXPECT_EQ(j1.health, j4.health) << "shards=" << shards;
   }
 }
 
@@ -128,14 +125,14 @@ TEST(FleetSampling, AnalyticSampledSubsetChangesWithSeedNotPartition) {
   // Same workload, different seed: the salt selects a different subset
   // (almost surely, at these sizes), so sampling is seed-keyed, not
   // position-keyed.
-  const ObsArtifacts a = run_fleet(FleetBackend::kAnalytic, 2, 2, 8);
+  const ObsArtifacts a = run_fleet(FleetBackend::kAnalytic, 64, 2, 8);
   const swift::ModelRegistry registry;
   FleetSimConfig cfg;
   cfg.server_count = 5;
   cfg.days = 1;
   cfg.tests_per_day = 400.0;
   cfg.seed = 12;
-  cfg.shards = 2;
+  cfg.chunk = 64;
   cfg.jobs = 2;
   cfg.sample.set_denominator(8);
   obs::Hub hub;
@@ -150,7 +147,7 @@ TEST(FleetSampling, DisabledSamplingLeavesAnalyticRunUninstrumented) {
   // Keep-everything (1/1) with no budget preserves the legacy contract: the
   // analytic backend emits no per-test traces or spans at all, so existing
   // artifacts cannot shift.
-  const ObsArtifacts run = run_fleet(FleetBackend::kAnalytic, 2, 2, 1);
+  const ObsArtifacts run = run_fleet(FleetBackend::kAnalytic, 64, 2, 1);
   EXPECT_EQ(run.sampled, 0u);
   EXPECT_TRUE(run.trace.empty());
 }
@@ -190,8 +187,8 @@ TEST(FleetSampling, BudgetDegradesSamplingInsteadOfGrowing) {
 }
 
 TEST(FleetSampling, PacketSampledArtifactsIndependentOfJobsAndSuppressOrphans) {
-  const ObsArtifacts serial = run_fleet(FleetBackend::kPacket, 2, 1, 4);
-  const ObsArtifacts threaded = run_fleet(FleetBackend::kPacket, 2, 4, 4);
+  const ObsArtifacts serial = run_fleet(FleetBackend::kPacket, 32, 1, 4);
+  const ObsArtifacts threaded = run_fleet(FleetBackend::kPacket, 32, 4, 4);
   ASSERT_GT(serial.tests, 50u);
   EXPECT_GT(serial.sampled, 0u);
   EXPECT_LT(serial.sampled, serial.tests);

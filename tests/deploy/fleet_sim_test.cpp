@@ -79,10 +79,10 @@ TEST(FleetSim, DeterministicForSeed) {
 }
 
 TEST(FleetSim, PacketBackendAgreesWithAnalytic) {
-  // Same seed => identical drawn workload; the packet backend replays it
-  // through real wire clients and servers contending in each server's one
-  // shared egress queue. The headline sufficiency number must agree with
-  // the closed-form accounting to within 10 percentage points.
+  // Same seed => identical drawn workload; the packet backend replays every
+  // test through a real wire client and servers in its own isolated testbed.
+  // The headline sufficiency number must agree with the closed-form
+  // accounting to within 10 percentage points.
   const swift::ModelRegistry registry;
   FleetSimConfig cfg;
   cfg.days = 1;

@@ -80,7 +80,7 @@ TEST(HostProfiler, ReserveWorkersCreatesStableTimelines) {
   prof.set_run_shape(8, 3);
   prof.finish();
   const ProfData data = prof.snapshot();
-  EXPECT_EQ(data.shards, 8u);
+  EXPECT_EQ(data.chunks, 8u);
   EXPECT_EQ(data.jobs, 3u);
   ASSERT_EQ(data.timelines.size(), 4u);
   EXPECT_EQ(data.timelines[0].tid, 0u);
@@ -89,10 +89,10 @@ TEST(HostProfiler, ReserveWorkersCreatesStableTimelines) {
 
 /// Synthetic profile with round numbers so every report statistic has a
 /// closed-form expectation: wall 100ms; pool region 60ms; two workers, busy
-/// 50ms + 30ms (idle 10ms + 30ms); shards 40/10/20/10ms.
+/// 50ms + 30ms (idle 10ms + 30ms); chunks 40/10/20/10ms.
 ProfData synthetic_profile() {
   ProfData data;
-  data.shards = 4;
+  data.chunks = 4;
   data.jobs = 2;
   data.wall_ns = 100'000'000;
 
@@ -107,18 +107,18 @@ ProfData synthetic_profile() {
 
   TimelineData w1;
   w1.tid = 1;
-  w1.worker = {true, 50'000'000, 10'000'000, 60'000'000, 3, 2};
-  w1.phases.push_back({kPhaseShard, 2, 50'000'000, 40'000'000});
-  w1.intervals.push_back({kPhaseShard, 10'000'000, 40'000'000, 0, 0});
-  w1.intervals.push_back({kPhaseShard, 50'000'000, 10'000'000, 0, 2});
+  w1.worker = {true, 50'000'000, 10'000'000, 60'000'000, 3, 1, 2};
+  w1.phases.push_back({kPhaseChunk, 2, 50'000'000, 40'000'000});
+  w1.intervals.push_back({kPhaseChunk, 10'000'000, 40'000'000, 0, 0});
+  w1.intervals.push_back({kPhaseChunk, 50'000'000, 10'000'000, 0, 2});
   data.timelines.push_back(w1);
 
   TimelineData w2;
   w2.tid = 2;
-  w2.worker = {true, 30'000'000, 30'000'000, 60'000'000, 3, 2};
-  w2.phases.push_back({kPhaseShard, 2, 30'000'000, 20'000'000});
-  w2.intervals.push_back({kPhaseShard, 10'000'000, 20'000'000, 0, 1});
-  w2.intervals.push_back({kPhaseShard, 30'000'000, 10'000'000, 0, 3});
+  w2.worker = {true, 30'000'000, 30'000'000, 60'000'000, 3, 0, 2};
+  w2.phases.push_back({kPhaseChunk, 2, 30'000'000, 20'000'000});
+  w2.intervals.push_back({kPhaseChunk, 10'000'000, 20'000'000, 0, 1});
+  w2.intervals.push_back({kPhaseChunk, 30'000'000, 10'000'000, 0, 3});
   data.timelines.push_back(w2);
   return data;
 }
@@ -138,17 +138,17 @@ TEST(AnalyzeProf, AmdahlAttributionOnSyntheticData) {
   EXPECT_NEAR(report.amdahl_speedup_at_jobs, 1.5, 1e-9);
   // busy 80 over 2 workers * 60 pool wall = 2/3.
   EXPECT_NEAR(report.parallel_efficiency, 2.0 / 3.0, 1e-9);
-  // Shards 40/10/20/10: max 40 over mean 20.
+  // Chunks 40/10/20/10: max 40 over mean 20.
   EXPECT_NEAR(report.shard_imbalance, 2.0, 1e-9);
   // Main depth-0 coverage: 10 + 60 + 30 = 100 of 100.
   EXPECT_NEAR(report.main_coverage, 1.0, 1e-9);
-  ASSERT_EQ(report.slowest_shards.size(), 4u);
-  EXPECT_EQ(report.slowest_shards[0].shard, 0u);
-  EXPECT_EQ(report.slowest_shards[0].dur_ns, 40'000'000u);
-  EXPECT_EQ(report.slowest_shards[0].tid, 1u);
+  ASSERT_EQ(report.slowest_chunks.size(), 4u);
+  EXPECT_EQ(report.slowest_chunks[0].chunk, 0u);
+  EXPECT_EQ(report.slowest_chunks[0].dur_ns, 40'000'000u);
+  EXPECT_EQ(report.slowest_chunks[0].tid, 1u);
   // Phase table ranked by total time descending.
   ASSERT_GE(report.phases.size(), 3u);
-  EXPECT_EQ(report.phases[0].name, kPhaseShard);  // 80ms summed over workers
+  EXPECT_EQ(report.phases[0].name, kPhaseChunk);  // 80ms summed over workers
   EXPECT_EQ(report.phases[0].total_ns, 80'000'000u);
   EXPECT_NEAR(report.phases[0].pct_of_wall, 80.0, 1e-9);
 }
@@ -171,7 +171,7 @@ TEST(ProfJsonl, RoundTripsThroughWriterAndReader) {
   std::string error;
   const auto loaded = read_prof_jsonl(in, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
-  EXPECT_EQ(loaded->shards, data.shards);
+  EXPECT_EQ(loaded->chunks, data.chunks);
   EXPECT_EQ(loaded->jobs, data.jobs);
   EXPECT_EQ(loaded->wall_ns, data.wall_ns);
   ASSERT_EQ(loaded->timelines.size(), 3u);
@@ -181,7 +181,7 @@ TEST(ProfJsonl, RoundTripsThroughWriterAndReader) {
   EXPECT_EQ(w1.worker.busy_ns, 50'000'000u);
   EXPECT_EQ(w1.worker.pulls, 3u);
   ASSERT_EQ(w1.intervals.size(), 2u);
-  EXPECT_EQ(w1.intervals[0].phase, kPhaseShard);
+  EXPECT_EQ(w1.intervals[0].phase, kPhaseChunk);
   EXPECT_EQ(w1.intervals[1].arg, 2u);
   ASSERT_EQ(loaded->timelines[0].phases.size(), 2u);
   EXPECT_EQ(loaded->timelines[0].phases[0].name, kPhasePool);
@@ -244,7 +244,7 @@ TEST(ProfReportMarkdown, RendersHeadlineNumbersAndTables) {
   EXPECT_NE(md.find("parallel efficiency 66.7%"), std::string::npos);
   EXPECT_NE(md.find("## Workers"), std::string::npos);
   EXPECT_NE(md.find("| w1 |"), std::string::npos);
-  EXPECT_NE(md.find("## Slowest shards"), std::string::npos);
+  EXPECT_NE(md.find("## Slowest chunks"), std::string::npos);
 }
 
 TEST(ProfRegistryMerge, MergeFromAddsCountsAndTakesMax) {

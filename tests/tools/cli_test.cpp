@@ -370,56 +370,81 @@ TEST(Cli, UsageDocumentsHealthFlagsAndCategories) {
   EXPECT_NE(output.find(obs::kCategoryListCsv), std::string::npos);
 }
 
-TEST(Cli, FleetRejectsBadShardAndJobCounts) {
+TEST(Cli, FleetValidatesExecutionFlags) {
   std::string output;
+  // Garbage or negative values fail loudly — these flags gate a thread pool.
+  EXPECT_EQ(run({"fleet", "--days", "1", "--jobs", "zippy"}, output), 2);
+  EXPECT_NE(output.find("--jobs must be an integer"), std::string::npos);
+  EXPECT_NE(output.find("0 means the hardware concurrency"), std::string::npos);
+  EXPECT_EQ(run({"fleet", "--days", "1", "--jobs", "-2"}, output), 2);
+  EXPECT_EQ(run({"fleet", "--days", "1", "--chunk", "0"}, output), 2);
+  EXPECT_NE(output.find("--chunk must be an integer >= 1"), std::string::npos);
+  // The deprecated --shards alias is ignored, but nonsense is still an error.
   EXPECT_EQ(run({"fleet", "--days", "1", "--shards", "0"}, output), 2);
   EXPECT_NE(output.find("--shards"), std::string::npos);
-  EXPECT_EQ(run({"fleet", "--days", "1", "--jobs", "0"}, output), 2);
-  EXPECT_NE(output.find("--jobs"), std::string::npos);
+  // --jobs 0 is valid: it means the hardware concurrency.
+  EXPECT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "50", "--jobs", "0"},
+                output),
+            0);
 }
 
-TEST(Cli, FleetShardsAnnotateOutputAndHealthMeta) {
+TEST(Cli, FleetShardsFlagIsIgnoredAndNeverAnnotated) {
+  // The whole-shard runtime is gone: --shards no longer shapes anything, so
+  // neither stdout nor any artifact may mention a partition.
   const std::string health_path = testing::TempDir() + "/cli_fleet_sharded_health.json";
   std::string output;
   ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "500", "--shards", "4",
                  "--jobs", "2", "--health-out", health_path},
                 output),
             0);
-  EXPECT_NE(output.find("4 shards"), std::string::npos);
+  EXPECT_EQ(output.find("shards"), std::string::npos);
   const std::string health = slurp(health_path);
-  EXPECT_NE(health.find("\"shards\": \"4\""), std::string::npos);
-  // --jobs is wall-clock-only and must never appear in an artifact.
+  EXPECT_EQ(health.find("shards"), std::string::npos);
+  // --jobs and --chunk are wall-clock-only and must never appear either.
   EXPECT_EQ(health.find("jobs"), std::string::npos);
+  EXPECT_EQ(health.find("chunk"), std::string::npos);
 }
 
-// The committed goldens under tests/golden were produced by the unsharded
-// pre-shard implementation. An unsharded (default --shards 1) run must keep
-// reproducing them byte for byte: sharding is an opt-in partition of the
-// same simulation, not a new simulation.
-TEST(Cli, FleetUnshardedRunMatchesPreShardGoldens) {
-  const std::string health_path = testing::TempDir() + "/cli_golden_health.json";
-  const std::string metrics_path = testing::TempDir() + "/cli_golden_metrics.json";
-  const std::string spans_path = testing::TempDir() + "/cli_golden_spans.json";
-  std::string output;
-  ASSERT_EQ(run({"fleet", "--backend", "packet", "--servers", "5", "--days", "1",
-                 "--tests-per-day", "200", "--seed", "3", "--health-out",
-                 health_path, "--metrics-out", metrics_path, "--spans-out",
-                 spans_path},
-                output),
-            0);
-
+// The committed goldens under tests/golden pin the partition-free runtime's
+// artifacts: every {--chunk, --jobs} shape must reproduce them byte for
+// byte, because the execution plan is not allowed to leak into any output.
+TEST(Cli, FleetRunMatchesGoldensAtAnyPartition) {
   const std::string golden_dir = SWIFTEST_GOLDEN_DIR;
-  EXPECT_EQ(slurp(health_path), slurp(golden_dir + "/fleet_shard1_health.json"));
-  EXPECT_EQ(slurp(metrics_path), slurp(golden_dir + "/fleet_shard1_metrics.json"));
-  EXPECT_EQ(slurp(spans_path), slurp(golden_dir + "/fleet_shard1_spans.json"));
+  for (const auto& [chunk, jobs] :
+       std::vector<std::pair<const char*, const char*>>{{"", ""}, {"32", "2"}}) {
+    const std::string tag = *chunk == '\0' ? "default" : "chunked";
+    const std::string health_path =
+        testing::TempDir() + "/cli_golden_" + tag + "_health.json";
+    const std::string metrics_path =
+        testing::TempDir() + "/cli_golden_" + tag + "_metrics.json";
+    const std::string spans_path =
+        testing::TempDir() + "/cli_golden_" + tag + "_spans.json";
+    std::vector<std::string> args = {
+        "fleet",       "--backend",     "packet",       "--servers", "5",
+        "--days",      "1",             "--tests-per-day", "200",    "--seed",
+        "3",           "--health-out",  health_path,    "--metrics-out",
+        metrics_path,  "--spans-out",   spans_path};
+    if (*chunk != '\0') {
+      args.insert(args.end(), {"--chunk", chunk, "--jobs", jobs});
+    }
+    std::string output;
+    ASSERT_EQ(run(args, output), 0) << tag;
 
-  // The summary lines (everything before the artifact-path echoes) must
-  // match the golden stdout too.
-  std::istringstream lines(output);
-  std::string line;
-  std::string summary;
-  for (int i = 0; i < 3 && std::getline(lines, line); ++i) summary += line + "\n";
-  EXPECT_EQ(summary, slurp(golden_dir + "/fleet_shard1_stdout.txt"));
+    EXPECT_EQ(slurp(health_path), slurp(golden_dir + "/fleet_day_health.json"))
+        << tag;
+    EXPECT_EQ(slurp(metrics_path), slurp(golden_dir + "/fleet_day_metrics.json"))
+        << tag;
+    EXPECT_EQ(slurp(spans_path), slurp(golden_dir + "/fleet_day_spans.json"))
+        << tag;
+
+    // The summary lines (everything before the artifact-path echoes) must
+    // match the golden stdout too.
+    std::istringstream lines(output);
+    std::string line;
+    std::string summary;
+    for (int i = 0; i < 3 && std::getline(lines, line); ++i) summary += line + "\n";
+    EXPECT_EQ(summary, slurp(golden_dir + "/fleet_day_stdout.txt")) << tag;
+  }
 }
 
 // Host-time profiling must be pure observation: switching --prof-out /
@@ -433,8 +458,8 @@ TEST(Cli, ProfOutDoesNotPerturbDeterministicArtifacts) {
         "fleet",         "--backend", "packet",
         "--days",        "1",         "--tests-per-day",
         "200",           "--servers", "4",
-        "--seed",        "9",         "--shards",
-        "4",             "--jobs",    "2",
+        "--seed",        "9",         "--chunk",
+        "64",            "--jobs",    "2",
         "--health-out",  dir + "/prof_" + tag + "_health.json",
         "--metrics-out", dir + "/prof_" + tag + "_metrics.json",
         "--spans-out",   dir + "/prof_" + tag + "_spans.json",
@@ -461,7 +486,7 @@ TEST(Cli, ProfOutDoesNotPerturbDeterministicArtifacts) {
 TEST(Cli, ProfileReportFromFleetRun) {
   const std::string prof_path = testing::TempDir() + "/cli_prof.jsonl";
   std::string output;
-  ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "300", "--shards", "4",
+  ASSERT_EQ(run({"fleet", "--days", "1", "--tests-per-day", "300", "--chunk", "64",
                  "--jobs", "2", "--prof-out", prof_path},
                 output),
             0);
@@ -471,7 +496,7 @@ TEST(Cli, ProfileReportFromFleetRun) {
   EXPECT_NE(output.find("serial fraction:"), std::string::npos);
   EXPECT_NE(output.find("## Phases"), std::string::npos);
   EXPECT_NE(output.find("## Workers"), std::string::npos);
-  EXPECT_NE(output.find("shard.replay"), std::string::npos);
+  EXPECT_NE(output.find("exec.run"), std::string::npos);
 
   // --md writes the report to a file instead of stdout.
   const std::string md_path = testing::TempDir() + "/cli_prof_report.md";

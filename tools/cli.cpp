@@ -61,10 +61,12 @@ const std::string kUsage = std::string(
     "  fit      --in FILE --out FILE    fit per-technology bandwidth models\n"
     "  plan     [--tests-per-day N] [--regional]\n"
     "  fleet    [--servers N] [--days D] [--tests-per-day N]\n"
-    "           [--backend analytic|packet] [--shards N] [--jobs N]\n"
-    "           --shards partitions the fleet-day into N independent shards\n"
-    "           (deterministic for a given N); --jobs replays them on up to\n"
-    "           N worker threads without changing any output\n"
+    "           [--backend analytic|packet] [--chunk N] [--jobs N]\n"
+    "           --chunk bounds the tests per execution chunk (default 256);\n"
+    "           --jobs replays chunks on up to N work-stealing worker\n"
+    "           threads (0 = hardware concurrency). Every artifact is a pure\n"
+    "           function of (config, seed): neither flag changes any output.\n"
+    "           --shards N is a deprecated no-op alias kept for old scripts\n"
     "  trace    analyze FILE [--json OUT] [--md OUT]\n"
     "           critical-path latency attribution of a span JSON file\n"
     "  profile  report FILE [--md OUT]\n"
@@ -103,13 +105,15 @@ const std::string kUsage = std::string(
     "  --obs-sample 1/N        deterministically retain 1-in-N tests' trace\n"
     "                          events and spans, keyed on the test identity —\n"
     "                          the sampled artifacts are byte-identical for\n"
-    "                          every --shards/--jobs (analytic backend)\n"
-    "  --obs-budget-mb N       total observability memory budget; when a\n"
-    "                          shard's stores outgrow their slice the sampling\n"
-    "                          rate degrades (recorded) instead of OOMing\n"
+    "                          every --chunk/--jobs (both backends)\n"
+    "  --obs-budget-mb N       total observability memory budget; the run\n"
+    "                          plans a deterministic degradation schedule up\n"
+    "                          front — the sampling rate halves (recorded) at\n"
+    "                          checkpoints where the modeled footprint would\n"
+    "                          exceed the budget, instead of OOMing\n"
     "  --obs-spill-dir DIR     rotate full trace rings / span stores into\n"
     "                          JSONL segments under DIR instead of dropping\n"
-    "  --progress              live test/shard/RSS progress line on stderr\n"
+    "  --progress              live test/chunk/RSS progress line on stderr\n"
     "                          (host telemetry; never part of artifacts)\n"
     "\n"
     "host-time profiling (fleet):\n"
@@ -741,18 +745,46 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   cfg.days = static_cast<int>(options.get_int("days", 3));
   cfg.tests_per_day = options.get_double("tests-per-day", 10'000.0);
   cfg.seed = static_cast<std::uint64_t>(options.get_int("seed", 99));
-  const long shards = options.get_int("shards", 1);
-  const long jobs = options.get_int("jobs", 1);
-  if (shards < 1) {
-    out << "--shards must be >= 1\n";
-    return 2;
+  // Strict manual parses: std::stol would throw (or silently truncate) on
+  // garbage, and these flags gate a thread pool — fail loudly instead.
+  const auto parse_count = [&](const char* flag, long fallback,
+                               long minimum) -> std::optional<long> {
+    if (!options.has(flag)) return fallback;
+    const std::string text = options.get(flag, "");
+    long value = 0;
+    bool ok = !text.empty();
+    for (const char c : text) {
+      if (c < '0' || c > '9' || value > 1'000'000) {
+        ok = false;
+        break;
+      }
+      value = value * 10 + (c - '0');
+    }
+    if (!ok || value < minimum) {
+      out << "--" << flag << " must be an integer >= " << minimum
+          << " (got '" << text << "')"
+          << (minimum == 0 ? "; 0 means the hardware concurrency" : "")
+          << "\n";
+      return std::nullopt;
+    }
+    return value;
+  };
+  // --jobs 0 = hardware concurrency (resolved inside simulate_fleet).
+  const auto jobs = parse_count("jobs", 1, 0);
+  if (!jobs) return 2;
+  const auto chunk = parse_count("chunk", 0, 1);
+  if (!chunk) return 2;
+  if (options.has("shards")) {
+    // Deprecated alias from the whole-shard runtime. It no longer shapes
+    // anything — the chunk plane erased the partition from every artifact —
+    // but a nonsense value is still a usage error.
+    if (!parse_count("shards", 1, 1)) return 2;
+    obs::logf(obs::LogLevel::kWarn,
+              "--shards is deprecated and ignored; artifacts no longer depend "
+              "on any partition (use --chunk/--jobs to tune execution)");
   }
-  if (jobs < 1) {
-    out << "--jobs must be >= 1\n";
-    return 2;
-  }
-  cfg.shards = static_cast<std::size_t>(shards);
-  cfg.jobs = static_cast<std::size_t>(jobs);
+  cfg.jobs = static_cast<std::size_t>(*jobs);
+  cfg.chunk = static_cast<std::size_t>(*chunk);
   const std::string backend = options.get("backend", "analytic");
   if (backend == "packet") {
     cfg.backend = deploy::FleetBackend::kPacket;
@@ -783,16 +815,18 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   if (mf != nullptr) {
     manifest.command = "fleet";
     manifest.build = SWIFTEST_GIT_SHA;
-    // Deterministic configuration only: --jobs (and every other host-side
-    // fact) rides in the "host" lines so a jobs-varied pair of runs diffs
-    // as identical.
+    // Deterministic configuration only: --chunk and --jobs (and every other
+    // host-side fact) ride in the "host" lines, so a partition-varied pair
+    // of runs diffs as identical. The "executor" entry records the
+    // partition-invariance contract itself — constant across runs, so
+    // `obs diff --expect-identical` holds across any {chunk, jobs} matrix.
     manifest.config = {
         {"backend", backend},
         {"servers", std::to_string(cfg.server_count)},
         {"days", std::to_string(cfg.days)},
         {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
         {"seed", std::to_string(cfg.seed)},
-        {"shards", std::to_string(cfg.shards)},
+        {"executor", "chunked-work-stealing/partition-invariant"},
     };
     if (cfg.sample.enabled()) {
       manifest.config.emplace_back("obs.sample", cfg.sample.describe());
@@ -824,8 +858,8 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   }
   setup_scope.reset();
   // One depth-0 umbrella over the whole simulation: the nested phases
-  // (workload.gen, shard.replay, merge, ...) open at depth 1, and the sim's
-  // internal setup/teardown — shard-state construction and destruction —
+  // (workload.gen, exec.run, merge, ...) open at depth 1, and the sim's
+  // internal setup/teardown — chunk-state construction and destruction —
   // stays attributed instead of leaking into a coverage gap.
   std::optional<obs::hostprof::HostScope> sim_scope;
   sim_scope.emplace(host_tl, "fleet.sim");
@@ -877,9 +911,9 @@ int cmd_fleet(const Options& options, std::ostream& out) {
     out << "fleet " << cfg.server_count << " x 100 Mbps over " << cfg.days
         << " day(s), " << result.tests_simulated << " tests (" << backend
         << " backend"
-        // The shard count shapes the result (the job count never does), so
-        // surface it; unsharded output stays byte-compatible with older runs.
-        << (cfg.shards > 1 ? ", " + std::to_string(cfg.shards) + " shards" : "")
+        // Neither the chunk size nor the job count shapes the result, so
+        // neither appears here: stdout stays byte-identical across the whole
+        // {chunk, jobs} matrix (and byte-compatible with unsharded runs).
         << (result.tests_dropped > 0
                 ? ", " + std::to_string(result.tests_dropped) + " dropped"
                 : "")
@@ -900,10 +934,8 @@ int cmd_fleet(const Options& options, std::ostream& out) {
           {"tests_per_day", std::to_string(static_cast<long>(cfg.tests_per_day))},
           {"seed", std::to_string(cfg.seed)},
       };
-      // Only a shard count > 1 changes the artifacts; keep unsharded reports
-      // byte-identical to pre-shard ones. --jobs never appears: no artifact
-      // may depend on thread count.
-      if (cfg.shards > 1) meta.emplace_back("shards", std::to_string(cfg.shards));
+      // --chunk and --jobs never appear: no artifact may depend on the
+      // partition or the thread count.
       if (cfg.sample.enabled()) {
         meta.emplace_back("obs.sample", cfg.sample.describe());
       }
@@ -981,6 +1013,7 @@ int cmd_fleet(const Options& options, std::ostream& out) {
   if (mf != nullptr) {
     manifest.host = {
         {"jobs", static_cast<double>(cfg.jobs)},
+        {"chunk", static_cast<double>(cfg.chunk)},
         {"wall_ms", static_cast<double>(wall_ns) / 1e6},
     };
     const int manifest_rc = write_manifest_file(manifest_path, manifest, out);
